@@ -1,0 +1,285 @@
+//! Analog INT8-CIM model (Nature'22 / TCASI'20 class).
+//!
+//! The analog INT8 baselines differ from AFPR-CIM in exactly the two
+//! ways the paper calls out (§IV-C): a **fixed-range ADC** (so the
+//! converter must cover the whole worst-case dynamic range at full
+//! resolution every time) and **bit-serial sequential inputs** (an
+//! 8-bit activation is applied over 8 one-bit word-line cycles with
+//! digital shift-add), which limits parallelism and multiplies
+//! conversion count. The functional path simulates exactly that
+//! pipeline; energy constants are calibrated to the published
+//! efficiencies.
+
+use serde::{Deserialize, Serialize};
+
+/// An analog INT8 CIM macro with bit-serial inputs and a fixed-range
+/// ADC.
+///
+/// # Example
+///
+/// ```
+/// use afpr_baseline::analog_int_cim::AnalogInt8Cim;
+///
+/// let cim = AnalogInt8Cim::nature22_class();
+/// assert!((cim.efficiency_tops_per_w() - 7.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalogInt8Cim {
+    tag: &'static str,
+    rows: usize,
+    cols: usize,
+    /// Activation bits (serialized over this many cycles).
+    act_bits: u32,
+    /// ADC resolution per bit-cycle.
+    adc_bits: u32,
+    /// Time per bit-cycle (WL settle + ADC), seconds.
+    t_cycle: f64,
+    /// Energy per column ADC conversion, joules.
+    e_adc_conv: f64,
+    /// Energy per active word line per cycle, joules.
+    e_wordline: f64,
+    /// Digital shift-add energy per column per cycle, joules.
+    e_shift_add: f64,
+}
+
+impl AnalogInt8Cim {
+    /// Nature'22-class: 256×256 RRAM, neuron-style ADC, calibrated to
+    /// 7 TOPS/W and 274 GOPS.
+    #[must_use]
+    pub fn nature22_class() -> Self {
+        // Ops per full 8-bit pass: 2·256·256 = 131072.
+        // Target energy/pass = 131072 / 7e12 = 18.72 nJ over 8 cycles.
+        // Throughput 274 GOPS -> t_pass = 478 ns -> t_cycle ≈ 59.8 ns.
+        Self {
+            tag: "Nature'22-class",
+            rows: 256,
+            cols: 256,
+            act_bits: 8,
+            adc_bits: 8,
+            t_cycle: 59.8e-9,
+            e_adc_conv: 7.5e-12,   // 256 ADCs × 8 cycles × 7.5 pJ = 15.36 nJ
+            e_wordline: 1.2e-12,   // 256 WLs × 8 cycles × 1.2 pJ = 2.46 nJ
+            e_shift_add: 0.44e-12, // 256 cols × 8 cycles × 0.44 pJ = 0.90 nJ
+        }
+    }
+
+    /// TCASI'20-class: 256×256 RRAM with SAR ADCs, calibrated to
+    /// 0.61 TOPS/W and 121.4 GOPS.
+    #[must_use]
+    pub fn tcasi20_class() -> Self {
+        // Energy/pass = 131072 / 0.61e12 = 214.9 nJ; t_pass = 1.08 µs.
+        Self {
+            tag: "TCASI'20-class",
+            rows: 256,
+            cols: 256,
+            act_bits: 8,
+            adc_bits: 8,
+            t_cycle: 135e-9,
+            e_adc_conv: 96e-12,
+            e_wordline: 6.0e-12,
+            e_shift_add: 2.9e-12,
+        }
+    }
+
+    /// The design tag.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        self.tag
+    }
+
+    /// Returns a variant with a different array geometry
+    /// (builder-style; energy constants are kept, so only use this for
+    /// functional studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_geometry(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Returns a variant with a different ADC resolution
+    /// (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 24.
+    #[must_use]
+    pub fn with_adc_bits(mut self, bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "ADC resolution must be 1..=24 bits");
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Array rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// MAC operations per full (all-bit) pass: `2 × rows × cols`.
+    #[must_use]
+    pub fn ops_per_pass(&self) -> u64 {
+        2 * self.rows as u64 * self.cols as u64
+    }
+
+    /// Latency of one full pass (all activation bits), seconds.
+    #[must_use]
+    pub fn pass_latency(&self) -> f64 {
+        f64::from(self.act_bits) * self.t_cycle
+    }
+
+    /// Energy of one full pass, joules.
+    #[must_use]
+    pub fn pass_energy(&self) -> f64 {
+        let cycles = f64::from(self.act_bits);
+        cycles
+            * (self.cols as f64 * (self.e_adc_conv + self.e_shift_add)
+                + self.rows as f64 * self.e_wordline)
+    }
+
+    /// Throughput in GOPS.
+    #[must_use]
+    pub fn throughput_gops(&self) -> f64 {
+        self.ops_per_pass() as f64 / self.pass_latency() / 1e9
+    }
+
+    /// Energy efficiency in TOPS/W.
+    #[must_use]
+    pub fn efficiency_tops_per_w(&self) -> f64 {
+        self.ops_per_pass() as f64 / self.pass_energy() / 1e12
+    }
+
+    /// Functional bit-serial matrix-vector product.
+    ///
+    /// `x` holds signed INT8 activations; `w` is a row-major
+    /// `rows × cols` signed integer weight matrix (levels). Each
+    /// activation bit-plane drives one analog cycle whose per-column
+    /// sums are quantized by the fixed-range ADC before the digital
+    /// shift-add — exposing exactly the fixed-range quantization
+    /// penalty the adaptive FP-ADC removes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree with the configured array.
+    #[must_use]
+    pub fn matvec(&self, x: &[i8], w: &[i16]) -> Vec<i32> {
+        assert_eq!(x.len(), self.rows, "need one activation per row");
+        assert_eq!(w.len(), self.rows * self.cols, "weight matrix must be rows × cols");
+        // Fixed ADC range: worst-case one-bit-plane column sum.
+        let full_scale: f64 = f64::from(self.rows as u32) * 127.0;
+        let levels = f64::from(1u32 << self.adc_bits);
+        let lsb = full_scale / levels;
+
+        let mut acc = vec![0i64; self.cols];
+        for bit in 0..self.act_bits {
+            // Column sums for this bit plane (sign handled digitally:
+            // two's-complement MSB plane carries negative weight).
+            let plane_weight: i64 = if bit == self.act_bits - 1 {
+                -(1i64 << bit)
+            } else {
+                1i64 << bit
+            };
+            for c in 0..self.cols {
+                let mut sum = 0i64;
+                for r in 0..self.rows {
+                    let xb = (i32::from(x[r]) >> bit) & 1;
+                    if xb != 0 {
+                        sum += i64::from(w[r * self.cols + c]);
+                    }
+                }
+                // Fixed-range ADC quantization of the analog sum.
+                let code = (sum as f64 / lsb).round();
+                let quantized = (code * lsb).round() as i64;
+                acc[c] += plane_weight * quantized;
+            }
+        }
+        acc.into_iter().map(|v| v as i32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nature22_calibrated() {
+        let c = AnalogInt8Cim::nature22_class();
+        assert!((c.efficiency_tops_per_w() - 7.0).abs() < 0.1, "{}", c.efficiency_tops_per_w());
+        assert!((c.throughput_gops() - 274.0).abs() < 3.0, "{}", c.throughput_gops());
+    }
+
+    #[test]
+    fn tcasi20_calibrated() {
+        let c = AnalogInt8Cim::tcasi20_class();
+        assert!((c.efficiency_tops_per_w() - 0.61).abs() < 0.02);
+        assert!((c.throughput_gops() - 121.4).abs() < 2.0);
+    }
+
+    #[test]
+    fn bit_serial_is_slower_than_afpr() {
+        // AFPR converts a full FP8 activation in one 200 ns conversion;
+        // the bit-serial baseline needs 8 cycles.
+        let c = AnalogInt8Cim::nature22_class();
+        assert!(c.pass_latency() > 200e-9);
+    }
+
+    fn tiny(rows: usize, cols: usize) -> AnalogInt8Cim {
+        AnalogInt8Cim::nature22_class().with_geometry(rows, cols)
+    }
+
+    #[test]
+    fn matvec_exact_with_fine_adc() {
+        // With a high-resolution ADC relative to the sums, bit-serial
+        // shift-add reconstructs the exact integer product.
+        let c = tiny(4, 2).with_adc_bits(16);
+        let x = [3i8, -2, 7, 0];
+        let w = [1i16, -1, 2, 0, -3, 5, 4, 4]; // 4×2
+        let y = c.matvec(&x, &w);
+        let mut want = [0i32; 2];
+        for r in 0..4 {
+            for col in 0..2 {
+                want[col] += i32::from(x[r]) * i32::from(w[r * 2 + col]);
+            }
+        }
+        assert_eq!(y, want.to_vec());
+    }
+
+    #[test]
+    fn fixed_range_adc_loses_small_signals() {
+        // With the production 8-bit fixed-range ADC, small column sums
+        // fall below one LSB and vanish — the weakness the adaptive
+        // FP-ADC addresses.
+        let c = tiny(256, 1);
+        let mut x = [0i8; 256];
+        x[0] = 1; // single tiny activation
+        let w = vec![1i16; 256];
+        let y = c.matvec(&x, &w);
+        // True product is 1, but the ADC LSB is 256·127/256 = 127.
+        assert_eq!(y[0], 0);
+    }
+
+    #[test]
+    fn negative_activations_correct_sign() {
+        let c = tiny(2, 1).with_adc_bits(16);
+        let y = c.matvec(&[-5, 3], &[2, 4]);
+        assert_eq!(y[0], -10 + 12);
+    }
+
+    #[test]
+    fn pass_energy_components_positive() {
+        let c = AnalogInt8Cim::nature22_class();
+        assert!(c.pass_energy() > 0.0);
+        assert!(c.pass_latency() > 0.0);
+    }
+}

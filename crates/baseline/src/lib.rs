@@ -1,0 +1,31 @@
+//! Baseline accelerator models for the paper's Table I comparison.
+//!
+//! The paper compares AFPR-CIM against three accelerator classes; this
+//! crate implements an energy/latency/throughput model — and, where a
+//! baseline computes differently from AFPR, a functional model — for
+//! each:
+//!
+//! * [`fp8_accel`] — a conventional digital FP8 accelerator
+//!   (ISSCC'21 class): FMA tree with alignment/movement energy.
+//! * [`digital_cim`] — digital-domain FP-CIM (ISSCC'22 / VLSI'21
+//!   class): in-memory Booth partial products plus exponent handling.
+//! * [`analog_int_cim`] — analog INT8-CIM (Nature'22 / TCASI'20
+//!   class): bit-serial inputs and a fixed-range ADC.
+//! * [`specs`] — the published Table I rows the paper cites.
+//!
+//! Every model's constants are calibrated to its design's published
+//! efficiency, so the headline ratios (4.135× / 5.376× / 2.841×) are
+//! derived from component models rather than transcribed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analog_int_cim;
+pub mod digital_cim;
+pub mod fp8_accel;
+pub mod specs;
+
+pub use analog_int_cim::AnalogInt8Cim;
+pub use digital_cim::{DigitalCimFormat, DigitalFpCim};
+pub use fp8_accel::{Fp8Accelerator, Fp8MacEnergy};
+pub use specs::{ArchClass, PublishedSpec};

@@ -1,0 +1,87 @@
+//! Property-based tests for the baseline accelerator models.
+
+use afpr_baseline::{AnalogInt8Cim, DigitalFpCim, Fp8Accelerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The FP8 accelerator's dot product tracks the float reference
+    /// within the two-sided E2M5 quantization budget.
+    #[test]
+    fn fp8_dot_tracks_reference(
+        a in prop::collection::vec(-2.0f32..2.0, 4..48),
+        bseed in 0u32..1000,
+    ) {
+        let b: Vec<f32> = (0..a.len())
+            .map(|k| (((k as u32 + bseed) as f32) * 0.37).sin())
+            .collect();
+        let accel = Fp8Accelerator::isscc21_class();
+        let got = accel.dot(&a, &b);
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        // Each operand carries ≤ ~1.6 % relative error; the sum of
+        // |products| bounds the accumulated absolute error.
+        let budget: f32 = 0.035 * a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum::<f32>() + 1e-3;
+        prop_assert!((got - want).abs() <= budget, "got {got} want {want} budget {budget}");
+    }
+
+    /// Digital FP32 CIM matvec is exact; BF16 differs only within
+    /// BF16's 2^-8 relative precision per operand.
+    #[test]
+    fn digital_cim_precision(x in prop::collection::vec(-3.0f32..3.0, 3..24)) {
+        let w: Vec<f32> = (0..x.len() * 2).map(|k| ((k as f32) * 0.21).cos()).collect();
+        let fp32 = DigitalFpCim::isscc22_class().matvec(&x, &w, 2);
+        let bf16 = DigitalFpCim::vlsi21_class().matvec(&x, &w, 2);
+        let exact: Vec<f32> = (0..2)
+            .map(|o| x.iter().enumerate().map(|(i, &xi)| xi * w[i * 2 + o]).sum())
+            .collect();
+        for (got, want) in fp32.iter().zip(&exact) {
+            prop_assert!((got - want).abs() < 1e-4);
+        }
+        let budget: f32 = 0.01 * x.iter().map(|v| v.abs()).sum::<f32>() + 1e-2;
+        for (got, want) in bf16.iter().zip(&exact) {
+            prop_assert!((got - want).abs() <= budget, "bf16 {got} vs {want}");
+        }
+    }
+
+    /// Bit-serial INT8 CIM with a fine ADC computes the exact integer
+    /// matvec for any inputs.
+    #[test]
+    fn bit_serial_exact_with_fine_adc(
+        x in prop::collection::vec(-128i32..128, 6),
+        w in prop::collection::vec(-31i32..32, 12),
+    ) {
+        // Shrink the geometry and widen the ADC for exactness.
+        let cim = AnalogInt8Cim::nature22_class().with_geometry(6, 2).with_adc_bits(20);
+        let xi: Vec<i8> = x.iter().map(|&v| v.clamp(-128, 127) as i8).collect();
+        let wi: Vec<i16> = w.iter().map(|&v| v as i16).collect();
+        let y = cim.matvec(&xi, &wi);
+        for (c, got) in y.iter().enumerate() {
+            let want: i32 = (0..6).map(|r| i32::from(xi[r]) * i32::from(wi[r * 2 + c])).sum();
+            prop_assert_eq!(*got, want);
+        }
+    }
+
+    /// Fixed-range quantization error never exceeds half an ADC LSB
+    /// per bit plane, accumulated over the 8 planes.
+    #[test]
+    fn bit_serial_error_bounded(
+        x in prop::collection::vec(0i32..128, 8),
+        w in prop::collection::vec(0i32..32, 8),
+    ) {
+        let cim = AnalogInt8Cim::nature22_class().with_geometry(8, 1);
+        let xi: Vec<i8> = x.iter().map(|&v| v as i8).collect();
+        let wi: Vec<i16> = w.iter().map(|&v| v as i16).collect();
+        let y = cim.matvec(&xi, &wi)[0];
+        let want: i32 = (0..8).map(|r| x[r] * w[r]).sum();
+        // LSB = rows·127/2^adc_bits; each of 8 planes contributes up
+        // to LSB/2, weighted by its plane value (sum of weights 255).
+        let lsb = 8.0 * 127.0 / 256.0;
+        let budget = (lsb / 2.0) * 255.0;
+        prop_assert!(
+            f64::from((y - want).abs()) <= budget + 1.0,
+            "got {y} want {want} budget {budget}"
+        );
+    }
+}
+

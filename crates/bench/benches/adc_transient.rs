@@ -1,0 +1,42 @@
+//! Criterion benches of the FP-ADC transient engine (the kernel behind
+//! Fig. 5a and every macro conversion).
+
+use afpr_circuit::fp_adc::{FpAdc, FpAdcConfig};
+use afpr_circuit::int_adc::{IntAdc, IntAdcConfig};
+use afpr_circuit::units::Amps;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fp_adc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp_adc");
+    let adc = FpAdc::new(FpAdcConfig::e2m5_paper());
+    group.bench_function("convert_e2m5_paper_current", |b| {
+        b.iter(|| adc.convert(black_box(Amps::from_micro(5.38))))
+    });
+    let adc3 = FpAdc::new(FpAdcConfig::e3m4_paper());
+    group.bench_function("convert_e3m4_max_adjustments", |b| {
+        let i = Amps::new(adc3.min_current().amps() * 130.0);
+        b.iter(|| adc3.convert(black_box(i)))
+    });
+    group.bench_function("convert_sweep_256_currents", |b| {
+        let fs = adc.full_scale_current().amps();
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in 0..256 {
+                let i = Amps::new(fs * f64::from(k) / 256.0);
+                total += adc.convert(black_box(i)).value();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_int_adc(c: &mut Criterion) {
+    let adc = IntAdc::new(IntAdcConfig::paper_matched());
+    c.bench_function("int_adc/convert_matched_10bit", |b| {
+        b.iter(|| adc.convert(black_box(Amps::from_micro(5.38))))
+    });
+}
+
+criterion_group!(benches, bench_fp_adc, bench_int_adc);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of the crossbar MAC kernel (Ohm + Kirchhoff).
+
+use afpr_circuit::units::Volts;
+use afpr_device::DeviceConfig;
+use afpr_xbar::crossbar::Crossbar;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn crossbar(rows: usize, cols: usize) -> Crossbar {
+    let mut xb = Crossbar::new(rows, cols, DeviceConfig::ideal(32));
+    let mut rng = StdRng::seed_from_u64(1);
+    let levels: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..32)).collect();
+    xb.program_levels(&levels, &mut rng);
+    xb
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mac");
+    for (rows, cols) in [(64usize, 64usize), (576, 256)] {
+        let xb = crossbar(rows, cols);
+        let v: Vec<Volts> = (0..rows).map(|r| Volts::new(0.001 * (r % 16) as f64)).collect();
+        group.bench_function(format!("dense_{rows}x{cols}"), |b| {
+            b.iter(|| xb.mac_currents(black_box(&v)))
+        });
+    }
+    // Sparsity sensitivity: 75 % zero inputs skip whole rows.
+    let xb = crossbar(576, 256);
+    let sparse: Vec<Volts> = (0..576)
+        .map(|r| if r % 4 == 0 { Volts::new(0.05) } else { Volts::ZERO })
+        .collect();
+    group.bench_function("sparse75_576x256", |b| {
+        b.iter(|| xb.mac_currents(black_box(&sparse)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mac);
+criterion_main!(benches);

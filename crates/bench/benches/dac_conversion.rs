@@ -1,0 +1,37 @@
+//! Criterion benches of the FP-DAC (the kernel behind Fig. 5b).
+
+use afpr_circuit::fp_dac::{FpDac, FpDacConfig};
+use afpr_circuit::int_dac::IntDac;
+use afpr_circuit::units::Volts;
+use afpr_num::{FpFormat, HwFpCode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fp_dac(c: &mut Criterion) {
+    let dac = FpDac::new(FpDacConfig::e2m5_paper());
+    let code = HwFpCode::new(FpFormat::E2M5, 2, 11).expect("valid");
+    c.bench_function("fp_dac/convert_one_code", |b| {
+        b.iter(|| dac.convert(black_box(code)))
+    });
+    c.bench_function("fp_dac/fig5b_full_sweep_128_codes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for exp in 0..4 {
+                for man in 0..32 {
+                    let code = HwFpCode::new(FpFormat::E2M5, exp, man).expect("valid");
+                    acc += dac.convert(black_box(code)).volts();
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_int_dac(c: &mut Criterion) {
+    let dac = IntDac::new(8, Volts::new(1.575));
+    c.bench_function("int_dac/convert_one_code", |b| {
+        b.iter(|| dac.convert(black_box(173)))
+    });
+}
+
+criterion_group!(benches, bench_fp_dac, bench_int_dac);
+criterion_main!(benches);

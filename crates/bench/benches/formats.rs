@@ -1,0 +1,34 @@
+//! Criterion benches of the number-format kernels (encode/decode hot
+//! paths used throughout the simulator).
+
+use afpr_num::{FpFormat, Int8Quantizer, E2M5};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_minifloat(c: &mut Criterion) {
+    c.bench_function("formats/e2m5_from_f32", |b| {
+        b.iter(|| E2M5::from_f32(black_box(1.273f32)))
+    });
+    c.bench_function("formats/e2m5_round_trip_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for k in 0..1000 {
+                let x = -7.8 + 15.6 * (k as f32) / 1000.0;
+                acc += E2M5::from_f32(black_box(x)).to_f32();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_hw_codes(c: &mut Criterion) {
+    let f = FpFormat::E2M5;
+    c.bench_function("formats/hwcode_encode", |b| b.iter(|| f.encode(black_box(5.38))));
+}
+
+fn bench_int8(c: &mut Criterion) {
+    let q = Int8Quantizer::symmetric_for_absmax(4.0).expect("valid");
+    c.bench_function("formats/int8_fake_quant", |b| b.iter(|| q.fake_quant(black_box(1.273))));
+}
+
+criterion_group!(benches, bench_minifloat, bench_hw_codes, bench_int8);
+criterion_main!(benches);

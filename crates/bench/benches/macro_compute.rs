@@ -1,0 +1,33 @@
+//! Criterion benches of full macro conversions (the Table I
+//! operation: DAC → array → FP-ADC across all columns).
+
+use afpr_xbar::cim_macro::CimMacro;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn programmed_macro(rows: usize, cols: usize, mode: MacroMode) -> CimMacro {
+    let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, mode), 3);
+    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 7 % 23) as f32 - 11.0) / 22.0).collect();
+    mac.program_weights(&w);
+    mac
+}
+
+fn bench_macro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("macro_compute");
+    group.sample_size(20);
+    for mode in [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8] {
+        let mut mac = programmed_macro(64, 32, mode);
+        let x: Vec<f32> = (0..64).map(|k| ((k as f32) * 0.37).sin()).collect();
+        group.bench_function(format!("matvec_64x32_{}", mode.label()), |b| {
+            b.iter(|| mac.matvec(black_box(&x)))
+        });
+    }
+    // The paper-size macro (expensive).
+    let mut mac = programmed_macro(576, 256, MacroMode::FpE2M5);
+    let x: Vec<f32> = (0..576).map(|k| ((k as f32) * 0.11).sin()).collect();
+    group.bench_function("matvec_576x256_E2M5", |b| b.iter(|| mac.matvec(black_box(&x))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_macro);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches of network-level inference: the FP32 reference,
+//! fake-quantized PTQ inference (Fig. 6c path), and the
+//! hardware-in-the-loop macro-model simulator.
+
+use afpr_core::sim::MacroModelSim;
+use afpr_nn::init::InitSpec;
+use afpr_nn::models::{tiny_mlp, tiny_resnet};
+use afpr_nn::quant::{NumFormat, QuantizedModel};
+use afpr_nn::tensor::Tensor;
+use afpr_xbar::spec::MacroMode;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_inference");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let resnet = tiny_resnet(10, InitSpec::heavy_tailed(), &mut rng);
+    let img = Tensor::from_fn(&[3, 16, 16], |i| ((i[1] * 16 + i[2]) as f32 * 0.13).sin());
+
+    group.bench_function("tiny_resnet_fp32", |b| b.iter(|| resnet.forward(black_box(&img))));
+
+    let calib = vec![img.clone()];
+    let quant = QuantizedModel::calibrate(
+        tiny_resnet(10, InitSpec::heavy_tailed(), &mut StdRng::seed_from_u64(0)),
+        NumFormat::E2M5,
+        NumFormat::E2M5,
+        &calib,
+    );
+    group.bench_function("tiny_resnet_e2m5_ptq", |b| b.iter(|| quant.forward(black_box(&img))));
+
+    // Hardware-in-the-loop on a small MLP (macro sim per layer).
+    let mlp = tiny_mlp(16, 24, 6, InitSpec::gaussian(), &mut rng);
+    let x = Tensor::from_fn(&[16], |i| (i[0] as f32 * 0.41).cos());
+    let mut sim = MacroModelSim::compile(&mlp, MacroMode::FpE2M5, 5);
+    sim.calibrate(&mlp, std::slice::from_ref(&x));
+    group.bench_function("tiny_mlp_macro_in_loop", |b| {
+        b.iter(|| sim.forward(&mlp, black_box(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation: the dynamic-range-adaptive FP-ADC vs fixed-range INT ADCs
+//! across the input current range (the design argument of paper §II —
+//! "traditional readout circuitry needs to cover the whole dynamic
+//! range, resulting in overdesign").
+//!
+//! Prints the relative readout error of each converter over a log
+//! sweep of input currents. The FP-ADC's relative error is flat
+//! (~1/64) across its 16:1 range; the INT ADCs' error explodes at
+//! small signals.
+//!
+//! Run with: `cargo run --release -p afpr-bench --bin ablation_adc_range`
+
+use afpr_circuit::fp_adc::{FpAdc, FpAdcConfig};
+use afpr_circuit::int_adc::{IntAdc, IntAdcConfig};
+use afpr_circuit::units::Amps;
+use afpr_core::report::format_table;
+
+fn main() {
+    let fp = FpAdc::new(FpAdcConfig::e2m5_paper());
+    let int8 = IntAdc::new(IntAdcConfig::paper_8bit());
+    let int10 = IntAdc::new(IntAdcConfig::paper_matched());
+
+    let mut rows = vec![vec![
+        "I_MAC µA".to_string(),
+        "FP-ADC err %".to_string(),
+        "INT8 err %".to_string(),
+        "INT10 err %".to_string(),
+        "FP exponent".to_string(),
+    ]];
+    let lo = fp.min_current().amps();
+    let hi = fp.full_scale_current().amps();
+    let points = 32;
+    let mut fp_worst: f64 = 0.0;
+    let mut int8_worst: f64 = 0.0;
+    let mut fp_bottom: f64 = 0.0;
+    let mut int8_bottom: f64 = 0.0;
+    let mut fp_mean = 0.0;
+    let mut int8_mean = 0.0;
+    for k in 0..points {
+        // Log sweep across the FP range, offset off exact code points.
+        let i = lo * (hi / lo).powf((f64::from(k) + 0.37) / f64::from(points));
+        let i = Amps::new(i);
+        let fp_res = fp.convert(i);
+        let fp_err = fp_res
+            .code
+            .map_or(1.0, |c| (fp.decode_current(c).amps() - i.amps()).abs() / i.amps());
+        let int8_err =
+            (int8.decode_current(int8.convert(i).code).amps() - i.amps()).abs() / i.amps();
+        let int10_err =
+            (int10.decode_current(int10.convert(i).code).amps() - i.amps()).abs() / i.amps();
+        fp_worst = fp_worst.max(fp_err);
+        int8_worst = int8_worst.max(int8_err);
+        fp_mean += fp_err / f64::from(points);
+        int8_mean += int8_err / f64::from(points);
+        if i.amps() < 2.0 * lo {
+            fp_bottom = fp_bottom.max(fp_err);
+            int8_bottom = int8_bottom.max(int8_err);
+        }
+        rows.push(vec![
+            format!("{:.3}", i.amps() * 1e6),
+            format!("{:.3}", fp_err * 100.0),
+            format!("{:.3}", int8_err * 100.0),
+            format!("{:.3}", int10_err * 100.0),
+            format!("{}", fp_res.adjustments),
+        ]);
+    }
+    println!("{}", format_table(&rows));
+    println!("relative error over the 16:1 range (log sweep):");
+    println!(
+        "  FP-ADC (E2M5, 200 ns):     worst {:.2} %, mean {:.2} %, bottom octave {:.2} %",
+        fp_worst * 100.0,
+        fp_mean * 100.0,
+        fp_bottom * 100.0
+    );
+    println!(
+        "  INT8 fixed-range (200 ns): worst {:.2} %, mean {:.2} %, bottom octave {:.2} %",
+        int8_worst * 100.0,
+        int8_mean * 100.0,
+        int8_bottom * 100.0
+    );
+    println!(
+        "\nthe matched INT10 ADC achieves FP-like error only by taking 500 ns\n\
+         and 2.29x the ADC energy (see fig6a_power_breakdown)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Ablation: FP8 bit-assignment sweep, E1M6 … E5M2 (generalizes the
+//! paper's E2M5-vs-E3M4 study of Fig. 6).
+//!
+//! For every split this prints the hardware side — conversion time,
+//! capacitor-bank total (the bank doubles per exponent level:
+//! `2^(2^E−1)·C_int`), per-conversion energy and efficiency from the
+//! calibrated model — and the numerical side: PTQ quantization SQNR of
+//! the *software* format (with subnormals, as in the Fig. 6c study) on
+//! Gaussian and heavy-tailed tensors. Banks beyond ~50 pF per column
+//! are physically unbuildable and are marked infeasible rather than
+//! priced.
+//!
+//! Run with: `cargo run --release -p afpr-bench --bin ablation_bit_assignment`
+
+use afpr_circuit::energy::AdcSpec;
+use afpr_circuit::fp_adc::FpAdcConfig;
+use afpr_circuit::EnergyModel;
+use afpr_core::report::format_table;
+use afpr_nn::quant::NumFormat;
+use afpr_num::{stats, FpFormat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Per-tensor absmax fake-quant SQNR of a software format.
+fn sqnr_for(format: NumFormat, xs: &[f32]) -> f64 {
+    let mut q = xs.to_vec();
+    format.fake_quant_slice(&mut q);
+    stats::sqnr_db(xs, &q)
+}
+
+fn main() {
+    let model = EnergyModel::paper_65nm();
+    let mut rng = StdRng::seed_from_u64(42);
+    let normal = Normal::new(0.0f64, 1.0).expect("unit");
+    let gaussian: Vec<f32> = (0..20_000).map(|_| normal.sample(&mut rng) as f32).collect();
+    let mut heavy = gaussian.clone();
+    for (k, v) in heavy.iter_mut().enumerate() {
+        if k % 100 == 0 {
+            *v *= 6.0;
+        }
+    }
+
+    const FEASIBLE_BANK_F: f64 = 50e-12;
+    let formats = [
+        (1u32, 6u32, NumFormat::E1M6),
+        (2, 5, NumFormat::E2M5),
+        (3, 4, NumFormat::E3M4),
+        (4, 3, NumFormat::E4M3),
+        (5, 2, NumFormat::E5M2),
+    ];
+    let mut rows = vec![vec![
+        "format".to_string(),
+        "t_conv ns".to_string(),
+        "bank pF".to_string(),
+        "macro nJ".to_string(),
+        "TFLOPS/W".to_string(),
+        "SQNR gauss dB".to_string(),
+        "SQNR heavy dB".to_string(),
+    ]];
+    for (e, m, soft) in formats {
+        let format = FpFormat::new(e, m).expect("valid split");
+        let cfg = FpAdcConfig::paper_for(format);
+        let spec = AdcSpec::fp(&cfg);
+        let feasible = spec.c_total.farads() <= FEASIBLE_BANK_F;
+        let (energy_s, eff_s) = if feasible {
+            let energy = model
+                .macro_conversion_energy(&spec, 256, 576, None)
+                .total()
+                .joules();
+            let ops = 2.0 * 576.0 * 256.0;
+            (format!("{:.2}", energy * 1e9), format!("{:.2}", ops / energy / 1e12))
+        } else {
+            ("-".to_string(), "infeasible".to_string())
+        };
+        rows.push(vec![
+            format.to_string(),
+            format!("{:.1}", spec.t_conversion.seconds() * 1e9),
+            format!("{:.2}", spec.c_total.farads() * 1e12),
+            energy_s,
+            eff_s,
+            format!("{:.1}", sqnr_for(soft, &gaussian)),
+            format!("{:.1}", sqnr_for(soft, &heavy)),
+        ]);
+    }
+    println!("{}", format_table(&rows));
+    println!("the capacitor bank doubles per exponent level, so E4M3/E5M2 are");
+    println!("unbuildable in this architecture; among the feasible splits E2M5");
+    println!("pairs the best efficiency with SQNR within ~1 dB of the best on");
+    println!("Gaussian-bulk tensors — the paper's sweet-spot argument (§IV).");
+}

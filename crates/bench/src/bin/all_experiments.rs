@@ -1,0 +1,45 @@
+//! Runs every experiment of the paper's evaluation section and writes
+//! `EXPERIMENTS_RESULTS.json` with the full paper-vs-measured records.
+//!
+//! Pass `--quick` to shrink the Fig. 6c accuracy study.
+
+use afpr_bench::Fig6cConfig;
+use afpr_core::report;
+use std::path::Path;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut records = Vec::new();
+
+    let (r, _) = afpr_bench::fig5a();
+    println!("{}", r.to_text());
+    records.push(r);
+
+    let (r, _) = afpr_bench::fig5b();
+    println!("{}", r.to_text());
+    records.push(r);
+
+    let (r, table) = afpr_bench::fig6a();
+    println!("{table}\n{}", r.to_text());
+    records.push(r);
+
+    let (r, table) = afpr_bench::fig6b();
+    println!("{table}\n{}", r.to_text());
+    records.push(r);
+
+    let cfg = if quick { Fig6cConfig::quick() } else { Fig6cConfig::default() };
+    eprintln!("running fig6c ({} eval × {} trials per model)…", cfg.eval_samples, cfg.trials);
+    let (r, table, _) = afpr_bench::fig6c(cfg);
+    println!("{table}\n{}", r.to_text());
+    records.push(r);
+
+    let (r, table) = afpr_bench::table1();
+    println!("{table}\n{}", r.to_text());
+    records.push(r);
+
+    let path = Path::new("EXPERIMENTS_RESULTS.json");
+    match report::write_json(path, &records) {
+        Ok(()) => println!("records written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

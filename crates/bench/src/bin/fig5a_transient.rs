@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 5(a): the FP-ADC transient of a constant
+//! 5.38 µA MAC current. Prints the paper-vs-measured record and writes
+//! the `V_O(t)` waveform to `fig5a_waveform.csv`.
+
+fn main() {
+    let (record, waveform_csv) = afpr_bench::fig5a();
+    println!("{}", record.to_text());
+    let path = "fig5a_waveform.csv";
+    match std::fs::write(path, &waveform_csv) {
+        Ok(()) => println!("waveform written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

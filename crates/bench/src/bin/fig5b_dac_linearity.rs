@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 5(b): FP-DAC linearity — cell current for
+//! all 128 input codes at 20/18/15/12 µS, grouped by exponent. Prints
+//! the record and writes the sweep to `fig5b_linearity.csv`.
+
+fn main() {
+    let (record, csv) = afpr_bench::fig5b();
+    println!("{}", record.to_text());
+    let path = "fig5b_linearity.csv";
+    match std::fs::write(path, &csv) {
+        Ok(()) => println!("sweep written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

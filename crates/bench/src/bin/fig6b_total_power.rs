@@ -1,0 +1,8 @@
+//! Regenerates paper Fig. 6(b): total power of E2M5 vs E3M4 vs INT8,
+//! with the −46.5 % total-power claim derived.
+
+fn main() {
+    let (record, table) = afpr_bench::fig6b();
+    println!("{table}");
+    println!("{}", record.to_text());
+}

@@ -1,0 +1,19 @@
+//! Regenerates paper Fig. 6(c): post-training-quantization Top-1
+//! accuracy of Tiny-ResNet and Tiny-MobileNet under INT8 / E3M4 /
+//! E2M5, relative to the FP32 teacher.
+//!
+//! Pass `--quick` for a reduced configuration (debug-build friendly).
+
+use afpr_bench::Fig6cConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { Fig6cConfig::quick() } else { Fig6cConfig::default() };
+    eprintln!(
+        "running fig6c: {} eval × {} trials per model (use --quick for a fast pass)…",
+        cfg.eval_samples, cfg.trials
+    );
+    let (record, table, _) = afpr_bench::fig6c(cfg);
+    println!("{table}");
+    println!("{}", record.to_text());
+}

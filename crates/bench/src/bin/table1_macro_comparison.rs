@@ -1,0 +1,9 @@
+//! Regenerates paper Table I: the CIM macro comparison, with AFPR-CIM
+//! rows computed from the calibrated energy model and baseline rows
+//! derived from the component models of `afpr-baseline`.
+
+fn main() {
+    let (record, table) = afpr_bench::table1();
+    println!("{table}");
+    println!("{}", record.to_text());
+}

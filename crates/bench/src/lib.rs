@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the
+//! AFPR-CIM paper.
+//!
+//! Each experiment is a library function returning a
+//! [`afpr_core::report::ExperimentRecord`] (paper-vs-measured) plus a
+//! human-readable rendering, so the per-figure binaries, the
+//! `all_experiments` runner and the integration tests all share one
+//! implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{fig5a, fig5b, fig6a, fig6b, fig6c, table1, Fig6cConfig, Fig6cOutcome};

@@ -1,0 +1,116 @@
+//! Behavioral comparator with offset, noise and decision delay.
+
+use crate::units::{Seconds, Volts};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A clocked/continuous comparator.
+///
+/// The FP-ADC uses one comparator per column both for the adaptive
+/// range detection (continuous against `V_th`) and for the single-slope
+/// mantissa conversion. The paper's `C_CDS` capacitors cancel the bulk
+/// of the offset during reset; the `offset` here is the *residual*
+/// after correlated double sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Residual input-referred offset (after CDS).
+    pub offset: Volts,
+    /// RMS input-referred noise.
+    pub noise_sigma: Volts,
+    /// Decision delay from crossing to output edge.
+    pub delay: Seconds,
+}
+
+impl Comparator {
+    /// An ideal comparator: no offset, noise or delay.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { offset: Volts::ZERO, noise_sigma: Volts::ZERO, delay: Seconds::ZERO }
+    }
+
+    /// A comparator with typical post-CDS residuals: 0.5 mV offset,
+    /// 0.3 mV RMS noise, 1 ns decision delay.
+    #[must_use]
+    pub fn realistic() -> Self {
+        Self {
+            offset: Volts::from_milli(0.5),
+            noise_sigma: Volts::from_milli(0.3),
+            delay: Seconds::from_nano(1.0),
+        }
+    }
+
+    /// Decides whether `v_plus > v_minus` including offset and one
+    /// noise sample.
+    pub fn decide<R: Rng + ?Sized>(&self, v_plus: Volts, v_minus: Volts, rng: &mut R) -> bool {
+        let noise = if self.noise_sigma.volts() > 0.0 {
+            Normal::new(0.0, self.noise_sigma.volts())
+                .expect("sigma non-negative")
+                .sample(rng)
+        } else {
+            0.0
+        };
+        v_plus.volts() + self.offset.volts() + noise > v_minus.volts()
+    }
+
+    /// The effective threshold the comparator realises when comparing
+    /// against a nominal `v_th` (noise-free view, used by the analytic
+    /// transient engine: crossing happens at `v_th − offset`).
+    #[must_use]
+    pub fn effective_threshold(&self, v_th: Volts) -> Volts {
+        v_th - self.offset
+    }
+}
+
+impl Default for Comparator {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_decisions_are_exact() {
+        let c = Comparator::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c.decide(Volts::new(1.1), Volts::new(1.0), &mut rng));
+        assert!(!c.decide(Volts::new(0.9), Volts::new(1.0), &mut rng));
+    }
+
+    #[test]
+    fn offset_shifts_threshold() {
+        let c = Comparator { offset: Volts::from_milli(50.0), ..Comparator::ideal() };
+        let mut rng = StdRng::seed_from_u64(0);
+        // 0.98 + 0.05 offset > 1.0 -> trips early.
+        assert!(c.decide(Volts::new(0.98), Volts::new(1.0), &mut rng));
+        assert_eq!(c.effective_threshold(Volts::new(2.0)).volts(), 1.95);
+    }
+
+    #[test]
+    fn noise_flips_marginal_decisions() {
+        let c = Comparator { noise_sigma: Volts::from_milli(5.0), ..Comparator::ideal() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut highs = 0;
+        for _ in 0..2000 {
+            if c.decide(Volts::new(1.0), Volts::new(1.0), &mut rng) {
+                highs += 1;
+            }
+        }
+        // Exactly at threshold: ~50 % trip rate.
+        assert!((800..1200).contains(&highs), "highs={highs}");
+    }
+
+    #[test]
+    fn far_from_threshold_noise_is_irrelevant() {
+        let c = Comparator::realistic();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(c.decide(Volts::new(1.5), Volts::new(1.0), &mut rng));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The input FP-DAC (paper §III-C, Eq. 6).
+//!
+//! Reconstructs an FP activation code into an analog row voltage:
+//! a 5-bit resistor-ladder reference produces `V_mantissa ∝ 1.M`, a
+//! switch network selects the tap, and the PGA applies the exponent as
+//! a gain of `2^E`:
+//!
+//! `V_DAC = 2^E × M_analog`  (Eq. 6)
+//!
+//! The DAC is unsigned — the sign of an activation is handled
+//! digitally at the macro level (two-phase differential input), as in
+//! conventional analog CIM designs.
+
+use crate::pga::Pga;
+use crate::units::Volts;
+use afpr_num::{FpFormat, HwFpCode};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the FP-DAC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpDacConfig {
+    /// Activation code format.
+    pub format: FpFormat,
+    /// Base voltage of the mantissa ladder: a code of `1.0 × 2^0`
+    /// produces `v_unit`.
+    pub v_unit: Volts,
+    /// Relative sigma of the ladder tap voltages (0 = ideal).
+    pub ladder_mismatch_sigma: f64,
+    /// Relative sigma of the PGA gain settings (0 = ideal).
+    pub pga_mismatch_sigma: f64,
+}
+
+impl FpDacConfig {
+    /// The paper-scale operating point: `v_unit` chosen so the largest
+    /// E2M5 code (15.75×) lands below the 2.5 V analog supply while
+    /// keeping row read voltages RRAM-safe.
+    #[must_use]
+    pub fn paper_for(format: FpFormat) -> Self {
+        // Scale so that max_value() maps to ~1.575 V regardless of the
+        // exponent range of the chosen format.
+        let v_unit = Volts::new(1.575 / format.max_value());
+        Self { format, v_unit, ladder_mismatch_sigma: 0.0, pga_mismatch_sigma: 0.0 }
+    }
+
+    /// The E2M5 paper operating point (`v_unit` = 100 mV).
+    #[must_use]
+    pub fn e2m5_paper() -> Self {
+        Self::paper_for(FpFormat::E2M5)
+    }
+
+    /// Largest output voltage of this configuration.
+    #[must_use]
+    pub fn full_scale(&self) -> Volts {
+        self.v_unit * self.format.max_value()
+    }
+}
+
+impl Default for FpDacConfig {
+    fn default() -> Self {
+        Self::e2m5_paper()
+    }
+}
+
+/// One FP-DAC row slice: reference ladder + switch network + PGA.
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::fp_dac::{FpDac, FpDacConfig};
+/// use afpr_num::{FpFormat, HwFpCode};
+///
+/// let dac = FpDac::new(FpDacConfig::e2m5_paper());
+/// let code = HwFpCode::new(FpFormat::E2M5, 2, 11)?; // 1.34375 × 4
+/// let v = dac.convert(code);
+/// assert!((v.volts() - 0.5375).abs() < 1e-9);
+/// # Ok::<(), afpr_num::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpDac {
+    config: FpDacConfig,
+    /// Ladder tap voltages for each mantissa code, volts.
+    taps: Vec<f64>,
+    pga: Pga,
+}
+
+impl FpDac {
+    /// Builds an ideal (mismatch-free) DAC.
+    #[must_use]
+    pub fn new(config: FpDacConfig) -> Self {
+        let levels = config.format.mantissa_levels();
+        let taps = (0..levels)
+            .map(|m| (1.0 + f64::from(m) / f64::from(levels)) * config.v_unit.volts())
+            .collect();
+        Self { config, taps, pga: Pga::binary(config.format.exponent_levels()) }
+    }
+
+    /// Builds a DAC with ladder and PGA mismatch sampled once from the
+    /// configured sigmas.
+    pub fn with_sampled_mismatch<R: Rng + ?Sized>(config: FpDacConfig, rng: &mut R) -> Self {
+        let mut dac = Self::new(config);
+        if config.ladder_mismatch_sigma > 0.0 {
+            let normal =
+                Normal::new(0.0, config.ladder_mismatch_sigma).expect("sigma non-negative");
+            for t in &mut dac.taps {
+                *t *= 1.0 + normal.sample(rng);
+            }
+        }
+        dac.pga = Pga::binary_with_mismatch(
+            config.format.exponent_levels(),
+            config.pga_mismatch_sigma,
+            rng,
+        );
+        dac
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FpDacConfig {
+        &self.config
+    }
+
+    /// Converts an FP code to its analog row voltage (Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code's format disagrees with the DAC's format.
+    #[must_use]
+    pub fn convert(&self, code: HwFpCode) -> Volts {
+        assert_eq!(
+            code.format(),
+            self.config.format,
+            "code format must match the DAC format"
+        );
+        let v_mantissa = self.taps[code.man() as usize];
+        Volts::new(self.pga.apply(code.exp(), v_mantissa))
+    }
+
+    /// Converts a raw 7-bit (exp ++ man) digital input, as driven in
+    /// the paper's functional test ("the random digital input 1011110
+    /// is deployed into the FP-DAC").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bit pattern does not fit the format.
+    pub fn convert_bits(&self, bits: u16) -> Result<Volts, afpr_num::FormatError> {
+        let man_bits = self.config.format.man_bits();
+        let man = u32::from(bits) & (self.config.format.mantissa_levels() - 1);
+        let exp = u32::from(bits) >> man_bits;
+        let code = HwFpCode::new(self.config.format, exp, man)?;
+        Ok(self.convert(code))
+    }
+
+    /// Converts the zero input (all switches open): 0 V.
+    #[must_use]
+    pub fn zero(&self) -> Volts {
+        Volts::ZERO
+    }
+
+    /// The mantissa-ladder tap voltage for a mantissa code, before the
+    /// PGA. The ladder is shared across rows in the macro, while each
+    /// row has its own PGA — the macro model reads the shared tap here
+    /// and applies a per-row [`Pga`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `man` is out of range for the format.
+    #[must_use]
+    pub fn mantissa_voltage(&self, man: u32) -> Volts {
+        Volts::new(self.taps[man as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ideal() -> FpDac {
+        FpDac::new(FpDacConfig::e2m5_paper())
+    }
+
+    #[test]
+    fn v_unit_is_100mv_for_e2m5() {
+        let cfg = FpDacConfig::e2m5_paper();
+        assert!((cfg.v_unit.volts() - 0.1).abs() < 1e-12);
+        assert!((cfg.full_scale().volts() - 1.575).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_holds_for_all_codes() {
+        let dac = ideal();
+        let fmt = FpFormat::E2M5;
+        for exp in 0..4 {
+            for man in 0..32 {
+                let code = HwFpCode::new(fmt, exp, man).unwrap();
+                let v = dac.convert(code);
+                let expected = code.value() * 0.1;
+                assert!((v.volts() - expected).abs() < 1e-12, "e={exp} m={man}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_input_1011110() {
+        // exp = 10b = 2, man = 11110b = 30 -> (1 + 30/32) * 4 * 0.1 V
+        let dac = ideal();
+        let v = dac.convert_bits(0b1011110).unwrap();
+        assert!((v.volts() - 1.9375 * 4.0 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_monotone_in_code_value() {
+        let dac = ideal();
+        let fmt = FpFormat::E2M5;
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for exp in 0..4 {
+            for man in 0..32 {
+                let code = HwFpCode::new(fmt, exp, man).unwrap();
+                pairs.push((code.value(), dac.convert(code).volts()));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn mismatch_bounded_and_reproducible() {
+        let mut cfg = FpDacConfig::e2m5_paper();
+        cfg.ladder_mismatch_sigma = 0.002;
+        cfg.pga_mismatch_sigma = 0.002;
+        let a = FpDac::with_sampled_mismatch(cfg, &mut StdRng::seed_from_u64(5));
+        let b = FpDac::with_sampled_mismatch(cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let code = HwFpCode::new(FpFormat::E2M5, 1, 16).unwrap();
+        let ideal_v = ideal().convert(code).volts();
+        let real_v = a.convert(code).volts();
+        assert!((real_v / ideal_v - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn full_scale_below_supply() {
+        for fmt in [FpFormat::E2M5, FpFormat::E3M4] {
+            let cfg = FpDacConfig::paper_for(fmt);
+            assert!(cfg.full_scale().volts() <= 2.5, "{fmt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "format")]
+    fn format_mismatch_panics() {
+        let dac = ideal();
+        let code = HwFpCode::new(FpFormat::E3M4, 1, 1).unwrap();
+        let _ = dac.convert(code);
+    }
+}

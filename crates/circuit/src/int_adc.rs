@@ -1,0 +1,215 @@
+//! Conventional fixed-range single-slope INT ADC — the baseline the
+//! paper designs "in the same process" for Fig. 6.
+//!
+//! A fixed integration capacitor (sized for the full-scale current)
+//! integrates for the same 100 ns window, then a single slope digitizes
+//! the result over the whole `[0, V_th]` range. Matching the FP-ADC's
+//! dynamic range (5-bit mantissa × 4 binades ≈ 10 bit) requires
+//! `2^2 = 4×` the readout time of the 8-bit base design — 400 ns,
+//! bringing the conversion to 500 ns (paper §IV-B).
+
+use crate::integrator::Integrator;
+use crate::units::{Amps, Farads, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline INT ADC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntAdcConfig {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Fixed integration capacitor (sized for full-scale current).
+    pub c_fixed: Farads,
+    /// Full-scale voltage (equals the FP-ADC's `V_th`).
+    pub v_full_scale: Volts,
+    /// Integration window (same 100 ns as the FP-ADC).
+    pub t_integrate: Seconds,
+    /// Single-slope readout time.
+    pub t_slope: Seconds,
+    /// Op-amp model.
+    pub integrator: Integrator,
+}
+
+impl IntAdcConfig {
+    /// The paper's matched-dynamic-range INT ADC: 10 bits, `C` = 840 fF
+    /// (8 × C_int, holding the same 16.8 µA full scale), 400 ns slope,
+    /// 500 ns total conversion.
+    #[must_use]
+    pub fn paper_matched() -> Self {
+        Self {
+            bits: 10,
+            c_fixed: Farads::from_femto(8.0 * 105.0),
+            v_full_scale: Volts::new(2.0),
+            t_integrate: Seconds::from_nano(100.0),
+            t_slope: Seconds::from_nano(400.0),
+            integrator: Integrator::ideal(),
+        }
+    }
+
+    /// An 8-bit variant (the "original" 100 ns-readout base design).
+    #[must_use]
+    pub fn paper_8bit() -> Self {
+        Self { bits: 8, t_slope: Seconds::from_nano(100.0), ..Self::paper_matched() }
+    }
+
+    /// Total conversion time.
+    #[must_use]
+    pub fn t_conversion(&self) -> Seconds {
+        self.t_integrate + self.t_slope
+    }
+}
+
+impl Default for IntAdcConfig {
+    fn default() -> Self {
+        Self::paper_matched()
+    }
+}
+
+/// Result of an INT ADC conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntAdcResult {
+    /// The output code.
+    pub code: u32,
+    /// True if the input exceeded full scale.
+    pub overflow: bool,
+}
+
+/// The baseline fixed-range single-slope ADC.
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::int_adc::{IntAdc, IntAdcConfig};
+/// use afpr_circuit::units::Amps;
+///
+/// let adc = IntAdc::new(IntAdcConfig::paper_matched());
+/// let r = adc.convert(Amps::from_micro(5.38));
+/// let back = adc.decode_current(r.code);
+/// assert!((back.amps() - 5.38e-6).abs() < adc.lsb_current().amps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntAdc {
+    config: IntAdcConfig,
+}
+
+impl IntAdc {
+    /// Builds the ADC.
+    #[must_use]
+    pub fn new(config: IntAdcConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &IntAdcConfig {
+        &self.config
+    }
+
+    /// Full-scale input current: `C · V_fs / T`.
+    #[must_use]
+    pub fn full_scale_current(&self) -> Amps {
+        Amps::new(
+            self.config.c_fixed.farads() * self.config.v_full_scale.volts()
+                / self.config.t_integrate.seconds(),
+        )
+    }
+
+    /// One LSB of input current.
+    #[must_use]
+    pub fn lsb_current(&self) -> Amps {
+        Amps::new(self.full_scale_current().amps() / f64::from(1u32 << self.config.bits))
+    }
+
+    /// Converts a (constant, non-negative) current.
+    #[must_use]
+    pub fn convert(&self, i: Amps) -> IntAdcResult {
+        let levels = f64::from(1u32 << self.config.bits);
+        let v = self.config.integrator.integrate(
+            Volts::ZERO,
+            i.max(Amps::ZERO),
+            self.config.c_fixed,
+            self.config.t_integrate,
+        );
+        let frac = v.volts() / self.config.v_full_scale.volts();
+        let code = (frac * levels + 0.5).floor();
+        if code >= levels {
+            IntAdcResult { code: (levels - 1.0) as u32, overflow: true }
+        } else {
+            IntAdcResult { code: code.max(0.0) as u32, overflow: false }
+        }
+    }
+
+    /// Reconstructs the current corresponding to a code.
+    #[must_use]
+    pub fn decode_current(&self, code: u32) -> Amps {
+        Amps::new(
+            self.full_scale_current().amps() * f64::from(code)
+                / f64::from(1u32 << self.config.bits),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_range_equals_fp_adc() {
+        let adc = IntAdc::new(IntAdcConfig::paper_matched());
+        // 840 fF × 2 V / 100 ns = 16.8 µA — the FP-ADC's top range.
+        assert!((adc.full_scale_current().amps() - 16.8e-6).abs() < 1e-12);
+        assert!((adc.config().t_conversion().seconds() - 500e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantization_uniform_lsb() {
+        let adc = IntAdc::new(IntAdcConfig::paper_matched());
+        let lsb = adc.lsb_current().amps();
+        for k in [1u32, 17, 300, 900] {
+            let i = Amps::new(f64::from(k) * lsb);
+            let r = adc.convert(i);
+            assert_eq!(r.code, k, "exact LSB multiples convert exactly");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_lsb() {
+        let adc = IntAdc::new(IntAdcConfig::paper_matched());
+        let fs = adc.full_scale_current().amps();
+        for i in 0..500 {
+            let x = fs * f64::from(i) / 501.0;
+            let r = adc.convert(Amps::new(x));
+            let back = adc.decode_current(r.code).amps();
+            assert!((back - x).abs() <= adc.lsb_current().amps() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn overflow_flagged() {
+        let adc = IntAdc::new(IntAdcConfig::paper_matched());
+        let r = adc.convert(Amps::from_micro(20.0));
+        assert!(r.overflow);
+        assert_eq!(r.code, 1023);
+    }
+
+    #[test]
+    fn negative_current_clamps_to_zero() {
+        let adc = IntAdc::new(IntAdcConfig::paper_matched());
+        let r = adc.convert(Amps::from_micro(-3.0));
+        assert_eq!(r.code, 0);
+    }
+
+    #[test]
+    fn fp_adc_beats_int_adc_at_small_signals() {
+        // The FP-ADC's relative precision at small currents is finer
+        // than the INT ADC's fixed LSB — the reason for the adaptive
+        // range (paper §II).
+        use crate::fp_adc::{FpAdc, FpAdcConfig};
+        let fp = FpAdc::new(FpAdcConfig::e2m5_paper());
+        let int = IntAdc::new(IntAdcConfig::paper_8bit());
+        let i = Amps::from_micro(1.3); // small signal, bottom binade
+        let fp_err = (fp.decode_current(fp.convert(i).code.unwrap()).amps() - i.amps()).abs();
+        let int_err = (int.decode_current(int.convert(i).code).amps() - i.amps()).abs();
+        // FP LSB here: 1.05 µA / 32 = 33 nA; INT8 LSB: 16.8 µA / 256 = 66 nA.
+        assert!(fp_err <= int_err + 1e-12, "fp={fp_err} int={int_err}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Conventional linear (INT) DAC — the baseline input stage.
+//!
+//! The INT8-mode macro and the analog INT8-CIM baselines drive rows
+//! with a plain binary-weighted DAC: `V = code / 2^bits × V_fs`.
+
+use crate::units::Volts;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A linear unsigned DAC.
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::int_dac::IntDac;
+/// use afpr_circuit::units::Volts;
+///
+/// let dac = IntDac::new(8, Volts::new(1.575));
+/// assert_eq!(dac.convert(0).volts(), 0.0);
+/// assert!((dac.convert(255).volts() - 1.575 * 255.0 / 256.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntDac {
+    bits: u32,
+    v_full_scale: Volts,
+    /// Per-code relative error (INL), empty when ideal.
+    inl: Vec<f64>,
+}
+
+impl IntDac {
+    /// Builds an ideal linear DAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 15.
+    #[must_use]
+    pub fn new(bits: u32, v_full_scale: Volts) -> Self {
+        assert!((1..=15).contains(&bits), "bits must be in 1..=15");
+        Self { bits, v_full_scale, inl: Vec::new() }
+    }
+
+    /// Builds a DAC with Gaussian per-code nonlinearity.
+    pub fn with_sampled_inl<R: Rng + ?Sized>(
+        bits: u32,
+        v_full_scale: Volts,
+        sigma: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut dac = Self::new(bits, v_full_scale);
+        if sigma > 0.0 {
+            let normal = Normal::new(0.0, sigma).expect("sigma non-negative");
+            dac.inl = (0..dac.levels()).map(|_| normal.sample(rng)).collect();
+        }
+        dac
+    }
+
+    /// Number of codes, `2^bits`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Converts a code to a voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    #[must_use]
+    pub fn convert(&self, code: u32) -> Volts {
+        assert!(code < self.levels(), "code {code} out of range");
+        let ideal = self.v_full_scale.volts() * f64::from(code) / f64::from(self.levels());
+        let err = self.inl.get(code as usize).copied().unwrap_or(0.0);
+        Volts::new(ideal * (1.0 + err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linearity() {
+        let dac = IntDac::new(8, Volts::new(2.56));
+        for code in 0..256 {
+            assert!((dac.convert(code).volts() - 0.01 * f64::from(code)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone_even_with_small_inl() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dac = IntDac::with_sampled_inl(8, Volts::new(1.0), 0.0005, &mut rng);
+        let mut prev = -1.0;
+        for code in 0..256 {
+            let v = dac.convert(code).volts();
+            assert!(v > prev - 1e-6);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn code_out_of_range_panics() {
+        let _ = IntDac::new(8, Volts::new(1.0)).convert(256);
+    }
+}

@@ -1,0 +1,162 @@
+//! Active (op-amp) integrator model.
+//!
+//! The crossbar's source line is held at the clamp voltage `V_r` by the
+//! integrator's virtual short (paper Eq. 1), and the MAC current is
+//! integrated onto the capacitor bank: `dV_O/dt = I_MAC / C`. The model
+//! adds the op-amp non-idealities that matter at macro level: finite DC
+//! gain (gain error on the integration slope), an output slew limit,
+//! and an input-referred offset (largely removed by CDS).
+
+use crate::units::{Amps, Farads, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Behavioral op-amp integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Integrator {
+    /// Open-loop DC gain (dimensionless); `f64::INFINITY` for ideal.
+    /// Serialized as `null` when infinite (JSON has no infinity).
+    #[serde(with = "infinity_as_null")]
+    pub dc_gain: f64,
+    /// Output slew-rate limit, volts per second; `f64::INFINITY` for
+    /// ideal. Serialized as `null` when infinite.
+    #[serde(with = "infinity_as_null")]
+    pub slew_rate: f64,
+    /// Residual input-referred offset after CDS.
+    pub offset: Volts,
+}
+
+/// Serde adapter mapping `f64::INFINITY ↔ null`, because JSON cannot
+/// represent infinities and silently corrupting an ideal op-amp into a
+/// finite one would change simulation results.
+mod infinity_as_null {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_infinite() {
+            s.serialize_none()
+        } else {
+            s.serialize_some(v)
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+impl Integrator {
+    /// An ideal integrator.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { dc_gain: f64::INFINITY, slew_rate: f64::INFINITY, offset: Volts::ZERO }
+    }
+
+    /// Typical 65 nm op-amp: 60 dB gain, 100 V/µs slew, 0.2 mV residual
+    /// offset.
+    #[must_use]
+    pub fn realistic() -> Self {
+        Self { dc_gain: 1000.0, slew_rate: 100.0 / 1e-6, offset: Volts::from_milli(0.2) }
+    }
+
+    /// The integration slope `dV_O/dt` for a constant input current on
+    /// a capacitance `c`, including the finite-gain error factor
+    /// `A₀/(1+A₀)`.
+    #[must_use]
+    pub fn slope(&self, current: Amps, c: Farads) -> f64 {
+        let ideal = current.amps() / c.farads();
+        let gain_factor = if self.dc_gain.is_finite() {
+            self.dc_gain / (1.0 + self.dc_gain)
+        } else {
+            1.0
+        };
+        let s = ideal * gain_factor;
+        if self.slew_rate.is_finite() {
+            s.clamp(-self.slew_rate, self.slew_rate)
+        } else {
+            s
+        }
+    }
+
+    /// Integrates a constant current for `dt` starting from `v0`.
+    ///
+    /// The residual [`Integrator::offset`] is *not* added here — it is a
+    /// static shift established once at reset, which the ADC applies to
+    /// its initial condition (matching how CDS leaves a fixed residue
+    /// rather than an integrated drift).
+    #[must_use]
+    pub fn integrate(&self, v0: Volts, current: Amps, c: Farads, dt: Seconds) -> Volts {
+        Volts::new(v0.volts() + self.slope(current, c) * dt.seconds())
+    }
+
+    /// Time for the output to travel from `v0` to `v1` at constant
+    /// current, or `None` if the slope points away from the target
+    /// (including zero current).
+    #[must_use]
+    pub fn time_to_reach(&self, v0: Volts, v1: Volts, current: Amps, c: Farads) -> Option<Seconds> {
+        let s = self.slope(current, c);
+        let dv = v1.volts() - v0.volts();
+        if dv == 0.0 {
+            return Some(Seconds::ZERO);
+        }
+        if s == 0.0 || (dv > 0.0) != (s > 0.0) {
+            return None;
+        }
+        Some(Seconds::new(dv / s))
+    }
+
+}
+
+impl Default for Integrator {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_slope_matches_i_over_c() {
+        let integ = Integrator::ideal();
+        let s = integ.slope(Amps::from_micro(5.38), Farads::from_femto(105.0));
+        // 5.38 µA / 105 fF = 51.24 MV/s
+        assert!((s - 5.124e7).abs() / 5.124e7 < 1e-3);
+    }
+
+    #[test]
+    fn finite_gain_reduces_slope() {
+        let real = Integrator { dc_gain: 1000.0, ..Integrator::ideal() };
+        let i = Amps::from_micro(5.0);
+        let c = Farads::from_femto(105.0);
+        assert!(real.slope(i, c) < Integrator::ideal().slope(i, c));
+        let ratio = real.slope(i, c) / Integrator::ideal().slope(i, c);
+        assert!((ratio - 1000.0 / 1001.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slew_limits_large_currents() {
+        let integ = Integrator { slew_rate: 1e6, ..Integrator::ideal() };
+        let s = integ.slope(Amps::from_micro(100.0), Farads::from_femto(10.0));
+        assert_eq!(s, 1e6);
+    }
+
+    #[test]
+    fn time_to_reach_consistency() {
+        let integ = Integrator::ideal();
+        let i = Amps::from_micro(5.38);
+        let c = Farads::from_femto(105.0);
+        let t = integ.time_to_reach(Volts::ZERO, Volts::new(2.0), i, c).unwrap();
+        let v = integ.integrate(Volts::ZERO, i, c, t);
+        assert!((v.volts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_direction_returns_none() {
+        let integ = Integrator::ideal();
+        let i = Amps::from_micro(5.0);
+        let c = Farads::from_femto(105.0);
+        assert!(integ.time_to_reach(Volts::new(2.0), Volts::ZERO, i, c).is_none());
+        assert!(integ.time_to_reach(Volts::ZERO, Volts::new(2.0), Amps::ZERO, c).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Programmable-gain amplifier (the exponent stage of the FP-DAC).
+//!
+//! The FP-DAC applies the activation's exponent as an analog gain of
+//! `2^E`, realised as a resistive closed-loop amplifier whose feedback
+//! tap is selected by a 2-to-4 (or 3-to-8) decoder (paper §III-C). The
+//! closed loop keeps the stage linear; the residual error modelled here
+//! is the gain mismatch of the feedback resistor string.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A binary-weighted PGA with gains `2^0 … 2^(levels−1)`.
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::pga::Pga;
+///
+/// let pga = Pga::binary(4);
+/// assert_eq!(pga.gain(3), 8.0);
+/// assert_eq!(pga.apply(2, 0.1), 0.4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pga {
+    gains: Vec<f64>,
+}
+
+impl Pga {
+    /// Ideal binary gains for `levels` exponent settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    #[must_use]
+    pub fn binary(levels: u32) -> Self {
+        assert!(levels >= 1, "need at least one gain setting");
+        Self { gains: (0..levels).map(|e| f64::from(1u32 << e)).collect() }
+    }
+
+    /// Binary gains with Gaussian relative mismatch sampled once per
+    /// instance (resistor-string matching error).
+    pub fn binary_with_mismatch<R: Rng + ?Sized>(levels: u32, sigma: f64, rng: &mut R) -> Self {
+        let mut pga = Self::binary(levels);
+        if sigma > 0.0 {
+            let normal = Normal::new(0.0, sigma).expect("sigma non-negative");
+            for g in &mut pga.gains {
+                *g *= 1.0 + normal.sample(rng);
+            }
+        }
+        pga
+    }
+
+    /// Number of gain settings.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.gains.len() as u32
+    }
+
+    /// Gain at a setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn gain(&self, level: u32) -> f64 {
+        self.gains[level as usize]
+    }
+
+    /// Applies the selected gain to an input voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn apply(&self, level: u32, v_in: f64) -> f64 {
+        self.gain(level) * v_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_gains() {
+        let p = Pga::binary(4);
+        assert_eq!(p.levels(), 4);
+        assert_eq!(
+            (0..4).map(|e| p.gain(e)).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 4.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn apply_scales_input() {
+        let p = Pga::binary(3);
+        assert_eq!(p.apply(0, 0.125), 0.125);
+        assert_eq!(p.apply(2, 0.125), 0.5);
+    }
+
+    #[test]
+    fn mismatch_stays_near_binary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Pga::binary_with_mismatch(4, 0.005, &mut rng);
+        for e in 0..4 {
+            let ideal = f64::from(1u32 << e);
+            assert!((p.gain(e) / ideal - 1.0).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_ideal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Pga::binary_with_mismatch(4, 0.0, &mut rng);
+        assert_eq!(p, Pga::binary(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_level_panics() {
+        let _ = Pga::binary(4).gain(4);
+    }
+}

@@ -1,0 +1,208 @@
+//! Single-slope mantissa conversion (the final phase of the FP-ADC).
+//!
+//! After the sample instant the held residue `V_M ∈ [V_mid, V_th)` is
+//! digitized by ramping the comparator reference from `V_th` down to
+//! `V_mid` while a counter runs; the count latched at the crossing is
+//! the mantissa code. The ramp is offset by half an LSB so the
+//! quantizer is mid-tread (round-to-nearest), which is what reproduces
+//! the paper's `V_M = 1.271 V → 01001 (9)` example.
+
+use crate::units::{Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A single-slope A/D stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SingleSlope {
+    /// Ramp start (the adaptive threshold, 2 V in the paper).
+    pub v_start: Volts,
+    /// Ramp end (the post-share level, 1 V in the paper).
+    pub v_end: Volts,
+    /// Number of counter codes (`2^M`).
+    pub counts: u32,
+    /// Total ramp time.
+    pub t_ramp: Seconds,
+}
+
+impl SingleSlope {
+    /// Creates a stage covering `[v_end, v_start)` with `counts` codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_start <= v_end` or `counts == 0`.
+    #[must_use]
+    pub fn new(v_start: Volts, v_end: Volts, counts: u32, t_ramp: Seconds) -> Self {
+        assert!(v_start > v_end, "ramp must descend");
+        assert!(counts > 0, "need at least one count");
+        Self { v_start, v_end, counts, t_ramp }
+    }
+
+    /// Converts a held voltage to a mantissa code.
+    ///
+    /// Values below `v_end` clamp to code 0 and above `v_start` to the
+    /// top code (the adaptive phase should have prevented both).
+    #[must_use]
+    pub fn convert(&self, v_m: Volts) -> u32 {
+        let span = self.v_start.volts() - self.v_end.volts();
+        let frac = (v_m.volts() - self.v_end.volts()) / span;
+        // Mid-tread: the half-LSB ramp offset turns floor into round.
+        let code = (frac * f64::from(self.counts) + 0.5).floor();
+        code.clamp(0.0, f64::from(self.counts - 1)) as u32
+    }
+
+    /// Converts with an explicit rounding policy.
+    ///
+    /// [`afpr_num::Rounding::Stochastic`] models a dithered ramp (a
+    /// random sub-LSB offset per conversion), which turns the mantissa
+    /// quantizer into an unbiased estimator — useful for accumulating
+    /// many partial sums. `entropy` must be `Some(u ∈ [0,1))` for the
+    /// stochastic policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is stochastic and `entropy` is `None`.
+    #[must_use]
+    pub fn convert_with(
+        &self,
+        v_m: Volts,
+        rounding: afpr_num::Rounding,
+        entropy: Option<f64>,
+    ) -> u32 {
+        let span = self.v_start.volts() - self.v_end.volts();
+        let frac = (v_m.volts() - self.v_end.volts()) / span;
+        let code = rounding.apply(frac * f64::from(self.counts), entropy);
+        code.clamp(0.0, f64::from(self.counts - 1)) as u32
+    }
+
+    /// The analog value at the centre of a code's quantization bin.
+    #[must_use]
+    pub fn code_center(&self, code: u32) -> Volts {
+        let span = self.v_start.volts() - self.v_end.volts();
+        Volts::new(self.v_end.volts() + span * f64::from(code) / f64::from(self.counts))
+    }
+
+    /// Ramp voltage at time `t` after the ramp start (clamped).
+    #[must_use]
+    pub fn ramp_at(&self, t: Seconds) -> Volts {
+        let frac = (t.seconds() / self.t_ramp.seconds()).clamp(0.0, 1.0);
+        Volts::new(self.v_start.volts() - frac * (self.v_start.volts() - self.v_end.volts()))
+    }
+
+    /// Time at which the descending ramp crosses `v_m` (clamped to the
+    /// ramp duration).
+    #[must_use]
+    pub fn crossing_time(&self, v_m: Volts) -> Seconds {
+        let span = self.v_start.volts() - self.v_end.volts();
+        let frac = ((self.v_start.volts() - v_m.volts()) / span).clamp(0.0, 1.0);
+        Seconds::new(frac * self.t_ramp.seconds())
+    }
+
+    /// Clock period of the counter.
+    #[must_use]
+    pub fn clock_period(&self) -> Seconds {
+        Seconds::new(self.t_ramp.seconds() / f64::from(self.counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_stage() -> SingleSlope {
+        SingleSlope::new(Volts::new(2.0), Volts::new(1.0), 32, Seconds::from_nano(100.0))
+    }
+
+    #[test]
+    fn paper_example_vm_1271_gives_code_9() {
+        assert_eq!(paper_stage().convert(Volts::new(1.271)), 9);
+    }
+
+    #[test]
+    fn endpoints_clamp() {
+        let s = paper_stage();
+        assert_eq!(s.convert(Volts::new(0.5)), 0);
+        assert_eq!(s.convert(Volts::new(1.0)), 0);
+        assert_eq!(s.convert(Volts::new(2.5)), 31);
+        // Just below v_start rounds to the top code.
+        assert_eq!(s.convert(Volts::new(1.999)), 31);
+    }
+
+    #[test]
+    fn code_centers_invert_conversion() {
+        let s = paper_stage();
+        for code in 0..32 {
+            assert_eq!(s.convert(s.code_center(code)), code);
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone() {
+        let s = paper_stage();
+        let mut prev = 0;
+        for i in 0..=1000 {
+            let v = 1.0 + f64::from(i) / 1000.0 * 0.999;
+            let c = s.convert(Volts::new(v));
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantization_error_within_half_lsb() {
+        // The top code's bin is wider because everything up to v_start
+        // clamps onto it; stay below its clamp zone.
+        let s = paper_stage();
+        for i in 0..1000 {
+            let v = 1.0 + 0.984 * f64::from(i) / 1000.0;
+            let c = s.convert(Volts::new(v));
+            let err = (s.code_center(c).volts() - v).abs();
+            assert!(err <= 0.5 / 32.0 + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn ramp_descends_and_crossing_matches() {
+        let s = paper_stage();
+        assert_eq!(s.ramp_at(Seconds::ZERO).volts(), 2.0);
+        assert_eq!(s.ramp_at(Seconds::from_nano(100.0)).volts(), 1.0);
+        let t = s.crossing_time(Volts::new(1.271));
+        assert!((s.ramp_at(t).volts() - 1.271).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_period_paper_rate() {
+        // 32 counts in 100 ns -> 3.125 ns (320 MHz).
+        assert!((paper_stage().clock_period().seconds() - 3.125e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "descend")]
+    fn ascending_ramp_rejected() {
+        let _ = SingleSlope::new(Volts::new(1.0), Volts::new(2.0), 32, Seconds::from_nano(100.0));
+    }
+
+    #[test]
+    fn stochastic_ramp_is_unbiased() {
+        // Dithered conversion of a mid-bin value averages to the true
+        // fraction, unlike the deterministic mid-tread quantizer.
+        let s = paper_stage();
+        let v = Volts::new(1.0 + 8.7 / 32.0); // true code fraction 8.7
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|k| {
+                let u = (f64::from(k) + 0.5) / f64::from(n); // stratified entropy
+                f64::from(s.convert_with(v, afpr_num::Rounding::Stochastic, Some(u)))
+            })
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 8.7).abs() < 0.02, "mean {mean}");
+        // Deterministic conversion is biased to 9.
+        assert_eq!(s.convert(v), 9);
+    }
+
+    #[test]
+    fn toward_zero_policy_truncates() {
+        let s = paper_stage();
+        let v = Volts::new(1.0 + 8.9 / 32.0);
+        assert_eq!(s.convert_with(v, afpr_num::Rounding::TowardZero, None), 8);
+    }
+}

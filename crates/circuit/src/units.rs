@@ -1,0 +1,357 @@
+//! Dimensioned newtypes for the circuit simulator's public API.
+//!
+//! Values are stored in SI base units (`f64`). The newtypes exist to
+//! statically distinguish quantities at the API boundary (a `Volts`
+//! cannot be passed where `Seconds` is expected) and to provide the
+//! cross-type physics products the simulator relies on (`V·S = A`,
+//! `A·s = C`, `C/F = V`, `V·A = W`, `W·s = J`).
+//!
+//! # Example
+//!
+//! ```
+//! use afpr_circuit::units::{Amps, Farads, Seconds, Volts};
+//!
+//! let i = Amps::from_micro(5.38);
+//! let c = Farads::from_femto(105.0);
+//! let dv: Volts = (i * Seconds::from_nano(10.0)) / c;
+//! assert!((dv.volts() - 0.5124).abs() < 1e-3);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $unit:literal, $getter:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Constructs from a value in base SI units.
+            #[must_use]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            /// The raw value in base SI units.
+            #[must_use]
+            pub fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Constructs from a milli-scaled value.
+            #[must_use]
+            pub fn from_milli(v: f64) -> Self {
+                Self(v * 1e-3)
+            }
+
+            /// Constructs from a micro-scaled value.
+            #[must_use]
+            pub fn from_micro(v: f64) -> Self {
+                Self(v * 1e-6)
+            }
+
+            /// Constructs from a nano-scaled value.
+            #[must_use]
+            pub fn from_nano(v: f64) -> Self {
+                Self(v * 1e-9)
+            }
+
+            /// Constructs from a pico-scaled value.
+            #[must_use]
+            pub fn from_pico(v: f64) -> Self {
+                Self(v * 1e-12)
+            }
+
+            /// Constructs from a femto-scaled value.
+            #[must_use]
+            pub fn from_femto(v: f64) -> Self {
+                Self(v * 1e-15)
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Minimum of two values.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Maximum of two values.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (scaled, prefix) = eng_scale(self.0);
+                write!(f, "{scaled:.4} {prefix}{}", $unit)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts, "V", volts
+);
+unit!(
+    /// Electric current in amperes.
+    Amps, "A", amps
+);
+unit!(
+    /// Capacitance in farads.
+    Farads, "F", farads
+);
+unit!(
+    /// Time in seconds.
+    Seconds, "s", seconds
+);
+unit!(
+    /// Conductance in siemens.
+    Siemens, "S", siemens
+);
+unit!(
+    /// Electric charge in coulombs.
+    Coulombs, "C", coulombs
+);
+unit!(
+    /// Energy in joules.
+    Joules, "J", joules
+);
+unit!(
+    /// Power in watts.
+    Watts, "W", watts
+);
+
+// --- Cross-type physics products -------------------------------------
+
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    /// Ohm's law: `I = V · G`.
+    fn mul(self, g: Siemens) -> Amps {
+        Amps::new(self.volts() * g.siemens())
+    }
+}
+
+impl Mul<Volts> for Siemens {
+    type Output = Amps;
+    fn mul(self, v: Volts) -> Amps {
+        v * self
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    /// Charge accumulated: `Q = I · t`.
+    fn mul(self, t: Seconds) -> Coulombs {
+        Coulombs::new(self.amps() * t.seconds())
+    }
+}
+
+impl Div<Farads> for Coulombs {
+    type Output = Volts;
+    /// Capacitor law: `V = Q / C`.
+    fn div(self, c: Farads) -> Volts {
+        Volts::new(self.coulombs() / c.farads())
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    /// Stored charge: `Q = C · V`.
+    fn mul(self, v: Volts) -> Coulombs {
+        Coulombs::new(self.farads() * v.volts())
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// Instantaneous power: `P = V · I`.
+    fn mul(self, i: Amps) -> Watts {
+        Watts::new(self.volts() * i.amps())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Energy: `E = P · t`.
+    fn mul(self, t: Seconds) -> Joules {
+        Joules::new(self.watts() * t.seconds())
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Average power: `P = E / t`.
+    fn div(self, t: Seconds) -> Watts {
+        Watts::new(self.joules() / t.seconds())
+    }
+}
+
+impl Div<Volts> for Amps {
+    type Output = Siemens;
+    /// Conductance: `G = I / V`.
+    fn div(self, v: Volts) -> Siemens {
+        Siemens::new(self.amps() / v.volts())
+    }
+}
+
+fn eng_scale(v: f64) -> (f64, &'static str) {
+    let a = v.abs();
+    if a == 0.0 || !a.is_finite() {
+        return (v, "");
+    }
+    const PREFIXES: [(&str, f64); 7] = [
+        ("G", 1e9),
+        ("M", 1e6),
+        ("k", 1e3),
+        ("", 1.0),
+        ("m", 1e-3),
+        ("µ", 1e-6),
+        ("n", 1e-9),
+    ];
+    for (p, scale) in PREFIXES {
+        if a >= scale {
+            return (v / scale, p);
+        }
+    }
+    (v * 1e12, "p")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts::new(0.5) * Siemens::from_micro(20.0);
+        assert!((i.amps() - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn capacitor_integration_chain() {
+        // 5.38 µA into 105 fF for 100 ns -> 5.124 V (before range adapt).
+        let q = Amps::from_micro(5.38) * Seconds::from_nano(100.0);
+        let v = q / Farads::from_femto(105.0);
+        assert!((v.volts() - 5.1238).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_chain() {
+        let p = Volts::new(2.5) * Amps::from_micro(20.0);
+        let e = p * Seconds::from_nano(200.0);
+        // 50 µW × 200 ns = 10 pJ.
+        assert!((e.joules() - 1e-11).abs() < 1e-17);
+        let back = e / Seconds::from_nano(200.0);
+        assert!((back.watts() - p.watts()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Volts::new(1.0);
+        let b = Volts::new(2.0);
+        assert_eq!((a + b).volts(), 3.0);
+        assert_eq!((b - a).volts(), 1.0);
+        assert_eq!((-a).volts(), -1.0);
+        assert!(a < b);
+        assert_eq!(b / a, 2.0);
+        assert_eq!((a * 3.0).volts(), 3.0);
+        assert_eq!((3.0 * a).volts(), 3.0);
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Amps = (1..=4).map(|k| Amps::from_micro(f64::from(k))).sum();
+        assert!((total.amps() - 10e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_uses_engineering_prefixes() {
+        assert_eq!(format!("{}", Amps::from_micro(5.38)), "5.3800 µA");
+        assert_eq!(format!("{}", Volts::new(1.271)), "1.2710 V");
+        assert_eq!(format!("{}", Watts::from_milli(74.14)), "74.1400 mW");
+        assert!(format!("{}", Farads::from_femto(105.0)).contains("pF") ||
+                !format!("{}", Farads::from_femto(105.0)).contains("nF"));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volts::new(-2.0);
+        assert_eq!(a.abs().volts(), 2.0);
+        assert_eq!(a.min(Volts::ZERO).volts(), -2.0);
+        assert_eq!(a.max(Volts::ZERO).volts(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Time-series capture of circuit nodes (for Fig. 5-style plots).
+
+use crate::units::{Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear voltage waveform.
+///
+/// The FP-ADC transient engine records the integrator output `V_O` as
+/// breakpoints (every segment of the paper's Eq. 4 is linear in time, so
+/// breakpoints capture the waveform exactly). [`Waveform::sample_at`]
+/// interpolates between them.
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::units::{Seconds, Volts};
+/// use afpr_circuit::waveform::Waveform;
+///
+/// let mut w = Waveform::new();
+/// w.push(Seconds::ZERO, Volts::ZERO);
+/// w.push(Seconds::from_nano(100.0), Volts::new(2.0));
+/// let mid = w.sample_at(Seconds::from_nano(50.0));
+/// assert_eq!(mid.volts(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    points: Vec<(f64, f64)>, // (seconds, volts), non-decreasing in time
+}
+
+impl Waveform {
+    /// An empty waveform.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Appends a breakpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded time (vertical steps at
+    /// the *same* time are allowed — that is how the charge-sharing
+    /// voltage drop is recorded).
+    pub fn push(&mut self, t: Seconds, v: Volts) {
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(
+                t.seconds() >= last_t,
+                "waveform time must be non-decreasing"
+            );
+        }
+        self.points.push((t.seconds(), v.volts()));
+    }
+
+    /// Number of breakpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no breakpoints have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Breakpoints as `(time, voltage)` pairs.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear interpolation at time `t`.
+    ///
+    /// Clamps to the first/last breakpoint outside the recorded span.
+    /// At a discontinuity (two breakpoints with equal time) the value
+    /// *after* the step is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    #[must_use]
+    pub fn sample_at(&self, t: Seconds) -> Volts {
+        assert!(!self.points.is_empty(), "cannot sample an empty waveform");
+        let t = t.seconds();
+        if t < self.points[0].0 {
+            return Volts::new(self.points[0].1);
+        }
+        // Last breakpoint at or before `t`; for coincident times this is
+        // the post-step point.
+        let idx = self
+            .points
+            .iter()
+            .rposition(|p| p.0 <= t)
+            .expect("t >= first point time");
+        let (t0, v0) = self.points[idx];
+        if t0 == t || idx + 1 == self.points.len() {
+            return Volts::new(v0);
+        }
+        let (t1, v1) = self.points[idx + 1];
+        let frac = (t - t0) / (t1 - t0);
+        Volts::new(v0 + frac * (v1 - v0))
+    }
+
+    /// Largest recorded voltage.
+    #[must_use]
+    pub fn max_voltage(&self) -> Volts {
+        Volts::new(self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Last recorded time.
+    #[must_use]
+    pub fn end_time(&self) -> Seconds {
+        Seconds::new(self.points.last().map_or(0.0, |p| p.0))
+    }
+
+    /// Renders the waveform as CSV (`time_ns,volts` rows) for plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("time_ns,volts\n");
+        for (t, v) in &self.points {
+            s.push_str(&format!("{:.4},{:.6}\n", t * 1e9, v));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        let mut w = Waveform::new();
+        w.push(Seconds::ZERO, Volts::ZERO);
+        w.push(Seconds::from_nano(10.0), Volts::new(2.0));
+        // vertical drop (charge sharing)
+        w.push(Seconds::from_nano(10.0), Volts::new(1.0));
+        w.push(Seconds::from_nano(20.0), Volts::new(2.0));
+        w
+    }
+
+    #[test]
+    fn interpolation_within_segments() {
+        let w = ramp();
+        assert_eq!(w.sample_at(Seconds::from_nano(5.0)).volts(), 1.0);
+        assert_eq!(w.sample_at(Seconds::from_nano(15.0)).volts(), 1.5);
+    }
+
+    #[test]
+    fn step_returns_post_step_value() {
+        let w = ramp();
+        assert_eq!(w.sample_at(Seconds::from_nano(10.0)).volts(), 1.0);
+    }
+
+    #[test]
+    fn clamping_outside_span() {
+        let w = ramp();
+        assert_eq!(w.sample_at(Seconds::from_nano(-1.0)).volts(), 0.0);
+        assert_eq!(w.sample_at(Seconds::from_nano(99.0)).volts(), 2.0);
+    }
+
+    #[test]
+    fn max_and_end() {
+        let w = ramp();
+        assert_eq!(w.max_voltage().volts(), 2.0);
+        assert_eq!(w.end_time().seconds(), 20e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_going_backwards_panics() {
+        let mut w = ramp();
+        w.push(Seconds::from_nano(5.0), Volts::ZERO);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = ramp().to_csv();
+        assert!(csv.starts_with("time_ns,volts\n"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let _ = Waveform::new().sample_at(Seconds::ZERO);
+    }
+}

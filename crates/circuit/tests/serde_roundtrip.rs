@@ -1,0 +1,66 @@
+//! Serde round-trip tests for the configuration data structures
+//! (C-SERDE): experiment configs must survive a JSON save/load so
+//! sweeps can be described in files.
+
+use afpr_circuit::energy::EnergyParams;
+use afpr_circuit::fp_adc::FpAdcConfig;
+use afpr_circuit::fp_dac::FpDacConfig;
+use afpr_circuit::int_adc::IntAdcConfig;
+use afpr_circuit::units::Volts;
+use afpr_circuit::{Comparator, Integrator, Waveform};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn adc_config_round_trips() {
+    let mut cfg = FpAdcConfig::e2m5_paper();
+    cfg.cap_mismatch_sigma = 0.002;
+    cfg.comparator = Comparator::realistic();
+    cfg.integrator = Integrator::realistic();
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn dac_config_round_trips() {
+    let mut cfg = FpDacConfig::e2m5_paper();
+    cfg.ladder_mismatch_sigma = 0.01;
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn int_adc_config_round_trips() {
+    let cfg = IntAdcConfig::paper_matched();
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn energy_params_round_trip() {
+    let p = EnergyParams::paper_65nm();
+    assert_eq!(round_trip(&p), p);
+}
+
+#[test]
+fn waveform_round_trips_with_data() {
+    use afpr_circuit::units::Seconds;
+    let mut w = Waveform::new();
+    w.push(Seconds::ZERO, Volts::ZERO);
+    w.push(Seconds::from_nano(50.0), Volts::new(1.5));
+    assert_eq!(round_trip(&w), w);
+}
+
+#[test]
+fn infinite_integrator_gain_survives_json() {
+    // `Integrator::ideal` uses f64::INFINITY; the serde adapter maps
+    // it to `null` and back so JSON configs stay faithful.
+    let ideal = Integrator::ideal();
+    let back = round_trip(&ideal);
+    assert!(back.dc_gain.is_infinite());
+    assert!(back.slew_rate.is_infinite());
+    assert_eq!(back, ideal);
+}

@@ -1,0 +1,274 @@
+//! The AFPR-CIM accelerator: a pool of CIM macros plus the inter-core
+//! routing adder, executing tiled matrix-vector products.
+
+use crate::mapping::{tile_matrix, TiledMatrix};
+use afpr_circuit::units::Joules;
+use afpr_nn::tensor::Tensor;
+use afpr_num::FpFormat;
+use afpr_xbar::cim_macro::CimMacro;
+use afpr_xbar::metrics::MacroStats;
+use afpr_xbar::quant::FpActQuantizer;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use afpr_xbar::PartialSumAdder;
+
+/// Opaque handle to a mapped layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerHandle(usize);
+
+struct MappedLayer {
+    tiled: TiledMatrix,
+    /// One macro per tile, `(row_tile, col_tile)` row-major.
+    macros: Vec<CimMacro>,
+}
+
+/// The multi-macro AFPR-CIM accelerator.
+///
+/// # Example
+///
+/// ```
+/// use afpr_core::accelerator::AfprAccelerator;
+/// use afpr_nn::tensor::Tensor;
+/// use afpr_xbar::spec::MacroMode;
+///
+/// let mut accel = AfprAccelerator::new(MacroMode::FpE2M5, 7);
+/// let w = Tensor::from_fn(&[8, 3], |i| (i[0] as f32 - 4.0) * 0.1);
+/// let layer = accel.map_matrix(&w);
+/// let y = accel.matvec(layer, &vec![0.5f32; 8]);
+/// assert_eq!(y.len(), 3);
+/// ```
+pub struct AfprAccelerator {
+    base: MacroSpec,
+    seed: u64,
+    layers: Vec<MappedLayer>,
+    adder: PartialSumAdder,
+}
+
+impl AfprAccelerator {
+    /// Builds an accelerator of paper-spec macros in the given mode.
+    #[must_use]
+    pub fn new(mode: MacroMode, seed: u64) -> Self {
+        Self::with_spec(MacroSpec::paper(mode), seed)
+    }
+
+    /// Builds an accelerator with a custom base macro spec (e.g. with
+    /// realistic non-idealities).
+    #[must_use]
+    pub fn with_spec(base: MacroSpec, seed: u64) -> Self {
+        Self { base, seed, layers: Vec::new(), adder: PartialSumAdder::new() }
+    }
+
+    /// The operating mode.
+    #[must_use]
+    pub fn mode(&self) -> MacroMode {
+        self.base.mode
+    }
+
+    /// Maps a `[K, N]` weight matrix onto macros (tiling as needed) and
+    /// programs the arrays. Returns the layer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 2-D.
+    pub fn map_matrix(&mut self, w: &Tensor) -> LayerHandle {
+        let tiled = tile_matrix(w, self.base.rows, self.base.cols);
+        let mut macros = Vec::with_capacity(tiled.tiles.len());
+        for tile in &tiled.tiles {
+            let spec = MacroSpec {
+                rows: tile.rows(),
+                cols: tile.cols(),
+                ..self.base.clone()
+            };
+            self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut mac = CimMacro::with_seed(spec, self.seed);
+            mac.program_weights(&tile.weights);
+            macros.push(mac);
+        }
+        self.layers.push(MappedLayer { tiled, macros });
+        LayerHandle(self.layers.len() - 1)
+    }
+
+    /// Calibrates every tile's ADC range from sample input vectors
+    /// (full-`K` activations; tiles see their row slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or a sample has the wrong length.
+    pub fn calibrate_layer(&mut self, handle: LayerHandle, samples: &[Vec<f32>]) {
+        if self.base.mode == MacroMode::Int8 {
+            // INT8 macros keep the weight-statistics auto-range set at
+            // programming time (their fixed-range ADC is the point of
+            // that baseline).
+            return;
+        }
+        let layer = &mut self.layers[handle.0];
+        let format = layer.macros[0].spec().fp_dac.format;
+        for (t, mac) in layer.macros.iter_mut().enumerate() {
+            let tile = &layer.tiled.tiles[t];
+            let quantized: Vec<_> = samples
+                .iter()
+                .map(|x| {
+                    assert_eq!(x.len(), layer.tiled.k, "sample length must equal K");
+                    let slice = &x[tile.row_start..tile.row_end];
+                    quantizer_for(slice, format).quantize_slice(slice)
+                })
+                .collect();
+            mac.calibrate_range(&quantized);
+        }
+    }
+
+    /// Executes a tiled matrix-vector product: every tile's macro runs
+    /// its slice; row-tile partials are combined by the inter-core
+    /// routing adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or `x.len() != K`.
+    pub fn matvec(&mut self, handle: LayerHandle, x: &[f32]) -> Vec<f32> {
+        let layer = &mut self.layers[handle.0];
+        assert_eq!(x.len(), layer.tiled.k, "input length must equal K");
+        let mut out = vec![0.0f32; layer.tiled.n];
+        for ct in 0..layer.tiled.col_tiles {
+            let mut partials: Vec<Vec<f32>> = Vec::with_capacity(layer.tiled.row_tiles);
+            for rt in 0..layer.tiled.row_tiles {
+                let idx = rt * layer.tiled.col_tiles + ct;
+                let tile = &layer.tiled.tiles[idx];
+                let slice = &x[tile.row_start..tile.row_end];
+                partials.push(layer.macros[idx].matvec(slice));
+            }
+            let summed = self.adder.sum(&partials);
+            let col_start = layer.tiled.tiles[ct].col_start;
+            out[col_start..col_start + summed.len()].copy_from_slice(&summed);
+        }
+        out
+    }
+
+    /// Aggregated statistics over every macro.
+    #[must_use]
+    pub fn stats(&self) -> MacroStats {
+        let mut total = MacroStats::default();
+        for layer in &self.layers {
+            for mac in &layer.macros {
+                let s = mac.stats();
+                total.conversions += s.conversions;
+                total.ops += s.ops;
+                total.saturations += s.saturations;
+                total.underflows += s.underflows;
+                total.energy += s.energy;
+                total.busy_time += s.busy_time;
+            }
+        }
+        total
+    }
+
+    /// Energy spent in the inter-core routing adder.
+    #[must_use]
+    pub fn adder_energy(&self) -> Joules {
+        self.adder.energy()
+    }
+
+    /// Number of macros allocated.
+    #[must_use]
+    pub fn macro_count(&self) -> usize {
+        self.layers.iter().map(|l| l.macros.len()).sum()
+    }
+
+    /// Resets the statistics of every macro.
+    pub fn reset_stats(&mut self) {
+        for layer in &mut self.layers {
+            for mac in &mut layer.macros {
+                mac.reset_stats();
+            }
+        }
+    }
+}
+
+fn quantizer_for(slice: &[f32], format: FpFormat) -> FpActQuantizer {
+    FpActQuantizer::calibrate(slice, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(k: usize, n: usize) -> Tensor {
+        Tensor::from_fn(&[k, n], |i| (((i[0] * n + i[1]) * 7 % 13) as f32 - 6.0) / 12.0)
+    }
+
+    fn reference(w: &Tensor, x: &[f32]) -> Vec<f32> {
+        let [k, n]: [usize; 2] = w.shape().try_into().unwrap();
+        let mut out = vec![0.0f32; n];
+        for (r, xr) in x.iter().enumerate().take(k) {
+            for (c, acc) in out.iter_mut().enumerate() {
+                *acc += xr * w.get(&[r, c]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_tile_matvec() {
+        let mut accel = AfprAccelerator::new(MacroMode::FpE2M5, 3);
+        let w = ramp(16, 4);
+        let h = accel.map_matrix(&w);
+        let x: Vec<f32> = (0..16).map(|k| ((k as f32) * 0.4).sin()).collect();
+        accel.calibrate_layer(h, std::slice::from_ref(&x));
+        let y = accel.matvec(h, &x);
+        let want = reference(&w, &x);
+        for c in 0..4 {
+            assert!(
+                (y[c] - want[c]).abs() < 0.12 * want[c].abs().max(1.0) + 0.15,
+                "col {c}: got {} want {}",
+                y[c],
+                want[c]
+            );
+        }
+        assert_eq!(accel.macro_count(), 1);
+    }
+
+    #[test]
+    fn partial_sum_tiling_matches_untiled_reference() {
+        // Force tiling with a small base spec.
+        let base = MacroSpec::small(8, 3, MacroMode::FpE2M5);
+        let mut accel = AfprAccelerator::with_spec(base, 5);
+        let w = ramp(20, 7); // 3 row tiles × 3 col tiles
+        let h = accel.map_matrix(&w);
+        assert_eq!(accel.macro_count(), 9);
+        let x: Vec<f32> = (0..20).map(|k| ((k as f32) * 0.23).cos()).collect();
+        accel.calibrate_layer(h, std::slice::from_ref(&x));
+        let y = accel.matvec(h, &x);
+        let want = reference(&w, &x);
+        for c in 0..7 {
+            // Tiled partials add more readout noise; generous budget.
+            assert!(
+                (y[c] - want[c]).abs() < 0.2 * want[c].abs().max(1.0) + 0.3,
+                "col {c}: got {} want {}",
+                y[c],
+                want[c]
+            );
+        }
+        assert!(accel.adder_energy().joules() > 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_across_macros() {
+        let base = MacroSpec::small(8, 4, MacroMode::FpE2M5);
+        let mut accel = AfprAccelerator::with_spec(base, 1);
+        let w = ramp(16, 4); // 2 row tiles
+        let h = accel.map_matrix(&w);
+        let x = vec![0.3f32; 16];
+        let _ = accel.matvec(h, &x);
+        let stats = accel.stats();
+        assert_eq!(stats.conversions, 2); // one per row-tile macro
+        assert!(stats.total_energy().joules() > 0.0);
+        accel.reset_stats();
+        assert_eq!(accel.stats().conversions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_length_panics() {
+        let mut accel = AfprAccelerator::new(MacroMode::FpE2M5, 0);
+        let h = accel.map_matrix(&ramp(8, 2));
+        let _ = accel.matvec(h, &[0.0; 9]);
+    }
+}

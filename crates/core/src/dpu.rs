@@ -1,0 +1,134 @@
+//! The intermediate digital processing unit (paper §III-A).
+//!
+//! Between macro calls, activations live as FP8 digital codes; the DPU
+//! applies activation functions, pooling and bias addition in that
+//! domain, and performs the small summation work of the partial-sum
+//! path. Its energy is tracked per element so system-level rollups can
+//! include it.
+
+use afpr_circuit::units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// Energy per elementary DPU operation (65 nm 8-bit datapath class).
+pub const ENERGY_PER_OP: Joules = Joules::new(0.15e-12);
+
+/// The digital processing unit: element-wise ops with energy
+/// accounting.
+///
+/// # Example
+///
+/// ```
+/// use afpr_core::Dpu;
+///
+/// let mut dpu = Dpu::new();
+/// let mut acts = [0.5f32, -1.0, 2.0];
+/// dpu.relu(&mut acts);
+/// assert_eq!(acts, [0.5, 0.0, 2.0]);
+/// assert_eq!(dpu.ops(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Dpu {
+    ops: u64,
+}
+
+impl Dpu {
+    /// A fresh DPU with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise ReLU in place.
+    pub fn relu(&mut self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = x.max(0.0);
+        }
+        self.ops += xs.len() as u64;
+    }
+
+    /// Adds a bias vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add_bias(&mut self, xs: &mut [f32], bias: &[f32]) {
+        assert_eq!(xs.len(), bias.len(), "bias length must match");
+        for (x, b) in xs.iter_mut().zip(bias) {
+            *x += *b;
+        }
+        self.ops += xs.len() as u64;
+    }
+
+    /// Element-wise sum of two partial results in place
+    /// (the residual-add / partial-sum path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn accumulate(&mut self, acc: &mut [f32], part: &[f32]) {
+        assert_eq!(acc.len(), part.len(), "partial length must match");
+        for (a, p) in acc.iter_mut().zip(part) {
+            *a += *p;
+        }
+        self.ops += acc.len() as u64;
+    }
+
+    /// Accounts `n` element operations performed elsewhere on the
+    /// DPU's behalf (pooling windows, normalization — layers whose
+    /// arithmetic runs through [`afpr_nn::layers::Layer::forward`]
+    /// but whose energy belongs to the DPU).
+    pub fn count_passthrough(&mut self, n: usize) {
+        self.ops += n as u64;
+    }
+
+    /// Operations performed so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Energy spent so far.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        Joules::new(ENERGY_PER_OP.joules() * self.ops as f64)
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        self.ops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_accounting() {
+        let mut dpu = Dpu::new();
+        let mut xs = [1.0f32, -2.0, 0.5];
+        dpu.relu(&mut xs);
+        assert_eq!(xs, [1.0, 0.0, 0.5]);
+        assert_eq!(dpu.ops(), 3);
+        assert!((dpu.energy().joules() - 3.0 * 0.15e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn bias_and_accumulate() {
+        let mut dpu = Dpu::new();
+        let mut xs = [1.0f32, 2.0];
+        dpu.add_bias(&mut xs, &[0.5, -0.5]);
+        assert_eq!(xs, [1.5, 1.5]);
+        dpu.accumulate(&mut xs, &[1.0, 1.0]);
+        assert_eq!(xs, [2.5, 2.5]);
+        assert_eq!(dpu.ops(), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut dpu = Dpu::new();
+        dpu.relu(&mut [0.0f32; 8]);
+        dpu.reset();
+        assert_eq!(dpu.ops(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The AFPR-CIM accelerator architecture.
+//!
+//! This crate ties the substrates together into the system the paper
+//! evaluates:
+//!
+//! * [`mapping`] — Fig. 4 network mapping (conv/FC → 2-D matrices,
+//!   tiling with partial sums beyond 576 rows).
+//! * [`accelerator`] — a pool of CIM macros plus the inter-core
+//!   routing adder executing tiled matrix-vector products.
+//! * [`dpu`] — the intermediate digital processing unit.
+//! * [`sim`] — the macro-model network simulator (§IV-D): neural
+//!   networks with conv/FC layers running on behavioral macros.
+//! * [`perf`] — Table I regeneration and the headline ratios.
+//! * [`netperf`] — end-to-end latency/energy of whole mapped networks.
+//! * [`power`] — Fig. 6(a)/(b) power breakdowns and claims.
+//! * [`report`] — paper-vs-measured experiment records.
+//!
+//! # Example
+//!
+//! ```
+//! use afpr_core::perf;
+//! use afpr_xbar::spec::MacroMode;
+//!
+//! let row = perf::afpr_row(MacroMode::FpE2M5);
+//! assert!((row.throughput_gops - 1474.56).abs() < 0.01);
+//! assert!((row.efficiency_tops_w - 19.89).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod dpu;
+pub mod mapping;
+pub mod netperf;
+pub mod perf;
+pub mod power;
+pub mod report;
+pub mod sim;
+
+pub use accelerator::{AfprAccelerator, LayerHandle};
+pub use dpu::Dpu;
+pub use mapping::{tile_matrix, Tile, TiledMatrix};
+pub use netperf::{network_perf, LayerPerf, NetworkPerfReport};
+pub use perf::{comparison_table, headline_ratios, HeadlineRatios, TableRow};
+pub use power::{fig6_claims, fig6a_breakdowns, Fig6Claims, PowerReport};
+pub use report::{ExperimentRecord, Measurement};
+pub use sim::MacroModelSim;

@@ -1,0 +1,169 @@
+//! Network mapping onto CIM macros (paper Fig. 4).
+//!
+//! A convolution's `C1 × k × k × C2` kernel becomes a
+//! `(C1·k·k) × C2` matrix; a fully-connected layer maps directly. When
+//! a matrix exceeds the macro geometry it is tiled: row tiles produce
+//! partial sums (combined by the inter-core routing adder), column
+//! tiles are independent output groups.
+
+use afpr_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One tile of a weight matrix, destined for one macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tile {
+    /// First input row covered (inclusive).
+    pub row_start: usize,
+    /// One past the last input row.
+    pub row_end: usize,
+    /// First output column covered (inclusive).
+    pub col_start: usize,
+    /// One past the last output column.
+    pub col_end: usize,
+    /// Row-major tile weights, `(row_end−row_start) × (col_end−col_start)`.
+    pub weights: Vec<f32>,
+}
+
+impl Tile {
+    /// Tile height (macro rows used).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Tile width (macro columns used).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.col_end - self.col_start
+    }
+}
+
+/// A weight matrix tiled onto the macro grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledMatrix {
+    /// Input dimension (word lines).
+    pub k: usize,
+    /// Output dimension (source lines).
+    pub n: usize,
+    /// Number of row tiles (partial-sum depth).
+    pub row_tiles: usize,
+    /// Number of column tiles.
+    pub col_tiles: usize,
+    /// Tiles in `(row_tile, col_tile)` row-major order.
+    pub tiles: Vec<Tile>,
+}
+
+impl TiledMatrix {
+    /// The tile at a grid position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of the tile grid.
+    #[must_use]
+    pub fn tile(&self, row_tile: usize, col_tile: usize) -> &Tile {
+        assert!(row_tile < self.row_tiles && col_tile < self.col_tiles, "tile out of grid");
+        &self.tiles[row_tile * self.col_tiles + col_tile]
+    }
+
+    /// True if row tiling forces partial-sum accumulation
+    /// (the paper's "when the weight matrix exceeds 576" case).
+    #[must_use]
+    pub fn needs_partial_sums(&self) -> bool {
+        self.row_tiles > 1
+    }
+}
+
+/// Tiles a `[K, N]` matrix for macros of `max_rows × max_cols`.
+///
+/// # Example
+///
+/// ```
+/// use afpr_core::mapping::tile_matrix;
+/// use afpr_nn::tensor::Tensor;
+///
+/// // The paper's ">576 rows" case: two row tiles, partial sums needed.
+/// let t = tile_matrix(&Tensor::zeros(&[700, 100]), 576, 256);
+/// assert_eq!((t.row_tiles, t.col_tiles), (2, 1));
+/// assert!(t.needs_partial_sums());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the matrix is not 2-D or a limit is zero.
+#[must_use]
+pub fn tile_matrix(w: &Tensor, max_rows: usize, max_cols: usize) -> TiledMatrix {
+    assert_eq!(w.shape().len(), 2, "expected a 2-D weight matrix");
+    assert!(max_rows > 0 && max_cols > 0, "macro dimensions must be non-zero");
+    let [k, n]: [usize; 2] = w.shape().try_into().expect("2-D");
+    let row_tiles = k.div_ceil(max_rows);
+    let col_tiles = n.div_ceil(max_cols);
+    let mut tiles = Vec::with_capacity(row_tiles * col_tiles);
+    for rt in 0..row_tiles {
+        let row_start = rt * max_rows;
+        let row_end = (row_start + max_rows).min(k);
+        for ct in 0..col_tiles {
+            let col_start = ct * max_cols;
+            let col_end = (col_start + max_cols).min(n);
+            let mut weights = Vec::with_capacity((row_end - row_start) * (col_end - col_start));
+            for r in row_start..row_end {
+                for c in col_start..col_end {
+                    weights.push(w.get(&[r, c]));
+                }
+            }
+            tiles.push(Tile { row_start, row_end, col_start, col_end, weights });
+        }
+    }
+    TiledMatrix { k, n, row_tiles, col_tiles, tiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(k: usize, n: usize) -> Tensor {
+        Tensor::from_fn(&[k, n], |i| (i[0] * n + i[1]) as f32)
+    }
+
+    #[test]
+    fn small_matrix_single_tile() {
+        let t = tile_matrix(&matrix(10, 8), 576, 256);
+        assert_eq!((t.row_tiles, t.col_tiles), (1, 1));
+        assert!(!t.needs_partial_sums());
+        assert_eq!(t.tiles[0].weights.len(), 80);
+    }
+
+    #[test]
+    fn paper_case_rows_over_576_split() {
+        // A 1152-row FC layer needs 2 row tiles -> partial sums.
+        let t = tile_matrix(&matrix(1152, 100), 576, 256);
+        assert_eq!((t.row_tiles, t.col_tiles), (2, 1));
+        assert!(t.needs_partial_sums());
+        assert_eq!(t.tile(0, 0).rows(), 576);
+        assert_eq!(t.tile(1, 0).rows(), 576);
+    }
+
+    #[test]
+    fn uneven_tiling_covers_everything() {
+        let t = tile_matrix(&matrix(600, 300), 576, 256);
+        assert_eq!((t.row_tiles, t.col_tiles), (2, 2));
+        assert_eq!(t.tile(1, 0).rows(), 24);
+        assert_eq!(t.tile(0, 1).cols(), 44);
+        // Every element appears exactly once across tiles.
+        let total: usize = t.tiles.iter().map(|tl| tl.weights.len()).sum();
+        assert_eq!(total, 600 * 300);
+    }
+
+    #[test]
+    fn tile_contents_match_source() {
+        let w = matrix(6, 5);
+        let t = tile_matrix(&w, 4, 3);
+        let tile = t.tile(1, 1); // rows 4..6, cols 3..5
+        assert_eq!(tile.weights, vec![23.0, 24.0, 28.0, 29.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn non_matrix_panics() {
+        let _ = tile_matrix(&Tensor::zeros(&[2, 2, 2]), 4, 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Macro-level performance model: regenerates Table I.
+
+use afpr_baseline::{specs, AnalogInt8Cim, DigitalFpCim, Fp8Accelerator};
+use afpr_circuit::energy::AdcSpec;
+use afpr_circuit::int_adc::IntAdcConfig;
+use afpr_circuit::EnergyModel;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table I comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Design tag ("AFPR-CIM (E2M5)", "Nature'22", …).
+    pub tag: String,
+    /// Architecture class label.
+    pub architecture: String,
+    /// Memory technology.
+    pub memory: String,
+    /// Array / memory size.
+    pub size: String,
+    /// Process node, nm.
+    pub technology_nm: u32,
+    /// Supply voltage description.
+    pub supply_v: String,
+    /// ADC style.
+    pub adc: String,
+    /// Activation precision.
+    pub precision: String,
+    /// Macro computing latency, µs (`None` when not reported).
+    pub latency_us: Option<f64>,
+    /// Throughput, GOPS / GFLOPS.
+    pub throughput_gops: f64,
+    /// Energy efficiency, TOPS/W / TFLOPS/W.
+    pub efficiency_tops_w: f64,
+}
+
+/// Computes the AFPR-CIM row for a mode from the macro spec and the
+/// calibrated energy model (not transcribed from the paper).
+#[must_use]
+pub fn afpr_row(mode: MacroMode) -> TableRow {
+    let spec = MacroSpec::paper(mode);
+    let model = EnergyModel::paper_65nm();
+    let adc_spec = match mode {
+        MacroMode::FpE2M5 | MacroMode::FpE3M4 => AdcSpec::fp(&spec.fp_adc),
+        MacroMode::Int8 => AdcSpec::int(&IntAdcConfig::paper_matched()),
+    };
+    let energy = model
+        .macro_conversion_energy(&adc_spec, spec.cols, spec.rows, None)
+        .total()
+        .joules();
+    let t_conv = adc_spec.t_conversion.seconds();
+    let ops = spec.ops_per_conversion() as f64;
+    TableRow {
+        tag: format!("AFPR-CIM ({})", mode.label()),
+        architecture: "Analog-CIM".to_string(),
+        memory: "RRAM".to_string(),
+        size: "576*256".to_string(),
+        technology_nm: 65,
+        supply_v: "1.2-2.5".to_string(),
+        adc: match mode {
+            MacroMode::Int8 => "Single-slope".to_string(),
+            _ => "FP-ADC".to_string(),
+        },
+        precision: mode.label().to_string(),
+        latency_us: Some(t_conv * 1e6),
+        throughput_gops: ops / t_conv / 1e9,
+        efficiency_tops_w: ops / energy / 1e12,
+    }
+}
+
+/// Baseline rows derived from the component models in `afpr-baseline`
+/// (the published spec metadata fills the descriptive columns).
+#[must_use]
+pub fn baseline_rows() -> Vec<TableRow> {
+    let published = specs::all();
+    let derived_eff = [
+        AnalogInt8Cim::nature22_class().efficiency_tops_per_w(),
+        AnalogInt8Cim::tcasi20_class().efficiency_tops_per_w(),
+        DigitalFpCim::isscc22_class().efficiency_tflops_per_w(),
+        DigitalFpCim::vlsi21_class().efficiency_tflops_per_w(),
+        Fp8Accelerator::isscc21_class().efficiency_tflops_per_w(),
+    ];
+    let derived_thr = [
+        AnalogInt8Cim::nature22_class().throughput_gops(),
+        AnalogInt8Cim::tcasi20_class().throughput_gops(),
+        DigitalFpCim::isscc22_class().throughput_gflops(),
+        DigitalFpCim::vlsi21_class().throughput_gflops(),
+        Fp8Accelerator::isscc21_class().throughput_gflops(),
+    ];
+    published
+        .into_iter()
+        .zip(derived_eff)
+        .zip(derived_thr)
+        .map(|((s, eff), thr)| TableRow {
+            tag: s.tag.to_string(),
+            architecture: s.arch.label().to_string(),
+            memory: s.memory.to_string(),
+            size: s.size.to_string(),
+            technology_nm: s.technology_nm,
+            supply_v: s.supply_v.to_string(),
+            adc: s.adc.to_string(),
+            precision: s.precision.to_string(),
+            latency_us: s.latency_us,
+            throughput_gops: thr,
+            efficiency_tops_w: eff,
+        })
+        .collect()
+}
+
+/// The full Table I: AFPR E2M5 + E3M4 followed by the five baselines.
+#[must_use]
+pub fn comparison_table() -> Vec<TableRow> {
+    let mut rows = vec![afpr_row(MacroMode::FpE2M5), afpr_row(MacroMode::FpE3M4)];
+    rows.extend(baseline_rows());
+    rows
+}
+
+/// The paper's headline efficiency ratios, derived from the models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineRatios {
+    /// vs the traditional digital FP8 accelerator (paper: 4.135×).
+    pub vs_fp8_accelerator: f64,
+    /// vs digital FP-CIM (paper: 5.376×).
+    pub vs_digital_fp_cim: f64,
+    /// vs analog INT8-CIM (paper: 2.841×).
+    pub vs_analog_int8_cim: f64,
+    /// Throughput vs analog INT8-CIM (paper: 5.382×).
+    pub throughput_vs_analog_int8: f64,
+}
+
+/// Computes the headline ratios from the derived rows.
+#[must_use]
+pub fn headline_ratios() -> HeadlineRatios {
+    let afpr = afpr_row(MacroMode::FpE2M5);
+    HeadlineRatios {
+        vs_fp8_accelerator: afpr.efficiency_tops_w
+            / Fp8Accelerator::isscc21_class().efficiency_tflops_per_w(),
+        vs_digital_fp_cim: afpr.efficiency_tops_w
+            / DigitalFpCim::isscc22_class().efficiency_tflops_per_w(),
+        vs_analog_int8_cim: afpr.efficiency_tops_w
+            / AnalogInt8Cim::nature22_class().efficiency_tops_per_w(),
+        throughput_vs_analog_int8: afpr.throughput_gops
+            / AnalogInt8Cim::nature22_class().throughput_gops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn afpr_e2m5_matches_paper_numbers() {
+        let r = afpr_row(MacroMode::FpE2M5);
+        assert!((r.latency_us.unwrap() - 0.2).abs() < 1e-9);
+        assert!((r.throughput_gops - 1474.56).abs() < 0.01);
+        assert!((r.efficiency_tops_w - 19.89).abs() < 0.1);
+    }
+
+    #[test]
+    fn afpr_e3m4_matches_paper_numbers() {
+        let r = afpr_row(MacroMode::FpE3M4);
+        assert!((r.latency_us.unwrap() - 0.15).abs() < 1e-9);
+        assert!((r.throughput_gops - 1966.08).abs() < 0.01);
+        assert!((r.efficiency_tops_w - 14.12).abs() < 0.15);
+    }
+
+    #[test]
+    fn headline_ratios_match_paper() {
+        let h = headline_ratios();
+        assert!((h.vs_fp8_accelerator - 4.135).abs() < 0.1, "{h:?}");
+        assert!((h.vs_digital_fp_cim - 5.376).abs() < 0.15, "{h:?}");
+        assert!((h.vs_analog_int8_cim - 2.841).abs() < 0.1, "{h:?}");
+        assert!((h.throughput_vs_analog_int8 - 5.382).abs() < 0.1, "{h:?}");
+    }
+
+    #[test]
+    fn table_has_seven_rows() {
+        let t = comparison_table();
+        assert_eq!(t.len(), 7);
+        assert!(t[0].tag.contains("E2M5"));
+        assert_eq!(t[2].tag, "Nature'22");
+    }
+
+    #[test]
+    fn afpr_wins_every_efficiency_comparison() {
+        let t = comparison_table();
+        let afpr = t[0].efficiency_tops_w;
+        for row in &t[2..] {
+            assert!(afpr > row.efficiency_tops_w, "{} not beaten", row.tag);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! System power rollup: regenerates Fig. 6(a) and Fig. 6(b).
+
+use afpr_circuit::energy::{AdcSpec, MacroEnergyBreakdown};
+use afpr_circuit::int_adc::IntAdcConfig;
+use afpr_circuit::EnergyModel;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use serde::{Deserialize, Serialize};
+
+/// Per-design power/energy report for the Fig. 6 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Design label.
+    pub label: String,
+    /// Per-module energy for one conversion.
+    pub breakdown: MacroEnergyBreakdown,
+    /// Total conversion energy, nJ.
+    pub total_nj: f64,
+    /// Conversion time, ns.
+    pub t_conversion_ns: f64,
+    /// Average power running back-to-back conversions, mW.
+    pub power_own_rate_mw: f64,
+    /// Power normalized to the E2M5 conversion rate (iso-throughput),
+    /// mW — the basis of the paper's "reduces hardware power by
+    /// 46.5 %" comparison.
+    pub power_iso_throughput_mw: f64,
+}
+
+fn adc_spec_for(mode: MacroMode, spec: &MacroSpec) -> AdcSpec {
+    match mode {
+        MacroMode::FpE2M5 | MacroMode::FpE3M4 => AdcSpec::fp(&spec.fp_adc),
+        MacroMode::Int8 => AdcSpec::int(&IntAdcConfig::paper_matched()),
+    }
+}
+
+/// Builds the power report for one mode at 0 % sparsity (dense mode).
+///
+/// # Example
+///
+/// ```
+/// use afpr_core::power::power_report;
+/// use afpr_xbar::spec::MacroMode;
+///
+/// let r = power_report(MacroMode::FpE2M5);
+/// assert!((r.power_own_rate_mw - 74.14).abs() < 0.5); // Table I
+/// ```
+#[must_use]
+pub fn power_report(mode: MacroMode) -> PowerReport {
+    let spec = MacroSpec::paper(mode);
+    let model = EnergyModel::paper_65nm();
+    let adc_spec = adc_spec_for(mode, &spec);
+    let breakdown = model.macro_conversion_energy(&adc_spec, spec.cols, spec.rows, None);
+    let total = breakdown.total().joules();
+    let t_conv = adc_spec.t_conversion.seconds();
+    let t_ref = 200e-9; // the E2M5 conversion period
+    PowerReport {
+        label: mode.label().to_string(),
+        breakdown,
+        total_nj: total * 1e9,
+        t_conversion_ns: t_conv * 1e9,
+        power_own_rate_mw: total / t_conv * 1e3,
+        power_iso_throughput_mw: total / t_ref * 1e3,
+    }
+}
+
+/// Fig. 6(a): module power breakdown for E2M5, E3M4 and INT.
+#[must_use]
+pub fn fig6a_breakdowns() -> Vec<PowerReport> {
+    vec![
+        power_report(MacroMode::FpE2M5),
+        power_report(MacroMode::FpE3M4),
+        power_report(MacroMode::Int8),
+    ]
+}
+
+/// The Fig. 6 claims, derived from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Claims {
+    /// ADC energy reduction of the FP-ADC vs the matched INT ADC
+    /// (paper: 56.4 %).
+    pub adc_reduction_pct: f64,
+    /// Total power reduction of E2M5 vs INT8 (paper: 46.5 %).
+    pub total_reduction_pct: f64,
+    /// INT conversion time over E2M5's (paper: 500 ns vs 200 ns = 2.5×).
+    pub int_time_ratio: f64,
+}
+
+/// Derives the Fig. 6 headline claims.
+#[must_use]
+pub fn fig6_claims() -> Fig6Claims {
+    let model = EnergyModel::paper_65nm();
+    let e2m5_spec = MacroSpec::paper(MacroMode::FpE2M5);
+    let fp = model.adc_column_energy(&AdcSpec::fp(&e2m5_spec.fp_adc)).joules();
+    let int = model
+        .adc_column_energy(&AdcSpec::int(&IntAdcConfig::paper_matched()))
+        .joules();
+    let e2m5 = power_report(MacroMode::FpE2M5);
+    let int8 = power_report(MacroMode::Int8);
+    Fig6Claims {
+        adc_reduction_pct: (1.0 - fp / int) * 100.0,
+        total_reduction_pct: (1.0 - e2m5.total_nj / int8.total_nj) * 100.0,
+        int_time_ratio: int8.t_conversion_ns / e2m5.t_conversion_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_three_designs() {
+        let reports = fig6a_breakdowns();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.total_nj > 0.0);
+            assert!(r.breakdown.adc.joules() > 0.0);
+        }
+    }
+
+    #[test]
+    fn e2m5_power_is_74mw() {
+        let r = power_report(MacroMode::FpE2M5);
+        assert!((r.power_own_rate_mw - 74.14).abs() < 0.4, "{}", r.power_own_rate_mw);
+    }
+
+    #[test]
+    fn claims_match_paper() {
+        let c = fig6_claims();
+        assert!((c.adc_reduction_pct - 56.4).abs() < 0.5, "{c:?}");
+        assert!((c.total_reduction_pct - 46.5).abs() < 0.5, "{c:?}");
+        assert!((c.int_time_ratio - 2.5).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn e3m4_adc_dominated_by_capacitance() {
+        // Fig. 6a's message: E3M4's ADC bar dwarfs E2M5's.
+        let e2m5 = power_report(MacroMode::FpE2M5);
+        let e3m4 = power_report(MacroMode::FpE3M4);
+        assert!(e3m4.breakdown.adc.joules() > 3.0 * e2m5.breakdown.adc.joules());
+    }
+
+    #[test]
+    fn iso_throughput_ordering_matches_fig6b() {
+        // At iso-throughput: INT8 > E3M4 > E2M5.
+        let e2m5 = power_report(MacroMode::FpE2M5);
+        let e3m4 = power_report(MacroMode::FpE3M4);
+        let int8 = power_report(MacroMode::Int8);
+        assert!(int8.power_iso_throughput_mw > e3m4.power_iso_throughput_mw);
+        assert!(e3m4.power_iso_throughput_mw > e2m5.power_iso_throughput_mw);
+    }
+}

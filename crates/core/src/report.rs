@@ -1,0 +1,215 @@
+//! Experiment reporting: text tables and machine-readable
+//! paper-vs-measured records.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// One paper-vs-measured comparison within an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// What is measured ("energy efficiency", "ADC reduction", …).
+    pub name: String,
+    /// The value the paper reports (`None` when the paper gives no
+    /// absolute number for it).
+    pub paper: Option<f64>,
+    /// The value this reproduction measures.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: String,
+}
+
+impl Measurement {
+    /// Relative deviation from the paper value, if one exists.
+    #[must_use]
+    pub fn deviation(&self) -> Option<f64> {
+        self.paper.map(|p| {
+            if p == 0.0 {
+                self.measured
+            } else {
+                (self.measured - p) / p
+            }
+        })
+    }
+}
+
+/// A full experiment record (one table or figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`"FIG5A"`, `"TAB1"`, …).
+    pub id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The paper-vs-measured entries.
+    pub measurements: Vec<Measurement>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    #[must_use]
+    pub fn new(id: &str, description: &str) -> Self {
+        Self { id: id.to_string(), description: description.to_string(), measurements: Vec::new() }
+    }
+
+    /// Adds a paper-vs-measured entry (builder-style).
+    #[must_use]
+    pub fn with(mut self, name: &str, paper: Option<f64>, measured: f64, unit: &str) -> Self {
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            paper,
+            measured,
+            unit: unit.to_string(),
+        });
+        self
+    }
+
+    /// Renders the record as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut rows = vec![vec![
+            "measurement".to_string(),
+            "paper".to_string(),
+            "measured".to_string(),
+            "unit".to_string(),
+            "dev %".to_string(),
+        ]];
+        for m in &self.measurements {
+            rows.push(vec![
+                m.name.clone(),
+                m.paper.map_or("-".to_string(), |p| format!("{p:.4}")),
+                format!("{:.4}", m.measured),
+                m.unit.clone(),
+                m.deviation().map_or("-".to_string(), |d| format!("{:+.2}", d * 100.0)),
+            ]);
+        }
+        format!("[{}] {}\n{}", self.id, self.description, format_table(&rows))
+    }
+}
+
+/// Errors from writing reports.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WriteReportError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for WriteReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteReportError::Io(e) => write!(f, "failed to write report: {e}"),
+            WriteReportError::Json(e) => write!(f, "failed to serialize report: {e}"),
+        }
+    }
+}
+
+impl Error for WriteReportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WriteReportError::Io(e) => Some(e),
+            WriteReportError::Json(e) => Some(e),
+        }
+    }
+}
+
+/// Writes a set of experiment records as pretty JSON.
+///
+/// # Errors
+///
+/// Returns [`WriteReportError`] on serialization or I/O failure.
+pub fn write_json(path: &Path, records: &[ExperimentRecord]) -> Result<(), WriteReportError> {
+    let json = serde_json::to_string_pretty(records).map_err(WriteReportError::Json)?;
+    std::fs::write(path, json).map_err(WriteReportError::Io)
+}
+
+/// Formats rows (first row = header) as an aligned text table.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent column counts.
+#[must_use]
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let cols = first.len();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        assert_eq!(row.len(), cols, "inconsistent column count");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (w, cell) in widths.iter().zip(row) {
+            out.push_str(&format!("{cell:<width$}  ", width = w));
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builder_and_deviation() {
+        let r = ExperimentRecord::new("TAB1", "macro comparison")
+            .with("efficiency", Some(19.89), 19.9, "TFLOPS/W")
+            .with("unreported", None, 1.0, "x");
+        assert_eq!(r.measurements.len(), 2);
+        let d = r.measurements[0].deviation().unwrap();
+        assert!(d.abs() < 0.001);
+        assert!(r.measurements[1].deviation().is_none());
+    }
+
+    #[test]
+    fn text_table_contains_everything() {
+        let r = ExperimentRecord::new("FIG6B", "total power")
+            .with("E2M5 power", Some(74.14), 74.1, "mW");
+        let text = r.to_text();
+        assert!(text.contains("FIG6B"));
+        assert!(text.contains("74.1"));
+        assert!(text.contains("mW"));
+    }
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let rows = vec![
+            vec!["a".to_string(), "long header".to_string()],
+            vec!["value".to_string(), "x".to_string()],
+        ];
+        let t = format_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("afpr_report_test.json");
+        let records = vec![ExperimentRecord::new("X", "y").with("m", Some(1.0), 1.1, "u")];
+        write_json(&dir, &records).unwrap();
+        let back: Vec<ExperimentRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&dir).unwrap()).unwrap();
+        assert_eq!(back, records);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(format_table(&[]), "");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the mapping/tiling and performance layers.
+
+use afpr_core::mapping::tile_matrix;
+use afpr_core::netperf::network_perf;
+use afpr_nn::init::InitSpec;
+use afpr_nn::models::tiny_mlp;
+use afpr_nn::tensor::Tensor;
+use afpr_xbar::spec::MacroMode;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tiling covers every matrix element exactly once with the
+    /// original value, for arbitrary matrix and macro geometries.
+    #[test]
+    fn tiling_is_a_partition(
+        k in 1usize..80,
+        n in 1usize..60,
+        max_rows in 1usize..20,
+        max_cols in 1usize..20,
+    ) {
+        let w = Tensor::from_fn(&[k, n], |i| (i[0] * n + i[1]) as f32);
+        let t = tile_matrix(&w, max_rows, max_cols);
+        let mut seen = vec![false; k * n];
+        for tile in &t.tiles {
+            prop_assert_eq!(tile.weights.len(), tile.rows() * tile.cols());
+            for (idx, &v) in tile.weights.iter().enumerate() {
+                let r = tile.row_start + idx / tile.cols();
+                let c = tile.col_start + idx % tile.cols();
+                prop_assert!(r < k && c < n);
+                prop_assert!(!seen[r * n + c], "element ({r},{c}) covered twice");
+                seen[r * n + c] = true;
+                prop_assert_eq!(v, (r * n + c) as f32);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some element uncovered");
+        prop_assert_eq!(t.row_tiles, k.div_ceil(max_rows));
+        prop_assert_eq!(t.col_tiles, n.div_ceil(max_cols));
+    }
+
+    /// Tile dimensions never exceed the macro geometry.
+    #[test]
+    fn tiles_fit_the_macro(k in 1usize..100, n in 1usize..100) {
+        let w = Tensor::zeros(&[k, n]);
+        let t = tile_matrix(&w, 16, 8);
+        for tile in &t.tiles {
+            prop_assert!(tile.rows() <= 16 && tile.rows() >= 1);
+            prop_assert!(tile.cols() <= 8 && tile.cols() >= 1);
+        }
+    }
+
+    /// The network performance model conserves MAC counts and
+    /// produces strictly positive latency/energy for any MLP shape.
+    #[test]
+    fn netperf_conserves_macs(
+        inputs in 2usize..40,
+        hidden in 2usize..40,
+        classes in 2usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = tiny_mlp(inputs, hidden, classes, InitSpec::gaussian(), &mut rng);
+        let r = network_perf(&m, MacroMode::FpE2M5, &[inputs]);
+        prop_assert_eq!(r.total_macs, m.macs(&[inputs]));
+        prop_assert!(r.total_latency.seconds() > 0.0);
+        prop_assert!(r.total_energy.joules() > 0.0);
+        prop_assert!(r.effective_gops() > 0.0);
+    }
+}

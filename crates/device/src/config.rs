@@ -1,0 +1,149 @@
+//! Device configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the RRAM device model.
+///
+/// Conductances are in siemens. The defaults follow the values the
+/// paper exercises: a 0–20 µS conductance window (Fig. 5(b) uses 12, 15,
+/// 18 and 20 µS example cells) with 32 MLC levels to carry a 5-bit
+/// weight magnitude.
+///
+/// Construct with [`DeviceConfig::ideal`] or [`DeviceConfig::realistic`]
+/// and adjust fields through the builder-style `with_*` methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Lowest programmable conductance (high-resistance state), S.
+    pub g_min: f64,
+    /// Highest programmable conductance (low-resistance state), S.
+    pub g_max: f64,
+    /// Number of MLC levels (≥ 2).
+    pub levels: u32,
+    /// Lognormal sigma of a single programming pulse (0 = ideal).
+    pub program_sigma: f64,
+    /// Relative tolerance at which write-verify accepts a cell.
+    pub verify_tolerance: f64,
+    /// Maximum write-verify iterations.
+    pub verify_max_iters: u32,
+    /// Relative standard deviation of read-current noise (0 = ideal).
+    pub read_noise_sigma: f64,
+    /// Retention-drift exponent ν in `G(t) = G₀ (t/t₀)^(−ν)`.
+    pub drift_nu: f64,
+    /// Reference time t₀ for the drift law, seconds.
+    pub drift_t0: f64,
+}
+
+impl DeviceConfig {
+    /// An ideal device: no variation, noise, or drift.
+    #[must_use]
+    pub fn ideal(levels: u32) -> Self {
+        assert!(levels >= 2, "an MLC device needs at least 2 levels");
+        Self {
+            g_min: 0.0,
+            g_max: 20e-6,
+            levels,
+            program_sigma: 0.0,
+            verify_tolerance: 0.01,
+            verify_max_iters: 8,
+            read_noise_sigma: 0.0,
+            drift_nu: 0.0,
+            drift_t0: 1.0,
+        }
+    }
+
+    /// A realistic device with typical published non-idealities:
+    /// 3 % programming sigma, 1 % read noise, mild drift (ν = 0.005).
+    #[must_use]
+    pub fn realistic(levels: u32) -> Self {
+        Self {
+            program_sigma: 0.03,
+            read_noise_sigma: 0.01,
+            drift_nu: 0.005,
+            ..Self::ideal(levels)
+        }
+    }
+
+    /// Sets the conductance window (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_max <= g_min` or `g_min < 0`.
+    #[must_use]
+    pub fn with_window(mut self, g_min: f64, g_max: f64) -> Self {
+        assert!(g_min >= 0.0 && g_max > g_min, "invalid conductance window");
+        self.g_min = g_min;
+        self.g_max = g_max;
+        self
+    }
+
+    /// Sets the programming sigma (builder-style).
+    #[must_use]
+    pub fn with_program_sigma(mut self, sigma: f64) -> Self {
+        self.program_sigma = sigma.max(0.0);
+        self
+    }
+
+    /// Sets the read-noise sigma (builder-style).
+    #[must_use]
+    pub fn with_read_noise(mut self, sigma: f64) -> Self {
+        self.read_noise_sigma = sigma.max(0.0);
+        self
+    }
+
+    /// Sets the drift exponent (builder-style).
+    #[must_use]
+    pub fn with_drift(mut self, nu: f64) -> Self {
+        self.drift_nu = nu.max(0.0);
+        self
+    }
+
+    /// Conductance step between adjacent MLC levels.
+    #[must_use]
+    pub fn level_step(&self) -> f64 {
+        (self.g_max - self.g_min) / f64::from(self.levels - 1)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::ideal(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_has_no_nonidealities() {
+        let c = DeviceConfig::ideal(16);
+        assert_eq!(c.program_sigma, 0.0);
+        assert_eq!(c.read_noise_sigma, 0.0);
+        assert_eq!(c.drift_nu, 0.0);
+    }
+
+    #[test]
+    fn realistic_has_nonidealities() {
+        let c = DeviceConfig::realistic(32);
+        assert!(c.program_sigma > 0.0);
+        assert!(c.read_noise_sigma > 0.0);
+    }
+
+    #[test]
+    fn level_step_spans_window() {
+        let c = DeviceConfig::ideal(21).with_window(0.0, 20e-6);
+        assert!((c.level_step() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn single_level_rejected() {
+        let _ = DeviceConfig::ideal(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn inverted_window_rejected() {
+        let _ = DeviceConfig::ideal(4).with_window(2e-6, 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Retention drift: conductance decay over time.
+
+use serde::{Deserialize, Serialize};
+
+/// Power-law retention drift, `G(t) = G₀ · (t/t₀)^(−ν)` for `t ≥ t₀`.
+///
+/// This is the standard empirical retention law for filamentary RRAM
+/// (and PCM). The paper itself evaluates immediately after programming;
+/// the drift model enables the accuracy-over-time extension experiment.
+///
+/// # Example
+///
+/// ```
+/// use afpr_device::DriftModel;
+///
+/// let d = DriftModel::new(0.01, 1.0);
+/// let g = d.conductance_at(10e-6, 3600.0); // after one hour
+/// assert!(g < 10e-6 && g > 9e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    nu: f64,
+    t0: f64,
+}
+
+impl DriftModel {
+    /// Creates a drift model with exponent `nu` and reference time `t0`
+    /// (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0` is not positive or `nu` is negative.
+    #[must_use]
+    pub fn new(nu: f64, t0: f64) -> Self {
+        assert!(t0 > 0.0, "reference time must be positive");
+        assert!(nu >= 0.0, "drift exponent must be non-negative");
+        Self { nu, t0 }
+    }
+
+    /// A model with no drift.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { nu: 0.0, t0: 1.0 }
+    }
+
+    /// The drift exponent ν.
+    #[must_use]
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Conductance after `elapsed` seconds. Times before `t0` return
+    /// `g0` unchanged (the law only applies after the reference time).
+    #[must_use]
+    pub fn conductance_at(&self, g0: f64, elapsed: f64) -> f64 {
+        if self.nu == 0.0 || elapsed <= self.t0 {
+            return g0;
+        }
+        g0 * (elapsed / self.t0).powf(-self.nu)
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drift_is_identity() {
+        let d = DriftModel::none();
+        assert_eq!(d.conductance_at(7e-6, 1e9), 7e-6);
+    }
+
+    #[test]
+    fn drift_is_monotone_decreasing() {
+        let d = DriftModel::new(0.02, 1.0);
+        let g0 = 10e-6;
+        let mut prev = g0;
+        for t in [2.0, 10.0, 100.0, 1e4, 1e6] {
+            let g = d.conductance_at(g0, t);
+            assert!(g < prev, "t={t}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn before_reference_time_unchanged() {
+        let d = DriftModel::new(0.05, 10.0);
+        assert_eq!(d.conductance_at(5e-6, 5.0), 5e-6);
+    }
+
+    #[test]
+    fn decade_decay_matches_exponent() {
+        let d = DriftModel::new(0.01, 1.0);
+        let ratio = d.conductance_at(1.0, 10.0);
+        assert!((ratio - 10f64.powf(-0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_reference_time_panics() {
+        let _ = DriftModel::new(0.01, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hard-fault and yield models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A hard device fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Stuck in the low-resistance state: reads as `g_max` regardless of
+    /// programming.
+    StuckLrs,
+    /// Stuck in the high-resistance state: reads as `g_min`.
+    StuckHrs,
+}
+
+/// Bernoulli yield model: each cell is independently faulty with the
+/// given probabilities.
+///
+/// # Example
+///
+/// ```
+/// use afpr_device::YieldModel;
+/// use rand::SeedableRng;
+///
+/// let y = YieldModel::new(0.001, 0.001);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let faults = y.sample_array(64, 64, &mut rng);
+/// assert!(faults.len() < 64); // ~8 expected faults in 4096 cells
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldModel {
+    p_stuck_lrs: f64,
+    p_stuck_hrs: f64,
+}
+
+impl YieldModel {
+    /// Creates a yield model from per-cell fault probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]` or their sum
+    /// exceeds 1.
+    #[must_use]
+    pub fn new(p_stuck_lrs: f64, p_stuck_hrs: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_stuck_lrs), "probability out of range");
+        assert!((0.0..=1.0).contains(&p_stuck_hrs), "probability out of range");
+        assert!(p_stuck_lrs + p_stuck_hrs <= 1.0, "fault probabilities exceed 1");
+        Self { p_stuck_lrs, p_stuck_hrs }
+    }
+
+    /// A perfect-yield model.
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self { p_stuck_lrs: 0.0, p_stuck_hrs: 0.0 }
+    }
+
+    /// Total per-cell fault probability.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        self.p_stuck_lrs + self.p_stuck_hrs
+    }
+
+    /// Samples the fault of a single cell.
+    pub fn sample_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<FaultKind> {
+        if self.fault_rate() == 0.0 {
+            return None;
+        }
+        let u: f64 = rng.gen();
+        if u < self.p_stuck_lrs {
+            Some(FaultKind::StuckLrs)
+        } else if u < self.p_stuck_lrs + self.p_stuck_hrs {
+            Some(FaultKind::StuckHrs)
+        } else {
+            None
+        }
+    }
+
+    /// Samples faults for a `rows × cols` array; returns
+    /// `(row, col, fault)` triples for the faulty cells only.
+    pub fn sample_array<R: Rng + ?Sized>(
+        &self,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, usize, FaultKind)> {
+        if self.fault_rate() == 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if let Some(f) = self.sample_cell(rng) {
+                    out.push((r, c, f));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for YieldModel {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_yield_never_faults() {
+        let y = YieldModel::perfect();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(y.sample_array(100, 100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn fault_rate_statistics() {
+        let y = YieldModel::new(0.01, 0.02);
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = y.sample_array(200, 200, &mut rng);
+        let rate = faults.len() as f64 / 40_000.0;
+        assert!((rate - 0.03).abs() < 0.005, "rate {rate}");
+        let lrs = faults.iter().filter(|(_, _, f)| *f == FaultKind::StuckLrs).count();
+        let hrs = faults.len() - lrs;
+        assert!(lrs < hrs, "HRS faults should dominate at these settings");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn overfull_probabilities_panic() {
+        let _ = YieldModel::new(0.7, 0.7);
+    }
+
+    #[test]
+    fn sampled_positions_in_bounds() {
+        let y = YieldModel::new(0.05, 0.05);
+        let mut rng = StdRng::seed_from_u64(6);
+        for (r, c, _) in y.sample_array(13, 7, &mut rng) {
+            assert!(r < 13 && c < 7);
+        }
+    }
+}

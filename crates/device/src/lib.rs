@@ -1,0 +1,45 @@
+//! Behavioral multi-level-cell RRAM device models.
+//!
+//! The AFPR-CIM paper models its RRAM in Verilog-A and simulates the
+//! macro at transistor level. Everything the *macro-level* evaluation
+//! consumes from those models is captured by a conductance abstraction:
+//! a cell holds a conductance `G`, produces current `I = V·G` under a
+//! read voltage (Ohm's law), can be programmed to one of a set of MLC
+//! levels through an iterative write-verify loop, and deviates from its
+//! target through programming variation, read noise, retention drift,
+//! and hard faults. This crate implements that abstraction, seeded and
+//! deterministic so every experiment is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use afpr_device::{DeviceConfig, MlcAllocator, RramCell};
+//! use rand::SeedableRng;
+//!
+//! let cfg = DeviceConfig::ideal(32);
+//! let alloc = MlcAllocator::new(&cfg);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut cell = RramCell::fresh(&cfg);
+//! cell.program_level(17, &alloc, &cfg, &mut rng);
+//! let i = cell.read(0.2, &cfg, &mut rng); // amps at 0.2 V
+//! assert!(i > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod drift;
+pub mod faults;
+pub mod mlc;
+pub mod program_energy;
+pub mod rram;
+pub mod variation;
+
+pub use config::DeviceConfig;
+pub use drift::DriftModel;
+pub use faults::{FaultKind, YieldModel};
+pub use mlc::MlcAllocator;
+pub use program_energy::ProgramEnergyModel;
+pub use rram::RramCell;
+pub use variation::VariationModel;

@@ -1,0 +1,122 @@
+//! Multi-level-cell conductance allocation.
+
+use crate::config::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Maps integer MLC levels to target conductances and back.
+///
+/// Levels are spaced linearly in conductance across the device window —
+/// the allocation that makes crossbar column current linear in the
+/// stored integer, which is what the analog INT-domain MAC of the paper
+/// relies on.
+///
+/// # Example
+///
+/// ```
+/// use afpr_device::{DeviceConfig, MlcAllocator};
+///
+/// let cfg = DeviceConfig::ideal(32).with_window(0.0, 20e-6);
+/// let alloc = MlcAllocator::new(&cfg);
+/// let g = alloc.target_conductance(31);
+/// assert_eq!(g, 20e-6);
+/// assert_eq!(alloc.nearest_level(g), 31);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlcAllocator {
+    g_min: f64,
+    g_max: f64,
+    levels: u32,
+}
+
+impl MlcAllocator {
+    /// Builds an allocator for the configured window and level count.
+    #[must_use]
+    pub fn new(cfg: &DeviceConfig) -> Self {
+        Self { g_min: cfg.g_min, g_max: cfg.g_max, levels: cfg.levels }
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Target conductance for a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    #[must_use]
+    pub fn target_conductance(&self, level: u32) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        self.g_min
+            + (self.g_max - self.g_min) * f64::from(level) / f64::from(self.levels - 1)
+    }
+
+    /// Nearest level for a conductance (clamped to the window).
+    #[must_use]
+    pub fn nearest_level(&self, g: f64) -> u32 {
+        let step = (self.g_max - self.g_min) / f64::from(self.levels - 1);
+        let l = ((g - self.g_min) / step).round();
+        l.clamp(0.0, f64::from(self.levels - 1)) as u32
+    }
+
+    /// Largest representable conductance.
+    #[must_use]
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
+    /// Smallest representable conductance.
+    #[must_use]
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> MlcAllocator {
+        MlcAllocator::new(&DeviceConfig::ideal(32).with_window(0.0, 20e-6))
+    }
+
+    #[test]
+    fn endpoints_map_to_window_edges() {
+        let a = alloc();
+        assert_eq!(a.target_conductance(0), 0.0);
+        assert_eq!(a.target_conductance(31), 20e-6);
+    }
+
+    #[test]
+    fn levels_round_trip() {
+        let a = alloc();
+        for l in 0..32 {
+            assert_eq!(a.nearest_level(a.target_conductance(l)), l);
+        }
+    }
+
+    #[test]
+    fn nearest_level_clamps() {
+        let a = alloc();
+        assert_eq!(a.nearest_level(-5e-6), 0);
+        assert_eq!(a.nearest_level(1e-3), 31);
+    }
+
+    #[test]
+    fn spacing_is_uniform() {
+        let a = alloc();
+        let step = a.target_conductance(1) - a.target_conductance(0);
+        for l in 1..31 {
+            let d = a.target_conductance(l + 1) - a.target_conductance(l);
+            assert!((d - step).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_out_of_range_panics() {
+        let _ = alloc().target_conductance(32);
+    }
+}

@@ -1,0 +1,68 @@
+//! Programming (weight-deployment) energy model.
+//!
+//! The paper deploys weights once before inference ("before inference,
+//! the weight data is programmed in the array"); the energy of that
+//! deployment is a one-time cost the macro can account separately from
+//! conversion energy. Each write-verify iteration costs one SET/RESET
+//! pulse plus one verify read.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-pulse programming energy parameters (typical filamentary RRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramEnergyModel {
+    /// Programming voltage, V.
+    pub v_program: f64,
+    /// Average programming current, A.
+    pub i_program: f64,
+    /// Pulse width, seconds.
+    pub t_pulse: f64,
+    /// Energy of one verify read, J.
+    pub e_verify: f64,
+}
+
+impl ProgramEnergyModel {
+    /// Typical 65 nm RRAM: 2.5 V, 100 µA, 50 ns pulses, 0.1 pJ verify.
+    #[must_use]
+    pub fn typical_rram() -> Self {
+        Self { v_program: 2.5, i_program: 100e-6, t_pulse: 50e-9, e_verify: 0.1e-12 }
+    }
+
+    /// Energy of one programming pulse, `V · I · t`.
+    #[must_use]
+    pub fn pulse_energy(&self) -> f64 {
+        self.v_program * self.i_program * self.t_pulse
+    }
+
+    /// Energy to program one cell that took `iterations` write-verify
+    /// rounds.
+    #[must_use]
+    pub fn cell_energy(&self, iterations: u32) -> f64 {
+        f64::from(iterations) * (self.pulse_energy() + self.e_verify)
+    }
+}
+
+impl Default for ProgramEnergyModel {
+    fn default() -> Self {
+        Self::typical_rram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_pulse_is_picojoule_class() {
+        let m = ProgramEnergyModel::typical_rram();
+        // 2.5 V × 100 µA × 50 ns = 12.5 pJ.
+        assert!((m.pulse_energy() - 12.5e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_linear_in_iterations() {
+        let m = ProgramEnergyModel::typical_rram();
+        assert_eq!(m.cell_energy(0), 0.0);
+        assert!((m.cell_energy(4) - 4.0 * m.cell_energy(1)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,257 @@
+//! A single RRAM cell with programming, read-out, drift and faults.
+
+use crate::config::DeviceConfig;
+use crate::drift::DriftModel;
+use crate::faults::FaultKind;
+use crate::mlc::MlcAllocator;
+use crate::variation::VariationModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One multi-level RRAM cell.
+///
+/// The cell stores the conductance that was actually reached by the
+/// write-verify programming loop (which differs from the target when
+/// programming variation is enabled), plus an optional hard fault that
+/// overrides programming entirely.
+///
+/// # Example
+///
+/// ```
+/// use afpr_device::{DeviceConfig, MlcAllocator, RramCell};
+/// use rand::SeedableRng;
+///
+/// let cfg = DeviceConfig::ideal(32);
+/// let alloc = MlcAllocator::new(&cfg);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut cell = RramCell::fresh(&cfg);
+/// cell.program_level(31, &alloc, &cfg, &mut rng);
+/// assert_eq!(cell.conductance(), cfg.g_max);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RramCell {
+    target_g: f64,
+    programmed_g: f64,
+    fault: Option<FaultKind>,
+    /// Write-verify iterations spent by the last programming operation.
+    program_iters: u32,
+}
+
+impl RramCell {
+    /// A fresh (unprogrammed) cell at the window minimum.
+    #[must_use]
+    pub fn fresh(cfg: &DeviceConfig) -> Self {
+        Self { target_g: cfg.g_min, programmed_g: cfg.g_min, fault: None, program_iters: 0 }
+    }
+
+    /// Injects a hard fault (used by the yield model).
+    pub fn set_fault(&mut self, fault: Option<FaultKind>) {
+        self.fault = fault;
+    }
+
+    /// The injected fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<FaultKind> {
+        self.fault
+    }
+
+    /// Programs the cell to an MLC level through the write-verify loop.
+    ///
+    /// Each iteration applies a programming pulse (sampled with
+    /// lognormal variation) and verifies against
+    /// [`DeviceConfig::verify_tolerance`]; the loop stops at acceptance
+    /// or after [`DeviceConfig::verify_max_iters`] pulses, keeping the
+    /// best candidate seen. Returns the achieved conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the allocator.
+    pub fn program_level<R: Rng + ?Sized>(
+        &mut self,
+        level: u32,
+        alloc: &MlcAllocator,
+        cfg: &DeviceConfig,
+        rng: &mut R,
+    ) -> f64 {
+        self.program_target(alloc.target_conductance(level), cfg, rng)
+    }
+
+    /// Programs the cell toward an arbitrary target conductance.
+    ///
+    /// Returns the achieved conductance.
+    pub fn program_target<R: Rng + ?Sized>(
+        &mut self,
+        target: f64,
+        cfg: &DeviceConfig,
+        rng: &mut R,
+    ) -> f64 {
+        self.target_g = target;
+        let variation = VariationModel::new(cfg.program_sigma, cfg.read_noise_sigma);
+        let mut best = f64::INFINITY;
+        let mut best_g = target;
+        let mut iters = 0;
+        for _ in 0..cfg.verify_max_iters.max(1) {
+            iters += 1;
+            let g = variation
+                .sample_programmed(target, rng)
+                .clamp(cfg.g_min, cfg.g_max);
+            let err = if target > 0.0 { ((g - target) / target).abs() } else { (g - target).abs() };
+            if err < best {
+                best = err;
+                best_g = g;
+            }
+            if best <= cfg.verify_tolerance {
+                break;
+            }
+        }
+        self.program_iters = iters;
+        self.programmed_g = best_g;
+        self.programmed_g
+    }
+
+    /// The conductance the cell currently presents (fault-aware, before
+    /// drift).
+    #[must_use]
+    pub fn conductance(&self) -> f64 {
+        self.programmed_g
+    }
+
+    /// Fault-aware conductance given the device window.
+    #[must_use]
+    pub fn effective_conductance(&self, cfg: &DeviceConfig) -> f64 {
+        match self.fault {
+            Some(FaultKind::StuckLrs) => cfg.g_max,
+            Some(FaultKind::StuckHrs) => cfg.g_min,
+            None => self.programmed_g,
+        }
+    }
+
+    /// Conductance after `elapsed` seconds of retention drift.
+    #[must_use]
+    pub fn conductance_after(&self, cfg: &DeviceConfig, elapsed: f64) -> f64 {
+        let drift = DriftModel::new(cfg.drift_nu, cfg.drift_t0);
+        drift.conductance_at(self.effective_conductance(cfg), elapsed)
+    }
+
+    /// Reads the cell: returns the current in amps for a read voltage
+    /// `v`, with read noise applied.
+    pub fn read<R: Rng + ?Sized>(&self, v: f64, cfg: &DeviceConfig, rng: &mut R) -> f64 {
+        let variation = VariationModel::new(cfg.program_sigma, cfg.read_noise_sigma);
+        variation.sample_read(v * self.effective_conductance(cfg), rng)
+    }
+
+    /// Write-verify iterations spent by the last programming call.
+    #[must_use]
+    pub fn program_iters(&self) -> u32 {
+        self.program_iters
+    }
+
+    /// Residual relative programming error of the last programming call.
+    #[must_use]
+    pub fn program_error(&self) -> f64 {
+        if self.target_g > 0.0 {
+            ((self.programmed_g - self.target_g) / self.target_g).abs()
+        } else {
+            self.programmed_g.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DeviceConfig, MlcAllocator, StdRng) {
+        let cfg = DeviceConfig::ideal(32).with_window(0.0, 20e-6);
+        let alloc = MlcAllocator::new(&cfg);
+        (cfg, alloc, StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn ideal_programming_is_exact() {
+        let (cfg, alloc, mut rng) = setup();
+        let mut cell = RramCell::fresh(&cfg);
+        for level in [0u32, 7, 16, 31] {
+            cell.program_level(level, &alloc, &cfg, &mut rng);
+            assert_eq!(cell.conductance(), alloc.target_conductance(level));
+            assert_eq!(cell.program_iters(), 1);
+        }
+    }
+
+    #[test]
+    fn ohms_law_read() {
+        let (cfg, alloc, mut rng) = setup();
+        let mut cell = RramCell::fresh(&cfg);
+        cell.program_level(31, &alloc, &cfg, &mut rng);
+        let i = cell.read(0.5, &cfg, &mut rng);
+        assert!((i - 0.5 * 20e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn write_verify_tightens_variation() {
+        let mut cfg = DeviceConfig::realistic(32);
+        cfg.program_sigma = 0.08;
+        cfg.verify_tolerance = 0.02;
+        cfg.verify_max_iters = 16;
+        let alloc = MlcAllocator::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut worst = 0.0f64;
+        for _ in 0..200 {
+            let mut cell = RramCell::fresh(&cfg);
+            cell.program_level(16, &alloc, &cfg, &mut rng);
+            worst = worst.max(cell.program_error());
+        }
+        // 16 lognormal draws at sigma 0.08 virtually always land one
+        // within 2 %; allow a small tail.
+        assert!(worst < 0.10, "worst residual error {worst}");
+    }
+
+    #[test]
+    fn single_pulse_is_noisier_than_verified() {
+        let mut cfg = DeviceConfig::realistic(32);
+        cfg.program_sigma = 0.08;
+        cfg.verify_tolerance = 0.01;
+        let alloc = MlcAllocator::new(&cfg);
+        let run = |iters: u32, seed: u64| -> f64 {
+            let mut c = cfg.clone();
+            c.verify_max_iters = iters;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sum = 0.0;
+            for _ in 0..300 {
+                let mut cell = RramCell::fresh(&c);
+                cell.program_level(20, &alloc, &c, &mut rng);
+                sum += cell.program_error();
+            }
+            sum / 300.0
+        };
+        assert!(run(8, 7) < run(1, 7));
+    }
+
+    #[test]
+    fn faults_override_programming() {
+        let (cfg, alloc, mut rng) = setup();
+        let mut cell = RramCell::fresh(&cfg);
+        cell.program_level(16, &alloc, &cfg, &mut rng);
+        cell.set_fault(Some(FaultKind::StuckLrs));
+        assert_eq!(cell.effective_conductance(&cfg), cfg.g_max);
+        cell.set_fault(Some(FaultKind::StuckHrs));
+        assert_eq!(cell.effective_conductance(&cfg), cfg.g_min);
+        cell.set_fault(None);
+        assert_eq!(cell.effective_conductance(&cfg), alloc.target_conductance(16));
+    }
+
+    #[test]
+    fn drift_reduces_read_current() {
+        let mut cfg = DeviceConfig::ideal(32);
+        cfg.drift_nu = 0.02;
+        let alloc = MlcAllocator::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cell = RramCell::fresh(&cfg);
+        cell.program_level(31, &alloc, &cfg, &mut rng);
+        let g_fresh = cell.conductance_after(&cfg, 0.5);
+        let g_old = cell.conductance_after(&cfg, 1e6);
+        assert!(g_old < g_fresh);
+    }
+}

@@ -1,0 +1,135 @@
+//! Stochastic variation models: programming variation and read noise.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Samples device non-idealities.
+///
+/// * **Programming variation** is lognormal around the target
+///   conductance — the standard model for filamentary RRAM, where the
+///   programmed conductance is multiplicative in the filament geometry.
+/// * **Read noise** is a zero-mean Gaussian *relative* perturbation of
+///   the read current (thermal + RTN lumped together at macro level).
+///
+/// All sampling goes through a caller-provided [`Rng`] so experiments
+/// are reproducible from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Lognormal sigma of programming (0 disables).
+    pub program_sigma: f64,
+    /// Relative Gaussian sigma of read current (0 disables).
+    pub read_noise_sigma: f64,
+}
+
+impl VariationModel {
+    /// A model with no variation at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { program_sigma: 0.0, read_noise_sigma: 0.0 }
+    }
+
+    /// Creates a model from sigmas (negative values clamp to 0).
+    #[must_use]
+    pub fn new(program_sigma: f64, read_noise_sigma: f64) -> Self {
+        Self {
+            program_sigma: program_sigma.max(0.0),
+            read_noise_sigma: read_noise_sigma.max(0.0),
+        }
+    }
+
+    /// Samples a programmed conductance around `target`.
+    ///
+    /// Returns `target` exactly when the sigma is 0 or the target is 0
+    /// (an unformed cell has nothing to vary).
+    pub fn sample_programmed<R: Rng + ?Sized>(&self, target: f64, rng: &mut R) -> f64 {
+        if self.program_sigma == 0.0 || target <= 0.0 {
+            return target;
+        }
+        // LogNormal with median `target`.
+        let dist = LogNormal::new(target.ln(), self.program_sigma)
+            .expect("sigma validated non-negative");
+        dist.sample(rng)
+    }
+
+    /// Applies relative read noise to a current.
+    pub fn sample_read<R: Rng + ?Sized>(&self, current: f64, rng: &mut R) -> f64 {
+        if self.read_noise_sigma == 0.0 || current == 0.0 {
+            return current;
+        }
+        let dist = Normal::new(0.0, self.read_noise_sigma).expect("sigma non-negative");
+        current * (1.0 + dist.sample(rng))
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let v = VariationModel::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(v.sample_programmed(1e-6, &mut rng), 1e-6);
+        assert_eq!(v.sample_read(2e-6, &mut rng), 2e-6);
+    }
+
+    #[test]
+    fn zero_target_stays_zero() {
+        let v = VariationModel::new(0.1, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(v.sample_programmed(0.0, &mut rng), 0.0);
+        assert_eq!(v.sample_read(0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn programming_median_near_target() {
+        let v = VariationModel::new(0.05, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = 10e-6;
+        let mut samples: Vec<f64> =
+            (0..4001).map(|_| v.sample_programmed(target, &mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median / target - 1.0).abs() < 0.01, "median {median}");
+    }
+
+    #[test]
+    fn read_noise_mean_near_current() {
+        let v = VariationModel::new(0.0, 0.02);
+        let mut rng = StdRng::seed_from_u64(4);
+        let i0 = 5e-6;
+        let mean: f64 =
+            (0..4000).map(|_| v.sample_read(i0, &mut rng)).sum::<f64>() / 4000.0;
+        assert!((mean / i0 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn negative_sigmas_clamped() {
+        let v = VariationModel::new(-1.0, -1.0);
+        assert_eq!(v.program_sigma, 0.0);
+        assert_eq!(v.read_noise_sigma, 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let v = VariationModel::new(0.1, 0.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..16).map(|_| v.sample_programmed(1e-6, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..16).map(|_| v.sample_programmed(1e-6, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

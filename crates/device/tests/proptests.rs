@@ -1,0 +1,82 @@
+//! Property-based tests for the RRAM device models.
+
+use afpr_device::{DeviceConfig, DriftModel, MlcAllocator, RramCell, VariationModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Ideal programming reaches the exact target for any level.
+    #[test]
+    fn ideal_program_exact(level in 0u32..32, seed in 0u64..1000) {
+        let cfg = DeviceConfig::ideal(32);
+        let alloc = MlcAllocator::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cell = RramCell::fresh(&cfg);
+        let g = cell.program_level(level, &alloc, &cfg, &mut rng);
+        prop_assert_eq!(g, alloc.target_conductance(level));
+    }
+
+    /// Programmed conductance always stays inside the device window.
+    #[test]
+    fn programmed_within_window(level in 0u32..32, seed in 0u64..1000, sigma in 0.0f64..0.3) {
+        let cfg = DeviceConfig::ideal(32).with_program_sigma(sigma);
+        let alloc = MlcAllocator::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cell = RramCell::fresh(&cfg);
+        let g = cell.program_level(level, &alloc, &cfg, &mut rng);
+        prop_assert!(g >= cfg.g_min - 1e-18 && g <= cfg.g_max + 1e-18);
+    }
+
+    /// Level mapping is monotone: higher level, higher conductance.
+    #[test]
+    fn levels_monotone(a in 0u32..32, b in 0u32..32) {
+        let cfg = DeviceConfig::ideal(32);
+        let alloc = MlcAllocator::new(&cfg);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(alloc.target_conductance(lo) <= alloc.target_conductance(hi));
+    }
+
+    /// Nearest-level inversion is exact on grid points and within one
+    /// level off-grid.
+    #[test]
+    fn nearest_level_within_one(g_frac in 0.0f64..1.0) {
+        let cfg = DeviceConfig::ideal(32).with_window(1e-6, 21e-6);
+        let alloc = MlcAllocator::new(&cfg);
+        let g = cfg.g_min + g_frac * (cfg.g_max - cfg.g_min);
+        let l = alloc.nearest_level(g);
+        let back = alloc.target_conductance(l);
+        prop_assert!((back - g).abs() <= cfg.level_step() / 2.0 + 1e-18);
+    }
+
+    /// Ohm's law: read current scales linearly with voltage (ideal).
+    #[test]
+    fn read_linear_in_voltage(level in 1u32..32, v in 0.01f64..1.0) {
+        let cfg = DeviceConfig::ideal(32);
+        let alloc = MlcAllocator::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = RramCell::fresh(&cfg);
+        cell.program_level(level, &alloc, &cfg, &mut rng);
+        let i1 = cell.read(v, &cfg, &mut rng);
+        let i2 = cell.read(2.0 * v, &cfg, &mut rng);
+        prop_assert!((i2 - 2.0 * i1).abs() < 1e-15);
+    }
+
+    /// Drift never increases conductance and is monotone in time.
+    #[test]
+    fn drift_monotone(nu in 0.0f64..0.1, t1 in 1.0f64..1e6, t2 in 1.0f64..1e6) {
+        let d = DriftModel::new(nu, 1.0);
+        let (early, late) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let g0 = 10e-6;
+        prop_assert!(d.conductance_at(g0, late) <= d.conductance_at(g0, early) + 1e-18);
+        prop_assert!(d.conductance_at(g0, late) <= g0);
+    }
+
+    /// Variation sampling with sigma 0 is the identity for any target.
+    #[test]
+    fn zero_variation_identity(target in 0.0f64..30e-6, seed in 0u64..100) {
+        let v = VariationModel::none();
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(v.sample_programmed(target, &mut rng), target);
+    }
+}

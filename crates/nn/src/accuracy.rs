@@ -1,0 +1,87 @@
+//! Top-1 accuracy evaluation.
+
+use crate::data::Dataset;
+use crate::tensor::Tensor;
+
+/// Top-1 accuracy of an arbitrary classifier over a dataset.
+///
+/// The classifier is any function from image to logits, so the same
+/// evaluator serves the FP32 model, fake-quantized models, and the
+/// macro-level hardware simulator.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+#[must_use]
+pub fn top1_accuracy(classify: &mut dyn FnMut(&Tensor) -> Tensor, data: &Dataset) -> f64 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let correct = data
+        .images
+        .iter()
+        .zip(&data.labels)
+        .filter(|(img, &label)| classify(img).argmax() == label)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Agreement between two classifiers over a dataset (fraction of
+/// samples on which their argmax predictions coincide).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+#[must_use]
+pub fn agreement(
+    a: &mut dyn FnMut(&Tensor) -> Tensor,
+    b: &mut dyn FnMut(&Tensor) -> Tensor,
+    data: &Dataset,
+) -> f64 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let same = data
+        .images
+        .iter()
+        .filter(|img| a(img).argmax() == b(img).argmax())
+        .count();
+    same as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        Dataset {
+            images: (0..4).map(|k| Tensor::new(&[2], vec![k as f32, 3.0 - k as f32])).collect(),
+            labels: vec![1, 1, 0, 0],
+            classes: 2,
+        }
+    }
+
+    #[test]
+    fn perfect_and_inverted_classifiers() {
+        let data = toy_dataset();
+        // argmax of the input itself matches the labels by construction.
+        let mut ident = |x: &Tensor| x.clone();
+        assert_eq!(top1_accuracy(&mut ident, &data), 1.0);
+        let mut inverted = |x: &Tensor| x.map(|v| -v);
+        assert_eq!(top1_accuracy(&mut inverted, &data), 0.0);
+    }
+
+    #[test]
+    fn agreement_reflexive_and_symmetric() {
+        let data = toy_dataset();
+        let mut a = |x: &Tensor| x.clone();
+        let mut b = |x: &Tensor| x.map(|v| v * 2.0); // same argmax
+        assert_eq!(agreement(&mut a, &mut b, &data), 1.0);
+        let mut c = |x: &Tensor| x.map(|v| -v);
+        assert_eq!(agreement(&mut a, &mut c, &data), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = Dataset { images: vec![], labels: vec![], classes: 2 };
+        let mut f = |x: &Tensor| x.clone();
+        let _ = top1_accuracy(&mut f, &data);
+    }
+}

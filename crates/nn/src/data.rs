@@ -1,0 +1,198 @@
+//! Synthetic labelled datasets (the ImageNet substitute).
+//!
+//! The paper's Fig. 6c measures post-training-quantization accuracy
+//! *relative to the FP32 model* on ImageNet. That relative degradation
+//! depends on the value distributions flowing through the network, not
+//! on dataset semantics, so we substitute a seeded synthetic dataset:
+//! class-conditioned Gaussian pattern images, optionally labelled by
+//! the FP32 teacher model itself (which pins FP32 accuracy to 100 % and
+//! turns quantized accuracy into a direct degradation measurement).
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A labelled dataset of CHW images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The images.
+    pub images: Vec<Tensor>,
+    /// Class labels, one per image.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True if there are no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Replaces the labels with the argmax predictions of a teacher
+    /// model (FP32 accuracy becomes 100 % by construction).
+    pub fn relabel_with_teacher(&mut self, teacher: &Sequential) {
+        for (img, label) in self.images.iter().zip(&mut self.labels) {
+            *label = teacher.forward(img).argmax();
+        }
+    }
+}
+
+/// Generates class-conditioned Gaussian pattern images.
+///
+/// Each class has a random smooth "prototype" pattern; samples are the
+/// prototype plus pixel noise, giving a dataset whose activation
+/// statistics resemble natural-image convnet inputs (zero-mean,
+/// bounded, spatially correlated).
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or the shape is not CHW.
+pub fn synthetic_images<R: Rng + ?Sized>(
+    samples: usize,
+    shape: &[usize],
+    classes: usize,
+    noise: f32,
+    rng: &mut R,
+) -> Dataset {
+    assert!(classes > 0, "need at least one class");
+    assert_eq!(shape.len(), 3, "images are CHW");
+    let normal = Normal::new(0.0f64, 1.0).expect("unit sigma");
+    // Smooth class prototypes: low-frequency sinusoid mixtures.
+    let protos: Vec<Tensor> = (0..classes)
+        .map(|_| {
+            let fx = rng.gen_range(0.3..1.5);
+            let fy = rng.gen_range(0.3..1.5);
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            let amp = rng.gen_range(0.5..1.0);
+            Tensor::from_fn(shape, |idx| {
+                let (c, y, x) = (idx[0] as f64, idx[1] as f64, idx[2] as f64);
+                (amp * ((fx * x * 0.4 + fy * y * 0.4 + phase + c).sin())) as f32
+            })
+        })
+        .collect();
+    let mut images = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % classes;
+        let mut img = protos[class].clone();
+        for v in img.data_mut() {
+            *v += noise * normal.sample(rng) as f32;
+        }
+        images.push(img);
+        labels.push(class);
+    }
+    Dataset { images, labels, classes }
+}
+
+/// Like [`synthetic_images`], but a fraction of samples are *boundary
+/// samples*: interpolations between two class prototypes
+/// (`λ ∈ [0.42, 0.58]`). After teacher relabelling these sit near the
+/// teacher's decision boundary, which is what makes the dataset
+/// sensitive to quantization — exactly the regime a PTQ accuracy study
+/// must probe (a dataset of only easy samples measures nothing).
+///
+/// # Panics
+///
+/// Panics if `classes < 2`, the shape is not CHW, or `boundary_frac`
+/// is outside `[0, 1]`.
+pub fn synthetic_images_with_boundaries<R: Rng + ?Sized>(
+    samples: usize,
+    shape: &[usize],
+    classes: usize,
+    noise: f32,
+    boundary_frac: f64,
+    rng: &mut R,
+) -> Dataset {
+    assert!(classes >= 2, "boundary mixing needs at least two classes");
+    assert!((0.0..=1.0).contains(&boundary_frac), "fraction must be in [0, 1]");
+    let mut ds = synthetic_images(samples, shape, classes, noise, rng);
+    let n_boundary = (samples as f64 * boundary_frac) as usize;
+    // Prototypes are recoverable from the noise-free construction; for
+    // mixing we simply blend two existing samples of different classes.
+    for i in 0..n_boundary {
+        let a = i % samples;
+        let b = (i + samples / 2 + 1) % samples;
+        if ds.labels[a] == ds.labels[b] {
+            continue;
+        }
+        let lambda = 0.42 + 0.16 * rng.gen::<f32>();
+        let img_b = ds.images[b].clone();
+        let img_a = &mut ds.images[a];
+        for (va, vb) in img_a.data_mut().iter_mut().zip(img_b.data()) {
+            *va = (1.0 - lambda) * *va + lambda * *vb;
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitSpec;
+    use crate::models::tiny_mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = synthetic_images(30, &[3, 8, 8], 5, 0.1, &mut rng);
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.classes, 5);
+        assert!(ds.labels.iter().all(|&l| l < 5));
+        assert_eq!(ds.images[0].shape(), &[3, 8, 8]);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = synthetic_images(40, &[1, 4, 4], 4, 0.1, &mut rng);
+        for c in 0..4 {
+            assert_eq!(ds.labels.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn noise_makes_samples_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = synthetic_images(8, &[1, 4, 4], 2, 0.2, &mut rng);
+        // Samples 0 and 2 share a class but differ by noise.
+        assert_ne!(ds.images[0].data(), ds.images[2].data());
+    }
+
+    #[test]
+    fn teacher_relabelling_gives_perfect_teacher_accuracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds0 = synthetic_images(12, &[1, 2, 2], 3, 0.3, &mut rng);
+        let teacher = tiny_mlp(4, 8, 3, InitSpec::gaussian(), &mut rng);
+        let mut ds = ds0;
+        // Flatten images for the MLP by reshaping in place.
+        for img in &mut ds.images {
+            *img = img.reshape(&[4]);
+        }
+        ds.relabel_with_teacher(&teacher);
+        let correct = ds
+            .images
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(img, &l)| teacher.forward(img).argmax() == l)
+            .count();
+        assert_eq!(correct, ds.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_images(4, &[1, 3, 3], 2, 0.1, &mut StdRng::seed_from_u64(7));
+        let b = synthetic_images(4, &[1, 3, 3], 2, 0.1, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.images, b.images);
+    }
+}

@@ -1,0 +1,111 @@
+//! Weight initialization distributions.
+//!
+//! Networks here are not trained (the paper's accuracy study is
+//! post-training quantization, which measures *degradation relative to
+//! the FP32 model* — a property of the value distributions, not of
+//! learned features). Weights are drawn from He-scaled Gaussians with
+//! an optional heavy-tail component that reproduces the outlier
+//! structure of trained convnets, which is what differentiates the
+//! INT8 / E3M4 / E2M5 formats in Fig. 6c.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Weight distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InitSpec {
+    /// Probability that a weight is drawn from the outlier component.
+    pub outlier_prob: f64,
+    /// Scale multiplier of the outlier component.
+    pub outlier_scale: f64,
+}
+
+impl InitSpec {
+    /// Pure Gaussian (no outliers).
+    #[must_use]
+    pub fn gaussian() -> Self {
+        Self { outlier_prob: 0.0, outlier_scale: 1.0 }
+    }
+
+    /// Mild heavy tails, typical of trained convnets: 1 % of weights
+    /// at 4× scale.
+    #[must_use]
+    pub fn heavy_tailed() -> Self {
+        Self { outlier_prob: 0.01, outlier_scale: 4.0 }
+    }
+}
+
+impl Default for InitSpec {
+    fn default() -> Self {
+        Self::heavy_tailed()
+    }
+}
+
+/// Draws `n` He-initialized weights for a layer with `fan_in` inputs.
+pub fn he_weights<R: Rng + ?Sized>(n: usize, fan_in: usize, spec: InitSpec, rng: &mut R) -> Vec<f32> {
+    let sigma = (2.0 / fan_in.max(1) as f64).sqrt();
+    let base = Normal::new(0.0, sigma).expect("sigma positive");
+    (0..n)
+        .map(|_| {
+            let mut w = base.sample(rng);
+            if spec.outlier_prob > 0.0 && rng.gen::<f64>() < spec.outlier_prob {
+                w *= spec.outlier_scale;
+            }
+            w as f32
+        })
+        .collect()
+}
+
+/// Small random biases (`±0.05` uniform).
+pub fn small_biases<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-0.05f32..0.05)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_scale_matches_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_weights(20_000, 50, InitSpec::gaussian(), &mut rng);
+        let var: f64 = w.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / 20_000.0;
+        assert!((var - 2.0 / 50.0).abs() / (2.0 / 50.0) < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn heavy_tails_produce_outliers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = InitSpec::heavy_tailed();
+        let w = he_weights(50_000, 100, spec, &mut rng);
+        let sigma = (2.0f32 / 100.0).sqrt();
+        let outliers = w.iter().filter(|&&x| x.abs() > 5.0 * sigma).count();
+        // Pure Gaussian would give essentially zero 5-sigma events.
+        assert!(outliers > 50, "outliers={outliers}");
+    }
+
+    #[test]
+    fn gaussian_has_no_extreme_outliers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = he_weights(50_000, 100, InitSpec::gaussian(), &mut rng);
+        let sigma = (2.0f32 / 100.0).sqrt();
+        let outliers = w.iter().filter(|&&x| x.abs() > 6.0 * sigma).count();
+        assert_eq!(outliers, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = he_weights(16, 8, InitSpec::default(), &mut StdRng::seed_from_u64(9));
+        let b = he_weights(16, 8, InitSpec::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn biases_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(small_biases(100, &mut rng).iter().all(|b| b.abs() <= 0.05));
+    }
+}

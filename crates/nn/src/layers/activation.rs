@@ -1,0 +1,70 @@
+//! Parameter-free activations.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        x.map(|v| v.max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Numerically-stable softmax over the last (only) axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Softmax;
+
+impl Layer for Softmax {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let max = x.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.data().iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        Tensor::new(x.shape(), exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::new(&[4], vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(Relu.forward(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let x = Tensor::new(&[3], vec![1.0, 2.0, 3.0]);
+        let y = Softmax.forward(&x);
+        let sum: f32 = y.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(y.data()[2] > y.data()[1] && y.data()[1] > y.data()[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::new(&[2], vec![1000.0, 1001.0]);
+        let y = Softmax.forward(&x);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

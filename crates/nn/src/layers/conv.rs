@@ -1,0 +1,351 @@
+//! 2-D convolutions (standard and depthwise).
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// A standard 2-D convolution over CHW input.
+///
+/// Weight layout: `[out_channels, in_channels, k, k]`.
+///
+/// # Example
+///
+/// ```
+/// use afpr_nn::layers::{Conv2d, Layer};
+/// use afpr_nn::tensor::Tensor;
+///
+/// // 1×1 identity kernel.
+/// let conv = Conv2d::new(Tensor::new(&[1, 1, 1, 1], vec![1.0]), vec![0.0], 1, 0);
+/// let x = Tensor::new(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(conv.forward(&x).data(), x.data());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Builds a convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not 4-D square-kernel, the bias length
+    /// differs from `out_channels`, or the stride is zero.
+    #[must_use]
+    pub fn new(weight: Tensor, bias: Vec<f32>, stride: usize, padding: usize) -> Self {
+        assert_eq!(weight.shape().len(), 4, "conv weight must be 4-D");
+        assert_eq!(weight.shape()[2], weight.shape()[3], "kernel must be square");
+        assert_eq!(bias.len(), weight.shape()[0], "one bias per output channel");
+        assert!(stride > 0, "stride must be positive");
+        let blen = bias.len();
+        Self { weight, bias: Tensor::new(&[blen], bias), stride, padding }
+    }
+
+    /// The weight tensor (`[out, in, k, k]`).
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output-channel biases.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        self.bias.data()
+    }
+
+    /// The stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The zero padding.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output spatial size for an input size.
+    #[must_use]
+    pub fn out_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.weight.shape()[2]) / self.stride + 1
+    }
+
+    /// The kernel expressed as a 2-D matrix `[(in·k·k), out]` — the
+    /// paper's Fig. 4 crossbar layout for a convolution layer.
+    #[must_use]
+    pub fn as_matrix(&self) -> Tensor {
+        let [oc, ic, k, _]: [usize; 4] = self.weight.shape().try_into().expect("4-D");
+        let rows = ic * k * k;
+        Tensor::from_fn(&[rows, oc], |idx| {
+            let (r, o) = (idx[0], idx[1]);
+            let c = r / (k * k);
+            let rem = r % (k * k);
+            self.weight.get(&[o, c, rem / k, rem % k])
+        })
+    }
+
+    /// The im2col patch matrix `[(in·k·k), positions]` for an input —
+    /// each column is the receptive field of one output position
+    /// (paper Fig. 4's layer-input layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not CHW with matching channels.
+    #[must_use]
+    pub fn im2col(&self, x: &Tensor) -> Tensor {
+        let [ic, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        let k = self.weight.shape()[2];
+        assert_eq!(ic, self.weight.shape()[1], "channel mismatch");
+        let oh = self.out_size(h);
+        let ow = self.out_size(w);
+        Tensor::from_fn(&[ic * k * k, oh * ow], |idx| {
+            let (r, p) = (idx[0], idx[1]);
+            let c = r / (k * k);
+            let rem = r % (k * k);
+            let (dy, dx) = (rem / k, rem % k);
+            let (oy, ox) = (p / ow, p % ow);
+            let iy = (oy * self.stride + dy) as isize - self.padding as isize;
+            let ix = (ox * self.stride + dx) as isize - self.padding as isize;
+            if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                0.0
+            } else {
+                x.get(&[c, iy as usize, ix as usize])
+            }
+        })
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [ic, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        assert_eq!(ic, self.weight.shape()[1], "channel mismatch");
+        let oc = self.weight.shape()[0];
+        let k = self.weight.shape()[2];
+        let oh = self.out_size(h);
+        let ow = self.out_size(w);
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias.data()[o];
+                    for c in 0..ic {
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let iy = (oy * self.stride + dy) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + dx) as isize - self.padding as isize;
+                                if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                    continue;
+                                }
+                                acc += x.get(&[c, iy as usize, ix as usize])
+                                    * self.weight.get(&[o, c, dy, dx]);
+                            }
+                        }
+                    }
+                    out.set(&[o, oy, ox], acc);
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        let [_, h, w]: [usize; 3] = input_shape.try_into().expect("CHW input");
+        let [oc, ic, k, _]: [usize; 4] = self.weight.shape().try_into().expect("4-D");
+        (oc * ic * k * k * self.out_size(h) * self.out_size(w)) as u64
+    }
+}
+
+/// A depthwise 2-D convolution (one kernel per channel), the building
+/// block of MobileNet-style networks.
+///
+/// Weight layout: `[channels, k, k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthwiseConv2d {
+    weight: Tensor,
+    bias: Tensor,
+    stride: usize,
+    padding: usize,
+}
+
+impl DepthwiseConv2d {
+    /// Builds a depthwise convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not 3-D square-kernel or the bias length
+    /// differs from the channel count.
+    #[must_use]
+    pub fn new(weight: Tensor, bias: Vec<f32>, stride: usize, padding: usize) -> Self {
+        assert_eq!(weight.shape().len(), 3, "depthwise weight must be 3-D");
+        assert_eq!(weight.shape()[1], weight.shape()[2], "kernel must be square");
+        assert_eq!(bias.len(), weight.shape()[0], "one bias per channel");
+        assert!(stride > 0, "stride must be positive");
+        let blen = bias.len();
+        Self { weight, bias: Tensor::new(&[blen], bias), stride, padding }
+    }
+
+    fn out_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.weight.shape()[1]) / self.stride + 1
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [ch, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        assert_eq!(ch, self.weight.shape()[0], "channel mismatch");
+        let k = self.weight.shape()[1];
+        let oh = self.out_size(h);
+        let ow = self.out_size(w);
+        let mut out = Tensor::zeros(&[ch, oh, ow]);
+        for c in 0..ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias.data()[c];
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let iy = (oy * self.stride + dy) as isize - self.padding as isize;
+                            let ix = (ox * self.stride + dx) as isize - self.padding as isize;
+                            if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                continue;
+                            }
+                            acc += x.get(&[c, iy as usize, ix as usize])
+                                * self.weight.get(&[c, dy, dx]);
+                        }
+                    }
+                    out.set(&[c, oy, ox], acc);
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        let [ch, h, w]: [usize; 3] = input_shape.try_into().expect("CHW input");
+        let k = self.weight.shape()[1];
+        let oh = (h + 2 * self.padding - k) / self.stride + 1;
+        let ow = (w + 2 * self.padding - k) / self.stride + 1;
+        (ch * k * k * oh * ow) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_conv() -> Conv2d {
+        // 2 output channels, 1 input channel, 3x3 kernels.
+        let mut w = Tensor::zeros(&[2, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0); // identity kernel
+        for dy in 0..3 {
+            for dx in 0..3 {
+                w.set(&[1, 0, dy, dx], 1.0); // box-sum kernel
+            }
+        }
+        Conv2d::new(w, vec![0.0, 0.0], 1, 1)
+    }
+
+    #[test]
+    fn identity_and_box_kernels() {
+        let conv = simple_conv();
+        let x = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 3, 3]);
+        // Channel 0 = identity.
+        for p in 0..9 {
+            assert_eq!(y.data()[p], x.data()[p]);
+        }
+        // Channel 1 centre = sum of all 9 inputs.
+        assert_eq!(y.get(&[1, 1, 1]), 36.0);
+    }
+
+    #[test]
+    fn stride_and_padding_shapes() {
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let conv = Conv2d::new(w, vec![0.0; 4], 2, 1);
+        let x = Tensor::zeros(&[3, 8, 8]);
+        assert_eq!(conv.forward(&x).shape(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn bias_applied() {
+        let conv = Conv2d::new(Tensor::zeros(&[1, 1, 1, 1]), vec![2.5], 1, 0);
+        let x = Tensor::zeros(&[1, 2, 2]);
+        assert!(conv.forward(&x).data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn im2col_times_matrix_equals_forward() {
+        let conv = simple_conv();
+        let x = Tensor::from_fn(&[1, 4, 4], |i| ((i[1] * 4 + i[2]) as f32).sin());
+        let direct = conv.forward(&x);
+        let cols = conv.im2col(&x); // [9, 16]
+        let mat = conv.as_matrix(); // [9, 2]
+        // out[o][p] = Σ_r mat[r][o] · cols[r][p]
+        for o in 0..2 {
+            for p in 0..16 {
+                let mut acc = 0.0;
+                for r in 0..9 {
+                    acc += mat.get(&[r, o]) * cols.get(&[r, p]);
+                }
+                let want = direct.data()[o * 16 + p];
+                assert!((acc - want).abs() < 1e-5, "o={o} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_identity() {
+        let mut w = Tensor::zeros(&[2, 3, 3]);
+        w.set(&[0, 1, 1], 1.0);
+        w.set(&[1, 1, 1], 2.0);
+        let dw = DepthwiseConv2d::new(w, vec![0.0, 0.0], 1, 1);
+        let x = Tensor::from_fn(&[2, 2, 2], |i| (i[0] * 4 + i[1] * 2 + i[2]) as f32);
+        let y = dw.forward(&x);
+        assert_eq!(y.get(&[0, 0, 0]), 0.0);
+        assert_eq!(y.get(&[0, 1, 1]), 3.0);
+        assert_eq!(y.get(&[1, 0, 0]), 8.0); // 4 × 2
+    }
+
+    #[test]
+    fn macs_counted() {
+        let conv = simple_conv();
+        // 2 out × 1 in × 9 kernel × 9 positions = 162.
+        assert_eq!(conv.macs(&[1, 3, 3]), 162);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let conv = simple_conv();
+        let _ = conv.forward(&Tensor::zeros(&[2, 3, 3]));
+    }
+}

@@ -1,0 +1,141 @@
+//! Fully-connected layer and flattening.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer, `y = W·x + b`.
+///
+/// Weight layout: `[out_features, in_features]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+}
+
+impl Linear {
+    /// Builds a linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not 2-D or the bias length differs from
+    /// the output features.
+    #[must_use]
+    pub fn new(weight: Tensor, bias: Vec<f32>) -> Self {
+        assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
+        assert_eq!(bias.len(), weight.shape()[0], "one bias per output feature");
+        let blen = bias.len();
+        Self { weight, bias: Tensor::new(&[blen], bias) }
+    }
+
+    /// The weight matrix (`[out, in]`).
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output biases.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        self.bias.data()
+    }
+
+    /// The weight transposed to the paper's Fig. 4 crossbar layout
+    /// (`[in, out]` — inputs on word lines, outputs on source lines).
+    #[must_use]
+    pub fn as_matrix(&self) -> Tensor {
+        let [o, i]: [usize; 2] = self.weight.shape().try_into().expect("2-D");
+        Tensor::from_fn(&[i, o], |idx| self.weight.get(&[idx[1], idx[0]]))
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [o, i]: [usize; 2] = self.weight.shape().try_into().expect("2-D");
+        assert_eq!(x.len(), i, "input features must match weight columns");
+        let mut out = Vec::with_capacity(o);
+        for r in 0..o {
+            let mut acc = self.bias.data()[r];
+            for c in 0..i {
+                acc += self.weight.get(&[r, c]) * x.data()[c];
+            }
+            out.push(acc);
+        }
+        Tensor::new(&[o], out)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        (self.weight.shape()[0] * self.weight.shape()[1]) as u64
+    }
+}
+
+/// Flattens any input to a 1-D vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        x.reshape(&[x.len()])
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_with_bias() {
+        let w = Tensor::new(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+        let lin = Linear::new(w, vec![10.0, 20.0]);
+        let y = lin.forward(&Tensor::new(&[3], vec![1.0, 2.0, 3.0]));
+        assert_eq!(y.data(), &[11.0, 24.0]);
+    }
+
+    #[test]
+    fn as_matrix_transposes() {
+        let w = Tensor::new(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let lin = Linear::new(w, vec![0.0; 2]);
+        let m = lin.as_matrix();
+        assert_eq!(m.shape(), &[3, 2]);
+        assert_eq!(m.get(&[2, 1]), 5.0);
+    }
+
+    #[test]
+    fn flatten_reshapes() {
+        let x = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(Flatten.forward(&x).shape(), &[24]);
+    }
+
+    #[test]
+    fn macs_equal_weight_count() {
+        let lin = Linear::new(Tensor::zeros(&[4, 8]), vec![0.0; 4]);
+        assert_eq!(lin.macs(&[8]), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_input_size_panics() {
+        let lin = Linear::new(Tensor::zeros(&[2, 3]), vec![0.0; 2]);
+        let _ = lin.forward(&Tensor::zeros(&[4]));
+    }
+}

@@ -1,0 +1,59 @@
+//! Inference layers.
+//!
+//! All layers implement [`Layer`]. Weight-bearing layers expose their
+//! parameters through [`Layer::for_each_weight`] so the PTQ machinery
+//! (see [`crate::quant`]) can fake-quantize them in place without
+//! knowing each layer's structure.
+
+mod activation;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use activation::{Relu, Softmax};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use linear::{Flatten, Linear};
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+
+use crate::tensor::Tensor;
+
+/// An inference layer: a pure function of its input plus parameters.
+pub trait Layer: Send + Sync {
+    /// Computes the layer output.
+    fn forward(&self, x: &Tensor) -> Tensor;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Type-erased self, so hardware-mapping backends can recognise
+    /// concrete layers (e.g. replace [`Conv2d`]/[`Linear`] with
+    /// CIM-macro execution) without this crate depending on them.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Visits every weight tensor mutably (biases included), for
+    /// in-place PTQ. Layers without parameters do nothing.
+    fn for_each_weight(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+
+    /// Number of MAC operations for one forward pass of the given
+    /// input (used by the performance model). Defaults to 0 for
+    /// parameter-free layers.
+    fn macs(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_is_parameter_free() {
+        let mut r = Relu;
+        let mut count = 0;
+        r.for_each_weight(&mut |_| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(r.macs(&[3, 8, 8]), 0);
+    }
+}

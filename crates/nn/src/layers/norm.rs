@@ -1,0 +1,132 @@
+//! Batch normalization (inference form).
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Inference-time batch normalization over CHW input:
+/// `y = γ · (x − μ) / sqrt(σ² + ε) + β` per channel.
+///
+/// In deployment BN folds into the preceding convolution; the layer is
+/// provided both for building un-folded models and to test the folding
+/// helper [`BatchNorm2d::fold_into_scale_bias`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Builds a BN layer from per-channel statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter vectors have different lengths or `eps`
+    /// is not positive.
+    #[must_use]
+    pub fn new(gamma: Vec<f32>, beta: Vec<f32>, mean: Vec<f32>, var: Vec<f32>, eps: f32) -> Self {
+        let n = gamma.len();
+        assert!(
+            beta.len() == n && mean.len() == n && var.len() == n,
+            "all BN parameter vectors must have equal length"
+        );
+        assert!(eps > 0.0, "eps must be positive");
+        Self {
+            gamma: Tensor::new(&[n], gamma),
+            beta: Tensor::new(&[n], beta),
+            mean,
+            var,
+            eps,
+        }
+    }
+
+    /// Identity BN (γ=1, β=0, μ=0, σ²=1).
+    #[must_use]
+    pub fn identity(channels: usize) -> Self {
+        Self::new(
+            vec![1.0; channels],
+            vec![0.0; channels],
+            vec![0.0; channels],
+            vec![1.0; channels],
+            1e-5,
+        )
+    }
+
+    /// The per-channel `(scale, bias)` this BN is equivalent to —
+    /// what deployment folds into the preceding convolution.
+    #[must_use]
+    pub fn fold_into_scale_bias(&self) -> Vec<(f32, f32)> {
+        (0..self.mean.len())
+            .map(|c| {
+                let s = self.gamma.data()[c] / (self.var[c] + self.eps).sqrt();
+                (s, self.beta.data()[c] - s * self.mean[c])
+            })
+            .collect()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [ch, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        assert_eq!(ch, self.mean.len(), "channel mismatch");
+        let folded = self.fold_into_scale_bias();
+        Tensor::from_fn(&[ch, h, w], |idx| {
+            let (s, b) = folded[idx[0]];
+            s * x.get(idx) + b
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_bn_is_identity() {
+        let bn = BatchNorm2d::identity(2);
+        let x = Tensor::from_fn(&[2, 2, 2], |i| (i[0] + i[1] + i[2]) as f32);
+        let y = bn.forward(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalizes_channel_statistics() {
+        let bn = BatchNorm2d::new(vec![1.0], vec![0.0], vec![10.0], vec![4.0], 1e-9);
+        let x = Tensor::new(&[1, 1, 2], vec![10.0, 14.0]);
+        let y = bn.forward(&x);
+        assert!((y.data()[0] - 0.0).abs() < 1e-4);
+        assert!((y.data()[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fold_matches_forward() {
+        let bn = BatchNorm2d::new(vec![2.0], vec![1.0], vec![3.0], vec![9.0], 1e-9);
+        let (s, b) = bn.fold_into_scale_bias()[0];
+        let x = 7.0f32;
+        let direct = bn.forward(&Tensor::new(&[1, 1, 1], vec![x])).data()[0];
+        assert!((s * x + b - direct).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_params_panic() {
+        let _ = BatchNorm2d::new(vec![1.0], vec![0.0, 0.0], vec![0.0], vec![1.0], 1e-5);
+    }
+}

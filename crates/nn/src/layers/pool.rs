@@ -1,0 +1,111 @@
+//! Pooling layers.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over CHW input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Builds a max-pool with the given kernel and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self { kernel, stride }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [ch, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        Tensor::from_fn(&[ch, oh, ow], |idx| {
+            let (c, oy, ox) = (idx[0], idx[1], idx[2]);
+            let mut best = f32::NEG_INFINITY;
+            for dy in 0..self.kernel {
+                for dx in 0..self.kernel {
+                    best = best.max(x.get(&[c, oy * self.stride + dy, ox * self.stride + dx]));
+                }
+            }
+            best
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Global average pooling: CHW → per-channel means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let [ch, h, w]: [usize; 3] = x.shape().try_into().expect("CHW input");
+        let hw = (h * w) as f32;
+        let mut out = Vec::with_capacity(ch);
+        for c in 0..ch {
+            let start = c * h * w;
+            let sum: f32 = x.data()[start..start + h * w].iter().sum();
+            out.push(sum / hw);
+        }
+        Tensor::new(&[ch], out)
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2() {
+        let x = Tensor::new(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = MaxPool2d::new(2, 2).forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1]);
+        assert_eq!(y.data(), &[5.0]);
+    }
+
+    #[test]
+    fn maxpool_stride_one_overlaps() {
+        let x = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+        let y = MaxPool2d::new(2, 1).forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let x = Tensor::new(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = GlobalAvgPool.forward(&x);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn pools_handle_negative_values() {
+        let x = Tensor::new(&[1, 2, 2], vec![-4.0, -1.0, -3.0, -2.0]);
+        assert_eq!(MaxPool2d::new(2, 2).forward(&x).data(), &[-1.0]);
+        assert_eq!(GlobalAvgPool.forward(&x).data(), &[-2.5]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Minimal neural-network substrate for the AFPR-CIM evaluation.
+//!
+//! The paper's network-level study (Fig. 6c) measures post-training
+//! quantization accuracy of ResNet/MobileNet-class networks under
+//! INT8, FP8 E3M4 and FP8 E2M5. This crate provides everything that
+//! study needs, built from scratch:
+//!
+//! * [`tensor`] — a dense f32 tensor.
+//! * [`layers`] — conv2d, depthwise conv, linear, pooling, batch norm,
+//!   activations.
+//! * [`model`] — sequential composition and residual blocks.
+//! * [`models`] — Tiny-ResNet, Tiny-MobileNet and an MLP.
+//! * [`data`] — seeded synthetic datasets (the ImageNet substitute;
+//!   see DESIGN.md for the substitution argument).
+//! * [`quant`] — PTQ: per-tensor weight quantization and calibrated
+//!   static activation scales for any [`quant::NumFormat`].
+//! * [`accuracy`] — top-1 and agreement evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use afpr_nn::init::InitSpec;
+//! use afpr_nn::models::tiny_mlp;
+//! use afpr_nn::tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = tiny_mlp(16, 32, 10, InitSpec::heavy_tailed(), &mut rng);
+//! let logits = model.forward(&Tensor::zeros(&[16]));
+//! assert_eq!(logits.shape(), &[10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod model;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+
+pub use data::Dataset;
+pub use model::{ResidualBlock, Sequential};
+pub use quant::{NumFormat, QuantizedModel};
+pub use tensor::Tensor;

@@ -1,0 +1,261 @@
+//! Model composition: sequential stacks and residual blocks.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order.
+///
+/// Blocks (e.g. [`ResidualBlock`]) implement [`Layer`] themselves, so a
+/// whole ResNet is a `Sequential` at the top level — which is what the
+/// PTQ machinery traverses.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder-style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the model has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for PTQ).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Runs the model, returning the final output.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Runs the model, additionally invoking `tap` with each
+    /// intermediate output (used for activation-range calibration).
+    pub fn forward_tapped(&self, x: &Tensor, tap: &mut dyn FnMut(usize, &Tensor)) -> Tensor {
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward(&cur);
+            tap(i, &cur);
+        }
+        cur
+    }
+
+    /// Total MAC count for an input shape.
+    #[must_use]
+    pub fn macs(&self, input_shape: &[usize]) -> u64 {
+        // Track the evolving shape by running a zero tensor through.
+        let mut shape = input_shape.to_vec();
+        let mut total = 0u64;
+        let mut cur = Tensor::zeros(input_shape);
+        for layer in &self.layers {
+            total += layer.macs(&shape);
+            cur = layer.forward(&cur);
+            shape = cur.shape().to_vec();
+        }
+        total
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        Sequential::forward(self, x)
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.for_each_weight(f);
+        }
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        Sequential::macs(self, input_shape)
+    }
+}
+
+/// A residual block: `y = relu(f(x) + g(x))` where `f` is the main
+/// path and `g` the shortcut (identity when `None`).
+pub struct ResidualBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+}
+
+impl ResidualBlock {
+    /// Builds a residual block with an identity shortcut.
+    #[must_use]
+    pub fn identity(main: Sequential) -> Self {
+        Self { main, shortcut: None }
+    }
+
+    /// Builds a residual block with a projection shortcut (used when
+    /// the main path changes shape).
+    #[must_use]
+    pub fn projected(main: Sequential, shortcut: Sequential) -> Self {
+        Self { main, shortcut: Some(shortcut) }
+    }
+
+    /// The main path.
+    #[must_use]
+    pub fn main(&self) -> &Sequential {
+        &self.main
+    }
+
+    /// The shortcut path (`None` for an identity shortcut).
+    #[must_use]
+    pub fn shortcut(&self) -> Option<&Sequential> {
+        self.shortcut.as_ref()
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let main = self.main.forward(x);
+        let skip = match &self.shortcut {
+            Some(s) => s.forward(x),
+            None => x.clone(),
+        };
+        main.add(&skip).map(|v| v.max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "residual_block"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn for_each_weight(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.main.for_each_weight(f);
+        if let Some(s) = &mut self.shortcut {
+            s.for_each_weight(f);
+        }
+    }
+
+    fn macs(&self, input_shape: &[usize]) -> u64 {
+        self.main.macs(input_shape)
+            + self.shortcut.as_ref().map_or(0, |s| s.macs(input_shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear, Relu};
+
+    fn identity_conv(ch: usize) -> Conv2d {
+        let mut w = Tensor::zeros(&[ch, ch, 1, 1]);
+        for c in 0..ch {
+            w.set(&[c, c, 0, 0], 1.0);
+        }
+        Conv2d::new(w, vec![0.0; ch], 1, 0)
+    }
+
+    #[test]
+    fn sequential_chains_layers() {
+        let model = Sequential::new()
+            .push(Linear::new(Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, -1.0]), vec![0.0; 2]))
+            .push(Relu);
+        let y = model.forward(&Tensor::new(&[2], vec![3.0, 4.0]));
+        assert_eq!(y.data(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn tapped_forward_sees_every_layer() {
+        let model = Sequential::new().push(Relu).push(Relu).push(Relu);
+        let mut seen = Vec::new();
+        let _ = model.forward_tapped(&Tensor::zeros(&[2]), &mut |i, _| seen.push(i));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn identity_residual_doubles_positive_input() {
+        let block = ResidualBlock::identity(Sequential::new().push(identity_conv(2)));
+        let x = Tensor::from_fn(&[2, 2, 2], |i| (1 + i[0] + i[1]) as f32);
+        let y = block.forward(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert_eq!(*b, 2.0 * a);
+        }
+    }
+
+    #[test]
+    fn residual_applies_relu() {
+        // Main path outputs -x via a -1 conv; skip adds x; relu(0) = 0.
+        let ch = 1;
+        let mut w = Tensor::zeros(&[ch, ch, 1, 1]);
+        w.set(&[0, 0, 0, 0], -2.0);
+        let main = Sequential::new().push(Conv2d::new(w, vec![0.0], 1, 0));
+        let block = ResidualBlock::identity(main);
+        let x = Tensor::new(&[1, 1, 2], vec![1.0, 3.0]);
+        let y = block.forward(&x);
+        // -2x + x = -x -> relu -> 0
+        assert_eq!(y.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn weight_traversal_reaches_nested_layers() {
+        let block = ResidualBlock::projected(
+            Sequential::new().push(identity_conv(2)),
+            Sequential::new().push(identity_conv(2)),
+        );
+        let mut model = Sequential::new();
+        model.push_boxed(Box::new(block));
+        let mut count = 0;
+        Layer::for_each_weight(&mut model, &mut |_| count += 1);
+        // Two convs, each with weight + bias.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn macs_accumulate_through_shapes() {
+        let model = Sequential::new()
+            .push(identity_conv(2))
+            .push(crate::layers::Flatten)
+            .push(Linear::new(Tensor::zeros(&[3, 8]), vec![0.0; 3]));
+        // conv: 2·2·1·1·(2·2)=16 ; linear: 24.
+        assert_eq!(model.macs(&[2, 2, 2]), 40);
+    }
+}

@@ -1,0 +1,58 @@
+//! A small multilayer perceptron.
+
+use crate::init::{he_weights, small_biases, InitSpec};
+use crate::layers::{Linear, Relu};
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Builds an MLP: `in → hidden → hidden → classes` with ReLU between.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+#[must_use]
+pub fn tiny_mlp<R: Rng + ?Sized>(
+    inputs: usize,
+    hidden: usize,
+    classes: usize,
+    spec: InitSpec,
+    rng: &mut R,
+) -> Sequential {
+    assert!(inputs > 0 && hidden > 0 && classes > 0, "dimensions must be non-zero");
+    let mut model = Sequential::new();
+    let dims = [(hidden, inputs), (hidden, hidden), (classes, hidden)];
+    for (i, (o, n)) in dims.iter().enumerate() {
+        let w = Tensor::new(&[*o, *n], he_weights(o * n, *n, spec, rng));
+        model = model.push(Linear::new(w, small_biases(*o, rng)));
+        if i + 1 < dims.len() {
+            model = model.push(Relu);
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = tiny_mlp(12, 32, 5, InitSpec::gaussian(), &mut rng);
+        let y = m.forward(&Tensor::zeros(&[12]));
+        assert_eq!(y.shape(), &[5]);
+        assert_eq!(m.len(), 5); // 3 linear + 2 relu
+    }
+
+    #[test]
+    fn outputs_vary_with_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = tiny_mlp(8, 16, 3, InitSpec::gaussian(), &mut rng);
+        let a = m.forward(&Tensor::new(&[8], vec![1.0; 8]));
+        let b = m.forward(&Tensor::new(&[8], vec![-1.0; 8]));
+        assert_ne!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,76 @@
+//! Tiny-MobileNet: depthwise-separable blocks in the spirit of the
+//! paper's MobileNet benchmark, sized for the synthetic dataset.
+
+use crate::init::{he_weights, small_biases, InitSpec};
+use crate::layers::{Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, Relu};
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+fn pointwise<R: Rng + ?Sized>(
+    out_c: usize,
+    in_c: usize,
+    spec: InitSpec,
+    rng: &mut R,
+) -> Conv2d {
+    let w = Tensor::new(&[out_c, in_c, 1, 1], he_weights(out_c * in_c, in_c, spec, rng));
+    Conv2d::new(w, small_biases(out_c, rng), 1, 0)
+}
+
+fn depthwise<R: Rng + ?Sized>(
+    channels: usize,
+    stride: usize,
+    spec: InitSpec,
+    rng: &mut R,
+) -> DepthwiseConv2d {
+    let w = Tensor::new(&[channels, 3, 3], he_weights(channels * 9, 9, spec, rng));
+    DepthwiseConv2d::new(w, small_biases(channels, rng), stride, 1)
+}
+
+/// Builds a Tiny-MobileNet for `[3, 16, 16]` inputs:
+/// stem conv → three depthwise-separable blocks (16→24→32 channels,
+/// one strided) → global average pool → classifier.
+#[must_use]
+pub fn tiny_mobilenet<R: Rng + ?Sized>(classes: usize, spec: InitSpec, rng: &mut R) -> Sequential {
+    let stem_w = Tensor::new(&[16, 3, 3, 3], he_weights(16 * 27, 27, spec, rng));
+    let mut model = Sequential::new()
+        .push(Conv2d::new(stem_w, small_biases(16, rng), 1, 1))
+        .push(Relu);
+
+    for (in_c, out_c, stride) in [(16, 24, 1), (24, 32, 2), (32, 32, 1)] {
+        model = model
+            .push(depthwise(in_c, stride, spec, rng))
+            .push(Relu)
+            .push(pointwise(out_c, in_c, spec, rng))
+            .push(Relu);
+    }
+
+    let head_w = Tensor::new(&[classes, 32], he_weights(classes * 32, 32, spec, rng));
+    model
+        .push(GlobalAvgPool)
+        .push(Flatten)
+        .push(Linear::new(head_w, small_biases(classes, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = tiny_mobilenet(10, InitSpec::gaussian(), &mut rng);
+        let y = m.forward(&Tensor::zeros(&[3, 16, 16]));
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn cheaper_than_resnet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mob = tiny_mobilenet(10, InitSpec::gaussian(), &mut rng);
+        let res = crate::models::tiny_resnet(10, InitSpec::gaussian(), &mut rng);
+        assert!(mob.macs(&[3, 16, 16]) < res.macs(&[3, 16, 16]));
+    }
+}

@@ -1,0 +1,9 @@
+//! Reference network architectures for the accuracy study (Fig. 6c).
+
+mod mlp;
+mod mobilenet;
+mod resnet;
+
+pub use mlp::tiny_mlp;
+pub use mobilenet::tiny_mobilenet;
+pub use resnet::tiny_resnet;

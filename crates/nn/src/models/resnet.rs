@@ -1,0 +1,92 @@
+//! Tiny-ResNet: a reduced residual network in the spirit of the
+//! paper's ResNet benchmark, sized for the synthetic dataset.
+
+use crate::init::{he_weights, small_biases, InitSpec};
+use crate::layers::{Conv2d, Flatten, GlobalAvgPool, Linear, Relu};
+use crate::model::{ResidualBlock, Sequential};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+fn conv<R: Rng + ?Sized>(
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    spec: InitSpec,
+    rng: &mut R,
+) -> Conv2d {
+    let n = out_c * in_c * k * k;
+    let w = Tensor::new(&[out_c, in_c, k, k], he_weights(n, in_c * k * k, spec, rng));
+    Conv2d::new(w, small_biases(out_c, rng), stride, padding)
+}
+
+/// Builds a Tiny-ResNet for `[3, 16, 16]` inputs:
+/// stem conv → residual(16) → strided residual(16→32) → residual(32) →
+/// global average pool → classifier.
+#[must_use]
+pub fn tiny_resnet<R: Rng + ?Sized>(classes: usize, spec: InitSpec, rng: &mut R) -> Sequential {
+    let mut model = Sequential::new()
+        .push(conv(16, 3, 3, 1, 1, spec, rng))
+        .push(Relu);
+
+    // Identity block at 16 channels.
+    let main = Sequential::new()
+        .push(conv(16, 16, 3, 1, 1, spec, rng))
+        .push(Relu)
+        .push(conv(16, 16, 3, 1, 1, spec, rng));
+    model = model.push(ResidualBlock::identity(main));
+
+    // Strided projection block 16 → 32.
+    let main = Sequential::new()
+        .push(conv(32, 16, 3, 2, 1, spec, rng))
+        .push(Relu)
+        .push(conv(32, 32, 3, 1, 1, spec, rng));
+    let shortcut = Sequential::new().push(conv(32, 16, 1, 2, 0, spec, rng));
+    model = model.push(ResidualBlock::projected(main, shortcut));
+
+    // Identity block at 32 channels.
+    let main = Sequential::new()
+        .push(conv(32, 32, 3, 1, 1, spec, rng))
+        .push(Relu)
+        .push(conv(32, 32, 3, 1, 1, spec, rng));
+    model = model.push(ResidualBlock::identity(main));
+
+    let head_w = Tensor::new(&[classes, 32], he_weights(classes * 32, 32, spec, rng));
+    model
+        .push(GlobalAvgPool)
+        .push(Flatten)
+        .push(Linear::new(head_w, small_biases(classes, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = tiny_resnet(10, InitSpec::gaussian(), &mut rng);
+        let y = m.forward(&Tensor::zeros(&[3, 16, 16]));
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn has_meaningful_mac_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = tiny_resnet(10, InitSpec::gaussian(), &mut rng);
+        let macs = m.macs(&[3, 16, 16]);
+        assert!(macs > 1_000_000, "macs={macs}");
+    }
+
+    #[test]
+    fn different_inputs_different_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = tiny_resnet(4, InitSpec::gaussian(), &mut rng);
+        let a = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| (i[1] as f32 * 0.1).sin()));
+        let b = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| (i[2] as f32 * 0.2).cos()));
+        assert_ne!(a.data(), b.data());
+    }
+}

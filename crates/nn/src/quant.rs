@@ -1,0 +1,329 @@
+//! Post-training quantization (PTQ) machinery for the Fig. 6c study.
+//!
+//! Quantization is *simulated* ("fake quant"): values are rounded onto
+//! the target format's grid and immediately rescaled to `f32`, exactly
+//! reproducing the numerical error of the real pipeline while keeping
+//! inference in floating point. Weights are quantized per-tensor at
+//! absmax scale; activations use per-boundary static scales collected
+//! from a calibration set — the standard PTQ recipe the paper compares
+//! formats under.
+
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use afpr_num::{stats, Int8Quantizer, Minifloat};
+use serde::{Deserialize, Serialize};
+
+/// A numeric format for the PTQ study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumFormat {
+    /// No quantization (the FP32 reference).
+    Fp32,
+    /// Symmetric INT8.
+    Int8,
+    /// FP8 with 1-bit exponent, 6-bit mantissa (sweep extension).
+    E1M6,
+    /// FP8 with 2-bit exponent, 5-bit mantissa (the paper's choice).
+    E2M5,
+    /// FP8 with 3-bit exponent, 4-bit mantissa.
+    E3M4,
+    /// FP8 with 4-bit exponent, 3-bit mantissa.
+    E4M3,
+    /// FP8 with 5-bit exponent, 2-bit mantissa.
+    E5M2,
+}
+
+impl NumFormat {
+    /// All quantized formats the paper's Fig. 6 sweeps (plus the two
+    /// extension formats).
+    pub const ALL_QUANTIZED: [NumFormat; 6] = [
+        NumFormat::Int8,
+        NumFormat::E1M6,
+        NumFormat::E2M5,
+        NumFormat::E3M4,
+        NumFormat::E4M3,
+        NumFormat::E5M2,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NumFormat::Fp32 => "FP32",
+            NumFormat::Int8 => "INT8",
+            NumFormat::E1M6 => "FP8(E1M6)",
+            NumFormat::E2M5 => "FP8(E2M5)",
+            NumFormat::E3M4 => "FP8(E3M4)",
+            NumFormat::E4M3 => "FP8(E4M3)",
+            NumFormat::E5M2 => "FP8(E5M2)",
+        }
+    }
+
+    /// The largest representable magnitude (used for scale selection).
+    #[must_use]
+    pub fn max_value(self) -> f32 {
+        match self {
+            NumFormat::Fp32 => f32::MAX,
+            NumFormat::Int8 => 127.0,
+            NumFormat::E1M6 => Minifloat::<afpr_num::minifloat::FmtE1M6>::max_value().to_f32(),
+            NumFormat::E2M5 => Minifloat::<afpr_num::minifloat::FmtE2M5>::max_value().to_f32(),
+            NumFormat::E3M4 => Minifloat::<afpr_num::minifloat::FmtE3M4>::max_value().to_f32(),
+            NumFormat::E4M3 => Minifloat::<afpr_num::minifloat::FmtE4M3>::max_value().to_f32(),
+            NumFormat::E5M2 => Minifloat::<afpr_num::minifloat::FmtE5M2>::max_value().to_f32(),
+        }
+    }
+
+    /// Fake-quantizes one value at the given per-tensor scale
+    /// (`scale` maps real units to format units).
+    #[must_use]
+    pub fn fake_quant(self, x: f32, scale: f32) -> f32 {
+        if scale <= 0.0 {
+            return x;
+        }
+        match self {
+            NumFormat::Fp32 => x,
+            NumFormat::Int8 => {
+                let q = Int8Quantizer::symmetric_for_absmax(scale * 127.0)
+                    .expect("positive scale");
+                q.fake_quant(x)
+            }
+            NumFormat::E1M6 => {
+                Minifloat::<afpr_num::minifloat::FmtE1M6>::fake_quant(x / scale) * scale
+            }
+            NumFormat::E2M5 => {
+                Minifloat::<afpr_num::minifloat::FmtE2M5>::fake_quant(x / scale) * scale
+            }
+            NumFormat::E3M4 => {
+                Minifloat::<afpr_num::minifloat::FmtE3M4>::fake_quant(x / scale) * scale
+            }
+            NumFormat::E4M3 => {
+                Minifloat::<afpr_num::minifloat::FmtE4M3>::fake_quant(x / scale) * scale
+            }
+            NumFormat::E5M2 => {
+                Minifloat::<afpr_num::minifloat::FmtE5M2>::fake_quant(x / scale) * scale
+            }
+        }
+    }
+
+    /// The absmax-calibrated scale for a slice (1.0 for FP32 or an
+    /// all-zero slice).
+    #[must_use]
+    pub fn calibrate_scale(self, xs: &[f32]) -> f32 {
+        if self == NumFormat::Fp32 {
+            return 1.0;
+        }
+        let absmax = stats::abs_max(xs);
+        if absmax == 0.0 {
+            1.0
+        } else {
+            absmax / self.max_value()
+        }
+    }
+
+    /// Fake-quantizes a slice in place at its absmax scale.
+    pub fn fake_quant_slice(self, xs: &mut [f32]) {
+        if self == NumFormat::Fp32 {
+            return;
+        }
+        let scale = self.calibrate_scale(xs);
+        for x in xs.iter_mut() {
+            *x = self.fake_quant(*x, scale);
+        }
+    }
+}
+
+/// Quantizes every parameter tensor of a model in place (per-tensor
+/// absmax scale).
+pub fn quantize_weights(model: &mut Sequential, format: NumFormat) {
+    use crate::layers::Layer;
+    Layer::for_each_weight(model, &mut |t: &mut Tensor| {
+        format.fake_quant_slice(t.data_mut());
+    });
+}
+
+/// A PTQ-quantized model: quantized weights plus static activation
+/// scales at every layer boundary.
+///
+/// # Example
+///
+/// ```
+/// use afpr_nn::init::InitSpec;
+/// use afpr_nn::models::tiny_mlp;
+/// use afpr_nn::quant::{NumFormat, QuantizedModel};
+/// use afpr_nn::tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = tiny_mlp(4, 8, 3, InitSpec::gaussian(), &mut rng);
+/// let calib = vec![Tensor::new(&[4], vec![0.5, -1.0, 0.25, 0.75])];
+/// let q = QuantizedModel::calibrate(model, NumFormat::E2M5, NumFormat::E2M5, &calib);
+/// let y = q.forward(&calib[0]);
+/// assert_eq!(y.shape(), &[3]);
+/// ```
+pub struct QuantizedModel {
+    model: Sequential,
+    act_format: NumFormat,
+    /// `scales[0]` is the input scale; `scales[i+1]` follows layer `i`.
+    act_scales: Vec<f32>,
+}
+
+impl QuantizedModel {
+    /// Quantizes `model`'s weights and calibrates activation scales on
+    /// the calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration set is empty.
+    #[must_use]
+    pub fn calibrate(
+        mut model: Sequential,
+        weight_format: NumFormat,
+        act_format: NumFormat,
+        calibration: &[Tensor],
+    ) -> Self {
+        assert!(!calibration.is_empty(), "calibration set must not be empty");
+        quantize_weights(&mut model, weight_format);
+        let mut maxes = vec![0.0f32; model.len() + 1];
+        for sample in calibration {
+            maxes[0] = maxes[0].max(stats::abs_max(sample.data()));
+            model.forward_tapped(sample, &mut |i, t| {
+                maxes[i + 1] = maxes[i + 1].max(stats::abs_max(t.data()));
+            });
+        }
+        let act_scales = maxes
+            .into_iter()
+            .map(|m| if m > 0.0 { m / act_format.max_value() } else { 1.0 })
+            .collect();
+        Self { model, act_format, act_scales }
+    }
+
+    /// The per-boundary activation scales (`[0]` = input).
+    #[must_use]
+    pub fn act_scales(&self) -> &[f32] {
+        &self.act_scales
+    }
+
+    /// Quantized inference: activations are fake-quantized at every
+    /// layer boundary with the calibrated static scales.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut cur = x.map(|v| self.act_format.fake_quant(v, self.act_scales[0]));
+        for (i, layer) in self.model.layers().iter().enumerate() {
+            cur = layer.forward(&cur);
+            let scale = self.act_scales[i + 1];
+            cur = cur.map(|v| self.act_format.fake_quant(v, scale));
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitSpec;
+    use crate::models::tiny_mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fp32_is_identity() {
+        assert_eq!(NumFormat::Fp32.fake_quant(1.2345, 1.0), 1.2345);
+        let mut xs = [0.1f32, -0.7, 3.3];
+        let orig = xs;
+        NumFormat::Fp32.fake_quant_slice(&mut xs);
+        assert_eq!(xs, orig);
+    }
+
+    #[test]
+    fn formats_quantize_to_their_grids() {
+        // At scale 1, 1.01 rounds to the nearest E2M5 value (1.0).
+        assert_eq!(NumFormat::E2M5.fake_quant(1.01, 1.0), 1.0);
+        // E3M4 grid step at 1.0 is 1/16; 1.04 is nearer 1.0625 than 1.0.
+        assert_eq!(NumFormat::E3M4.fake_quant(1.04, 1.0), 1.0625);
+        // INT8 with scale 1 covers ±127 in integer steps.
+        assert_eq!(NumFormat::Int8.fake_quant(3.4, 1.0), 3.0);
+    }
+
+    #[test]
+    fn absmax_calibration_covers_range() {
+        let xs = [0.5f32, -8.0, 2.0];
+        for fmt in NumFormat::ALL_QUANTIZED {
+            let scale = fmt.calibrate_scale(&xs);
+            // The absmax value must round-trip without saturating error.
+            let q = fmt.fake_quant(-8.0, scale);
+            assert!((q + 8.0).abs() < 8.0 * 0.04, "{}: {q}", fmt.label());
+        }
+    }
+
+    #[test]
+    fn quantize_weights_changes_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = tiny_mlp(6, 12, 3, InitSpec::gaussian(), &mut rng);
+        let before = model.forward(&Tensor::new(&[6], vec![0.3; 6]));
+        quantize_weights(&mut model, NumFormat::E3M4);
+        let after = model.forward(&Tensor::new(&[6], vec![0.3; 6]));
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn quantized_model_close_to_fp32() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = tiny_mlp(8, 16, 4, InitSpec::gaussian(), &mut rng);
+        let calib: Vec<Tensor> = (0..8)
+            .map(|k| Tensor::from_fn(&[8], |i| ((i[0] + k) as f32 * 0.7).sin()))
+            .collect();
+        let reference: Vec<Tensor> = calib.iter().map(|x| model.forward(x)).collect();
+        let q = QuantizedModel::calibrate(model, NumFormat::E2M5, NumFormat::E2M5, &calib);
+        for (x, want) in calib.iter().zip(&reference) {
+            let got = q.forward(x);
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert!((g - w).abs() < 0.25 * w.abs().max(0.5), "got {g} want {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn finer_mantissa_quantizes_tighter_on_gaussian_data() {
+        // The Fig. 6c mechanism in miniature: for well-behaved
+        // (Gaussian) data, E2M5's extra mantissa bit beats E3M4.
+        let xs: Vec<f32> = (0..1000).map(|k| ((k as f32) * 0.11).sin() * 2.0).collect();
+        let mut e2m5 = xs.clone();
+        let mut e3m4 = xs.clone();
+        NumFormat::E2M5.fake_quant_slice(&mut e2m5);
+        NumFormat::E3M4.fake_quant_slice(&mut e3m4);
+        let err = |q: &[f32]| stats::mse(&xs, q);
+        assert!(err(&e2m5) < err(&e3m4));
+    }
+
+    #[test]
+    fn outliers_hurt_int8_more_than_fp8() {
+        // Heavy-tailed data inflates INT8's absmax scale; FP8's
+        // log-spaced grid keeps relative precision.
+        let mut xs: Vec<f32> = (0..1000).map(|k| ((k as f32) * 0.13).sin()).collect();
+        xs[17] = 30.0; // outlier
+        let mut int8 = xs.clone();
+        let mut e2m5 = xs.clone();
+        NumFormat::Int8.fake_quant_slice(&mut int8);
+        NumFormat::E2M5.fake_quant_slice(&mut e2m5);
+        // Compare error on the non-outlier bulk.
+        let bulk = |q: &[f32]| -> f64 {
+            q.iter()
+                .zip(&xs)
+                .enumerate()
+                .filter(|(i, _)| *i != 17)
+                .map(|(_, (a, b))| (f64::from(a - b)).powi(2))
+                .sum()
+        };
+        assert!(bulk(&e2m5) < bulk(&int8));
+    }
+
+    #[test]
+    fn scales_one_per_boundary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = tiny_mlp(4, 8, 2, InitSpec::gaussian(), &mut rng);
+        let n_layers = model.len();
+        let calib = vec![Tensor::new(&[4], vec![1.0; 4])];
+        let q = QuantizedModel::calibrate(model, NumFormat::Int8, NumFormat::Int8, &calib);
+        assert_eq!(q.act_scales().len(), n_layers + 1);
+        assert!(q.act_scales().iter().all(|&s| s > 0.0));
+    }
+}

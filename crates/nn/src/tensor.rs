@@ -1,0 +1,232 @@
+//! A minimal dense tensor (f32, row-major).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` tensor.
+///
+/// Convolutional data uses `[channels, height, width]` (CHW) layout;
+/// matrices use `[rows, cols]`.
+///
+/// # Example
+///
+/// ```
+/// use afpr_nn::tensor::Tensor;
+///
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not equal the shape product.
+    #[must_use]
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
+        let expect: usize = shape.iter().product();
+        assert_eq!(data.len(), expect, "data length must match shape product");
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// A zero-filled tensor.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Builds a tensor by evaluating `f` at every index.
+    #[must_use]
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut t = Self::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for flat in 0..t.data.len() {
+            t.unflatten(flat, &mut idx);
+            t.data[flat] = f(&idx);
+        }
+        t
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data slice.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    fn flatten(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let mut flat = 0;
+        for (i, (&x, &dim)) in idx.iter().zip(&self.shape).enumerate() {
+            debug_assert!(x < dim, "index {x} out of bounds for dim {i} ({dim})");
+            flat = flat * dim + x;
+        }
+        flat
+    }
+
+    fn unflatten(&self, mut flat: usize, idx: &mut [usize]) {
+        for (x, &dim) in idx.iter_mut().zip(&self.shape).rev() {
+            // reversed zip walks dims from last to first
+            *x = flat % dim;
+            flat /= dim;
+        }
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-bounds indices.
+    #[must_use]
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.flatten(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let flat = self.flatten(idx);
+        self.data[flat] = v;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        Self::new(shape, self.data.clone())
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape, "shapes must match for add");
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Index of the largest element (ties to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of an empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::new(&[2, 2, 2], (0..8).map(|x| x as f32).collect());
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        assert_eq!(t.get(&[1, 0, 1]), 5.0);
+        assert_eq!(t.get(&[1, 1, 1]), 7.0);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] * 10 + i[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = Tensor::zeros(&[3, 3]);
+        t.set(&[2, 1], 5.5);
+        assert_eq!(t.get(&[2, 1]), 5.5);
+        assert_eq!(t.data()[7], 5.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn add_and_map() {
+        let a = Tensor::new(&[2], vec![1.0, 2.0]);
+        let b = Tensor::new(&[2], vec![10.0, 20.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0]);
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_ties_first() {
+        let t = Tensor::new(&[4], vec![1.0, 3.0, 3.0, 0.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "match shape")]
+    fn bad_data_length_panics() {
+        let _ = Tensor::new(&[2, 2], vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn add_shape_mismatch_panics() {
+        let _ = Tensor::zeros(&[2]).add(&Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the NN substrate.
+
+use afpr_nn::layers::{Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu};
+use afpr_nn::quant::NumFormat;
+use afpr_nn::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_tensor(ch: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, ch * h * w)
+        .prop_map(move |data| Tensor::new(&[ch, h, w], data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Convolution is linear: conv(a·x) = a·conv(x) (zero bias).
+    #[test]
+    fn conv_is_homogeneous(x in small_tensor(2, 5, 5), a in 0.1f32..3.0) {
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] + i[1] * 2 + i[2] + i[3]) as f32).sin());
+        let conv = Conv2d::new(w, vec![0.0; 3], 1, 1);
+        let y1 = conv.forward(&x).map(|v| v * a);
+        let y2 = conv.forward(&x.map(|v| v * a));
+        for (p, q) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((p - q).abs() < 1e-3 * p.abs().max(1.0));
+        }
+    }
+
+    /// Convolution is additive: conv(x + y) = conv(x) + conv(y) (zero bias).
+    #[test]
+    fn conv_is_additive(x in small_tensor(1, 4, 4), y in small_tensor(1, 4, 4)) {
+        let w = Tensor::from_fn(&[2, 1, 3, 3], |i| ((i[0] * 9 + i[2] * 3 + i[3]) as f32) * 0.1 - 0.4);
+        let conv = Conv2d::new(w, vec![0.0; 2], 1, 1);
+        let lhs = conv.forward(&x.add(&y));
+        let rhs = conv.forward(&x).add(&conv.forward(&y));
+        for (p, q) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// im2col × kernel-matrix reproduces the direct convolution for
+    /// arbitrary stride/padding combinations.
+    #[test]
+    fn im2col_equals_direct(
+        x in small_tensor(2, 6, 6),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] + 2 * i[1] + i[2] * i[3]) as f32) * 0.07 - 0.2);
+        let conv = Conv2d::new(w, vec![0.0; 3], stride, padding);
+        let direct = conv.forward(&x);
+        let cols = conv.im2col(&x);
+        let mat = conv.as_matrix();
+        let [k, positions]: [usize; 2] = cols.shape().try_into().expect("2-D");
+        for o in 0..3 {
+            for p in 0..positions {
+                let mut acc = 0.0f32;
+                for r in 0..k {
+                    acc += mat.get(&[r, o]) * cols.get(&[r, p]);
+                }
+                prop_assert!((acc - direct.data()[o * positions + p]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// ReLU is idempotent and max-pool commutes with it.
+    #[test]
+    fn relu_pool_commute(x in small_tensor(1, 4, 4)) {
+        let relu = Relu;
+        let pool = MaxPool2d::new(2, 2);
+        let once = relu.forward(&x);
+        let twice = relu.forward(&once);
+        prop_assert_eq!(twice.data(), once.data());
+        // max(relu(x)) == relu(max(x)) for the 2x2 windows.
+        let a = pool.forward(&relu.forward(&x));
+        let b = relu.forward(&pool.forward(&x));
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    /// Global average pooling preserves the overall mean.
+    #[test]
+    fn gap_preserves_mean(x in small_tensor(3, 4, 4)) {
+        let y = GlobalAvgPool.forward(&x);
+        let mean_in: f32 = x.data().iter().sum::<f32>() / x.len() as f32;
+        let mean_out: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        prop_assert!((mean_in - mean_out).abs() < 1e-4);
+    }
+
+    /// Linear layers compose: L2(L1(x)) equals the product matrix
+    /// applied once (zero biases).
+    #[test]
+    fn linear_composition(x in prop::collection::vec(-2.0f32..2.0, 4)) {
+        let w1 = Tensor::from_fn(&[3, 4], |i| ((i[0] * 4 + i[1]) as f32) * 0.1);
+        let w2 = Tensor::from_fn(&[2, 3], |i| ((i[0] * 3 + i[1]) as f32) * 0.2 - 0.3);
+        let l1 = Linear::new(w1.clone(), vec![0.0; 3]);
+        let l2 = Linear::new(w2.clone(), vec![0.0; 2]);
+        let xt = Tensor::new(&[4], x);
+        let seq = l2.forward(&l1.forward(&xt));
+        // Product matrix w2·w1.
+        let prod = Tensor::from_fn(&[2, 4], |i| {
+            (0..3).map(|k| w2.get(&[i[0], k]) * w1.get(&[k, i[1]])).sum()
+        });
+        let once = Linear::new(prod, vec![0.0; 2]).forward(&xt);
+        for (a, b) in seq.data().iter().zip(once.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Fake quantization is idempotent for every format.
+    #[test]
+    fn fake_quant_idempotent(xs in prop::collection::vec(-4.0f32..4.0, 1..64)) {
+        for fmt in NumFormat::ALL_QUANTIZED {
+            let mut once = xs.clone();
+            fmt.fake_quant_slice(&mut once);
+            let mut twice = once.clone();
+            fmt.fake_quant_slice(&mut twice);
+            for (a, b) in once.iter().zip(&twice) {
+                prop_assert!((a - b).abs() < 1e-5, "{}: {a} vs {b}", fmt.label());
+            }
+        }
+    }
+}

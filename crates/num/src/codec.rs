@@ -1,0 +1,373 @@
+//! Hardware readout codes and bit-level codecs.
+//!
+//! The FP-ADC of the paper emits an *unsigned* floating-point code: the
+//! number of capacitor-bank adjustments is the exponent (a thermometer
+//! code converted to binary) and the single-slope counter output is the
+//! mantissa. The decoded magnitude is `(1 + M/2^m) × 2^E` — there is no
+//! sign bit and no bias, and results that never reach 1 V by the sample
+//! instant are flagged as underflow (paper §III-B, "the result is not
+//! read out").
+
+use crate::error::FormatError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Runtime descriptor of an unsigned hardware FP split (`E` + `M` bits).
+///
+/// Unlike [`crate::Minifloat`], which is a compile-time software format,
+/// `FpFormat` is chosen at runtime because the macro hardware is
+/// evaluated in several configurations (E2M5, E3M4) from one simulator.
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::FpFormat;
+///
+/// let f = FpFormat::E2M5;
+/// assert_eq!(f.exponent_levels(), 4);
+/// assert_eq!(f.mantissa_levels(), 32);
+/// assert_eq!(f.max_value(), (1.0 + 31.0 / 32.0) * 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FpFormat {
+    exp_bits: u32,
+    man_bits: u32,
+}
+
+impl FpFormat {
+    /// The paper's E2M5 split (2-bit exponent, 5-bit mantissa).
+    pub const E2M5: Self = Self { exp_bits: 2, man_bits: 5 };
+    /// The comparison E3M4 split.
+    pub const E3M4: Self = Self { exp_bits: 3, man_bits: 4 };
+
+    /// Creates a format with the given field widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::FieldOverflow`] if either field is zero or
+    /// the total exceeds 15 bits.
+    pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
+        if exp_bits == 0 || exp_bits > 7 {
+            return Err(FormatError::FieldOverflow { field: "exponent", value: exp_bits, bits: 7 });
+        }
+        if man_bits == 0 || exp_bits + man_bits > 15 {
+            return Err(FormatError::FieldOverflow { field: "mantissa", value: man_bits, bits: 15 });
+        }
+        Ok(Self { exp_bits, man_bits })
+    }
+
+    /// Number of exponent bits.
+    #[must_use]
+    pub fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of mantissa bits.
+    #[must_use]
+    pub fn man_bits(self) -> u32 {
+        self.man_bits
+    }
+
+    /// Number of exponent levels, `2^E` (= number of ADC dynamic ranges).
+    #[must_use]
+    pub fn exponent_levels(self) -> u32 {
+        1 << self.exp_bits
+    }
+
+    /// Number of mantissa levels, `2^M` (= single-slope counter span).
+    #[must_use]
+    pub fn mantissa_levels(self) -> u32 {
+        1 << self.man_bits
+    }
+
+    /// Largest decodable magnitude, `(2 − 2^−M) × 2^(2^E − 1)`.
+    #[must_use]
+    pub fn max_value(self) -> f64 {
+        let m = f64::from(self.mantissa_levels());
+        (2.0 - 1.0 / m) * pow2(self.exponent_levels() as i32 - 1)
+    }
+
+    /// Smallest non-underflow magnitude, `1.0` (the `1.M` form).
+    #[must_use]
+    pub fn min_value(self) -> f64 {
+        1.0
+    }
+
+    /// Decodes field values into a magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::FieldOverflow`] if a field exceeds its
+    /// declared width.
+    pub fn decode(self, exp: u32, man: u32) -> Result<f64, FormatError> {
+        if exp >= self.exponent_levels() {
+            return Err(FormatError::FieldOverflow {
+                field: "exponent",
+                value: exp,
+                bits: self.exp_bits,
+            });
+        }
+        if man >= self.mantissa_levels() {
+            return Err(FormatError::FieldOverflow {
+                field: "mantissa",
+                value: man,
+                bits: self.man_bits,
+            });
+        }
+        Ok((1.0 + f64::from(man) / f64::from(self.mantissa_levels())) * pow2(exp as i32))
+    }
+
+    /// Encodes a magnitude `x ≥ 1` into the nearest code
+    /// (round-to-nearest on the mantissa grid of the selected binade).
+    ///
+    /// Returns `None` for `x < 1` (ADC underflow: "the result is not
+    /// read out") and saturates above [`Self::max_value`].
+    #[must_use]
+    pub fn encode(self, x: f64) -> Option<HwFpCode> {
+        if x.is_nan() || x < 1.0 {
+            return None;
+        }
+        let emax = self.exponent_levels() - 1;
+        let mut exp = x.log2().floor() as i64;
+        if exp > i64::from(emax) {
+            return Some(HwFpCode::saturated(self));
+        }
+        let levels = f64::from(self.mantissa_levels());
+        let mut man = ((x / pow2(exp as i32) - 1.0) * levels).round_ties_even();
+        if man >= levels {
+            if exp as u32 == emax {
+                return Some(HwFpCode::saturated(self));
+            }
+            exp += 1;
+            man = ((x / pow2(exp as i32) - 1.0) * levels).round_ties_even();
+        }
+        Some(HwFpCode { format: self, exp: exp as u32, man: man as u32 })
+    }
+}
+
+impl fmt::Display for FpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}M{}", self.exp_bits, self.man_bits)
+    }
+}
+
+/// An unsigned hardware FP readout code: `(1 + man/2^M) × 2^exp`.
+///
+/// Produced by the FP-ADC and consumed by the FP-DAC. Underflow
+/// (a result that never crossed 1 V by the sample instant) is a separate
+/// constructor because the paper treats it as "not read out" rather
+/// than as code zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HwFpCode {
+    format: FpFormat,
+    exp: u32,
+    man: u32,
+}
+
+impl HwFpCode {
+    /// Creates a code from explicit fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::FieldOverflow`] if a field exceeds its
+    /// width in `format`.
+    pub fn new(format: FpFormat, exp: u32, man: u32) -> Result<Self, FormatError> {
+        format.decode(exp, man)?;
+        Ok(Self { format, exp, man })
+    }
+
+    /// The all-ones (largest) code of `format`.
+    #[must_use]
+    pub fn saturated(format: FpFormat) -> Self {
+        Self {
+            format,
+            exp: format.exponent_levels() - 1,
+            man: format.mantissa_levels() - 1,
+        }
+    }
+
+    /// The format this code belongs to.
+    #[must_use]
+    pub fn format(self) -> FpFormat {
+        self.format
+    }
+
+    /// Exponent field (number of ADC range adjustments).
+    #[must_use]
+    pub fn exp(self) -> u32 {
+        self.exp
+    }
+
+    /// Mantissa field (single-slope counter output).
+    #[must_use]
+    pub fn man(self) -> u32 {
+        self.man
+    }
+
+    /// Decoded magnitude, `(1 + man/2^M) × 2^exp`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        (1.0 + f64::from(self.man) / f64::from(self.format.mantissa_levels()))
+            * pow2(self.exp as i32)
+    }
+
+    /// Concatenated bit pattern `exp ++ man` (exponent in the high bits),
+    /// as printed in the paper's Fig. 5(a) ("digital output 1001001").
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        ((self.exp << self.format.man_bits) | self.man) as u16
+    }
+
+    /// Renders the code as a binary string, e.g. `"10·01001"`.
+    #[must_use]
+    pub fn to_bit_string(self) -> String {
+        format!(
+            "{:0ew$b}·{:0mw$b}",
+            self.exp,
+            self.man,
+            ew = self.format.exp_bits as usize,
+            mw = self.format.man_bits as usize
+        )
+    }
+}
+
+impl fmt::Display for HwFpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_bit_string(), self.value())
+    }
+}
+
+/// Converts a thermometer code (DFF chain outputs, LSB first) to the
+/// binary count of set stages.
+///
+/// The adaptive-control DFF chain of the FP-ADC raises its outputs in
+/// order; the number of raised outputs is the exponent.
+///
+/// # Errors
+///
+/// Returns [`FormatError::ThermometerNotMonotone`] if a `true` follows a
+/// `false`, which would indicate a skipped stage.
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::thermometer_to_binary;
+///
+/// assert_eq!(thermometer_to_binary(&[true, true, false])?, 2);
+/// # Ok::<(), afpr_num::FormatError>(())
+/// ```
+pub fn thermometer_to_binary(stages: &[bool]) -> Result<u32, FormatError> {
+    let count = stages.iter().take_while(|&&s| s).count();
+    if stages[count..].iter().any(|&s| s) {
+        return Err(FormatError::ThermometerNotMonotone);
+    }
+    Ok(count as u32)
+}
+
+#[inline]
+fn pow2(e: i32) -> f64 {
+    2.0f64.powi(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2m5_descriptor() {
+        let f = FpFormat::E2M5;
+        assert_eq!(f.exponent_levels(), 4);
+        assert_eq!(f.mantissa_levels(), 32);
+        assert_eq!(f.max_value(), 1.96875 * 8.0);
+        assert_eq!(f.to_string(), "E2M5");
+    }
+
+    #[test]
+    fn invalid_formats_rejected() {
+        assert!(FpFormat::new(0, 5).is_err());
+        assert!(FpFormat::new(2, 0).is_err());
+        assert!(FpFormat::new(8, 8).is_err());
+        assert!(FpFormat::new(3, 4).is_ok());
+    }
+
+    #[test]
+    fn paper_example_code_1001001() {
+        // Fig. 5(a): exponent 10b, mantissa 01001b -> bits 1001001.
+        let code = HwFpCode::new(FpFormat::E2M5, 0b10, 0b01001).unwrap();
+        assert_eq!(code.to_bits(), 0b1001001);
+        assert_eq!(code.to_bit_string(), "10·01001");
+        // value = (1 + 9/32) * 4 = 5.125
+        assert_eq!(code.value(), 1.28125 * 4.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_codes() {
+        for fmt in [FpFormat::E2M5, FpFormat::E3M4] {
+            for exp in 0..fmt.exponent_levels() {
+                for man in 0..fmt.mantissa_levels() {
+                    let code = HwFpCode::new(fmt, exp, man).unwrap();
+                    let back = fmt.encode(code.value()).unwrap();
+                    assert_eq!(back, code);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_underflow_and_saturation() {
+        let f = FpFormat::E2M5;
+        assert!(f.encode(0.999).is_none());
+        assert!(f.encode(0.0).is_none());
+        assert!(f.encode(-3.0).is_none());
+        assert!(f.encode(f64::NAN).is_none());
+        assert_eq!(f.encode(1e9).unwrap(), HwFpCode::saturated(f));
+        // Just above max rounds/saturates to max.
+        assert_eq!(f.encode(f.max_value() + 0.3).unwrap(), HwFpCode::saturated(f));
+    }
+
+    #[test]
+    fn encode_binade_boundary_carry() {
+        let f = FpFormat::E2M5;
+        // Just below 2.0: nearest grid point is 2.0 = exp 1, man 0.
+        let c = f.encode(1.999).unwrap();
+        assert_eq!((c.exp(), c.man()), (1, 0));
+        // Exactly 2.0.
+        let c = f.encode(2.0).unwrap();
+        assert_eq!((c.exp(), c.man()), (1, 0));
+    }
+
+    #[test]
+    fn encode_nearest_within_binade() {
+        let f = FpFormat::E2M5;
+        // 5.38 / 4 = 1.345 -> man = round(0.345*32) = 11 -> value 5.375
+        let c = f.encode(5.38).unwrap();
+        assert_eq!((c.exp(), c.man()), (2, 11));
+    }
+
+    #[test]
+    fn field_overflow_rejected() {
+        assert!(HwFpCode::new(FpFormat::E2M5, 4, 0).is_err());
+        assert!(HwFpCode::new(FpFormat::E2M5, 0, 32).is_err());
+    }
+
+    #[test]
+    fn thermometer_conversion() {
+        assert_eq!(thermometer_to_binary(&[]).unwrap(), 0);
+        assert_eq!(thermometer_to_binary(&[false, false, false]).unwrap(), 0);
+        assert_eq!(thermometer_to_binary(&[true, false, false]).unwrap(), 1);
+        assert_eq!(thermometer_to_binary(&[true, true, true]).unwrap(), 3);
+        assert!(thermometer_to_binary(&[false, true]).is_err());
+        assert!(thermometer_to_binary(&[true, false, true]).is_err());
+    }
+
+    #[test]
+    fn quantization_error_within_half_step() {
+        let f = FpFormat::E2M5;
+        for i in 0..2000 {
+            let x = 1.0 + (f.max_value() - 1.0) * f64::from(i) / 2000.0;
+            let c = f.encode(x).unwrap();
+            let step = pow2(c.exp() as i32) / 32.0;
+            assert!((c.value() - x).abs() <= step / 2.0 + 1e-12, "x={x}");
+        }
+    }
+}

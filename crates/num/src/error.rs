@@ -1,0 +1,63 @@
+//! Error types for format conversions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or converting number-format values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// A bit pattern does not fit the declared field widths.
+    ///
+    /// Carries the offending field name and value.
+    FieldOverflow {
+        /// Name of the field (`"exponent"` or `"mantissa"`).
+        field: &'static str,
+        /// The value that did not fit.
+        value: u32,
+        /// Number of bits available for the field.
+        bits: u32,
+    },
+    /// A thermometer code had a `true` above a `false` (not monotone).
+    ThermometerNotMonotone,
+    /// Two values with different runtime formats were combined.
+    FormatMismatch,
+    /// A quantizer was built with a non-positive scale.
+    NonPositiveScale,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::FieldOverflow { field, value, bits } => {
+                write!(f, "{field} value {value} does not fit in {bits} bits")
+            }
+            FormatError::ThermometerNotMonotone => {
+                write!(f, "thermometer code is not monotone")
+            }
+            FormatError::FormatMismatch => write!(f, "operands use different formats"),
+            FormatError::NonPositiveScale => write!(f, "quantizer scale must be positive"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = FormatError::FieldOverflow { field: "exponent", value: 9, bits: 2 };
+        let s = e.to_string();
+        assert!(s.starts_with("exponent"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

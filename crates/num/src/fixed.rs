@@ -1,0 +1,207 @@
+//! INT8 quantization for the fixed-point baseline columns.
+//!
+//! The paper compares FP8 against INT8 both in hardware (Fig. 6) and in
+//! post-training-quantization accuracy (Fig. 6c). This module provides
+//! the standard symmetric and affine INT8 quantizers used for those
+//! baselines.
+
+use crate::error::FormatError;
+use crate::rounding::Rounding;
+use serde::{Deserialize, Serialize};
+
+/// Whether the quantizer keeps a zero point (affine) or is symmetric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// Symmetric: `q = round(x / scale)`, zero point 0, range `[-127, 127]`.
+    #[default]
+    Symmetric,
+    /// Affine: `q = round(x / scale) + zero_point`, range `[-128, 127]`.
+    Affine,
+}
+
+/// An INT8 quantizer with a fixed scale (and optional zero point).
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::Int8Quantizer;
+///
+/// let q = Int8Quantizer::symmetric_for_absmax(6.35)?;
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() <= q.scale() / 2.0);
+/// # Ok::<(), afpr_num::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Int8Quantizer {
+    scale: f32,
+    zero_point: i32,
+    scheme: QuantScheme,
+    rounding: Rounding,
+}
+
+impl Int8Quantizer {
+    /// Builds a symmetric quantizer whose range covers `±absmax`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NonPositiveScale`] if `absmax` is not a
+    /// positive finite number.
+    pub fn symmetric_for_absmax(absmax: f32) -> Result<Self, FormatError> {
+        if absmax.is_nan() || absmax <= 0.0 || !absmax.is_finite() {
+            return Err(FormatError::NonPositiveScale);
+        }
+        Ok(Self {
+            scale: absmax / 127.0,
+            zero_point: 0,
+            scheme: QuantScheme::Symmetric,
+            rounding: Rounding::NearestEven,
+        })
+    }
+
+    /// Builds an affine quantizer covering `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NonPositiveScale`] if `max <= min` or the
+    /// bounds are not finite.
+    pub fn affine_for_range(min: f32, max: f32) -> Result<Self, FormatError> {
+        if max.is_nan() || min.is_nan() || max <= min || !min.is_finite() || !max.is_finite() {
+            return Err(FormatError::NonPositiveScale);
+        }
+        let scale = (max - min) / 255.0;
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        Ok(Self { scale, zero_point, scheme: QuantScheme::Affine, rounding: Rounding::NearestEven })
+    }
+
+    /// Replaces the rounding policy (builder-style).
+    #[must_use]
+    pub fn with_rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// The quantization step.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The zero point (0 for symmetric quantizers).
+    #[must_use]
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// The quantization scheme.
+    #[must_use]
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Quantizes one value, clamping to the INT8 range.
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> i8 {
+        let (lo, hi) = match self.scheme {
+            QuantScheme::Symmetric => (-127.0, 127.0),
+            QuantScheme::Affine => (-128.0, 127.0),
+        };
+        let q = self.rounding.apply(f64::from(x / self.scale), None)
+            + f64::from(self.zero_point);
+        q.clamp(lo, hi) as i8
+    }
+
+    /// Reconstructs the real value of a code.
+    #[must_use]
+    pub fn dequantize(&self, code: i8) -> f32 {
+        (i32::from(code) - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantize-dequantize in one step ("fake quantization").
+    #[must_use]
+    pub fn fake_quant(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Quantizes a slice into a new vector.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Fake-quantizes a slice in place.
+    pub fn fake_quant_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.fake_quant(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_round_trip() {
+        let q = Int8Quantizer::symmetric_for_absmax(127.0).unwrap();
+        assert_eq!(q.scale(), 1.0);
+        for v in [-127i8, -1, 0, 1, 99, 127] {
+            assert_eq!(q.quantize(q.dequantize(v)), v);
+        }
+    }
+
+    #[test]
+    fn symmetric_clamps() {
+        let q = Int8Quantizer::symmetric_for_absmax(1.0).unwrap();
+        assert_eq!(q.quantize(5.0), 127);
+        assert_eq!(q.quantize(-5.0), -127);
+    }
+
+    #[test]
+    fn affine_covers_asymmetric_range() {
+        let q = Int8Quantizer::affine_for_range(0.0, 6.0).unwrap();
+        assert_eq!(q.quantize(0.0), -128);
+        assert_eq!(q.quantize(6.0), 127);
+        assert!((q.dequantize(q.quantize(3.0)) - 3.0).abs() <= q.scale());
+    }
+
+    #[test]
+    fn zero_maps_near_zero_symmetric() {
+        let q = Int8Quantizer::symmetric_for_absmax(3.7).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_scale() {
+        let q = Int8Quantizer::symmetric_for_absmax(4.0).unwrap();
+        for i in 0..1000 {
+            let x = -4.0 + 8.0 * (i as f32) / 1000.0;
+            let e = (q.fake_quant(x) - x).abs();
+            assert!(e <= q.scale() / 2.0 + 1e-6, "x={x} err={e}");
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        assert!(Int8Quantizer::symmetric_for_absmax(0.0).is_err());
+        assert!(Int8Quantizer::symmetric_for_absmax(-1.0).is_err());
+        assert!(Int8Quantizer::symmetric_for_absmax(f32::NAN).is_err());
+        assert!(Int8Quantizer::affine_for_range(2.0, 2.0).is_err());
+        assert!(Int8Quantizer::affine_for_range(3.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let q = Int8Quantizer::symmetric_for_absmax(2.0).unwrap();
+        let xs = [0.1f32, -1.9, 2.5, 0.0];
+        let codes = q.quantize_slice(&xs);
+        for (x, c) in xs.iter().zip(&codes) {
+            assert_eq!(q.quantize(*x), *c);
+        }
+        let mut ys = xs;
+        q.fake_quant_slice(&mut ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(q.fake_quant(*x), *y);
+        }
+    }
+}

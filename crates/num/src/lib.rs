@@ -1,0 +1,40 @@
+//! Number formats for the AFPR-CIM simulator.
+//!
+//! The AFPR-CIM paper (DATE 2024) computes analog MACs in the INT domain
+//! but speaks FP8 at every digital interface. This crate provides every
+//! number representation that appears in that pipeline:
+//!
+//! * [`Minifloat`] — a generic signed low-bit floating-point value
+//!   (`E2M5`, `E3M4`, `E4M3`, `E5M2` aliases) used by the software-side
+//!   post-training-quantization study (paper Fig. 6c).
+//! * [`HwFpCode`] / [`FpFormat`] — the *unsigned* hardware readout code
+//!   produced by the dynamic-range-adaptive FP-ADC: `1.M × 2^E` with a
+//!   runtime-selectable bit split (paper §III-B).
+//! * [`Int8Quantizer`] — symmetric/affine INT8 quantization for the INT8
+//!   baseline columns of Fig. 6 and Table I.
+//! * [`Rounding`] — rounding policies shared by all quantizers.
+//!
+//! # Example
+//!
+//! ```
+//! use afpr_num::{E2M5, Minifloat};
+//!
+//! let x = E2M5::from_f32(1.273);
+//! assert!((x.to_f32() - 1.273).abs() < 1.0 / 32.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod fixed;
+pub mod minifloat;
+pub mod rounding;
+pub mod stats;
+
+pub use codec::{thermometer_to_binary, FpFormat, HwFpCode};
+pub use error::FormatError;
+pub use fixed::{Int8Quantizer, QuantScheme};
+pub use minifloat::{Minifloat, E1M6, E2M5, E3M4, E4M3, E5M2};
+pub use rounding::Rounding;

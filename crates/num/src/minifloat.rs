@@ -1,0 +1,570 @@
+//! Generic signed minifloat values (`E2M5`, `E3M4`, `E4M3`, `E5M2`, …).
+//!
+//! These are *saturating, finite-only* formats (in the style of the FP8
+//! "FN" variants): every exponent field encodes a finite number, there
+//! are no infinities or NaNs, and out-of-range values clamp to the
+//! largest finite magnitude. This matches the AFPR-CIM hardware, whose
+//! FP-ADC can only emit finite codes and whose FP-DAC saturates at the
+//! reference-ladder top.
+//!
+//! The bias follows the IEEE convention `2^(E-1) − 1`, so `E2M5` spans
+//! `±[1/32 … 7.875]` plus signed zero, with subnormals below `1.0`.
+
+use crate::rounding::Rounding;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::marker::PhantomData;
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Compile-time description of a minifloat bit layout.
+///
+/// This trait is sealed; use the provided format markers
+/// ([`FmtE2M5`], [`FmtE3M4`], [`FmtE4M3`], [`FmtE5M2`]) or the
+/// [`crate::FpFormat`] runtime descriptor for other splits.
+pub trait Format: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Number of exponent bits.
+    const EXP_BITS: u32;
+    /// Number of mantissa bits.
+    const MAN_BITS: u32;
+    /// Short human-readable name, e.g. `"E2M5"`.
+    const NAME: &'static str;
+}
+
+macro_rules! format_marker {
+    ($(#[$doc:meta])* $name:ident, $e:expr, $m:expr, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        pub struct $name;
+        impl sealed::Sealed for $name {}
+        impl Format for $name {
+            const EXP_BITS: u32 = $e;
+            const MAN_BITS: u32 = $m;
+            const NAME: &'static str = $label;
+        }
+    };
+}
+
+format_marker!(
+    /// FP8 with 1 exponent bit and 6 mantissa bits (sweep extension).
+    FmtE1M6, 1, 6, "E1M6"
+);
+format_marker!(
+    /// FP8 with 2 exponent bits and 5 mantissa bits — the format the
+    /// paper selects for AFPR-CIM.
+    FmtE2M5, 2, 5, "E2M5"
+);
+format_marker!(
+    /// FP8 with 3 exponent bits and 4 mantissa bits — the comparison
+    /// format of Fig. 6.
+    FmtE3M4, 3, 4, "E3M4"
+);
+format_marker!(
+    /// FP8 with 4 exponent bits and 3 mantissa bits (E4M3-style).
+    FmtE4M3, 4, 3, "E4M3"
+);
+format_marker!(
+    /// FP8 with 5 exponent bits and 2 mantissa bits (E5M2-style).
+    FmtE5M2, 5, 2, "E5M2"
+);
+
+/// A signed minifloat value with format `F`.
+///
+/// Stored as raw bits (`sign | exponent | mantissa`). Equality and
+/// hashing are *bitwise*, so `-0.0` and `+0.0` are distinct codes with
+/// equal numeric value; use [`Minifloat::to_f32`] for numeric
+/// comparisons.
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::{E2M5, Minifloat};
+///
+/// let a = E2M5::from_f32(2.5);
+/// assert_eq!(a.to_f32(), 2.5);
+/// assert_eq!(a.exponent_field(), 2); // 1.25 × 2^1, bias 1
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Minifloat<F: Format> {
+    bits: u16,
+    #[serde(skip)]
+    _fmt: PhantomData<F>,
+}
+
+/// Sweep-extension format: 1-bit exponent, 6-bit mantissa.
+pub type E1M6 = Minifloat<FmtE1M6>;
+/// The paper's chosen activation format: 2-bit exponent, 5-bit mantissa.
+pub type E2M5 = Minifloat<FmtE2M5>;
+/// Comparison format from Fig. 6: 3-bit exponent, 4-bit mantissa.
+pub type E3M4 = Minifloat<FmtE3M4>;
+/// E4M3-style FP8.
+pub type E4M3 = Minifloat<FmtE4M3>;
+/// E5M2-style FP8.
+pub type E5M2 = Minifloat<FmtE5M2>;
+
+impl<F: Format> Minifloat<F> {
+    /// Total storage width in bits (`1 + E + M`).
+    pub const BITS: u32 = 1 + F::EXP_BITS + F::MAN_BITS;
+    /// IEEE-style exponent bias, `2^(E−1) − 1`.
+    pub const BIAS: i32 = (1 << (F::EXP_BITS - 1)) - 1;
+    /// Smallest normal exponent (`1 − BIAS`).
+    pub const EMIN: i32 = 1 - Self::BIAS;
+    /// Largest exponent (`2^E − 1 − BIAS`; the top field is numeric).
+    pub const EMAX: i32 = (1 << F::EXP_BITS) - 1 - Self::BIAS;
+
+    const MAN_MASK: u16 = (1 << F::MAN_BITS) - 1;
+    const EXP_MASK: u16 = ((1 << F::EXP_BITS) - 1) << F::MAN_BITS;
+    const SIGN_MASK: u16 = 1 << (F::EXP_BITS + F::MAN_BITS);
+
+    /// Positive zero.
+    pub const ZERO: Self = Self { bits: 0, _fmt: PhantomData };
+
+    /// Largest finite value.
+    #[must_use]
+    pub fn max_value() -> Self {
+        Self::from_bits(Self::EXP_MASK | Self::MAN_MASK)
+    }
+
+    /// Smallest positive (subnormal) value, `2^(EMIN − M)`.
+    #[must_use]
+    pub fn min_positive() -> Self {
+        Self::from_bits(1)
+    }
+
+    /// Constructs a value from raw bits.
+    ///
+    /// Bits above [`Self::BITS`] are masked off.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        let mask = (1u32 << Self::BITS) - 1;
+        Self { bits: bits & mask as u16, _fmt: PhantomData }
+    }
+
+    /// Returns the raw bit pattern.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Sign bit (`true` for negative, including `-0.0`).
+    #[must_use]
+    pub fn is_sign_negative(self) -> bool {
+        self.bits & Self::SIGN_MASK != 0
+    }
+
+    /// Raw (biased) exponent field.
+    #[must_use]
+    pub fn exponent_field(self) -> u16 {
+        (self.bits & Self::EXP_MASK) >> F::MAN_BITS
+    }
+
+    /// Raw mantissa field (without the hidden bit).
+    #[must_use]
+    pub fn mantissa_field(self) -> u16 {
+        self.bits & Self::MAN_MASK
+    }
+
+    /// True if the value is `+0.0` or `-0.0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.bits & !Self::SIGN_MASK == 0
+    }
+
+    /// True if the value is subnormal (exponent field zero, mantissa
+    /// non-zero).
+    #[must_use]
+    pub fn is_subnormal(self) -> bool {
+        self.exponent_field() == 0 && self.mantissa_field() != 0
+    }
+
+    /// Converts to `f32` exactly (every minifloat is representable).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let sign = if self.is_sign_negative() { -1.0f64 } else { 1.0 };
+        let e = self.exponent_field();
+        let m = f64::from(self.mantissa_field());
+        let scale = f64::from(1u32 << F::MAN_BITS);
+        let mag = if e == 0 {
+            (m / scale) * pow2(Self::EMIN)
+        } else {
+            (1.0 + m / scale) * pow2(i32::from(e) - Self::BIAS)
+        };
+        (sign * mag) as f32
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// Values beyond the finite range saturate; NaN maps to zero
+    /// (the hardware interfaces have no NaN encoding).
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f32_round(x, Rounding::NearestEven, None)
+    }
+
+    /// Converts from `f32` with an explicit rounding policy.
+    ///
+    /// `entropy` must be `Some(u ∈ [0,1))` for [`Rounding::Stochastic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounding` is stochastic and `entropy` is `None`.
+    #[must_use]
+    pub fn from_f32_round(x: f32, rounding: Rounding, entropy: Option<f64>) -> Self {
+        if x.is_nan() {
+            return Self::ZERO;
+        }
+        let sign_bit = if x.is_sign_negative() { Self::SIGN_MASK } else { 0 };
+        let a = f64::from(x.abs());
+        if a == 0.0 {
+            return Self::from_bits(sign_bit);
+        }
+        let max_mag = f64::from(Self::max_value().to_f32());
+        if a.is_infinite() || a >= max_mag {
+            // Saturate unless rounding-to-nearest would have kept us below;
+            // the boundary case a == max is exact.
+            if a > max_mag {
+                return Self::from_bits(sign_bit | Self::EXP_MASK | Self::MAN_MASK);
+            }
+        }
+
+        // Integer significand in units of 2^(e − M).
+        let mut e = a.log2().floor() as i32;
+        e = e.clamp(Self::EMIN, Self::EMAX);
+        let mut m = rounding.apply(a * pow2(F::MAN_BITS as i32 - e), entropy);
+        let hidden = f64::from(1u32 << F::MAN_BITS);
+        if m >= 2.0 * hidden {
+            if e < Self::EMAX {
+                e += 1;
+                m = rounding.apply(a * pow2(F::MAN_BITS as i32 - e), entropy);
+            } else {
+                // Rounded past the largest significand at EMAX: saturate.
+                return Self::from_bits(sign_bit | Self::EXP_MASK | Self::MAN_MASK);
+            }
+        }
+        debug_assert!(m >= 0.0 && m < 2.0 * hidden);
+        let m = m as u16;
+        let bits = if m == 0 {
+            0
+        } else if f64::from(m) >= hidden {
+            // Normal: exponent field e + BIAS, mantissa without hidden bit.
+            let ef = (e + Self::BIAS) as u16;
+            (ef << F::MAN_BITS) | (m - hidden as u16)
+        } else {
+            // Subnormal (only reachable when e == EMIN).
+            debug_assert_eq!(e, Self::EMIN);
+            m
+        };
+        Self::from_bits(sign_bit | bits)
+    }
+
+    /// Quantizes `x` to this format and returns the result as `f32`
+    /// ("fake quantization" for the PTQ study).
+    #[must_use]
+    pub fn fake_quant(x: f32) -> f32 {
+        Self::from_f32(x).to_f32()
+    }
+
+    /// Numeric ordering (ignores the `-0.0`/`+0.0` bit distinction).
+    #[must_use]
+    pub fn total_cmp_value(self, other: Self) -> std::cmp::Ordering {
+        self.to_f32().total_cmp(&other.to_f32())
+    }
+
+    /// Iterator over every distinct bit pattern of the format.
+    pub fn all_codes() -> impl Iterator<Item = Self> {
+        (0..(1u32 << Self::BITS)).map(|b| Self::from_bits(b as u16))
+    }
+}
+
+impl<F: Format> Minifloat<F> {
+    /// Fused multiply-add: `self × b + c` computed exactly, rounded
+    /// once (the operation a wide-accumulator FP8 FMA performs).
+    #[must_use]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self::from_f32(f64::mul_add(
+            f64::from(self.to_f32()),
+            f64::from(b.to_f32()),
+            f64::from(c.to_f32()),
+        ) as f32)
+    }
+}
+
+impl<F: Format> std::ops::Add for Minifloat<F> {
+    type Output = Self;
+    /// Exact sum, rounded to the format (RNE, saturating).
+    fn add(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl<F: Format> std::ops::Sub for Minifloat<F> {
+    type Output = Self;
+    /// Exact difference, rounded to the format (RNE, saturating).
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl<F: Format> std::ops::Mul for Minifloat<F> {
+    type Output = Self;
+    /// Exact product, rounded to the format (RNE, saturating).
+    fn mul(self, rhs: Self) -> Self {
+        // f32 holds any product of two ≤16-bit minifloats exactly.
+        Self::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl<F: Format> std::ops::Neg for Minifloat<F> {
+    type Output = Self;
+    /// Sign flip (always exact).
+    fn neg(self) -> Self {
+        Self::from_bits(self.to_bits() ^ Self::SIGN_MASK)
+    }
+}
+
+impl<F: Format> Default for Minifloat<F> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<F: Format> fmt::Debug for Minifloat<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}; s={} e={} m={})",
+            F::NAME,
+            self.to_f32(),
+            u8::from(self.is_sign_negative()),
+            self.exponent_field(),
+            self.mantissa_field()
+        )
+    }
+}
+
+impl<F: Format> fmt::Display for Minifloat<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl<F: Format> From<Minifloat<F>> for f32 {
+    fn from(v: Minifloat<F>) -> f32 {
+        v.to_f32()
+    }
+}
+
+#[inline]
+fn pow2(e: i32) -> f64 {
+    f64::from(2.0f32).powi(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2m5_layout_constants() {
+        assert_eq!(E2M5::BITS, 8);
+        assert_eq!(E2M5::BIAS, 1);
+        assert_eq!(E2M5::EMIN, 0);
+        assert_eq!(E2M5::EMAX, 2);
+        assert_eq!(E2M5::max_value().to_f32(), 7.875);
+        assert_eq!(E2M5::min_positive().to_f32(), 1.0 / 32.0);
+    }
+
+    #[test]
+    fn e3m4_layout_constants() {
+        assert_eq!(E3M4::BITS, 8);
+        assert_eq!(E3M4::BIAS, 3);
+        assert_eq!(E3M4::EMAX, 4);
+        assert_eq!(E3M4::max_value().to_f32(), 1.9375 * 16.0);
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        for x in [0.0f32, 1.0, 1.5, 2.0, 2.5, -3.0, 7.875, -7.875, 0.03125] {
+            let v = E2M5::from_f32(x);
+            assert_eq!(v.to_f32(), x, "round-trip of {x}");
+        }
+    }
+
+    #[test]
+    fn all_codes_round_trip_all_formats() {
+        fn check<F: Format>() {
+            for code in Minifloat::<F>::all_codes() {
+                let back = Minifloat::<F>::from_f32(code.to_f32());
+                // -0.0 encodes the sign, so compare numeric value.
+                assert_eq!(
+                    back.to_f32(),
+                    code.to_f32(),
+                    "{} code {:#x}",
+                    F::NAME,
+                    code.to_bits()
+                );
+            }
+        }
+        check::<FmtE1M6>();
+        check::<FmtE2M5>();
+        check::<FmtE3M4>();
+        check::<FmtE4M3>();
+        check::<FmtE5M2>();
+    }
+
+    #[test]
+    fn saturation_and_nan() {
+        assert_eq!(E2M5::from_f32(1e9).to_f32(), 7.875);
+        assert_eq!(E2M5::from_f32(-1e9).to_f32(), -7.875);
+        assert_eq!(E2M5::from_f32(f32::INFINITY).to_f32(), 7.875);
+        assert_eq!(E2M5::from_f32(f32::NEG_INFINITY).to_f32(), -7.875);
+        assert_eq!(E2M5::from_f32(f32::NAN).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn subnormal_encoding() {
+        // 1/64 is half the smallest subnormal step of E2M5 -> rounds to
+        // 0 or min_positive under ties-to-even; 1/64 = 0.5 ulp exactly,
+        // mantissa integer is 0.5 -> ties to even -> 0.
+        let v = E2M5::from_f32(1.0 / 64.0);
+        assert_eq!(v.to_f32(), 0.0);
+        let v = E2M5::from_f32(3.0 / 64.0);
+        // 1.5 ulp -> ties to even -> 2 ulp = 1/16
+        assert_eq!(v.to_f32(), 2.0 / 32.0);
+        let v = E2M5::from_f32(0.02);
+        assert!(v.is_subnormal() || v.is_zero());
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        // Between 1.0 and 1.03125 (step 1/32): midpoint 1.015625.
+        let below = E2M5::from_f32(1.0156);
+        assert_eq!(below.to_f32(), 1.0);
+        let above = E2M5::from_f32(1.0157);
+        assert_eq!(above.to_f32(), 1.03125);
+        // Exact midpoint ties to even mantissa (0).
+        let mid = E2M5::from_f32(1.015625);
+        assert_eq!(mid.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn rounding_carries_into_next_binade() {
+        // Just below 2.0: 1.984375 + eps must round up to 2.0 (exponent
+        // increment), not wrap the mantissa.
+        let v = E2M5::from_f32(1.99);
+        assert_eq!(v.to_f32(), 2.0);
+        assert_eq!(v.exponent_field(), 2);
+        assert_eq!(v.mantissa_field(), 0);
+    }
+
+    #[test]
+    fn encoding_is_monotone_in_value() {
+        // For non-negative codes, bit pattern order == numeric order.
+        let mut prev = -1.0f32;
+        for bits in 0..128u16 {
+            let v = E2M5::from_bits(bits).to_f32();
+            assert!(v > prev, "code {bits} value {v} not > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_distinct_code_equal_value() {
+        let pz = E2M5::from_f32(0.0);
+        let nz = E2M5::from_f32(-0.0);
+        assert_ne!(pz, nz);
+        assert_eq!(pz.to_f32(), nz.to_f32());
+        assert!(nz.is_sign_negative() && nz.is_zero());
+    }
+
+    #[test]
+    fn fake_quant_error_bounded_by_half_ulp() {
+        // Within the normal range the relative error of RNE is <= 2^-(M+1).
+        for i in 0..1000 {
+            let x = 0.04 + 7.8 * (i as f32) / 1000.0;
+            let q = E2M5::fake_quant(x);
+            // Subnormal ulp is constant below 1.0 (EMIN = 0 for E2M5).
+            let ulp = x.log2().floor().max(0.0).exp2() / 32.0;
+            assert!(
+                (q - x).abs() <= ulp / 2.0 + 1e-6,
+                "x={x} q={q} ulp={ulp}"
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_brackets_value() {
+        let x = 1.017f32;
+        let down = E2M5::from_f32_round(x, Rounding::Stochastic, Some(0.9999));
+        let up = E2M5::from_f32_round(x, Rounding::Stochastic, Some(0.0));
+        assert!(down.to_f32() <= x);
+        assert!(up.to_f32() >= x);
+        assert!((up.to_f32() - down.to_f32() - 1.0 / 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn toward_zero_never_increases_magnitude() {
+        for i in 0..500 {
+            let x = -7.8 + 15.6 * (i as f32) / 500.0;
+            let q = E2M5::from_f32_round(x, Rounding::TowardZero, None).to_f32();
+            assert!(q.abs() <= x.abs() + 1e-6, "x={x} q={q}");
+        }
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let v = E2M5::from_f32(1.25);
+        assert!(!format!("{v}").is_empty());
+        assert!(format!("{v:?}").contains("E2M5"));
+    }
+
+    #[test]
+    fn arithmetic_exact_cases() {
+        let a = E2M5::from_f32(1.5);
+        let b = E2M5::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 3.5);
+        assert_eq!((b - a).to_f32(), 0.5);
+        assert_eq!((a * b).to_f32(), 3.0);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!((-(-a)).to_f32(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic_rounds_once() {
+        // 1.03125 + 1/32 of sub-ulp magnitude: sums round to grid.
+        let a = E2M5::from_f32(3.9375); // 1.96875 × 2
+        let b = E2M5::from_f32(0.03125);
+        // Exact 3.96875; nearest E2M5 grid point at exponent 1 step
+        // 1/16: candidates 3.9375 and 4.0 — 3.96875 is the midpoint,
+        // ties to even mantissa -> 4.0.
+        assert_eq!((a + b).to_f32(), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let m = E2M5::max_value();
+        assert_eq!((m + m).to_f32(), m.to_f32());
+        assert_eq!((m * m).to_f32(), m.to_f32());
+        assert_eq!((-m - m).to_f32(), -m.to_f32());
+    }
+
+    #[test]
+    fn fma_rounds_once_not_twice() {
+        // a·b lands between grid points; fma keeps it exact until the
+        // final rounding, unlike mul-then-add.
+        let a = E2M5::from_f32(1.03125);
+        let b = E2M5::from_f32(1.03125);
+        let c = E2M5::from_f32(-1.0);
+        let fused = a.mul_add(b, c);
+        // Exact: 1.0634765625 − 1 = 0.0634765625 -> nearest grid 1/16.
+        assert_eq!(fused.to_f32(), 0.0625);
+        // Two-step path rounds a·b to 1.0625 first -> 0.0625 as well
+        // here, but with c = -1.03125 they differ:
+        let c2 = E2M5::from_f32(-1.03125);
+        let fused2 = a.mul_add(b, c2);
+        let two_step = (a * b) + c2;
+        assert_eq!(fused2.to_f32(), 0.03125);
+        assert_eq!(two_step.to_f32(), 0.03125);
+    }
+}

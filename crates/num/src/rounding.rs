@@ -1,0 +1,130 @@
+//! Rounding policies shared by all quantizers in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// How a real value is rounded onto a discrete grid.
+///
+/// All quantizers in the AFPR-CIM simulator (minifloat, INT8, the
+/// single-slope mantissa counter) round an intermediate `f64` to an
+/// integer grid point; this enum selects the tie-breaking behaviour.
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::Rounding;
+///
+/// assert_eq!(Rounding::NearestEven.apply(2.5, None), 2.0);
+/// assert_eq!(Rounding::NearestAway.apply(2.5, None), 3.0);
+/// assert_eq!(Rounding::TowardZero.apply(2.9, None), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (IEEE 754 default).
+    #[default]
+    NearestEven,
+    /// Round to nearest, ties away from zero.
+    NearestAway,
+    /// Truncate toward zero.
+    TowardZero,
+    /// Stochastic rounding: round up with probability equal to the
+    /// fractional distance. Requires an entropy sample in `[0, 1)`.
+    Stochastic,
+}
+
+impl Rounding {
+    /// Rounds `x` to an integer according to the policy.
+    ///
+    /// `entropy` must be `Some(u)` with `u ∈ [0, 1)` when the policy is
+    /// [`Rounding::Stochastic`]; it is ignored otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`Rounding::Stochastic`] and `entropy` is
+    /// `None`, because silently falling back to deterministic rounding
+    /// would invalidate stochastic-rounding experiments.
+    #[must_use]
+    pub fn apply(self, x: f64, entropy: Option<f64>) -> f64 {
+        match self {
+            Rounding::NearestEven => x.round_ties_even(),
+            Rounding::NearestAway => x.round(),
+            Rounding::TowardZero => x.trunc(),
+            Rounding::Stochastic => {
+                let u = entropy.expect("stochastic rounding requires an entropy sample");
+                let floor = x.floor();
+                let frac = x - floor;
+                if u < frac {
+                    floor + 1.0
+                } else {
+                    floor
+                }
+            }
+        }
+    }
+
+    /// True if this policy needs an entropy sample.
+    #[must_use]
+    pub fn is_stochastic(self) -> bool {
+        matches!(self, Rounding::Stochastic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_even_ties() {
+        assert_eq!(Rounding::NearestEven.apply(0.5, None), 0.0);
+        assert_eq!(Rounding::NearestEven.apply(1.5, None), 2.0);
+        assert_eq!(Rounding::NearestEven.apply(2.5, None), 2.0);
+        assert_eq!(Rounding::NearestEven.apply(-1.5, None), -2.0);
+        assert_eq!(Rounding::NearestEven.apply(-2.5, None), -2.0);
+    }
+
+    #[test]
+    fn nearest_away_ties() {
+        assert_eq!(Rounding::NearestAway.apply(0.5, None), 1.0);
+        assert_eq!(Rounding::NearestAway.apply(-0.5, None), -1.0);
+    }
+
+    #[test]
+    fn toward_zero() {
+        assert_eq!(Rounding::TowardZero.apply(1.9, None), 1.0);
+        assert_eq!(Rounding::TowardZero.apply(-1.9, None), -1.0);
+    }
+
+    #[test]
+    fn stochastic_extremes() {
+        // entropy 0 always rounds down when frac > 0; entropy near 1 rounds up
+        // only when frac exceeds it.
+        assert_eq!(Rounding::Stochastic.apply(1.3, Some(0.0)), 2.0);
+        assert_eq!(Rounding::Stochastic.apply(1.3, Some(0.999)), 1.0);
+        assert_eq!(Rounding::Stochastic.apply(2.0, Some(0.0)), 2.0);
+    }
+
+    #[test]
+    fn stochastic_negative_values() {
+        // floor(-1.3) = -2, frac = 0.7
+        assert_eq!(Rounding::Stochastic.apply(-1.3, Some(0.5)), -1.0);
+        assert_eq!(Rounding::Stochastic.apply(-1.3, Some(0.9)), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy")]
+    fn stochastic_without_entropy_panics() {
+        let _ = Rounding::Stochastic.apply(1.5, None);
+    }
+
+    #[test]
+    fn exact_integers_unchanged_by_all_policies() {
+        for policy in [
+            Rounding::NearestEven,
+            Rounding::NearestAway,
+            Rounding::TowardZero,
+        ] {
+            for k in -5..=5 {
+                assert_eq!(policy.apply(f64::from(k), None), f64::from(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Tensor statistics used for quantizer calibration and error reporting.
+
+/// Minimum and maximum of a slice, ignoring NaNs.
+///
+/// Returns `None` for an empty slice or a slice of only NaNs.
+///
+/// # Example
+///
+/// ```
+/// use afpr_num::stats::min_max;
+///
+/// assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+/// assert_eq!(min_max(&[]), None);
+/// ```
+#[must_use]
+pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
+    let mut it = xs.iter().copied().filter(|x| !x.is_nan());
+    let first = it.next()?;
+    Some(it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x))))
+}
+
+/// Largest absolute value in a slice (0 for an empty slice).
+#[must_use]
+pub fn abs_max(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| if x.is_nan() { m } else { m.max(x.abs()) })
+}
+
+/// The `p`-th percentile (0–100) of the absolute values, by
+/// nearest-rank on a sorted copy.
+///
+/// Used for outlier-clipping calibration. Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 100]`.
+#[must_use]
+pub fn abs_percentile(xs: &[f32], p: f64) -> f32 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f32> = xs.iter().map(|x| x.abs()).filter(|x| !x.is_nan()).collect();
+    if mags.is_empty() {
+        return 0.0;
+    }
+    mags.sort_by(f32::total_cmp);
+    let rank = ((p / 100.0) * (mags.len() - 1) as f64).round() as usize;
+    mags[rank]
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse operands must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB between a reference signal
+/// and its quantized version.
+///
+/// Returns `f64::INFINITY` when the error is exactly zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
+    let signal: f64 = reference.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    let noise = mse(reference, quantized) * reference.len() as f64;
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_ignores_nan() {
+        assert_eq!(min_max(&[f32::NAN, 1.0, -2.0]), Some((-2.0, 1.0)));
+        assert_eq!(min_max(&[f32::NAN]), None);
+    }
+
+    #[test]
+    fn abs_max_basics() {
+        assert_eq!(abs_max(&[]), 0.0);
+        assert_eq!(abs_max(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [1.0f32, -2.0, 3.0, -4.0, 5.0];
+        assert_eq!(abs_percentile(&xs, 100.0), 5.0);
+        assert_eq!(abs_percentile(&xs, 0.0), 1.0);
+        assert_eq!(abs_percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let _ = abs_percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn mse_and_sqnr() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
+        let b = [1.1f32, 2.0, 3.0];
+        assert!(mse(&a, &b) > 0.0);
+        assert!(sqnr_db(&a, &b) > 10.0);
+    }
+}

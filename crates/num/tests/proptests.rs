@@ -1,0 +1,110 @@
+//! Property-based tests for the number-format substrate.
+
+use afpr_num::{
+    stats, thermometer_to_binary, FpFormat, Int8Quantizer, Minifloat, Rounding, E2M5, E3M4,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every decode/encode round trip is the identity on codes.
+    #[test]
+    fn minifloat_round_trip_e2m5(bits in 0u16..256) {
+        let v = E2M5::from_bits(bits);
+        let back = E2M5::from_f32(v.to_f32());
+        prop_assert_eq!(back.to_f32(), v.to_f32());
+    }
+
+    #[test]
+    fn minifloat_round_trip_e3m4(bits in 0u16..256) {
+        let v = E3M4::from_bits(bits);
+        let back = E3M4::from_f32(v.to_f32());
+        prop_assert_eq!(back.to_f32(), v.to_f32());
+    }
+
+    /// RNE picks the nearest representable value: no other code is
+    /// strictly closer.
+    #[test]
+    fn minifloat_is_nearest(x in -8.0f32..8.0) {
+        let q = E2M5::from_f32(x).to_f32();
+        let best = Minifloat::<afpr_num::minifloat::FmtE2M5>::all_codes()
+            .map(|c| (c.to_f32() - x).abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!((q - x).abs() <= best + 1e-7);
+    }
+
+    /// Quantization is monotone (non-decreasing).
+    #[test]
+    fn minifloat_monotone(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(E2M5::from_f32(lo).to_f32() <= E2M5::from_f32(hi).to_f32());
+    }
+
+    /// Stochastic rounding stays within one grid step of the input and
+    /// brackets it.
+    #[test]
+    fn minifloat_stochastic_brackets(x in 0.04f32..7.8, u in 0.0f64..1.0) {
+        let q = E2M5::from_f32_round(x, Rounding::Stochastic, Some(u)).to_f32();
+        let down = E2M5::from_f32_round(x, Rounding::TowardZero, None).to_f32();
+        prop_assert!(q >= down - 1e-6);
+        // One ulp above the truncated value.
+        let ulp = x.log2().floor().max(0.0).exp2() / 32.0;
+        prop_assert!(q <= down + ulp + 1e-6);
+    }
+
+    /// Hardware-code encode returns the nearest code in its binade.
+    #[test]
+    fn hwcode_quantization_error_bound(x in 1.0f64..15.75) {
+        let f = FpFormat::E2M5;
+        let c = f.encode(x).unwrap();
+        let step = 2.0f64.powi(c.exp() as i32) / 32.0;
+        prop_assert!((c.value() - x).abs() <= step / 2.0 + 1e-12);
+    }
+
+    /// Hardware-code encode is monotone over the full range.
+    #[test]
+    fn hwcode_monotone(a in 1.0f64..15.75, b in 1.0f64..15.75) {
+        let f = FpFormat::E2M5;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f.encode(lo).unwrap().value() <= f.encode(hi).unwrap().value());
+    }
+
+    /// INT8 symmetric fake-quant error is bounded by half a step.
+    #[test]
+    fn int8_error_bound(absmax in 0.5f32..100.0, frac in -1.0f32..1.0) {
+        let q = Int8Quantizer::symmetric_for_absmax(absmax).unwrap();
+        let x = absmax * frac;
+        prop_assert!((q.fake_quant(x) - x).abs() <= q.scale() / 2.0 + 1e-5);
+    }
+
+    /// INT8 quantize is monotone.
+    #[test]
+    fn int8_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let q = Int8Quantizer::symmetric_for_absmax(50.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(lo) <= q.quantize(hi));
+    }
+
+    /// Thermometer codes built from a count always convert back to it.
+    #[test]
+    fn thermometer_round_trip(n in 0usize..16, total in 0usize..16) {
+        let total = total.max(n);
+        let stages: Vec<bool> = (0..total).map(|i| i < n).collect();
+        prop_assert_eq!(thermometer_to_binary(&stages).unwrap(), n as u32);
+    }
+
+    /// abs_percentile(100) equals abs_max.
+    #[test]
+    fn percentile_top_is_absmax(xs in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        prop_assert_eq!(stats::abs_percentile(&xs, 100.0), stats::abs_max(&xs));
+    }
+
+    /// SQNR improves (or stays equal) when quantization gets finer.
+    #[test]
+    fn sqnr_finer_is_better(xs in prop::collection::vec(-4.0f32..4.0, 8..64)) {
+        let coarse = Int8Quantizer::symmetric_for_absmax(8.0).unwrap();
+        let fine = Int8Quantizer::symmetric_for_absmax(4.0).unwrap();
+        let qc: Vec<f32> = xs.iter().map(|&x| coarse.fake_quant(x)).collect();
+        let qf: Vec<f32> = xs.iter().map(|&x| fine.fake_quant(x)).collect();
+        prop_assert!(stats::mse(&xs, &qf) <= stats::mse(&xs, &qc) + 1e-9);
+    }
+}

@@ -1,0 +1,841 @@
+//! The AFPR-CIM macro: 576 FP-DACs → 576×256 RRAM array → 256 FP-ADCs.
+//!
+//! One *phase* is one physical integration window: unsigned activation
+//! codes drive the word lines through the DACs and column currents
+//! develop per Kirchhoff (paper Fig. 1). Signed arithmetic uses the
+//! standard analog-CIM differential scheme:
+//!
+//! * weights are differential — each logical column is a
+//!   positive/negative cell pair sharing the word line, and the
+//!   integrator accumulates `I⁺ − I⁻`;
+//! * activation signs are handled by phase chopping — positive inputs
+//!   drive one integration window, negative inputs a second window with
+//!   the integrator polarity swapped.
+//!
+//! The net integrated charge is the *signed* MAC; a single FP-ADC
+//! readout (magnitude + polarity comparator) converts it. This keeps
+//! the per-column result inside the ADC's 16:1 adaptive window, which
+//! is the regime the paper designs for.
+//!
+//! ## Scaling between digital values and physics
+//!
+//! * DAC: `V_i = v_unit · a_i` where `a_i = 1.M × 2^E` (or 0).
+//! * Cell: `G_ij = g_lsb · w_ij` with `w_ij ∈ [0, L−1]` MLC levels.
+//! * Column: `I_j = v_unit · g_lsb · Σ a_i w_ij`.
+//! * A programmable current mirror divides the source-line current by
+//!   [`CimMacro::current_divider`] before the integrator, placing the
+//!   expected MAC distribution inside the ADC window (real macros
+//!   provide the same freedom through reference scaling). One ADC unit
+//!   therefore corresponds to
+//!   `(C_int/T_S) · divider / (v_unit · g_lsb)` digital MAC units.
+//!
+//! MAC results outside the window saturate or read out as zero ("not
+//! read out"), both counted in [`MacroStats`] — exactly the circuit
+//! non-linearities the paper feeds into its network-accuracy
+//! simulation (§IV-D).
+
+use crate::crossbar::Crossbar;
+use crate::mapping::{map_weights, MappedWeights};
+use crate::metrics::MacroStats;
+use crate::quant::{FpActQuantizer, IntActQuantizer, SignedActivation};
+use crate::spec::{MacroMode, MacroSpec};
+use afpr_circuit::energy::AdcSpec;
+use afpr_circuit::fp_adc::FpAdc;
+use afpr_circuit::fp_dac::FpDac;
+use afpr_circuit::int_adc::IntAdc;
+use afpr_circuit::int_dac::IntDac;
+use afpr_circuit::units::{Amps, Joules, Volts};
+use afpr_circuit::{EnergyModel, Pga};
+use afpr_num::HwFpCode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which weight polarity array a raw phase drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightPolarity {
+    /// The positive-weight array.
+    Positive,
+    /// The negative-weight array.
+    Negative,
+}
+
+/// One AFPR-CIM macro instance.
+///
+/// # Example
+///
+/// ```
+/// use afpr_xbar::cim_macro::CimMacro;
+/// use afpr_xbar::spec::{MacroMode, MacroSpec};
+///
+/// let mut mac = CimMacro::new(MacroSpec::small(8, 4, MacroMode::FpE2M5));
+/// let weights: Vec<f32> = (0..32).map(|k| (k as f32 - 16.0) / 16.0).collect();
+/// mac.program_weights(&weights);
+/// let y = mac.matvec(&vec![0.5f32; 8]);
+/// assert_eq!(y.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CimMacro {
+    spec: MacroSpec,
+    pos: Crossbar,
+    neg: Crossbar,
+    fp_dac: FpDac,
+    row_pgas: Vec<Pga>,
+    fp_adcs: Vec<FpAdc>,
+    int_dac: IntDac,
+    int_adc: IntAdc,
+    energy_model: EnergyModel,
+    mapped: Option<MappedWeights>,
+    current_divider: f64,
+    stats: MacroStats,
+    rng: StdRng,
+}
+
+impl CimMacro {
+    /// Builds a macro with seed 0 for all stochastic components.
+    #[must_use]
+    pub fn new(spec: MacroSpec) -> Self {
+        Self::with_seed(spec, 0)
+    }
+
+    /// Builds a macro; all mismatch sampling and runtime noise derive
+    /// deterministically from `seed`.
+    #[must_use]
+    pub fn with_seed(spec: MacroSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pos = Crossbar::new(spec.rows, spec.cols, spec.device.clone());
+        let neg = Crossbar::new(spec.rows, spec.cols, spec.device.clone());
+        let fp_dac = FpDac::with_sampled_mismatch(spec.fp_dac, &mut rng);
+        let exp_levels = spec.fp_dac.format.exponent_levels();
+        let row_pgas = (0..spec.rows)
+            .map(|_| Pga::binary_with_mismatch(exp_levels, spec.fp_dac.pga_mismatch_sigma, &mut rng))
+            .collect();
+        let fp_adcs = (0..spec.cols)
+            .map(|_| FpAdc::with_sampled_mismatch(spec.fp_adc, &mut rng))
+            .collect();
+        let int_dac = IntDac::new(spec.int_dac_bits, spec.int_dac_full_scale);
+        let int_adc = IntAdc::new(spec.int_adc);
+        Self {
+            spec,
+            pos,
+            neg,
+            fp_dac,
+            row_pgas,
+            fp_adcs,
+            int_dac,
+            int_adc,
+            energy_model: EnergyModel::paper_65nm(),
+            mapped: None,
+            current_divider: 1.0,
+            stats: MacroStats::default(),
+            rng,
+        }
+    }
+
+    /// The macro configuration.
+    #[must_use]
+    pub fn spec(&self) -> &MacroSpec {
+        &self.spec
+    }
+
+    /// Running statistics (conversions, energy, saturations…).
+    #[must_use]
+    pub fn stats(&self) -> &MacroStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The current-mirror division ratio between the source line and
+    /// the ADC input.
+    #[must_use]
+    pub fn current_divider(&self) -> f64 {
+        self.current_divider
+    }
+
+    /// Sets the current-mirror ratio explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divider` is not positive and finite.
+    pub fn set_current_divider(&mut self, divider: f64) {
+        assert!(divider > 0.0 && divider.is_finite(), "divider must be positive");
+        self.current_divider = divider;
+    }
+
+    /// Enables the wire IR-drop model on both differential arrays.
+    pub fn set_ir_drop(&mut self, model: crate::ir_drop::IrDropModel) {
+        self.pos.set_ir_drop(model);
+        self.neg.set_ir_drop(model);
+    }
+
+    /// Ages both arrays (retention drift applies to subsequent reads).
+    pub fn set_age(&mut self, elapsed: afpr_circuit::units::Seconds) {
+        self.pos.set_age(elapsed);
+        self.neg.set_age(elapsed);
+    }
+
+    /// Programs a signed weight matrix (`rows × cols`, row-major) into
+    /// the differential arrays through write-verify, and auto-places
+    /// the ADC range: the current divider is set so the ADC full scale
+    /// covers ≈3 standard deviations of the MAC distribution under a
+    /// random-activation assumption. Use
+    /// [`CimMacro::calibrate_range`] afterwards for data-driven
+    /// placement, or [`CimMacro::set_current_divider`] for manual
+    /// control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows × cols`.
+    pub fn program_weights(&mut self, weights: &[f32]) -> &MappedWeights {
+        let mapped =
+            map_weights(weights, self.spec.rows, self.spec.cols, self.spec.device.levels);
+        self.pos.program_levels(&mapped.pos_levels, &mut self.rng);
+        self.neg.program_levels(&mapped.neg_levels, &mut self.rng);
+
+        // Range placement: σ_col = a_rms · sqrt(Σ_r w², worst column).
+        let a_rms = self.activation_rms_assumption();
+        let mut worst = 0.0f64;
+        for c in 0..mapped.cols {
+            let sum_sq: f64 = (0..mapped.rows)
+                .map(|r| {
+                    let w = f64::from(mapped.signed_level(r, c));
+                    w * w
+                })
+                .sum();
+            worst = worst.max(sum_sq);
+        }
+        let sigma = a_rms * worst.sqrt();
+        if sigma > 0.0 {
+            let target = 3.0 * sigma;
+            let base_full_scale = self.digital_full_scale_at_divider(1.0);
+            self.current_divider = (target / base_full_scale).max(f64::MIN_POSITIVE);
+        } else {
+            self.current_divider = 1.0;
+        }
+        self.mapped = Some(mapped);
+        self.mapped.as_ref().expect("just set")
+    }
+
+    /// Data-driven range calibration: runs exact digital references for
+    /// the sample inputs and places the ADC full scale at the largest
+    /// observed |MAC| (with 10 % headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are not programmed or a sample has the wrong
+    /// length.
+    pub fn calibrate_range(&mut self, samples: &[Vec<SignedActivation>]) {
+        let mut peak = 0.0f64;
+        for acts in samples {
+            for v in self.digital_reference_fp(acts) {
+                peak = peak.max(v.abs());
+            }
+        }
+        if peak > 0.0 {
+            let base_full_scale = self.digital_full_scale_at_divider(1.0);
+            self.current_divider = (1.1 * peak / base_full_scale).max(f64::MIN_POSITIVE);
+        }
+    }
+
+    /// One-time weight-deployment energy (write-verify pulses over
+    /// both differential arrays, typical-RRAM pulse parameters).
+    #[must_use]
+    pub fn programming_energy(&self) -> Joules {
+        let model = afpr_device::ProgramEnergyModel::typical_rram();
+        self.pos.programming_energy(&model) + self.neg.programming_energy(&model)
+    }
+
+    /// The programmed weight mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no weights have been programmed yet.
+    #[must_use]
+    pub fn mapped_weights(&self) -> &MappedWeights {
+        self.mapped.as_ref().expect("weights must be programmed first")
+    }
+
+    /// How many digital MAC units one ADC output unit represents.
+    #[must_use]
+    pub fn digital_units_per_adc_unit(&self) -> f64 {
+        self.digital_units_at_divider(self.current_divider)
+    }
+
+    /// The largest |digital MAC| a column can read out before the ADC
+    /// saturates.
+    #[must_use]
+    pub fn digital_full_scale(&self) -> f64 {
+        self.digital_full_scale_at_divider(self.current_divider)
+    }
+
+    /// The smallest non-zero |digital MAC| that still reads out
+    /// (below it: "the result is not read out").
+    #[must_use]
+    pub fn digital_min_readable(&self) -> f64 {
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => self.digital_units_per_adc_unit(),
+            // The INT ADC reads down to half an LSB.
+            MacroMode::Int8 => self.digital_units_per_adc_unit() / 2.0,
+        }
+    }
+
+    fn activation_rms_assumption(&self) -> f64 {
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => self.spec.fp_adc.format.max_value() / 3.0,
+            MacroMode::Int8 => f64::from((1u32 << self.spec.int_dac_bits) - 1) / 3.0,
+        }
+    }
+
+    fn digital_units_at_divider(&self, divider: f64) -> f64 {
+        let g_lsb = self.spec.device.level_step();
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => {
+                self.fp_adcs[0].min_current().amps() * divider
+                    / (self.spec.fp_dac.v_unit.volts() * g_lsb)
+            }
+            MacroMode::Int8 => {
+                let v_per_code = self.spec.int_dac_full_scale.volts()
+                    / f64::from(1u32 << self.spec.int_dac_bits);
+                self.int_adc.lsb_current().amps() * divider / (v_per_code * g_lsb)
+            }
+        }
+    }
+
+    fn digital_full_scale_at_divider(&self, divider: f64) -> f64 {
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => {
+                self.spec.fp_adc.format.max_value() * self.digital_units_at_divider(divider)
+            }
+            MacroMode::Int8 => {
+                let codes = f64::from(1u32 << self.spec.int_adc.bits) - 1.0;
+                codes * self.digital_units_at_divider(divider)
+            }
+        }
+    }
+
+    /// DAC stage for one FP drive vector: shared mantissa ladder,
+    /// per-row PGA.
+    fn fp_voltages(&self, drive: &[Option<HwFpCode>]) -> Vec<Volts> {
+        drive
+            .iter()
+            .enumerate()
+            .map(|(r, code)| match code {
+                Some(c) => Volts::new(
+                    self.row_pgas[r].apply(c.exp(), self.fp_dac.mantissa_voltage(c.man()).volts()),
+                ),
+                None => Volts::ZERO,
+            })
+            .collect()
+    }
+
+    /// Raw single-phase operation: unsigned codes against one weight
+    /// polarity, every column ADC converting the raw (divided) current.
+    /// This is the primitive the paper's dense-mode Table I operation
+    /// and the Fig. 5 functional test exercise. Returns per-column
+    /// digital values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is in INT8 mode, `drive.len() != rows`, or
+    /// weights are not programmed.
+    pub fn compute_phase_fp(
+        &mut self,
+        drive: &[Option<HwFpCode>],
+        polarity: WeightPolarity,
+    ) -> Vec<f64> {
+        assert!(self.spec.mode.fp_format().is_some(), "compute_phase_fp needs an FP mode");
+        assert_eq!(drive.len(), self.spec.rows, "need one activation per row");
+        assert!(self.mapped.is_some(), "weights must be programmed first");
+
+        let voltages = self.fp_voltages(drive);
+        let array = match polarity {
+            WeightPolarity::Positive => &self.pos,
+            WeightPolarity::Negative => &self.neg,
+        };
+        let currents = array.mac_currents_noisy(&voltages, &mut self.rng);
+        let array_energy = array.array_energy(&voltages, self.spec.fp_adc.t_integrate);
+
+        let units = self.digital_units_per_adc_unit();
+        let divider = self.current_divider;
+        let mut out = Vec::with_capacity(self.spec.cols);
+        for (col, i) in currents.iter().enumerate() {
+            let scaled = Amps::new(i.amps() / divider);
+            let r = self.fp_adcs[col].convert_noisy(scaled, &mut self.rng);
+            if r.overflow {
+                self.stats.saturations += 1;
+            }
+            if r.underflow {
+                self.stats.underflows += 1;
+            }
+            out.push(r.value() * units);
+        }
+
+        let active_rows = voltages.iter().filter(|v| v.volts() > 0.0).count();
+        self.account(AdcSpec::fp(&self.spec.fp_adc), active_rows, array_energy, 1);
+        out
+    }
+
+    /// Signed FP matrix-vector product in *digital* units
+    /// (`Σ a_i w_ij`): differential charge accumulation over up to two
+    /// input-sign phases, one magnitude readout per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is in INT8 mode, lengths mismatch, or
+    /// weights are not programmed.
+    pub fn matvec_digital_fp(&mut self, activations: &[SignedActivation]) -> Vec<f64> {
+        assert!(self.spec.mode.fp_format().is_some(), "matvec_digital_fp needs an FP mode");
+        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        assert!(self.mapped.is_some(), "weights must be programmed first");
+
+        let pos_drive: Vec<Option<HwFpCode>> = activations
+            .iter()
+            .map(|a| if a.negative { None } else { a.code })
+            .collect();
+        let neg_drive: Vec<Option<HwFpCode>> = activations
+            .iter()
+            .map(|a| if a.negative { a.code } else { None })
+            .collect();
+
+        let mut net = vec![0.0f64; self.spec.cols]; // amps, signed
+        let mut array_energy = Joules::ZERO;
+        let mut phases = 0u32;
+        for (drive, sign) in [(&pos_drive, 1.0f64), (&neg_drive, -1.0f64)] {
+            if drive.iter().all(Option::is_none) {
+                continue;
+            }
+            phases += 1;
+            let voltages = self.fp_voltages(drive);
+            // Differential pair shares the word line: one DAC drive
+            // feeds both polarities; integrator accumulates I⁺ − I⁻
+            // with the phase sign.
+            let ip = self.pos.mac_currents_noisy(&voltages, &mut self.rng);
+            let i_neg = self.neg.mac_currents_noisy(&voltages, &mut self.rng);
+            for (n, (p, m)) in net.iter_mut().zip(ip.iter().zip(&i_neg)) {
+                *n += sign * (p.amps() - m.amps());
+            }
+            array_energy += self.pos.array_energy(&voltages, self.spec.fp_adc.t_integrate)
+                + self.neg.array_energy(&voltages, self.spec.fp_adc.t_integrate);
+        }
+
+        let units = self.digital_units_per_adc_unit();
+        let divider = self.current_divider;
+        let mut out = Vec::with_capacity(self.spec.cols);
+        for (col, i_net) in net.iter().enumerate() {
+            let magnitude = Amps::new(i_net.abs() / divider);
+            let r = self.fp_adcs[col].convert_noisy(magnitude, &mut self.rng);
+            if r.overflow {
+                self.stats.saturations += 1;
+            }
+            if r.underflow {
+                self.stats.underflows += 1;
+            }
+            out.push(r.value() * units * i_net.signum());
+        }
+
+        let active_rows =
+            activations.iter().filter(|a| a.code.is_some()).count();
+        self.account(AdcSpec::fp(&self.spec.fp_adc), active_rows, array_energy, phases.max(1));
+        out
+    }
+
+    /// Signed INT8 matrix-vector product in digital units (activation
+    /// magnitudes `0..=255` with sign flags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is not in INT8 mode or preconditions fail.
+    pub fn matvec_digital_int(&mut self, activations: &[(bool, u32)]) -> Vec<f64> {
+        assert_eq!(self.spec.mode, MacroMode::Int8, "matvec_digital_int needs INT8 mode");
+        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        assert!(self.mapped.is_some(), "weights must be programmed first");
+
+        let mut net = vec![0.0f64; self.spec.cols];
+        let mut array_energy = Joules::ZERO;
+        let mut phases = 0u32;
+        for (want_neg, sign) in [(false, 1.0f64), (true, -1.0f64)] {
+            let voltages: Vec<Volts> = activations
+                .iter()
+                .map(|&(neg, m)| {
+                    if neg == want_neg {
+                        self.int_dac.convert(m)
+                    } else {
+                        Volts::ZERO
+                    }
+                })
+                .collect();
+            if voltages.iter().all(|v| v.volts() == 0.0) {
+                continue;
+            }
+            phases += 1;
+            let ip = self.pos.mac_currents_noisy(&voltages, &mut self.rng);
+            let i_neg = self.neg.mac_currents_noisy(&voltages, &mut self.rng);
+            for (n, (p, m)) in net.iter_mut().zip(ip.iter().zip(&i_neg)) {
+                *n += sign * (p.amps() - m.amps());
+            }
+            array_energy += self.pos.array_energy(&voltages, self.spec.int_adc.t_integrate)
+                + self.neg.array_energy(&voltages, self.spec.int_adc.t_integrate);
+        }
+
+        let units = self.digital_units_per_adc_unit();
+        let divider = self.current_divider;
+        let mut out = Vec::with_capacity(self.spec.cols);
+        for i_net in &net {
+            let magnitude = Amps::new(i_net.abs() / divider);
+            let r = self.int_adc.convert(magnitude);
+            if r.overflow {
+                self.stats.saturations += 1;
+            }
+            out.push(f64::from(r.code) * units * i_net.signum());
+        }
+
+        let active_rows = activations.iter().filter(|&&(_, m)| m > 0).count();
+        self.account(AdcSpec::int(&self.spec.int_adc), active_rows, array_energy, phases.max(1));
+        out
+    }
+
+    fn account(&mut self, adc_spec: AdcSpec, active_rows: usize, array: Joules, phases: u32) {
+        let mut breakdown = self.energy_model.macro_conversion_energy(
+            &adc_spec,
+            self.spec.cols,
+            active_rows,
+            Some(array),
+        );
+        // Extra integration phases repeat the DAC drive cost.
+        if phases > 1 {
+            breakdown.dac = breakdown.dac * f64::from(phases);
+        }
+        self.stats.energy += breakdown;
+        self.stats.conversions += 1;
+        self.stats.ops += self.spec.ops_per_conversion();
+        self.stats.busy_time += self.spec.mode.conversion_time()
+            + adc_spec.t_integrate * f64::from(phases.saturating_sub(1));
+    }
+
+    /// End-to-end real-valued matrix-vector product: calibrates an
+    /// activation quantizer on `x`, runs the signed differential
+    /// conversion, and rescales the digital result back to real units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or weights are not programmed.
+    pub fn matvec(&mut self, x: &[f32]) -> Vec<f32> {
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => {
+                let q = FpActQuantizer::calibrate(x, self.spec.fp_dac.format);
+                self.matvec_with_fp(x, &q)
+            }
+            MacroMode::Int8 => {
+                let q = IntActQuantizer::calibrate(x);
+                self.matvec_with_int(x, &q)
+            }
+        }
+    }
+
+    /// FP matrix-vector product with an explicit (pre-calibrated)
+    /// activation quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is in INT8 mode or preconditions fail.
+    pub fn matvec_with_fp(&mut self, x: &[f32], q: &FpActQuantizer) -> Vec<f32> {
+        let acts = q.quantize_slice(x);
+        let digital = self.matvec_digital_fp(&acts);
+        let w_scale = self.mapped_weights().scale;
+        digital.into_iter().map(|d| d as f32 * q.scale * w_scale).collect()
+    }
+
+    /// INT8 matrix-vector product with an explicit quantizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is not in INT8 mode or preconditions fail.
+    pub fn matvec_with_int(&mut self, x: &[f32], q: &IntActQuantizer) -> Vec<f32> {
+        let acts: Vec<(bool, u32)> = x.iter().map(|&v| q.quantize(v)).collect();
+        let digital = self.matvec_digital_int(&acts);
+        let w_scale = self.mapped_weights().scale;
+        let a_scale = q.inner().scale();
+        digital.into_iter().map(|d| d as f32 * a_scale * w_scale).collect()
+    }
+
+    /// The exact digital reference MAC (`Σ a_i w_ij` from the quantized
+    /// codes, no analog effects) — what an error-free macro would
+    /// return from [`CimMacro::matvec_digital_fp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are not programmed or lengths mismatch.
+    #[must_use]
+    pub fn digital_reference_fp(&self, activations: &[SignedActivation]) -> Vec<f64> {
+        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        let mapped = self.mapped_weights();
+        let mut out = vec![0.0f64; self.spec.cols];
+        for (r, a) in activations.iter().enumerate() {
+            let av = a.value();
+            if av == 0.0 {
+                continue;
+            }
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += av * f64::from(mapped.signed_level(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afpr_num::FpFormat;
+
+    fn small_fp(rows: usize, cols: usize) -> CimMacro {
+        CimMacro::with_seed(MacroSpec::small(rows, cols, MacroMode::FpE2M5), 42)
+    }
+
+    fn ramp_weights(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|k| ((k * 13) % 17) as f32 / 17.0 - 0.4)
+            .collect()
+    }
+
+    #[test]
+    fn digital_units_scaling_e2m5() {
+        let mac = small_fp(4, 2);
+        // (1.05 µA) / (0.1 V × 0.645 µS) ≈ 16.28 at divider 1.
+        let u = mac.digital_units_per_adc_unit();
+        assert!((u - 16.275).abs() < 0.01, "u={u}");
+    }
+
+    #[test]
+    fn auto_range_covers_typical_macs() {
+        let mut mac = small_fp(32, 4);
+        mac.program_weights(&ramp_weights(32, 4));
+        // After auto-ranging, full scale ≈ 3σ of the assumed MAC
+        // distribution: well above one max product, below the absolute
+        // worst case.
+        let fs = mac.digital_full_scale();
+        assert!(fs > 15.75 * 31.0, "full scale {fs} too small");
+        assert!(fs < 32.0 * 15.75 * 31.0, "full scale {fs} absurdly large");
+    }
+
+    #[test]
+    fn ideal_matvec_matches_digital_reference() {
+        let mut mac = small_fp(16, 4);
+        mac.program_weights(&ramp_weights(16, 4));
+        let fmt = FpFormat::E2M5;
+        let acts: Vec<SignedActivation> = (0..16)
+            .map(|k| SignedActivation {
+                negative: k % 3 == 0,
+                code: Some(HwFpCode::new(fmt, 1, (k * 2) % 32).unwrap()),
+            })
+            .collect();
+        mac.calibrate_range(std::slice::from_ref(&acts));
+        let reference = mac.digital_reference_fp(&acts);
+        let measured = mac.matvec_digital_fp(&acts);
+        for (c, (m, r)) in measured.iter().zip(&reference).enumerate() {
+            if r.abs() < mac.digital_min_readable() {
+                assert_eq!(*m, 0.0, "col {c} should flush to zero");
+                continue;
+            }
+            // One mantissa LSB of the landing binade, in digital units.
+            let binade = (r.abs() / mac.digital_units_per_adc_unit()).log2().floor().max(0.0);
+            let tol = mac.digital_units_per_adc_unit() * 2.0f64.powf(binade) / 32.0 + 1e-9;
+            assert!((m - r).abs() <= tol, "col {c}: measured {m} reference {r} tol {tol}");
+        }
+    }
+
+    #[test]
+    fn signed_matvec_close_to_float() {
+        let mut mac = small_fp(32, 4);
+        let w = ramp_weights(32, 4);
+        mac.program_weights(&w);
+        let x: Vec<f32> = (0..32).map(|k| ((k as f32) * 0.37).sin()).collect();
+        // Data-driven range placement, as a PTQ flow would do.
+        let q = FpActQuantizer::calibrate(&x, FpFormat::E2M5);
+        mac.calibrate_range(&[q.quantize_slice(&x)]);
+        let y = mac.matvec_with_fp(&x, &q);
+        let mut want = [0.0f32; 4];
+        for r in 0..32 {
+            for c in 0..4 {
+                want[c] += x[r] * w[r * 4 + c];
+            }
+        }
+        for c in 0..4 {
+            // Error budget: activation quant (~3 %), weight quant
+            // (~3 %), one FP readout (~3 % of full scale).
+            let tol = 0.1 * want[c].abs().max(1.0) + 0.35;
+            assert!(
+                (y[c] - want[c]).abs() < tol,
+                "col {c}: got {} want {}",
+                y[c],
+                want[c]
+            );
+        }
+    }
+
+    #[test]
+    fn readout_is_one_conversion_per_matvec() {
+        let mut mac = small_fp(8, 2);
+        mac.program_weights(&ramp_weights(8, 2));
+        let x: Vec<f32> = (0..8).map(|k| (k as f32 - 4.0) / 4.0).collect();
+        let _ = mac.matvec(&x);
+        // Differential accumulation: mixed-sign input costs 2
+        // integration phases but a single readout.
+        assert_eq!(mac.stats().conversions, 1);
+        // Busy time: conversion + one extra integration window.
+        assert!((mac.stats().busy_time.seconds() - (200e-9 + 100e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn positive_only_input_single_phase() {
+        let mut mac = small_fp(8, 2);
+        mac.program_weights(&ramp_weights(8, 2));
+        let _ = mac.matvec(&[0.5f32; 8]);
+        assert_eq!(mac.stats().conversions, 1);
+        assert!((mac.stats().busy_time.seconds() - 200e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn int8_mode_matvec() {
+        let mut mac = CimMacro::with_seed(MacroSpec::small(16, 3, MacroMode::Int8), 7);
+        let w = ramp_weights(16, 3);
+        mac.program_weights(&w);
+        let x: Vec<f32> = (0..16).map(|k| ((k as f32) * 0.21).cos() * 0.8).collect();
+        let y = mac.matvec(&x);
+        let mut want = [0.0f32; 3];
+        for r in 0..16 {
+            for c in 0..3 {
+                want[c] += x[r] * w[r * 3 + c];
+            }
+        }
+        for c in 0..3 {
+            let tol = 0.1 * want[c].abs().max(1.0) + 0.4;
+            assert!(
+                (y[c] - want[c]).abs() < tol,
+                "col {c}: got {} want {}",
+                y[c],
+                want[c]
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_counted_when_range_too_small() {
+        let mut mac = small_fp(64, 2);
+        mac.program_weights(&vec![1.0f32; 128]);
+        // Force an undersized range.
+        mac.set_current_divider(1.0);
+        let _ = mac.matvec(&vec![1.0f32; 64]);
+        assert!(mac.stats().saturations > 0);
+    }
+
+    #[test]
+    fn underflow_counted_for_tiny_macs() {
+        let mut mac = small_fp(4, 2);
+        let mut w = vec![0.0f32; 8];
+        w[0] = 1.0; // column 0 sees a real MAC
+        w[1] = 0.02; // column 1's MAC is ~2 % of column 0's
+        mac.program_weights(&w);
+        // Wide range (placed for column 0) makes column 1 underflow.
+        let _ = mac.matvec(&[1.0, 0.0, 0.0, 0.0]);
+        assert!(mac.stats().underflows > 0);
+    }
+
+    #[test]
+    fn compute_phase_raw_unsigned() {
+        let mut mac = small_fp(4, 2);
+        mac.program_weights(&[0.5, 0.25, 1.0, 0.75, 0.5, 0.25, 1.0, 0.75]);
+        let fmt = FpFormat::E2M5;
+        let drive: Vec<Option<HwFpCode>> =
+            (0..4).map(|k| Some(HwFpCode::new(fmt, 0, k * 4).unwrap())).collect();
+        let out = mac.compute_phase_fp(&drive, WeightPolarity::Positive);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| *v >= 0.0));
+        assert_eq!(mac.stats().conversions, 1);
+    }
+
+    #[test]
+    fn seeded_macros_are_reproducible() {
+        let run = || {
+            let mut mac = CimMacro::with_seed(
+                MacroSpec { rows: 16, cols: 4, ..MacroSpec::paper_realistic(MacroMode::FpE2M5) },
+                9,
+            );
+            mac.program_weights(&ramp_weights(16, 4));
+            let x: Vec<f32> = (0..16).map(|k| (k as f32 * 0.3).sin()).collect();
+            mac.matvec(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut mac = small_fp(4, 2);
+        mac.program_weights(&ramp_weights(4, 2));
+        let _ = mac.matvec(&[0.3, -0.2, 0.1, 0.4]);
+        assert!(mac.stats().conversions > 0);
+        mac.reset_stats();
+        assert_eq!(mac.stats().conversions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "programmed")]
+    fn matvec_before_programming_panics() {
+        let mut mac = small_fp(4, 2);
+        let _ = mac.matvec(&[0.1; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divider_rejected() {
+        let mut mac = small_fp(4, 2);
+        mac.set_current_divider(0.0);
+    }
+
+    #[test]
+    fn drift_reduces_macro_outputs() {
+        // Regression: the noisy MAC path must apply retention drift
+        // (it once used the age-unaware single-cell read).
+        let mut spec = MacroSpec::small(8, 2, MacroMode::FpE2M5);
+        spec.device.drift_nu = 0.01;
+        let mut mac = CimMacro::with_seed(spec, 1);
+        let w: Vec<f32> = (0..16).map(|k| (k as f32 - 8.0) / 8.0).collect();
+        mac.program_weights(&w);
+        let x = vec![0.5f32; 8];
+        let fresh = mac.matvec(&x);
+        mac.set_age(afpr_circuit::units::Seconds::new(3.15e7));
+        let aged = mac.matvec(&x);
+        // One year at ν = 0.01 scales conductance by ~0.84.
+        let col = fresh
+            .iter()
+            .zip(&aged)
+            .find(|(f, _)| f.abs() > 0.1)
+            .expect("at least one readable column");
+        let ratio = col.1 / col.0;
+        assert!((ratio - 0.84).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ir_drop_reduces_macro_outputs() {
+        let mut mac = small_fp(32, 2);
+        let w = vec![0.8f32; 64];
+        mac.program_weights(&w);
+        // Place the range well above the all-positive worst case so
+        // neither reading saturates (saturation would mask the drop).
+        mac.set_current_divider(mac.current_divider() * 8.0);
+        let x = vec![0.5f32; 32];
+        let ideal = mac.matvec(&x);
+        mac.set_ir_drop(crate::ir_drop::IrDropModel::new(100.0));
+        let dropped = mac.matvec(&x);
+        assert!(
+            dropped[0] < ideal[0],
+            "IR drop must reduce the column output ({} vs {})",
+            dropped[0],
+            ideal[0]
+        );
+    }
+}

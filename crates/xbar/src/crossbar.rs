@@ -1,0 +1,371 @@
+//! The RRAM crossbar array: Ohm's law × Kirchhoff's current law.
+
+use crate::ir_drop::IrDropModel;
+use afpr_circuit::units::{Amps, Joules, Seconds, Volts};
+use afpr_device::{DeviceConfig, FaultKind, MlcAllocator, RramCell, YieldModel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A `rows × cols` crossbar of multi-level RRAM cells.
+///
+/// Inputs drive word lines with voltages; each source line's current is
+/// the dot product `I_j = Σ_i V_i · G_ij` (paper Eq. 1, with the source
+/// line clamped to the integrator's virtual ground).
+///
+/// # Example
+///
+/// ```
+/// use afpr_circuit::units::Volts;
+/// use afpr_device::DeviceConfig;
+/// use afpr_xbar::crossbar::Crossbar;
+/// use rand::SeedableRng;
+///
+/// let cfg = DeviceConfig::ideal(32);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut xb = Crossbar::new(2, 1, cfg);
+/// xb.program_levels(&[31, 31], &mut rng);
+/// let i = xb.column_current(0, &[Volts::new(0.1), Volts::new(0.2)]);
+/// // (0.1 + 0.2) V × 20 µS = 6 µA
+/// assert!((i.amps() - 6e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<RramCell>, // row-major
+    device: DeviceConfig,
+    allocator: MlcAllocator,
+    /// Retention age in seconds (0 = freshly programmed).
+    age: f64,
+    /// Wire IR-drop model (ideal by default).
+    ir_drop: IrDropModel,
+}
+
+impl Crossbar {
+    /// Builds a crossbar of fresh (minimum-conductance) cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, device: DeviceConfig) -> Self {
+        assert!(rows > 0 && cols > 0, "crossbar dimensions must be non-zero");
+        let allocator = MlcAllocator::new(&device);
+        let cells = vec![RramCell::fresh(&device); rows * cols];
+        Self { rows, cols, cells, device, allocator, age: 0.0, ir_drop: IrDropModel::ideal() }
+    }
+
+    /// Number of word lines.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of source lines.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Programs every cell to an MLC level (row-major order) through the
+    /// write-verify loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != rows × cols` or a level is out of
+    /// range.
+    pub fn program_levels<R: Rng + ?Sized>(&mut self, levels: &[u32], rng: &mut R) {
+        assert_eq!(levels.len(), self.cells.len(), "level count must match cell count");
+        for (cell, &level) in self.cells.iter_mut().zip(levels) {
+            cell.program_level(level, &self.allocator, &self.device, rng);
+        }
+        self.age = 0.0;
+    }
+
+    /// Injects stuck-at faults sampled from a yield model.
+    pub fn inject_faults<R: Rng + ?Sized>(&mut self, yield_model: &YieldModel, rng: &mut R) {
+        for (r, c, fault) in yield_model.sample_array(self.rows, self.cols, rng) {
+            self.cells[r * self.cols + c].set_fault(Some(fault));
+        }
+    }
+
+    /// Injects a single fault at a position (for targeted tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn set_fault(&mut self, row: usize, col: usize, fault: Option<FaultKind>) {
+        assert!(row < self.rows && col < self.cols, "fault position out of bounds");
+        self.cells[row * self.cols + col].set_fault(fault);
+    }
+
+    /// Ages the array (retention drift applies on subsequent reads).
+    pub fn set_age(&mut self, elapsed: Seconds) {
+        self.age = elapsed.seconds();
+    }
+
+    /// Enables (or disables, with [`IrDropModel::ideal`]) the
+    /// first-order wire IR-drop model.
+    pub fn set_ir_drop(&mut self, model: IrDropModel) {
+        self.ir_drop = model;
+    }
+
+    /// The active IR-drop model.
+    #[must_use]
+    pub fn ir_drop(&self) -> IrDropModel {
+        self.ir_drop
+    }
+
+    /// Effective conductance of one cell (faults and drift applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[must_use]
+    pub fn conductance(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "position out of bounds");
+        let g = self.cells[row * self.cols + col].conductance_after(&self.device, self.age);
+        // Word-line distance = column index from the row driver;
+        // source-line distance = row index from the sense node.
+        self.ir_drop.effective_conductance(g, col, row)
+    }
+
+    /// Source-line current for one column (Kirchhoff sum, noise-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_inputs.len() != rows` or `col` is out of bounds.
+    #[must_use]
+    pub fn column_current(&self, col: usize, v_inputs: &[Volts]) -> Amps {
+        assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        assert!(col < self.cols, "column out of bounds");
+        let mut i = 0.0;
+        for (r, v) in v_inputs.iter().enumerate() {
+            i += v.volts() * self.conductance(r, col);
+        }
+        Amps::new(i)
+    }
+
+    /// All source-line currents at once (one macro operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_inputs.len() != rows`.
+    #[must_use]
+    pub fn mac_currents(&self, v_inputs: &[Volts]) -> Vec<Amps> {
+        assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        let mut out = vec![0.0f64; self.cols];
+        for (r, v) in v_inputs.iter().enumerate() {
+            let v = v.volts();
+            if v == 0.0 {
+                continue;
+            }
+            let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+            for (c, (acc, cell)) in out.iter_mut().zip(row_cells).enumerate() {
+                let g = cell.conductance_after(&self.device, self.age);
+                *acc += v * self.ir_drop.effective_conductance(g, c, r);
+            }
+        }
+        out.into_iter().map(Amps::new).collect()
+    }
+
+    /// Same as [`Crossbar::mac_currents`] but with per-cell read noise.
+    pub fn mac_currents_noisy<R: Rng + ?Sized>(
+        &self,
+        v_inputs: &[Volts],
+        rng: &mut R,
+    ) -> Vec<Amps> {
+        assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        let variation = afpr_device::VariationModel::new(
+            self.device.program_sigma,
+            self.device.read_noise_sigma,
+        );
+        let mut out = vec![0.0f64; self.cols];
+        for (r, v) in v_inputs.iter().enumerate() {
+            if v.volts() == 0.0 {
+                continue;
+            }
+            for (c, acc) in out.iter_mut().enumerate() {
+                // Drift and IR drop first (deterministic state), then
+                // the stochastic read noise on the resulting current.
+                let i = v.volts() * self.conductance(r, c);
+                *acc += variation.sample_read(i, rng);
+            }
+        }
+        out.into_iter().map(Amps::new).collect()
+    }
+
+    /// Energy dissipated in the array during one integration window:
+    /// `Σ V_i² · G_ij · T` (the source line sits at virtual ground).
+    #[must_use]
+    pub fn array_energy(&self, v_inputs: &[Volts], t_integrate: Seconds) -> Joules {
+        assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        let mut p = 0.0;
+        for (r, v) in v_inputs.iter().enumerate() {
+            let v2 = v.volts() * v.volts();
+            if v2 == 0.0 {
+                continue;
+            }
+            for c in 0..self.cols {
+                p += v2 * self.conductance(r, c);
+            }
+        }
+        Joules::new(p * t_integrate.seconds())
+    }
+
+    /// One-time weight-deployment energy of the last programming pass
+    /// (summed write-verify pulses over all cells).
+    #[must_use]
+    pub fn programming_energy(&self, model: &afpr_device::ProgramEnergyModel) -> Joules {
+        Joules::new(self.cells.iter().map(|c| model.cell_energy(c.program_iters())).sum())
+    }
+
+    /// Fraction of cells programmed to level 0 (the paper's weight
+    /// sparsity, extracted from the network and deployed in the array).
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        let zeros = self
+            .cells
+            .iter()
+            .filter(|c| self.allocator.nearest_level(c.conductance()) == 0)
+            .count();
+        zeros as f64 / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(rows: usize, cols: usize) -> (Crossbar, StdRng) {
+        (
+            Crossbar::new(rows, cols, DeviceConfig::ideal(32)),
+            StdRng::seed_from_u64(7),
+        )
+    }
+
+    #[test]
+    fn kirchhoff_sum_over_rows() {
+        let (mut xb, mut rng) = setup(3, 2);
+        // col 0 levels: 31, 0, 31 ; col 1 levels: 0, 31, 0
+        xb.program_levels(&[31, 0, 0, 31, 31, 0], &mut rng);
+        let v = vec![Volts::new(0.1); 3];
+        let i = xb.mac_currents(&v);
+        assert!((i[0].amps() - 2.0 * 0.1 * 20e-6).abs() < 1e-15);
+        assert!((i[1].amps() - 0.1 * 20e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        let (mut xb, mut rng) = setup(4, 3);
+        let levels: Vec<u32> = (0..12).map(|k| (k * 7) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        let va = vec![
+            Volts::new(0.1),
+            Volts::ZERO,
+            Volts::new(0.3),
+            Volts::ZERO,
+        ];
+        let vb = vec![
+            Volts::ZERO,
+            Volts::new(0.2),
+            Volts::ZERO,
+            Volts::new(0.15),
+        ];
+        let vsum: Vec<Volts> = va.iter().zip(&vb).map(|(a, b)| *a + *b).collect();
+        let ia = xb.mac_currents(&va);
+        let ib = xb.mac_currents(&vb);
+        let isum = xb.mac_currents(&vsum);
+        for c in 0..3 {
+            assert!((isum[c].amps() - ia[c].amps() - ib[c].amps()).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn column_current_matches_mac_currents() {
+        let (mut xb, mut rng) = setup(5, 4);
+        let levels: Vec<u32> = (0..20).map(|k| (k * 3) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        let v: Vec<Volts> = (0..5).map(|k| Volts::new(0.05 * f64::from(k as u8))).collect();
+        let all = xb.mac_currents(&v);
+        for (c, expected) in all.iter().enumerate() {
+            assert_eq!(xb.column_current(c, &v).amps(), expected.amps());
+        }
+    }
+
+    #[test]
+    fn stuck_faults_change_current() {
+        let (mut xb, mut rng) = setup(2, 1);
+        xb.program_levels(&[16, 16], &mut rng);
+        let v = vec![Volts::new(0.1); 2];
+        let nominal = xb.column_current(0, &v).amps();
+        xb.set_fault(0, 0, Some(FaultKind::StuckLrs));
+        assert!(xb.column_current(0, &v).amps() > nominal);
+        xb.set_fault(0, 0, Some(FaultKind::StuckHrs));
+        assert!(xb.column_current(0, &v).amps() < nominal);
+    }
+
+    #[test]
+    fn drift_reduces_currents() {
+        let mut dev = DeviceConfig::ideal(32);
+        dev.drift_nu = 0.02;
+        let mut xb = Crossbar::new(2, 2, dev);
+        let mut rng = StdRng::seed_from_u64(3);
+        xb.program_levels(&[31, 31, 31, 31], &mut rng);
+        let v = vec![Volts::new(0.1); 2];
+        let fresh = xb.column_current(0, &v).amps();
+        xb.set_age(Seconds::new(1e6));
+        assert!(xb.column_current(0, &v).amps() < fresh);
+    }
+
+    #[test]
+    fn array_energy_scales_with_activity() {
+        let (mut xb, mut rng) = setup(4, 4);
+        xb.program_levels(&[16; 16], &mut rng);
+        let t = Seconds::from_nano(100.0);
+        let dense: Vec<Volts> = vec![Volts::new(0.2); 4];
+        let sparse: Vec<Volts> =
+            vec![Volts::new(0.2), Volts::ZERO, Volts::ZERO, Volts::ZERO];
+        let ed = xb.array_energy(&dense, t).joules();
+        let es = xb.array_energy(&sparse, t).joules();
+        assert!((ed / es - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_counts_zero_levels() {
+        let (mut xb, mut rng) = setup(2, 2);
+        xb.program_levels(&[0, 31, 0, 0], &mut rng);
+        assert!((xb.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_noise_is_zero_mean() {
+        let mut dev = DeviceConfig::ideal(32);
+        dev.read_noise_sigma = 0.02;
+        let mut xb = Crossbar::new(8, 1, dev);
+        let mut rng = StdRng::seed_from_u64(11);
+        xb.program_levels(&[20; 8], &mut rng);
+        let v = vec![Volts::new(0.1); 8];
+        let clean = xb.mac_currents(&v)[0].amps();
+        let mean: f64 = (0..800)
+            .map(|_| xb.mac_currents_noisy(&v, &mut rng)[0].amps())
+            .sum::<f64>()
+            / 800.0;
+        assert!((mean / clean - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "one voltage per row")]
+    fn wrong_input_length_panics() {
+        let (xb, _) = setup(3, 2);
+        let _ = xb.mac_currents(&[Volts::ZERO; 2]);
+    }
+}

@@ -1,0 +1,127 @@
+//! First-order IR-drop model for crossbar wires.
+//!
+//! Word lines and source lines have finite wire resistance, so a cell
+//! far from the drivers sees a reduced effective voltage: the read
+//! voltage sags along the word line and the source-line potential
+//! rises toward the integrator. The exact solution is a nodal analysis
+//! of the full resistive mesh; at macro level the standard first-order
+//! approximation treats each cell's effective conductance as
+//!
+//! `G_eff(r, c) = G / (1 + G · R_wire · (d_wl + d_sl))`
+//!
+//! where `d_wl`/`d_sl` are the cell's wire-segment counts from the
+//! word-line driver and to the source-line sense node. This captures
+//! the two behaviours that matter for accuracy studies: far cells
+//! contribute less, and high-conductance cells lose proportionally
+//! more (the error is signal-dependent, not a fixed gain).
+
+use serde::{Deserialize, Serialize};
+
+/// Wire-resistance parameters of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrDropModel {
+    /// Wire resistance per cell pitch, ohms (word line and source line
+    /// assumed equal, the usual same-metal layout).
+    pub r_wire: f64,
+}
+
+impl IrDropModel {
+    /// A typical 65 nm metal-2 wire: ~1 Ω per cell pitch.
+    #[must_use]
+    pub fn typical_65nm() -> Self {
+        Self { r_wire: 1.0 }
+    }
+
+    /// No wire resistance (ideal wires).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { r_wire: 0.0 }
+    }
+
+    /// Creates a model from a per-cell wire resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_wire` is negative.
+    #[must_use]
+    pub fn new(r_wire: f64) -> Self {
+        assert!(r_wire >= 0.0, "wire resistance must be non-negative");
+        Self { r_wire }
+    }
+
+    /// Effective conductance of a cell at word-line distance `d_wl`
+    /// (cells from the row driver) and source-line distance `d_sl`
+    /// (cells from the sense node).
+    #[must_use]
+    pub fn effective_conductance(&self, g: f64, d_wl: usize, d_sl: usize) -> f64 {
+        if self.r_wire == 0.0 || g <= 0.0 {
+            return g;
+        }
+        let series = self.r_wire * (d_wl + d_sl) as f64;
+        g / (1.0 + g * series)
+    }
+
+    /// Worst-case relative attenuation for an array of the given
+    /// geometry at a given cell conductance (the far corner).
+    #[must_use]
+    pub fn worst_case_attenuation(&self, g: f64, rows: usize, cols: usize) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.effective_conductance(g, cols - 1, rows - 1) / g
+    }
+}
+
+impl Default for IrDropModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_wires_are_transparent() {
+        let m = IrDropModel::ideal();
+        assert_eq!(m.effective_conductance(20e-6, 575, 255), 20e-6);
+        assert_eq!(m.worst_case_attenuation(20e-6, 576, 256), 0.0);
+    }
+
+    #[test]
+    fn attenuation_grows_with_distance() {
+        let m = IrDropModel::typical_65nm();
+        let g = 20e-6;
+        let near = m.effective_conductance(g, 0, 0);
+        let mid = m.effective_conductance(g, 100, 100);
+        let far = m.effective_conductance(g, 575, 255);
+        assert_eq!(near, g);
+        assert!(mid < near);
+        assert!(far < mid);
+    }
+
+    #[test]
+    fn high_conductance_cells_lose_proportionally_more() {
+        let m = IrDropModel::typical_65nm();
+        let lo = 2e-6;
+        let hi = 20e-6;
+        let rel_lo = 1.0 - m.effective_conductance(lo, 300, 100) / lo;
+        let rel_hi = 1.0 - m.effective_conductance(hi, 300, 100) / hi;
+        assert!(rel_hi > rel_lo);
+    }
+
+    #[test]
+    fn paper_array_worst_case_is_percent_level() {
+        // 576×256 at 1 Ω/cell and 20 µS: worst corner ≈ 1.6 %.
+        let m = IrDropModel::typical_65nm();
+        let att = m.worst_case_attenuation(20e-6, 576, 256);
+        assert!(att > 0.005 && att < 0.05, "attenuation {att}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_resistance_rejected() {
+        let _ = IrDropModel::new(-1.0);
+    }
+}

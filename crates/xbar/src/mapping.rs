@@ -1,0 +1,164 @@
+//! Weight-to-conductance mapping (differential MLC encoding).
+//!
+//! Signed weights cannot live in a single non-negative conductance, so
+//! each logical column uses a positive and a negative array whose
+//! currents are subtracted after readout — the standard differential
+//! scheme for analog CIM. A weight `w` quantizes to an integer
+//! `round(w / scale) ∈ [−(L−1), L−1]`; its magnitude programs the MLC
+//! level of the matching-polarity cell, the opposite cell stays at
+//! level 0.
+
+use afpr_num::stats;
+use serde::{Deserialize, Serialize};
+
+/// Result of quantizing a signed weight matrix for the crossbar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedWeights {
+    /// MLC levels of the positive array, row-major.
+    pub pos_levels: Vec<u32>,
+    /// MLC levels of the negative array, row-major.
+    pub neg_levels: Vec<u32>,
+    /// Real weight units per integer level.
+    pub scale: f32,
+    /// Matrix dimensions.
+    pub rows: usize,
+    /// Matrix dimensions.
+    pub cols: usize,
+}
+
+impl MappedWeights {
+    /// The signed integer weight at a position (`pos − neg`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[must_use]
+    pub fn signed_level(&self, row: usize, col: usize) -> i32 {
+        assert!(row < self.rows && col < self.cols, "position out of bounds");
+        let idx = row * self.cols + col;
+        self.pos_levels[idx] as i32 - self.neg_levels[idx] as i32
+    }
+
+    /// Reconstructs the quantized weight value at a position.
+    #[must_use]
+    pub fn dequantized(&self, row: usize, col: usize) -> f32 {
+        self.signed_level(row, col) as f32 * self.scale
+    }
+
+    /// Fraction of weights quantized to exactly zero.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        let zeros = self
+            .pos_levels
+            .iter()
+            .zip(&self.neg_levels)
+            .filter(|(p, n)| **p == 0 && **n == 0)
+            .count();
+        zeros as f64 / self.pos_levels.len() as f64
+    }
+}
+
+/// Quantizes a signed weight matrix (row-major, `rows × cols`) onto
+/// `levels` MLC levels per polarity.
+///
+/// # Example
+///
+/// ```
+/// use afpr_xbar::map_weights;
+///
+/// let m = map_weights(&[1.0, -0.5], 1, 2, 32);
+/// assert_eq!(m.pos_levels, vec![31, 0]);
+/// assert_eq!(m.neg_levels, vec![0, 16]);
+/// ```
+///
+/// The scale is chosen so the largest |weight| maps to the top level
+/// (symmetric per-tensor quantization). An all-zero matrix maps to
+/// all-zero levels with scale 1.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != rows × cols` or `levels < 2`.
+#[must_use]
+pub fn map_weights(weights: &[f32], rows: usize, cols: usize, levels: u32) -> MappedWeights {
+    assert_eq!(weights.len(), rows * cols, "weight count must match dimensions");
+    assert!(levels >= 2, "need at least 2 MLC levels");
+    let absmax = stats::abs_max(weights);
+    let scale = if absmax > 0.0 { absmax / (levels - 1) as f32 } else { 1.0 };
+    let top = (levels - 1) as f32;
+    let mut pos_levels = Vec::with_capacity(weights.len());
+    let mut neg_levels = Vec::with_capacity(weights.len());
+    for &w in weights {
+        let q = (w / scale).round().clamp(-top, top);
+        if q >= 0.0 {
+            pos_levels.push(q as u32);
+            neg_levels.push(0);
+        } else {
+            pos_levels.push(0);
+            neg_levels.push((-q) as u32);
+        }
+    }
+    MappedWeights { pos_levels, neg_levels, scale, rows, cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_quantization_round_trip() {
+        let w = [1.0f32, -0.5, 0.0, 0.25, -1.0, 0.75];
+        let m = map_weights(&w, 2, 3, 32);
+        for (i, &orig) in w.iter().enumerate() {
+            let back = m.dequantized(i / 3, i % 3);
+            assert!((back - orig).abs() <= m.scale / 2.0 + 1e-7, "w={orig} back={back}");
+        }
+    }
+
+    #[test]
+    fn extremes_hit_top_level() {
+        let w = [2.0f32, -2.0];
+        let m = map_weights(&w, 1, 2, 32);
+        assert_eq!(m.pos_levels, vec![31, 0]);
+        assert_eq!(m.neg_levels, vec![0, 31]);
+        assert!((m.scale - 2.0 / 31.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn polarity_exclusive() {
+        let w: Vec<f32> = (-8..8).map(|k| k as f32 / 8.0).collect();
+        let m = map_weights(&w, 4, 4, 32);
+        for (p, n) in m.pos_levels.iter().zip(&m.neg_levels) {
+            assert!(*p == 0 || *n == 0, "both polarities programmed");
+        }
+    }
+
+    #[test]
+    fn sparsity_counts_quantized_zeros() {
+        let w = [0.0f32, 1.0, 0.001, -1.0];
+        let m = map_weights(&w, 2, 2, 32);
+        // 0.001 quantizes to 0 at scale 1/31.
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_matrix() {
+        let m = map_weights(&[0.0; 6], 2, 3, 32);
+        assert!(m.pos_levels.iter().all(|&l| l == 0));
+        assert_eq!(m.scale, 1.0);
+        assert_eq!(m.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn signed_level_reconstruction() {
+        let w = [0.6f32, -0.9];
+        let m = map_weights(&w, 1, 2, 16);
+        assert_eq!(m.signed_level(0, 0), (0.6f32 / m.scale).round() as i32);
+        assert_eq!(m.signed_level(0, 1), -((0.9f32 / m.scale).round() as i32));
+    }
+
+    #[test]
+    #[should_panic(expected = "match dimensions")]
+    fn wrong_size_panics() {
+        let _ = map_weights(&[1.0; 5], 2, 3, 32);
+    }
+}

@@ -1,0 +1,115 @@
+//! Inter-core partial-sum accumulation (paper §III-D).
+//!
+//! "When the weight matrix exceeds 576, the result of the MAC operation
+//! in the CIM column is a partial sum. We utilize the inter-core
+//! routing adder to perform the summation of the partial."
+
+use afpr_circuit::units::Joules;
+use serde::{Deserialize, Serialize};
+
+/// Energy of one digital partial-sum addition (per element), 65 nm
+/// FP16-adder class.
+pub const ENERGY_PER_ADD: Joules = Joules::new(0.4e-12);
+
+/// The inter-core routing adder: sums per-column partial results from
+/// several macros.
+///
+/// # Example
+///
+/// ```
+/// use afpr_xbar::PartialSumAdder;
+///
+/// let mut adder = PartialSumAdder::new();
+/// let total = adder.sum(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+/// assert_eq!(total, vec![11.0, 22.0]);
+/// assert!(adder.energy().joules() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PartialSumAdder {
+    adds: u64,
+}
+
+impl PartialSumAdder {
+    /// A fresh adder with zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sums partial results element-wise.
+    ///
+    /// Returns the summed vector; an empty input yields an empty
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts have unequal lengths.
+    pub fn sum(&mut self, parts: &[Vec<f32>]) -> Vec<f32> {
+        let Some(first) = parts.first() else {
+            return Vec::new();
+        };
+        let mut acc = first.clone();
+        for part in &parts[1..] {
+            assert_eq!(part.len(), acc.len(), "partial sums must have equal length");
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += *p;
+            }
+            self.adds += acc.len() as u64;
+        }
+        acc
+    }
+
+    /// Number of scalar additions performed so far.
+    #[must_use]
+    pub fn adds(&self) -> u64 {
+        self.adds
+    }
+
+    /// Energy spent on additions so far.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        Joules::new(ENERGY_PER_ADD.joules() * self.adds as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_elementwise() {
+        let mut adder = PartialSumAdder::new();
+        let out = adder.sum(&[vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
+        assert_eq!(out, vec![111.0, 222.0]);
+        assert_eq!(adder.adds(), 4);
+    }
+
+    #[test]
+    fn single_part_is_identity_and_free() {
+        let mut adder = PartialSumAdder::new();
+        let out = adder.sum(&[vec![3.0, 4.0]]);
+        assert_eq!(out, vec![3.0, 4.0]);
+        assert_eq!(adder.adds(), 0);
+        assert_eq!(adder.energy().joules(), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut adder = PartialSumAdder::new();
+        assert!(adder.sum(&[]).is_empty());
+    }
+
+    #[test]
+    fn energy_tracks_adds() {
+        let mut adder = PartialSumAdder::new();
+        adder.sum(&[vec![0.0; 8], vec![0.0; 8]]);
+        assert!((adder.energy().joules() - 8.0 * 0.4e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut adder = PartialSumAdder::new();
+        let _ = adder.sum(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

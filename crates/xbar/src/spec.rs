@@ -1,0 +1,182 @@
+//! Macro configuration: geometry, data mode, and component configs.
+
+use afpr_circuit::fp_adc::FpAdcConfig;
+use afpr_circuit::fp_dac::FpDacConfig;
+use afpr_circuit::int_adc::IntAdcConfig;
+use afpr_circuit::units::{Seconds, Volts};
+use afpr_device::DeviceConfig;
+use afpr_num::FpFormat;
+use serde::{Deserialize, Serialize};
+
+/// The data format a macro instance operates in.
+///
+/// The paper evaluates the same physical array under three interface
+/// designs: FP8 E2M5 (the proposal), FP8 E3M4, and INT8 with a
+/// conventional fixed-range ADC (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MacroMode {
+    /// FP8 with 2-bit exponent / 5-bit mantissa (the paper's choice).
+    FpE2M5,
+    /// FP8 with 3-bit exponent / 4-bit mantissa.
+    FpE3M4,
+    /// INT8 through the matched-range conventional ADC.
+    Int8,
+}
+
+impl MacroMode {
+    /// The FP format, if this is an FP mode.
+    #[must_use]
+    pub fn fp_format(self) -> Option<FpFormat> {
+        match self {
+            MacroMode::FpE2M5 => Some(FpFormat::E2M5),
+            MacroMode::FpE3M4 => Some(FpFormat::E3M4),
+            MacroMode::Int8 => None,
+        }
+    }
+
+    /// Human-readable label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MacroMode::FpE2M5 => "FP8(E2M5)",
+            MacroMode::FpE3M4 => "FP8(E3M4)",
+            MacroMode::Int8 => "INT8",
+        }
+    }
+
+    /// Conversion latency of one macro operation in this mode
+    /// (integration + readout, paper §IV-B: 200 / 150 / 500 ns).
+    #[must_use]
+    pub fn conversion_time(self) -> Seconds {
+        match self {
+            MacroMode::FpE2M5 => Seconds::from_nano(200.0),
+            MacroMode::FpE3M4 => Seconds::from_nano(150.0),
+            MacroMode::Int8 => Seconds::from_nano(500.0),
+        }
+    }
+}
+
+/// Full configuration of a CIM macro instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroSpec {
+    /// Number of word lines (inputs). The paper's macro has 576.
+    pub rows: usize,
+    /// Number of source lines (outputs). The paper's macro has 256.
+    pub cols: usize,
+    /// Data mode.
+    pub mode: MacroMode,
+    /// RRAM device model.
+    pub device: DeviceConfig,
+    /// FP-ADC configuration (used in FP modes).
+    pub fp_adc: FpAdcConfig,
+    /// FP-DAC configuration (used in FP modes).
+    pub fp_dac: FpDacConfig,
+    /// INT ADC configuration (used in INT8 mode).
+    pub int_adc: IntAdcConfig,
+    /// INT DAC full-scale voltage (used in INT8 mode).
+    pub int_dac_full_scale: Volts,
+    /// INT DAC resolution in bits.
+    pub int_dac_bits: u32,
+}
+
+impl MacroSpec {
+    /// The paper's 576×256 macro in the given mode, with ideal devices.
+    #[must_use]
+    pub fn paper(mode: MacroMode) -> Self {
+        let format = mode.fp_format().unwrap_or(FpFormat::E2M5);
+        Self {
+            rows: 576,
+            cols: 256,
+            mode,
+            device: DeviceConfig::ideal(32),
+            fp_adc: FpAdcConfig::paper_for(format),
+            fp_dac: FpDacConfig::paper_for(format),
+            int_adc: IntAdcConfig::paper_matched(),
+            int_dac_full_scale: Volts::new(1.575),
+            int_dac_bits: 8,
+        }
+    }
+
+    /// The paper's macro with realistic device/circuit non-idealities.
+    #[must_use]
+    pub fn paper_realistic(mode: MacroMode) -> Self {
+        let mut spec = Self::paper(mode);
+        spec.device = DeviceConfig::realistic(32);
+        spec.fp_adc.cap_mismatch_sigma = 0.002;
+        spec.fp_adc.comparator = afpr_circuit::Comparator::realistic();
+        spec.fp_adc.integrator = afpr_circuit::Integrator::realistic();
+        spec.fp_dac.ladder_mismatch_sigma = 0.002;
+        spec.fp_dac.pga_mismatch_sigma = 0.002;
+        spec
+    }
+
+    /// A small macro for fast tests (`rows × cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn small(rows: usize, cols: usize, mode: MacroMode) -> Self {
+        assert!(rows > 0 && cols > 0, "macro dimensions must be non-zero");
+        Self { rows, cols, ..Self::paper(mode) }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// MAC operations per dense macro conversion (`2 × rows × cols`,
+    /// multiply + add, as Table I counts them).
+    #[must_use]
+    pub fn ops_per_conversion(&self) -> u64 {
+        2 * self.rows as u64 * self.cols as u64
+    }
+}
+
+impl Default for MacroSpec {
+    fn default() -> Self {
+        Self::paper(MacroMode::FpE2M5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let s = MacroSpec::paper(MacroMode::FpE2M5);
+        assert_eq!(s.cells(), 147_456);
+        assert_eq!(s.ops_per_conversion(), 294_912);
+    }
+
+    #[test]
+    fn mode_latencies_match_table1() {
+        assert!((MacroMode::FpE2M5.conversion_time().seconds() - 200e-9).abs() < 1e-15);
+        assert!((MacroMode::FpE3M4.conversion_time().seconds() - 150e-9).abs() < 1e-15);
+        assert!((MacroMode::Int8.conversion_time().seconds() - 500e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fp_formats_per_mode() {
+        assert_eq!(MacroMode::FpE2M5.fp_format(), Some(FpFormat::E2M5));
+        assert_eq!(MacroMode::FpE3M4.fp_format(), Some(FpFormat::E3M4));
+        assert_eq!(MacroMode::Int8.fp_format(), None);
+    }
+
+    #[test]
+    fn e3m4_spec_uses_e3m4_converters() {
+        let s = MacroSpec::paper(MacroMode::FpE3M4);
+        assert_eq!(s.fp_adc.format, FpFormat::E3M4);
+        assert_eq!(s.fp_dac.format, FpFormat::E3M4);
+    }
+
+    #[test]
+    fn realistic_has_nonidealities() {
+        let s = MacroSpec::paper_realistic(MacroMode::FpE2M5);
+        assert!(s.device.program_sigma > 0.0);
+        assert!(s.fp_adc.cap_mismatch_sigma > 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the crossbar and macro.
+
+use afpr_circuit::units::{Seconds, Volts};
+use afpr_device::DeviceConfig;
+use afpr_num::FpFormat;
+use afpr_xbar::cim_macro::CimMacro;
+use afpr_xbar::crossbar::Crossbar;
+use afpr_xbar::mapping::map_weights;
+use afpr_xbar::quant::FpActQuantizer;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weight_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crossbar currents are linear in the input voltage scale.
+    #[test]
+    fn crossbar_scaling(levels in prop::collection::vec(0u32..32, 12), k in 0.1f64..3.0) {
+        let mut xb = Crossbar::new(4, 3, DeviceConfig::ideal(32));
+        let mut rng = StdRng::seed_from_u64(1);
+        xb.program_levels(&levels, &mut rng);
+        let v1: Vec<Volts> = (0..4).map(|r| Volts::new(0.05 * (r + 1) as f64)).collect();
+        let vk: Vec<Volts> = v1.iter().map(|v| *v * k).collect();
+        let i1 = xb.mac_currents(&v1);
+        let ik = xb.mac_currents(&vk);
+        for c in 0..3 {
+            prop_assert!((ik[c].amps() - k * i1[c].amps()).abs() < 1e-15);
+        }
+    }
+
+    /// Array energy is non-negative and zero only for zero drive.
+    #[test]
+    fn array_energy_nonnegative(levels in prop::collection::vec(1u32..32, 6), v in 0.0f64..1.0) {
+        let mut xb = Crossbar::new(2, 3, DeviceConfig::ideal(32));
+        let mut rng = StdRng::seed_from_u64(2);
+        xb.program_levels(&levels, &mut rng);
+        let vs = vec![Volts::new(v); 2];
+        let e = xb.array_energy(&vs, Seconds::from_nano(100.0)).joules();
+        if v == 0.0 {
+            prop_assert_eq!(e, 0.0);
+        } else {
+            prop_assert!(e > 0.0);
+        }
+    }
+
+    /// Weight mapping round-trips within half a quantization step.
+    #[test]
+    fn mapping_error_bound(w in weight_vec(24)) {
+        let m = map_weights(&w, 6, 4, 32);
+        for (i, &orig) in w.iter().enumerate() {
+            let back = m.dequantized(i / 4, i % 4);
+            prop_assert!((back - orig).abs() <= m.scale / 2.0 + 1e-6);
+        }
+    }
+
+    /// End-to-end macro matvec tracks the float reference within the
+    /// combined quantization budget when the range is calibrated on the
+    /// same input.
+    #[test]
+    fn macro_matvec_tracks_reference(w in weight_vec(32), seed in 0u64..32) {
+        let rows = 8;
+        let cols = 4;
+        let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, MacroMode::FpE2M5), seed);
+        mac.program_weights(&w);
+        let x: Vec<f32> = (0..rows).map(|k| ((k as f32) + seed as f32 * 0.1).sin()).collect();
+        let q = FpActQuantizer::calibrate(&x, FpFormat::E2M5);
+        mac.calibrate_range(&[q.quantize_slice(&x)]);
+        let y = mac.matvec_with_fp(&x, &q);
+        let mut want = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                want[c] += x[r] * w[r * cols + c];
+            }
+        }
+        // Full-scale-relative budget: range calibrated at 1.1× the peak
+        // |MAC|, so the worst readout error is ~1 binade LSB plus the
+        // activation/weight quantization error.
+        let fs: f32 = want.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(0.1);
+        for c in 0..cols {
+            prop_assert!(
+                (y[c] - want[c]).abs() < 0.15 * fs + 0.1,
+                "col {}: got {} want {} (fs {})", c, y[c], want[c], fs
+            );
+        }
+    }
+
+    /// Digital reference is exactly linear in activations.
+    #[test]
+    fn digital_reference_linearity(w in weight_vec(16)) {
+        let mut mac = CimMacro::new(MacroSpec::small(4, 4, MacroMode::FpE2M5));
+        mac.program_weights(&w);
+        let q = FpActQuantizer::with_scale(0.1, FpFormat::E2M5);
+        let a = q.quantize_slice(&[1.0, 0.0, 0.0, 0.0]);
+        let b = q.quantize_slice(&[0.0, 1.0, 0.0, 0.0]);
+        let ab = q.quantize_slice(&[1.0, 1.0, 0.0, 0.0]);
+        let ra = mac.digital_reference_fp(&a);
+        let rb = mac.digital_reference_fp(&b);
+        let rab = mac.digital_reference_fp(&ab);
+        for c in 0..4 {
+            prop_assert!((rab[c] - ra[c] - rb[c]).abs() < 1e-9);
+        }
+    }
+}

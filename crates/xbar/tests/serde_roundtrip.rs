@@ -1,0 +1,36 @@
+//! Serde round-trip tests for macro configuration (C-SERDE).
+
+use afpr_xbar::ir_drop::IrDropModel;
+use afpr_xbar::mapping::map_weights;
+use afpr_xbar::metrics::MacroStats;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
+        .expect("deserialize")
+}
+
+#[test]
+fn macro_spec_round_trips() {
+    for mode in [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8] {
+        let spec = MacroSpec::paper_realistic(mode);
+        assert_eq!(round_trip(&spec), spec);
+    }
+}
+
+#[test]
+fn mapped_weights_round_trip() {
+    let m = map_weights(&[0.5, -0.25, 1.0, 0.0], 2, 2, 32);
+    assert_eq!(round_trip(&m), m);
+}
+
+#[test]
+fn ir_drop_and_stats_round_trip() {
+    let ir = IrDropModel::typical_65nm();
+    assert_eq!(round_trip(&ir), ir);
+    let stats = MacroStats::default();
+    assert_eq!(round_trip(&stats), stats);
+}

@@ -1,0 +1,50 @@
+//! Prints the macro-level performance picture: the Fig. 6 power
+//! breakdowns and the Table I comparison with the headline ratios.
+//!
+//! Run with: `cargo run --example energy_report`
+
+use afpr::core::{fig6_claims, fig6a_breakdowns, headline_ratios, comparison_table};
+
+fn main() {
+    println!("== Fig. 6(a)/(b): per-conversion energy by module ==\n");
+    for r in fig6a_breakdowns() {
+        println!(
+            "{:<10}  ADC {:>7.3} nJ | DAC {:>6.3} nJ | array {:>5.3} nJ | digital {:>6.3} nJ | total {:>7.3} nJ ({:.2} mW @ {:.0} ns)",
+            r.label,
+            r.breakdown.adc.joules() * 1e9,
+            r.breakdown.dac.joules() * 1e9,
+            r.breakdown.array.joules() * 1e9,
+            r.breakdown.digital.joules() * 1e9,
+            r.total_nj,
+            r.power_own_rate_mw,
+            r.t_conversion_ns,
+        );
+    }
+    let claims = fig6_claims();
+    println!(
+        "\nADC energy vs matched INT ADC: -{:.1} %  (paper: -56.4 %)",
+        claims.adc_reduction_pct
+    );
+    println!(
+        "E2M5 total vs INT8:            -{:.1} %  (paper: -46.5 %)",
+        claims.total_reduction_pct
+    );
+
+    println!("\n== Table I: macro comparison ==\n");
+    for row in comparison_table() {
+        println!(
+            "{:<20} {:<20} {:<9} latency {:>6} µs | {:>8.1} GOPS | {:>6.2} TOPS/W",
+            row.tag,
+            row.architecture,
+            row.precision,
+            row.latency_us.map_or("-".to_string(), |l| format!("{l:.2}")),
+            row.throughput_gops,
+            row.efficiency_tops_w,
+        );
+    }
+    let h = headline_ratios();
+    println!("\nheadline efficiency ratios (derived, paper in parentheses):");
+    println!("  vs FP8 accelerator : {:.3}x (4.135x)", h.vs_fp8_accelerator);
+    println!("  vs digital FP-CIM  : {:.3}x (5.376x)", h.vs_digital_fp_cim);
+    println!("  vs analog INT8-CIM : {:.3}x (2.841x)", h.vs_analog_int8_cim);
+}

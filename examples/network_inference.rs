@@ -1,0 +1,54 @@
+//! Network-level PTQ comparison (a fast, MLP-sized version of the
+//! paper's Fig. 6c study) plus hardware-in-the-loop inference through
+//! the macro-model simulator.
+//!
+//! Run with: `cargo run --release --example network_inference`
+
+use afpr::core::sim::MacroModelSim;
+use afpr::nn::accuracy::top1_accuracy;
+use afpr::nn::data::synthetic_images;
+use afpr::nn::init::InitSpec;
+use afpr::nn::models::tiny_mlp;
+use afpr::nn::quant::{NumFormat, QuantizedModel};
+use afpr::xbar::spec::MacroMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 7u64;
+    let inputs = 48;
+    let build = || tiny_mlp(inputs, 64, 6, InitSpec::heavy_tailed(), &mut StdRng::seed_from_u64(seed));
+    let teacher = build();
+
+    // Synthetic dataset, teacher-labelled (FP32 accuracy = 100 %).
+    let mut data = synthetic_images(160, &[3, 4, 4], 6, 1.1, &mut StdRng::seed_from_u64(1));
+    for img in &mut data.images {
+        *img = img.reshape(&[inputs]);
+    }
+    data.relabel_with_teacher(&teacher);
+    let calib: Vec<_> = data.images[..16].to_vec();
+
+    println!("format        top-1 (vs FP32 teacher)");
+    println!("--------------------------------------");
+    println!("{:<12} {:>6.1} %", "FP32", 100.0 * top1_accuracy(&mut |x| teacher.forward(x), &data));
+    for fmt in [NumFormat::Int8, NumFormat::E3M4, NumFormat::E2M5] {
+        let q = QuantizedModel::calibrate(build(), fmt, fmt, &calib);
+        let acc = top1_accuracy(&mut |x| q.forward(x), &data);
+        println!("{:<12} {:>6.1} %", fmt.label(), 100.0 * acc);
+    }
+
+    // Hardware-in-the-loop: the same MLP with every linear layer
+    // executed on behavioral CIM macros.
+    let mut sim = MacroModelSim::compile(&teacher, MacroMode::FpE2M5, 3);
+    sim.calibrate(&teacher, &calib);
+    let hw_acc = top1_accuracy(&mut |x| sim.forward(&teacher, x), &data);
+    let stats = sim.accelerator().stats();
+    println!("{:<12} {:>6.1} %   (macro-in-the-loop)", "E2M5 HW", 100.0 * hw_acc);
+    println!(
+        "\nmacro activity: {} conversions, {} saturations, {} underflows, {} energy",
+        stats.conversions,
+        stats.saturations,
+        stats.underflows,
+        stats.total_energy()
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the three core objects in one place.
+//!
+//! 1. Convert an analog MAC current with the dynamic-range-adaptive
+//!    FP-ADC (the paper's Fig. 5a scenario).
+//! 2. Reconstruct an FP8 activation with the FP-DAC (Eq. 6).
+//! 3. Run a signed matrix-vector product end-to-end on a CIM macro.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use afpr::circuit::fp_adc::{FpAdc, FpAdcConfig};
+use afpr::circuit::fp_dac::{FpDac, FpDacConfig};
+use afpr::circuit::units::Amps;
+use afpr::num::{FpFormat, HwFpCode};
+use afpr::xbar::cim_macro::CimMacro;
+use afpr::xbar::spec::{MacroMode, MacroSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. FP-ADC: 5.38 µA adapts twice and reads out `10·01001`.
+    let adc = FpAdc::new(FpAdcConfig::e2m5_paper());
+    let result = adc.convert(Amps::from_micro(5.38));
+    let code = result.code.expect("current is inside the ADC range");
+    println!(
+        "FP-ADC: I = 5.38 µA  ->  {} adjustments, V_M = {}, code {}",
+        result.adjustments,
+        result.v_sample,
+        code.to_bit_string()
+    );
+    println!("        decoded back: {}", adc.decode_current(code));
+
+    // 2. FP-DAC: the paper's functional-test input 1011110.
+    let dac = FpDac::new(FpDacConfig::e2m5_paper());
+    let v = dac.convert_bits(0b101_1110)?;
+    println!("FP-DAC: code 1011110  ->  {v}  (Eq. 6: 2^E × M_analog)");
+    let roundtrip = HwFpCode::new(FpFormat::E2M5, 2, 30)?;
+    assert_eq!(dac.convert(roundtrip), v);
+
+    // 3. A small macro computing y = xᵀ·W in the analog domain.
+    let (rows, cols) = (16, 4);
+    let weights: Vec<f32> =
+        (0..rows * cols).map(|k| ((k * 5 % 17) as f32 - 8.0) / 16.0).collect();
+    let mut mac = CimMacro::new(MacroSpec::small(rows, cols, MacroMode::FpE2M5));
+    mac.program_weights(&weights);
+    let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.4).sin()).collect();
+    let y = mac.matvec(&x);
+    let mut exact = vec![0.0f32; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            exact[c] += x[r] * weights[r * cols + c];
+        }
+    }
+    println!("macro matvec (analog)   : {y:?}");
+    println!("float reference (exact) : {exact:?}");
+    println!(
+        "energy spent: {}, conversions: {}",
+        mac.stats().total_energy(),
+        mac.stats().conversions
+    );
+    Ok(())
+}

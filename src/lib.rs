@@ -1,0 +1,23 @@
+//! AFPR-CIM — facade crate.
+//!
+//! Re-exports every crate of the workspace under one roof so examples
+//! and downstream users can depend on a single `afpr` crate. See the
+//! individual crates for detailed documentation:
+//!
+//! * [`num`] — FP8/minifloat and INT8 number formats.
+//! * [`device`] — behavioral multi-level-cell RRAM models.
+//! * [`circuit`] — FP-ADC / FP-DAC / energy models.
+//! * [`xbar`] — crossbar array and the 576×256 CIM macro.
+//! * [`nn`] — tensor/NN substrate and post-training quantization.
+//! * [`baseline`] — Table I baseline accelerator models.
+//! * [`core`] — the AFPR-CIM accelerator architecture and reports.
+
+#![forbid(unsafe_code)]
+
+pub use afpr_baseline as baseline;
+pub use afpr_circuit as circuit;
+pub use afpr_core as core;
+pub use afpr_device as device;
+pub use afpr_nn as nn;
+pub use afpr_num as num;
+pub use afpr_xbar as xbar;

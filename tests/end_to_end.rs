@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full DAC → crossbar → FP-ADC
+//! signal path against exact digital references.
+
+use afpr::circuit::fp_adc::{FpAdc, FpAdcConfig};
+use afpr::circuit::fp_dac::{FpDac, FpDacConfig};
+use afpr::circuit::units::{Amps, Volts};
+use afpr::device::DeviceConfig;
+use afpr::num::{FpFormat, HwFpCode};
+use afpr::xbar::cim_macro::CimMacro;
+use afpr::xbar::crossbar::Crossbar;
+use afpr::xbar::quant::FpActQuantizer;
+use afpr::xbar::spec::{MacroMode, MacroSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's §IV-A functional test: a digital FP8 input through the
+/// FP-DAC, one RRAM cell, and the FP-ADC reproduces Fig. 5a's output.
+#[test]
+fn functional_path_dac_cell_adc() {
+    let dac = FpDac::new(FpDacConfig::e2m5_paper());
+    let adc = FpAdc::new(FpAdcConfig::e2m5_paper());
+
+    // Choose a cell conductance such that the paper's 5.38 µA flows:
+    // the input code 1011110 produces 775 mV, so G = 5.38µA / 775mV.
+    let v_in = dac.convert_bits(0b101_1110).expect("valid code");
+    assert!((v_in.volts() - 0.775).abs() < 1e-12);
+    let g = 5.38e-6 / v_in.volts();
+    let i_cell = Amps::new(v_in.volts() * g);
+    let result = adc.convert(i_cell);
+    let code = result.code.expect("in range");
+    assert_eq!(code.to_bits(), 0b100_1001, "paper's digital output 1001001");
+    assert_eq!(result.adjustments, 2);
+}
+
+/// Multi-row Kirchhoff accumulation through real RRAM cells matches
+/// the analytic sum, and the ADC reads it back within one LSB.
+#[test]
+fn crossbar_column_through_adc() {
+    let device = DeviceConfig::ideal(32);
+    let mut xb = Crossbar::new(8, 1, device);
+    let mut rng = StdRng::seed_from_u64(1);
+    xb.program_levels(&[31, 24, 16, 8, 4, 2, 1, 0], &mut rng);
+
+    let dac = FpDac::new(FpDacConfig::e2m5_paper());
+    let codes: Vec<HwFpCode> = (0..8)
+        .map(|k| HwFpCode::new(FpFormat::E2M5, k % 4, (k * 3) % 32).expect("valid"))
+        .collect();
+    let voltages: Vec<Volts> = codes.iter().map(|c| dac.convert(*c)).collect();
+    let i = xb.column_current(0, &voltages);
+
+    // Analytic expectation.
+    let g_lsb = 20e-6 / 31.0;
+    let levels = [31.0, 24.0, 16.0, 8.0, 4.0, 2.0, 1.0, 0.0];
+    let expected: f64 = codes
+        .iter()
+        .zip(levels)
+        .map(|(c, l)| c.value() * 0.1 * l * g_lsb)
+        .sum();
+    assert!((i.amps() - expected).abs() < 1e-12);
+
+    let adc = FpAdc::new(FpAdcConfig::e2m5_paper());
+    if let Some(code) = adc.convert(i).code {
+        let back = adc.decode_current(code).amps();
+        let lsb = adc.min_current().amps() * 2.0f64.powi(code.exp() as i32) / 32.0;
+        assert!((back - i.amps()).abs() <= lsb);
+    } else {
+        panic!("current {i:?} unexpectedly out of range");
+    }
+}
+
+/// Full macro in all three data modes computes a signed matvec close
+/// to the float reference.
+#[test]
+fn macro_all_modes_against_reference() {
+    let rows = 24;
+    let cols = 6;
+    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0).collect();
+    let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.29).sin()).collect();
+    let mut want = vec![0.0f32; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            want[c] += x[r] * w[r * cols + c];
+        }
+    }
+    for mode in [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8] {
+        let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, mode), 17);
+        mac.program_weights(&w);
+        if mode != MacroMode::Int8 {
+            let q = FpActQuantizer::calibrate(&x, mode.fp_format().expect("fp mode"));
+            mac.calibrate_range(&[q.quantize_slice(&x)]);
+        }
+        let y = mac.matvec(&x);
+        for c in 0..cols {
+            assert!(
+                (y[c] - want[c]).abs() < 0.15 * want[c].abs().max(1.0) + 0.3,
+                "{}: col {c} got {} want {}",
+                mode.label(),
+                y[c],
+                want[c]
+            );
+        }
+    }
+}
+
+/// Realistic non-idealities degrade the matvec gracefully (bounded,
+/// not catastrophic) relative to the ideal macro.
+#[test]
+fn realistic_nonidealities_bounded_degradation() {
+    let rows = 32;
+    let cols = 4;
+    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 7 % 19) as f32 - 9.0) / 18.0).collect();
+    let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.41).cos()).collect();
+
+    let run = |spec: MacroSpec| -> Vec<f32> {
+        let mut mac = CimMacro::with_seed(spec, 5);
+        mac.program_weights(&w);
+        mac.matvec(&x)
+    };
+    let ideal = run(MacroSpec::small(rows, cols, MacroMode::FpE2M5));
+    let real = run(MacroSpec {
+        rows,
+        cols,
+        ..MacroSpec::paper_realistic(MacroMode::FpE2M5)
+    });
+    for c in 0..cols {
+        let d = (ideal[c] - real[c]).abs();
+        assert!(d < 0.5 * ideal[c].abs().max(1.0), "col {c}: ideal {} real {}", ideal[c], real[c]);
+    }
+}
+
+/// Underflowed columns read exactly zero ("the result is not read
+/// out") and are counted.
+#[test]
+fn underflow_is_zero_and_counted() {
+    let mut mac = CimMacro::with_seed(MacroSpec::small(4, 2, MacroMode::FpE2M5), 2);
+    let mut w = vec![0.0f32; 8];
+    w[0] = 1.0;
+    w[1] = 0.001;
+    mac.program_weights(&w);
+    let y = mac.matvec(&[1.0, 0.0, 0.0, 0.0]);
+    assert_eq!(y[1], 0.0);
+    assert!(mac.stats().underflows > 0);
+}

@@ -1,0 +1,101 @@
+//! Integration tests over the experiment harness: every paper claim
+//! with an absolute number must regenerate within tolerance.
+
+use afpr::core::{comparison_table, fig6_claims, headline_ratios};
+use afpr::xbar::spec::MacroMode;
+use afpr_bench::{fig5a, fig5b, fig6a, fig6b, fig6c, table1, Fig6cConfig};
+
+#[test]
+fn fig5a_matches_paper() {
+    let (record, _) = fig5a();
+    let by_name = |n: &str| {
+        record
+            .measurements
+            .iter()
+            .find(|m| m.name.contains(n))
+            .unwrap_or_else(|| panic!("missing measurement {n}"))
+            .clone()
+    };
+    assert_eq!(by_name("range adjustments").measured, 2.0);
+    assert!((by_name("residue").measured - 1.281).abs() < 0.005);
+    assert_eq!(by_name("mantissa code").measured, 9.0);
+    assert_eq!(by_name("digital output").measured, 73.0); // 1001001b
+}
+
+#[test]
+fn fig5b_is_linear() {
+    let (record, _) = fig5b();
+    assert!(record.measurements[0].measured < 0.1, "INL too large");
+}
+
+#[test]
+fn fig6_claims_regenerate() {
+    let claims = fig6_claims();
+    assert!((claims.adc_reduction_pct - 56.4).abs() < 0.5);
+    assert!((claims.total_reduction_pct - 46.5).abs() < 0.5);
+    assert!((claims.int_time_ratio - 2.5).abs() < 1e-9);
+    for (record, _) in [fig6a(), fig6b()] {
+        for m in &record.measurements {
+            if let Some(dev) = m.deviation() {
+                assert!(dev.abs() < 0.02, "{}: {:+.2} %", m.name, dev * 100.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_regenerates_within_3_percent() {
+    let (record, _) = table1();
+    for m in &record.measurements {
+        let dev = m.deviation().expect("all rows have paper values");
+        assert!(dev.abs() < 0.03, "{}: {:+.2} %", m.name, dev * 100.0);
+    }
+}
+
+#[test]
+fn headline_ratios_and_ordering() {
+    let h = headline_ratios();
+    assert!(h.vs_fp8_accelerator > 4.0);
+    assert!(h.vs_digital_fp_cim > 5.0);
+    assert!(h.vs_analog_int8_cim > 2.5);
+    let table = comparison_table();
+    // AFPR E2M5 wins every efficiency comparison; E3M4 is faster but
+    // less efficient than E2M5 (the paper's bit-assignment argument).
+    let e2m5 = &table[0];
+    let e3m4 = &table[1];
+    assert!(e3m4.throughput_gops > e2m5.throughput_gops);
+    assert!(e2m5.efficiency_tops_w > e3m4.efficiency_tops_w);
+}
+
+#[test]
+fn afpr_int8_mode_is_strictly_worse_than_e2m5() {
+    // The whole point of the paper: the same array with a
+    // fixed-range INT pipeline is slower and less efficient.
+    let int8 = afpr::core::perf::afpr_row(MacroMode::Int8);
+    let e2m5 = afpr::core::perf::afpr_row(MacroMode::FpE2M5);
+    assert!(int8.latency_us.unwrap() > e2m5.latency_us.unwrap());
+    assert!(int8.efficiency_tops_w < e2m5.efficiency_tops_w);
+    assert!(int8.throughput_gops < e2m5.throughput_gops);
+}
+
+/// A reduced Fig. 6c run: checks the machinery end to end (teacher
+/// accuracy pinned at 100 %, quantized accuracies sane). The full-size
+/// ordering claim (E2M5 best) is asserted by the release-mode
+/// `fig6c_accuracy` binary and recorded in EXPERIMENTS.md — at the
+/// quick scale the ordering is within noise by design.
+#[test]
+fn fig6c_quick_machinery() {
+    let (record, text, outcomes) = fig6c(Fig6cConfig::quick());
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!((o.fp32 - 1.0).abs() < 1e-9, "teacher accuracy must be 100 %");
+        for acc in [o.int8, o.e2m5, o.e3m4] {
+            assert!((0.0..=1.0).contains(&acc));
+            // Quantized models must retain real signal on the mixed
+            // easy/boundary evaluation set.
+            assert!(acc > 0.2, "{}: accuracy collapsed to {acc}", o.model);
+        }
+    }
+    assert!(text.contains("Tiny-ResNet"));
+    assert_eq!(record.measurements.len(), 4);
+}

@@ -1,0 +1,98 @@
+//! Integration tests of the extension features (DESIGN.md §8):
+//! IR drop, retention drift, programming energy, stochastic single
+//! slope, and the E1M6 sweep format.
+
+use afpr::circuit::single_slope::SingleSlope;
+use afpr::circuit::units::{Seconds, Volts};
+use afpr::nn::quant::NumFormat;
+use afpr::num::Rounding;
+use afpr::xbar::cim_macro::CimMacro;
+use afpr::xbar::ir_drop::IrDropModel;
+use afpr::xbar::spec::{MacroMode, MacroSpec};
+
+fn programmed(rows: usize, cols: usize) -> CimMacro {
+    let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, MacroMode::FpE2M5), 3);
+    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0).collect();
+    mac.program_weights(&w);
+    mac
+}
+
+#[test]
+fn programming_energy_scales_with_array_size() {
+    let small = programmed(8, 4).programming_energy().joules();
+    let large = programmed(32, 8).programming_energy().joules();
+    assert!(small > 0.0);
+    // 8× the cells → 8× the ideal single-pulse programming energy
+    // (half the cells per polarity are at level 0 but still pulsed once).
+    assert!((large / small - 8.0).abs() < 0.2, "ratio {}", large / small);
+}
+
+#[test]
+fn drift_and_ir_drop_shrink_outputs_together() {
+    let x: Vec<f32> = (0..24).map(|k| 0.4 + 0.01 * k as f32).collect();
+    let mut spec = MacroSpec::small(24, 3, MacroMode::FpE2M5);
+    spec.device.drift_nu = 0.02;
+    let run = |age_s: f64, r_wire: f64| -> f32 {
+        let mut mac = CimMacro::with_seed(spec.clone(), 3);
+        let w = vec![0.5f32; 72];
+        mac.program_weights(&w);
+        mac.set_current_divider(mac.current_divider() * 8.0);
+        mac.set_ir_drop(IrDropModel::new(r_wire));
+        mac.set_age(Seconds::new(age_s));
+        mac.matvec(&x)[0]
+    };
+    let ideal = run(0.0, 0.0);
+    let aged = run(1e7, 0.0);
+    let both = run(1e7, 100.0);
+    assert!(aged < ideal, "drift must shrink the output ({aged} vs {ideal})");
+    assert!(both < aged, "IR drop must shrink it further ({both} vs {aged})");
+}
+
+#[test]
+fn stochastic_slope_reduces_accumulation_bias() {
+    // Accumulate the same mid-bin residue many times: the dithered
+    // (stochastic) slope's累 sum converges to the true value while the
+    // deterministic mid-tread quantizer accumulates its fixed bias.
+    let s = SingleSlope::new(Volts::new(2.0), Volts::new(1.0), 32, Seconds::from_nano(100.0));
+    let v = Volts::new(1.0 + 8.7 / 32.0);
+    let n = 2000;
+    let det_sum: f64 = (0..n).map(|_| f64::from(s.convert(v))).sum();
+    let sto_sum: f64 = (0..n)
+        .map(|k| {
+            let u = (f64::from(k) + 0.5) / f64::from(n);
+            f64::from(s.convert_with(v, Rounding::Stochastic, Some(u)))
+        })
+        .sum();
+    let truth = 8.7 * f64::from(n);
+    assert!((sto_sum - truth).abs() < (det_sum - truth).abs() / 5.0);
+}
+
+#[test]
+fn e1m6_participates_in_the_format_sweep() {
+    // E1M6 quantizes Gaussian-bulk data finer than E5M2 (mantissa
+    // beats exponent when there is no dynamic-range pressure).
+    let xs: Vec<f32> = (0..2000).map(|k| ((k as f32) * 0.11).sin()).collect();
+    let mut e1m6 = xs.clone();
+    let mut e5m2 = xs.clone();
+    NumFormat::E1M6.fake_quant_slice(&mut e1m6);
+    NumFormat::E5M2.fake_quant_slice(&mut e5m2);
+    let mse = |q: &[f32]| afpr::num::stats::mse(&xs, q);
+    assert!(mse(&e1m6) < mse(&e5m2));
+    assert_eq!(NumFormat::ALL_QUANTIZED.len(), 6);
+}
+
+#[test]
+fn minifloat_dot_product_with_fma() {
+    use afpr::num::E2M5;
+    // An FP8 dot product with a wide accumulator (f32) vs FP8 FMA
+    // chain: both track the float reference.
+    let a: Vec<f32> = (0..16).map(|k| ((k as f32) * 0.31).sin()).collect();
+    let b: Vec<f32> = (0..16).map(|k| ((k as f32) * 0.17).cos()).collect();
+    let reference: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let mut acc = E2M5::from_f32(0.0);
+    for (x, y) in a.iter().zip(&b) {
+        acc = E2M5::from_f32(*x).mul_add(E2M5::from_f32(*y), acc);
+    }
+    // FP8 accumulation is coarse, but must stay in the right region.
+    assert!((acc.to_f32() - reference).abs() < 0.6, "acc {} ref {}", acc.to_f32(), reference);
+}
