@@ -110,7 +110,10 @@ impl AnalogInt8Cim {
     /// Panics if `bits` is zero or above 24.
     #[must_use]
     pub fn with_adc_bits(mut self, bits: u32) -> Self {
-        assert!((1..=24).contains(&bits), "ADC resolution must be 1..=24 bits");
+        assert!(
+            (1..=24).contains(&bits),
+            "ADC resolution must be 1..=24 bits"
+        );
         self.adc_bits = bits;
         self
     }
@@ -175,7 +178,11 @@ impl AnalogInt8Cim {
     #[must_use]
     pub fn matvec(&self, x: &[i8], w: &[i16]) -> Vec<i32> {
         assert_eq!(x.len(), self.rows, "need one activation per row");
-        assert_eq!(w.len(), self.rows * self.cols, "weight matrix must be rows × cols");
+        assert_eq!(
+            w.len(),
+            self.rows * self.cols,
+            "weight matrix must be rows × cols"
+        );
         // Fixed ADC range: worst-case one-bit-plane column sum.
         let full_scale: f64 = f64::from(self.rows as u32) * 127.0;
         let levels = f64::from(1u32 << self.adc_bits);
@@ -215,8 +222,16 @@ mod tests {
     #[test]
     fn nature22_calibrated() {
         let c = AnalogInt8Cim::nature22_class();
-        assert!((c.efficiency_tops_per_w() - 7.0).abs() < 0.1, "{}", c.efficiency_tops_per_w());
-        assert!((c.throughput_gops() - 274.0).abs() < 3.0, "{}", c.throughput_gops());
+        assert!(
+            (c.efficiency_tops_per_w() - 7.0).abs() < 0.1,
+            "{}",
+            c.efficiency_tops_per_w()
+        );
+        assert!(
+            (c.throughput_gops() - 274.0).abs() < 3.0,
+            "{}",
+            c.throughput_gops()
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl DigitalFpCim {
     /// Panics if `x.len() * out != w.len()`.
     #[must_use]
     pub fn matvec(&self, x: &[f32], w: &[f32], out: usize) -> Vec<f32> {
-        assert_eq!(w.len(), x.len() * out, "weight matrix must be x.len() × out");
+        assert_eq!(
+            w.len(),
+            x.len() * out,
+            "weight matrix must be x.len() × out"
+        );
         let bf16 = |v: f32| -> f32 {
             match self.format {
                 DigitalCimFormat::Fp32 => v,

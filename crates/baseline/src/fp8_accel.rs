@@ -71,7 +71,11 @@ impl Fp8Accelerator {
     #[must_use]
     pub fn isscc21_class() -> Self {
         // 567 GFLOPS = 283.5 G MAC/s; 288 lanes at 984 MHz.
-        Self { lanes: 288, clock_hz: 984.4e6, energy: Fp8MacEnergy::calibrated_40nm() }
+        Self {
+            lanes: 288,
+            clock_hz: 984.4e6,
+            energy: Fp8MacEnergy::calibrated_40nm(),
+        }
     }
 
     /// A custom configuration.
@@ -83,7 +87,11 @@ impl Fp8Accelerator {
     pub fn new(lanes: u32, clock_hz: f64, energy: Fp8MacEnergy) -> Self {
         assert!(lanes > 0, "need at least one lane");
         assert!(clock_hz > 0.0, "clock must be positive");
-        Self { lanes, clock_hz, energy }
+        Self {
+            lanes,
+            clock_hz,
+            energy,
+        }
     }
 
     /// Peak throughput in GFLOPS (2 ops per MAC per lane per cycle).
@@ -194,7 +202,10 @@ mod tests {
         let got = a.dot(&x, &y);
         let want: f32 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
         // Two E2M5 quantizations: ~3 % runtime error budget over 64 terms.
-        assert!((got - want).abs() < 0.1 * want.abs().max(2.0), "got {got} want {want}");
+        assert!(
+            (got - want).abs() < 0.1 * want.abs().max(2.0),
+            "got {got} want {want}"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn bench_mac(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar_mac");
     for (rows, cols) in [(64usize, 64usize), (576, 256)] {
         let xb = crossbar(rows, cols);
-        let v: Vec<Volts> = (0..rows).map(|r| Volts::new(0.001 * (r % 16) as f64)).collect();
+        let v: Vec<Volts> = (0..rows)
+            .map(|r| Volts::new(0.001 * (r % 16) as f64))
+            .collect();
         group.bench_function(format!("dense_{rows}x{cols}"), |b| {
             b.iter(|| xb.mac_currents(black_box(&v)))
         });
@@ -27,7 +29,13 @@ fn bench_mac(c: &mut Criterion) {
     // Sparsity sensitivity: 75 % zero inputs skip whole rows.
     let xb = crossbar(576, 256);
     let sparse: Vec<Volts> = (0..576)
-        .map(|r| if r % 4 == 0 { Volts::new(0.05) } else { Volts::ZERO })
+        .map(|r| {
+            if r % 4 == 0 {
+                Volts::new(0.05)
+            } else {
+                Volts::ZERO
+            }
+        })
         .collect();
     group.bench_function("sparse75_576x256", |b| {
         b.iter(|| xb.mac_currents(black_box(&sparse)))

@@ -22,12 +22,16 @@ fn bench_minifloat(c: &mut Criterion) {
 
 fn bench_hw_codes(c: &mut Criterion) {
     let f = FpFormat::E2M5;
-    c.bench_function("formats/hwcode_encode", |b| b.iter(|| f.encode(black_box(5.38))));
+    c.bench_function("formats/hwcode_encode", |b| {
+        b.iter(|| f.encode(black_box(5.38)))
+    });
 }
 
 fn bench_int8(c: &mut Criterion) {
     let q = Int8Quantizer::symmetric_for_absmax(4.0).expect("valid");
-    c.bench_function("formats/int8_fake_quant", |b| b.iter(|| q.fake_quant(black_box(1.273))));
+    c.bench_function("formats/int8_fake_quant", |b| {
+        b.iter(|| q.fake_quant(black_box(1.273)))
+    });
 }
 
 criterion_group!(benches, bench_minifloat, bench_hw_codes, bench_int8);

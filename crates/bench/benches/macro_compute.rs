@@ -7,7 +7,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn programmed_macro(rows: usize, cols: usize, mode: MacroMode) -> CimMacro {
     let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, mode), 3);
-    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 7 % 23) as f32 - 11.0) / 22.0).collect();
+    let w: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 7 % 23) as f32 - 11.0) / 22.0)
+        .collect();
     mac.program_weights(&w);
     mac
 }
@@ -25,7 +27,9 @@ fn bench_macro(c: &mut Criterion) {
     // The paper-size macro (expensive).
     let mut mac = programmed_macro(576, 256, MacroMode::FpE2M5);
     let x: Vec<f32> = (0..576).map(|k| ((k as f32) * 0.11).sin()).collect();
-    group.bench_function("matvec_576x256_E2M5", |b| b.iter(|| mac.matvec(black_box(&x))));
+    group.bench_function("matvec_576x256_E2M5", |b| {
+        b.iter(|| mac.matvec(black_box(&x)))
+    });
     group.finish();
 }
 

@@ -19,7 +19,9 @@ fn bench_inference(c: &mut Criterion) {
     let resnet = tiny_resnet(10, InitSpec::heavy_tailed(), &mut rng);
     let img = Tensor::from_fn(&[3, 16, 16], |i| ((i[1] * 16 + i[2]) as f32 * 0.13).sin());
 
-    group.bench_function("tiny_resnet_fp32", |b| b.iter(|| resnet.forward(black_box(&img))));
+    group.bench_function("tiny_resnet_fp32", |b| {
+        b.iter(|| resnet.forward(black_box(&img)))
+    });
 
     let calib = vec![img.clone()];
     let quant = QuantizedModel::calibrate(
@@ -28,7 +30,9 @@ fn bench_inference(c: &mut Criterion) {
         NumFormat::E2M5,
         &calib,
     );
-    group.bench_function("tiny_resnet_e2m5_ptq", |b| b.iter(|| quant.forward(black_box(&img))));
+    group.bench_function("tiny_resnet_e2m5_ptq", |b| {
+        b.iter(|| quant.forward(black_box(&img)))
+    });
 
     // Hardware-in-the-loop on a small MLP (macro sim per layer).
     let mlp = tiny_mlp(16, 24, 6, InitSpec::gaussian(), &mut rng);

@@ -41,9 +41,9 @@ fn main() {
         let i = lo * (hi / lo).powf((f64::from(k) + 0.37) / f64::from(points));
         let i = Amps::new(i);
         let fp_res = fp.convert(i);
-        let fp_err = fp_res
-            .code
-            .map_or(1.0, |c| (fp.decode_current(c).amps() - i.amps()).abs() / i.amps());
+        let fp_err = fp_res.code.map_or(1.0, |c| {
+            (fp.decode_current(c).amps() - i.amps()).abs() / i.amps()
+        });
         let int8_err =
             (int8.decode_current(int8.convert(i).code).amps() - i.amps()).abs() / i.amps();
         let int10_err =

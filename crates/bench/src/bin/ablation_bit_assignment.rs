@@ -33,7 +33,9 @@ fn main() {
     let model = EnergyModel::paper_65nm();
     let mut rng = StdRng::seed_from_u64(42);
     let normal = Normal::new(0.0f64, 1.0).expect("unit");
-    let gaussian: Vec<f32> = (0..20_000).map(|_| normal.sample(&mut rng) as f32).collect();
+    let gaussian: Vec<f32> = (0..20_000)
+        .map(|_| normal.sample(&mut rng) as f32)
+        .collect();
     let mut heavy = gaussian.clone();
     for (k, v) in heavy.iter_mut().enumerate() {
         if k % 100 == 0 {
@@ -69,7 +71,10 @@ fn main() {
                 .total()
                 .joules();
             let ops = 2.0 * 576.0 * 256.0;
-            (format!("{:.2}", energy * 1e9), format!("{:.2}", ops / energy / 1e12))
+            (
+                format!("{:.2}", energy * 1e9),
+                format!("{:.2}", ops / energy / 1e12),
+            )
         } else {
             ("-".to_string(), "infeasible".to_string())
         };

@@ -7,17 +7,19 @@
 
 use afpr_circuit::units::Seconds;
 use afpr_core::report::format_table;
+use afpr_num::FpFormat;
 use afpr_xbar::cim_macro::CimMacro;
 use afpr_xbar::ir_drop::IrDropModel;
 use afpr_xbar::quant::FpActQuantizer;
 use afpr_xbar::spec::{MacroMode, MacroSpec};
-use afpr_num::FpFormat;
 
 const ROWS: usize = 96;
 const COLS: usize = 16;
 
 fn weights() -> Vec<f32> {
-    (0..ROWS * COLS).map(|k| ((k * 17 % 37) as f32 - 18.0) / 36.0).collect()
+    (0..ROWS * COLS)
+        .map(|k| ((k * 17 % 37) as f32 - 18.0) / 36.0)
+        .collect()
 }
 
 fn inputs() -> Vec<f32> {
@@ -51,12 +53,18 @@ fn fresh(spec: MacroSpec) -> CimMacro {
 
 fn main() {
     let base = MacroSpec::small(ROWS, COLS, MacroMode::FpE2M5);
-    let mut rows = vec![vec!["condition".to_string(), "relative RMS error".to_string()]];
+    let mut rows = vec![vec![
+        "condition".to_string(),
+        "relative RMS error".to_string(),
+    ]];
     let mut add = |label: &str, err: f64| {
         rows.push(vec![label.to_string(), format!("{err:.4}")]);
     };
 
-    add("ideal macro (ADC quantization only)", rms_error(&mut fresh(base.clone())));
+    add(
+        "ideal macro (ADC quantization only)",
+        rms_error(&mut fresh(base.clone())),
+    );
 
     // IR drop sweep.
     for r_wire in [0.5, 1.0, 4.0] {
@@ -78,18 +86,28 @@ fn main() {
     for sigma in [0.002, 0.01] {
         let mut spec = base.clone();
         spec.fp_adc.cap_mismatch_sigma = sigma;
-        add(&format!("cap mismatch σ={sigma}"), rms_error(&mut fresh(spec)));
+        add(
+            &format!("cap mismatch σ={sigma}"),
+            rms_error(&mut fresh(spec)),
+        );
     }
 
     // Device programming variation.
     for sigma in [0.03, 0.10] {
         let mut spec = base.clone();
         spec.device = spec.device.with_program_sigma(sigma);
-        add(&format!("programming σ={sigma}"), rms_error(&mut fresh(spec)));
+        add(
+            &format!("programming σ={sigma}"),
+            rms_error(&mut fresh(spec)),
+        );
     }
 
     // Everything at once (the realistic corner).
-    let mut spec = MacroSpec { rows: ROWS, cols: COLS, ..MacroSpec::paper_realistic(MacroMode::FpE2M5) };
+    let mut spec = MacroSpec {
+        rows: ROWS,
+        cols: COLS,
+        ..MacroSpec::paper_realistic(MacroMode::FpE2M5)
+    };
     spec.device.drift_nu = 0.01;
     let mut mac = fresh(spec);
     mac.set_ir_drop(IrDropModel::typical_65nm());

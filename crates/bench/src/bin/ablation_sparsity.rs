@@ -24,8 +24,7 @@ fn main() {
         "total nJ".to_string(),
     ]];
     for sparsity in [0.0f32, 0.25, 0.5, 0.75, 0.9] {
-        let mut mac =
-            CimMacro::with_seed(MacroSpec::small(ROWS, COLS, MacroMode::FpE2M5), 7);
+        let mut mac = CimMacro::with_seed(MacroSpec::small(ROWS, COLS, MacroMode::FpE2M5), 7);
         let w: Vec<f32> = (0..ROWS * COLS)
             .map(|k| {
                 if (k * 2654435761 % 1000) as f32 / 1000.0 < sparsity {

@@ -27,8 +27,15 @@ fn main() {
     println!("{table}\n{}", r.to_text());
     records.push(r);
 
-    let cfg = if quick { Fig6cConfig::quick() } else { Fig6cConfig::default() };
-    eprintln!("running fig6c ({} eval × {} trials per model)…", cfg.eval_samples, cfg.trials);
+    let cfg = if quick {
+        Fig6cConfig::quick()
+    } else {
+        Fig6cConfig::default()
+    };
+    eprintln!(
+        "running fig6c ({} eval × {} trials per model)…",
+        cfg.eval_samples, cfg.trials
+    );
     let (r, table, _) = afpr_bench::fig6c(cfg);
     println!("{table}\n{}", r.to_text());
     records.push(r);

@@ -8,7 +8,11 @@ use afpr_bench::Fig6cConfig;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { Fig6cConfig::quick() } else { Fig6cConfig::default() };
+    let cfg = if quick {
+        Fig6cConfig::quick()
+    } else {
+        Fig6cConfig::default()
+    };
     eprintln!(
         "running fig6c: {} eval × {} trials per model (use --quick for a fast pass)…",
         cfg.eval_samples, cfg.trials

@@ -1,0 +1,107 @@
+//! Runtime throughput report: drives a tiled layer through the
+//! parallel execution engine at several worker counts and micro-batch
+//! sizes, checks bit-identity against the sequential path, and prints
+//! the engine's metrics snapshot as JSON.
+//!
+//! Usage: `cargo run --release --bin runtime_report [--threads N]`
+
+use std::time::Instant;
+
+use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
+use afpr_nn::tensor::Tensor;
+use afpr_runtime::Engine;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+
+const K: usize = 256;
+const N: usize = 128;
+const SEED: u64 = 2024;
+
+fn tiled_accel() -> (AfprAccelerator, LayerHandle) {
+    let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
+    let mut accel = AfprAccelerator::with_spec(base, SEED);
+    let w = Tensor::from_fn(&[K, N], |i| {
+        (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
+    });
+    let handle = accel.map_matrix(&w);
+    let x: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
+    accel.calibrate_layer(handle, std::slice::from_ref(&x));
+    (accel, handle)
+}
+
+fn batch(size: usize) -> Vec<Vec<f32>> {
+    (0..size)
+        .map(|s| {
+            (0..K)
+                .map(|k| (((k + 31 * s) as f32) * 0.13).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+
+    let reps = 32usize;
+    let xs = batch(8);
+
+    // Sequential golden reference (also warms the page cache).
+    let (mut accel, handle) = tiled_accel();
+    let t0 = Instant::now();
+    let mut golden = Vec::new();
+    for _ in 0..reps {
+        for x in &xs {
+            golden.push(accel.matvec(handle, x));
+        }
+    }
+    let seq_s = t0.elapsed().as_secs_f64();
+    let seq_energy = accel.stats().total_energy().joules() + accel.adder_energy().joules();
+    println!(
+        "sequential       : {:>8.1} matvec/s ({} tiles/input)",
+        (reps * xs.len()) as f64 / seq_s,
+        accel.macro_count()
+    );
+
+    let counts: Vec<usize> = match requested {
+        Some(n) => vec![n.max(1)],
+        None => vec![2, 4, 8],
+    };
+    let mut last_engine = None;
+    for threads in counts {
+        let engine = Engine::with_threads(threads);
+        let (mut accel, handle) = tiled_accel();
+        let t0 = Instant::now();
+        let mut outputs = Vec::new();
+        for _ in 0..reps {
+            outputs.extend(accel.forward_batch(handle, &xs, &engine));
+        }
+        let par_s = t0.elapsed().as_secs_f64();
+        let identical = outputs.len() == golden.len()
+            && outputs
+                .iter()
+                .zip(&golden)
+                .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        let energy = accel.stats().total_energy().joules() + accel.adder_energy().joules();
+        engine.metrics().record_energy_j(energy);
+        println!(
+            "parallel (t={threads})   : {:>8.1} matvec/s  speedup ×{:.2}  bit-identical: {identical}",
+            (reps * xs.len()) as f64 / par_s,
+            seq_s / par_s,
+        );
+        assert!(identical, "parallel output diverged from sequential");
+        assert!(
+            (energy - seq_energy).abs() <= 1e-18 + 1e-9 * seq_energy.abs(),
+            "energy accounting diverged: {energy} vs {seq_energy}"
+        );
+        last_engine = Some(engine);
+    }
+
+    if let Some(engine) = last_engine {
+        println!("\nmetrics snapshot (last engine):");
+        println!("{}", engine.metrics().snapshot().to_json_pretty());
+    }
+}

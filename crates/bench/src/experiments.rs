@@ -13,6 +13,7 @@ use afpr_nn::models::{tiny_mobilenet, tiny_resnet};
 use afpr_nn::quant::{NumFormat, QuantizedModel};
 use afpr_nn::Sequential;
 use afpr_num::{FpFormat, HwFpCode};
+use afpr_runtime::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,14 +31,24 @@ pub fn fig5a() -> (ExperimentRecord, String) {
         "FIG5A",
         "FP-ADC transient: constant 5.38 µA, T_S = 100 ns, C_int = 105 fF",
     )
-    .with("range adjustments (exponent)", Some(2.0), f64::from(r.adjustments), "count")
+    .with(
+        "range adjustments (exponent)",
+        Some(2.0),
+        f64::from(r.adjustments),
+        "count",
+    )
     .with(
         "residue V_M at sample instant",
         Some(1.28),
         r.v_sample.volts(),
         "V (paper: 1.271 simulated / 1.28 theoretical)",
     )
-    .with("mantissa code", Some(9.0), f64::from(code.man()), "(01001b)")
+    .with(
+        "mantissa code",
+        Some(9.0),
+        f64::from(code.man()),
+        "(01001b)",
+    )
     .with(
         "digital output word",
         Some(f64::from(0b100_1001u32)),
@@ -100,7 +111,12 @@ pub fn fig5b() -> (ExperimentRecord, String) {
         "FIG5B",
         "FP-DAC linearity: 128 input codes × {20,18,15,12} µS cells, grouped by exponent",
     )
-    .with("worst-case group INL (ideal DAC)", Some(0.0), worst_inl * 100.0, "% of full scale")
+    .with(
+        "worst-case group INL (ideal DAC)",
+        Some(0.0),
+        worst_inl * 100.0,
+        "% of full scale",
+    )
     .with("codes exercised", Some(128.0), 128.0, "count")
     .with("conductance examples", Some(4.0), 4.0, "cells");
     (record, csv)
@@ -108,13 +124,19 @@ pub fn fig5b() -> (ExperimentRecord, String) {
 
 fn max_relative_residual(points: &[(f64, f64)]) -> f64 {
     let n = points.len() as f64;
-    let (sx, sy): (f64, f64) = points.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
     let (mx, my) = (sx / n, sy / n);
     let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
     let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
     let b = my - slope * mx;
-    let full_scale = points.iter().map(|p| p.1.abs()).fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+    let full_scale = points
+        .iter()
+        .map(|p| p.1.abs())
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
     points
         .iter()
         .map(|p| ((slope * p.0 + b) - p.1).abs() / full_scale)
@@ -149,8 +171,18 @@ pub fn fig6a() -> (ExperimentRecord, String) {
         "FIG6A",
         "module power breakdown per conversion (all arrays active, 0 % sparsity)",
     )
-    .with("ADC energy reduction vs INT", Some(56.4), claims.adc_reduction_pct, "%")
-    .with("INT conversion time ratio", Some(2.5), claims.int_time_ratio, "×")
+    .with(
+        "ADC energy reduction vs INT",
+        Some(56.4),
+        claims.adc_reduction_pct,
+        "%",
+    )
+    .with(
+        "INT conversion time ratio",
+        Some(2.5),
+        claims.int_time_ratio,
+        "×",
+    )
     .with("E2M5 total energy", Some(14.828), reports[0].total_nj, "nJ")
     .with("E3M4 total energy", Some(20.886), reports[1].total_nj, "nJ")
     .with("INT total energy", Some(27.716), reports[2].total_nj, "nJ");
@@ -178,8 +210,18 @@ pub fn fig6b() -> (ExperimentRecord, String) {
         ]);
     }
     let record = ExperimentRecord::new("FIG6B", "total power: E2M5 vs E3M4 vs INT8")
-        .with("E2M5 power reduction vs INT8", Some(46.5), claims.total_reduction_pct, "%")
-        .with("E2M5 power at own rate", Some(74.14), reports[0].power_own_rate_mw, "mW")
+        .with(
+            "E2M5 power reduction vs INT8",
+            Some(46.5),
+            claims.total_reduction_pct,
+            "%",
+        )
+        .with(
+            "E2M5 power at own rate",
+            Some(74.14),
+            reports[0].power_own_rate_mw,
+            "mW",
+        )
         .with(
             "INT8 power at iso-throughput",
             None,
@@ -210,7 +252,14 @@ pub struct Fig6cConfig {
 
 impl Default for Fig6cConfig {
     fn default() -> Self {
-        Self { eval_samples: 160, calib_samples: 24, image_size: 16, noise: 0.6, seed: 2024, trials: 5 }
+        Self {
+            eval_samples: 160,
+            calib_samples: 24,
+            image_size: 16,
+            noise: 0.6,
+            seed: 2024,
+            trials: 5,
+        }
     }
 }
 
@@ -218,7 +267,13 @@ impl Fig6cConfig {
     /// A reduced configuration for fast (debug-build) test runs.
     #[must_use]
     pub fn quick() -> Self {
-        Self { eval_samples: 24, calib_samples: 8, image_size: 8, trials: 2, ..Self::default() }
+        Self {
+            eval_samples: 24,
+            calib_samples: 8,
+            image_size: 8,
+            trials: 2,
+            ..Self::default()
+        }
     }
 }
 
@@ -250,19 +305,17 @@ pub fn fig6c(cfg: Fig6cConfig) -> (ExperimentRecord, String, Vec<Fig6cOutcome>) 
     let shape = [3usize, cfg.image_size, cfg.image_size];
     let spec = InitSpec::heavy_tailed();
 
+    // Trials are fully independent (each has its own seed-derived
+    // model and dataset), so fan them out on the runtime worker pool.
+    let engine = Engine::new(EngineConfig::default());
     let mut outcomes = Vec::new();
     for (name, kind) in [("Tiny-ResNet", 0u8), ("Tiny-MobileNet", 1u8)] {
         let trials = cfg.trials.max(1);
-        // Trials are fully independent (each has its own seed-derived
-        // model and dataset), so run them on scoped threads.
-        let mut results = vec![[0.0f64; 4]; trials];
-        std::thread::scope(|scope| {
-            for (trial, slot) in results.iter_mut().enumerate() {
-                let trial_seed = cfg.seed.wrapping_add(101 * trial as u64);
-                scope.spawn(move || {
-                    *slot = fig6c_trial(name, kind, trial_seed, &cfg, spec, &shape);
-                });
-            }
+        let seeds: Vec<u64> = (0..trials)
+            .map(|t| cfg.seed.wrapping_add(101 * t as u64))
+            .collect();
+        let results = engine.execute(seeds, move |trial_seed| {
+            fig6c_trial(name, kind, trial_seed, &cfg, spec, &shape)
         });
         let n = trials as f64;
         let mut sums = [0.0f64; 4]; // fp32, int8, e2m5, e3m4
@@ -300,13 +353,21 @@ pub fn fig6c(cfg: Fig6cConfig) -> (ExperimentRecord, String, Vec<Fig6cOutcome>) 
             format!("{:.1}", o.e2m5 * 100.0),
         ]);
         record = record
-            .with(&format!("{} E2M5 − INT8", o.model), None, (o.e2m5 - o.int8) * 100.0, "pp (paper: > 0)")
-            .with(&format!("{} E2M5 − E3M4", o.model), None, (o.e2m5 - o.e3m4) * 100.0, "pp (paper: > 0)");
+            .with(
+                &format!("{} E2M5 − INT8", o.model),
+                None,
+                (o.e2m5 - o.int8) * 100.0,
+                "pp (paper: > 0)",
+            )
+            .with(
+                &format!("{} E2M5 − E3M4", o.model),
+                None,
+                (o.e2m5 - o.e3m4) * 100.0,
+                "pp (paper: > 0)",
+            );
     }
     (record, format_table(&rows), outcomes)
 }
-
-
 
 /// Recenters class logits by a fixed shift. Random (untrained) teacher
 /// networks have arbitrary class priors — often one class dominates
@@ -320,8 +381,12 @@ struct BiasShift {
 
 impl afpr_nn::layers::Layer for BiasShift {
     fn forward(&self, x: &afpr_nn::Tensor) -> afpr_nn::Tensor {
-        let data: Vec<f32> =
-            x.data().iter().zip(&self.shift).map(|(v, s)| v + s).collect();
+        let data: Vec<f32> = x
+            .data()
+            .iter()
+            .zip(&self.shift)
+            .map(|(v, s)| v + s)
+            .collect();
         afpr_nn::Tensor::new(x.shape(), data)
     }
 
@@ -388,126 +453,131 @@ fn fig6c_trial(
     spec: InitSpec,
     shape: &[usize; 3],
 ) -> [f64; 4] {
-        // Rebuilding a model from the same per-name seed yields
-        // identical weights, so each format quantizes the same network.
-        let build_raw = |seed: u64| -> Sequential {
-            let mut r = rng_clone(seed, name);
-            if kind == 0 {
-                tiny_resnet(10, spec, &mut r)
-            } else {
-                tiny_mobilenet(10, spec, &mut r)
-            }
-        };
-        // Compute the prior-centering shift on a probe set (see
-        // `BiasShift`), then bake it into every build.
-        let probe = build_raw(trial_seed);
-        let probe_pool = synthetic_images_with_boundaries(
-            96,
-            shape.as_slice(),
-            10,
-            cfg.noise,
-            0.5,
-            &mut rng_clone(trial_seed ^ 0x5EED, name),
-        );
-        let mut mean = [0.0f32; 10];
-        for img in &probe_pool.images {
-            for (m, l) in mean.iter_mut().zip(probe.forward(img).data()) {
-                *m += l / probe_pool.len() as f32;
-            }
+    // Rebuilding a model from the same per-name seed yields
+    // identical weights, so each format quantizes the same network.
+    let build_raw = |seed: u64| -> Sequential {
+        let mut r = rng_clone(seed, name);
+        if kind == 0 {
+            tiny_resnet(10, spec, &mut r)
+        } else {
+            tiny_mobilenet(10, spec, &mut r)
         }
-        let shift: Vec<f32> = mean.iter().map(|m| -m).collect();
-        let build = |seed: u64| -> Sequential {
-            let mut m = build_raw(seed);
-            m.push_boxed(Box::new(BiasShift { shift: shift.clone() }));
-            m
-        };
-        let base = build(trial_seed);
-        // Build a candidate pool (plain + boundary-blended samples),
-        // teacher-label it, and keep the half of the evaluation set
-        // with the smallest teacher margins: PTQ accuracy is decided at
-        // the decision boundary, and a pool of only easy samples would
-        // measure nothing.
-        let pool_size = 3 * (cfg.eval_samples + cfg.calib_samples);
-        let mut pool = synthetic_images_with_boundaries(
-            pool_size,
-            shape.as_slice(),
-            10,
-            cfg.noise,
-            0.5,
-            &mut rng_clone(trial_seed ^ 0xDA7A, name),
-        );
-        pool.relabel_with_teacher(&base);
-        let mut order: Vec<usize> = (0..pool.len()).collect();
-        let margins: Vec<f32> = pool
-            .images
-            .iter()
-            .map(|img| {
-                let mut logits = base.forward(img).into_data();
-                logits.sort_by(f32::total_cmp);
-                logits[9] - logits[8]
-            })
-            .collect();
-        order.sort_by(|&a, &b| margins[a].total_cmp(&margins[b]));
-        let hard = cfg.eval_samples / 2;
-        // Half the evaluation set: bisection-refined boundary samples.
-        // Blending two differently-labelled samples and bisecting on the
-        // teacher's argmax yields inputs with arbitrarily small teacher
-        // margins, independent of the (random) model's logit scale —
-        // the regime where format quantization error decides Top-1.
-        let mut images = Vec::with_capacity(cfg.eval_samples);
-        let mut labels = Vec::with_capacity(cfg.eval_samples);
-        // Target band: a fraction of the teacher's median natural
-        // margin, self-scaling the stress test to the model's logit
-        // range.
-        let margin_target = {
-            let mut sorted = margins.clone();
-            sorted.sort_by(f32::total_cmp);
-            0.8 * sorted[sorted.len() / 2]
-        };
-        let mut pair = 0usize;
-        while images.len() < hard && pair + 1 < pool.len() {
-            let a = pair;
-            let b = pool.len() - 1 - pair;
-            pair += 1;
-            if pool.labels[a] == pool.labels[b] {
-                continue;
-            }
-            let refined =
-                refine_boundary(&base, &pool.images[a], &pool.images[b], margin_target);
-            let label = base.forward(&refined).argmax();
-            images.push(refined);
-            labels.push(label);
+    };
+    // Compute the prior-centering shift on a probe set (see
+    // `BiasShift`), then bake it into every build.
+    let probe = build_raw(trial_seed);
+    let probe_pool = synthetic_images_with_boundaries(
+        96,
+        shape.as_slice(),
+        10,
+        cfg.noise,
+        0.5,
+        &mut rng_clone(trial_seed ^ 0x5EED, name),
+    );
+    let mut mean = [0.0f32; 10];
+    for img in &probe_pool.images {
+        for (m, l) in mean.iter_mut().zip(probe.forward(img).data()) {
+            *m += l / probe_pool.len() as f32;
         }
-        // The other half: the pool's lowest-margin natural samples.
-        for &i in order.iter().take(cfg.eval_samples - images.len()) {
-            images.push(pool.images[i].clone());
-            labels.push(pool.labels[i]);
+    }
+    let shift: Vec<f32> = mean.iter().map(|m| -m).collect();
+    let build = |seed: u64| -> Sequential {
+        let mut m = build_raw(seed);
+        m.push_boxed(Box::new(BiasShift {
+            shift: shift.clone(),
+        }));
+        m
+    };
+    let base = build(trial_seed);
+    // Build a candidate pool (plain + boundary-blended samples),
+    // teacher-label it, and keep the half of the evaluation set
+    // with the smallest teacher margins: PTQ accuracy is decided at
+    // the decision boundary, and a pool of only easy samples would
+    // measure nothing.
+    let pool_size = 3 * (cfg.eval_samples + cfg.calib_samples);
+    let mut pool = synthetic_images_with_boundaries(
+        pool_size,
+        shape.as_slice(),
+        10,
+        cfg.noise,
+        0.5,
+        &mut rng_clone(trial_seed ^ 0xDA7A, name),
+    );
+    pool.relabel_with_teacher(&base);
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    let margins: Vec<f32> = pool
+        .images
+        .iter()
+        .map(|img| {
+            let mut logits = base.forward(img).into_data();
+            logits.sort_by(f32::total_cmp);
+            logits[9] - logits[8]
+        })
+        .collect();
+    order.sort_by(|&a, &b| margins[a].total_cmp(&margins[b]));
+    let hard = cfg.eval_samples / 2;
+    // Half the evaluation set: bisection-refined boundary samples.
+    // Blending two differently-labelled samples and bisecting on the
+    // teacher's argmax yields inputs with arbitrarily small teacher
+    // margins, independent of the (random) model's logit scale —
+    // the regime where format quantization error decides Top-1.
+    let mut images = Vec::with_capacity(cfg.eval_samples);
+    let mut labels = Vec::with_capacity(cfg.eval_samples);
+    // Target band: a fraction of the teacher's median natural
+    // margin, self-scaling the stress test to the model's logit
+    // range.
+    let margin_target = {
+        let mut sorted = margins.clone();
+        sorted.sort_by(f32::total_cmp);
+        0.8 * sorted[sorted.len() / 2]
+    };
+    let mut pair = 0usize;
+    while images.len() < hard && pair + 1 < pool.len() {
+        let a = pair;
+        let b = pool.len() - 1 - pair;
+        pair += 1;
+        if pool.labels[a] == pool.labels[b] {
+            continue;
         }
-        let data = afpr_nn::Dataset { images, labels, classes: pool.classes };
-        // Calibration must cover the evaluated input distribution —
-        // including near-boundary samples — or every format clips
-        // out-of-range activations identically and the comparison is
-        // meaningless. Spread calibration samples over the margin
-        // spectrum and include refined boundary inputs.
-        let stride = (order.len() / cfg.calib_samples.max(1)).max(1);
-        let mut calib: Vec<_> = order
-            .iter()
-            .step_by(stride)
-            .take(cfg.calib_samples)
-            .map(|&i| pool.images[i].clone())
-            .collect();
-        calib.extend(data.images.iter().take(cfg.calib_samples / 2).cloned());
+        let refined = refine_boundary(&base, &pool.images[a], &pool.images[b], margin_target);
+        let label = base.forward(&refined).argmax();
+        images.push(refined);
+        labels.push(label);
+    }
+    // The other half: the pool's lowest-margin natural samples.
+    for &i in order.iter().take(cfg.eval_samples - images.len()) {
+        images.push(pool.images[i].clone());
+        labels.push(pool.labels[i]);
+    }
+    let data = afpr_nn::Dataset {
+        images,
+        labels,
+        classes: pool.classes,
+    };
+    // Calibration must cover the evaluated input distribution —
+    // including near-boundary samples — or every format clips
+    // out-of-range activations identically and the comparison is
+    // meaningless. Spread calibration samples over the margin
+    // spectrum and include refined boundary inputs.
+    let stride = (order.len() / cfg.calib_samples.max(1)).max(1);
+    let mut calib: Vec<_> = order
+        .iter()
+        .step_by(stride)
+        .take(cfg.calib_samples)
+        .map(|&i| pool.images[i].clone())
+        .collect();
+    calib.extend(data.images.iter().take(cfg.calib_samples / 2).cloned());
 
-        let eval = |fmt: NumFormat| -> f64 {
-            let q = QuantizedModel::calibrate(build(trial_seed), fmt, fmt, &calib);
-            top1_accuracy(&mut |x| q.forward(x), &data)
-        };
-        [
-            top1_accuracy(&mut |x| base.forward(x), &data),
-            eval(NumFormat::Int8),
-            eval(NumFormat::E2M5),
-            eval(NumFormat::E3M4),
-        ]
+    let eval = |fmt: NumFormat| -> f64 {
+        let q = QuantizedModel::calibrate(build(trial_seed), fmt, fmt, &calib);
+        top1_accuracy(&mut |x| q.forward(x), &data)
+    };
+    [
+        top1_accuracy(&mut |x| base.forward(x), &data),
+        eval(NumFormat::Int8),
+        eval(NumFormat::E2M5),
+        eval(NumFormat::E3M4),
+    ]
 }
 
 fn rng_clone(seed: u64, tag: &str) -> StdRng {
@@ -552,15 +622,60 @@ pub fn table1() -> (ExperimentRecord, String) {
     }
     let afpr = &table[0];
     let record = ExperimentRecord::new("TAB1", "CIM macro comparison (Table I)")
-        .with("AFPR E2M5 latency", Some(0.2), afpr.latency_us.expect("computed"), "µs")
-        .with("AFPR E2M5 throughput", Some(1474.56), afpr.throughput_gops, "GOPS")
-        .with("AFPR E2M5 efficiency", Some(19.89), afpr.efficiency_tops_w, "TFLOPS/W")
-        .with("AFPR E3M4 throughput", Some(1966.08), table[1].throughput_gops, "GOPS")
-        .with("AFPR E3M4 efficiency", Some(14.12), table[1].efficiency_tops_w, "TFLOPS/W")
-        .with("efficiency vs FP8 accelerator", Some(4.135), ratios.vs_fp8_accelerator, "×")
-        .with("efficiency vs digital FP-CIM", Some(5.376), ratios.vs_digital_fp_cim, "×")
-        .with("efficiency vs analog INT8-CIM", Some(2.841), ratios.vs_analog_int8_cim, "×")
-        .with("throughput vs analog INT8-CIM", Some(5.382), ratios.throughput_vs_analog_int8, "×");
+        .with(
+            "AFPR E2M5 latency",
+            Some(0.2),
+            afpr.latency_us.expect("computed"),
+            "µs",
+        )
+        .with(
+            "AFPR E2M5 throughput",
+            Some(1474.56),
+            afpr.throughput_gops,
+            "GOPS",
+        )
+        .with(
+            "AFPR E2M5 efficiency",
+            Some(19.89),
+            afpr.efficiency_tops_w,
+            "TFLOPS/W",
+        )
+        .with(
+            "AFPR E3M4 throughput",
+            Some(1966.08),
+            table[1].throughput_gops,
+            "GOPS",
+        )
+        .with(
+            "AFPR E3M4 efficiency",
+            Some(14.12),
+            table[1].efficiency_tops_w,
+            "TFLOPS/W",
+        )
+        .with(
+            "efficiency vs FP8 accelerator",
+            Some(4.135),
+            ratios.vs_fp8_accelerator,
+            "×",
+        )
+        .with(
+            "efficiency vs digital FP-CIM",
+            Some(5.376),
+            ratios.vs_digital_fp_cim,
+            "×",
+        )
+        .with(
+            "efficiency vs analog INT8-CIM",
+            Some(2.841),
+            ratios.vs_analog_int8_cim,
+            "×",
+        )
+        .with(
+            "throughput vs analog INT8-CIM",
+            Some(5.382),
+            ratios.throughput_vs_analog_int8,
+            "×",
+        );
     (record, format_table(&rows))
 }
 

@@ -64,7 +64,11 @@ impl CapBank {
     #[must_use]
     pub fn with_mismatch(caps: &[Farads], mismatch: &[f64]) -> Self {
         assert!(!caps.is_empty(), "need at least one capacitor");
-        assert_eq!(caps.len(), mismatch.len(), "mismatch length must match caps");
+        assert_eq!(
+            caps.len(),
+            mismatch.len(),
+            "mismatch length must match caps"
+        );
         let caps: Vec<f64> = caps
             .iter()
             .zip(mismatch)

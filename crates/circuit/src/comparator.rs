@@ -26,7 +26,11 @@ impl Comparator {
     /// An ideal comparator: no offset, noise or delay.
     #[must_use]
     pub fn ideal() -> Self {
-        Self { offset: Volts::ZERO, noise_sigma: Volts::ZERO, delay: Seconds::ZERO }
+        Self {
+            offset: Volts::ZERO,
+            noise_sigma: Volts::ZERO,
+            delay: Seconds::ZERO,
+        }
     }
 
     /// A comparator with typical post-CDS residuals: 0.5 mV offset,
@@ -84,7 +88,10 @@ mod tests {
 
     #[test]
     fn offset_shifts_threshold() {
-        let c = Comparator { offset: Volts::from_milli(50.0), ..Comparator::ideal() };
+        let c = Comparator {
+            offset: Volts::from_milli(50.0),
+            ..Comparator::ideal()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         // 0.98 + 0.05 offset > 1.0 -> trips early.
         assert!(c.decide(Volts::new(0.98), Volts::new(1.0), &mut rng));
@@ -93,7 +100,10 @@ mod tests {
 
     #[test]
     fn noise_flips_marginal_decisions() {
-        let c = Comparator { noise_sigma: Volts::from_milli(5.0), ..Comparator::ideal() };
+        let c = Comparator {
+            noise_sigma: Volts::from_milli(5.0),
+            ..Comparator::ideal()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let mut highs = 0;
         for _ in 0..2000 {

@@ -102,15 +102,15 @@ impl EnergyParams {
     #[must_use]
     pub fn paper_65nm() -> Self {
         Self {
-            p_opamp_static: 1.299_18e-5,  // 12.99 µW per column
-            kappa_load: 1.027_83e7,       // 10.28 µW per pF
-            v_share: 1.0,                 // V
-            e_decision: 2.0e-16,          // 0.2 fJ
-            p_dac_static: 2.40e-2,        // 24.0 mW
+            p_opamp_static: 1.299_18e-5,   // 12.99 µW per column
+            kappa_load: 1.027_83e7,        // 10.28 µW per pF
+            v_share: 1.0,                  // V
+            e_decision: 2.0e-16,           // 0.2 fJ
+            p_dac_static: 2.40e-2,         // 24.0 mW
             p_digital_static: 1.325_32e-2, // 13.25 mW
-            p_row_driver: 7.0e-5,         // 70 µW per row
-            e_digital_fixed: 1.930e-9,    // 1.93 nJ
-            e_array_nominal: 9.11e-11,    // 91.1 pJ
+            p_row_driver: 7.0e-5,          // 70 µW per row
+            e_digital_fixed: 1.930e-9,     // 1.93 nJ
+            e_array_nominal: 9.11e-11,     // 91.1 pJ
         }
     }
 }
@@ -184,7 +184,9 @@ impl EnergyModel {
     /// Model with the paper-calibrated constants.
     #[must_use]
     pub fn paper_65nm() -> Self {
-        Self { params: EnergyParams::paper_65nm() }
+        Self {
+            params: EnergyParams::paper_65nm(),
+        }
     }
 
     /// Model with custom constants.
@@ -232,7 +234,12 @@ impl EnergyModel {
         );
         let digital = Joules::new(p.p_digital_static * t_conv + p.e_digital_fixed);
         let array = array_energy.unwrap_or(Joules::new(p.e_array_nominal));
-        MacroEnergyBreakdown { adc, dac, array, digital }
+        MacroEnergyBreakdown {
+            adc,
+            dac,
+            array,
+            digital,
+        }
     }
 
     /// Average power of back-to-back conversions.

@@ -171,7 +171,10 @@ impl FpAdc {
     #[must_use]
     pub fn new(config: FpAdcConfig) -> Self {
         let bank_template = CapBank::binary(config.c_int, config.format.exponent_levels());
-        Self { config, bank_template }
+        Self {
+            config,
+            bank_template,
+        }
     }
 
     /// Builds an ADC whose capacitor segments carry Gaussian mismatch
@@ -181,17 +184,27 @@ impl FpAdc {
         let ranges = config.format.exponent_levels();
         let ideal = CapBank::binary(config.c_int, ranges);
         if config.cap_mismatch_sigma <= 0.0 {
-            return Self { config, bank_template: ideal };
+            return Self {
+                config,
+                bank_template: ideal,
+            };
         }
         let normal = Normal::new(0.0, config.cap_mismatch_sigma).expect("sigma non-negative");
         let caps: Vec<Farads> = (0..ranges)
             .map(|k| {
-                let base = if k == 0 { 1.0 } else { f64::from(1u32 << (k - 1)) };
+                let base = if k == 0 {
+                    1.0
+                } else {
+                    f64::from(1u32 << (k - 1))
+                };
                 Farads::new(config.c_int.farads() * base)
             })
             .collect();
         let mismatch: Vec<f64> = caps.iter().map(|_| normal.sample(rng)).collect();
-        Self { config, bank_template: CapBank::with_mismatch(&caps, &mismatch) }
+        Self {
+            config,
+            bank_template: CapBank::with_mismatch(&caps, &mismatch),
+        }
     }
 
     /// The configuration.
@@ -222,9 +235,7 @@ impl FpAdc {
     /// `I_MAC = (C_int / T_S) · (1.M) · 2^E`.
     #[must_use]
     pub fn decode_current(&self, code: HwFpCode) -> Amps {
-        Amps::new(
-            self.config.c_int.farads() / self.config.t_integrate.seconds() * code.value(),
-        )
+        Amps::new(self.config.c_int.farads() / self.config.t_integrate.seconds() * code.value())
     }
 
     /// Largest current that converts without saturating.
@@ -266,8 +277,9 @@ impl FpAdc {
                     .integrator
                     .time_to_reach(v, v_th_event, i_mac, bank.total());
                 match crossing {
-                    Some(dt) if (t + dt + cfg.comparator.delay).seconds()
-                        <= cfg.t_integrate.seconds() =>
+                    Some(dt)
+                        if (t + dt + cfg.comparator.delay).seconds()
+                            <= cfg.t_integrate.seconds() =>
                     {
                         // Integrate up to the comparator's output edge
                         // (the crossing plus the decision delay).
@@ -333,7 +345,10 @@ impl FpAdc {
             (None, true)
         } else {
             let man = slope.convert(v_sample);
-            (Some(HwFpCode::new(cfg.format, adjustments, man).expect("fields in range")), false)
+            (
+                Some(HwFpCode::new(cfg.format, adjustments, man).expect("fields in range")),
+                false,
+            )
         };
 
         // Record the held value through the slope phase for plotting.
@@ -389,7 +404,11 @@ mod tests {
         assert!(!r.overflow && !r.underflow);
         // Theoretical residue: 1.281 V (paper reports 1.271 V simulated,
         // 1.28 V theoretical).
-        assert!((r.v_sample.volts() - 1.281).abs() < 5e-3, "v={}", r.v_sample);
+        assert!(
+            (r.v_sample.volts() - 1.281).abs() < 5e-3,
+            "v={}",
+            r.v_sample
+        );
         let code = r.code.unwrap();
         assert_eq!(code.exp(), 0b10);
         assert_eq!(code.man(), 0b01001);
@@ -436,8 +455,7 @@ mod tests {
         for i in 0..400 {
             let i_mac = Amps::new(
                 a.min_current().amps()
-                    + (a.full_scale_current().amps() - a.min_current().amps())
-                        * f64::from(i)
+                    + (a.full_scale_current().amps() - a.min_current().amps()) * f64::from(i)
                         / 400.0,
             );
             let r = a.convert(i_mac);

@@ -41,7 +41,12 @@ impl FpDacConfig {
         // Scale so that max_value() maps to ~1.575 V regardless of the
         // exponent range of the chosen format.
         let v_unit = Volts::new(1.575 / format.max_value());
-        Self { format, v_unit, ladder_mismatch_sigma: 0.0, pga_mismatch_sigma: 0.0 }
+        Self {
+            format,
+            v_unit,
+            ladder_mismatch_sigma: 0.0,
+            pga_mismatch_sigma: 0.0,
+        }
     }
 
     /// The E2M5 paper operating point (`v_unit` = 100 mV).
@@ -93,7 +98,11 @@ impl FpDac {
         let taps = (0..levels)
             .map(|m| (1.0 + f64::from(m) / f64::from(levels)) * config.v_unit.volts())
             .collect();
-        Self { config, taps, pga: Pga::binary(config.format.exponent_levels()) }
+        Self {
+            config,
+            taps,
+            pga: Pga::binary(config.format.exponent_levels()),
+        }
     }
 
     /// Builds a DAC with ladder and PGA mismatch sampled once from the

@@ -48,7 +48,11 @@ impl IntAdcConfig {
     /// An 8-bit variant (the "original" 100 ns-readout base design).
     #[must_use]
     pub fn paper_8bit() -> Self {
-        Self { bits: 8, t_slope: Seconds::from_nano(100.0), ..Self::paper_matched() }
+        Self {
+            bits: 8,
+            t_slope: Seconds::from_nano(100.0),
+            ..Self::paper_matched()
+        }
     }
 
     /// Total conversion time.
@@ -132,9 +136,15 @@ impl IntAdc {
         let frac = v.volts() / self.config.v_full_scale.volts();
         let code = (frac * levels + 0.5).floor();
         if code >= levels {
-            IntAdcResult { code: (levels - 1.0) as u32, overflow: true }
+            IntAdcResult {
+                code: (levels - 1.0) as u32,
+                overflow: true,
+            }
         } else {
-            IntAdcResult { code: code.max(0.0) as u32, overflow: false }
+            IntAdcResult {
+                code: code.max(0.0) as u32,
+                overflow: false,
+            }
         }
     }
 

@@ -37,7 +37,11 @@ impl IntDac {
     #[must_use]
     pub fn new(bits: u32, v_full_scale: Volts) -> Self {
         assert!((1..=15).contains(&bits), "bits must be in 1..=15");
-        Self { bits, v_full_scale, inl: Vec::new() }
+        Self {
+            bits,
+            v_full_scale,
+            inl: Vec::new(),
+        }
     }
 
     /// Builds a DAC with Gaussian per-code nonlinearity.

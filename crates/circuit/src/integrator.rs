@@ -48,14 +48,22 @@ impl Integrator {
     /// An ideal integrator.
     #[must_use]
     pub fn ideal() -> Self {
-        Self { dc_gain: f64::INFINITY, slew_rate: f64::INFINITY, offset: Volts::ZERO }
+        Self {
+            dc_gain: f64::INFINITY,
+            slew_rate: f64::INFINITY,
+            offset: Volts::ZERO,
+        }
     }
 
     /// Typical 65 nm op-amp: 60 dB gain, 100 V/µs slew, 0.2 mV residual
     /// offset.
     #[must_use]
     pub fn realistic() -> Self {
-        Self { dc_gain: 1000.0, slew_rate: 100.0 / 1e-6, offset: Volts::from_milli(0.2) }
+        Self {
+            dc_gain: 1000.0,
+            slew_rate: 100.0 / 1e-6,
+            offset: Volts::from_milli(0.2),
+        }
     }
 
     /// The integration slope `dV_O/dt` for a constant input current on
@@ -103,7 +111,6 @@ impl Integrator {
         }
         Some(Seconds::new(dv / s))
     }
-
 }
 
 impl Default for Integrator {
@@ -126,7 +133,10 @@ mod tests {
 
     #[test]
     fn finite_gain_reduces_slope() {
-        let real = Integrator { dc_gain: 1000.0, ..Integrator::ideal() };
+        let real = Integrator {
+            dc_gain: 1000.0,
+            ..Integrator::ideal()
+        };
         let i = Amps::from_micro(5.0);
         let c = Farads::from_femto(105.0);
         assert!(real.slope(i, c) < Integrator::ideal().slope(i, c));
@@ -136,7 +146,10 @@ mod tests {
 
     #[test]
     fn slew_limits_large_currents() {
-        let integ = Integrator { slew_rate: 1e6, ..Integrator::ideal() };
+        let integ = Integrator {
+            slew_rate: 1e6,
+            ..Integrator::ideal()
+        };
         let s = integ.slope(Amps::from_micro(100.0), Farads::from_femto(10.0));
         assert_eq!(s, 1e6);
     }
@@ -146,7 +159,9 @@ mod tests {
         let integ = Integrator::ideal();
         let i = Amps::from_micro(5.38);
         let c = Farads::from_femto(105.0);
-        let t = integ.time_to_reach(Volts::ZERO, Volts::new(2.0), i, c).unwrap();
+        let t = integ
+            .time_to_reach(Volts::ZERO, Volts::new(2.0), i, c)
+            .unwrap();
         let v = integ.integrate(Volts::ZERO, i, c, t);
         assert!((v.volts() - 2.0).abs() < 1e-9);
     }
@@ -156,7 +171,11 @@ mod tests {
         let integ = Integrator::ideal();
         let i = Amps::from_micro(5.0);
         let c = Farads::from_femto(105.0);
-        assert!(integ.time_to_reach(Volts::new(2.0), Volts::ZERO, i, c).is_none());
-        assert!(integ.time_to_reach(Volts::ZERO, Volts::new(2.0), Amps::ZERO, c).is_none());
+        assert!(integ
+            .time_to_reach(Volts::new(2.0), Volts::ZERO, i, c)
+            .is_none());
+        assert!(integ
+            .time_to_reach(Volts::ZERO, Volts::new(2.0), Amps::ZERO, c)
+            .is_none());
     }
 }

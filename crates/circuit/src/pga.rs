@@ -35,7 +35,9 @@ impl Pga {
     #[must_use]
     pub fn binary(levels: u32) -> Self {
         assert!(levels >= 1, "need at least one gain setting");
-        Self { gains: (0..levels).map(|e| f64::from(1u32 << e)).collect() }
+        Self {
+            gains: (0..levels).map(|e| f64::from(1u32 << e)).collect(),
+        }
     }
 
     /// Binary gains with Gaussian relative mismatch sampled once per

@@ -33,7 +33,12 @@ impl SingleSlope {
     pub fn new(v_start: Volts, v_end: Volts, counts: u32, t_ramp: Seconds) -> Self {
         assert!(v_start > v_end, "ramp must descend");
         assert!(counts > 0, "need at least one count");
-        Self { v_start, v_end, counts, t_ramp }
+        Self {
+            v_start,
+            v_end,
+            counts,
+            t_ramp,
+        }
     }
 
     /// Converts a held voltage to a mantissa code.
@@ -108,7 +113,12 @@ mod tests {
     use super::*;
 
     fn paper_stage() -> SingleSlope {
-        SingleSlope::new(Volts::new(2.0), Volts::new(1.0), 32, Seconds::from_nano(100.0))
+        SingleSlope::new(
+            Volts::new(2.0),
+            Volts::new(1.0),
+            32,
+            Seconds::from_nano(100.0),
+        )
     }
 
     #[test]
@@ -177,7 +187,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "descend")]
     fn ascending_ramp_rejected() {
-        let _ = SingleSlope::new(Volts::new(1.0), Volts::new(2.0), 32, Seconds::from_nano(100.0));
+        let _ = SingleSlope::new(
+            Volts::new(1.0),
+            Volts::new(2.0),
+            32,
+            Seconds::from_nano(100.0),
+        );
     }
 
     #[test]

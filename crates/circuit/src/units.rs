@@ -343,8 +343,10 @@ mod tests {
         assert_eq!(format!("{}", Amps::from_micro(5.38)), "5.3800 µA");
         assert_eq!(format!("{}", Volts::new(1.271)), "1.2710 V");
         assert_eq!(format!("{}", Watts::from_milli(74.14)), "74.1400 mW");
-        assert!(format!("{}", Farads::from_femto(105.0)).contains("pF") ||
-                !format!("{}", Farads::from_femto(105.0)).contains("nF"));
+        assert!(
+            format!("{}", Farads::from_femto(105.0)).contains("pF")
+                || !format!("{}", Farads::from_femto(105.0)).contains("nF")
+        );
     }
 
     #[test]

@@ -104,7 +104,12 @@ impl Waveform {
     /// Largest recorded voltage.
     #[must_use]
     pub fn max_voltage(&self) -> Volts {
-        Volts::new(self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max))
+        Volts::new(
+            self.points
+                .iter()
+                .map(|p| p.1)
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
     }
 
     /// Last recorded time.

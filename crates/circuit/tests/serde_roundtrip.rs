@@ -13,8 +13,7 @@ fn round_trip<T>(value: &T) -> T
 where
     T: serde::Serialize + serde::de::DeserializeOwned,
 {
-    serde_json::from_str(&serde_json::to_string(value).expect("serialize"))
-        .expect("deserialize")
+    serde_json::from_str(&serde_json::to_string(value).expect("serialize")).expect("deserialize")
 }
 
 #[test]

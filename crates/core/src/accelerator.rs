@@ -5,6 +5,7 @@ use crate::mapping::{tile_matrix, TiledMatrix};
 use afpr_circuit::units::Joules;
 use afpr_nn::tensor::Tensor;
 use afpr_num::FpFormat;
+use afpr_runtime::Engine;
 use afpr_xbar::cim_macro::CimMacro;
 use afpr_xbar::metrics::MacroStats;
 use afpr_xbar::quant::FpActQuantizer;
@@ -54,7 +55,12 @@ impl AfprAccelerator {
     /// realistic non-idealities).
     #[must_use]
     pub fn with_spec(base: MacroSpec, seed: u64) -> Self {
-        Self { base, seed, layers: Vec::new(), adder: PartialSumAdder::new() }
+        Self {
+            base,
+            seed,
+            layers: Vec::new(),
+            adder: PartialSumAdder::new(),
+        }
     }
 
     /// The operating mode.
@@ -142,6 +148,153 @@ impl AfprAccelerator {
         out
     }
 
+    /// Parallel tiled matrix-vector product on a runtime [`Engine`]:
+    /// every tile's macro runs as an independent job on the worker
+    /// pool; row-tile partials are then combined by the inter-core
+    /// routing adder in the same fixed `ct`-outer / `rt`-inner order as
+    /// [`matvec`](Self::matvec).
+    ///
+    /// **Determinism:** bit-identical to `matvec` for any worker
+    /// count — each macro owns its RNG (jobs move the macro out of the
+    /// layer and back), and the float reduction order is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or `x.len() != K`.
+    pub fn matvec_parallel(&mut self, handle: LayerHandle, x: &[f32], engine: &Engine) -> Vec<f32> {
+        let (tiles, k, n) = {
+            let layer = &self.layers[handle.0];
+            (layer.macros.len(), layer.tiled.k, layer.tiled.n)
+        };
+        assert_eq!(x.len(), k, "input length must equal K");
+        if tiles <= 1 || engine.threads() == 1 {
+            // Nothing to fan out (or a single worker): the sequential
+            // path is the parallel path.
+            engine.metrics().record_tiles(tiles as u64, (k * n) as u64);
+            return self.matvec(handle, x);
+        }
+
+        let layer = &mut self.layers[handle.0];
+        let macros = std::mem::take(&mut layer.macros);
+        let jobs: Vec<(CimMacro, Vec<f32>)> = macros
+            .into_iter()
+            .zip(&layer.tiled.tiles)
+            .map(|(mac, tile)| (mac, x[tile.row_start..tile.row_end].to_vec()))
+            .collect();
+        let results = engine.execute(jobs, |(mut mac, xin): (CimMacro, Vec<f32>)| {
+            let y = mac.matvec(&xin);
+            (mac, y)
+        });
+
+        let mut partials_by_tile: Vec<Vec<f32>> = Vec::with_capacity(results.len());
+        layer.macros = results
+            .into_iter()
+            .map(|(mac, y)| {
+                partials_by_tile.push(y);
+                mac
+            })
+            .collect();
+        engine.metrics().record_tiles(tiles as u64, (k * n) as u64);
+
+        let mut out = vec![0.0f32; layer.tiled.n];
+        for ct in 0..layer.tiled.col_tiles {
+            let partials: Vec<Vec<f32>> = (0..layer.tiled.row_tiles)
+                .map(|rt| std::mem::take(&mut partials_by_tile[rt * layer.tiled.col_tiles + ct]))
+                .collect();
+            let summed = self.adder.sum(&partials);
+            let col_start = layer.tiled.tiles[ct].col_start;
+            out[col_start..col_start + summed.len()].copy_from_slice(&summed);
+        }
+        out
+    }
+
+    /// Runs a micro-batch of inputs through one layer with tile-level
+    /// parallelism: each tile's macro becomes one job that processes
+    /// **all samples in submission order**, so per-macro RNG streams —
+    /// and therefore outputs, energy and statistics — are bit-identical
+    /// to calling [`matvec`](Self::matvec) once per sample.
+    ///
+    /// Batching amortizes job dispatch over the whole batch, which is
+    /// where the micro-batching queue earns its throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or any `xs[i].len() != K`.
+    pub fn forward_batch(
+        &mut self,
+        handle: LayerHandle,
+        xs: &[Vec<f32>],
+        engine: &Engine,
+    ) -> Vec<Vec<f32>> {
+        let (tiles, k, n) = {
+            let layer = &self.layers[handle.0];
+            (layer.macros.len(), layer.tiled.k, layer.tiled.n)
+        };
+        for x in xs {
+            assert_eq!(x.len(), k, "input length must equal K");
+        }
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        if tiles <= 1 || engine.threads() == 1 {
+            engine
+                .metrics()
+                .record_tiles((tiles * xs.len()) as u64, (k * n * xs.len()) as u64);
+            return xs.iter().map(|x| self.matvec(handle, x)).collect();
+        }
+
+        let layer = &mut self.layers[handle.0];
+        let macros = std::mem::take(&mut layer.macros);
+        let jobs: Vec<(CimMacro, Vec<Vec<f32>>)> = macros
+            .into_iter()
+            .zip(&layer.tiled.tiles)
+            .map(|(mac, tile)| {
+                let inputs: Vec<Vec<f32>> = xs
+                    .iter()
+                    .map(|x| x[tile.row_start..tile.row_end].to_vec())
+                    .collect();
+                (mac, inputs)
+            })
+            .collect();
+        let results = engine.execute(jobs, |(mut mac, inputs): (CimMacro, Vec<Vec<f32>>)| {
+            let outs: Vec<Vec<f32>> = inputs.iter().map(|xi| mac.matvec(xi)).collect();
+            (mac, outs)
+        });
+
+        // per_tile[idx][sample] — tile-major, like the macro layout.
+        let mut per_tile: Vec<Vec<Vec<f32>>> = Vec::with_capacity(results.len());
+        layer.macros = results
+            .into_iter()
+            .map(|(mac, outs)| {
+                per_tile.push(outs);
+                mac
+            })
+            .collect();
+        engine
+            .metrics()
+            .record_tiles((tiles * xs.len()) as u64, (k * n * xs.len()) as u64);
+
+        let (row_tiles, col_tiles, n) =
+            (layer.tiled.row_tiles, layer.tiled.col_tiles, layer.tiled.n);
+        let mut batch_out = Vec::with_capacity(xs.len());
+        // `s` indexes the *inner* (sample) axis of the tile-major
+        // `per_tile`, so clippy's iterate-over-`per_tile` hint is wrong.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..xs.len() {
+            let mut out = vec![0.0f32; n];
+            for ct in 0..col_tiles {
+                let partials: Vec<Vec<f32>> = (0..row_tiles)
+                    .map(|rt| std::mem::take(&mut per_tile[rt * col_tiles + ct][s]))
+                    .collect();
+                let summed = self.adder.sum(&partials);
+                let col_start = layer.tiled.tiles[ct].col_start;
+                out[col_start..col_start + summed.len()].copy_from_slice(&summed);
+            }
+            batch_out.push(out);
+        }
+        batch_out
+    }
+
     /// Aggregated statistics over every macro.
     #[must_use]
     pub fn stats(&self) -> MacroStats {
@@ -191,7 +344,9 @@ mod tests {
     use super::*;
 
     fn ramp(k: usize, n: usize) -> Tensor {
-        Tensor::from_fn(&[k, n], |i| (((i[0] * n + i[1]) * 7 % 13) as f32 - 6.0) / 12.0)
+        Tensor::from_fn(&[k, n], |i| {
+            (((i[0] * n + i[1]) * 7 % 13) as f32 - 6.0) / 12.0
+        })
     }
 
     fn reference(w: &Tensor, x: &[f32]) -> Vec<f32> {

@@ -61,7 +61,10 @@ impl TiledMatrix {
     /// Panics if the position is out of the tile grid.
     #[must_use]
     pub fn tile(&self, row_tile: usize, col_tile: usize) -> &Tile {
-        assert!(row_tile < self.row_tiles && col_tile < self.col_tiles, "tile out of grid");
+        assert!(
+            row_tile < self.row_tiles && col_tile < self.col_tiles,
+            "tile out of grid"
+        );
         &self.tiles[row_tile * self.col_tiles + col_tile]
     }
 
@@ -93,7 +96,10 @@ impl TiledMatrix {
 #[must_use]
 pub fn tile_matrix(w: &Tensor, max_rows: usize, max_cols: usize) -> TiledMatrix {
     assert_eq!(w.shape().len(), 2, "expected a 2-D weight matrix");
-    assert!(max_rows > 0 && max_cols > 0, "macro dimensions must be non-zero");
+    assert!(
+        max_rows > 0 && max_cols > 0,
+        "macro dimensions must be non-zero"
+    );
     let [k, n]: [usize; 2] = w.shape().try_into().expect("2-D");
     let row_tiles = k.div_ceil(max_rows);
     let col_tiles = n.div_ceil(max_cols);
@@ -110,10 +116,22 @@ pub fn tile_matrix(w: &Tensor, max_rows: usize, max_cols: usize) -> TiledMatrix 
                     weights.push(w.get(&[r, c]));
                 }
             }
-            tiles.push(Tile { row_start, row_end, col_start, col_end, weights });
+            tiles.push(Tile {
+                row_start,
+                row_end,
+                col_start,
+                col_end,
+                weights,
+            });
         }
     }
-    TiledMatrix { k, n, row_tiles, col_tiles, tiles }
+    TiledMatrix {
+        k,
+        n,
+        row_tiles,
+        col_tiles,
+        tiles,
+    }
 }
 
 #[cfg(test)]

@@ -98,7 +98,11 @@ impl NetworkPerfReport {
 ///
 /// Panics if the model's forward pass fails on the input shape.
 #[must_use]
-pub fn network_perf(model: &Sequential, mode: MacroMode, input_shape: &[usize]) -> NetworkPerfReport {
+pub fn network_perf(
+    model: &Sequential,
+    mode: MacroMode,
+    input_shape: &[usize],
+) -> NetworkPerfReport {
     let spec = MacroSpec::paper(mode);
     let energy_model = EnergyModel::paper_65nm();
     let adc_spec = match mode {
@@ -241,8 +245,7 @@ mod tests {
         // utilization the static power share grows and E3M4's shorter
         // conversion can win instead — a genuine model insight worth
         // pinning in both directions.
-        let full = Sequential::new()
-            .push(Linear::new(Tensor::zeros(&[256, 576]), vec![0.0; 256]));
+        let full = Sequential::new().push(Linear::new(Tensor::zeros(&[256, 576]), vec![0.0; 256]));
         let e2m5 = network_perf(&full, MacroMode::FpE2M5, &[576]);
         let e3m4 = network_perf(&full, MacroMode::FpE3M4, &[576]);
         assert!(e2m5.effective_tops_per_watt() > e3m4.effective_tops_per_watt());
@@ -250,8 +253,7 @@ mod tests {
 
         // Tiny layer: static share dominates, E3M4's shorter
         // conversion makes it the more efficient mode.
-        let tiny = Sequential::new()
-            .push(Linear::new(Tensor::zeros(&[8, 16]), vec![0.0; 8]));
+        let tiny = Sequential::new().push(Linear::new(Tensor::zeros(&[8, 16]), vec![0.0; 8]));
         let e2m5 = network_perf(&tiny, MacroMode::FpE2M5, &[16]);
         let e3m4 = network_perf(&tiny, MacroMode::FpE3M4, &[16]);
         assert!(e3m4.effective_tops_per_watt() > e2m5.effective_tops_per_watt());

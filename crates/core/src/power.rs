@@ -89,7 +89,9 @@ pub struct Fig6Claims {
 pub fn fig6_claims() -> Fig6Claims {
     let model = EnergyModel::paper_65nm();
     let e2m5_spec = MacroSpec::paper(MacroMode::FpE2M5);
-    let fp = model.adc_column_energy(&AdcSpec::fp(&e2m5_spec.fp_adc)).joules();
+    let fp = model
+        .adc_column_energy(&AdcSpec::fp(&e2m5_spec.fp_adc))
+        .joules();
     let int = model
         .adc_column_energy(&AdcSpec::int(&IntAdcConfig::paper_matched()))
         .joules();
@@ -119,7 +121,11 @@ mod tests {
     #[test]
     fn e2m5_power_is_74mw() {
         let r = power_report(MacroMode::FpE2M5);
-        assert!((r.power_own_rate_mw - 74.14).abs() < 0.4, "{}", r.power_own_rate_mw);
+        assert!(
+            (r.power_own_rate_mw - 74.14).abs() < 0.4,
+            "{}",
+            r.power_own_rate_mw
+        );
     }
 
     #[test]

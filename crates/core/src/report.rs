@@ -49,7 +49,11 @@ impl ExperimentRecord {
     /// Creates an empty record.
     #[must_use]
     pub fn new(id: &str, description: &str) -> Self {
-        Self { id: id.to_string(), description: description.to_string(), measurements: Vec::new() }
+        Self {
+            id: id.to_string(),
+            description: description.to_string(),
+            measurements: Vec::new(),
+        }
     }
 
     /// Adds a paper-vs-measured entry (builder-style).
@@ -80,10 +84,16 @@ impl ExperimentRecord {
                 m.paper.map_or("-".to_string(), |p| format!("{p:.4}")),
                 format!("{:.4}", m.measured),
                 m.unit.clone(),
-                m.deviation().map_or("-".to_string(), |d| format!("{:+.2}", d * 100.0)),
+                m.deviation()
+                    .map_or("-".to_string(), |d| format!("{:+.2}", d * 100.0)),
             ]);
         }
-        format!("[{}] {}\n{}", self.id, self.description, format_table(&rows))
+        format!(
+            "[{}] {}\n{}",
+            self.id,
+            self.description,
+            format_table(&rows)
+        )
     }
 }
 
@@ -177,8 +187,12 @@ mod tests {
 
     #[test]
     fn text_table_contains_everything() {
-        let r = ExperimentRecord::new("FIG6B", "total power")
-            .with("E2M5 power", Some(74.14), 74.1, "mW");
+        let r = ExperimentRecord::new("FIG6B", "total power").with(
+            "E2M5 power",
+            Some(74.14),
+            74.1,
+            "mW",
+        );
         let text = r.to_text();
         assert!(text.contains("FIG6B"));
         assert!(text.contains("74.1"));

@@ -9,11 +9,14 @@
 //! activations, depthwise convolutions) runs on the digital processing
 //! unit, as it would in the real system.
 
+use std::sync::Arc;
+
 use crate::accelerator::{AfprAccelerator, LayerHandle};
 use crate::dpu::Dpu;
 use afpr_nn::layers::{Conv2d, Layer, Linear};
 use afpr_nn::model::{ResidualBlock, Sequential};
 use afpr_nn::tensor::Tensor;
+use afpr_runtime::Engine;
 use afpr_xbar::spec::{MacroMode, MacroSpec};
 
 /// A model compiled onto CIM macros.
@@ -41,6 +44,9 @@ pub struct MacroModelSim {
     /// Handles in deterministic traversal order of compute layers.
     handles: Vec<LayerHandle>,
     dpu: Dpu,
+    /// Parallel execution mode: when set, compute layers run on the
+    /// worker pool (tile jobs; conv positions micro-batched).
+    engine: Option<Arc<Engine>>,
 }
 
 impl MacroModelSim {
@@ -57,7 +63,48 @@ impl MacroModelSim {
         let mut accel = AfprAccelerator::with_spec(spec, seed);
         let mut handles = Vec::new();
         map_sequential(model, &mut accel, &mut handles);
-        Self { accel, handles, dpu: Dpu::new() }
+        Self {
+            accel,
+            handles,
+            dpu: Dpu::new(),
+            engine: None,
+        }
+    }
+
+    /// Switches the sim into parallel mode: compute layers execute
+    /// their tiles on `engine`'s worker pool, and convolution patch
+    /// positions are micro-batched through
+    /// [`AfprAccelerator::forward_batch`].
+    ///
+    /// Outputs, energy and statistics stay **bit-identical** to the
+    /// sequential mode for the same compile seed (see
+    /// `afpr-runtime`'s determinism contract).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Arc<Engine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Leaves parallel mode, returning the engine if one was set.
+    pub fn take_engine(&mut self) -> Option<Arc<Engine>> {
+        self.engine.take()
+    }
+
+    /// One matvec, routed through the engine when in parallel mode.
+    fn matvec(&mut self, handle: LayerHandle, x: &[f32]) -> Vec<f32> {
+        match &self.engine {
+            Some(engine) => self.accel.matvec_parallel(handle, x, engine),
+            None => self.accel.matvec(handle, x),
+        }
+    }
+
+    /// A micro-batch of matvecs (conv patch positions), batched onto
+    /// the engine when in parallel mode.
+    fn matvec_many(&mut self, handle: LayerHandle, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        match &self.engine {
+            Some(engine) => self.accel.forward_batch(handle, xs, engine),
+            None => xs.iter().map(|x| self.accel.matvec(handle, x)).collect(),
+        }
     }
 
     /// The underlying accelerator (stats, energy…).
@@ -203,9 +250,11 @@ fn forward_layer(
         let w = x.shape()[2];
         let (oh, ow) = (conv.out_size(h), conv.out_size(w));
         let mut out = Tensor::zeros(&[oc, oh, ow]);
-        for p in 0..positions {
-            let patch: Vec<f32> = (0..k).map(|r| cols.get(&[r, p])).collect();
-            let mut y = sim.accel.matvec(handle, &patch);
+        let patches: Vec<Vec<f32>> = (0..positions)
+            .map(|p| (0..k).map(|r| cols.get(&[r, p])).collect())
+            .collect();
+        let ys = sim.matvec_many(handle, &patches);
+        for (p, mut y) in ys.into_iter().enumerate() {
             sim.dpu.add_bias(&mut y, conv.bias());
             for (o, v) in y.iter().enumerate() {
                 out.data_mut()[o * oh * ow + p] = *v;
@@ -215,7 +264,7 @@ fn forward_layer(
     } else if let Some(lin) = any.downcast_ref::<Linear>() {
         let handle = sim.handles[*cursor];
         *cursor += 1;
-        let mut y = sim.accel.matvec(handle, x.data());
+        let mut y = sim.matvec(handle, x.data());
         sim.dpu.add_bias(&mut y, lin.bias());
         Tensor::new(&[y.len()], y)
     } else if let Some(inner) = any.downcast_ref::<Sequential>() {

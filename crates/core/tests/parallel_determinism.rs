@@ -1,0 +1,191 @@
+//! The runtime determinism contract: for a fixed seed, parallel tiled
+//! execution is **bit-identical** to sequential execution — outputs,
+//! energy and statistics — for any worker count.
+//!
+//! This is the property that makes the worker pool safe to use in
+//! experiments: enabling parallelism can never change a paper artefact.
+
+use afpr_core::accelerator::AfprAccelerator;
+use afpr_core::sim::MacroModelSim;
+use afpr_nn::init::InitSpec;
+use afpr_nn::layers::{Conv2d, Flatten, GlobalAvgPool, Relu};
+use afpr_nn::model::Sequential;
+use afpr_nn::tensor::Tensor;
+use afpr_runtime::Engine;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [1, 42, 2024];
+const THREADS: [usize; 2] = [2, 4];
+
+/// A multi-tile layer: 3 row tiles × 3 col tiles of 8×3 macros.
+fn tiled_accel(seed: u64) -> (AfprAccelerator, afpr_core::accelerator::LayerHandle) {
+    let base = MacroSpec::small(8, 3, MacroMode::FpE2M5);
+    let mut accel = AfprAccelerator::with_spec(base, seed);
+    let w = Tensor::from_fn(&[20, 7], |i| {
+        (((i[0] * 7 + i[1]) * 5 % 17) as f32 - 8.0) / 16.0
+    });
+    let handle = accel.map_matrix(&w);
+    let x: Vec<f32> = (0..20).map(|k| ((k as f32) * 0.23).cos()).collect();
+    accel.calibrate_layer(handle, std::slice::from_ref(&x));
+    (accel, handle)
+}
+
+fn inputs(count: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|s| {
+            (0..20)
+                .map(|k| (((k + 13 * s) as f32) * 0.23).cos())
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[Vec<f32>], b: &[Vec<f32>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (ya, yb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ya.len(), yb.len(), "{what}: output {i} length mismatch");
+        for (j, (va, vb)) in ya.iter().zip(yb).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{what}: output {i}[{j}] differs: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matvec_parallel_is_bit_identical_across_seeds_and_thread_counts() {
+    for seed in SEEDS {
+        // Sequential golden run: several calls so RNG streams advance.
+        let (mut seq, h) = tiled_accel(seed);
+        let xs = inputs(5);
+        let golden: Vec<Vec<f32>> = xs.iter().map(|x| seq.matvec(h, x)).collect();
+        let golden_stats = seq.stats();
+        let golden_adder = seq.adder_energy();
+
+        for threads in THREADS {
+            let engine = Engine::with_threads(threads);
+            let (mut par, h) = tiled_accel(seed);
+            let got: Vec<Vec<f32>> = xs
+                .iter()
+                .map(|x| par.matvec_parallel(h, x, &engine))
+                .collect();
+            assert_bits_eq(&golden, &got, &format!("seed {seed}, {threads} threads"));
+
+            let stats = par.stats();
+            assert_eq!(stats.conversions, golden_stats.conversions);
+            assert_eq!(stats.ops, golden_stats.ops);
+            assert_eq!(stats.saturations, golden_stats.saturations);
+            assert_eq!(stats.underflows, golden_stats.underflows);
+            assert_eq!(
+                stats.total_energy().joules().to_bits(),
+                golden_stats.total_energy().joules().to_bits(),
+                "macro energy must be bit-identical"
+            );
+            assert_eq!(
+                par.adder_energy().joules().to_bits(),
+                golden_adder.joules().to_bits(),
+                "adder energy must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn forward_batch_matches_per_sample_loop() {
+    for seed in SEEDS {
+        let xs = inputs(6);
+        let (mut seq, h) = tiled_accel(seed);
+        let golden: Vec<Vec<f32>> = xs.iter().map(|x| seq.matvec(h, x)).collect();
+
+        for threads in THREADS {
+            let engine = Engine::with_threads(threads);
+            let (mut par, h) = tiled_accel(seed);
+            let got = par.forward_batch(h, &xs, &engine);
+            assert_bits_eq(
+                &golden,
+                &got,
+                &format!("batch, seed {seed}, {threads} threads"),
+            );
+            assert_eq!(par.stats().conversions, seq.stats().conversions);
+            assert_eq!(
+                par.adder_energy().joules().to_bits(),
+                seq.adder_energy().joules().to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaving_parallel_and_sequential_calls_stays_deterministic() {
+    let (mut a, ha) = tiled_accel(7);
+    let (mut b, hb) = tiled_accel(7);
+    let engine = Engine::with_threads(3);
+    let xs = inputs(4);
+    // a: seq, par, seq, par — b: all sequential.
+    let ya: Vec<Vec<f32>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            if i % 2 == 0 {
+                a.matvec(ha, x)
+            } else {
+                a.matvec_parallel(ha, x, &engine)
+            }
+        })
+        .collect();
+    let yb: Vec<Vec<f32>> = xs.iter().map(|x| b.matvec(hb, x)).collect();
+    assert_bits_eq(&yb, &ya, "interleaved");
+}
+
+fn conv_model(seed: u64) -> (Sequential, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = Tensor::new(
+        &[4, 2, 3, 3],
+        afpr_nn::init::he_weights(72, 18, InitSpec::gaussian(), &mut rng),
+    );
+    let model = Sequential::new()
+        .push(Conv2d::new(w, vec![0.0; 4], 1, 1))
+        .push(Relu)
+        .push(GlobalAvgPool)
+        .push(Flatten);
+    let x = Tensor::from_fn(&[2, 6, 6], |i| ((i[1] * 6 + i[2]) as f32 * 0.21).sin());
+    (model, x)
+}
+
+#[test]
+fn sim_parallel_mode_matches_sequential_mode() {
+    for seed in SEEDS {
+        let (model, x) = conv_model(seed);
+        // Small macros force tiling (K=18 → 3 row tiles, N=4 → 2 col
+        // tiles), so the parallel path really fans out.
+        let spec = MacroSpec::small(8, 2, MacroMode::FpE2M5);
+
+        let mut seq = MacroModelSim::compile_with_spec(&model, spec.clone(), seed);
+        seq.calibrate(&model, std::slice::from_ref(&x));
+        let golden = seq.forward(&model, &x);
+
+        for threads in THREADS {
+            let engine = Arc::new(Engine::with_threads(threads));
+            let mut par = MacroModelSim::compile_with_spec(&model, spec.clone(), seed)
+                .with_engine(Arc::clone(&engine));
+            par.calibrate(&model, std::slice::from_ref(&x));
+            let got = par.forward(&model, &x);
+            assert_eq!(golden.shape(), got.shape());
+            for (a, b) in golden.data().iter().zip(got.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sim outputs differ: {a} vs {b}");
+            }
+            assert_eq!(
+                seq.accelerator().stats().conversions,
+                par.accelerator().stats().conversions
+            );
+            assert_eq!(seq.dpu().ops(), par.dpu().ops());
+            // The engine actually ran tile jobs in parallel mode.
+            assert!(engine.metrics().snapshot().tiles_executed > 0);
+        }
+    }
+}

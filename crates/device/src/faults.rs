@@ -42,16 +42,31 @@ impl YieldModel {
     /// exceeds 1.
     #[must_use]
     pub fn new(p_stuck_lrs: f64, p_stuck_hrs: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_stuck_lrs), "probability out of range");
-        assert!((0.0..=1.0).contains(&p_stuck_hrs), "probability out of range");
-        assert!(p_stuck_lrs + p_stuck_hrs <= 1.0, "fault probabilities exceed 1");
-        Self { p_stuck_lrs, p_stuck_hrs }
+        assert!(
+            (0.0..=1.0).contains(&p_stuck_lrs),
+            "probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_stuck_hrs),
+            "probability out of range"
+        );
+        assert!(
+            p_stuck_lrs + p_stuck_hrs <= 1.0,
+            "fault probabilities exceed 1"
+        );
+        Self {
+            p_stuck_lrs,
+            p_stuck_hrs,
+        }
     }
 
     /// A perfect-yield model.
     #[must_use]
     pub fn perfect() -> Self {
-        Self { p_stuck_lrs: 0.0, p_stuck_hrs: 0.0 }
+        Self {
+            p_stuck_lrs: 0.0,
+            p_stuck_hrs: 0.0,
+        }
     }
 
     /// Total per-cell fault probability.
@@ -124,7 +139,10 @@ mod tests {
         let faults = y.sample_array(200, 200, &mut rng);
         let rate = faults.len() as f64 / 40_000.0;
         assert!((rate - 0.03).abs() < 0.005, "rate {rate}");
-        let lrs = faults.iter().filter(|(_, _, f)| *f == FaultKind::StuckLrs).count();
+        let lrs = faults
+            .iter()
+            .filter(|(_, _, f)| *f == FaultKind::StuckLrs)
+            .count();
         let hrs = faults.len() - lrs;
         assert!(lrs < hrs, "HRS faults should dominate at these settings");
     }

@@ -32,7 +32,11 @@ impl MlcAllocator {
     /// Builds an allocator for the configured window and level count.
     #[must_use]
     pub fn new(cfg: &DeviceConfig) -> Self {
-        Self { g_min: cfg.g_min, g_max: cfg.g_max, levels: cfg.levels }
+        Self {
+            g_min: cfg.g_min,
+            g_max: cfg.g_max,
+            levels: cfg.levels,
+        }
     }
 
     /// Number of levels.
@@ -49,8 +53,7 @@ impl MlcAllocator {
     #[must_use]
     pub fn target_conductance(&self, level: u32) -> f64 {
         assert!(level < self.levels, "level {level} out of range");
-        self.g_min
-            + (self.g_max - self.g_min) * f64::from(level) / f64::from(self.levels - 1)
+        self.g_min + (self.g_max - self.g_min) * f64::from(level) / f64::from(self.levels - 1)
     }
 
     /// Nearest level for a conductance (clamped to the window).

@@ -25,7 +25,12 @@ impl ProgramEnergyModel {
     /// Typical 65 nm RRAM: 2.5 V, 100 µA, 50 ns pulses, 0.1 pJ verify.
     #[must_use]
     pub fn typical_rram() -> Self {
-        Self { v_program: 2.5, i_program: 100e-6, t_pulse: 50e-9, e_verify: 0.1e-12 }
+        Self {
+            v_program: 2.5,
+            i_program: 100e-6,
+            t_pulse: 50e-9,
+            e_verify: 0.1e-12,
+        }
     }
 
     /// Energy of one programming pulse, `V · I · t`.

@@ -41,7 +41,12 @@ impl RramCell {
     /// A fresh (unprogrammed) cell at the window minimum.
     #[must_use]
     pub fn fresh(cfg: &DeviceConfig) -> Self {
-        Self { target_g: cfg.g_min, programmed_g: cfg.g_min, fault: None, program_iters: 0 }
+        Self {
+            target_g: cfg.g_min,
+            programmed_g: cfg.g_min,
+            fault: None,
+            program_iters: 0,
+        }
     }
 
     /// Injects a hard fault (used by the yield model).
@@ -95,7 +100,11 @@ impl RramCell {
             let g = variation
                 .sample_programmed(target, rng)
                 .clamp(cfg.g_min, cfg.g_max);
-            let err = if target > 0.0 { ((g - target) / target).abs() } else { (g - target).abs() };
+            let err = if target > 0.0 {
+                ((g - target) / target).abs()
+            } else {
+                (g - target).abs()
+            };
             if err < best {
                 best = err;
                 best_g = g;
@@ -239,7 +248,10 @@ mod tests {
         cell.set_fault(Some(FaultKind::StuckHrs));
         assert_eq!(cell.effective_conductance(&cfg), cfg.g_min);
         cell.set_fault(None);
-        assert_eq!(cell.effective_conductance(&cfg), alloc.target_conductance(16));
+        assert_eq!(
+            cell.effective_conductance(&cfg),
+            alloc.target_conductance(16)
+        );
     }
 
     #[test]

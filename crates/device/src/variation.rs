@@ -26,7 +26,10 @@ impl VariationModel {
     /// A model with no variation at all.
     #[must_use]
     pub fn none() -> Self {
-        Self { program_sigma: 0.0, read_noise_sigma: 0.0 }
+        Self {
+            program_sigma: 0.0,
+            read_noise_sigma: 0.0,
+        }
     }
 
     /// Creates a model from sigmas (negative values clamp to 0).
@@ -47,8 +50,8 @@ impl VariationModel {
             return target;
         }
         // LogNormal with median `target`.
-        let dist = LogNormal::new(target.ln(), self.program_sigma)
-            .expect("sigma validated non-negative");
+        let dist =
+            LogNormal::new(target.ln(), self.program_sigma).expect("sigma validated non-negative");
         dist.sample(rng)
     }
 
@@ -95,8 +98,9 @@ mod tests {
         let v = VariationModel::new(0.05, 0.0);
         let mut rng = StdRng::seed_from_u64(3);
         let target = 10e-6;
-        let mut samples: Vec<f64> =
-            (0..4001).map(|_| v.sample_programmed(target, &mut rng)).collect();
+        let mut samples: Vec<f64> = (0..4001)
+            .map(|_| v.sample_programmed(target, &mut rng))
+            .collect();
         samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         assert!((median / target - 1.0).abs() < 0.01, "median {median}");
@@ -107,8 +111,7 @@ mod tests {
         let v = VariationModel::new(0.0, 0.02);
         let mut rng = StdRng::seed_from_u64(4);
         let i0 = 5e-6;
-        let mean: f64 =
-            (0..4000).map(|_| v.sample_read(i0, &mut rng)).sum::<f64>() / 4000.0;
+        let mean: f64 = (0..4000).map(|_| v.sample_read(i0, &mut rng)).sum::<f64>() / 4000.0;
         assert!((mean / i0 - 1.0).abs() < 0.01);
     }
 
@@ -124,11 +127,15 @@ mod tests {
         let v = VariationModel::new(0.1, 0.0);
         let a: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(42);
-            (0..16).map(|_| v.sample_programmed(1e-6, &mut rng)).collect()
+            (0..16)
+                .map(|_| v.sample_programmed(1e-6, &mut rng))
+                .collect()
         };
         let b: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(42);
-            (0..16).map(|_| v.sample_programmed(1e-6, &mut rng)).collect()
+            (0..16)
+                .map(|_| v.sample_programmed(1e-6, &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

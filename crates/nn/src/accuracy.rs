@@ -51,7 +51,9 @@ mod tests {
 
     fn toy_dataset() -> Dataset {
         Dataset {
-            images: (0..4).map(|k| Tensor::new(&[2], vec![k as f32, 3.0 - k as f32])).collect(),
+            images: (0..4)
+                .map(|k| Tensor::new(&[2], vec![k as f32, 3.0 - k as f32]))
+                .collect(),
             labels: vec![1, 1, 0, 0],
             classes: 2,
         }
@@ -80,7 +82,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
-        let data = Dataset { images: vec![], labels: vec![], classes: 2 };
+        let data = Dataset {
+            images: vec![],
+            labels: vec![],
+            classes: 2,
+        };
         let mut f = |x: &Tensor| x.clone();
         let _ = top1_accuracy(&mut f, &data);
     }

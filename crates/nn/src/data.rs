@@ -90,7 +90,11 @@ pub fn synthetic_images<R: Rng + ?Sized>(
         images.push(img);
         labels.push(class);
     }
-    Dataset { images, labels, classes }
+    Dataset {
+        images,
+        labels,
+        classes,
+    }
 }
 
 /// Like [`synthetic_images`], but a fraction of samples are *boundary
@@ -113,7 +117,10 @@ pub fn synthetic_images_with_boundaries<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Dataset {
     assert!(classes >= 2, "boundary mixing needs at least two classes");
-    assert!((0.0..=1.0).contains(&boundary_frac), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&boundary_frac),
+        "fraction must be in [0, 1]"
+    );
     let mut ds = synthetic_images(samples, shape, classes, noise, rng);
     let n_boundary = (samples as f64 * boundary_frac) as usize;
     // Prototypes are recoverable from the noise-free construction; for

@@ -25,14 +25,20 @@ impl InitSpec {
     /// Pure Gaussian (no outliers).
     #[must_use]
     pub fn gaussian() -> Self {
-        Self { outlier_prob: 0.0, outlier_scale: 1.0 }
+        Self {
+            outlier_prob: 0.0,
+            outlier_scale: 1.0,
+        }
     }
 
     /// Mild heavy tails, typical of trained convnets: 1 % of weights
     /// at 4× scale.
     #[must_use]
     pub fn heavy_tailed() -> Self {
-        Self { outlier_prob: 0.01, outlier_scale: 4.0 }
+        Self {
+            outlier_prob: 0.01,
+            outlier_scale: 4.0,
+        }
     }
 }
 
@@ -43,7 +49,12 @@ impl Default for InitSpec {
 }
 
 /// Draws `n` He-initialized weights for a layer with `fan_in` inputs.
-pub fn he_weights<R: Rng + ?Sized>(n: usize, fan_in: usize, spec: InitSpec, rng: &mut R) -> Vec<f32> {
+pub fn he_weights<R: Rng + ?Sized>(
+    n: usize,
+    fan_in: usize,
+    spec: InitSpec,
+    rng: &mut R,
+) -> Vec<f32> {
     let sigma = (2.0 / fan_in.max(1) as f64).sqrt();
     let base = Normal::new(0.0, sigma).expect("sigma positive");
     (0..n)

@@ -36,11 +36,20 @@ impl Conv2d {
     #[must_use]
     pub fn new(weight: Tensor, bias: Vec<f32>, stride: usize, padding: usize) -> Self {
         assert_eq!(weight.shape().len(), 4, "conv weight must be 4-D");
-        assert_eq!(weight.shape()[2], weight.shape()[3], "kernel must be square");
+        assert_eq!(
+            weight.shape()[2],
+            weight.shape()[3],
+            "kernel must be square"
+        );
         assert_eq!(bias.len(), weight.shape()[0], "one bias per output channel");
         assert!(stride > 0, "stride must be positive");
         let blen = bias.len();
-        Self { weight, bias: Tensor::new(&[blen], bias), stride, padding }
+        Self {
+            weight,
+            bias: Tensor::new(&[blen], bias),
+            stride,
+            padding,
+        }
     }
 
     /// The weight tensor (`[out, in, k, k]`).
@@ -193,11 +202,20 @@ impl DepthwiseConv2d {
     #[must_use]
     pub fn new(weight: Tensor, bias: Vec<f32>, stride: usize, padding: usize) -> Self {
         assert_eq!(weight.shape().len(), 3, "depthwise weight must be 3-D");
-        assert_eq!(weight.shape()[1], weight.shape()[2], "kernel must be square");
+        assert_eq!(
+            weight.shape()[1],
+            weight.shape()[2],
+            "kernel must be square"
+        );
         assert_eq!(bias.len(), weight.shape()[0], "one bias per channel");
         assert!(stride > 0, "stride must be positive");
         let blen = bias.len();
-        Self { weight, bias: Tensor::new(&[blen], bias), stride, padding }
+        Self {
+            weight,
+            bias: Tensor::new(&[blen], bias),
+            stride,
+            padding,
+        }
     }
 
     fn out_size(&self, input: usize) -> usize {
@@ -309,7 +327,7 @@ mod tests {
         let direct = conv.forward(&x);
         let cols = conv.im2col(&x); // [9, 16]
         let mat = conv.as_matrix(); // [9, 2]
-        // out[o][p] = Σ_r mat[r][o] · cols[r][p]
+                                    // out[o][p] = Σ_r mat[r][o] · cols[r][p]
         for o in 0..2 {
             for p in 0..16 {
                 let mut acc = 0.0;

@@ -24,7 +24,10 @@ impl Linear {
         assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
         assert_eq!(bias.len(), weight.shape()[0], "one bias per output feature");
         let blen = bias.len();
-        Self { weight, bias: Tensor::new(&[blen], bias) }
+        Self {
+            weight,
+            bias: Tensor::new(&[blen], bias),
+        }
     }
 
     /// The weight matrix (`[out, in]`).

@@ -18,7 +18,10 @@ impl MaxPool2d {
     /// Panics if either is zero.
     #[must_use]
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self { kernel, stride }
     }
 }

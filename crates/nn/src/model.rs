@@ -127,14 +127,20 @@ impl ResidualBlock {
     /// Builds a residual block with an identity shortcut.
     #[must_use]
     pub fn identity(main: Sequential) -> Self {
-        Self { main, shortcut: None }
+        Self {
+            main,
+            shortcut: None,
+        }
     }
 
     /// Builds a residual block with a projection shortcut (used when
     /// the main path changes shape).
     #[must_use]
     pub fn projected(main: Sequential, shortcut: Sequential) -> Self {
-        Self { main, shortcut: Some(shortcut) }
+        Self {
+            main,
+            shortcut: Some(shortcut),
+        }
     }
 
     /// The main path.
@@ -176,8 +182,7 @@ impl Layer for ResidualBlock {
     }
 
     fn macs(&self, input_shape: &[usize]) -> u64 {
-        self.main.macs(input_shape)
-            + self.shortcut.as_ref().map_or(0, |s| s.macs(input_shape))
+        self.main.macs(input_shape) + self.shortcut.as_ref().map_or(0, |s| s.macs(input_shape))
     }
 }
 
@@ -197,7 +202,10 @@ mod tests {
     #[test]
     fn sequential_chains_layers() {
         let model = Sequential::new()
-            .push(Linear::new(Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, -1.0]), vec![0.0; 2]))
+            .push(Linear::new(
+                Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, -1.0]),
+                vec![0.0; 2],
+            ))
             .push(Relu);
         let y = model.forward(&Tensor::new(&[2], vec![3.0, 4.0]));
         assert_eq!(y.data(), &[3.0, 0.0]);

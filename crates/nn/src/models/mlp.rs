@@ -19,7 +19,10 @@ pub fn tiny_mlp<R: Rng + ?Sized>(
     spec: InitSpec,
     rng: &mut R,
 ) -> Sequential {
-    assert!(inputs > 0 && hidden > 0 && classes > 0, "dimensions must be non-zero");
+    assert!(
+        inputs > 0 && hidden > 0 && classes > 0,
+        "dimensions must be non-zero"
+    );
     let mut model = Sequential::new();
     let dims = [(hidden, inputs), (hidden, hidden), (classes, hidden)];
     for (i, (o, n)) in dims.iter().enumerate() {

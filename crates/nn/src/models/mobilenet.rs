@@ -7,13 +7,11 @@ use crate::model::Sequential;
 use crate::tensor::Tensor;
 use rand::Rng;
 
-fn pointwise<R: Rng + ?Sized>(
-    out_c: usize,
-    in_c: usize,
-    spec: InitSpec,
-    rng: &mut R,
-) -> Conv2d {
-    let w = Tensor::new(&[out_c, in_c, 1, 1], he_weights(out_c * in_c, in_c, spec, rng));
+fn pointwise<R: Rng + ?Sized>(out_c: usize, in_c: usize, spec: InitSpec, rng: &mut R) -> Conv2d {
+    let w = Tensor::new(
+        &[out_c, in_c, 1, 1],
+        he_weights(out_c * in_c, in_c, spec, rng),
+    );
     Conv2d::new(w, small_biases(out_c, rng), 1, 0)
 }
 

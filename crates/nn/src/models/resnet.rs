@@ -85,8 +85,12 @@ mod tests {
     fn different_inputs_different_logits() {
         let mut rng = StdRng::seed_from_u64(2);
         let m = tiny_resnet(4, InitSpec::gaussian(), &mut rng);
-        let a = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| (i[1] as f32 * 0.1).sin()));
-        let b = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| (i[2] as f32 * 0.2).cos()));
+        let a = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| {
+            (i[1] as f32 * 0.1).sin()
+        }));
+        let b = m.forward(&Tensor::from_fn(&[3, 16, 16], |i| {
+            (i[2] as f32 * 0.2).cos()
+        }));
         assert_ne!(a.data(), b.data());
     }
 }

@@ -82,8 +82,7 @@ impl NumFormat {
         match self {
             NumFormat::Fp32 => x,
             NumFormat::Int8 => {
-                let q = Int8Quantizer::symmetric_for_absmax(scale * 127.0)
-                    .expect("positive scale");
+                let q = Int8Quantizer::symmetric_for_absmax(scale * 127.0).expect("positive scale");
                 q.fake_quant(x)
             }
             NumFormat::E1M6 => {
@@ -191,9 +190,19 @@ impl QuantizedModel {
         }
         let act_scales = maxes
             .into_iter()
-            .map(|m| if m > 0.0 { m / act_format.max_value() } else { 1.0 })
+            .map(|m| {
+                if m > 0.0 {
+                    m / act_format.max_value()
+                } else {
+                    1.0
+                }
+            })
             .collect();
-        Self { model, act_format, act_scales }
+        Self {
+            model,
+            act_format,
+            act_scales,
+        }
     }
 
     /// The per-boundary activation scales (`[0]` = input).

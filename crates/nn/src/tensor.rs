@@ -32,13 +32,19 @@ impl Tensor {
     pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
         let expect: usize = shape.iter().product();
         assert_eq!(data.len(), expect, "data length must match shape product");
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A zero-filled tensor.
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Builds a tensor by evaluating `f` at every index.
@@ -135,7 +141,10 @@ impl Tensor {
     /// Applies a function to every element, returning a new tensor.
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise addition.
@@ -148,7 +157,12 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "shapes must match for add");
         Self {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 

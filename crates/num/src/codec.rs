@@ -36,9 +36,15 @@ pub struct FpFormat {
 
 impl FpFormat {
     /// The paper's E2M5 split (2-bit exponent, 5-bit mantissa).
-    pub const E2M5: Self = Self { exp_bits: 2, man_bits: 5 };
+    pub const E2M5: Self = Self {
+        exp_bits: 2,
+        man_bits: 5,
+    };
     /// The comparison E3M4 split.
-    pub const E3M4: Self = Self { exp_bits: 3, man_bits: 4 };
+    pub const E3M4: Self = Self {
+        exp_bits: 3,
+        man_bits: 4,
+    };
 
     /// Creates a format with the given field widths.
     ///
@@ -48,10 +54,18 @@ impl FpFormat {
     /// the total exceeds 15 bits.
     pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
         if exp_bits == 0 || exp_bits > 7 {
-            return Err(FormatError::FieldOverflow { field: "exponent", value: exp_bits, bits: 7 });
+            return Err(FormatError::FieldOverflow {
+                field: "exponent",
+                value: exp_bits,
+                bits: 7,
+            });
         }
         if man_bits == 0 || exp_bits + man_bits > 15 {
-            return Err(FormatError::FieldOverflow { field: "mantissa", value: man_bits, bits: 15 });
+            return Err(FormatError::FieldOverflow {
+                field: "mantissa",
+                value: man_bits,
+                bits: 15,
+            });
         }
         Ok(Self { exp_bits, man_bits })
     }
@@ -141,7 +155,11 @@ impl FpFormat {
             exp += 1;
             man = ((x / pow2(exp as i32) - 1.0) * levels).round_ties_even();
         }
-        Some(HwFpCode { format: self, exp: exp as u32, man: man as u32 })
+        Some(HwFpCode {
+            format: self,
+            exp: exp as u32,
+            man: man as u32,
+        })
     }
 }
 
@@ -322,7 +340,10 @@ mod tests {
         assert!(f.encode(f64::NAN).is_none());
         assert_eq!(f.encode(1e9).unwrap(), HwFpCode::saturated(f));
         // Just above max rounds/saturates to max.
-        assert_eq!(f.encode(f.max_value() + 0.3).unwrap(), HwFpCode::saturated(f));
+        assert_eq!(
+            f.encode(f.max_value() + 0.3).unwrap(),
+            HwFpCode::saturated(f)
+        );
     }
 
     #[test]

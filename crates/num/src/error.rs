@@ -49,7 +49,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_unpunctuated() {
-        let e = FormatError::FieldOverflow { field: "exponent", value: 9, bits: 2 };
+        let e = FormatError::FieldOverflow {
+            field: "exponent",
+            value: 9,
+            bits: 2,
+        };
         let s = e.to_string();
         assert!(s.starts_with("exponent"));
         assert!(!s.ends_with('.'));

@@ -70,7 +70,12 @@ impl Int8Quantizer {
         }
         let scale = (max - min) / 255.0;
         let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
-        Ok(Self { scale, zero_point, scheme: QuantScheme::Affine, rounding: Rounding::NearestEven })
+        Ok(Self {
+            scale,
+            zero_point,
+            scheme: QuantScheme::Affine,
+            rounding: Rounding::NearestEven,
+        })
     }
 
     /// Replaces the rounding policy (builder-style).
@@ -105,8 +110,7 @@ impl Int8Quantizer {
             QuantScheme::Symmetric => (-127.0, 127.0),
             QuantScheme::Affine => (-128.0, 127.0),
         };
-        let q = self.rounding.apply(f64::from(x / self.scale), None)
-            + f64::from(self.zero_point);
+        let q = self.rounding.apply(f64::from(x / self.scale), None) + f64::from(self.zero_point);
         q.clamp(lo, hi) as i8
     }
 

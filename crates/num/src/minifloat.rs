@@ -119,7 +119,10 @@ impl<F: Format> Minifloat<F> {
     const SIGN_MASK: u16 = 1 << (F::EXP_BITS + F::MAN_BITS);
 
     /// Positive zero.
-    pub const ZERO: Self = Self { bits: 0, _fmt: PhantomData };
+    pub const ZERO: Self = Self {
+        bits: 0,
+        _fmt: PhantomData,
+    };
 
     /// Largest finite value.
     #[must_use]
@@ -139,7 +142,10 @@ impl<F: Format> Minifloat<F> {
     #[must_use]
     pub fn from_bits(bits: u16) -> Self {
         let mask = (1u32 << Self::BITS) - 1;
-        Self { bits: bits & mask as u16, _fmt: PhantomData }
+        Self {
+            bits: bits & mask as u16,
+            _fmt: PhantomData,
+        }
     }
 
     /// Returns the raw bit pattern.
@@ -182,7 +188,11 @@ impl<F: Format> Minifloat<F> {
     /// Converts to `f32` exactly (every minifloat is representable).
     #[must_use]
     pub fn to_f32(self) -> f32 {
-        let sign = if self.is_sign_negative() { -1.0f64 } else { 1.0 };
+        let sign = if self.is_sign_negative() {
+            -1.0f64
+        } else {
+            1.0
+        };
         let e = self.exponent_field();
         let m = f64::from(self.mantissa_field());
         let scale = f64::from(1u32 << F::MAN_BITS);
@@ -215,7 +225,11 @@ impl<F: Format> Minifloat<F> {
         if x.is_nan() {
             return Self::ZERO;
         }
-        let sign_bit = if x.is_sign_negative() { Self::SIGN_MASK } else { 0 };
+        let sign_bit = if x.is_sign_negative() {
+            Self::SIGN_MASK
+        } else {
+            0
+        };
         let a = f64::from(x.abs());
         if a == 0.0 {
             return Self::from_bits(sign_bit);
@@ -486,10 +500,7 @@ mod tests {
             let q = E2M5::fake_quant(x);
             // Subnormal ulp is constant below 1.0 (EMIN = 0 for E2M5).
             let ulp = x.log2().floor().max(0.0).exp2() / 32.0;
-            assert!(
-                (q - x).abs() <= ulp / 2.0 + 1e-6,
-                "x={x} q={q} ulp={ulp}"
-            );
+            assert!((q - x).abs() <= ulp / 2.0 + 1e-6, "x={x} q={q} ulp={ulp}");
         }
     }
 

@@ -22,7 +22,8 @@ pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
 /// Largest absolute value in a slice (0 for an empty slice).
 #[must_use]
 pub fn abs_max(xs: &[f32]) -> f32 {
-    xs.iter().fold(0.0f32, |m, &x| if x.is_nan() { m } else { m.max(x.abs()) })
+    xs.iter()
+        .fold(0.0f32, |m, &x| if x.is_nan() { m } else { m.max(x.abs()) })
 }
 
 /// The `p`-th percentile (0–100) of the absolute values, by

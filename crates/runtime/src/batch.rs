@@ -1,0 +1,387 @@
+//! Micro-batching request queue with bounded-capacity backpressure.
+//!
+//! Producers push items into a bounded FIFO ([`MicroBatcher::try_submit`]
+//! rejects with [`QueueFull`]; [`MicroBatcher::submit_blocking`] waits
+//! for room). A consumer drains it in *micro-batches*: once the first
+//! item of a batch arrives, the batcher keeps collecting until either
+//! `batch_size` items are gathered or `max_wait` elapses — the classic
+//! latency/throughput knob of a serving loop.
+//!
+//! A single consumer observes items in exact submission order, which is
+//! what makes batched execution equivalent to one-at-a-time execution
+//! downstream (see `tests/batch_equivalence.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::metrics::RuntimeMetrics;
+
+/// Configuration for [`MicroBatcher`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum items per flushed batch.
+    pub batch_size: usize,
+    /// Longest a partially filled batch waits for more items after its
+    /// first item arrived.
+    pub max_wait: Duration,
+    /// Bounded queue capacity: the backpressure limit.
+    pub capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            capacity: 64,
+        }
+    }
+}
+
+/// Error returned by [`MicroBatcher::try_submit`] when the queue is at
+/// capacity; carries the rejected item back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+impl<T> std::fmt::Display for QueueFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "micro-batch queue is at capacity")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for QueueFull<T> {}
+
+/// Poll period used while the consumer waits for a first item, so it
+/// can notice [`MicroBatcher::close`].
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// A bounded micro-batching queue.
+///
+/// Cheap to share: wrap it in an [`Arc`] and hand clones of the `Arc`
+/// to producer threads; one consumer loops on
+/// [`next_batch`](Self::next_batch).
+///
+/// # Example
+///
+/// ```
+/// use afpr_runtime::{BatchConfig, MicroBatcher};
+///
+/// let batcher: MicroBatcher<u32> = MicroBatcher::new(BatchConfig {
+///     batch_size: 4,
+///     ..BatchConfig::default()
+/// });
+/// for i in 0..6 {
+///     batcher.try_submit(i).unwrap();
+/// }
+/// batcher.close();
+/// assert_eq!(batcher.next_batch(), Some(vec![0, 1, 2, 3]));
+/// assert_eq!(batcher.next_batch(), Some(vec![4, 5]));
+/// assert_eq!(batcher.next_batch(), None);
+/// ```
+pub struct MicroBatcher<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+    cfg: BatchConfig,
+    closed: AtomicBool,
+    metrics: Arc<RuntimeMetrics>,
+}
+
+impl<T> std::fmt::Debug for MicroBatcher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroBatcher")
+            .field("cfg", &self.cfg)
+            .field("len", &self.rx.len())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> MicroBatcher<T> {
+    /// Creates a batcher with its own metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `capacity` is zero.
+    #[must_use]
+    pub fn new(cfg: BatchConfig) -> Self {
+        Self::with_metrics(cfg, Arc::new(RuntimeMetrics::new()))
+    }
+
+    /// Creates a batcher reporting into a shared metrics registry
+    /// (e.g. the one owned by an [`crate::Engine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `capacity` is zero.
+    #[must_use]
+    pub fn with_metrics(cfg: BatchConfig, metrics: Arc<RuntimeMetrics>) -> Self {
+        assert!(cfg.batch_size > 0, "batch_size must be positive");
+        assert!(cfg.capacity > 0, "capacity must be positive");
+        let (tx, rx) = bounded(cfg.capacity);
+        Self {
+            tx,
+            rx,
+            cfg,
+            closed: AtomicBool::new(false),
+            metrics,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// The metrics registry this batcher reports into.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<RuntimeMetrics> {
+        &self.metrics
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Non-blocking submit; on backpressure the item is handed back in
+    /// [`QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the queue holds `capacity` items or
+    /// the batcher is closed.
+    pub fn try_submit(&self, item: T) -> Result<(), QueueFull<T>> {
+        if self.closed.load(Ordering::Acquire) {
+            self.metrics.record_queue_rejection();
+            return Err(QueueFull(item));
+        }
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.metrics.record_item_enqueued();
+                self.metrics.observe_queue_depth(self.rx.len() as u64);
+                Ok(())
+            }
+            Err(TrySendError::Full(item) | TrySendError::Disconnected(item)) => {
+                self.metrics.record_queue_rejection();
+                Err(QueueFull(item))
+            }
+        }
+    }
+
+    /// Blocking submit: waits until the queue has room (backpressure by
+    /// stalling the producer instead of rejecting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher was closed.
+    pub fn submit_blocking(&self, item: T) {
+        assert!(
+            !self.closed.load(Ordering::Acquire),
+            "submit on closed batcher"
+        );
+        // `expect` would need `T: Debug`; `is_ok` keeps `T` unconstrained.
+        assert!(
+            self.tx.send(item).is_ok(),
+            "queue receiver alive while batcher alive"
+        );
+        self.metrics.record_item_enqueued();
+        self.metrics.observe_queue_depth(self.rx.len() as u64);
+    }
+
+    /// Marks the queue closed: producers are rejected, and the consumer
+    /// drains what is left, then gets `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Blocks for the next micro-batch.
+    ///
+    /// Returns as soon as `batch_size` items are collected, or when
+    /// `max_wait` has elapsed since the batch's first item arrived.
+    /// Returns `None` once the batcher is closed *and* drained.
+    #[must_use]
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        // Wait for the batch's first item, watching for close.
+        let first = loop {
+            match self.rx.try_recv() {
+                Ok(item) => break item,
+                Err(_) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        // Re-check: an item may have landed between the
+                        // failed recv and the close flag read.
+                        match self.rx.try_recv() {
+                            Ok(item) => break item,
+                            Err(_) => return None,
+                        }
+                    }
+                    if let Ok(item) = self.rx.recv_timeout(IDLE_POLL) {
+                        break item;
+                    }
+                }
+            }
+        };
+
+        let mut batch = Vec::with_capacity(self.cfg.batch_size);
+        batch.push(first);
+        let deadline = Instant::now() + self.cfg.max_wait;
+        while batch.len() < self.cfg.batch_size {
+            // Drain whatever is already queued without waiting.
+            match self.rx.try_recv() {
+                Ok(item) => {
+                    batch.push(item);
+                    continue;
+                }
+                Err(_) => {
+                    if self.closed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match self.rx.recv_timeout(deadline - now) {
+                        Ok(item) => batch.push(item),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        self.metrics.record_batch_flushed(batch.len() as u64);
+        Some(batch)
+    }
+
+    /// Drains the queue to completion: calls `handle` on every batch
+    /// until the batcher is closed and empty. Convenience for consumer
+    /// threads.
+    pub fn run<F: FnMut(Vec<T>)>(&self, mut handle: F) {
+        while let Some(batch) = self.next_batch() {
+            handle(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_respect_size_limit() {
+        let b: MicroBatcher<u32> = MicroBatcher::new(BatchConfig {
+            batch_size: 3,
+            capacity: 16,
+            ..BatchConfig::default()
+        });
+        for i in 0..7 {
+            b.try_submit(i).unwrap();
+        }
+        b.close();
+        let mut seen = Vec::new();
+        let mut sizes = Vec::new();
+        b.run(|batch| {
+            sizes.push(batch.len());
+            seen.extend(batch);
+        });
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let b: MicroBatcher<u32> = MicroBatcher::new(BatchConfig {
+            capacity: 2,
+            ..BatchConfig::default()
+        });
+        b.try_submit(1).unwrap();
+        b.try_submit(2).unwrap();
+        assert_eq!(b.try_submit(3), Err(QueueFull(3)));
+        assert_eq!(b.len(), 2);
+        let snap = b.metrics().snapshot();
+        assert_eq!(snap.items_enqueued, 2);
+        assert_eq!(snap.queue_rejections, 1);
+        assert_eq!(snap.queue_depth_hwm, 2);
+    }
+
+    #[test]
+    fn closed_batcher_rejects_and_drains() {
+        let b: MicroBatcher<u32> = MicroBatcher::new(BatchConfig::default());
+        b.try_submit(9).unwrap();
+        b.close();
+        assert!(b.is_closed());
+        assert_eq!(b.try_submit(10), Err(QueueFull(10)));
+        assert_eq!(b.next_batch(), Some(vec![9]));
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn max_wait_flushes_partial_batches() {
+        let b = Arc::new(MicroBatcher::new(BatchConfig {
+            batch_size: 64,
+            max_wait: Duration::from_millis(5),
+            capacity: 64,
+        }));
+        let producer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                b.submit_blocking(1u32);
+                // Second item arrives long after max_wait.
+                std::thread::sleep(Duration::from_millis(40));
+                b.submit_blocking(2u32);
+                b.close();
+            })
+        };
+        let first = b.next_batch().expect("first batch");
+        assert_eq!(first, vec![1], "partial batch must flush on max_wait");
+        let second = b.next_batch().expect("second batch");
+        assert_eq!(second, vec![2]);
+        producer.join().unwrap();
+        assert_eq!(b.next_batch(), None);
+        assert_eq!(b.metrics().snapshot().batches_flushed, 2);
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_room() {
+        let b = Arc::new(MicroBatcher::new(BatchConfig {
+            batch_size: 1,
+            capacity: 1,
+            ..BatchConfig::default()
+        }));
+        b.submit_blocking(0u32);
+        let producer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                b.submit_blocking(1); // blocks until consumer drains
+                b.close();
+            })
+        };
+        let mut seen = Vec::new();
+        b.run(|batch| seen.extend(batch));
+        producer.join().unwrap();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = MicroBatcher::<u32>::new(BatchConfig {
+            batch_size: 0,
+            ..BatchConfig::default()
+        });
+    }
+}

@@ -1,0 +1,301 @@
+//! The persistent worker-pool tile scheduler.
+//!
+//! [`Engine`] owns a fixed set of worker threads fed through a
+//! `crossbeam` MPMC channel. Work is submitted as owned closures, so
+//! payloads (e.g. a `CimMacro` taken out of its layer plus its input
+//! slice) travel by value and nothing is shared between workers —
+//! which is what makes parallel execution bit-identical to sequential:
+//! every macro owns its RNG, and each job advances exactly the streams
+//! it owns, regardless of which worker runs it or when.
+//!
+//! [`Engine::execute`] is an *order-preserving* parallel map: results
+//! come back in submission order no matter the completion order, so a
+//! caller can reduce partial sums in the same fixed order as the
+//! sequential path.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::metrics::RuntimeMetrics;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configuration for [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker-thread count; `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads.max(1)),
+        }
+    }
+}
+
+/// A persistent pool of worker threads executing tile jobs.
+///
+/// Dropping the engine closes the job channel and joins every worker.
+///
+/// # Example
+///
+/// ```
+/// use afpr_runtime::{Engine, EngineConfig};
+///
+/// let engine = Engine::new(EngineConfig::with_threads(2));
+/// let squares = engine.execute((0u64..8).collect(), |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct Engine {
+    tx: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+    metrics: Arc<RuntimeMetrics>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let threads = config
+            .threads
+            .unwrap_or_else(|| {
+                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .max(1);
+        let metrics = Arc::new(RuntimeMetrics::new());
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                thread::Builder::new()
+                    .name(format!("afpr-runtime-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            threads,
+            metrics,
+        }
+    }
+
+    /// Convenience constructor: `Engine::with_threads(n)`.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(EngineConfig::with_threads(threads))
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<RuntimeMetrics> {
+        &self.metrics
+    }
+
+    fn sender(&self) -> &Sender<Job> {
+        self.tx.as_ref().expect("engine channel open while alive")
+    }
+
+    /// Fire-and-forget job submission.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.metrics.record_jobs_submitted(1);
+        let metrics = Arc::clone(&self.metrics);
+        let wrapped: Job = Box::new(move || {
+            let t0 = Instant::now();
+            job();
+            metrics.record_job_completed(t0.elapsed());
+        });
+        self.sender()
+            .send(wrapped)
+            .expect("workers alive while engine alive");
+    }
+
+    /// Order-preserving parallel map: applies `f` to every item on the
+    /// pool and returns the results **in submission order**.
+    ///
+    /// With a single worker (or ≤ 1 item) the map runs inline on the
+    /// calling thread — same results, no channel round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker job panics (the result channel disconnects).
+    pub fn execute<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.threads == 1 {
+            self.metrics.record_jobs_submitted(n as u64);
+            return items
+                .into_iter()
+                .map(|item| {
+                    let t0 = Instant::now();
+                    let r = f(item);
+                    self.metrics.record_job_completed(t0.elapsed());
+                    r
+                })
+                .collect();
+        }
+
+        let f = Arc::new(f);
+        let (result_tx, result_rx) = unbounded::<(usize, R)>();
+        self.metrics.record_jobs_submitted(n as u64);
+        let pending = self.sender().len() as u64;
+        self.metrics.observe_queue_depth(pending + n as u64);
+        for (idx, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let result_tx = result_tx.clone();
+            let metrics = Arc::clone(&self.metrics);
+            let job: Job = Box::new(move || {
+                let t0 = Instant::now();
+                let r = f(item);
+                metrics.record_job_completed(t0.elapsed());
+                // The receiver outlives the jobs unless `execute`
+                // itself unwound; ignore the send error in that case.
+                let _ = result_tx.send((idx, r));
+            });
+            self.sender()
+                .send(job)
+                .expect("workers alive while engine alive");
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        for _ in 0..n {
+            let (idx, r) = result_rx
+                .recv()
+                .expect("worker job completed without panicking");
+            slots[idx] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index filled exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail once the
+        // queue drains, so they exit after finishing in-flight jobs.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn execute_preserves_order() {
+        let engine = Engine::with_threads(4);
+        let out = engine.execute((0..100u64).collect(), |x| {
+            // Uneven work so completion order scrambles.
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let engine = Engine::with_threads(2);
+        let out: Vec<u32> = engine.execute(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let engine = Engine::with_threads(1);
+        assert_eq!(engine.threads(), 1);
+        let main_id = std::thread::current().id();
+        let ids = engine.execute(vec![(), ()], move |()| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == main_id));
+    }
+
+    #[test]
+    fn jobs_spread_across_workers() {
+        let engine = Engine::with_threads(4);
+        let ids = engine.execute((0..64).collect::<Vec<u32>>(), |_| {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+            std::thread::current().id()
+        });
+        let mut unique: Vec<String> = ids.iter().map(|id| format!("{id:?}")).collect();
+        unique.sort();
+        unique.dedup();
+        assert!(
+            unique.len() > 1,
+            "expected multiple workers, got {}",
+            unique.len()
+        );
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let engine = Engine::with_threads(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            engine.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(engine); // joins workers, draining the queue first
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn metrics_count_jobs() {
+        let engine = Engine::with_threads(2);
+        let _ = engine.execute((0..10u32).collect(), |x| x);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.jobs_submitted, 10);
+        assert_eq!(snap.jobs_completed, 10);
+        assert_eq!(snap.job_latency.count, 10);
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        let engine = Engine::new(EngineConfig::default());
+        assert!(engine.threads() >= 1);
+    }
+}

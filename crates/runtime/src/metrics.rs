@@ -1,0 +1,433 @@
+//! Runtime observability: lock-free counters for the hot path, a
+//! coarse log₂ latency histogram, and per-layer wall-time accounting.
+//!
+//! Counter updates on the job hot path are single atomic RMW
+//! operations (`Relaxed` ordering is enough: the counters are
+//! monotonic telemetry, not synchronization). The histogram and the
+//! per-layer table sit behind [`parking_lot::Mutex`]es and are touched
+//! once per job / once per layer pass, never per MAC.
+//!
+//! [`RuntimeMetrics::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`] that serializes to JSON via `serde_json`, so a
+//! serving loop can export metrics without reaching into internals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ latency buckets (covers 1 ns … ≳ 580 years).
+const BUCKETS: usize = 64;
+
+/// A log₂ histogram of nanosecond durations.
+///
+/// Bucket `i` counts samples with `floor(log2(ns)) == i` (bucket 0
+/// additionally holds 0-ns samples); quantiles are resolved to the
+/// bucket's upper bound, i.e. within a factor of 2 of the true value.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one duration.
+    pub fn observe(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// The number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound (in ns) of the bucket holding quantile `q ∈ [0, 1]`.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.total,
+            mean_ns: if self.total == 0 {
+                0.0
+            } else {
+                self.sum_ns as f64 / self.total as f64
+            },
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+fn upper_bound(bucket: usize) -> u64 {
+    if bucket >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    }
+}
+
+/// Frozen view of the job-latency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Number of recorded jobs.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median (upper bucket bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile (upper bucket bound), nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile (upper bucket bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Largest observed latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct LayerRecord {
+    name: String,
+    calls: u64,
+    wall_ns: u64,
+    tiles: u64,
+    macs: u64,
+}
+
+/// Frozen per-layer accounting entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSnapshot {
+    /// Layer label (as passed to [`RuntimeMetrics::record_layer`]).
+    pub name: String,
+    /// Number of recorded passes over this layer.
+    pub calls: u64,
+    /// Accumulated wall-clock time, nanoseconds.
+    pub wall_ns: u64,
+    /// Tile (macro) invocations attributed to this layer.
+    pub tiles: u64,
+    /// Multiply-accumulate operations attributed to this layer.
+    pub macs: u64,
+}
+
+/// Shared, thread-safe runtime metrics registry.
+///
+/// Cloneable via `Arc`; every [`crate::Engine`] owns one and exposes it
+/// through [`crate::Engine::metrics`].
+#[derive(Debug)]
+pub struct RuntimeMetrics {
+    started: Instant,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    batches_flushed: AtomicU64,
+    items_enqueued: AtomicU64,
+    queue_rejections: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    tiles_executed: AtomicU64,
+    macs_executed: AtomicU64,
+    energy_pj_milli: AtomicU64,
+    job_latency: Mutex<Histogram>,
+    layers: Mutex<Vec<LayerRecord>>,
+}
+
+impl Default for RuntimeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeMetrics {
+    /// Creates an empty registry; the uptime clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            batches_flushed: AtomicU64::new(0),
+            items_enqueued: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+            tiles_executed: AtomicU64::new(0),
+            macs_executed: AtomicU64::new(0),
+            energy_pj_milli: AtomicU64::new(0),
+            job_latency: Mutex::new(Histogram::default()),
+            layers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Counts `n` jobs handed to the worker pool.
+    pub fn record_jobs_submitted(&self, n: u64) {
+        self.jobs_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one finished job and records its wall time.
+    pub fn record_job_completed(&self, elapsed: Duration) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.job_latency.lock().observe(elapsed);
+    }
+
+    /// Counts one flushed micro-batch of `items` requests.
+    pub fn record_batch_flushed(&self, items: u64) {
+        self.batches_flushed.fetch_add(1, Ordering::Relaxed);
+        let _ = items;
+    }
+
+    /// Counts one request accepted into the micro-batch queue.
+    pub fn record_item_enqueued(&self) {
+        self.items_enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected for backpressure (`QueueFull`).
+    pub fn record_queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the queue-depth high-water mark.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counts executed tiles (one per macro matvec) and their MACs.
+    pub fn record_tiles(&self, tiles: u64, macs: u64) {
+        self.tiles_executed.fetch_add(tiles, Ordering::Relaxed);
+        self.macs_executed.fetch_add(macs, Ordering::Relaxed);
+    }
+
+    /// Accumulates analog-domain energy, in joules.
+    ///
+    /// Stored internally with millipicojoule (1e-15 J) granularity so a
+    /// single atomic suffices; saturates instead of wrapping.
+    pub fn record_energy_j(&self, joules: f64) {
+        if joules.is_finite() && joules > 0.0 {
+            let fj = (joules * 1e15).round().min(u64::MAX as f64) as u64;
+            self.energy_pj_milli.fetch_add(fj, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges wall time and work counts into the per-layer table.
+    pub fn record_layer(&self, name: &str, wall: Duration, tiles: u64, macs: u64) {
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let mut layers = self.layers.lock();
+        if let Some(rec) = layers.iter_mut().find(|r| r.name == name) {
+            rec.calls += 1;
+            rec.wall_ns = rec.wall_ns.saturating_add(wall_ns);
+            rec.tiles += tiles;
+            rec.macs += macs;
+        } else {
+            layers.push(LayerRecord {
+                name: name.to_string(),
+                calls: 1,
+                wall_ns,
+                tiles,
+                macs,
+            });
+        }
+    }
+
+    /// Freezes the current state into a serializable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let uptime_s = uptime.as_secs_f64().max(1e-9);
+        let tiles = self.tiles_executed.load(Ordering::Relaxed);
+        let macs = self.macs_executed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_s,
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
+            items_enqueued: self.items_enqueued.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            tiles_executed: tiles,
+            macs_executed: macs,
+            tiles_per_s: tiles as f64 / uptime_s,
+            macs_per_s: macs as f64 / uptime_s,
+            analog_energy_j: self.energy_pj_milli.load(Ordering::Relaxed) as f64 * 1e-15,
+            job_latency: self.job_latency.lock().snapshot(),
+            layers: {
+                let layers = self.layers.lock();
+                layers
+                    .iter()
+                    .map(|r| LayerSnapshot {
+                        name: r.name.clone(),
+                        calls: r.calls,
+                        wall_ns: r.wall_ns,
+                        tiles: r.tiles,
+                        macs: r.macs,
+                    })
+                    .collect()
+            },
+        }
+    }
+}
+
+/// Point-in-time, serializable view of [`RuntimeMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the registry was created.
+    pub uptime_s: f64,
+    /// Jobs handed to the worker pool.
+    pub jobs_submitted: u64,
+    /// Jobs that finished executing.
+    pub jobs_completed: u64,
+    /// Micro-batches flushed by the batcher.
+    pub batches_flushed: u64,
+    /// Requests accepted into the micro-batch queue.
+    pub items_enqueued: u64,
+    /// Requests rejected for backpressure.
+    pub queue_rejections: u64,
+    /// Highest observed queue depth.
+    pub queue_depth_hwm: u64,
+    /// Tile (macro matvec) invocations.
+    pub tiles_executed: u64,
+    /// Multiply-accumulate operations executed on macros.
+    pub macs_executed: u64,
+    /// Tile throughput over the uptime window.
+    pub tiles_per_s: f64,
+    /// MAC throughput over the uptime window.
+    pub macs_per_s: f64,
+    /// Accumulated analog-domain energy, joules.
+    pub analog_energy_j: f64,
+    /// Job latency distribution.
+    pub job_latency: LatencySnapshot,
+    /// Per-layer wall time / work accounting.
+    pub layers: Vec<LayerSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Compact JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Pretty-printed (2-space) JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(Duration::from_nanos(100));
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_nanos(10_000));
+        }
+        assert_eq!(h.count(), 100);
+        // p50 resolves within its power-of-two bucket (64..127 ns).
+        assert!(h.quantile_ns(0.5) >= 100 && h.quantile_ns(0.5) < 256);
+        assert!(h.quantile_ns(0.99) >= 8192);
+        assert_eq!(h.quantile_ns(1.0), 10_000);
+    }
+
+    #[test]
+    fn zero_duration_is_counted() {
+        let mut h = Histogram::default();
+        h.observe(Duration::from_nanos(0));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = RuntimeMetrics::new();
+        m.record_jobs_submitted(3);
+        m.record_job_completed(Duration::from_micros(5));
+        m.record_tiles(4, 1000);
+        m.record_energy_j(2.5e-12);
+        m.observe_queue_depth(7);
+        m.observe_queue_depth(3);
+        let s = m.snapshot();
+        assert_eq!(s.jobs_submitted, 3);
+        assert_eq!(s.jobs_completed, 1);
+        assert_eq!(s.tiles_executed, 4);
+        assert_eq!(s.macs_executed, 1000);
+        assert_eq!(s.queue_depth_hwm, 7);
+        assert!((s.analog_energy_j - 2.5e-12).abs() < 1e-18);
+        assert!(s.tiles_per_s > 0.0);
+    }
+
+    #[test]
+    fn layer_records_merge_by_name() {
+        let m = RuntimeMetrics::new();
+        m.record_layer("conv1", Duration::from_micros(10), 4, 100);
+        m.record_layer("conv1", Duration::from_micros(10), 4, 100);
+        m.record_layer("fc", Duration::from_micros(1), 1, 10);
+        let s = m.snapshot();
+        assert_eq!(s.layers.len(), 2);
+        assert_eq!(s.layers[0].name, "conv1");
+        assert_eq!(s.layers[0].calls, 2);
+        assert_eq!(s.layers[0].tiles, 8);
+        assert_eq!(s.layers[1].macs, 10);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = RuntimeMetrics::new();
+        m.record_jobs_submitted(2);
+        m.record_job_completed(Duration::from_nanos(300));
+        m.record_layer("fc", Duration::from_nanos(500), 1, 64);
+        let s = m.snapshot();
+        let json = s.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.jobs_submitted, s.jobs_submitted);
+        assert_eq!(back.job_latency, s.job_latency);
+        assert_eq!(back.layers, s.layers);
+    }
+}

@@ -108,7 +108,9 @@ impl CimMacro {
         let fp_dac = FpDac::with_sampled_mismatch(spec.fp_dac, &mut rng);
         let exp_levels = spec.fp_dac.format.exponent_levels();
         let row_pgas = (0..spec.rows)
-            .map(|_| Pga::binary_with_mismatch(exp_levels, spec.fp_dac.pga_mismatch_sigma, &mut rng))
+            .map(|_| {
+                Pga::binary_with_mismatch(exp_levels, spec.fp_dac.pga_mismatch_sigma, &mut rng)
+            })
             .collect();
         let fp_adcs = (0..spec.cols)
             .map(|_| FpAdc::with_sampled_mismatch(spec.fp_adc, &mut rng))
@@ -162,7 +164,10 @@ impl CimMacro {
     ///
     /// Panics if `divider` is not positive and finite.
     pub fn set_current_divider(&mut self, divider: f64) {
-        assert!(divider > 0.0 && divider.is_finite(), "divider must be positive");
+        assert!(
+            divider > 0.0 && divider.is_finite(),
+            "divider must be positive"
+        );
         self.current_divider = divider;
     }
 
@@ -191,8 +196,12 @@ impl CimMacro {
     ///
     /// Panics if `weights.len() != rows × cols`.
     pub fn program_weights(&mut self, weights: &[f32]) -> &MappedWeights {
-        let mapped =
-            map_weights(weights, self.spec.rows, self.spec.cols, self.spec.device.levels);
+        let mapped = map_weights(
+            weights,
+            self.spec.rows,
+            self.spec.cols,
+            self.spec.device.levels,
+        );
         self.pos.program_levels(&mapped.pos_levels, &mut self.rng);
         self.neg.program_levels(&mapped.neg_levels, &mut self.rng);
 
@@ -256,7 +265,9 @@ impl CimMacro {
     /// Panics if no weights have been programmed yet.
     #[must_use]
     pub fn mapped_weights(&self) -> &MappedWeights {
-        self.mapped.as_ref().expect("weights must be programmed first")
+        self.mapped
+            .as_ref()
+            .expect("weights must be programmed first")
     }
 
     /// How many digital MAC units one ADC output unit represents.
@@ -347,7 +358,10 @@ impl CimMacro {
         drive: &[Option<HwFpCode>],
         polarity: WeightPolarity,
     ) -> Vec<f64> {
-        assert!(self.spec.mode.fp_format().is_some(), "compute_phase_fp needs an FP mode");
+        assert!(
+            self.spec.mode.fp_format().is_some(),
+            "compute_phase_fp needs an FP mode"
+        );
         assert_eq!(drive.len(), self.spec.rows, "need one activation per row");
         assert!(self.mapped.is_some(), "weights must be programmed first");
 
@@ -388,8 +402,15 @@ impl CimMacro {
     /// Panics if the macro is in INT8 mode, lengths mismatch, or
     /// weights are not programmed.
     pub fn matvec_digital_fp(&mut self, activations: &[SignedActivation]) -> Vec<f64> {
-        assert!(self.spec.mode.fp_format().is_some(), "matvec_digital_fp needs an FP mode");
-        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        assert!(
+            self.spec.mode.fp_format().is_some(),
+            "matvec_digital_fp needs an FP mode"
+        );
+        assert_eq!(
+            activations.len(),
+            self.spec.rows,
+            "need one activation per row"
+        );
         assert!(self.mapped.is_some(), "weights must be programmed first");
 
         let pos_drive: Vec<Option<HwFpCode>> = activations
@@ -418,8 +439,12 @@ impl CimMacro {
             for (n, (p, m)) in net.iter_mut().zip(ip.iter().zip(&i_neg)) {
                 *n += sign * (p.amps() - m.amps());
             }
-            array_energy += self.pos.array_energy(&voltages, self.spec.fp_adc.t_integrate)
-                + self.neg.array_energy(&voltages, self.spec.fp_adc.t_integrate);
+            array_energy += self
+                .pos
+                .array_energy(&voltages, self.spec.fp_adc.t_integrate)
+                + self
+                    .neg
+                    .array_energy(&voltages, self.spec.fp_adc.t_integrate);
         }
 
         let units = self.digital_units_per_adc_unit();
@@ -437,9 +462,13 @@ impl CimMacro {
             out.push(r.value() * units * i_net.signum());
         }
 
-        let active_rows =
-            activations.iter().filter(|a| a.code.is_some()).count();
-        self.account(AdcSpec::fp(&self.spec.fp_adc), active_rows, array_energy, phases.max(1));
+        let active_rows = activations.iter().filter(|a| a.code.is_some()).count();
+        self.account(
+            AdcSpec::fp(&self.spec.fp_adc),
+            active_rows,
+            array_energy,
+            phases.max(1),
+        );
         out
     }
 
@@ -450,8 +479,16 @@ impl CimMacro {
     ///
     /// Panics if the macro is not in INT8 mode or preconditions fail.
     pub fn matvec_digital_int(&mut self, activations: &[(bool, u32)]) -> Vec<f64> {
-        assert_eq!(self.spec.mode, MacroMode::Int8, "matvec_digital_int needs INT8 mode");
-        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        assert_eq!(
+            self.spec.mode,
+            MacroMode::Int8,
+            "matvec_digital_int needs INT8 mode"
+        );
+        assert_eq!(
+            activations.len(),
+            self.spec.rows,
+            "need one activation per row"
+        );
         assert!(self.mapped.is_some(), "weights must be programmed first");
 
         let mut net = vec![0.0f64; self.spec.cols];
@@ -477,8 +514,12 @@ impl CimMacro {
             for (n, (p, m)) in net.iter_mut().zip(ip.iter().zip(&i_neg)) {
                 *n += sign * (p.amps() - m.amps());
             }
-            array_energy += self.pos.array_energy(&voltages, self.spec.int_adc.t_integrate)
-                + self.neg.array_energy(&voltages, self.spec.int_adc.t_integrate);
+            array_energy += self
+                .pos
+                .array_energy(&voltages, self.spec.int_adc.t_integrate)
+                + self
+                    .neg
+                    .array_energy(&voltages, self.spec.int_adc.t_integrate);
         }
 
         let units = self.digital_units_per_adc_unit();
@@ -494,7 +535,12 @@ impl CimMacro {
         }
 
         let active_rows = activations.iter().filter(|&&(_, m)| m > 0).count();
-        self.account(AdcSpec::int(&self.spec.int_adc), active_rows, array_energy, phases.max(1));
+        self.account(
+            AdcSpec::int(&self.spec.int_adc),
+            active_rows,
+            array_energy,
+            phases.max(1),
+        );
         out
     }
 
@@ -546,7 +592,10 @@ impl CimMacro {
         let acts = q.quantize_slice(x);
         let digital = self.matvec_digital_fp(&acts);
         let w_scale = self.mapped_weights().scale;
-        digital.into_iter().map(|d| d as f32 * q.scale * w_scale).collect()
+        digital
+            .into_iter()
+            .map(|d| d as f32 * q.scale * w_scale)
+            .collect()
     }
 
     /// INT8 matrix-vector product with an explicit quantizer.
@@ -559,7 +608,10 @@ impl CimMacro {
         let digital = self.matvec_digital_int(&acts);
         let w_scale = self.mapped_weights().scale;
         let a_scale = q.inner().scale();
-        digital.into_iter().map(|d| d as f32 * a_scale * w_scale).collect()
+        digital
+            .into_iter()
+            .map(|d| d as f32 * a_scale * w_scale)
+            .collect()
     }
 
     /// The exact digital reference MAC (`Σ a_i w_ij` from the quantized
@@ -571,7 +623,11 @@ impl CimMacro {
     /// Panics if weights are not programmed or lengths mismatch.
     #[must_use]
     pub fn digital_reference_fp(&self, activations: &[SignedActivation]) -> Vec<f64> {
-        assert_eq!(activations.len(), self.spec.rows, "need one activation per row");
+        assert_eq!(
+            activations.len(),
+            self.spec.rows,
+            "need one activation per row"
+        );
         let mapped = self.mapped_weights();
         let mut out = vec![0.0f64; self.spec.cols];
         for (r, a) in activations.iter().enumerate() {
@@ -642,9 +698,15 @@ mod tests {
                 continue;
             }
             // One mantissa LSB of the landing binade, in digital units.
-            let binade = (r.abs() / mac.digital_units_per_adc_unit()).log2().floor().max(0.0);
+            let binade = (r.abs() / mac.digital_units_per_adc_unit())
+                .log2()
+                .floor()
+                .max(0.0);
             let tol = mac.digital_units_per_adc_unit() * 2.0f64.powf(binade) / 32.0 + 1e-9;
-            assert!((m - r).abs() <= tol, "col {c}: measured {m} reference {r} tol {tol}");
+            assert!(
+                (m - r).abs() <= tol,
+                "col {c}: measured {m} reference {r} tol {tol}"
+            );
         }
     }
 
@@ -750,8 +812,9 @@ mod tests {
         let mut mac = small_fp(4, 2);
         mac.program_weights(&[0.5, 0.25, 1.0, 0.75, 0.5, 0.25, 1.0, 0.75]);
         let fmt = FpFormat::E2M5;
-        let drive: Vec<Option<HwFpCode>> =
-            (0..4).map(|k| Some(HwFpCode::new(fmt, 0, k * 4).unwrap())).collect();
+        let drive: Vec<Option<HwFpCode>> = (0..4)
+            .map(|k| Some(HwFpCode::new(fmt, 0, k * 4).unwrap()))
+            .collect();
         let out = mac.compute_phase_fp(&drive, WeightPolarity::Positive);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|v| *v >= 0.0));
@@ -762,7 +825,11 @@ mod tests {
     fn seeded_macros_are_reproducible() {
         let run = || {
             let mut mac = CimMacro::with_seed(
-                MacroSpec { rows: 16, cols: 4, ..MacroSpec::paper_realistic(MacroMode::FpE2M5) },
+                MacroSpec {
+                    rows: 16,
+                    cols: 4,
+                    ..MacroSpec::paper_realistic(MacroMode::FpE2M5)
+                },
                 9,
             );
             mac.program_weights(&ramp_weights(16, 4));

@@ -52,7 +52,15 @@ impl Crossbar {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be non-zero");
         let allocator = MlcAllocator::new(&device);
         let cells = vec![RramCell::fresh(&device); rows * cols];
-        Self { rows, cols, cells, device, allocator, age: 0.0, ir_drop: IrDropModel::ideal() }
+        Self {
+            rows,
+            cols,
+            cells,
+            device,
+            allocator,
+            age: 0.0,
+            ir_drop: IrDropModel::ideal(),
+        }
     }
 
     /// Number of word lines.
@@ -81,7 +89,11 @@ impl Crossbar {
     /// Panics if `levels.len() != rows × cols` or a level is out of
     /// range.
     pub fn program_levels<R: Rng + ?Sized>(&mut self, levels: &[u32], rng: &mut R) {
-        assert_eq!(levels.len(), self.cells.len(), "level count must match cell count");
+        assert_eq!(
+            levels.len(),
+            self.cells.len(),
+            "level count must match cell count"
+        );
         for (cell, &level) in self.cells.iter_mut().zip(levels) {
             cell.program_level(level, &self.allocator, &self.device, rng);
         }
@@ -101,7 +113,10 @@ impl Crossbar {
     ///
     /// Panics if the position is out of bounds.
     pub fn set_fault(&mut self, row: usize, col: usize, fault: Option<FaultKind>) {
-        assert!(row < self.rows && col < self.cols, "fault position out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "fault position out of bounds"
+        );
         self.cells[row * self.cols + col].set_fault(fault);
     }
 
@@ -223,7 +238,12 @@ impl Crossbar {
     /// (summed write-verify pulses over all cells).
     #[must_use]
     pub fn programming_energy(&self, model: &afpr_device::ProgramEnergyModel) -> Joules {
-        Joules::new(self.cells.iter().map(|c| model.cell_energy(c.program_iters())).sum())
+        Joules::new(
+            self.cells
+                .iter()
+                .map(|c| model.cell_energy(c.program_iters()))
+                .sum(),
+        )
     }
 
     /// Fraction of cells programmed to level 0 (the paper's weight
@@ -268,18 +288,8 @@ mod tests {
         let (mut xb, mut rng) = setup(4, 3);
         let levels: Vec<u32> = (0..12).map(|k| (k * 7) % 32).collect();
         xb.program_levels(&levels, &mut rng);
-        let va = vec![
-            Volts::new(0.1),
-            Volts::ZERO,
-            Volts::new(0.3),
-            Volts::ZERO,
-        ];
-        let vb = vec![
-            Volts::ZERO,
-            Volts::new(0.2),
-            Volts::ZERO,
-            Volts::new(0.15),
-        ];
+        let va = vec![Volts::new(0.1), Volts::ZERO, Volts::new(0.3), Volts::ZERO];
+        let vb = vec![Volts::ZERO, Volts::new(0.2), Volts::ZERO, Volts::new(0.15)];
         let vsum: Vec<Volts> = va.iter().zip(&vb).map(|(a, b)| *a + *b).collect();
         let ia = xb.mac_currents(&va);
         let ib = xb.mac_currents(&vb);
@@ -294,7 +304,9 @@ mod tests {
         let (mut xb, mut rng) = setup(5, 4);
         let levels: Vec<u32> = (0..20).map(|k| (k * 3) % 32).collect();
         xb.program_levels(&levels, &mut rng);
-        let v: Vec<Volts> = (0..5).map(|k| Volts::new(0.05 * f64::from(k as u8))).collect();
+        let v: Vec<Volts> = (0..5)
+            .map(|k| Volts::new(0.05 * f64::from(k as u8)))
+            .collect();
         let all = xb.mac_currents(&v);
         for (c, expected) in all.iter().enumerate() {
             assert_eq!(xb.column_current(c, &v).amps(), expected.amps());
@@ -332,8 +344,7 @@ mod tests {
         xb.program_levels(&[16; 16], &mut rng);
         let t = Seconds::from_nano(100.0);
         let dense: Vec<Volts> = vec![Volts::new(0.2); 4];
-        let sparse: Vec<Volts> =
-            vec![Volts::new(0.2), Volts::ZERO, Volts::ZERO, Volts::ZERO];
+        let sparse: Vec<Volts> = vec![Volts::new(0.2), Volts::ZERO, Volts::ZERO, Volts::ZERO];
         let ed = xb.array_energy(&dense, t).joules();
         let es = xb.array_energy(&sparse, t).joules();
         assert!((ed / es - 4.0).abs() < 1e-9);

@@ -80,10 +80,18 @@ impl MappedWeights {
 /// Panics if `weights.len() != rows × cols` or `levels < 2`.
 #[must_use]
 pub fn map_weights(weights: &[f32], rows: usize, cols: usize, levels: u32) -> MappedWeights {
-    assert_eq!(weights.len(), rows * cols, "weight count must match dimensions");
+    assert_eq!(
+        weights.len(),
+        rows * cols,
+        "weight count must match dimensions"
+    );
     assert!(levels >= 2, "need at least 2 MLC levels");
     let absmax = stats::abs_max(weights);
-    let scale = if absmax > 0.0 { absmax / (levels - 1) as f32 } else { 1.0 };
+    let scale = if absmax > 0.0 {
+        absmax / (levels - 1) as f32
+    } else {
+        1.0
+    };
     let top = (levels - 1) as f32;
     let mut pos_levels = Vec::with_capacity(weights.len());
     let mut neg_levels = Vec::with_capacity(weights.len());
@@ -97,7 +105,13 @@ pub fn map_weights(weights: &[f32], rows: usize, cols: usize, levels: u32) -> Ma
             neg_levels.push((-q) as u32);
         }
     }
-    MappedWeights { pos_levels, neg_levels, scale, rows, cols }
+    MappedWeights {
+        pos_levels,
+        neg_levels,
+        scale,
+        rows,
+        cols,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +124,10 @@ mod tests {
         let m = map_weights(&w, 2, 3, 32);
         for (i, &orig) in w.iter().enumerate() {
             let back = m.dequantized(i / 3, i % 3);
-            assert!((back - orig).abs() <= m.scale / 2.0 + 1e-7, "w={orig} back={back}");
+            assert!(
+                (back - orig).abs() <= m.scale / 2.0 + 1e-7,
+                "w={orig} back={back}"
+            );
         }
     }
 

@@ -106,7 +106,10 @@ mod tests {
             conversions: 1,
             ops: 294_912,
             busy_time: Seconds::from_nano(200.0),
-            energy: MacroEnergyBreakdown { adc: Joules::new(14.828e-9), ..Default::default() },
+            energy: MacroEnergyBreakdown {
+                adc: Joules::new(14.828e-9),
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!((s.throughput_gops() - 1474.56).abs() < 0.01);
@@ -116,7 +119,11 @@ mod tests {
 
     #[test]
     fn reset_clears_counters() {
-        let mut s = MacroStats { conversions: 5, ops: 10, ..Default::default() };
+        let mut s = MacroStats {
+            conversions: 5,
+            ops: 10,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s.conversions, 0);
         assert_eq!(s.ops, 0);

@@ -20,7 +20,10 @@ pub struct SignedActivation {
 
 impl SignedActivation {
     /// The zero activation.
-    pub const ZERO: Self = Self { negative: false, code: None };
+    pub const ZERO: Self = Self {
+        negative: false,
+        code: None,
+    };
 
     /// Signed digital magnitude (`±1.M × 2^E`, or 0).
     #[must_use]
@@ -62,7 +65,11 @@ impl FpActQuantizer {
     #[must_use]
     pub fn calibrate(samples: &[f32], format: FpFormat) -> Self {
         let absmax = afpr_num::stats::abs_max(samples);
-        let scale = if absmax > 0.0 { absmax / format.max_value() as f32 } else { 1.0 };
+        let scale = if absmax > 0.0 {
+            absmax / format.max_value() as f32
+        } else {
+            1.0
+        };
         Self { scale, format }
     }
 
@@ -119,7 +126,9 @@ impl IntActQuantizer {
     #[must_use]
     pub fn calibrate(samples: &[f32]) -> Self {
         let absmax = afpr_num::stats::abs_max(samples).max(f32::MIN_POSITIVE);
-        Self { inner: Int8Quantizer::symmetric_for_absmax(absmax).expect("absmax positive") }
+        Self {
+            inner: Int8Quantizer::symmetric_for_absmax(absmax).expect("absmax positive"),
+        }
     }
 
     /// The inner symmetric quantizer.
@@ -138,7 +147,11 @@ impl IntActQuantizer {
     /// Reconstructs a real value from sign + magnitude.
     #[must_use]
     pub fn dequantize(&self, negative: bool, magnitude: u32) -> f32 {
-        let signed = if negative { -(magnitude as i32) } else { magnitude as i32 };
+        let signed = if negative {
+            -(magnitude as i32)
+        } else {
+            magnitude as i32
+        };
         self.inner.dequantize(signed.clamp(-128, 127) as i8)
     }
 }
@@ -156,7 +169,10 @@ mod tests {
             let back = q.dequantize(a);
             // Relative error within one mantissa step, or flushed to 0.
             if a.code.is_some() {
-                assert!((back - x).abs() <= x.abs() / 32.0 + q.scale, "x={x} back={back}");
+                assert!(
+                    (back - x).abs() <= x.abs() / 32.0 + q.scale,
+                    "x={x} back={back}"
+                );
             } else {
                 assert!(x.abs() < q.scale, "x={x} flushed");
             }

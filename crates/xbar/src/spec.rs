@@ -118,7 +118,11 @@ impl MacroSpec {
     #[must_use]
     pub fn small(rows: usize, cols: usize, mode: MacroMode) -> Self {
         assert!(rows > 0 && cols > 0, "macro dimensions must be non-zero");
-        Self { rows, cols, ..Self::paper(mode) }
+        Self {
+            rows,
+            cols,
+            ..Self::paper(mode)
+        }
     }
 
     /// Number of cells.

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example energy_report`
 
-use afpr::core::{fig6_claims, fig6a_breakdowns, headline_ratios, comparison_table};
+use afpr::core::{comparison_table, fig6_claims, fig6a_breakdowns, headline_ratios};
 
 fn main() {
     println!("== Fig. 6(a)/(b): per-conversion energy by module ==\n");
@@ -37,14 +37,24 @@ fn main() {
             row.tag,
             row.architecture,
             row.precision,
-            row.latency_us.map_or("-".to_string(), |l| format!("{l:.2}")),
+            row.latency_us
+                .map_or("-".to_string(), |l| format!("{l:.2}")),
             row.throughput_gops,
             row.efficiency_tops_w,
         );
     }
     let h = headline_ratios();
     println!("\nheadline efficiency ratios (derived, paper in parentheses):");
-    println!("  vs FP8 accelerator : {:.3}x (4.135x)", h.vs_fp8_accelerator);
-    println!("  vs digital FP-CIM  : {:.3}x (5.376x)", h.vs_digital_fp_cim);
-    println!("  vs analog INT8-CIM : {:.3}x (2.841x)", h.vs_analog_int8_cim);
+    println!(
+        "  vs FP8 accelerator : {:.3}x (4.135x)",
+        h.vs_fp8_accelerator
+    );
+    println!(
+        "  vs digital FP-CIM  : {:.3}x (5.376x)",
+        h.vs_digital_fp_cim
+    );
+    println!(
+        "  vs analog INT8-CIM : {:.3}x (2.841x)",
+        h.vs_analog_int8_cim
+    );
 }

@@ -26,22 +26,41 @@ fn rms_error(mac: &mut CimMacro, w: &[f32], cols: usize) -> f64 {
 
 fn main() {
     let (rows, cols) = (64, 16);
-    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 11 % 29) as f32 - 14.0) / 28.0).collect();
+    let w: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 11 % 29) as f32 - 14.0) / 28.0)
+        .collect();
 
     println!("device condition                      RMS matvec error");
     println!("-------------------------------------------------------");
     let run = |label: &str, device: DeviceConfig| {
-        let spec = MacroSpec { rows, cols, device, ..MacroSpec::paper(MacroMode::FpE2M5) };
+        let spec = MacroSpec {
+            rows,
+            cols,
+            device,
+            ..MacroSpec::paper(MacroMode::FpE2M5)
+        };
         let mut mac = CimMacro::with_seed(spec, 42);
         mac.program_weights(&w);
         println!("{label:<37} {:.4}", rms_error(&mut mac, &w, cols));
     };
 
     run("ideal devices", DeviceConfig::ideal(32));
-    run("3 % programming sigma (write-verify)", DeviceConfig::ideal(32).with_program_sigma(0.03));
-    run("8 % programming sigma", DeviceConfig::ideal(32).with_program_sigma(0.08));
-    run("2 % read noise", DeviceConfig::ideal(32).with_read_noise(0.02));
-    run("realistic (3 % prog + 1 % read + drift)", DeviceConfig::realistic(32));
+    run(
+        "3 % programming sigma (write-verify)",
+        DeviceConfig::ideal(32).with_program_sigma(0.03),
+    );
+    run(
+        "8 % programming sigma",
+        DeviceConfig::ideal(32).with_program_sigma(0.08),
+    );
+    run(
+        "2 % read noise",
+        DeviceConfig::ideal(32).with_read_noise(0.02),
+    );
+    run(
+        "realistic (3 % prog + 1 % read + drift)",
+        DeviceConfig::realistic(32),
+    );
 
     // Stuck-at fault sweep via the yield model.
     use afpr::device::YieldModel;
@@ -68,7 +87,11 @@ fn main() {
             };
         }
         mac.program_weights(&wf);
-        println!("{:<37} {:.4}", format!("{:.1} % stuck-at faults", rate * 100.0), rms_error(&mut mac, &w, cols));
+        println!(
+            "{:<37} {:.4}",
+            format!("{:.1} % stuck-at faults", rate * 100.0),
+            rms_error(&mut mac, &w, cols)
+        );
     }
 
     // Retention drift over time.

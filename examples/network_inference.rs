@@ -17,7 +17,15 @@ use rand::SeedableRng;
 fn main() {
     let seed = 7u64;
     let inputs = 48;
-    let build = || tiny_mlp(inputs, 64, 6, InitSpec::heavy_tailed(), &mut StdRng::seed_from_u64(seed));
+    let build = || {
+        tiny_mlp(
+            inputs,
+            64,
+            6,
+            InitSpec::heavy_tailed(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    };
     let teacher = build();
 
     // Synthetic dataset, teacher-labelled (FP32 accuracy = 100 %).
@@ -30,7 +38,11 @@ fn main() {
 
     println!("format        top-1 (vs FP32 teacher)");
     println!("--------------------------------------");
-    println!("{:<12} {:>6.1} %", "FP32", 100.0 * top1_accuracy(&mut |x| teacher.forward(x), &data));
+    println!(
+        "{:<12} {:>6.1} %",
+        "FP32",
+        100.0 * top1_accuracy(&mut |x| teacher.forward(x), &data)
+    );
     for fmt in [NumFormat::Int8, NumFormat::E3M4, NumFormat::E2M5] {
         let q = QuantizedModel::calibrate(build(), fmt, fmt, &calib);
         let acc = top1_accuracy(&mut |x| q.forward(x), &data);
@@ -43,7 +55,11 @@ fn main() {
     sim.calibrate(&teacher, &calib);
     let hw_acc = top1_accuracy(&mut |x| sim.forward(&teacher, x), &data);
     let stats = sim.accelerator().stats();
-    println!("{:<12} {:>6.1} %   (macro-in-the-loop)", "E2M5 HW", 100.0 * hw_acc);
+    println!(
+        "{:<12} {:>6.1} %   (macro-in-the-loop)",
+        "E2M5 HW",
+        100.0 * hw_acc
+    );
     println!(
         "\nmacro activity: {} conversions, {} saturations, {} underflows, {} energy",
         stats.conversions,

@@ -14,8 +14,14 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let nets = [
-        ("Tiny-ResNet", tiny_resnet(10, InitSpec::gaussian(), &mut rng)),
-        ("Tiny-MobileNet", tiny_mobilenet(10, InitSpec::gaussian(), &mut rng)),
+        (
+            "Tiny-ResNet",
+            tiny_resnet(10, InitSpec::gaussian(), &mut rng),
+        ),
+        (
+            "Tiny-MobileNet",
+            tiny_mobilenet(10, InitSpec::gaussian(), &mut rng),
+        ),
     ];
     for (name, model) in &nets {
         println!("== {name} on [3, 16, 16] inputs ==");

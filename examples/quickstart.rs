@@ -36,8 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. A small macro computing y = xᵀ·W in the analog domain.
     let (rows, cols) = (16, 4);
-    let weights: Vec<f32> =
-        (0..rows * cols).map(|k| ((k * 5 % 17) as f32 - 8.0) / 16.0).collect();
+    let weights: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 5 % 17) as f32 - 8.0) / 16.0)
+        .collect();
     let mut mac = CimMacro::new(MacroSpec::small(rows, cols, MacroMode::FpE2M5));
     mac.program_weights(&weights);
     let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.4).sin()).collect();

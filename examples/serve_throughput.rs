@@ -1,0 +1,87 @@
+//! Micro-batched "inference serving" demo: producer threads push
+//! requests into a bounded [`MicroBatcher`]; a consumer loop drains
+//! micro-batches and executes them on the accelerator with tile-level
+//! parallelism via [`Engine`] + `forward_batch`. Finishes by printing
+//! the shared runtime-metrics snapshot as JSON.
+//!
+//! Run with: `cargo run --release --example serve_throughput`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use afpr::core::accelerator::AfprAccelerator;
+use afpr::nn::tensor::Tensor;
+use afpr::runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher};
+use afpr::xbar::spec::{MacroMode, MacroSpec};
+
+const K: usize = 256;
+const N: usize = 128;
+const REQUESTS: usize = 64;
+
+fn main() {
+    // Worker pool sized from the machine; batcher shares its metrics.
+    let engine = Engine::new(EngineConfig::default());
+    let batcher: Arc<MicroBatcher<(usize, Vec<f32>)>> = Arc::new(MicroBatcher::with_metrics(
+        BatchConfig {
+            batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            capacity: 32,
+        },
+        Arc::clone(engine.metrics()),
+    ));
+
+    // A 4×4-tile layer of small macros.
+    let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
+    let mut accel = AfprAccelerator::with_spec(base, 7);
+    let w = Tensor::from_fn(&[K, N], |i| {
+        (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
+    });
+    let handle = accel.map_matrix(&w);
+    let calib: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
+    accel.calibrate_layer(handle, std::slice::from_ref(&calib));
+
+    // Two producers submit interleaved requests; blocking submit gives
+    // backpressure when the consumer falls behind.
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                for i in 0..REQUESTS / 2 {
+                    let id = p * REQUESTS / 2 + i;
+                    let x: Vec<f32> = (0..K)
+                        .map(|k| (((k + 31 * id) as f32) * 0.13).sin())
+                        .collect();
+                    batcher.submit_blocking((id, x));
+                }
+            })
+        })
+        .collect();
+
+    // Consumer: drain micro-batches until producers finish.
+    let mut served = 0usize;
+    let mut batches = 0usize;
+    while served < REQUESTS {
+        let Some(batch) = batcher.next_batch() else {
+            break;
+        };
+        let (ids, inputs): (Vec<usize>, Vec<Vec<f32>>) = batch.into_iter().unzip();
+        let outputs = accel.forward_batch(handle, &inputs, &engine);
+        served += outputs.len();
+        batches += 1;
+        let first = ids.first().copied().unwrap_or_default();
+        println!(
+            "batch {batches:>2}: {} request(s) (first id {first}), output dim {}",
+            outputs.len(),
+            outputs[0].len()
+        );
+    }
+    batcher.close();
+    for p in producers {
+        p.join().expect("producer thread");
+    }
+
+    let energy = accel.stats().total_energy().joules() + accel.adder_energy().joules();
+    engine.metrics().record_energy_j(energy);
+    println!("\nserved {served} requests in {batches} micro-batches");
+    println!("{}", engine.metrics().snapshot().to_json_pretty());
+}

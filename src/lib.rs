@@ -11,6 +11,8 @@
 //! * [`nn`] — tensor/NN substrate and post-training quantization.
 //! * [`baseline`] — Table I baseline accelerator models.
 //! * [`core`] — the AFPR-CIM accelerator architecture and reports.
+//! * [`runtime`] — parallel tiled execution engine, micro-batching
+//!   and runtime metrics.
 
 #![forbid(unsafe_code)]
 
@@ -20,4 +22,5 @@ pub use afpr_core as core;
 pub use afpr_device as device;
 pub use afpr_nn as nn;
 pub use afpr_num as num;
+pub use afpr_runtime as runtime;
 pub use afpr_xbar as xbar;

@@ -74,7 +74,9 @@ fn crossbar_column_through_adc() {
 fn macro_all_modes_against_reference() {
     let rows = 24;
     let cols = 6;
-    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0).collect();
+    let w: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0)
+        .collect();
     let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.29).sin()).collect();
     let mut want = vec![0.0f32; cols];
     for r in 0..rows {
@@ -108,7 +110,9 @@ fn macro_all_modes_against_reference() {
 fn realistic_nonidealities_bounded_degradation() {
     let rows = 32;
     let cols = 4;
-    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 7 % 19) as f32 - 9.0) / 18.0).collect();
+    let w: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 7 % 19) as f32 - 9.0) / 18.0)
+        .collect();
     let x: Vec<f32> = (0..rows).map(|k| ((k as f32) * 0.41).cos()).collect();
 
     let run = |spec: MacroSpec| -> Vec<f32> {
@@ -124,7 +128,12 @@ fn realistic_nonidealities_bounded_degradation() {
     });
     for c in 0..cols {
         let d = (ideal[c] - real[c]).abs();
-        assert!(d < 0.5 * ideal[c].abs().max(1.0), "col {c}: ideal {} real {}", ideal[c], real[c]);
+        assert!(
+            d < 0.5 * ideal[c].abs().max(1.0),
+            "col {c}: ideal {} real {}",
+            ideal[c],
+            real[c]
+        );
     }
 }
 

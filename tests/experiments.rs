@@ -88,7 +88,10 @@ fn fig6c_quick_machinery() {
     let (record, text, outcomes) = fig6c(Fig6cConfig::quick());
     assert_eq!(outcomes.len(), 2);
     for o in &outcomes {
-        assert!((o.fp32 - 1.0).abs() < 1e-9, "teacher accuracy must be 100 %");
+        assert!(
+            (o.fp32 - 1.0).abs() < 1e-9,
+            "teacher accuracy must be 100 %"
+        );
         for acc in [o.int8, o.e2m5, o.e3m4] {
             assert!((0.0..=1.0).contains(&acc));
             // Quantized models must retain real signal on the mixed

@@ -12,7 +12,9 @@ use afpr::xbar::spec::{MacroMode, MacroSpec};
 
 fn programmed(rows: usize, cols: usize) -> CimMacro {
     let mut mac = CimMacro::with_seed(MacroSpec::small(rows, cols, MacroMode::FpE2M5), 3);
-    let w: Vec<f32> = (0..rows * cols).map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0).collect();
+    let w: Vec<f32> = (0..rows * cols)
+        .map(|k| ((k * 13 % 31) as f32 - 15.0) / 30.0)
+        .collect();
     mac.program_weights(&w);
     mac
 }
@@ -44,8 +46,14 @@ fn drift_and_ir_drop_shrink_outputs_together() {
     let ideal = run(0.0, 0.0);
     let aged = run(1e7, 0.0);
     let both = run(1e7, 100.0);
-    assert!(aged < ideal, "drift must shrink the output ({aged} vs {ideal})");
-    assert!(both < aged, "IR drop must shrink it further ({both} vs {aged})");
+    assert!(
+        aged < ideal,
+        "drift must shrink the output ({aged} vs {ideal})"
+    );
+    assert!(
+        both < aged,
+        "IR drop must shrink it further ({both} vs {aged})"
+    );
 }
 
 #[test]
@@ -53,7 +61,12 @@ fn stochastic_slope_reduces_accumulation_bias() {
     // Accumulate the same mid-bin residue many times: the dithered
     // (stochastic) slope's累 sum converges to the true value while the
     // deterministic mid-tread quantizer accumulates its fixed bias.
-    let s = SingleSlope::new(Volts::new(2.0), Volts::new(1.0), 32, Seconds::from_nano(100.0));
+    let s = SingleSlope::new(
+        Volts::new(2.0),
+        Volts::new(1.0),
+        32,
+        Seconds::from_nano(100.0),
+    );
     let v = Volts::new(1.0 + 8.7 / 32.0);
     let n = 2000;
     let det_sum: f64 = (0..n).map(|_| f64::from(s.convert(v))).sum();
@@ -94,5 +107,10 @@ fn minifloat_dot_product_with_fma() {
         acc = E2M5::from_f32(*x).mul_add(E2M5::from_f32(*y), acc);
     }
     // FP8 accumulation is coarse, but must stay in the right region.
-    assert!((acc.to_f32() - reference).abs() < 0.6, "acc {} ref {}", acc.to_f32(), reference);
+    assert!(
+        (acc.to_f32() - reference).abs() < 0.6,
+        "acc {} ref {}",
+        acc.to_f32(),
+        reference
+    );
 }

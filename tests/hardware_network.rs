@@ -14,7 +14,13 @@ use rand::SeedableRng;
 
 fn mlp_setup() -> (afpr::nn::Sequential, afpr::nn::Dataset, Vec<Tensor>) {
     let inputs = 32;
-    let model = tiny_mlp(inputs, 24, 4, InitSpec::gaussian(), &mut StdRng::seed_from_u64(3));
+    let model = tiny_mlp(
+        inputs,
+        24,
+        4,
+        InitSpec::gaussian(),
+        &mut StdRng::seed_from_u64(3),
+    );
     let mut data = synthetic_images(60, &[2, 4, 4], 4, 0.9, &mut StdRng::seed_from_u64(4));
     for img in &mut data.images {
         *img = img.reshape(&[inputs]);
@@ -80,7 +86,9 @@ fn tall_matrix_partial_sums() {
     let base = MacroSpec::small(16, 8, MacroMode::FpE2M5);
     let mut accel = AfprAccelerator::with_spec(base, 7);
     let (k, n) = (50, 10);
-    let w = Tensor::from_fn(&[k, n], |i| (((i[0] * n + i[1]) * 3 % 11) as f32 - 5.0) / 10.0);
+    let w = Tensor::from_fn(&[k, n], |i| {
+        (((i[0] * n + i[1]) * 3 % 11) as f32 - 5.0) / 10.0
+    });
     let h = accel.map_matrix(&w);
     assert_eq!(accel.macro_count(), 4 * 2); // ceil(50/16) × ceil(10/8)
     let x: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.17).sin()).collect();
@@ -96,7 +104,10 @@ fn tall_matrix_partial_sums() {
             "col {c}: got {yc} want {want}"
         );
     }
-    assert!(accel.adder_energy().joules() > 0.0, "partial sums must use the routing adder");
+    assert!(
+        accel.adder_energy().joules() > 0.0,
+        "partial sums must use the routing adder"
+    );
 }
 
 /// The paper's exact boundary: a 577-row weight matrix "exceeds 576"

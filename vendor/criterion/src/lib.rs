@@ -1,0 +1,239 @@
+//! Minimal offline shim for `criterion`: a wall-clock micro-benchmark
+//! harness with the upstream call surface used by this workspace
+//! (`Criterion::default`, `bench_function`, `benchmark_group` +
+//! `sample_size` + `finish`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros). There is no
+//! statistical analysis or HTML report — each benchmark prints its
+//! mean time per iteration to stdout. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Wall-clock spent warming up before measuring.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the shim accepts and ignores
+    /// them (so `cargo bench -- <filter>` doesn't error).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Upstream finalizes reports here; the shim does nothing.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size.unwrap_or(50), f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of every benchmark; drives the timing loop.
+pub struct Bencher {
+    /// Iterations per sample, tuned during warmup.
+    iters_per_sample: u64,
+    /// Collected per-iteration mean of each sample, in nanoseconds.
+    samples_ns: Vec<f64>,
+    /// Number of samples to collect when measuring.
+    sample_count: usize,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    Warmup,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, recording samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Warmup => {
+                // Find an iteration count that makes one sample take
+                // roughly MEASURE_TARGET / sample_count.
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                while start.elapsed() < WARMUP_TARGET {
+                    black_box(routine());
+                    iters += 1;
+                }
+                let per_iter = WARMUP_TARGET.as_secs_f64() / iters.max(1) as f64;
+                let per_sample = MEASURE_TARGET.as_secs_f64() / self.sample_count.max(1) as f64;
+                self.iters_per_sample = ((per_sample / per_iter).ceil() as u64).max(1);
+            }
+            BencherMode::Measure => {
+                for _ in 0..self.sample_count {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed().as_secs_f64() * 1e9;
+                    self.samples_ns.push(elapsed / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples_ns: Vec::new(),
+        sample_count: sample_size,
+        mode: BencherMode::Warmup,
+    };
+    f(&mut bencher);
+    bencher.mode = BencherMode::Measure;
+    f(&mut bencher);
+    let samples = &mut bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    println!(
+        "{id:<48} mean {:>12} median {:>12} ({} samples x {} iters)",
+        format_ns(mean),
+        format_ns(median),
+        samples.len(),
+        bencher.iters_per_sample
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function(format!("case_{}", 1), |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1500.0), "1.50 us");
+        assert_eq!(format_ns(2.5e6), "2.50 ms");
+        assert_eq!(format_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,285 @@
+//! Minimal offline shim for `parking_lot`: non-poisoning [`Mutex`],
+//! [`RwLock`] and [`Condvar`] with the parking_lot call signatures
+//! (`lock()` returns the guard directly), implemented over
+//! `std::sync`. Poisoned std locks are recovered transparently —
+//! parking_lot has no poisoning, so this matches its semantics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// A mutual-exclusion lock (non-poisoning API).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// Internally holds an `Option` so [`Condvar::wait`] can take the std
+/// guard out and put the re-acquired one back without unsafe code;
+/// the slot is `Some` at every observable point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns its value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard slot is always Some outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard slot is always Some outside Condvar::wait")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// A reader-writer lock (non-poisoning API).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns its value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Condition variable matching parking_lot's `wait(&mut MutexGuard)`
+/// shape.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Result of a timed wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, t) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = t.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Runs `f` on the inner std guard by taking it out of the wrapper's
+/// `Option` slot and putting the result back.
+fn replace_guard<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
+) {
+    let inner = guard
+        .inner
+        .take()
+        .expect("guard slot is always Some outside Condvar::wait");
+    guard.inner = Some(f(inner));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(3);
+        *m.lock() += 4;
+        assert_eq!(*m.lock(), 7);
+        assert_eq!(m.into_inner(), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a, *b);
+        }
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+}

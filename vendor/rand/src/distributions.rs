@@ -1,0 +1,168 @@
+//! Sampling distributions and uniform-range support.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: `[0, 1)` for floats,
+/// full-range for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A type uniformly sampleable from a bounded range.
+    ///
+    /// The blanket [`SampleRange`] impls for `Range<T>` /
+    /// `RangeInclusive<T>` are generic over this trait so type
+    /// inference (including float-literal fallback to `f64`) behaves
+    /// like upstream `rand`.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+        /// Uniform sample from `[lo, hi]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Uniform `u64` in `[0, n)` by rejection from the top band
+    /// (unbiased; Lemire-style threshold).
+    pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample from an empty range");
+        if n.is_power_of_two() {
+            return rng.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "cannot sample from an empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    let off = uniform_u64_below(rng, span);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "cannot sample from an empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = uniform_u64_below(rng, span + 1);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_uniform!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+
+    macro_rules! float_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo < hi, "cannot sample from an empty range");
+                    let u: f64 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = (lo as f64 + u * (hi as f64 - lo as f64)) as $t;
+                    // Guard against FP round-up onto the excluded bound.
+                    v.min(hi.next_down())
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    assert!(lo <= hi, "cannot sample from an empty range");
+                    let u: f64 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    (lo as f64 + u * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+
+    float_uniform!(f32, f64);
+}

@@ -1,0 +1,53 @@
+//! Concrete RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic RNG: xoshiro256\*\* (Blackman/Vigna).
+///
+/// Statistically strong, tiny state, and `Send + Sync`-friendly plain
+/// data — every stochastic component in the simulator owns one of
+/// these, which is what makes share-nothing tile parallelism exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // An all-zero state is a fixed point; nudge it (cannot happen
+        // via `seed_from_u64`'s SplitMix64 expansion, but `from_seed`
+        // accepts arbitrary bytes).
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xD1B5_4A32_D192_ED03,
+                0x8ACD_5BA5_2C63_59C5,
+                1,
+            ];
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal offline shim for the `rand_distr` crate: [`Normal`] and
+//! [`LogNormal`] over `f32`/`f64`, sampled by the Box–Muller
+//! transform. See `vendor/README.md` for scope.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Floating-point scalar usable by the distributions here.
+pub trait Float: Copy {
+    /// Converts from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Errors constructing a normal-family distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation (or shape) was negative or NaN.
+    BadVariance,
+    /// The mean was non-finite where finiteness is required.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean out of range"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Draws one standard-normal sample via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Sample through `Distribution` directly: `Rng::gen` requires a
+    // `Sized` receiver, which `R: ?Sized` cannot guarantee.
+    use rand::distributions::Standard;
+    // u1 in (0, 1] so ln(u1) is finite.
+    let s1: f64 = Standard.sample(&mut *rng);
+    let u1 = 1.0 - s1;
+    let u2: f64 = Standard.sample(&mut *rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError::BadVariance`] if `std_dev` is negative
+    /// or NaN.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let sd = std_dev.to_f64();
+        if sd.is_nan() || sd < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let z = standard_normal(rng);
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F: Float> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates a log-normal distribution with the given parameters of
+    /// the underlying normal (`mu`, `sigma`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError::BadVariance`] if `sigma` is negative or
+    /// NaN.
+    pub fn new(mu: F, sigma: F) -> Result<Self, NormalError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample(rng).to_f64().exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(1.5f64, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+    }
+
+    #[test]
+    fn negative_sigma_rejected() {
+        assert_eq!(
+            Normal::new(0.0f64, -1.0).unwrap_err(),
+            NormalError::BadVariance
+        );
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let target: f64 = 20e-6;
+        let d = LogNormal::new(target.ln(), 0.1).unwrap();
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median / target - 1.0).abs() < 0.02, "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn f32_variant_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Normal::new(0.0f32, 1.0).unwrap();
+        let s: f32 = d.sample(&mut rng);
+        assert!(s.is_finite());
+    }
+}

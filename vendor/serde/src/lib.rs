@@ -1,0 +1,625 @@
+//! Minimal offline shim for `serde`: a value-based data model
+//! ([`Value`]) with [`Serialize`] / [`Deserialize`] traits, a
+//! [`Serializer`] / [`Deserializer`] pair over that model, and (behind
+//! the `derive` feature) re-exported derive macros. See
+//! `vendor/README.md` for scope and caveats.
+//!
+//! Design notes:
+//! - Everything serializes into an owned [`Value`] tree; format crates
+//!   (the vendored `serde_json`) print/parse that tree. Zero-copy
+//!   deserialization is out of scope, so [`Deserialize`] carries no
+//!   `'de` lifetime; [`Deserializer`] keeps one (always unused) so
+//!   downstream `D: Deserializer<'de>` bounds still compile.
+//! - `&'static str` deserializes by leaking the parsed string. This is
+//!   only reachable from config-table types and keeps round-trip tests
+//!   working without borrowing machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing optional.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, JSON objects).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced by the built-in value serializer/deserializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format backend accepting the [`Value`] data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Accepts a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a missing optional.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serializes a present optional.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        let v = ser::to_value(value).map_err(<Self::Error as ser::Error>::custom)?;
+        self.serialize_value(v)
+    }
+}
+
+/// A data structure that can be deserialized (owned; see module docs).
+pub trait Deserialize: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format backend yielding the [`Value`] data model.
+///
+/// The `'de` lifetime is unused (this shim is owned-only) but kept so
+/// downstream `D: Deserializer<'de>` bounds compile unchanged.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yields the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serialization support types (error trait, value serializer).
+pub mod ser {
+    use super::{Serialize, Serializer, Value, ValueError};
+    use std::fmt;
+
+    /// Error constructor used by generated and generic code.
+    pub trait Error: Sized + fmt::Display + fmt::Debug {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Serializer that just hands back the [`Value`] tree.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+
+        fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+            Ok(value)
+        }
+    }
+
+    /// Serializes any [`Serialize`] type into a [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+        value.serialize(ValueSerializer)
+    }
+}
+
+/// Deserialization support types (error trait, value deserializer).
+pub mod de {
+    use super::{Deserialize, Deserializer, Value, ValueError};
+    use std::fmt;
+
+    /// Error constructor used by generated and generic code.
+    pub trait Error: Sized + fmt::Display + fmt::Debug {
+        /// Builds an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable without borrowing input.
+    ///
+    /// Every [`Deserialize`] type qualifies in this owned-only shim.
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+
+    /// Deserializer reading from an owned [`Value`] tree.
+    #[derive(Debug, Clone)]
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a value tree.
+        pub fn new(value: Value) -> Self {
+            Self { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = ValueError;
+
+        fn take_value(self) -> Result<Value, ValueError> {
+            Ok(self.value)
+        }
+    }
+
+    /// Deserializes a [`Value`] tree into any [`Deserialize`] type.
+    pub fn from_value<T: Deserialize>(value: Value) -> Result<T, ValueError> {
+        T::deserialize(ValueDeserializer::new(value))
+    }
+
+    /// Removes `name` from a struct map, or yields `Null` if absent.
+    ///
+    /// Used by derived `Deserialize` impls so optional fields tolerate
+    /// omission.
+    pub fn take_field(map: &mut Vec<(String, Value)>, name: &str) -> Value {
+        match map.iter().position(|(k, _)| k == name) {
+            Some(i) => map.remove(i).1,
+            None => Value::Null,
+        }
+    }
+
+    /// Type-mismatch error with consistent phrasing.
+    pub fn type_error(expected: &str, got: &Value) -> ValueError {
+        ValueError(format!(
+            "invalid type: expected {expected}, found {}",
+            got.kind()
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(i64::from(*self)))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = u64::from(*self);
+                let value = match i64::try_from(v) {
+                    Ok(i) => Value::I64(i),
+                    Err(_) => Value::U64(v),
+                };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64);
+serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as u64).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(ser::to_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(<S::Error as ser::Error>::custom)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T> Serialize for std::marker::PhantomData<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(ser::to_value(&self.$idx)
+                        .map_err(<S::Error as ser::Error>::custom)?),+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )+};
+}
+
+serialize_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+fn value_to_i64(v: &Value) -> Option<i64> {
+    match *v {
+        Value::I64(i) => Some(i),
+        Value::U64(u) => i64::try_from(u).ok(),
+        _ => None,
+    }
+}
+
+fn value_to_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::I64(i) => u64::try_from(i).ok(),
+        Value::U64(u) => Some(u),
+        _ => None,
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                value_to_i64(&v)
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| {
+                        <D::Error as de::Error>::custom(de::type_error(stringify!($t), &v))
+                    })
+            }
+        }
+    )*};
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                value_to_u64(&v)
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| {
+                        <D::Error as de::Error>::custom(de::type_error(stringify!($t), &v))
+                    })
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for bool {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "bool", &other,
+            ))),
+        }
+    }
+}
+
+fn value_to_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::F64(f) => Some(f),
+        Value::I64(i) => Some(i as f64),
+        Value::U64(u) => Some(u as f64),
+        _ => None,
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        value_to_f64(&v).ok_or_else(|| <D::Error as de::Error>::custom(de::type_error("f64", &v)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        value_to_f64(&v)
+            .map(|f| f as f32)
+            .ok_or_else(|| <D::Error as de::Error>::custom(de::type_error("f32", &v)))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "string", &other,
+            ))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "char", &other,
+            ))),
+        }
+    }
+}
+
+/// Owned-only shim: parsed strings are leaked to obtain `'static`.
+///
+/// Only reachable from static config-table types (e.g. published spec
+/// tables); regular data types use [`String`].
+impl Deserialize for &'static str {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => de::from_value(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| de::from_value(v).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "sequence", &other,
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items).map_err(|_| {
+            <D::Error as de::Error>::custom(ValueError(format!(
+                "invalid length: expected array of {N}, found {len}"
+            )))
+        })
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            de::from_value::<$name>(it.next().unwrap())
+                                .map_err(<D::Error as de::Error>::custom)?,
+                        )+))
+                    }
+                    other => Err(<D::Error as de::Error>::custom(de::type_error(
+                        concat!("sequence of length ", $len),
+                        &other,
+                    ))),
+                }
+            }
+        }
+    )+};
+}
+
+deserialize_tuple! {
+    (1; T0),
+    (2; T0, T1),
+    (3; T0, T1, T2),
+    (4; T0, T1, T2, T3),
+}
+
+impl<T> Deserialize for std::marker::PhantomData<T> {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let _ = d.take_value()?;
+        Ok(std::marker::PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let v = ser::to_value(&42u32).unwrap();
+        assert_eq!(v, Value::I64(42));
+        let back: u32 = de::from_value(v).unwrap();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn big_u64_uses_u64_variant() {
+        let v = ser::to_value(&u64::MAX).unwrap();
+        assert_eq!(v, Value::U64(u64::MAX));
+        let back: u64 = de::from_value(v).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        let v = ser::to_value(&Option::<f64>::None).unwrap();
+        assert_eq!(v, Value::Null);
+        let back: Option<f64> = de::from_value(Value::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let xs = vec![1.5f32, -2.25, 0.0];
+        let v = ser::to_value(&xs).unwrap();
+        let back: Vec<f32> = de::from_value(v).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn int_narrowing_checked() {
+        let err = de::from_value::<u8>(Value::I64(300)).unwrap_err();
+        assert!(err.0.contains("invalid type"), "{err}");
+    }
+
+    #[test]
+    fn take_field_tolerates_missing() {
+        let mut map = vec![("a".to_string(), Value::I64(1))];
+        assert_eq!(de::take_field(&mut map, "b"), Value::Null);
+        assert_eq!(de::take_field(&mut map, "a"), Value::I64(1));
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,579 @@
+//! Minimal offline shim for `serde_derive`: hand-rolled
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` with no `syn` /
+//! `quote` dependency. The input `TokenStream` is parsed directly and
+//! the impl is emitted as a source string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields (incl. simple generics like `<F: B>`)
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences) and unit structs
+//! - enums whose variants are all unit variants (serialized as the
+//!   variant-name string)
+//!
+//! Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(with = "module_path")]`. Anything else inside `#[serde]`
+//! raises a compile error rather than being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    /// `Some(name)` for named fields, `None` for tuple positions.
+    name: Option<String>,
+    skip: bool,
+    with: Option<String>,
+}
+
+enum Data {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    impl_generics: String,
+    ty_generics: String,
+    where_clause: String,
+    data: Data,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input).map(|inp| generate(&inp, mode)) {
+        Ok(code) => code.parse().expect("derive shim emitted invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut it: Iter = input.into_iter().peekable();
+    skip_attributes(&mut it)?;
+    skip_visibility(&mut it);
+    let kw = expect_ident(&mut it)?;
+    let name = expect_ident(&mut it)?;
+    let (impl_generics, ty_generics) = parse_generics(&mut it)?;
+    let mut where_clause = String::new();
+    let data = match kw.as_str() {
+        "struct" => parse_struct_body(&mut it, &mut where_clause)?,
+        "enum" => {
+            collect_where(&mut it, &mut where_clause);
+            match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Data::Enum(parse_enum_variants(g.stream())?)
+                }
+                _ => return Err("expected enum body".into()),
+            }
+        }
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input {
+        name,
+        impl_generics,
+        ty_generics,
+        where_clause,
+        data,
+    })
+}
+
+/// Skips `#[...]` attributes.
+fn skip_attributes(it: &mut Iter) -> Result<(), String> {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            _ => return Err("malformed attribute".into()),
+        }
+    }
+    Ok(())
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(super)` / …
+fn skip_visibility(it: &mut Iter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Iter) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `<...>` generics; returns `(impl_generics, ty_generics)`,
+/// e.g. `("<F: Format>", "<F>")`. Both empty if there are none.
+fn parse_generics(it: &mut Iter) -> Result<(String, String), String> {
+    if !matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok((String::new(), String::new()));
+    }
+    it.next();
+    let mut depth = 1usize;
+    let mut tokens: Vec<TokenTree> = Vec::new();
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        tokens.push(tt);
+    }
+    if depth != 0 {
+        return Err("unbalanced generics".into());
+    }
+    let impl_generics = format!("<{}>", tokens_to_string(&tokens));
+    let mut names: Vec<String> = Vec::new();
+    for chunk in split_top_level_commas(&tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        match &chunk[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(i)) = chunk.get(1) {
+                    names.push(format!("'{i}"));
+                }
+            }
+            TokenTree::Ident(i) if i.to_string() == "const" => {
+                if let Some(TokenTree::Ident(n)) = chunk.get(1) {
+                    names.push(n.to_string());
+                }
+            }
+            TokenTree::Ident(i) => names.push(i.to_string()),
+            _ => return Err("unsupported generic parameter".into()),
+        }
+    }
+    Ok((impl_generics, format!("<{}>", names.join(", "))))
+}
+
+/// Collects a trailing `where ...` section (up to the body) verbatim.
+fn collect_where(it: &mut Iter, out: &mut String) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        let mut tokens: Vec<TokenTree> = Vec::new();
+        while let Some(tt) = it.peek() {
+            let stop = matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+                || matches!(tt, TokenTree::Punct(p) if p.as_char() == ';');
+            if stop {
+                break;
+            }
+            tokens.push(it.next().unwrap());
+        }
+        *out = tokens_to_string(&tokens);
+    }
+}
+
+fn parse_struct_body(it: &mut Iter, where_clause: &mut String) -> Result<Data, String> {
+    collect_where(it, where_clause);
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Data::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = parse_tuple_fields(g.stream())?;
+            collect_where(it, where_clause);
+            Ok(Data::Tuple(fields))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Data::Unit),
+        other => Err(format!("expected struct body, found {other:?}")),
+    }
+}
+
+struct FieldAttrs {
+    skip: bool,
+    with: Option<String>,
+}
+
+/// Consumes leading attributes, interpreting `#[serde(...)]` ones.
+fn parse_field_attrs(it: &mut Iter) -> Result<FieldAttrs, String> {
+    let mut attrs = FieldAttrs {
+        skip: false,
+        with: None,
+    };
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        let group = match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Err("malformed attribute".into()),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                g.stream().into_iter().collect::<Vec<_>>()
+            }
+            _ => return Err("malformed #[serde(...)] attribute".into()),
+        };
+        parse_serde_args(&args, &mut attrs)?;
+    }
+    Ok(attrs)
+}
+
+fn parse_serde_args(args: &[TokenTree], attrs: &mut FieldAttrs) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                attrs.skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                let eq = matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let lit = args.get(i + 2).map(|t| t.to_string());
+                match (eq, lit) {
+                    (true, Some(l)) if l.starts_with('"') && l.ends_with('"') => {
+                        attrs.with = Some(l[1..l.len() - 1].to_string());
+                        i += 3;
+                    }
+                    _ => return Err("expected #[serde(with = \"module\")]".into()),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => {
+                return Err(format!(
+                    "unsupported #[serde] option `{other}` (shim supports skip, with)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let attrs = parse_field_attrs(&mut it)?;
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it)?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type_until_comma(&mut it);
+        fields.push(Field {
+            name: Some(name),
+            skip: attrs.skip,
+            with: attrs.with,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let attrs = parse_field_attrs(&mut it)?;
+        skip_visibility(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type_until_comma(&mut it);
+        fields.push(Field {
+            name: None,
+            skip: attrs.skip,
+            with: attrs.with,
+        });
+    }
+    Ok(fields)
+}
+
+/// Skips a type expression up to the next top-level `,` (consuming
+/// it), tracking `<`/`>` nesting so generic arguments don't split.
+fn skip_type_until_comma(it: &mut Iter) {
+    let mut depth = 0usize;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                it.next();
+                return;
+            }
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        skip_attributes(&mut it)?;
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it)?;
+        match it.peek() {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the derive shim supports unit variants only"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                skip_type_until_comma(&mut it);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                it.next();
+            }
+            None => {}
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tt.clone());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(input: &Input, mode: Mode) -> String {
+    let body = match (&input.data, mode) {
+        (Data::Named(fields), Mode::Ser) => gen_named_ser(fields),
+        (Data::Named(fields), Mode::De) => gen_named_de(&input.name, fields),
+        (Data::Tuple(fields), Mode::Ser) => gen_tuple_ser(fields),
+        (Data::Tuple(fields), Mode::De) => gen_tuple_de(&input.name, fields),
+        (Data::Unit, Mode::Ser) => "serializer.serialize_value(::serde::Value::Null)".to_string(),
+        (Data::Unit, Mode::De) => {
+            format!(
+                "{{ let _ = deserializer.take_value()?; \
+                 ::core::result::Result::Ok({}) }}",
+                input.name
+            )
+        }
+        (Data::Enum(variants), Mode::Ser) => gen_enum_ser(&input.name, variants),
+        (Data::Enum(variants), Mode::De) => gen_enum_de(&input.name, variants),
+    };
+    let name = &input.name;
+    let impl_g = &input.impl_generics;
+    let ty_g = &input.ty_generics;
+    let where_c = &input.where_clause;
+    match mode {
+        Mode::Ser => format!(
+            "#[automatically_derived]\n\
+             impl {impl_g} ::serde::Serialize for {name} {ty_g} {where_c} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+        ),
+        Mode::De => format!(
+            "#[automatically_derived]\n\
+             impl {impl_g} ::serde::Deserialize for {name} {ty_g} {where_c} {{\n\
+             fn deserialize<'de, __D: ::serde::Deserializer<'de>>(deserializer: __D)\n\
+             -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+        ),
+    }
+}
+
+const SER_ERR: &str = ".map_err(<__S::Error as ::serde::ser::Error>::custom)?";
+const DE_ERR: &str = ".map_err(<__D::Error as ::serde::de::Error>::custom)?";
+
+fn gen_named_ser(fields: &[Field]) -> String {
+    let mut out = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let name = f.name.as_deref().unwrap();
+        let value = match &f.with {
+            Some(path) => {
+                format!("{path}::serialize(&self.{name}, ::serde::ser::ValueSerializer){SER_ERR}")
+            }
+            None => format!("::serde::ser::to_value(&self.{name}){SER_ERR}"),
+        };
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from({name:?}), {value}));\n"
+        ));
+    }
+    out.push_str("serializer.serialize_value(::serde::Value::Map(__fields))");
+    out
+}
+
+fn gen_named_de(name: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "let mut __map = match deserializer.take_value()? {\n\
+         ::serde::Value::Map(m) => m,\n\
+         other => return ::core::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         ::serde::de::type_error(\"map\", &other))),\n};\n\
+         let _ = &mut __map;\n",
+    );
+    out.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+    for f in fields {
+        let fname = f.name.as_deref().unwrap();
+        let expr = field_de_expr(
+            f,
+            &format!("::serde::de::take_field(&mut __map, {fname:?})"),
+        );
+        out.push_str(&format!("{fname}: {expr},\n"));
+    }
+    out.push_str("})");
+    out
+}
+
+fn field_de_expr(f: &Field, source: &str) -> String {
+    if f.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    match &f.with {
+        Some(path) => {
+            format!("{path}::deserialize(::serde::de::ValueDeserializer::new({source})){DE_ERR}")
+        }
+        None => format!("::serde::de::from_value({source}){DE_ERR}"),
+    }
+}
+
+fn gen_tuple_ser(fields: &[Field]) -> String {
+    let active: Vec<(usize, &Field)> = fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+    // Newtype: serialize transparently as the inner value.
+    if let [(idx, f)] = active[..] {
+        if f.with.is_none() && fields.len() == 1 {
+            return format!("::serde::Serialize::serialize(&self.{idx}, serializer)");
+        }
+    }
+    let mut out = String::from(
+        "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+    );
+    for (idx, f) in active {
+        let value = match &f.with {
+            Some(path) => {
+                format!("{path}::serialize(&self.{idx}, ::serde::ser::ValueSerializer){SER_ERR}")
+            }
+            None => format!("::serde::ser::to_value(&self.{idx}){SER_ERR}"),
+        };
+        out.push_str(&format!("__items.push({value});\n"));
+    }
+    out.push_str("serializer.serialize_value(::serde::Value::Seq(__items))");
+    out
+}
+
+fn gen_tuple_de(name: &str, fields: &[Field]) -> String {
+    let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if let [f] = active[..] {
+        if f.with.is_none() && fields.len() == 1 {
+            return format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(\
+                 deserializer)?))"
+            );
+        }
+    }
+    let mut out = String::from(
+        "let __seq = match deserializer.take_value()? {\n\
+         ::serde::Value::Seq(s) => s,\n\
+         other => return ::core::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         ::serde::de::type_error(\"sequence\", &other))),\n};\n\
+         let mut __it = __seq.into_iter();\n\
+         let _ = &mut __it;\n",
+    );
+    out.push_str(&format!("::core::result::Result::Ok({name}(\n"));
+    for f in fields {
+        let expr = field_de_expr(f, "__it.next().unwrap_or(::serde::Value::Null)");
+        out.push_str(&format!("{expr},\n"));
+    }
+    out.push_str("))");
+    out
+}
+
+fn gen_enum_ser(name: &str, variants: &[String]) -> String {
+    let mut out = String::from("let __name = match self {\n");
+    for v in variants {
+        out.push_str(&format!("{name}::{v} => {v:?},\n"));
+    }
+    out.push_str("};\n");
+    out.push_str(
+        "serializer.serialize_value(::serde::Value::Str(::std::string::String::from(__name)))",
+    );
+    out
+}
+
+fn gen_enum_de(name: &str, variants: &[String]) -> String {
+    let mut out = String::from(
+        "let __s = match deserializer.take_value()? {\n\
+         ::serde::Value::Str(s) => s,\n\
+         other => return ::core::result::Result::Err(\
+         <__D::Error as ::serde::de::Error>::custom(\
+         ::serde::de::type_error(\"variant string\", &other))),\n};\n\
+         match __s.as_str() {\n",
+    );
+    for v in variants {
+        out.push_str(&format!(
+            "{v:?} => ::core::result::Result::Ok({name}::{v}),\n"
+        ));
+    }
+    out.push_str(&format!(
+        "_ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+         ::std::format!(\"unknown {name} variant `{{__s}}`\"))),\n}}"
+    ));
+    out
+}
