@@ -1,0 +1,283 @@
+//! Synthetic closed-loop load generator for the AFPR inference server.
+//!
+//! Spawns `--connections` client threads; each keeps up to
+//! `--in-flight` pipelined requests outstanding on its connection and
+//! measures per-request latency from frame write to response read.
+//! The request mix is matvec-dominated, with every
+//! `--forward-every`-th request upgraded to a `forward_batch` of
+//! `--batch-size` inputs and every `--health-every`-th replaced by a
+//! `health` probe (which must stay responsive even when the queue is
+//! saturated).
+//!
+//! At the end it prints a throughput/latency/rejection report plus the
+//! server-side metrics snapshot, and exits nonzero if anything
+//! protocol-level went wrong (malformed responses, framing errors,
+//! unexpected disconnects) — which is what the CI smoke step keys on.
+//!
+//! Usage:
+//!
+//! ```text
+//! # Against a running server:
+//! cargo run --release --bin loadgen -- --addr 127.0.0.1:7878 --duration-ms 2000
+//!
+//! # Self-hosted (spawns an in-process server on an ephemeral port,
+//! # shuts it down afterwards) — used by the CI serve-smoke step:
+//! cargo run --release --bin loadgen -- --self-host --duration-ms 2000
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afpr_runtime::Histogram;
+use afpr_serve::{Client, ClientError, Op, Request, ServeModel, Server, ServerConfig, Status};
+
+/// Per-thread tally, merged at the end.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    deadline_expired: u64,
+    shutting_down: u64,
+    malformed: u64,
+    protocol_errors: u64,
+    latency: Histogram,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.deadline_expired += other.deadline_expired;
+        self.shutting_down += other.shutting_down;
+        self.malformed += other.malformed;
+        self.protocol_errors += other.protocol_errors;
+        self.latency.merge(&other.latency);
+    }
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conn_id: usize,
+    in_flight_max: usize,
+    k: usize,
+    forward_every: usize,
+    health_every: usize,
+    batch_size: usize,
+    deadline_ms: Option<u64>,
+) -> Tally {
+    let mut t = Tally::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            t.protocol_errors += 1;
+            return t;
+        }
+    };
+    // Outstanding request send-timestamps, answered strictly in order.
+    let mut pending: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    let mut seq = 0usize;
+
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        // Fill the pipeline while running; drain it once stopping.
+        while !stopping && pending.len() < in_flight_max {
+            seq += 1;
+            let rid = conn_id * 1_000_000 + seq;
+            let id = client.next_id();
+            let mut req = if health_every > 0 && seq.is_multiple_of(health_every) {
+                Request::new(Op::Health, id)
+            } else if forward_every > 0 && seq.is_multiple_of(forward_every) {
+                let inputs = (0..batch_size)
+                    .map(|b| ServeModel::demo_input(k, rid + b))
+                    .collect();
+                Request::forward_batch(id, inputs)
+            } else {
+                Request::matvec(id, ServeModel::demo_input(k, rid))
+            };
+            if let Some(ms) = deadline_ms {
+                req = req.with_deadline_ms(ms);
+            }
+            if client.send(&req).is_err() {
+                t.protocol_errors += 1;
+                return t;
+            }
+            t.sent += 1;
+            pending.push_back(Instant::now());
+        }
+        if pending.is_empty() {
+            if stopping {
+                return t;
+            }
+            continue;
+        }
+        match client.recv() {
+            Ok(resp) => {
+                let sent_at = pending.pop_front().expect("pending nonempty");
+                t.latency.observe(sent_at.elapsed());
+                match resp.status {
+                    Status::Ok => t.ok += 1,
+                    Status::Overloaded => t.overloaded += 1,
+                    Status::DeadlineExpired => t.deadline_expired += 1,
+                    Status::ShuttingDown => t.shutting_down += 1,
+                    Status::Malformed => t.malformed += 1,
+                }
+            }
+            Err(ClientError::Disconnected) if stopping => return t,
+            Err(_) => {
+                t.protocol_errors += 1;
+                return t;
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let self_host = args.iter().any(|a| a == "--self-host");
+    let connections = flag::<usize>(&args, "--connections").unwrap_or(4).max(1);
+    let in_flight = flag::<usize>(&args, "--in-flight").unwrap_or(4).max(1);
+    let duration = Duration::from_millis(flag::<u64>(&args, "--duration-ms").unwrap_or(2000));
+    let forward_every = flag::<usize>(&args, "--forward-every").unwrap_or(16);
+    let health_every = flag::<usize>(&args, "--health-every").unwrap_or(64);
+    let batch_size = flag::<usize>(&args, "--batch-size").unwrap_or(4).max(1);
+    let deadline_ms = flag::<u64>(&args, "--deadline-ms");
+
+    let server = if self_host {
+        let mut cfg = ServerConfig::default();
+        if let Some(c) = flag::<usize>(&args, "--capacity") {
+            cfg.queue_capacity = c.max(1);
+        }
+        if let Some(ms) = flag::<u64>(&args, "--exec-delay-ms") {
+            cfg.exec_delay = Duration::from_millis(ms);
+        }
+        Some(Server::start(cfg, ServeModel::demo(7)).expect("self-hosted server starts"))
+    } else {
+        None
+    };
+    let addr: SocketAddr = match &server {
+        Some(s) => s.local_addr(),
+        None => flag::<String>(&args, "--addr")
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string())
+            .parse()
+            .expect("valid --addr"),
+    };
+
+    let mut probe = Client::connect(addr).expect("server reachable");
+    let health = probe.health().expect("health responds");
+    let k = health.input_dim as usize;
+    eprintln!(
+        "loadgen: {connections} connections × {in_flight} in flight against {addr} \
+         ({}→{} layer) for {:?}",
+        health.input_dim, health.output_dim, duration
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..connections)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                worker(
+                    addr,
+                    stop,
+                    c,
+                    in_flight,
+                    k,
+                    forward_every,
+                    health_every,
+                    batch_size,
+                    deadline_ms,
+                )
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total = Tally::default();
+    for th in threads {
+        total.merge(th.join().expect("worker thread"));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+
+    let answered = total.ok
+        + total.overloaded
+        + total.deadline_expired
+        + total.shutting_down
+        + total.malformed;
+    let lat = total.latency.snapshot();
+    println!("== loadgen report ==");
+    println!("duration          : {dt:.2} s");
+    println!("sent              : {}", total.sent);
+    println!(
+        "answered          : {answered} ({:.0} req/s)",
+        answered as f64 / dt
+    );
+    println!("  ok              : {}", total.ok);
+    println!("  overloaded(503) : {}", total.overloaded);
+    println!("  deadline(504)   : {}", total.deadline_expired);
+    println!("  shutting_down   : {}", total.shutting_down);
+    println!("  malformed(400)  : {}", total.malformed);
+    println!("client proto errs : {}", total.protocol_errors);
+    println!(
+        "latency           : p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+        lat.p50_ns as f64 / 1e3,
+        lat.p95_ns as f64 / 1e3,
+        lat.p99_ns as f64 / 1e3,
+        lat.max_ns as f64 / 1e3
+    );
+
+    // Server-side view (also verifies the connection still works after
+    // the storm).
+    let snapshot = match &server {
+        Some(s) => {
+            drop(probe);
+            s.metrics()
+        }
+        None => probe.metrics().expect("metrics responds"),
+    };
+    println!(
+        "server            : {} responses, {} protocol errors, rejections {}",
+        snapshot.responses_sent,
+        snapshot.protocol_errors,
+        snapshot.runtime.rejections.total()
+    );
+    if let Some(s) = server {
+        let final_snapshot = s.shutdown();
+        println!(
+            "server drained    : {} responses total",
+            final_snapshot.responses_sent
+        );
+    }
+
+    // CI contract: any malformed response or protocol-level error is a
+    // failure — the load mix is entirely well-formed.
+    let server_malformed = snapshot.runtime.rejections.malformed;
+    if total.malformed > 0
+        || total.protocol_errors > 0
+        || server_malformed > 0
+        || snapshot.protocol_errors > 0
+    {
+        eprintln!(
+            "FAIL: malformed={} client_proto={} server_malformed={server_malformed} \
+             server_proto={}",
+            total.malformed, total.protocol_errors, snapshot.protocol_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

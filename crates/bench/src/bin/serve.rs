@@ -1,0 +1,66 @@
+//! Standalone AFPR inference server.
+//!
+//! Binds a TCP listener, serves the built-in demo layer (256×128 over
+//! 64×32 FP-E2M5 macros) and blocks until a client sends `shutdown`
+//! (or the process is killed). On graceful shutdown it prints the
+//! final metrics snapshot as pretty JSON.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin serve -- \
+//!     [--addr 127.0.0.1:7878] [--workers 8] [--threads N] \
+//!     [--capacity 64] [--batch 8] [--exec-delay-ms 0] [--seed 7]
+//! ```
+//!
+//! `--exec-delay-ms` injects an artificial per-batch execution delay —
+//! useful for demonstrating queue saturation and `503 overloaded`
+//! responses with a modest load generator.
+
+use std::time::Duration;
+
+use afpr_serve::{ServeModel, Server, ServerConfig};
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = flag::<String>(&args, "--addr") {
+        cfg.addr = addr;
+    } else {
+        cfg.addr = "127.0.0.1:7878".to_string();
+    }
+    if let Some(w) = flag::<usize>(&args, "--workers") {
+        cfg.workers = w.max(1);
+    }
+    if let Some(t) = flag::<usize>(&args, "--threads") {
+        cfg.engine_threads = Some(t.max(1));
+    }
+    if let Some(c) = flag::<usize>(&args, "--capacity") {
+        cfg.queue_capacity = c.max(1);
+    }
+    if let Some(b) = flag::<usize>(&args, "--batch") {
+        cfg.batch_size = b.max(1);
+    }
+    if let Some(ms) = flag::<u64>(&args, "--exec-delay-ms") {
+        cfg.exec_delay = Duration::from_millis(ms);
+    }
+    let seed = flag::<u64>(&args, "--seed").unwrap_or(7);
+
+    let server = Server::start(cfg, ServeModel::demo(seed)).expect("server starts");
+    eprintln!(
+        "afpr-serve listening on {} (send a `shutdown` request to stop)",
+        server.local_addr()
+    );
+
+    server.wait_shutdown_requested();
+    eprintln!("shutdown requested; draining…");
+    let snapshot = server.shutdown();
+    println!("{}", snapshot.to_json_pretty());
+}

@@ -69,6 +69,21 @@ impl AfprAccelerator {
         self.base.mode
     }
 
+    /// Input/output dimensions `(k, n)` of a mapped layer.
+    ///
+    /// A serving front door uses this to validate request vector
+    /// lengths *before* execution (wrong-length inputs become protocol
+    /// errors instead of panics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    #[must_use]
+    pub fn layer_dims(&self, handle: LayerHandle) -> (usize, usize) {
+        let layer = &self.layers[handle.0];
+        (layer.tiled.k, layer.tiled.n)
+    }
+
     /// Maps a `[K, N]` weight matrix onto macros (tiling as needed) and
     /// programs the arrays. Returns the layer handle.
     ///

@@ -201,8 +201,39 @@ impl<T: Send> MicroBatcher<T> {
 
     /// Marks the queue closed: producers are rejected, and the consumer
     /// drains what is left, then gets `None`.
+    ///
+    /// # Drain-then-stop contract
+    ///
+    /// `close` never discards work. Every item that was accepted by
+    /// [`try_submit`](Self::try_submit) / [`submit_blocking`](Self::submit_blocking)
+    /// before the close is still delivered — in submission order — by
+    /// subsequent [`next_batch`](Self::next_batch) calls (or collected
+    /// by [`drain`](Self::drain)); only after the queue is empty does
+    /// `next_batch` return `None`. This is what lets a serving loop
+    /// shut down gracefully: stop admitting, flush in-flight requests,
+    /// then stop. Pinned by `close_flushes_in_flight_items`.
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
+    }
+
+    /// Closes the batcher and drains every remaining item, in
+    /// submission order.
+    ///
+    /// Intended for graceful shutdown: after the consumer loop exits
+    /// (or when no consumer is running), `drain` hands back whatever
+    /// is still queued so the caller can fail those requests cleanly
+    /// (e.g. `afpr-serve` answers them with `503 shutting_down`)
+    /// instead of leaving producers blocked on replies that never
+    /// come. Items accepted by a racing `try_submit` that overlapped
+    /// the close are caught here too.
+    #[must_use]
+    pub fn drain(&self) -> Vec<T> {
+        self.close();
+        let mut out = Vec::with_capacity(self.rx.len());
+        while let Ok(item) = self.rx.try_recv() {
+            out.push(item);
+        }
+        out
     }
 
     /// Whether [`close`](Self::close) was called.
@@ -327,6 +358,39 @@ mod tests {
         assert_eq!(b.try_submit(10), Err(QueueFull(10)));
         assert_eq!(b.next_batch(), Some(vec![9]));
         assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn close_flushes_in_flight_items() {
+        // Drain-then-stop: items accepted before close are all
+        // delivered, in order, before `next_batch` returns `None`.
+        let b: MicroBatcher<u32> = MicroBatcher::new(BatchConfig {
+            batch_size: 4,
+            capacity: 64,
+            ..BatchConfig::default()
+        });
+        for i in 0..10 {
+            b.try_submit(i).unwrap();
+        }
+        b.close();
+        let mut seen = Vec::new();
+        b.run(|batch| seen.extend(batch));
+        assert_eq!(seen, (0..10).collect::<Vec<_>>(), "no item dropped");
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn drain_closes_and_returns_pending_items_in_order() {
+        let b: MicroBatcher<u32> = MicroBatcher::new(BatchConfig::default());
+        for i in 0..5 {
+            b.try_submit(i).unwrap();
+        }
+        assert_eq!(b.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(b.is_closed(), "drain implies close");
+        assert!(b.is_empty());
+        assert_eq!(b.try_submit(99), Err(QueueFull(99)));
+        assert_eq!(b.next_batch(), None);
+        assert_eq!(b.drain(), Vec::<u32>::new(), "second drain is empty");
     }
 
     #[test]

@@ -58,4 +58,7 @@ pub mod metrics;
 
 pub use batch::{BatchConfig, MicroBatcher, QueueFull};
 pub use engine::{Engine, EngineConfig};
-pub use metrics::{Histogram, LatencySnapshot, LayerSnapshot, MetricsSnapshot, RuntimeMetrics};
+pub use metrics::{
+    Histogram, LatencySnapshot, LayerSnapshot, MetricsSnapshot, RejectReason, RejectionSnapshot,
+    RuntimeMetrics,
+};

@@ -64,6 +64,18 @@ impl Histogram {
         self.total
     }
 
+    /// Folds another histogram into this one (bucket-wise sum; mean
+    /// and max combine exactly). Used by multi-threaded harnesses that
+    /// keep one histogram per worker and merge at the end.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Upper bound (in ns) of the bucket holding quantile `q ∈ [0, 1]`.
     #[must_use]
     pub fn quantile_ns(&self, q: f64) -> u64 {
@@ -81,7 +93,9 @@ impl Histogram {
         self.max_ns
     }
 
-    fn snapshot(&self) -> LatencySnapshot {
+    /// Freezes the distribution into a serializable summary.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
         LatencySnapshot {
             count: self.total,
             mean_ns: if self.total == 0 {
@@ -122,6 +136,39 @@ pub struct LatencySnapshot {
     pub max_ns: u64,
 }
 
+/// Why a request was rejected before reaching the engine.
+///
+/// Used by serving front doors (`afpr-serve`) so overload, deadline
+/// and protocol failures stay distinguishable in exported metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue was at capacity (`QueueFull`).
+    QueueFull,
+    /// The request's deadline had already expired.
+    DeadlineExpired,
+    /// The request could not be parsed / validated.
+    Malformed,
+}
+
+/// Frozen rejection-reason counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionSnapshot {
+    /// Rejections due to admission-queue backpressure.
+    pub queue_full: u64,
+    /// Rejections because the request deadline had expired.
+    pub deadline_expired: u64,
+    /// Rejections due to malformed / unparseable requests.
+    pub malformed: u64,
+}
+
+impl RejectionSnapshot {
+    /// Total rejections across every reason.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.queue_full + self.deadline_expired + self.malformed
+    }
+}
+
 #[derive(Debug, Default)]
 struct LayerRecord {
     name: String,
@@ -159,6 +206,10 @@ pub struct RuntimeMetrics {
     items_enqueued: AtomicU64,
     queue_rejections: AtomicU64,
     queue_depth_hwm: AtomicU64,
+    requests_accepted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline_expired: AtomicU64,
+    rejected_malformed: AtomicU64,
     tiles_executed: AtomicU64,
     macs_executed: AtomicU64,
     energy_pj_milli: AtomicU64,
@@ -184,6 +235,10 @@ impl RuntimeMetrics {
             items_enqueued: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
+            requests_accepted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline_expired: AtomicU64::new(0),
+            rejected_malformed: AtomicU64::new(0),
             tiles_executed: AtomicU64::new(0),
             macs_executed: AtomicU64::new(0),
             energy_pj_milli: AtomicU64::new(0),
@@ -215,8 +270,33 @@ impl RuntimeMetrics {
     }
 
     /// Counts one request rejected for backpressure (`QueueFull`).
+    ///
+    /// Also attributed to the [`RejectReason::QueueFull`] reason
+    /// counter, so callers that reject via [`crate::MicroBatcher`]
+    /// need no extra bookkeeping.
     pub fn record_queue_rejection(&self) {
         self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request accepted by an admission front door.
+    pub fn record_request_accepted(&self) {
+        self.requests_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected for the given reason.
+    ///
+    /// Note [`RejectReason::QueueFull`] is normally recorded by
+    /// [`record_queue_rejection`](Self::record_queue_rejection) (via
+    /// the batcher); call this directly only for rejections that never
+    /// touched the queue.
+    pub fn record_rejection(&self, reason: RejectReason) {
+        let counter = match reason {
+            RejectReason::QueueFull => &self.rejected_queue_full,
+            RejectReason::DeadlineExpired => &self.rejected_deadline_expired,
+            RejectReason::Malformed => &self.rejected_malformed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Updates the queue-depth high-water mark.
@@ -276,6 +356,12 @@ impl RuntimeMetrics {
             items_enqueued: self.items_enqueued.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            requests_accepted: self.requests_accepted.load(Ordering::Relaxed),
+            rejections: RejectionSnapshot {
+                queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+                deadline_expired: self.rejected_deadline_expired.load(Ordering::Relaxed),
+                malformed: self.rejected_malformed.load(Ordering::Relaxed),
+            },
             tiles_executed: tiles,
             macs_executed: macs,
             tiles_per_s: tiles as f64 / uptime_s,
@@ -316,6 +402,10 @@ pub struct MetricsSnapshot {
     pub queue_rejections: u64,
     /// Highest observed queue depth.
     pub queue_depth_hwm: u64,
+    /// Requests accepted by an admission front door.
+    pub requests_accepted: u64,
+    /// Rejections broken down by reason.
+    pub rejections: RejectionSnapshot,
     /// Tile (macro matvec) invocations.
     pub tiles_executed: u64,
     /// Multiply-accumulate operations executed on macros.
@@ -415,6 +505,37 @@ mod tests {
         assert_eq!(s.layers[0].calls, 2);
         assert_eq!(s.layers[0].tiles, 8);
         assert_eq!(s.layers[1].macs, 10);
+    }
+
+    #[test]
+    fn rejection_reason_counters_accumulate_and_round_trip() {
+        let m = RuntimeMetrics::new();
+        m.record_request_accepted();
+        m.record_request_accepted();
+        m.record_queue_rejection(); // counts into rejections.queue_full too
+        m.record_rejection(RejectReason::DeadlineExpired);
+        m.record_rejection(RejectReason::DeadlineExpired);
+        m.record_rejection(RejectReason::Malformed);
+        let s = m.snapshot();
+        assert_eq!(s.requests_accepted, 2);
+        assert_eq!(s.queue_rejections, 1);
+        assert_eq!(
+            s.rejections,
+            RejectionSnapshot {
+                queue_full: 1,
+                deadline_expired: 2,
+                malformed: 1,
+            }
+        );
+        assert_eq!(s.rejections.total(), 4);
+
+        let json = s.to_json();
+        for key in ["queue_full", "deadline_expired", "malformed"] {
+            assert!(json.contains(key), "`{key}` missing from {json}");
+        }
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.rejections, s.rejections);
+        assert_eq!(back.requests_accepted, s.requests_accepted);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Blocking typed client for the AFPR serving protocol.
+//!
+//! [`Client`] wraps a `TcpStream` with buffered framing and exposes one
+//! method per server op. Two layers are available:
+//!
+//! - **Typed calls** ([`Client::matvec`], [`Client::forward_batch`],
+//!   [`Client::health`], [`Client::metrics`],
+//!   [`Client::shutdown_server`]) — send a request, wait for the
+//!   response, and surface non-`ok` statuses as
+//!   [`ClientError::Rejected`] so callers get typed access to the
+//!   structured rejection (`retry_after_ms`, status, error text).
+//! - **Raw pipelining** ([`Client::send`] / [`Client::recv`]) — write
+//!   several frames before reading any responses. The server answers
+//!   requests on one connection in order, so the load generator uses
+//!   this layer to keep multiple requests in flight per connection.
+//!
+//! The client is deliberately synchronous: the whole workspace is
+//! `std`-only (no async runtime is vendored), and benchmark clients get
+//! concurrency from threads × connections × pipelining depth instead.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    parse_message, read_frame, write_message, FrameError, Request, Response, DEFAULT_MAX_FRAME,
+};
+use crate::ServeSnapshot;
+use crate::{HealthInfo, Op};
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (socket error, framing error).
+    Io(io::Error),
+    /// The server sent a frame that is not a valid [`Response`].
+    Protocol(String),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The server answered with a non-`ok` status. The full response is
+    /// preserved so callers can inspect `status`, `code`,
+    /// `retry_after_ms`, and `error`.
+    Rejected(Box<Response>),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            Self::Disconnected => write!(f, "server closed the connection"),
+            Self::Rejected(resp) => write!(
+                f,
+                "request rejected: {} ({}){}",
+                resp.status,
+                resp.code,
+                resp.error
+                    .as_deref()
+                    .map(|e| format!(": {e}"))
+                    .unwrap_or_default()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => Self::Io(io),
+            other => Self::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Blocking connection to an AFPR inference server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to the given address with the default frame limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the TCP connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self {
+            reader,
+            writer,
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sets a read timeout on the underlying socket (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket option cannot be set.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Allocates the next request id (monotonically increasing per
+    /// connection).
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Writes one request frame without waiting for the response.
+    ///
+    /// Pair with [`Client::recv`]; the server answers requests on one
+    /// connection strictly in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frame cannot be written.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_message(&mut self.writer, req)?;
+        Ok(())
+    }
+
+    /// Reads the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Disconnected`] on clean EOF, an
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] error otherwise.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.reader, self.max_frame)? {
+            Some(payload) => parse_message::<Response>(&payload).map_err(ClientError::Protocol),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Sends a request and waits for its response; does not interpret
+    /// the status.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport or framing failure.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Runs one matvec and returns the output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] if the server answers with a
+    /// non-`ok` status (overloaded, deadline expired, malformed, …).
+    pub fn matvec(&mut self, input: Vec<f32>) -> Result<Vec<f32>, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::matvec(id, input))?;
+        Self::expect_ok(resp)?
+            .output
+            .ok_or_else(|| ClientError::Protocol("ok matvec response missing `output`".to_string()))
+    }
+
+    /// Runs one matvec with a client-side deadline budget in
+    /// milliseconds (measured by the server from frame read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] with status `deadline_expired`
+    /// (code 504) if the budget elapses before execution.
+    pub fn matvec_with_deadline(
+        &mut self,
+        input: Vec<f32>,
+        deadline_ms: u64,
+    ) -> Result<Vec<f32>, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::matvec(id, input).with_deadline_ms(deadline_ms))?;
+        Self::expect_ok(resp)?
+            .output
+            .ok_or_else(|| ClientError::Protocol("ok matvec response missing `output`".to_string()))
+    }
+
+    /// Runs a batch of inputs and returns one output per input, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on any non-`ok` status.
+    pub fn forward_batch(&mut self, inputs: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::forward_batch(id, inputs))?;
+        Self::expect_ok(resp)?.outputs.ok_or_else(|| {
+            ClientError::Protocol("ok forward_batch response missing `outputs`".to_string())
+        })
+    }
+
+    /// Queries server health (dims, queue depth, shutdown flag).
+    ///
+    /// Health bypasses the admission queue, so it answers even when the
+    /// server is saturated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a non-`ok` status.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::new(Op::Health, id))?;
+        Self::expect_ok(resp)?
+            .health
+            .ok_or_else(|| ClientError::Protocol("ok health response missing `health`".to_string()))
+    }
+
+    /// Fetches a point-in-time metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a non-`ok` status.
+    pub fn metrics(&mut self) -> Result<ServeSnapshot, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::new(Op::Metrics, id))?;
+        Self::expect_ok(resp)?.metrics.ok_or_else(|| {
+            ClientError::Protocol("ok metrics response missing `metrics`".to_string())
+        })
+    }
+
+    /// Asks the server to shut down gracefully (drain, then stop) and
+    /// returns the final metrics snapshot it sends back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a non-`ok` status.
+    pub fn shutdown_server(&mut self) -> Result<ServeSnapshot, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::new(Op::Shutdown, id))?;
+        Self::expect_ok(resp)?.metrics.ok_or_else(|| {
+            ClientError::Protocol("ok shutdown response missing `metrics`".to_string())
+        })
+    }
+
+    fn expect_ok(resp: Response) -> Result<Response, ClientError> {
+        if resp.is_ok() {
+            Ok(resp)
+        } else {
+            Err(ClientError::Rejected(Box::new(resp)))
+        }
+    }
+}

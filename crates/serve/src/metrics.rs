@@ -1,0 +1,204 @@
+//! Per-endpoint serving metrics.
+//!
+//! [`ServeMetrics`] layers request-level observability on top of the
+//! engine's [`RuntimeMetrics`]: per-op request counters and latency
+//! histograms (measured from frame-read to response-write), connection
+//! accounting, and protocol-error counters. [`ServeMetrics::snapshot`]
+//! freezes everything — including the embedded runtime snapshot with
+//! its rejection-reason breakdown — into a serializable
+//! [`ServeSnapshot`], which is what the `metrics` request returns and
+//! what the server prints on shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use afpr_runtime::{Histogram, LatencySnapshot, MetricsSnapshot, RuntimeMetrics};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::Op;
+
+/// One op's counter + latency cell.
+#[derive(Debug, Default)]
+struct OpCell {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+/// Thread-safe per-endpoint metrics registry.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    per_op: [OpCell; 5],
+    connections_accepted: AtomicU64,
+    connections_dropped: AtomicU64,
+    protocol_errors: AtomicU64,
+    responses_sent: AtomicU64,
+    runtime: Arc<RuntimeMetrics>,
+}
+
+impl ServeMetrics {
+    /// Creates a registry sharing the given runtime metrics (the
+    /// engine's, so queue and rejection counters land in one place).
+    #[must_use]
+    pub fn new(runtime: Arc<RuntimeMetrics>) -> Self {
+        Self {
+            per_op: Default::default(),
+            connections_accepted: AtomicU64::new(0),
+            connections_dropped: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            responses_sent: AtomicU64::new(0),
+            runtime,
+        }
+    }
+
+    /// The shared runtime registry (queue, engine, rejection reasons).
+    #[must_use]
+    pub fn runtime(&self) -> &Arc<RuntimeMetrics> {
+        &self.runtime
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection dropped before service (accept backlog
+    /// overflow).
+    pub fn record_connection_dropped(&self) {
+        self.connections_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one framing-level protocol error (truncated/oversized
+    /// frame, mid-frame timeout).
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one finished request of the given op: total latency
+    /// from frame read to just before the response write.
+    pub fn record_request(&self, op: Op, ok: bool, latency: Duration) {
+        let cell = &self.per_op[op.index()];
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            cell.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        cell.latency.lock().observe(latency);
+        self.responses_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the current state (including the runtime snapshot).
+    #[must_use]
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            responses_sent: self.responses_sent.load(Ordering::Relaxed),
+            per_op: Op::ALL
+                .into_iter()
+                .map(|op| {
+                    let cell = &self.per_op[op.index()];
+                    OpSnapshot {
+                        op: op.wire_name().to_string(),
+                        requests: cell.requests.load(Ordering::Relaxed),
+                        ok: cell.ok.load(Ordering::Relaxed),
+                        latency: cell.latency.lock().snapshot(),
+                    }
+                })
+                .collect(),
+            runtime: self.runtime.snapshot(),
+        }
+    }
+}
+
+/// Frozen per-op stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpSnapshot {
+    /// Wire name of the op.
+    pub op: String,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests answered with `ok`.
+    pub ok: u64,
+    /// Frame-read → response-write latency distribution.
+    pub latency: LatencySnapshot,
+}
+
+/// Point-in-time, serializable view of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Connections accepted by the listener.
+    pub connections_accepted: u64,
+    /// Connections dropped before service (backlog overflow).
+    pub connections_dropped: u64,
+    /// Framing-level protocol errors.
+    pub protocol_errors: u64,
+    /// Responses written (any op, any status).
+    pub responses_sent: u64,
+    /// Per-endpoint counters and latency histograms.
+    pub per_op: Vec<OpSnapshot>,
+    /// The engine/queue snapshot, including rejection reasons.
+    pub runtime: MetricsSnapshot,
+}
+
+impl ServeSnapshot {
+    /// Stats for one op by wire name.
+    #[must_use]
+    pub fn op(&self, op: Op) -> Option<&OpSnapshot> {
+        self.per_op.iter().find(|s| s.op == op.wire_name())
+    }
+
+    /// Compact JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Pretty-printed (2-space) JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_cells_accumulate_and_round_trip() {
+        let m = ServeMetrics::new(Arc::new(RuntimeMetrics::new()));
+        m.record_connection();
+        m.record_request(Op::Matvec, true, Duration::from_micros(120));
+        m.record_request(Op::Matvec, false, Duration::from_micros(80));
+        m.record_request(Op::Health, true, Duration::from_nanos(900));
+        m.record_protocol_error();
+        m.runtime().record_request_accepted();
+
+        let s = m.snapshot();
+        assert_eq!(s.connections_accepted, 1);
+        assert_eq!(s.protocol_errors, 1);
+        assert_eq!(s.responses_sent, 3);
+        let mv = s.op(Op::Matvec).unwrap();
+        assert_eq!((mv.requests, mv.ok), (2, 1));
+        assert_eq!(mv.latency.count, 2);
+        assert_eq!(s.op(Op::Shutdown).unwrap().requests, 0);
+        assert_eq!(s.runtime.requests_accepted, 1);
+
+        let back: ServeSnapshot = serde_json::from_str(&s.to_json()).expect("parses");
+        assert_eq!(back.per_op, s.per_op);
+        assert_eq!(back.runtime.requests_accepted, 1);
+    }
+}

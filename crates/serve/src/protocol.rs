@@ -1,0 +1,691 @@
+//! Wire protocol of the AFPR-CIM inference service.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! +----------------------+----------------------+
+//! | length: u32, BE      | payload: JSON, UTF-8 |
+//! +----------------------+----------------------+
+//! ```
+//!
+//! The 4-byte big-endian length counts payload bytes only. A peer that
+//! closes its socket cleanly between frames produces a clean EOF
+//! ([`read_frame`] returns `Ok(None)`); an EOF *inside* a frame is a
+//! protocol error. Frames larger than the configured limit are
+//! rejected without allocating.
+//!
+//! # Requests
+//!
+//! The payload is a JSON object with an `op` field naming the request
+//! type — `"matvec"`, `"forward_batch"`, `"health"`, `"metrics"` or
+//! `"shutdown"` — plus op-specific fields (see [`Request`]). Optional
+//! `deadline_ms` gives the server a time budget measured from the
+//! moment it reads the frame; requests whose budget has lapsed are
+//! rejected before they touch the engine.
+//!
+//! # Responses
+//!
+//! Every response carries the request `id`, a [`Status`], and an
+//! HTTP-flavored `code` (`200` ok, `400` malformed, `503`
+//! overloaded / shutting down with `retry_after_ms`, `504` deadline
+//! expired). Payload fields (`output`, `outputs`, `metrics`, …) are
+//! op-specific and `null` when absent. Malformed *payloads* inside a
+//! well-formed frame get a `400` response and the connection stays
+//! usable; malformed *framing* (oversized or truncated frames) ends
+//! the connection after a best-effort `400`.
+
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer, Value};
+use std::io::{self, Read, Write};
+
+/// Protocol version tag carried in [`HealthInfo`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on a single frame's payload size (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Ops and statuses
+// ---------------------------------------------------------------------------
+
+/// Request type. Serialized as its snake_case wire name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Single matrix-vector product on the served layer.
+    Matvec,
+    /// A client-side batch of matvecs, answered as one response.
+    ForwardBatch,
+    /// Liveness / readiness probe; never touches the admission queue.
+    Health,
+    /// Returns a [`crate::ServeSnapshot`]; never touches the queue.
+    Metrics,
+    /// Asks the server to drain in-flight work and stop.
+    Shutdown,
+}
+
+impl Op {
+    /// All ops, for iteration (metrics tables, request mixes).
+    pub const ALL: [Op; 5] = [
+        Op::Matvec,
+        Op::ForwardBatch,
+        Op::Health,
+        Op::Metrics,
+        Op::Shutdown,
+    ];
+
+    /// The snake_case name used on the wire.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Op::Matvec => "matvec",
+            Op::ForwardBatch => "forward_batch",
+            Op::Health => "health",
+            Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Op::ALL.into_iter().find(|op| op.wire_name() == s)
+    }
+
+    /// Index into [`Op::ALL`] (stable; used for per-op metric cells).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Op::Matvec => 0,
+            Op::ForwardBatch => 1,
+            Op::Health => 2,
+            Op::Metrics => 3,
+            Op::Shutdown => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+// The vendored derive shim serializes unit enums as their Rust variant
+// names; the wire protocol wants snake_case, so these two impls are
+// manual.
+impl Serialize for Op {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.wire_name().to_string()))
+    }
+}
+
+impl Deserialize for Op {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Op::from_wire(&s)
+                .ok_or_else(|| <D::Error as de::Error>::custom(format!("unknown op `{s}`"))),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "op string",
+                &other,
+            ))),
+        }
+    }
+}
+
+/// Response status. Serialized as its snake_case wire name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request served.
+    Ok,
+    /// Admission queue full — retry after `retry_after_ms`.
+    Overloaded,
+    /// The request's `deadline_ms` budget lapsed before execution.
+    DeadlineExpired,
+    /// Unparseable or invalid request.
+    Malformed,
+    /// Server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl Status {
+    const ALL: [Status; 5] = [
+        Status::Ok,
+        Status::Overloaded,
+        Status::DeadlineExpired,
+        Status::Malformed,
+        Status::ShuttingDown,
+    ];
+
+    /// The snake_case name used on the wire.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::DeadlineExpired => "deadline_expired",
+            Status::Malformed => "malformed",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Status::ALL.into_iter().find(|st| st.wire_name() == s)
+    }
+
+    /// The HTTP-flavored numeric code paired with this status.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Malformed => 400,
+            Status::Overloaded | Status::ShuttingDown => 503,
+            Status::DeadlineExpired => 504,
+        }
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+impl Serialize for Status {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.wire_name().to_string()))
+    }
+}
+
+impl Deserialize for Status {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Status::from_wire(&s)
+                .ok_or_else(|| <D::Error as de::Error>::custom(format!("unknown status `{s}`"))),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "status string",
+                &other,
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response payloads
+// ---------------------------------------------------------------------------
+
+/// A request frame payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request type.
+    pub op: Op,
+    /// Caller-chosen id, echoed in the response (pipelining aid).
+    pub id: u64,
+    /// Optional time budget in milliseconds, measured from the moment
+    /// the server reads the frame. Expired requests are rejected with
+    /// [`Status::DeadlineExpired`] before touching the engine.
+    pub deadline_ms: Option<u64>,
+    /// `matvec`: the input vector (length must equal the layer's `k`).
+    pub input: Option<Vec<f32>>,
+    /// `forward_batch`: the input vectors.
+    pub inputs: Option<Vec<Vec<f32>>>,
+}
+
+impl Request {
+    /// A bare request with no payload or deadline.
+    #[must_use]
+    pub fn new(op: Op, id: u64) -> Self {
+        Self {
+            op,
+            id,
+            deadline_ms: None,
+            input: None,
+            inputs: None,
+        }
+    }
+
+    /// A `matvec` request.
+    #[must_use]
+    pub fn matvec(id: u64, input: Vec<f32>) -> Self {
+        Self {
+            input: Some(input),
+            ..Self::new(Op::Matvec, id)
+        }
+    }
+
+    /// A `forward_batch` request.
+    #[must_use]
+    pub fn forward_batch(id: u64, inputs: Vec<Vec<f32>>) -> Self {
+        Self {
+            inputs: Some(inputs),
+            ..Self::new(Op::ForwardBatch, id)
+        }
+    }
+
+    /// Sets the deadline budget.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// Model shape and liveness info returned by `health`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
+    /// Served layer input dimension.
+    pub input_dim: u64,
+    /// Served layer output dimension.
+    pub output_dim: u64,
+    /// Items currently waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u64,
+    /// Whether the server is draining.
+    pub shutting_down: bool,
+}
+
+/// A response frame payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id (0 when the request was unparseable).
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// HTTP-flavored numeric code (`200`/`400`/`503`/`504`).
+    pub code: u16,
+    /// `matvec` result.
+    pub output: Option<Vec<f32>>,
+    /// `forward_batch` results.
+    pub outputs: Option<Vec<Vec<f32>>>,
+    /// Suggested backoff before retrying (set on `503 overloaded`).
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable error detail for non-`ok` statuses.
+    pub error: Option<String>,
+    /// `health` payload.
+    pub health: Option<HealthInfo>,
+    /// `metrics` / `shutdown` payload: full serving metrics snapshot.
+    pub metrics: Option<crate::metrics::ServeSnapshot>,
+}
+
+impl Response {
+    /// A bare response with the given status (code derived).
+    #[must_use]
+    pub fn new(id: u64, status: Status) -> Self {
+        Self {
+            id,
+            status,
+            code: status.code(),
+            output: None,
+            outputs: None,
+            retry_after_ms: None,
+            error: None,
+            health: None,
+            metrics: None,
+        }
+    }
+
+    /// An `ok` response.
+    #[must_use]
+    pub fn ok(id: u64) -> Self {
+        Self::new(id, Status::Ok)
+    }
+
+    /// An error response with detail text.
+    #[must_use]
+    pub fn error(id: u64, status: Status, detail: impl Into<String>) -> Self {
+        Self {
+            error: Some(detail.into()),
+            ..Self::new(id, status)
+        }
+    }
+
+    /// Whether the status is [`Status::Ok`].
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// How many consecutive zero-progress read timeouts are tolerated
+/// *inside* a frame before the peer is declared stalled. With the
+/// server's default 20 ms read timeout this bounds a mid-frame stall
+/// at ~10 s, so a half-sent frame can never pin a connection worker
+/// forever.
+pub const MID_FRAME_STALL_LIMIT: u32 = 500;
+
+/// Framing-layer failure modes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error. Read timeouts on an *idle* connection
+    /// (zero bytes of the next frame consumed) surface here as
+    /// `WouldBlock`/`TimedOut` — check [`FrameError::is_timeout`] and
+    /// poll again.
+    Io(io::Error),
+    /// The peer closed the stream in the middle of a frame.
+    TruncatedEof {
+        /// Bytes read before EOF.
+        got: usize,
+        /// Bytes the frame announced.
+        expected: usize,
+    },
+    /// The announced payload length exceeds the configured cap.
+    TooLarge {
+        /// Announced payload length.
+        announced: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The peer stopped sending mid-frame for longer than
+    /// [`MID_FRAME_STALL_LIMIT`] consecutive read timeouts.
+    Stalled {
+        /// Bytes of the frame received before the stall.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TruncatedEof { got, expected } => {
+                write!(f, "eof inside frame: got {got} of {expected} bytes")
+            }
+            FrameError::TooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds cap of {max}")
+            }
+            FrameError::Stalled { got } => {
+                write!(f, "peer stalled mid-frame after {got} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this is a read timeout on an idle connection (no frame
+    /// bytes consumed) — poll again rather than failing.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e) if is_timeout_kind(e))
+    }
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on clean EOF (peer closed between frames).
+///
+/// Timeout semantics (for sockets with a read timeout set): a timeout
+/// with **zero** bytes of the frame consumed surfaces as
+/// [`FrameError::Io`] with [`FrameError::is_timeout`] true — the
+/// connection is merely idle; poll again. Once the first header byte
+/// has arrived the read becomes *patient*: timeouts are retried until
+/// either progress resumes or [`MID_FRAME_STALL_LIMIT`] consecutive
+/// zero-progress timeouts elapse, which yields
+/// [`FrameError::Stalled`]. This keeps framing state consistent across
+/// poll loops — a frame is consumed either fully or not at all (modulo
+/// a stalled/declared-dead peer).
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the announced length exceeds `max`
+/// (nothing beyond the header is consumed), [`FrameError::TruncatedEof`]
+/// when the peer closes mid-frame, [`FrameError::Stalled`] when the
+/// peer goes quiet mid-frame, [`FrameError::Io`] for socket errors and
+/// idle timeouts.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header, true)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Truncated(got) => return Err(FrameError::TruncatedEof { got, expected: 4 }),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge {
+            announced: len,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload, false) {
+        Ok(ReadOutcome::Full) => Ok(Some(payload)),
+        Ok(ReadOutcome::CleanEof | ReadOutcome::Truncated(_)) => Err(FrameError::TruncatedEof {
+            got: 0,
+            expected: len,
+        }),
+        Err(FrameError::Stalled { got }) => Err(FrameError::Stalled { got: got + 4 }),
+        Err(e) => Err(e),
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    Truncated(usize),
+}
+
+/// Returns whether the error is a read-timeout kind.
+fn is_timeout_kind(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+}
+
+/// `read_exact` that distinguishes EOF-at-zero-bytes from
+/// EOF-mid-buffer and implements the idle/patient timeout split:
+/// `idle_ok` surfaces a zero-progress timeout immediately (header of
+/// the *next* frame — the connection is just idle); otherwise timeouts
+/// are retried until [`MID_FRAME_STALL_LIMIT`] pass without progress.
+fn read_exact_or_eof<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    idle_ok: bool,
+) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Truncated(filled)
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout_kind(&e) => {
+                if idle_ok && filled == 0 {
+                    return Err(FrameError::Io(e));
+                }
+                stalls += 1;
+                if stalls >= MID_FRAME_STALL_LIMIT {
+                    return Err(FrameError::Stalled { got: filled });
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; fails with `InvalidInput` if the payload
+/// exceeds `u32::MAX` bytes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32::MAX"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Serializes a message and writes it as one frame.
+///
+/// # Errors
+///
+/// Propagates socket errors; serialization failure is reported as
+/// `InvalidData` (it would indicate a bug in the message type).
+pub fn write_message<W: Write, T: serde::Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Parses a frame payload as a message.
+///
+/// # Errors
+///
+/// Returns the parse error text (non-UTF-8 payloads included).
+pub fn parse_message<T: serde::de::DeserializeOwned>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_and_status_wire_names_round_trip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_wire(op.wire_name()), Some(op));
+            assert_eq!(Op::ALL[op.index()], op);
+            let json = serde_json::to_string(&op).unwrap();
+            assert_eq!(json, format!("\"{}\"", op.wire_name()));
+            let back: Op = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, op);
+        }
+        for st in Status::ALL {
+            let json = serde_json::to_string(&st).unwrap();
+            let back: Status = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, st);
+        }
+        assert!(
+            Op::from_wire("Matvec").is_none(),
+            "wire names are snake_case"
+        );
+    }
+
+    #[test]
+    fn status_codes_follow_http_convention() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Malformed.code(), 400);
+        assert_eq!(Status::Overloaded.code(), 503);
+        assert_eq!(Status::ShuttingDown.code(), 503);
+        assert_eq!(Status::DeadlineExpired.code(), 504);
+    }
+
+    #[test]
+    fn request_round_trips_with_optional_fields_omitted() {
+        let req = Request::matvec(7, vec![1.0, -2.5]).with_deadline_ms(30);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"matvec\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Minimal hand-written request: missing optional fields parse
+        // as None.
+        let back: Request = serde_json::from_str("{\"op\":\"health\",\"id\":3}").unwrap();
+        assert_eq!(back.op, Op::Health);
+        assert_eq!(back.id, 3);
+        assert_eq!(back.deadline_ms, None);
+        assert_eq!(back.input, None);
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let mut resp = Response::ok(9);
+        resp.output = Some(vec![0.1f32, -1.5e-30, 3.25]);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        for (a, b) in resp
+            .output
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(back.output.as_ref().unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.status, Status::Ok);
+        assert_eq!(back.code, 200);
+    }
+
+    #[test]
+    fn frame_round_trip_and_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, 64).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut cur, 64).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut cur, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_reading_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cur = std::io::Cursor::new(buf);
+        match read_frame(&mut cur, 1024) {
+            Err(FrameError::TooLarge { announced, max }) => {
+                assert_eq!(announced, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 8 payload bytes
+        let mut cur = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur, 64),
+            Err(FrameError::TruncatedEof { .. })
+        ));
+
+        // Truncated header.
+        let mut cur = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 64),
+            Err(FrameError::TruncatedEof {
+                got: 2,
+                expected: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_message_reports_garbage() {
+        assert!(parse_message::<Request>(b"{not json").is_err());
+        assert!(parse_message::<Request>(&[0xff, 0xfe]).is_err());
+        assert!(parse_message::<Request>(b"{\"op\":\"bogus\",\"id\":1}").is_err());
+    }
+}

@@ -1,0 +1,784 @@
+//! The multi-threaded TCP inference server.
+//!
+//! # Thread architecture
+//!
+//! ```text
+//!              ┌───────────┐   bounded chan    ┌──────────────────┐
+//!  clients ──▶ │ acceptor  │ ────────────────▶ │ connection pool  │
+//!              └───────────┘   (TcpStream)     │ (cfg.workers ×)  │
+//!                                              └────────┬─────────┘
+//!                                  admission: try_submit│  ▲ reply
+//!                                                       ▼  │ channel
+//!                                              ┌──────────────────┐
+//!                                              │   MicroBatcher   │
+//!                                              └────────┬─────────┘
+//!                                              next_batch│
+//!                                                       ▼
+//!                                              ┌──────────────────┐
+//!                                              │ exec thread      │
+//!                                              │ forward_batch on │
+//!                                              │ Engine workers   │
+//!                                              └──────────────────┘
+//! ```
+//!
+//! Connection workers parse frames, enforce admission control
+//! (deadline check, shutdown gate, bounded-queue `try_submit`), and
+//! block on a per-request reply channel. A single *execution thread*
+//! owns the [`AfprAccelerator`] and drains the micro-batch queue,
+//! fanning tiles out on the runtime [`Engine`] — which preserves the
+//! bit-for-bit determinism contract of `forward_batch`: for the same
+//! request sequence the served results equal the in-process sequential
+//! path exactly.
+//!
+//! # Overload & deadlines
+//!
+//! When the admission queue is full, requests are answered immediately
+//! with `503 overloaded` + `retry_after_ms` — the connection never
+//! blocks on a saturated queue, so `health`/`metrics` (which bypass
+//! the queue entirely) stay responsive under any load. Requests carry
+//! an optional `deadline_ms` budget: expiry is checked at admission
+//! *and* again when the execution thread picks the batch up, so a
+//! request that aged out while queued is dropped before it costs
+//! engine time and is counted under `rejections.deadline_expired`.
+//!
+//! # Graceful shutdown
+//!
+//! `shutdown` (the request, or [`Server::shutdown`]) flips the drain
+//! flag and closes the batcher. The acceptor stops, in-flight queued
+//! requests are flushed by the execution thread
+//! ([`MicroBatcher`] close is drain-then-stop), connection workers
+//! finish their current request and close, and a final
+//! [`ServeSnapshot`] is produced. Requests that race past the close
+//! are caught by [`MicroBatcher::drain`] and answered with
+//! `503 shutting_down` — no producer is ever left waiting on a reply
+//! that will not come.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
+use afpr_nn::tensor::Tensor;
+use afpr_runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher, QueueFull, RejectReason};
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::metrics::{ServeMetrics, ServeSnapshot};
+use crate::protocol::{
+    self, FrameError, HealthInfo, Op, Request, Response, Status, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+
+/// Configuration for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Connection worker pool size.
+    pub workers: usize,
+    /// Engine worker threads (`None` = available parallelism).
+    pub engine_threads: Option<usize>,
+    /// Admission queue capacity (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Micro-batch size flushed to the execution thread.
+    pub batch_size: usize,
+    /// Micro-batch linger window.
+    pub max_wait: Duration,
+    /// Cap on a single frame's payload.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout; doubles as the shutdown poll period for
+    /// idle connections.
+    pub read_timeout: Duration,
+    /// Backoff advertised in `503 overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Accepted-connection backlog between acceptor and pool; beyond
+    /// it, connections are dropped (counted, never silently lost).
+    pub accept_backlog: usize,
+    /// Artificial per-batch execution delay. Zero in production; tests
+    /// and overload demos use it to saturate the admission queue
+    /// deterministically.
+    pub exec_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            engine_threads: None,
+            queue_capacity: 64,
+            batch_size: 8,
+            max_wait: Duration::from_micros(500),
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(20),
+            retry_after_ms: 20,
+            accept_backlog: 128,
+            exec_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The model a server instance serves: a prepared accelerator plus the
+/// mapped layer to expose over the wire.
+pub struct ServeModel {
+    accel: AfprAccelerator,
+    handle: LayerHandle,
+    k: usize,
+    n: usize,
+}
+
+impl std::fmt::Debug for ServeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeModel")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeModel {
+    /// Wraps a prepared accelerator (weights mapped, ADC calibrated).
+    #[must_use]
+    pub fn new(accel: AfprAccelerator, handle: LayerHandle) -> Self {
+        let (k, n) = accel.layer_dims(handle);
+        Self {
+            accel,
+            handle,
+            k,
+            n,
+        }
+    }
+
+    /// The standard demo model: a 256→128 layer tiled over 4×4 small
+    /// FP8 E2M5 macros, deterministic in `seed`. Benchmarks, tests and
+    /// the quickstart example all serve this model so results are
+    /// comparable (and bit-reproducible) across them.
+    #[must_use]
+    pub fn demo(seed: u64) -> Self {
+        const K: usize = 256;
+        const N: usize = 128;
+        let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
+        let mut accel = AfprAccelerator::with_spec(base, seed);
+        let w = Tensor::from_fn(&[K, N], |i| {
+            (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
+        });
+        let handle = accel.map_matrix(&w);
+        let calib: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
+        accel.calibrate_layer(handle, std::slice::from_ref(&calib));
+        Self::new(accel, handle)
+    }
+
+    /// The deterministic demo input for request index `id` (shared by
+    /// tests, the example and the load generator).
+    #[must_use]
+    pub fn demo_input(k: usize, id: usize) -> Vec<f32> {
+        (0..k)
+            .map(|j| (((j + 31 * id) as f32) * 0.13).sin())
+            .collect()
+    }
+
+    /// Input/output dimensions `(k, n)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Unwraps into the raw accelerator + handle (e.g. to compute a
+    /// reference result in a test).
+    #[must_use]
+    pub fn into_parts(self) -> (AfprAccelerator, LayerHandle) {
+        (self.accel, self.handle)
+    }
+}
+
+/// Reply from the execution thread to a waiting connection worker.
+enum ExecReply {
+    /// Outputs, one per input vector of the job.
+    Done(Vec<Vec<f32>>),
+    /// The job's deadline lapsed while it sat in the queue.
+    Expired,
+    /// The server began draining before the job could run.
+    ShuttingDown,
+}
+
+/// A unit of queued work: one `matvec` or one `forward_batch`.
+struct ExecJob {
+    deadline: Option<Instant>,
+    inputs: Vec<Vec<f32>>,
+    reply: Sender<ExecReply>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cfg: ServerConfig,
+    shutting_down: AtomicBool,
+    batcher: MicroBatcher<ExecJob>,
+    metrics: ServeMetrics,
+    k: usize,
+    n: usize,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Flips the drain flag and closes the admission queue
+    /// (idempotent).
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.batcher.close();
+    }
+
+    fn health_info(&self) -> HealthInfo {
+        HealthInfo {
+            protocol: PROTOCOL_VERSION,
+            input_dim: self.k as u64,
+            output_dim: self.n as u64,
+            queue_depth: self.batcher.len() as u64,
+            queue_capacity: self.cfg.queue_capacity as u64,
+            shutting_down: self.is_shutting_down(),
+        }
+    }
+}
+
+/// Handle to a running inference server.
+///
+/// Dropping the handle requests shutdown and joins every thread.
+///
+/// # Example
+///
+/// ```no_run
+/// use afpr_serve::{Client, ServeModel, Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig::default(), ServeModel::demo(7)).unwrap();
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// let y = client.matvec(vec![0.5f32; 256]).unwrap();
+/// assert_eq!(y.len(), 128);
+/// let snapshot = server.shutdown();
+/// assert_eq!(snapshot.runtime.requests_accepted, 1);
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    exec: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor, connection pool and
+    /// execution thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, bad address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_capacity` or `batch_size` is zero.
+    pub fn start(cfg: ServerConfig, model: ServeModel) -> io::Result<Self> {
+        assert!(cfg.workers > 0, "workers must be positive");
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let engine = Engine::new(EngineConfig {
+            threads: cfg.engine_threads,
+        });
+        let batcher = MicroBatcher::with_metrics(
+            BatchConfig {
+                batch_size: cfg.batch_size,
+                max_wait: cfg.max_wait,
+                capacity: cfg.queue_capacity,
+            },
+            Arc::clone(engine.metrics()),
+        );
+        let metrics = ServeMetrics::new(Arc::clone(engine.metrics()));
+        let ServeModel {
+            accel,
+            handle,
+            k,
+            n,
+        } = model;
+        let shared = Arc::new(Shared {
+            cfg,
+            shutting_down: AtomicBool::new(false),
+            batcher,
+            metrics,
+            k,
+            n,
+        });
+
+        let exec = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("afpr-serve-exec".into())
+                .spawn(move || exec_loop(&shared, accel, handle, &engine))
+                .expect("spawn exec thread")
+        };
+
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = conn_rx.clone();
+                thread::Builder::new()
+                    .name(format!("afpr-serve-conn-{i}"))
+                    .spawn(move || worker_loop(&shared, &conn_rx))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("afpr-serve-accept".into())
+                .spawn(move || acceptor_loop(&shared, &listener, &conn_tx))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            exec: Some(exec),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> ServeSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Whether a drain has been requested (locally or by a client's
+    /// `shutdown` request).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// Requests a graceful drain without blocking: stops admission,
+    /// flushes queued work, lets current requests finish.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until a drain has been requested (used by the `serve`
+    /// binary to wait for a client-sent `shutdown`).
+    pub fn wait_shutdown_requested(&self) {
+        while !self.is_shutting_down() {
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Gracefully drains and stops the server, returning the final
+    /// metrics snapshot: in-flight requests are flushed, then every
+    /// thread is joined.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.join_threads();
+        self.shared.metrics.snapshot()
+    }
+
+    fn join_threads(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.exec.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener, conn_tx: &Sender<TcpStream>) {
+    const ACCEPT_POLL: Duration = Duration::from_millis(2);
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking (so this loop can watch
+                // the drain flag); accepted sockets must be blocking
+                // for the per-connection read-timeout discipline.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                shared.metrics.record_connection();
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        shared.metrics.record_connection_dropped();
+                        drop(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, conn_rx: &Receiver<TcpStream>) {
+    const IDLE_POLL: Duration = Duration::from_millis(25);
+    loop {
+        match conn_rx.recv_timeout(IDLE_POLL) {
+            Ok(stream) => connection_loop(shared, stream),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection to completion: a read → admit → execute →
+/// respond loop with framing-error containment.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        match protocol::read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(None) => return, // clean disconnect
+            Ok(Some(payload)) => {
+                let t0 = Instant::now();
+                if !handle_frame(shared, &payload, t0, &mut writer) {
+                    return;
+                }
+                // Drain-then-stop: during shutdown each connection
+                // finishes the request it is on, then closes.
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if shared.is_shutting_down() {
+                    return; // idle connection during drain
+                }
+            }
+            Err(FrameError::TooLarge { announced, max }) => {
+                // The peer is alive and spoke the framing language;
+                // tell it what went wrong, then cut the connection
+                // (the oversized payload cannot be skipped safely).
+                shared.metrics.record_protocol_error();
+                shared
+                    .metrics
+                    .runtime()
+                    .record_rejection(RejectReason::Malformed);
+                let resp = Response::error(
+                    0,
+                    Status::Malformed,
+                    format!("frame of {announced} bytes exceeds cap of {max}"),
+                );
+                let _ = protocol::write_message(&mut writer, &resp);
+                return;
+            }
+            Err(FrameError::TruncatedEof { .. } | FrameError::Stalled { .. }) => {
+                // Half-sent frame: nothing sensible to answer.
+                shared.metrics.record_protocol_error();
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                shared.metrics.record_protocol_error();
+                return;
+            }
+        }
+    }
+}
+
+/// Parses and serves one frame. Returns `false` when the connection
+/// should close (write failure or served a `shutdown`).
+fn handle_frame<W: Write>(shared: &Shared, payload: &[u8], t0: Instant, writer: &mut W) -> bool {
+    let req = match protocol::parse_message::<Request>(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            // Bad JSON inside a good frame: answer 400, keep the
+            // connection — framing is still in sync.
+            shared
+                .metrics
+                .runtime()
+                .record_rejection(RejectReason::Malformed);
+            let resp = Response::error(0, Status::Malformed, e);
+            return protocol::write_message(writer, &resp).is_ok();
+        }
+    };
+    let op = req.op;
+    let id = req.id;
+    let resp = dispatch(shared, req, t0);
+    shared
+        .metrics
+        .record_request(op, resp.is_ok(), t0.elapsed());
+    debug_assert_eq!(resp.id, id);
+    if protocol::write_message(writer, &resp).is_err() {
+        return false;
+    }
+    op != Op::Shutdown
+}
+
+/// Admission control + dispatch for one parsed request.
+fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
+    match req.op {
+        Op::Health => {
+            let mut resp = Response::ok(req.id);
+            resp.health = Some(shared.health_info());
+            resp
+        }
+        Op::Metrics => {
+            let mut resp = Response::ok(req.id);
+            resp.metrics = Some(shared.metrics.snapshot());
+            resp
+        }
+        Op::Shutdown => {
+            shared.begin_shutdown();
+            let mut resp = Response::ok(req.id);
+            resp.metrics = Some(shared.metrics.snapshot());
+            resp
+        }
+        Op::Matvec => {
+            let Some(input) = req.input.clone() else {
+                return reject_malformed(shared, req.id, "matvec requires `input`");
+            };
+            match admit(shared, &req, t0, vec![input]) {
+                Ok(mut outputs) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.output = outputs.pop();
+                    resp
+                }
+                Err(resp) => *resp,
+            }
+        }
+        Op::ForwardBatch => {
+            let Some(inputs) = req.inputs.clone() else {
+                return reject_malformed(shared, req.id, "forward_batch requires `inputs`");
+            };
+            if inputs.is_empty() {
+                let mut resp = Response::ok(req.id);
+                resp.outputs = Some(Vec::new());
+                return resp;
+            }
+            match admit(shared, &req, t0, inputs) {
+                Ok(outputs) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.outputs = Some(outputs);
+                    resp
+                }
+                Err(resp) => *resp,
+            }
+        }
+    }
+}
+
+fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Response {
+    shared
+        .metrics
+        .runtime()
+        .record_rejection(RejectReason::Malformed);
+    Response::error(id, Status::Malformed, detail)
+}
+
+/// Runs the admission pipeline for compute requests: input validation
+/// → deadline gate → drain gate → bounded-queue submit → wait for the
+/// execution thread's reply.
+fn admit(
+    shared: &Shared,
+    req: &Request,
+    t0: Instant,
+    inputs: Vec<Vec<f32>>,
+) -> Result<Vec<Vec<f32>>, Box<Response>> {
+    for (i, input) in inputs.iter().enumerate() {
+        if input.len() != shared.k {
+            return Err(Box::new(reject_malformed(
+                shared,
+                req.id,
+                format!(
+                    "input {i} has length {}, served layer expects {}",
+                    input.len(),
+                    shared.k
+                ),
+            )));
+        }
+    }
+
+    let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            shared
+                .metrics
+                .runtime()
+                .record_rejection(RejectReason::DeadlineExpired);
+            return Err(Box::new(Response::error(
+                req.id,
+                Status::DeadlineExpired,
+                "deadline expired before admission",
+            )));
+        }
+    }
+
+    if shared.is_shutting_down() {
+        return Err(Box::new(Response::error(
+            req.id,
+            Status::ShuttingDown,
+            "server is draining",
+        )));
+    }
+
+    let (reply_tx, reply_rx) = bounded::<ExecReply>(1);
+    let job = ExecJob {
+        deadline,
+        inputs,
+        reply: reply_tx,
+    };
+    if let Err(QueueFull(_)) = shared.batcher.try_submit(job) {
+        // The batcher already counted the rejection (queue_full).
+        let mut resp = Response::error(req.id, Status::Overloaded, "admission queue at capacity");
+        resp.retry_after_ms = Some(shared.cfg.retry_after_ms);
+        return Err(Box::new(resp));
+    }
+    shared.metrics.runtime().record_request_accepted();
+
+    // Generous reply wait: the execution thread answers every queued
+    // job (including during drain), so this timeout only fires if the
+    // execution thread died — fail the request instead of hanging the
+    // connection forever.
+    let wait = match deadline {
+        Some(d) => d.saturating_duration_since(Instant::now()) + REPLY_GRACE,
+        None => REPLY_TIMEOUT,
+    };
+    match reply_rx.recv_timeout(wait) {
+        Ok(ExecReply::Done(outputs)) => Ok(outputs),
+        Ok(ExecReply::Expired) => Err(Box::new(Response::error(
+            req.id,
+            Status::DeadlineExpired,
+            "deadline expired while queued",
+        ))),
+        Ok(ExecReply::ShuttingDown) => Err(Box::new(Response::error(
+            req.id,
+            Status::ShuttingDown,
+            "server drained before execution",
+        ))),
+        Err(_) => Err(Box::new(Response::error(
+            req.id,
+            Status::ShuttingDown,
+            "execution pipeline unavailable",
+        ))),
+    }
+}
+
+/// Safety-net wait for a reply when the request has no deadline.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+/// Extra wait past a request's own deadline (covers batch linger and
+/// the execution thread's expiry sweep).
+const REPLY_GRACE: Duration = Duration::from_secs(5);
+
+// ---------------------------------------------------------------------------
+// Execution thread
+// ---------------------------------------------------------------------------
+
+fn exec_loop(shared: &Shared, mut accel: AfprAccelerator, handle: LayerHandle, engine: &Engine) {
+    let mut energy_reported = 0.0f64;
+    while let Some(batch) = shared.batcher.next_batch() {
+        if !shared.cfg.exec_delay.is_zero() {
+            thread::sleep(shared.cfg.exec_delay);
+        }
+        run_batch(shared, &mut accel, handle, engine, batch);
+        // Export the accelerator's analog-energy delta so `metrics`
+        // responses track live energy, not just a final total.
+        let total = accel.stats().total_energy().joules() + accel.adder_energy().joules();
+        engine.metrics().record_energy_j(total - energy_reported);
+        energy_reported = total;
+    }
+    // Drain-then-stop epilogue: answer anything that raced past the
+    // close so no connection worker is left waiting.
+    for job in shared.batcher.drain() {
+        let _ = job.reply.send(ExecReply::ShuttingDown);
+    }
+}
+
+fn run_batch(
+    shared: &Shared,
+    accel: &mut AfprAccelerator,
+    handle: LayerHandle,
+    engine: &Engine,
+    batch: Vec<ExecJob>,
+) {
+    // Second deadline gate: drop jobs that aged out while queued,
+    // before they cost engine time.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| now >= d) {
+            shared
+                .metrics
+                .runtime()
+                .record_rejection(RejectReason::DeadlineExpired);
+            let _ = job.reply.send(ExecReply::Expired);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Flatten every job's inputs into one engine batch (submission
+    // order preserved — the determinism contract of `forward_batch`),
+    // then split the outputs back out per job.
+    let flat: Vec<Vec<f32>> = live
+        .iter()
+        .flat_map(|job| job.inputs.iter().cloned())
+        .collect();
+    let mut outputs = accel.forward_batch(handle, &flat, engine).into_iter();
+    for job in live {
+        let take = job.inputs.len();
+        let chunk: Vec<Vec<f32>> = outputs.by_ref().take(take).collect();
+        let _ = job.reply.send(ExecReply::Done(chunk));
+    }
+}

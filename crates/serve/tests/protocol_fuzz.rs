@@ -1,0 +1,135 @@
+//! Protocol robustness fuzzing: arbitrary garbage, truncated frames
+//! and oversized length prefixes must never panic the server — every
+//! case ends in a structured `400 malformed` response or a clean
+//! disconnect, and the server keeps answering well-formed requests
+//! afterwards.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use afpr_serve::{read_frame, Client, ServeModel, Server, ServerConfig, Status};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One server shared by every fuzz case. Leaked into a static so its
+/// threads outlive all cases; each case opens a fresh connection.
+fn fuzz_server_addr() -> SocketAddr {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let cfg = ServerConfig {
+                // Small cap so oversized-length cases are cheap.
+                max_frame_bytes: 1 << 16,
+                ..ServerConfig::default()
+            };
+            Server::start(cfg, ServeModel::demo(11)).expect("fuzz server starts")
+        })
+        .local_addr()
+}
+
+/// Connects a raw socket with a bounded read timeout so a buggy server
+/// would fail the property instead of hanging the suite.
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s.set_nodelay(true).expect("nodelay");
+    s
+}
+
+/// The server still answers a well-formed request on a fresh
+/// connection — i.e. nothing panicked or wedged.
+fn assert_server_alive(addr: SocketAddr) -> Result<(), TestCaseError> {
+    let mut probe = Client::connect(addr)
+        .map_err(|e| TestCaseError::fail(format!("probe connect failed: {e}")))?;
+    let health = probe
+        .health()
+        .map_err(|e| TestCaseError::fail(format!("health failed after fuzz case: {e}")))?;
+    if health.input_dim != 256 {
+        return Err(TestCaseError::fail("health returned wrong dims"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A complete frame of arbitrary bytes gets a structured response
+    /// (almost always `400 malformed`) or a clean disconnect — never a
+    /// panic, never a corrupted reply frame.
+    fn random_payload_gets_400_or_clean_disconnect(
+        payload in prop::collection::vec(0u8..=255, 0..400),
+    ) {
+        let addr = fuzz_server_addr();
+        let mut s = raw_conn(addr);
+        let len = u32::try_from(payload.len()).expect("small payload");
+        s.write_all(&len.to_be_bytes()).expect("header");
+        s.write_all(&payload).expect("payload");
+        s.flush().expect("flush");
+
+        match read_frame(&mut s, 1 << 20) {
+            Ok(Some(bytes)) => {
+                // Any reply must itself be a valid protocol frame.
+                let resp: afpr_serve::Response =
+                    afpr_serve::parse_message(&bytes)
+                        .map_err(|e| TestCaseError::fail(format!("unparseable reply: {e}")))?;
+                // Random bytes essentially never form a valid request.
+                prop_assert_eq!(resp.status, Status::Malformed);
+                prop_assert_eq!(resp.code, 400);
+            }
+            Ok(None) => {} // clean disconnect is acceptable
+            Err(e) => {
+                return Err(TestCaseError::fail(format!("dirty disconnect: {e}")));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+
+    /// A frame whose announced length exceeds what is actually sent
+    /// (connection closed mid-payload) is dropped without panic.
+    fn truncated_frame_is_dropped_cleanly(
+        payload in prop::collection::vec(0u8..=255, 0..200),
+        missing in 1u32..500,
+    ) {
+        let addr = fuzz_server_addr();
+        {
+            let mut s = raw_conn(addr);
+            let announced = payload.len() as u32 + missing;
+            s.write_all(&announced.to_be_bytes()).expect("header");
+            s.write_all(&payload).expect("partial payload");
+            s.flush().expect("flush");
+            // Drop: the server sees EOF mid-frame.
+        }
+        assert_server_alive(addr)?;
+    }
+
+    /// An announced length beyond the server's frame cap is rejected
+    /// up front (400 response or disconnect) without ever allocating
+    /// or reading the payload.
+    fn oversized_announced_length_is_rejected(
+        announced in (1u32 << 16) + 1..u32::MAX,
+        teaser in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let addr = fuzz_server_addr();
+        let mut s = raw_conn(addr);
+        s.write_all(&announced.to_be_bytes()).expect("header");
+        s.write_all(&teaser).expect("teaser bytes");
+        s.flush().expect("flush");
+
+        match read_frame(&mut s, 1 << 20) {
+            Ok(Some(bytes)) => {
+                let resp: afpr_serve::Response =
+                    afpr_serve::parse_message(&bytes)
+                        .map_err(|e| TestCaseError::fail(format!("unparseable reply: {e}")))?;
+                prop_assert_eq!(resp.status, Status::Malformed);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(TestCaseError::fail(format!("dirty disconnect: {e}")));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+}

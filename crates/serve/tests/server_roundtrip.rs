@@ -1,0 +1,230 @@
+//! Loopback integration tests for the serving stack: bit-identity
+//! against the in-process accelerator, structured overload and
+//! deadline rejections, malformed-request handling, health under
+//! saturation, and graceful drain-then-stop shutdown.
+
+use std::time::Duration;
+
+use afpr_serve::{Client, ClientError, Op, Request, ServeModel, Server, ServerConfig, Status};
+
+/// Server responses are bit-identical to driving the accelerator
+/// directly with the same seed and the same sample order — the wire
+/// protocol, micro-batching and engine parallelism are all invisible
+/// to the numerics.
+#[test]
+fn matvec_and_forward_batch_bit_identical_to_direct_accelerator() {
+    const SEED: u64 = 42;
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("starts");
+    let (mut reference, handle) = ServeModel::demo(SEED).into_parts();
+    let (k, _n) = (256, 128);
+
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Interleave single matvecs and a forward_batch; the reference
+    // consumes the identical sample stream one matvec at a time.
+    let mut served: Vec<Vec<f32>> = Vec::new();
+    for i in 0..6 {
+        served.push(client.matvec(ServeModel::demo_input(k, i)).expect("matvec"));
+    }
+    let batch: Vec<Vec<f32>> = (6..10).map(|i| ServeModel::demo_input(k, i)).collect();
+    served.extend(client.forward_batch(batch).expect("forward_batch"));
+
+    let golden: Vec<Vec<f32>> = (0..10)
+        .map(|i| reference.matvec(handle, &ServeModel::demo_input(k, i)))
+        .collect();
+
+    assert_eq!(served.len(), golden.len());
+    for (s, g) in served.iter().zip(&golden) {
+        assert_eq!(s.len(), g.len());
+        for (a, b) in s.iter().zip(g) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "server output differs from direct"
+            );
+        }
+    }
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.runtime.requests_accepted, 7); // 6 matvec + 1 batch
+    assert_eq!(snapshot.runtime.rejections.total(), 0);
+    assert_eq!(snapshot.protocol_errors, 0);
+}
+
+/// Malformed requests get a structured 400 and are counted, and the
+/// connection stays usable afterwards.
+#[test]
+fn malformed_requests_get_400_and_connection_survives() {
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(1)).expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Wrong input length.
+    let resp = client
+        .call(&Request::matvec(1, vec![0.5; 7]))
+        .expect("answered");
+    assert_eq!(resp.status, Status::Malformed);
+    assert_eq!(resp.code, 400);
+    assert!(resp.error.is_some());
+
+    // Missing `input` field entirely.
+    let resp = client.call(&Request::new(Op::Matvec, 2)).expect("answered");
+    assert_eq!(resp.status, Status::Malformed);
+
+    // The connection still serves well-formed requests.
+    let y = client.matvec(vec![0.25; 256]).expect("recovers");
+    assert_eq!(y.len(), 128);
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.runtime.rejections.malformed, 2);
+    assert_eq!(snapshot.runtime.requests_accepted, 1);
+}
+
+/// With a tiny queue and slow execution, excess load is rejected with
+/// `503 overloaded` + `retry_after_ms`, while health keeps answering
+/// because it bypasses the admission queue.
+#[test]
+fn saturation_yields_structured_503_and_health_stays_responsive() {
+    let cfg = ServerConfig {
+        queue_capacity: 2,
+        batch_size: 1,
+        exec_delay: Duration::from_millis(60),
+        retry_after_ms: 17,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, ServeModel::demo(3)).expect("starts");
+    let addr = server.local_addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                client
+                    .call(&Request::matvec(1, vec![0.5; 256]))
+                    .expect("answered")
+            })
+        })
+        .collect();
+
+    // While the queue saturates, health must still answer quickly.
+    let mut probe = Client::connect(addr).expect("probe connects");
+    let health = probe.health().expect("health responds under saturation");
+    assert_eq!(health.queue_capacity, 2);
+
+    let responses: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let ok = responses.iter().filter(|r| r.is_ok()).count();
+    let overloaded: Vec<_> = responses
+        .iter()
+        .filter(|r| r.status == Status::Overloaded)
+        .collect();
+    assert!(ok >= 1, "some requests must get through");
+    assert!(
+        !overloaded.is_empty(),
+        "8 clients vs queue of 2 must shed load"
+    );
+    for r in &overloaded {
+        assert_eq!(r.code, 503);
+        assert_eq!(r.retry_after_ms, Some(17), "503 carries the retry hint");
+    }
+
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.runtime.rejections.queue_full,
+        overloaded.len() as u64
+    );
+    assert_eq!(snapshot.runtime.requests_accepted, ok as u64);
+}
+
+/// Deadlines are enforced twice: an already-expired budget is rejected
+/// at admission, and a request that ages out while queued behind slow
+/// work gets `504` from the execution thread's expiry sweep. Both are
+/// counted as `deadline_expired`.
+#[test]
+fn deadline_expiry_at_admission_and_while_queued() {
+    let cfg = ServerConfig {
+        batch_size: 1,
+        exec_delay: Duration::from_millis(120),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, ServeModel::demo(5)).expect("starts");
+    let addr = server.local_addr();
+
+    // Expired before admission: never reaches the queue.
+    let mut client = Client::connect(addr).expect("connects");
+    let resp = client
+        .call(&Request::matvec(1, vec![0.5; 256]).with_deadline_ms(0))
+        .expect("answered");
+    assert_eq!(resp.status, Status::DeadlineExpired);
+    assert_eq!(resp.code, 504);
+
+    // Queued expiry: occupy the execution thread with a slow request,
+    // then submit one whose budget is shorter than the queue wait.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connects");
+        c.matvec(vec![0.5; 256]).expect("slow request completes")
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let resp = client
+        .call(&Request::matvec(2, vec![0.5; 256]).with_deadline_ms(40))
+        .expect("answered");
+    assert_eq!(
+        resp.status,
+        Status::DeadlineExpired,
+        "aged out while queued"
+    );
+    blocker.join().expect("blocker thread");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.runtime.rejections.deadline_expired, 2);
+    assert_eq!(snapshot.runtime.rejections.queue_full, 0);
+}
+
+/// `shutdown` drains in-flight work before stopping: a request already
+/// admitted when the drain begins still completes with `ok`, and the
+/// client-facing shutdown response carries the final snapshot.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let cfg = ServerConfig {
+        batch_size: 1,
+        exec_delay: Duration::from_millis(80),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, ServeModel::demo(9)).expect("starts");
+    let addr = server.local_addr();
+
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connects");
+        c.matvec(vec![0.5; 256])
+    });
+    std::thread::sleep(Duration::from_millis(20));
+
+    let mut admin = Client::connect(addr).expect("admin connects");
+    let final_metrics = admin.shutdown_server().expect("shutdown acknowledged");
+    // The slow matvec was admitted before the drain began (it may not
+    // have been *answered* yet, so don't assert on responses_sent).
+    assert!(final_metrics.runtime.requests_accepted >= 1);
+
+    // The admitted request survives the drain.
+    let y = in_flight
+        .join()
+        .expect("client thread")
+        .expect("in-flight request completes during drain");
+    assert_eq!(y.len(), 128);
+
+    // New compute work after the drain is refused (or the listener is
+    // already gone — both are acceptable shutdown behaviors).
+    if let Ok(mut late) = Client::connect(addr) {
+        match late.call(&Request::matvec(1, vec![0.5; 256])) {
+            Ok(resp) => assert_eq!(resp.status, Status::ShuttingDown),
+            Err(ClientError::Disconnected | ClientError::Io(_)) => {}
+            Err(other) => panic!("unexpected late-request failure: {other}"),
+        }
+    }
+
+    let snapshot = server.shutdown();
+    assert!(snapshot.runtime.requests_accepted >= 1);
+    let mv = snapshot.op(Op::Matvec).expect("matvec stats");
+    assert!(mv.ok >= 1, "drained request counted as ok");
+}

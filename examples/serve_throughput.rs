@@ -1,87 +1,82 @@
-//! Micro-batched "inference serving" demo: producer threads push
-//! requests into a bounded [`MicroBatcher`]; a consumer loop drains
-//! micro-batches and executes them on the accelerator with tile-level
-//! parallelism via [`Engine`] + `forward_batch`. Finishes by printing
-//! the shared runtime-metrics snapshot as JSON.
+//! Networked "inference serving" demo: starts an in-process
+//! [`afpr::serve::Server`] on an ephemeral loopback port, drives it
+//! with concurrent [`afpr::serve::Client`] connections over real TCP
+//! sockets, and finishes by printing the server's final metrics
+//! snapshot (per-endpoint latency histograms plus the engine's
+//! runtime counters) as JSON.
+//!
+//! This is the wire-protocol successor of the old in-process
+//! `MicroBatcher` demo: the bounded queue, micro-batching and engine
+//! parallelism are still there, but they now sit behind the `afpr-serve`
+//! admission-controlled TCP front end, so the same demo also exercises
+//! framing, per-request deadlines and structured overload responses.
 //!
 //! Run with: `cargo run --release --example serve_throughput`
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
 
-use afpr::core::accelerator::AfprAccelerator;
-use afpr::nn::tensor::Tensor;
-use afpr::runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher};
-use afpr::xbar::spec::{MacroMode, MacroSpec};
+use afpr::serve::{Client, ClientError, Request, ServeModel, Server, ServerConfig};
 
-const K: usize = 256;
-const N: usize = 128;
-const REQUESTS: usize = 64;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 16;
+const PIPELINE_DEPTH: usize = 4;
 
 fn main() {
-    // Worker pool sized from the machine; batcher shares its metrics.
-    let engine = Engine::new(EngineConfig::default());
-    let batcher: Arc<MicroBatcher<(usize, Vec<f32>)>> = Arc::new(MicroBatcher::with_metrics(
-        BatchConfig {
-            batch_size: 8,
-            max_wait: Duration::from_millis(2),
-            capacity: 32,
-        },
-        Arc::clone(engine.metrics()),
-    ));
+    // Ephemeral port, demo model (256×128 layer tiled over 64×32 FP
+    // macros), defaults elsewhere.
+    let cfg = ServerConfig::default();
+    let server = Server::start(cfg, ServeModel::demo(7)).expect("server starts");
+    let addr = server.local_addr();
 
-    // A 4×4-tile layer of small macros.
-    let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
-    let mut accel = AfprAccelerator::with_spec(base, 7);
-    let w = Tensor::from_fn(&[K, N], |i| {
-        (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
-    });
-    let handle = accel.map_matrix(&w);
-    let calib: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
-    accel.calibrate_layer(handle, std::slice::from_ref(&calib));
+    let mut probe = Client::connect(addr).expect("probe connects");
+    let health = probe.health().expect("health");
+    println!(
+        "serving {}→{} layer on {addr} (queue {}/{})",
+        health.input_dim, health.output_dim, health.queue_depth, health.queue_capacity
+    );
 
-    // Two producers submit interleaved requests; blocking submit gives
-    // backpressure when the consumer falls behind.
-    let producers: Vec<_> = (0..2)
-        .map(|p| {
-            let batcher = Arc::clone(&batcher);
-            std::thread::spawn(move || {
-                for i in 0..REQUESTS / 2 {
-                    let id = p * REQUESTS / 2 + i;
-                    let x: Vec<f32> = (0..K)
-                        .map(|k| (((k + 31 * id) as f32) * 0.13).sin())
-                        .collect();
-                    batcher.submit_blocking((id, x));
+    // Concurrent clients, each pipelining a few requests per
+    // connection; the server batches across connections.
+    let k = health.input_dim as usize;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || -> Result<usize, ClientError> {
+                let mut client = Client::connect(addr)?;
+                let mut sent = 0usize;
+                let mut done = 0usize;
+                let mut in_flight = 0usize;
+                while done < REQUESTS_PER_CLIENT {
+                    while in_flight < PIPELINE_DEPTH && sent < REQUESTS_PER_CLIENT {
+                        let rid = c * REQUESTS_PER_CLIENT + sent;
+                        let x = ServeModel::demo_input(k, rid);
+                        let id = client.next_id();
+                        client.send(&Request::matvec(id, x))?;
+                        sent += 1;
+                        in_flight += 1;
+                    }
+                    let resp = client.recv()?;
+                    assert!(resp.is_ok(), "unexpected rejection: {:?}", resp.status);
+                    in_flight -= 1;
+                    done += 1;
                 }
+                Ok(done)
             })
         })
         .collect();
 
-    // Consumer: drain micro-batches until producers finish.
     let mut served = 0usize;
-    let mut batches = 0usize;
-    while served < REQUESTS {
-        let Some(batch) = batcher.next_batch() else {
-            break;
-        };
-        let (ids, inputs): (Vec<usize>, Vec<Vec<f32>>) = batch.into_iter().unzip();
-        let outputs = accel.forward_batch(handle, &inputs, &engine);
-        served += outputs.len();
-        batches += 1;
-        let first = ids.first().copied().unwrap_or_default();
-        println!(
-            "batch {batches:>2}: {} request(s) (first id {first}), output dim {}",
-            outputs.len(),
-            outputs[0].len()
-        );
+    for h in handles {
+        served += h.join().expect("client thread").expect("client io");
     }
-    batcher.close();
-    for p in producers {
-        p.join().expect("producer thread");
-    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "served {served} matvec requests from {CLIENTS} connections in {:.1} ms ({:.0} req/s)",
+        dt * 1e3,
+        served as f64 / dt
+    );
 
-    let energy = accel.stats().total_energy().joules() + accel.adder_energy().joules();
-    engine.metrics().record_energy_j(energy);
-    println!("\nserved {served} requests in {batches} micro-batches");
-    println!("{}", engine.metrics().snapshot().to_json_pretty());
+    // Graceful shutdown returns the final frozen snapshot.
+    let snapshot = server.shutdown();
+    println!("{}", snapshot.to_json_pretty());
 }

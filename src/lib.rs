@@ -13,6 +13,8 @@
 //! * [`core`] — the AFPR-CIM accelerator architecture and reports.
 //! * [`runtime`] — parallel tiled execution engine, micro-batching
 //!   and runtime metrics.
+//! * [`serve`] — networked inference service: TCP wire protocol,
+//!   admission-controlled server, and a blocking typed client.
 
 #![forbid(unsafe_code)]
 
@@ -23,4 +25,5 @@ pub use afpr_device as device;
 pub use afpr_nn as nn;
 pub use afpr_num as num;
 pub use afpr_runtime as runtime;
+pub use afpr_serve as serve;
 pub use afpr_xbar as xbar;
