@@ -1,0 +1,364 @@
+//! Chaos soak: hammer a fault-injected AFPR inference server and prove
+//! the resilience story end to end.
+//!
+//! The server runs with a live [`ChaosConfig`] (stuck cells injected
+//! into the serving accelerator on a batch cadence, scrub passes
+//! detecting and remapping hot columns to spares) plus deliberate
+//! worker-pool panics (`--panic-every`). Clients use the retrying
+//! client and additionally churn their own connections
+//! (`--drop-every`). Over `--duration-ms` the soak asserts:
+//!
+//! * **zero hangs** — a watchdog fails the run if no client completes a
+//!   call for 5 s;
+//! * **zero protocol corruption** — every response parses, has the
+//!   served layer's dimensions, and contains only finite values;
+//! * **bounded accuracy loss** — mean relative L2 error of `ok`
+//!   responses against a fault-free twin of the model stays under
+//!   `--err-bound`;
+//! * **observable self-healing** — the server visits `Degraded` during
+//!   the storm and recovers to `Healthy` once traffic stops, with
+//!   `degraded_entered ≥ 1` and `recovered ≥ 1` in the final snapshot;
+//! * **panic containment** — injected worker panics are caught and
+//!   counted (`jobs_panicked`), never escape, and never corrupt a
+//!   response.
+//!
+//! Usage (the CI chaos-smoke step runs the bracketed line):
+//!
+//! ```text
+//! cargo run --release --bin chaos -- --duration-ms 10000
+//! [cargo run --release --bin chaos -- --duration-ms 6000 --seed 7]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afpr_core::ChaosConfig;
+use afpr_device::YieldModel;
+use afpr_serve::{
+    Client, ClientError, HealthPolicy, HealthState, RetryPolicy, RetryingClient, ServeModel,
+    Server, ServerConfig,
+};
+use afpr_xbar::GuardConfig;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Per-client tally, merged at the end.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    gave_up: u64,
+    circuit_open: u64,
+    corrupted: u64,
+    drops: u64,
+    err_sum: f64,
+    err_max: f64,
+    err_n: u64,
+}
+
+impl Tally {
+    fn merge(&mut self, o: &Tally) {
+        self.sent += o.sent;
+        self.ok += o.ok;
+        self.gave_up += o.gave_up;
+        self.circuit_open += o.circuit_open;
+        self.corrupted += o.corrupted;
+        self.drops += o.drops;
+        self.err_sum += o.err_sum;
+        self.err_max = self.err_max.max(o.err_max);
+        self.err_n += o.err_n;
+    }
+}
+
+/// Relative L2 error of `y` against `reference`.
+fn rel_l2(y: &[f32], reference: &[f32]) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (a, b) in y.iter().zip(reference) {
+        num += f64::from(a - b) * f64::from(a - b);
+        den += f64::from(*b) * f64::from(*b);
+    }
+    num.sqrt() / (den.sqrt() + 1e-9)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let duration = Duration::from_millis(flag::<u64>(&args, "--duration-ms").unwrap_or(10_000));
+    let seed = flag::<u64>(&args, "--seed").unwrap_or(7);
+    let stuck_p = flag::<f64>(&args, "--stuck-p").unwrap_or(1e-3);
+    let clients = flag::<usize>(&args, "--clients").unwrap_or(4).max(1);
+    let drop_every = flag::<u64>(&args, "--drop-every").unwrap_or(20);
+    let panic_every = flag::<u64>(&args, "--panic-every").unwrap_or(16);
+    // Deliberately misaligned cadences: injections land between scrub
+    // passes, so clients really do see (bounded-error) responses from a
+    // faulted array before the next scrub repairs it.
+    let inject_period = flag::<u64>(&args, "--inject-period").unwrap_or(400);
+    let scrub_period = flag::<u64>(&args, "--scrub-period").unwrap_or(150);
+    let spares = flag::<usize>(&args, "--spares").unwrap_or(16);
+    let err_bound = flag::<f64>(&args, "--err-bound").unwrap_or(0.5);
+    const INPUTS: usize = 64;
+
+    // Injected worker panics are intentional; keep their backtraces out
+    // of the report. Anything else panicking still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected worker fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // Fault-free twin of the served model: the accuracy reference.
+    // (Reads carry analog noise, so the comparison is a tolerance, not
+    // bit-equality; the fault-free noise floor is orders of magnitude
+    // below --err-bound.)
+    let (mut ref_accel, ref_handle) = ServeModel::demo_resilient(seed, spares).into_parts();
+    let (k, _n) = {
+        let model = ServeModel::demo_resilient(seed, spares);
+        model.dims()
+    };
+    let inputs: Vec<Vec<f32>> = (0..INPUTS).map(|i| ServeModel::demo_input(k, i)).collect();
+    let reference: Arc<Vec<Vec<f32>>> = Arc::new(
+        inputs
+            .iter()
+            .map(|x| ref_accel.matvec(ref_handle, x))
+            .collect(),
+    );
+    let inputs = Arc::new(inputs);
+
+    let cfg = ServerConfig {
+        batch_size: 4,
+        chaos: Some(ChaosConfig {
+            yield_model: YieldModel::new(stuck_p / 2.0, stuck_p / 2.0),
+            drift_step: 0.0,
+            inject_period,
+            scrub_period,
+            guard: GuardConfig::default(),
+            seed,
+        }),
+        health: HealthPolicy {
+            min_dwell: Duration::from_millis(100),
+            ..HealthPolicy::default()
+        },
+        panic_every,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(cfg, ServeModel::demo_resilient(seed, spares)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: server did not start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!(
+        "chaos soak: {clients} clients vs {addr} for {duration:?} \
+         (stuck-p {stuck_p:.1e}, inject/{inject_period}, scrub/{scrub_period}, \
+         panic/{panic_every}, drop/{drop_every})"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let progress = Arc::clone(&progress);
+            let inputs = Arc::clone(&inputs);
+            let reference = Arc::clone(&reference);
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut t = Tally::default();
+                let mut client = RetryingClient::new(
+                    addr,
+                    RetryPolicy {
+                        max_retries: 6,
+                        base_backoff: Duration::from_millis(2),
+                        max_backoff: Duration::from_millis(100),
+                        breaker_threshold: 12,
+                        breaker_cooldown: Duration::from_millis(200),
+                        seed: seed ^ (c as u64).wrapping_mul(0x9e37_79b9),
+                        io_timeout: Some(Duration::from_secs(5)),
+                    },
+                );
+                let mut seq: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    seq += 1;
+                    if drop_every > 0 && seq.is_multiple_of(drop_every) {
+                        // Connection churn: the next call must
+                        // transparently reconnect.
+                        client.drop_connection();
+                        t.drops += 1;
+                    }
+                    let idx = (seq as usize).wrapping_mul(31).wrapping_add(c) % INPUTS;
+                    t.sent += 1;
+                    match client.matvec(&inputs[idx]) {
+                        Ok(y) => {
+                            let r = &reference[idx];
+                            if y.len() != r.len() || y.iter().any(|v| !v.is_finite()) {
+                                t.corrupted += 1;
+                            } else {
+                                let e = rel_l2(&y, r);
+                                t.err_sum += e;
+                                t.err_max = t.err_max.max(e);
+                                t.err_n += 1;
+                                t.ok += 1;
+                            }
+                        }
+                        Err(ClientError::CircuitOpen) => {
+                            t.circuit_open += 1;
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(ClientError::Protocol(_)) => t.corrupted += 1,
+                        Err(_) => t.gave_up += 1,
+                    }
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+                t
+            })
+        })
+        .collect();
+
+    // Watchdog + degraded observer. A run with zero forward progress
+    // for 5 s is a hang — exactly what the resilience work must
+    // prevent.
+    let mut probe = match Client::connect(addr) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("FAIL: probe cannot connect: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let mut degraded_seen = false;
+    let mut last_progress = 0u64;
+    let mut last_change = Instant::now();
+    let mut hang = false;
+    while t0.elapsed() < duration {
+        std::thread::sleep(Duration::from_millis(100));
+        let p = progress.load(Ordering::Relaxed);
+        if p != last_progress {
+            last_progress = p;
+            last_change = Instant::now();
+        } else if last_change.elapsed() > Duration::from_secs(5) {
+            hang = true;
+            break;
+        }
+        if let Ok(h) = probe.health() {
+            degraded_seen |= h.state == HealthState::Degraded;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total = Tally::default();
+    for th in threads {
+        match th.join() {
+            Ok(t) => total.merge(&t),
+            Err(_) => {
+                eprintln!("FAIL: client thread panicked");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if hang {
+        eprintln!("FAIL: no forward progress for 5 s (hang)");
+        return ExitCode::FAILURE;
+    }
+
+    // Quiesce: no compute traffic → no chaos ticks; health probes
+    // drive the dwell and the machine must recover.
+    let recover_deadline = Instant::now() + Duration::from_secs(5);
+    let mut recovered_live = false;
+    while Instant::now() < recover_deadline {
+        match probe.health() {
+            Ok(h) if h.state == HealthState::Healthy => {
+                recovered_live = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    drop(probe);
+    let snapshot = server.shutdown();
+
+    let mean_err = if total.err_n > 0 {
+        total.err_sum / total.err_n as f64
+    } else {
+        f64::NAN
+    };
+    let chaos = snapshot.chaos;
+    println!("== chaos soak report ==");
+    println!("duration          : {:.2} s", t0.elapsed().as_secs_f64());
+    println!("sent              : {}", total.sent);
+    println!("  ok              : {}", total.ok);
+    println!("  gave up         : {}", total.gave_up);
+    println!("  circuit open    : {}", total.circuit_open);
+    println!("  corrupted       : {}", total.corrupted);
+    println!("conn drops        : {}", total.drops);
+    println!(
+        "rel L2 err        : mean {mean_err:.4}, max {:.4}",
+        total.err_max
+    );
+    println!(
+        "health            : degraded_entered {}, recovered {}, shed {}",
+        snapshot.health.degraded_entered, snapshot.health.recovered, snapshot.health.shed
+    );
+    if let Some(cs) = &chaos {
+        println!(
+            "chaos             : {} cells faulted / {} injections, scrub {} flagged / {} repaired / {} unrepaired",
+            cs.cells_faulted, cs.inject_events, cs.scrub.flagged, cs.scrub.repaired, cs.scrub.unrepaired
+        );
+    }
+    println!(
+        "server            : {} responses, {} protocol errors, {} worker panics caught",
+        snapshot.responses_sent, snapshot.protocol_errors, snapshot.runtime.jobs_panicked
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    if total.ok == 0 {
+        failures.push("no successful responses at all".into());
+    }
+    if total.corrupted > 0 {
+        failures.push(format!("{} corrupted responses", total.corrupted));
+    }
+    if snapshot.protocol_errors > 0 {
+        failures.push(format!(
+            "{} server-side protocol errors",
+            snapshot.protocol_errors
+        ));
+    }
+    if total.err_n > 0 && mean_err > err_bound {
+        failures.push(format!("mean rel err {mean_err:.4} > bound {err_bound}"));
+    }
+    if chaos.as_ref().is_none_or(|c| c.cells_faulted == 0) {
+        failures.push("chaos never injected a fault (soak proved nothing)".into());
+    }
+    if !degraded_seen && snapshot.health.degraded_entered == 0 {
+        failures.push("server never degraded under chaos".into());
+    }
+    if !recovered_live && snapshot.health.recovered == 0 {
+        failures.push("server never recovered to healthy".into());
+    }
+    if panic_every > 0 && snapshot.runtime.jobs_panicked == 0 {
+        failures.push("injected worker panics were never observed".into());
+    }
+
+    if failures.is_empty() {
+        println!("PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -348,6 +348,51 @@ impl AfprAccelerator {
             }
         }
     }
+
+    /// Injects stuck-at faults into every macro's differential arrays,
+    /// sampled from `yield_model` with the caller's (chaos) RNG.
+    /// Returns the total number of cells faulted.
+    ///
+    /// The macros' compute RNG streams are untouched, so injection at
+    /// `fault_rate == 0` leaves the accelerator bit-identical.
+    pub fn inject_faults<R: rand::Rng + ?Sized>(
+        &mut self,
+        yield_model: &afpr_device::YieldModel,
+        rng: &mut R,
+    ) -> u64 {
+        let mut n = 0;
+        for layer in &mut self.layers {
+            for mac in &mut layer.macros {
+                n += mac.inject_chaos_faults(yield_model, rng);
+            }
+        }
+        n
+    }
+
+    /// Advances retention age on every macro by `delta` seconds.
+    pub fn advance_age(&mut self, delta: afpr_circuit::units::Seconds) {
+        for layer in &mut self.layers {
+            for mac in &mut layer.macros {
+                mac.advance_age(delta);
+            }
+        }
+    }
+
+    /// One scrub pass (golden-checksum detection + spare-column
+    /// repair) over every macro; reports are merged.
+    pub fn scrub<R: rand::Rng + ?Sized>(
+        &mut self,
+        guard: &afpr_xbar::GuardConfig,
+        rng: &mut R,
+    ) -> afpr_xbar::ScrubReport {
+        let mut total = afpr_xbar::ScrubReport::default();
+        for layer in &mut self.layers {
+            for mac in &mut layer.macros {
+                total.merge(&mac.scrub(guard, rng));
+            }
+        }
+        total
+    }
 }
 
 fn quantizer_for(slice: &[f32], format: FpFormat) -> FpActQuantizer {

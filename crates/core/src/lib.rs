@@ -36,6 +36,7 @@ pub mod netperf;
 pub mod perf;
 pub mod power;
 pub mod report;
+pub mod resilience;
 pub mod sim;
 
 pub use accelerator::{AfprAccelerator, LayerHandle};
@@ -45,4 +46,5 @@ pub use netperf::{network_perf, LayerPerf, NetworkPerfReport};
 pub use perf::{comparison_table, headline_ratios, HeadlineRatios, TableRow};
 pub use power::{fig6_claims, fig6a_breakdowns, Fig6Claims, PowerReport};
 pub use report::{ExperimentRecord, Measurement};
+pub use resilience::{ChaosConfig, ChaosController, ChaosStats};
 pub use sim::MacroModelSim;

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::accelerator::{AfprAccelerator, LayerHandle};
 use crate::dpu::Dpu;
+use crate::resilience::{ChaosConfig, ChaosController, ChaosStats};
 use afpr_nn::layers::{Conv2d, Layer, Linear};
 use afpr_nn::model::{ResidualBlock, Sequential};
 use afpr_nn::tensor::Tensor;
@@ -47,6 +48,9 @@ pub struct MacroModelSim {
     /// Parallel execution mode: when set, compute layers run on the
     /// worker pool (tile jobs; conv positions micro-batched).
     engine: Option<Arc<Engine>>,
+    /// Live fault environment: when set, every forward pass ticks the
+    /// controller (injection / drift / scrub) before executing.
+    chaos: Option<ChaosController>,
 }
 
 impl MacroModelSim {
@@ -68,6 +72,7 @@ impl MacroModelSim {
             handles,
             dpu: Dpu::new(),
             engine: None,
+            chaos: None,
         }
     }
 
@@ -88,6 +93,40 @@ impl MacroModelSim {
     /// Leaves parallel mode, returning the engine if one was set.
     pub fn take_engine(&mut self) -> Option<Arc<Engine>> {
         self.engine.take()
+    }
+
+    /// Attaches a live fault environment: every [`forward`](Self::forward)
+    /// call first ticks the chaos controller (fault injection, drift
+    /// stepping, scrub/repair per the config's cadences).
+    ///
+    /// Chaos draws only from its own seeded RNG; with a zero fault
+    /// rate and zero drift step the sim stays bit-identical to one
+    /// without chaos attached.
+    #[must_use]
+    pub fn with_chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(ChaosController::new(cfg));
+        self
+    }
+
+    /// Detaches the chaos controller, returning it if one was set.
+    pub fn take_chaos(&mut self) -> Option<ChaosController> {
+        self.chaos.take()
+    }
+
+    /// Cumulative chaos accounting, if a controller is attached.
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<&ChaosStats> {
+        self.chaos.as_ref().map(ChaosController::stats)
+    }
+
+    /// Ticks the attached chaos controller once (no-op without one).
+    /// Called automatically at the start of every forward pass; exposed
+    /// for harnesses that drive the accelerator directly.
+    pub fn chaos_tick(&mut self) -> Option<afpr_xbar::ScrubReport> {
+        match &mut self.chaos {
+            Some(ctl) => ctl.tick(&mut self.accel),
+            None => None,
+        }
     }
 
     /// One matvec, routed through the engine when in parallel mode.
@@ -144,6 +183,7 @@ impl MacroModelSim {
     ///
     /// Panics if `model` is not the model this sim was compiled from.
     pub fn forward(&mut self, model: &Sequential, x: &Tensor) -> Tensor {
+        let _ = self.chaos_tick();
         let mut cursor = 0usize;
         let out = forward_sequential(model, x, &mut cursor, self);
         assert_eq!(cursor, self.handles.len(), "traversal mismatch");

@@ -125,6 +125,15 @@ impl RramCell {
         self.programmed_g
     }
 
+    /// The target conductance of the last programming operation.
+    ///
+    /// Faults do not clear the target, so a repair path can read the
+    /// intended weight off a stuck cell and reprogram it into a spare.
+    #[must_use]
+    pub fn target_conductance(&self) -> f64 {
+        self.target_g
+    }
+
     /// Fault-aware conductance given the device window.
     #[must_use]
     pub fn effective_conductance(&self, cfg: &DeviceConfig) -> f64 {

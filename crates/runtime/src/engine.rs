@@ -13,6 +13,8 @@
 //! caller can reduce partial sums in the same fixed order as the
 //! sequential path.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -22,6 +24,44 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::metrics::RuntimeMetrics;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Failure of a single job on the worker pool.
+///
+/// Returned per-slot by [`Engine::try_execute`], so one poisoned job
+/// fails *its* result while every other job still completes. The pool
+/// itself is never lost to a panic: workers catch unwinds and keep
+/// serving the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job closure panicked; the payload (if it was a `&str` or
+    /// `String`) is preserved for diagnostics.
+    Panicked {
+        /// Panic payload rendered as text (`"<non-string panic>"` when
+        /// the payload was neither `&str` nor `String`).
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Panicked { message } => write!(f, "worker job panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
 
 /// Configuration for [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -71,9 +111,22 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Spawns the worker pool.
+    ///
+    /// Thread spawning can genuinely fail under OS resource pressure
+    /// (e.g. thread-count limits). The pool degrades gracefully: if at
+    /// least one worker spawned, it runs with reduced parallelism
+    /// (`threads()` reports the real count so callers can observe the
+    /// degradation).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if *zero* workers could be spawned — with no workers
+    /// to drain the channel, `spawn`ed jobs would be silently lost and
+    /// `execute` would hang, so aborting construction is the only safe
+    /// behavior.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
-        let threads = config
+        let requested = config
             .threads
             .unwrap_or_else(|| {
                 thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -81,19 +134,38 @@ impl Engine {
             .max(1);
         let metrics = Arc::new(RuntimeMetrics::new());
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
-        let workers = (0..threads)
-            .map(|i| {
-                let rx = rx.clone();
-                thread::Builder::new()
-                    .name(format!("afpr-runtime-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
+        let mut workers = Vec::with_capacity(requested);
+        for i in 0..requested {
+            let rx = rx.clone();
+            let metrics = Arc::clone(&metrics);
+            let spawned = thread::Builder::new()
+                .name(format!("afpr-runtime-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // Panic isolation: a poisoned job must not
+                        // take the worker thread down with it, or
+                        // the pool silently loses capacity and an
+                        // in-flight `execute` can hang. Jobs are
+                        // plain `FnOnce()` closures, so unwind
+                        // safety concerns reduce to what the
+                        // closure captured; payloads travel by
+                        // value and the only shared state (metrics
+                        // counters, channels) is panic-tolerant.
+                        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                            metrics.record_job_panicked();
                         }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                // Degraded capacity beats aborting: run with the
+                // workers we have. Later spawns failing while earlier
+                // ones succeeded is the resource-exhaustion shape.
+                Err(_) if !workers.is_empty() => break,
+                Err(e) => panic!("failed to spawn any worker thread: {e}"),
+            }
+        }
+        let threads = workers.len();
         Self {
             tx: Some(tx),
             workers,
@@ -121,6 +193,8 @@ impl Engine {
     }
 
     fn sender(&self) -> &Sender<Job> {
+        // Invariant, not a reachable failure: `tx` is only taken in
+        // `Drop`, and no method can run on a dropped engine.
         self.tx.as_ref().expect("engine channel open while alive")
     }
 
@@ -133,6 +207,10 @@ impl Engine {
             job();
             metrics.record_job_completed(t0.elapsed());
         });
+        // Invariant: `send` on an unbounded channel only errors when
+        // every receiver is gone, and workers (each holding a receiver
+        // clone) are only joined in `Drop`. Worker panics cannot kill a
+        // receiver either — the worker loop catches unwinds.
         self.sender()
             .send(wrapped)
             .expect("workers alive while engine alive");
@@ -146,8 +224,34 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if a worker job panics (the result channel disconnects).
+    /// Re-raises the first job panic (by submission order) on the
+    /// calling thread *after* every other job has finished — the pool
+    /// never hangs and never loses a worker. Callers that need
+    /// per-item failure handling should use
+    /// [`Engine::try_execute`] instead.
     pub fn execute<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.try_execute(items, f)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(r) => r,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
+    }
+
+    /// Panic-isolating order-preserving parallel map.
+    ///
+    /// Like [`Engine::execute`], but a job whose closure panics fails
+    /// **its own slot** with [`JobError::Panicked`] while every other
+    /// job still completes and returns `Ok`. Caught panics are counted
+    /// in [`RuntimeMetrics`] (`jobs_panicked`); the worker threads
+    /// survive.
+    pub fn try_execute<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, JobError>>
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -163,15 +267,24 @@ impl Engine {
                 .into_iter()
                 .map(|item| {
                     let t0 = Instant::now();
-                    let r = f(item);
-                    self.metrics.record_job_completed(t0.elapsed());
-                    r
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(r) => {
+                            self.metrics.record_job_completed(t0.elapsed());
+                            Ok(r)
+                        }
+                        Err(payload) => {
+                            self.metrics.record_job_panicked();
+                            Err(JobError::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                    }
                 })
                 .collect();
         }
 
         let f = Arc::new(f);
-        let (result_tx, result_rx) = unbounded::<(usize, R)>();
+        let (result_tx, result_rx) = unbounded::<(usize, Result<R, JobError>)>();
         self.metrics.record_jobs_submitted(n as u64);
         let pending = self.sender().len() as u64;
         self.metrics.observe_queue_depth(pending + n as u64);
@@ -181,23 +294,44 @@ impl Engine {
             let metrics = Arc::clone(&self.metrics);
             let job: Job = Box::new(move || {
                 let t0 = Instant::now();
-                let r = f(item);
-                metrics.record_job_completed(t0.elapsed());
-                // The receiver outlives the jobs unless `execute`
+                // Catch here (not only at the worker loop) so the
+                // result slot is *delivered* as an error instead of
+                // silently dropped — otherwise the collector below
+                // would wait on a channel that never fills.
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => {
+                        metrics.record_job_completed(t0.elapsed());
+                        Ok(r)
+                    }
+                    Err(payload) => {
+                        metrics.record_job_panicked();
+                        Err(JobError::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                };
+                // The receiver outlives the jobs unless `try_execute`
                 // itself unwound; ignore the send error in that case.
-                let _ = result_tx.send((idx, r));
+                let _ = result_tx.send((idx, outcome));
             });
+            // Same invariant as `spawn`: worker receivers live until
+            // `Drop`, so the unbounded send cannot fail here.
             self.sender()
                 .send(job)
                 .expect("workers alive while engine alive");
         }
         drop(result_tx);
 
-        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut slots: Vec<Option<Result<R, JobError>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
         for _ in 0..n {
+            // Invariant: each submitted job sends exactly one
+            // `(idx, outcome)` — the panic branch sends `Err` rather
+            // than unwinding past the channel — so `recv` sees `n`
+            // messages before every `result_tx` clone is dropped.
             let (idx, r) = result_rx
                 .recv()
-                .expect("worker job completed without panicking");
+                .expect("every job sends exactly one result, even on panic");
             slots[idx] = Some(r);
         }
         slots
@@ -297,5 +431,108 @@ mod tests {
     fn default_config_uses_available_parallelism() {
         let engine = Engine::new(EngineConfig::default());
         assert!(engine.threads() >= 1);
+    }
+
+    /// Suppresses the default panic-hook backtrace spam for tests that
+    /// intentionally panic inside worker jobs, restoring the hook
+    /// after. The hook is process-global, so these tests serialize on
+    /// a mutex to avoid clobbering each other's hooks.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+        let _guard = HOOK_LOCK.lock();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn panicking_job_fails_only_its_slot() {
+        with_quiet_panics(|| {
+            let engine = Engine::with_threads(4);
+            let out = engine.try_execute((0..32u64).collect(), |x| {
+                assert!(x != 13, "poisoned tile {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), 32);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 13 {
+                    match slot {
+                        Err(JobError::Panicked { message }) => {
+                            assert!(message.contains("poisoned tile 13"), "got: {message}");
+                        }
+                        other => panic!("slot 13 should have failed, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*slot, Ok(i as u64 * 2));
+                }
+            }
+            // The pool is still fully usable afterwards.
+            let again = engine.execute((0..8u64).collect(), |x| x + 1);
+            assert_eq!(again, (1..=8u64).collect::<Vec<_>>());
+            assert_eq!(engine.metrics().jobs_panicked(), 1);
+            assert_eq!(engine.metrics().snapshot().jobs_panicked, 1);
+        });
+    }
+
+    #[test]
+    fn panicking_job_fails_slot_inline_path_too() {
+        with_quiet_panics(|| {
+            let engine = Engine::with_threads(1);
+            let out = engine.try_execute(vec![0u32, 1, 2], |x| {
+                assert!(x != 1, "inline poison");
+                x
+            });
+            assert_eq!(out[0], Ok(0));
+            assert!(matches!(out[1], Err(JobError::Panicked { .. })));
+            assert_eq!(out[2], Ok(2));
+            assert_eq!(engine.metrics().jobs_panicked(), 1);
+        });
+    }
+
+    #[test]
+    fn execute_repanics_without_hanging_and_pool_survives() {
+        with_quiet_panics(|| {
+            let engine = Arc::new(Engine::with_threads(4));
+            let e2 = Arc::clone(&engine);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                let _ = e2.execute((0..16u32).collect(), |x| {
+                    assert!(x != 7, "boom");
+                    x
+                });
+            }));
+            assert!(caught.is_err(), "execute should re-raise the job panic");
+            // No worker died: a follow-up execute still completes.
+            let out = engine.execute((0..16u32).collect(), |x| x);
+            assert_eq!(out, (0..16u32).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn spawned_panicking_job_does_not_kill_worker() {
+        with_quiet_panics(|| {
+            let engine = Engine::with_threads(1);
+            engine.spawn(|| panic!("detached boom"));
+            let counter = Arc::new(AtomicU64::new(0));
+            let c = Arc::clone(&counter);
+            engine.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            let snap_panicked = {
+                // Drain the queue by dropping the engine (joins workers).
+                drop(engine);
+                counter.load(Ordering::SeqCst)
+            };
+            assert_eq!(snap_panicked, 1, "job after the panic still ran");
+        });
+    }
+
+    #[test]
+    fn job_error_display_mentions_payload() {
+        let e = JobError::Panicked {
+            message: "tile 3 poisoned".to_string(),
+        };
+        assert!(e.to_string().contains("tile 3 poisoned"));
     }
 }

@@ -57,7 +57,7 @@ pub mod engine;
 pub mod metrics;
 
 pub use batch::{BatchConfig, MicroBatcher, QueueFull};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, JobError};
 pub use metrics::{
     Histogram, LatencySnapshot, LayerSnapshot, MetricsSnapshot, RejectReason, RejectionSnapshot,
     RuntimeMetrics,

@@ -148,6 +148,8 @@ pub enum RejectReason {
     DeadlineExpired,
     /// The request could not be parsed / validated.
     Malformed,
+    /// The server shed the request while in a degraded health state.
+    Shed,
 }
 
 /// Frozen rejection-reason counters.
@@ -159,13 +161,15 @@ pub struct RejectionSnapshot {
     pub deadline_expired: u64,
     /// Rejections due to malformed / unparseable requests.
     pub malformed: u64,
+    /// Rejections shed by a degraded front door (load shedding).
+    pub shed: u64,
 }
 
 impl RejectionSnapshot {
     /// Total rejections across every reason.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.queue_full + self.deadline_expired + self.malformed
+        self.queue_full + self.deadline_expired + self.malformed + self.shed
     }
 }
 
@@ -202,6 +206,7 @@ pub struct RuntimeMetrics {
     started: Instant,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
+    jobs_panicked: AtomicU64,
     batches_flushed: AtomicU64,
     items_enqueued: AtomicU64,
     queue_rejections: AtomicU64,
@@ -210,6 +215,7 @@ pub struct RuntimeMetrics {
     rejected_queue_full: AtomicU64,
     rejected_deadline_expired: AtomicU64,
     rejected_malformed: AtomicU64,
+    rejected_shed: AtomicU64,
     tiles_executed: AtomicU64,
     macs_executed: AtomicU64,
     energy_pj_milli: AtomicU64,
@@ -231,6 +237,7 @@ impl RuntimeMetrics {
             started: Instant::now(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
             batches_flushed: AtomicU64::new(0),
             items_enqueued: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
@@ -239,6 +246,7 @@ impl RuntimeMetrics {
             rejected_queue_full: AtomicU64::new(0),
             rejected_deadline_expired: AtomicU64::new(0),
             rejected_malformed: AtomicU64::new(0),
+            rejected_shed: AtomicU64::new(0),
             tiles_executed: AtomicU64::new(0),
             macs_executed: AtomicU64::new(0),
             energy_pj_milli: AtomicU64::new(0),
@@ -256,6 +264,18 @@ impl RuntimeMetrics {
     pub fn record_job_completed(&self, elapsed: Duration) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         self.job_latency.lock().observe(elapsed);
+    }
+
+    /// Counts one job whose closure panicked (the panic was caught by
+    /// the worker; the pool itself stays healthy).
+    pub fn record_job_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of caught worker-job panics so far.
+    #[must_use]
+    pub fn jobs_panicked(&self) -> u64 {
+        self.jobs_panicked.load(Ordering::Relaxed)
     }
 
     /// Counts one flushed micro-batch of `items` requests.
@@ -295,6 +315,7 @@ impl RuntimeMetrics {
             RejectReason::QueueFull => &self.rejected_queue_full,
             RejectReason::DeadlineExpired => &self.rejected_deadline_expired,
             RejectReason::Malformed => &self.rejected_malformed,
+            RejectReason::Shed => &self.rejected_shed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -352,6 +373,7 @@ impl RuntimeMetrics {
             uptime_s,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
             batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
             items_enqueued: self.items_enqueued.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
@@ -361,6 +383,7 @@ impl RuntimeMetrics {
                 queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
                 deadline_expired: self.rejected_deadline_expired.load(Ordering::Relaxed),
                 malformed: self.rejected_malformed.load(Ordering::Relaxed),
+                shed: self.rejected_shed.load(Ordering::Relaxed),
             },
             tiles_executed: tiles,
             macs_executed: macs,
@@ -394,6 +417,8 @@ pub struct MetricsSnapshot {
     pub jobs_submitted: u64,
     /// Jobs that finished executing.
     pub jobs_completed: u64,
+    /// Jobs whose closure panicked (panic caught; pool stayed healthy).
+    pub jobs_panicked: u64,
     /// Micro-batches flushed by the batcher.
     pub batches_flushed: u64,
     /// Requests accepted into the micro-batch queue.
@@ -519,15 +544,20 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.requests_accepted, 2);
         assert_eq!(s.queue_rejections, 1);
+        m.record_rejection(RejectReason::Shed);
         assert_eq!(
             s.rejections,
             RejectionSnapshot {
                 queue_full: 1,
                 deadline_expired: 2,
                 malformed: 1,
+                shed: 0,
             }
         );
         assert_eq!(s.rejections.total(), 4);
+        let s2 = m.snapshot();
+        assert_eq!(s2.rejections.shed, 1);
+        assert_eq!(s2.rejections.total(), 5);
 
         let json = s.to_json();
         for key in ["queue_full", "deadline_expired", "malformed"] {

@@ -34,6 +34,11 @@ use crate::{HealthInfo, Op};
 pub enum ClientError {
     /// Transport-level failure (socket error, framing error).
     Io(io::Error),
+    /// A read or write timed out (`set_read_timeout` /
+    /// `set_write_timeout` elapsed). Distinct from [`ClientError::Io`]
+    /// so callers can treat timeouts as retryable without string
+    /// matching on OS error text.
+    Timeout(io::Error),
     /// The server sent a frame that is not a valid [`Response`].
     Protocol(String),
     /// The server closed the connection before answering.
@@ -42,12 +47,20 @@ pub enum ClientError {
     /// preserved so callers can inspect `status`, `code`,
     /// `retry_after_ms`, and `error`.
     Rejected(Box<Response>),
+    /// The retry circuit breaker is open: recent consecutive failures
+    /// crossed the threshold and the cooldown has not elapsed
+    /// ([`crate::retry::RetryingClient`] only).
+    CircuitOpen,
+    /// Every retry attempt failed; the boxed error is the last failure
+    /// ([`crate::retry::RetryingClient`] only).
+    RetriesExhausted(Box<ClientError>),
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Timeout(e) => write!(f, "timed out: {e}"),
             Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
             Self::Disconnected => write!(f, "server closed the connection"),
             Self::Rejected(resp) => write!(
@@ -60,6 +73,8 @@ impl fmt::Display for ClientError {
                     .map(|e| format!(": {e}"))
                     .unwrap_or_default()
             ),
+            Self::CircuitOpen => write!(f, "circuit breaker open; not attempting"),
+            Self::RetriesExhausted(last) => write!(f, "retries exhausted; last error: {last}"),
         }
     }
 }
@@ -68,14 +83,25 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        Self::Io(e)
+        // `WouldBlock` is what socket timeouts surface as on Unix,
+        // `TimedOut` on some platforms and for connect timeouts.
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            Self::Timeout(e)
+        } else {
+            Self::Io(e)
+        }
     }
 }
 
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
         match e {
-            FrameError::Io(io) => Self::Io(io),
+            // Route through the io conversion so read timeouts become
+            // `ClientError::Timeout`, not `Io`.
+            FrameError::Io(io) => Self::from(io),
             other => Self::Protocol(other.to_string()),
         }
     }
@@ -117,6 +143,19 @@ impl Client {
     /// Returns an error if the socket option cannot be set.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sets a write timeout on the underlying socket (`None` blocks
+    /// forever). A send that exceeds it surfaces as
+    /// [`ClientError::Timeout`], so a server with a full TCP window
+    /// cannot pin the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket option cannot be set.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.get_ref().set_write_timeout(timeout)?;
         Ok(())
     }
 

@@ -1,0 +1,424 @@
+//! Server health state machine: `Healthy → Degraded → Draining`.
+//!
+//! Analog CIM hardware degrades in service (stuck cells, drift), and a
+//! saturated admission queue degrades service quality even on healthy
+//! hardware. [`HealthMachine`] folds both signals into one observable
+//! state that drives *load shedding*:
+//!
+//! ```text
+//!              queue ≥ degrade_queue_frac
+//!              or fault evidence observed
+//!   ┌─────────┐ ───────────────────────────▶ ┌──────────┐
+//!   │ Healthy │                              │ Degraded │──┐ shed while
+//!   └─────────┘ ◀─────────────────────────── └──────────┘◀─┘ queue ≥
+//!        │       queue ≤ recover_queue_frac       │           shed_queue_frac
+//!        │       and min_dwell elapsed with       │
+//!        │       no new fault evidence            │
+//!        ▼                                        ▼
+//!   ┌──────────────────────────────────────────────┐
+//!   │ Draining  (absorbing; set by shutdown/drain) │
+//!   └──────────────────────────────────────────────┘
+//! ```
+//!
+//! While `Degraded`, compute requests are rejected with
+//! `503 overloaded` + `retry_after_ms` whenever the queue is above
+//! [`HealthPolicy::shed_queue_frac`] — the server sheds load *before*
+//! the queue is hard-full, trading availability of individual requests
+//! for bounded latency of the rest. `health`/`metrics` requests are
+//! never shed.
+//!
+//! Fault evidence is a **cumulative counter** published by whoever
+//! observes the hardware (the execution thread's
+//! [`afpr_core::ChaosController`] tick, via
+//! [`HealthMachine::note_fault_events`]); the machine watches the delta
+//! between evaluations. Each new batch of evidence refreshes the
+//! `Degraded` dwell timer, so the machine only recovers after the
+//! substrate has been quiet (scrubbed clean, no new injections) for
+//! [`HealthPolicy::min_dwell`].
+//!
+//! All reads are lock-free ([`HealthMachine::state`] is one atomic
+//! load); transitions serialize on a small mutex so concurrent
+//! connection workers cannot double-count a transition.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer, Value};
+
+/// Coarse server health, in escalating order of trouble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// Fault evidence or queue pressure observed; load is shed above
+    /// the shed threshold until the system has been quiet for the
+    /// dwell period.
+    Degraded,
+    /// Shutdown in progress; absorbing.
+    Draining,
+}
+
+impl HealthState {
+    const ALL: [HealthState; 3] = [
+        HealthState::Healthy,
+        HealthState::Degraded,
+        HealthState::Draining,
+    ];
+
+    /// The snake_case name used on the wire.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|st| st.wire_name() == s)
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => HealthState::Degraded,
+            2 => HealthState::Draining,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+// The vendored derive shim serializes unit enums as their Rust variant
+// names; the wire protocol wants snake_case, so these impls are manual
+// (same pattern as `Op` / `Status`).
+impl Serialize for HealthState {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.wire_name().to_string()))
+    }
+}
+
+impl Deserialize for HealthState {
+    fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => HealthState::from_wire(&s).ok_or_else(|| {
+                <D::Error as de::Error>::custom(format!("unknown health state `{s}`"))
+            }),
+            other => Err(<D::Error as de::Error>::custom(de::type_error(
+                "health state string",
+                &other,
+            ))),
+        }
+    }
+}
+
+/// Thresholds governing the health transitions and load shedding.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Enter `Degraded` when the admission-queue fill fraction reaches
+    /// this level.
+    pub degrade_queue_frac: f64,
+    /// Recover to `Healthy` only when the fill fraction has fallen to
+    /// this level (hysteresis below `degrade_queue_frac`).
+    pub recover_queue_frac: f64,
+    /// Enter `Degraded` when at least this many new fault-evidence
+    /// events (cells injected + scrub flags) arrive between
+    /// evaluations.
+    pub degrade_fault_events: u64,
+    /// Minimum quiet time in `Degraded` before recovery; refreshed by
+    /// every new batch of fault evidence.
+    pub min_dwell: Duration,
+    /// While `Degraded`, shed compute requests when the fill fraction
+    /// is at or above this level (below it, degraded service still
+    /// accepts work).
+    pub shed_queue_frac: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            degrade_queue_frac: 0.75,
+            recover_queue_frac: 0.25,
+            degrade_fault_events: 1,
+            min_dwell: Duration::from_millis(250),
+            shed_queue_frac: 0.5,
+        }
+    }
+}
+
+/// Frozen view of a [`HealthMachine`] (embedded in
+/// [`crate::ServeSnapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Current state.
+    pub state: HealthState,
+    /// Times the machine entered `Degraded`.
+    pub degraded_entered: u64,
+    /// Times the machine recovered `Degraded → Healthy`.
+    pub recovered: u64,
+    /// Requests shed while degraded (also counted under the runtime
+    /// rejection reason `shed`).
+    pub shed: u64,
+    /// Cumulative fault-evidence events observed.
+    pub fault_events: u64,
+}
+
+/// Mutable transition state, serialized under one lock.
+#[derive(Debug)]
+struct Inner {
+    /// Fault-evidence watermark already folded into the state.
+    seen_fault_events: u64,
+    /// When the current `Degraded` dwell started (refreshed by new
+    /// evidence).
+    degraded_at: Option<Instant>,
+}
+
+/// The concurrent health state machine.
+///
+/// [`HealthMachine::state`] is a lock-free read for hot paths;
+/// [`HealthMachine::evaluate`] performs (possibly) a transition and is
+/// called from admission and health probes.
+#[derive(Debug)]
+pub struct HealthMachine {
+    policy: HealthPolicy,
+    state: AtomicU8,
+    degraded_entered: AtomicU64,
+    recovered: AtomicU64,
+    shed: AtomicU64,
+    /// Cumulative evidence published by the hardware observer.
+    fault_events: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl HealthMachine {
+    /// A machine starting `Healthy` under the given policy.
+    #[must_use]
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self {
+            policy,
+            state: AtomicU8::new(HealthState::Healthy.as_u8()),
+            degraded_entered: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            fault_events: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                seen_fault_events: 0,
+                degraded_at: None,
+            }),
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Lock-free state read.
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        HealthState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Publishes the observer's cumulative fault-evidence counter
+    /// (monotone; lower values are ignored so late observers cannot
+    /// rewind the clock).
+    pub fn note_fault_events(&self, cumulative: u64) {
+        self.fault_events.fetch_max(cumulative, Ordering::AcqRel);
+    }
+
+    /// Marks the machine `Draining` (absorbing; used at shutdown).
+    pub fn set_draining(&self) {
+        self.state
+            .store(HealthState::Draining.as_u8(), Ordering::Release);
+    }
+
+    /// Folds the current queue fill fraction and any new fault evidence
+    /// into the state, returning the (post-transition) state.
+    pub fn evaluate(&self, queue_frac: f64) -> HealthState {
+        let cur = self.state();
+        if cur == HealthState::Draining {
+            return cur;
+        }
+        let published = self.fault_events.load(Ordering::Acquire);
+        let mut inner = self.inner.lock();
+        // Re-read under the lock: another worker may have transitioned
+        // while we waited.
+        let cur = self.state();
+        if cur == HealthState::Draining {
+            return cur;
+        }
+        let new_evidence = published.saturating_sub(inner.seen_fault_events);
+        match cur {
+            HealthState::Healthy => {
+                let faults_bad = new_evidence >= self.policy.degrade_fault_events.max(1);
+                let queue_bad = queue_frac >= self.policy.degrade_queue_frac;
+                inner.seen_fault_events = published;
+                if faults_bad || queue_bad {
+                    inner.degraded_at = Some(Instant::now());
+                    self.degraded_entered.fetch_add(1, Ordering::Relaxed);
+                    self.state
+                        .store(HealthState::Degraded.as_u8(), Ordering::Release);
+                    return HealthState::Degraded;
+                }
+                HealthState::Healthy
+            }
+            HealthState::Degraded => {
+                if new_evidence > 0 {
+                    // Fresh trouble: restart the dwell clock.
+                    inner.seen_fault_events = published;
+                    inner.degraded_at = Some(Instant::now());
+                    return HealthState::Degraded;
+                }
+                let dwell_ok = inner
+                    .degraded_at
+                    .is_none_or(|t| t.elapsed() >= self.policy.min_dwell);
+                if dwell_ok && queue_frac <= self.policy.recover_queue_frac {
+                    inner.degraded_at = None;
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                    self.state
+                        .store(HealthState::Healthy.as_u8(), Ordering::Release);
+                    return HealthState::Healthy;
+                }
+                HealthState::Degraded
+            }
+            HealthState::Draining => HealthState::Draining,
+        }
+    }
+
+    /// Whether a compute request arriving at the given queue fill
+    /// fraction should be shed under the current state.
+    #[must_use]
+    pub fn should_shed(&self, queue_frac: f64) -> bool {
+        self.state() == HealthState::Degraded && queue_frac >= self.policy.shed_queue_frac
+    }
+
+    /// Counts one shed request (pair with the runtime `shed` rejection
+    /// reason).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the machine's counters.
+    #[must_use]
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            state: self.state(),
+            degraded_entered: self.degraded_entered.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            fault_events: self.fault_events.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Default for HealthMachine {
+    fn default() -> Self {
+        Self::new(HealthPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy() -> HealthPolicy {
+        HealthPolicy {
+            min_dwell: Duration::from_millis(0),
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn state_wire_names_round_trip() {
+        for st in HealthState::ALL {
+            assert_eq!(HealthState::from_wire(st.wire_name()), Some(st));
+            assert_eq!(HealthState::from_u8(st.as_u8()), st);
+            let json = serde_json::to_string(&st).unwrap();
+            assert_eq!(json, format!("\"{}\"", st.wire_name()));
+            let back: HealthState = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, st);
+        }
+        assert!(HealthState::from_wire("Healthy").is_none());
+    }
+
+    #[test]
+    fn queue_pressure_degrades_and_recovers_with_hysteresis() {
+        let m = HealthMachine::new(fast_policy());
+        assert_eq!(m.evaluate(0.5), HealthState::Healthy);
+        assert_eq!(m.evaluate(0.8), HealthState::Degraded);
+        // Above the recover threshold: stays degraded (hysteresis).
+        assert_eq!(m.evaluate(0.5), HealthState::Degraded);
+        assert!(m.should_shed(0.6));
+        assert!(!m.should_shed(0.1), "below shed_queue_frac");
+        assert_eq!(m.evaluate(0.1), HealthState::Healthy);
+        let s = m.snapshot();
+        assert_eq!((s.degraded_entered, s.recovered), (1, 1));
+    }
+
+    #[test]
+    fn fault_evidence_degrades_and_dwell_blocks_recovery() {
+        let m = HealthMachine::new(HealthPolicy {
+            min_dwell: Duration::from_millis(50),
+            ..HealthPolicy::default()
+        });
+        m.note_fault_events(3);
+        assert_eq!(m.evaluate(0.0), HealthState::Degraded);
+        // Queue is empty, but the dwell has not elapsed.
+        assert_eq!(m.evaluate(0.0), HealthState::Degraded);
+        // New evidence refreshes the dwell.
+        m.note_fault_events(4);
+        assert_eq!(m.evaluate(0.0), HealthState::Degraded);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(m.evaluate(0.0), HealthState::Healthy);
+        assert_eq!(m.snapshot().fault_events, 4);
+    }
+
+    #[test]
+    fn note_fault_events_is_monotone() {
+        let m = HealthMachine::default();
+        m.note_fault_events(10);
+        m.note_fault_events(4); // stale observer must not rewind
+        assert_eq!(m.snapshot().fault_events, 10);
+    }
+
+    #[test]
+    fn draining_is_absorbing() {
+        let m = HealthMachine::new(fast_policy());
+        m.set_draining();
+        assert_eq!(m.evaluate(0.0), HealthState::Draining);
+        m.note_fault_events(100);
+        assert_eq!(m.evaluate(1.0), HealthState::Draining);
+        assert!(!m.should_shed(1.0), "draining answers via the drain gate");
+    }
+
+    #[test]
+    fn snapshot_round_trips_json() {
+        let m = HealthMachine::new(fast_policy());
+        m.note_fault_events(2);
+        let _ = m.evaluate(0.9);
+        m.record_shed();
+        let s = m.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HealthSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.state, HealthState::Degraded);
+        assert_eq!(back.shed, 1);
+    }
+}

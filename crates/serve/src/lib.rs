@@ -54,14 +54,18 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod health;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use health::{HealthMachine, HealthPolicy, HealthSnapshot, HealthState};
 pub use metrics::{OpSnapshot, ServeMetrics, ServeSnapshot};
 pub use protocol::{
     parse_message, read_frame, write_frame, write_message, FrameError, HealthInfo, Op, Request,
     Response, Status, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{ServeModel, Server, ServerConfig};

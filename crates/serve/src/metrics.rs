@@ -13,10 +13,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use afpr_core::ChaosStats;
 use afpr_runtime::{Histogram, LatencySnapshot, MetricsSnapshot, RuntimeMetrics};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::health::{HealthMachine, HealthSnapshot};
 use crate::protocol::Op;
 
 /// One op's counter + latency cell.
@@ -36,13 +38,26 @@ pub struct ServeMetrics {
     protocol_errors: AtomicU64,
     responses_sent: AtomicU64,
     runtime: Arc<RuntimeMetrics>,
+    health: Arc<HealthMachine>,
+    /// Latest chaos accounting published by the execution thread
+    /// (`None` until a chaos controller reports).
+    chaos: Mutex<Option<ChaosStats>>,
 }
 
 impl ServeMetrics {
     /// Creates a registry sharing the given runtime metrics (the
-    /// engine's, so queue and rejection counters land in one place).
+    /// engine's, so queue and rejection counters land in one place)
+    /// with a default-policy health machine.
     #[must_use]
     pub fn new(runtime: Arc<RuntimeMetrics>) -> Self {
+        Self::with_health(runtime, Arc::new(HealthMachine::default()))
+    }
+
+    /// Creates a registry sharing both the runtime metrics and an
+    /// externally owned health machine (the server's, so admission and
+    /// snapshots agree on the state).
+    #[must_use]
+    pub fn with_health(runtime: Arc<RuntimeMetrics>, health: Arc<HealthMachine>) -> Self {
         Self {
             per_op: Default::default(),
             connections_accepted: AtomicU64::new(0),
@@ -50,6 +65,8 @@ impl ServeMetrics {
             protocol_errors: AtomicU64::new(0),
             responses_sent: AtomicU64::new(0),
             runtime,
+            health,
+            chaos: Mutex::new(None),
         }
     }
 
@@ -57,6 +74,18 @@ impl ServeMetrics {
     #[must_use]
     pub fn runtime(&self) -> &Arc<RuntimeMetrics> {
         &self.runtime
+    }
+
+    /// The shared health machine.
+    #[must_use]
+    pub fn health(&self) -> &Arc<HealthMachine> {
+        &self.health
+    }
+
+    /// Publishes the latest chaos-controller accounting (overwrites;
+    /// the stats are cumulative).
+    pub fn record_chaos_stats(&self, stats: ChaosStats) {
+        *self.chaos.lock() = Some(stats);
     }
 
     /// Counts one accepted connection.
@@ -109,6 +138,8 @@ impl ServeMetrics {
                 })
                 .collect(),
             runtime: self.runtime.snapshot(),
+            health: self.health.snapshot(),
+            chaos: *self.chaos.lock(),
         }
     }
 }
@@ -141,6 +172,11 @@ pub struct ServeSnapshot {
     pub per_op: Vec<OpSnapshot>,
     /// The engine/queue snapshot, including rejection reasons.
     pub runtime: MetricsSnapshot,
+    /// Health state machine counters (state, degrade/recover/shed).
+    pub health: HealthSnapshot,
+    /// Cumulative chaos-controller accounting (`None` when the server
+    /// runs without fault injection).
+    pub chaos: Option<ChaosStats>,
 }
 
 impl ServeSnapshot {

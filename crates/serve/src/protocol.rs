@@ -39,6 +39,8 @@
 use serde::{de, Deserialize, Deserializer, Serialize, Serializer, Value};
 use std::io::{self, Read, Write};
 
+use crate::health::HealthState;
+
 /// Protocol version tag carried in [`HealthInfo`].
 pub const PROTOCOL_VERSION: u32 = 1;
 
@@ -287,6 +289,10 @@ pub struct HealthInfo {
     pub queue_capacity: u64,
     /// Whether the server is draining.
     pub shutting_down: bool,
+    /// Current health state (`healthy`, `degraded`, `draining`).
+    pub state: HealthState,
+    /// Cumulative fault-evidence events the health machine has seen.
+    pub fault_events: u64,
 }
 
 /// A response frame payload.

@@ -1,0 +1,384 @@
+//! Self-healing client: reconnects, retries with backoff + jitter, and
+//! trips a circuit breaker.
+//!
+//! [`RetryingClient`] wraps [`Client`] with the failure-handling policy
+//! a production caller wants against a server that sheds load, drops
+//! connections, or restarts:
+//!
+//! * **Reconnect** — transport failures ([`ClientError::Io`],
+//!   [`ClientError::Timeout`], [`ClientError::Disconnected`],
+//!   [`ClientError::Protocol`]) discard the connection and dial again
+//!   on the next attempt (a broken pipe mid-request means the response
+//!   is unrecoverable on that socket anyway).
+//! * **Backoff with full jitter** — attempt `k` sleeps a uniformly
+//!   random duration in `[0, min(max_backoff, base·2^k)]`, drawn from a
+//!   seeded private RNG so soak tests are reproducible. A structured
+//!   `503` carrying `retry_after_ms` raises the floor: the client
+//!   honors the server's hint by sleeping at least that long.
+//! * **Status classification** — `503 overloaded` / `503
+//!   shutting_down` are retryable (the shed/drain will pass or a
+//!   restarted server will take the reconnect); `400 malformed` and
+//!   `504 deadline_expired` are **not** (retrying an invalid or
+//!   already-late request cannot succeed) and surface immediately as
+//!   [`ClientError::Rejected`].
+//! * **Circuit breaker** — after `breaker_threshold` *consecutive*
+//!   failed attempts, calls fail fast with [`ClientError::CircuitOpen`]
+//!   for `breaker_cooldown`; the first call after the cooldown is the
+//!   half-open trial — success closes the breaker, failure re-opens it.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{Client, ClientError};
+use crate::protocol::Status;
+use crate::{HealthInfo, ServeSnapshot};
+
+/// Tuning for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `1 + max_retries`).
+    pub max_retries: u32,
+    /// Base of the exponential backoff schedule.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Consecutive failed attempts before the breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before the half-open trial.
+    pub breaker_cooldown: Duration,
+    /// Seed of the jitter RNG (deterministic backoff schedules in
+    /// tests and soaks).
+    pub seed: u64,
+    /// Read/write timeout applied to every (re)connected socket;
+    /// `None` blocks forever.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(500),
+            seed: 0,
+            io_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Cumulative accounting of what the retry layer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Individual attempts made (including first tries).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed call.
+    pub retries: u64,
+    /// Fresh connections dialed (first connect and reconnects).
+    pub connects: u64,
+    /// Times the breaker transitioned closed → open.
+    pub breaker_opens: u64,
+    /// Calls short-circuited by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// Total time slept in backoff.
+    pub backoff_total: Duration,
+}
+
+/// A [`Client`] wrapper that survives connection drops, overload
+/// shedding and server restarts.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    rng: StdRng,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Creates a lazy client: no connection is made until the first
+    /// call.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let rng = StdRng::seed_from_u64(policy.seed);
+        Self {
+            addr: addr.into(),
+            policy,
+            client: None,
+            rng,
+            consecutive_failures: 0,
+            open_until: None,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Cumulative retry-layer accounting.
+    #[must_use]
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    /// Whether the breaker is currently open (cooldown not elapsed).
+    #[must_use]
+    pub fn breaker_open(&self) -> bool {
+        self.open_until.is_some_and(|t| Instant::now() < t)
+    }
+
+    /// One matvec with retries.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::CircuitOpen`] when failing fast,
+    /// [`ClientError::Rejected`] for non-retryable statuses,
+    /// [`ClientError::RetriesExhausted`] after the last retry fails.
+    pub fn matvec(&mut self, input: &[f32]) -> Result<Vec<f32>, ClientError> {
+        self.call_with_retry(|c| c.matvec(input.to_vec()))
+    }
+
+    /// One batched forward with retries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RetryingClient::matvec`].
+    pub fn forward_batch(&mut self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, ClientError> {
+        self.call_with_retry(|c| c.forward_batch(inputs.to_vec()))
+    }
+
+    /// Health probe with retries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RetryingClient::matvec`].
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        self.call_with_retry(Client::health)
+    }
+
+    /// Metrics snapshot with retries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RetryingClient::matvec`].
+    pub fn metrics(&mut self) -> Result<ServeSnapshot, ClientError> {
+        self.call_with_retry(Client::metrics)
+    }
+
+    /// Drops the current connection (the next call reconnects). Soak
+    /// tests use this to inject connection churn.
+    pub fn drop_connection(&mut self) {
+        self.client = None;
+    }
+
+    /// Runs `op` with the full retry/breaker pipeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::matvec`].
+    pub fn call_with_retry<R>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<R, ClientError>,
+    ) -> Result<R, ClientError> {
+        if self.breaker_open() {
+            self.stats.breaker_short_circuits += 1;
+            return Err(ClientError::CircuitOpen);
+        }
+        // Past the cooldown: this call is the half-open trial.
+        self.open_until = None;
+
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            self.stats.attempts += 1;
+            let outcome = match self.ensure_connected() {
+                Ok(()) => {
+                    let client = self
+                        .client
+                        .as_mut()
+                        .expect("ensure_connected leaves a live client on Ok");
+                    op(client)
+                }
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(r) => {
+                    self.consecutive_failures = 0;
+                    return Ok(r);
+                }
+                Err(e) => {
+                    if !retryable(&e) {
+                        // Not a server/transport health signal (bad
+                        // request, late deadline): don't let it trip
+                        // the breaker, don't retry.
+                        return Err(e);
+                    }
+                    if connection_poisoned(&e) {
+                        self.client = None;
+                    }
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.policy.breaker_threshold.max(1) {
+                        self.open_until = Some(Instant::now() + self.policy.breaker_cooldown);
+                        self.stats.breaker_opens += 1;
+                        return Err(ClientError::RetriesExhausted(Box::new(e)));
+                    }
+                    let floor = retry_after_hint(&e);
+                    last_err = Some(e);
+                    if attempt < self.policy.max_retries {
+                        let sleep = self.backoff(attempt).max(floor);
+                        self.stats.backoff_total += sleep;
+                        std::thread::sleep(sleep);
+                    }
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted(Box::new(
+            last_err.expect("loop ran at least once before exhausting"),
+        )))
+    }
+
+    /// Full-jitter exponential backoff for the given attempt index.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let cap = self.policy.max_backoff.min(
+            self.policy
+                .base_backoff
+                .saturating_mul(1 << attempt.min(20)),
+        );
+        cap.mul_f64(self.rng.gen::<f64>())
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.client.is_none() {
+            let client = Client::connect(self.addr.as_str())?;
+            client.set_read_timeout(self.policy.io_timeout)?;
+            client.set_write_timeout(self.policy.io_timeout)?;
+            self.stats.connects += 1;
+            self.client = Some(client);
+        }
+        Ok(())
+    }
+}
+
+/// Whether an error can be cured by waiting and/or reconnecting.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_)
+        | ClientError::Timeout(_)
+        | ClientError::Disconnected
+        | ClientError::Protocol(_) => true,
+        ClientError::Rejected(resp) => {
+            matches!(resp.status, Status::Overloaded | Status::ShuttingDown)
+        }
+        ClientError::CircuitOpen | ClientError::RetriesExhausted(_) => false,
+    }
+}
+
+/// Whether the connection's framing state can no longer be trusted.
+fn connection_poisoned(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_)
+            | ClientError::Timeout(_)
+            | ClientError::Disconnected
+            | ClientError::Protocol(_)
+    )
+}
+
+/// The server's `retry_after_ms` hint, if the error carries one.
+fn retry_after_hint(e: &ClientError) -> Duration {
+    match e {
+        ClientError::Rejected(resp) => {
+            Duration::from_millis(resp.retry_after_ms.unwrap_or_default())
+        }
+        _ => Duration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(40),
+            seed: 7,
+            io_timeout: Some(Duration::from_millis(500)),
+        }
+    }
+
+    #[test]
+    fn classification_matches_status_semantics() {
+        let overloaded =
+            ClientError::Rejected(Box::new(Response::error(1, Status::Overloaded, "shed")));
+        let malformed =
+            ClientError::Rejected(Box::new(Response::error(1, Status::Malformed, "bad")));
+        let late = ClientError::Rejected(Box::new(Response::error(
+            1,
+            Status::DeadlineExpired,
+            "late",
+        )));
+        assert!(retryable(&overloaded));
+        assert!(!retryable(&malformed));
+        assert!(!retryable(&late));
+        assert!(retryable(&ClientError::Disconnected));
+        assert!(!connection_poisoned(&overloaded), "socket still in sync");
+        assert!(connection_poisoned(&ClientError::Disconnected));
+    }
+
+    #[test]
+    fn retry_after_hint_is_honored_as_floor() {
+        let mut resp = Response::error(1, Status::Overloaded, "shed");
+        resp.retry_after_ms = Some(25);
+        let e = ClientError::Rejected(Box::new(resp));
+        assert_eq!(retry_after_hint(&e), Duration::from_millis(25));
+        assert_eq!(retry_after_hint(&ClientError::Disconnected), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_seeded() {
+        let mut a = RetryingClient::new("127.0.0.1:1", fast_policy());
+        let mut b = RetryingClient::new("127.0.0.1:1", fast_policy());
+        for attempt in 0..6 {
+            let da = a.backoff(attempt);
+            let db = b.backoff(attempt);
+            assert_eq!(da, db, "same seed, same schedule");
+            assert!(da <= Duration::from_millis(2), "capped at max_backoff");
+        }
+    }
+
+    #[test]
+    fn refused_connection_exhausts_then_opens_breaker() {
+        // Bind an ephemeral port, then free it: connects now fail fast.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut c = RetryingClient::new(addr, fast_policy());
+        let err = c.matvec(&[0.0; 4]).unwrap_err();
+        assert!(matches!(err, ClientError::RetriesExhausted(_)), "got {err}");
+        assert!(c.breaker_open(), "threshold 3 < attempts made");
+        assert!(c.stats().breaker_opens >= 1);
+        // While open: fail fast without touching the network.
+        let err = c.matvec(&[0.0; 4]).unwrap_err();
+        assert!(matches!(err, ClientError::CircuitOpen), "got {err}");
+        assert_eq!(c.stats().breaker_short_circuits, 1);
+        // After the cooldown the half-open trial is allowed through
+        // (and fails again here, re-opening).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!c.breaker_open());
+        let err = c.matvec(&[0.0; 4]).unwrap_err();
+        assert!(
+            !matches!(err, ClientError::CircuitOpen),
+            "half-open trial runs"
+        );
+    }
+}

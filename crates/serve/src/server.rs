@@ -61,11 +61,13 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
+use afpr_core::{ChaosConfig, ChaosController};
 use afpr_nn::tensor::Tensor;
 use afpr_runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher, QueueFull, RejectReason};
 use afpr_xbar::spec::{MacroMode, MacroSpec};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
+use crate::health::{HealthMachine, HealthPolicy, HealthState};
 use crate::metrics::{ServeMetrics, ServeSnapshot};
 use crate::protocol::{
     self, FrameError, HealthInfo, Op, Request, Response, Status, DEFAULT_MAX_FRAME,
@@ -101,6 +103,17 @@ pub struct ServerConfig {
     /// and overload demos use it to saturate the admission queue
     /// deterministically.
     pub exec_delay: Duration,
+    /// Live fault environment applied to the served accelerator by the
+    /// execution thread (one chaos tick per batch). `None` disables
+    /// fault injection entirely — the fault-free path draws zero chaos
+    /// randomness and stays bit-identical.
+    pub chaos: Option<ChaosConfig>,
+    /// Thresholds for the health state machine and load shedding.
+    pub health: HealthPolicy,
+    /// Every Nth batch, the execution thread submits a deliberately
+    /// panicking job to the engine pool (worker-pool fault injection;
+    /// the panic is caught and counted, never escapes). `0` disables.
+    pub panic_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +130,9 @@ impl Default for ServerConfig {
             retry_after_ms: 20,
             accept_backlog: 128,
             exec_delay: Duration::ZERO,
+            chaos: None,
+            health: HealthPolicy::default(),
+            panic_every: 0,
         }
     }
 }
@@ -161,6 +177,26 @@ impl ServeModel {
         const K: usize = 256;
         const N: usize = 128;
         let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
+        let mut accel = AfprAccelerator::with_spec(base, seed);
+        let w = Tensor::from_fn(&[K, N], |i| {
+            (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
+        });
+        let handle = accel.map_matrix(&w);
+        let calib: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
+        accel.calibrate_layer(handle, std::slice::from_ref(&calib));
+        Self::new(accel, handle)
+    }
+
+    /// The demo model with spare columns provisioned on every macro, so
+    /// chaos-injected stuck cells can be detected and repaired in
+    /// service. Fault-free, it computes **bit-identically** to
+    /// [`ServeModel::demo`] with the same seed (unused spares change
+    /// neither the programming RNG stream nor the read path).
+    #[must_use]
+    pub fn demo_resilient(seed: u64, spare_cols: usize) -> Self {
+        const K: usize = 256;
+        const N: usize = 128;
+        let base = MacroSpec::small(64, 32, MacroMode::FpE2M5).with_spare_cols(spare_cols);
         let mut accel = AfprAccelerator::with_spec(base, seed);
         let w = Tensor::from_fn(&[K, N], |i| {
             (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
@@ -217,6 +253,7 @@ struct Shared {
     shutting_down: AtomicBool,
     batcher: MicroBatcher<ExecJob>,
     metrics: ServeMetrics,
+    health: Arc<HealthMachine>,
     k: usize,
     n: usize,
 }
@@ -226,14 +263,23 @@ impl Shared {
         self.shutting_down.load(Ordering::Acquire)
     }
 
-    /// Flips the drain flag and closes the admission queue
-    /// (idempotent).
+    /// Flips the drain flag, marks the health machine draining, and
+    /// closes the admission queue (idempotent).
     fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Release);
+        self.health.set_draining();
         self.batcher.close();
     }
 
+    /// Admission-queue fill fraction in `[0, 1]`.
+    fn queue_frac(&self) -> f64 {
+        let cap = self.cfg.queue_capacity.max(1);
+        self.batcher.len() as f64 / cap as f64
+    }
+
     fn health_info(&self) -> HealthInfo {
+        let state = self.health.evaluate(self.queue_frac());
+        let snap = self.health.snapshot();
         HealthInfo {
             protocol: PROTOCOL_VERSION,
             input_dim: self.k as u64,
@@ -241,6 +287,8 @@ impl Shared {
             queue_depth: self.batcher.len() as u64,
             queue_capacity: self.cfg.queue_capacity as u64,
             shutting_down: self.is_shutting_down(),
+            state,
+            fault_events: snap.fault_events,
         }
     }
 }
@@ -306,7 +354,9 @@ impl Server {
             },
             Arc::clone(engine.metrics()),
         );
-        let metrics = ServeMetrics::new(Arc::clone(engine.metrics()));
+        let health = Arc::new(HealthMachine::new(cfg.health.clone()));
+        let metrics = ServeMetrics::with_health(Arc::clone(engine.metrics()), Arc::clone(&health));
+        let chaos = cfg.chaos.clone().map(ChaosController::new);
         let ServeModel {
             accel,
             handle,
@@ -318,36 +368,61 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             batcher,
             metrics,
+            health,
             k,
             n,
         });
 
+        // Thread-spawn failure (OS resource exhaustion) is an I/O error
+        // we propagate, not a panic. On any failure path,
+        // `begin_shutdown` closes the batcher and drops the connection
+        // channel, so every already-spawned thread observes the drain
+        // and exits on its own.
         let exec = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
+            let shared_exec = Arc::clone(&shared);
+            let spawned = thread::Builder::new()
                 .name("afpr-serve-exec".into())
-                .spawn(move || exec_loop(&shared, accel, handle, &engine))
-                .expect("spawn exec thread")
+                .spawn(move || exec_loop(&shared_exec, accel, handle, &engine, chaos));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
         };
 
         let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
-        let workers = (0..shared.cfg.workers)
-            .map(|i| {
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let worker = {
                 let shared = Arc::clone(&shared);
                 let conn_rx = conn_rx.clone();
                 thread::Builder::new()
                     .name(format!("afpr-serve-conn-{i}"))
                     .spawn(move || worker_loop(&shared, &conn_rx))
-                    .expect("spawn connection worker")
-            })
-            .collect();
+            };
+            match worker {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
+        }
 
         let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
+            let shared_acc = Arc::clone(&shared);
+            let spawned = thread::Builder::new()
                 .name("afpr-serve-accept".into())
-                .spawn(move || acceptor_loop(&shared, &listener, &conn_tx))
-                .expect("spawn acceptor thread")
+                .spawn(move || acceptor_loop(&shared_acc, &listener, &conn_tx));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
         };
 
         Ok(Self {
@@ -670,6 +745,27 @@ fn admit(
         )));
     }
 
+    // Health gate: while Degraded, shed compute load before the queue
+    // is hard-full so the requests we do accept keep bounded latency.
+    // `health`/`metrics` never reach this path.
+    let queue_frac = shared.queue_frac();
+    if shared.health.evaluate(queue_frac) == HealthState::Degraded
+        && shared.health.should_shed(queue_frac)
+    {
+        shared.health.record_shed();
+        shared
+            .metrics
+            .runtime()
+            .record_rejection(RejectReason::Shed);
+        let mut resp = Response::error(
+            req.id,
+            Status::Overloaded,
+            "service degraded: shedding load",
+        );
+        resp.retry_after_ms = Some(shared.cfg.retry_after_ms);
+        return Err(Box::new(resp));
+    }
+
     let (reply_tx, reply_rx) = bounded::<ExecReply>(1);
     let job = ExecJob {
         deadline,
@@ -722,11 +818,33 @@ const REPLY_GRACE: Duration = Duration::from_secs(5);
 // Execution thread
 // ---------------------------------------------------------------------------
 
-fn exec_loop(shared: &Shared, mut accel: AfprAccelerator, handle: LayerHandle, engine: &Engine) {
+fn exec_loop(
+    shared: &Shared,
+    mut accel: AfprAccelerator,
+    handle: LayerHandle,
+    engine: &Engine,
+    mut chaos: Option<ChaosController>,
+) {
     let mut energy_reported = 0.0f64;
+    let mut batches: u64 = 0;
     while let Some(batch) = shared.batcher.next_batch() {
+        batches += 1;
         if !shared.cfg.exec_delay.is_zero() {
             thread::sleep(shared.cfg.exec_delay);
+        }
+        // Worker-pool fault injection: a deliberately poisoned job.
+        // The engine catches and counts it; serving is unaffected.
+        if shared.cfg.panic_every > 0 && batches.is_multiple_of(shared.cfg.panic_every) {
+            engine.spawn(|| panic!("injected worker fault"));
+        }
+        // One chaos tick per batch: stuck cells / drift land between
+        // batches (never mid-batch), and scrub passes repair in place.
+        // The cumulative fault evidence feeds the health machine.
+        if let Some(ctl) = chaos.as_mut() {
+            let _ = ctl.tick(&mut accel);
+            let stats = *ctl.stats();
+            shared.health.note_fault_events(stats.fault_events());
+            shared.metrics.record_chaos_stats(stats);
         }
         run_batch(shared, &mut accel, handle, engine, batch);
         // Export the accelerator's analog-energy delta so `metrics`

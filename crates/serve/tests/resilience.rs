@@ -1,0 +1,162 @@
+//! End-to-end resilience: live fault injection on a serving
+//! accelerator, health degradation + recovery observable over the wire,
+//! worker-panic containment, and client-side retry/reconnect.
+
+use std::time::{Duration, Instant};
+
+use afpr_core::ChaosConfig;
+use afpr_device::YieldModel;
+use afpr_serve::{
+    Client, HealthPolicy, HealthState, RetryPolicy, RetryingClient, ServeModel, Server,
+    ServerConfig,
+};
+use afpr_xbar::GuardConfig;
+
+fn demo_input(k: usize, id: usize) -> Vec<f32> {
+    ServeModel::demo_input(k, id)
+}
+
+/// Polls `health` until the predicate holds or the deadline passes.
+fn wait_for_state(
+    client: &mut Client,
+    want: HealthState,
+    timeout: Duration,
+) -> Result<(), HealthState> {
+    let t0 = Instant::now();
+    let mut last = HealthState::Healthy;
+    while t0.elapsed() < timeout {
+        let h = client.health().expect("health answers");
+        last = h.state;
+        if h.state == want {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Err(last)
+}
+
+/// A chaos-configured server degrades when faults land, keeps serving
+/// well-formed responses, and recovers to `Healthy` once the substrate
+/// has been scrubbed and quiet for the dwell period — all observable
+/// through the wire protocol.
+#[test]
+fn chaos_degrades_then_recovers_observably() {
+    let cfg = ServerConfig {
+        batch_size: 1,
+        chaos: Some(ChaosConfig {
+            yield_model: YieldModel::new(0.002, 0.002),
+            drift_step: 0.0,
+            inject_period: 1,
+            scrub_period: 1,
+            guard: GuardConfig::default(),
+            seed: 11,
+        }),
+        health: HealthPolicy {
+            min_dwell: Duration::from_millis(30),
+            ..HealthPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, ServeModel::demo_resilient(3, 4)).expect("starts");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connects");
+
+    // Drive a few batches so chaos ticks land faults.
+    for i in 0..6 {
+        let y = client.matvec(demo_input(256, i)).expect("served");
+        assert_eq!(y.len(), 128);
+        assert!(y.iter().all(|v| v.is_finite()), "no NaN/Inf under faults");
+    }
+
+    // Fault evidence must degrade the machine (health evaluates live).
+    wait_for_state(&mut client, HealthState::Degraded, Duration::from_secs(5))
+        .expect("fault evidence degrades the server");
+    let h = client.health().expect("health");
+    assert!(h.fault_events > 0, "evidence counter visible on the wire");
+
+    // No compute traffic → no more chaos ticks; after the dwell the
+    // health probes themselves drive recovery.
+    wait_for_state(&mut client, HealthState::Healthy, Duration::from_secs(5))
+        .expect("scrubbed + quiet substrate recovers");
+
+    let snapshot = server.shutdown();
+    assert!(snapshot.health.degraded_entered >= 1, "degrade observed");
+    assert!(snapshot.health.recovered >= 1, "recovery observed");
+    let chaos = snapshot.chaos.expect("chaos stats published");
+    assert!(chaos.cells_faulted > 0, "injection actually happened");
+    assert!(chaos.scrub_events > 0, "scrub passes ran");
+    assert_eq!(snapshot.protocol_errors, 0);
+}
+
+/// `panic_every` poisons engine jobs on a cadence; the pool contains
+/// every panic (counted in `jobs_panicked`) and request results remain
+/// bit-identical to a panic-free server.
+#[test]
+fn injected_worker_panics_never_corrupt_responses() {
+    let mk_cfg = |panic_every| ServerConfig {
+        batch_size: 1,
+        panic_every,
+        ..ServerConfig::default()
+    };
+    let quiet = Server::start(mk_cfg(0), ServeModel::demo(9)).expect("starts");
+    let mut c = Client::connect(quiet.local_addr()).expect("connects");
+    let reference: Vec<Vec<f32>> = (0..4)
+        .map(|i| c.matvec(demo_input(256, i)).expect("served"))
+        .collect();
+    drop(quiet);
+
+    let noisy = Server::start(mk_cfg(1), ServeModel::demo(9)).expect("starts");
+    let mut c = Client::connect(noisy.local_addr()).expect("connects");
+    for (i, want) in reference.iter().enumerate() {
+        let got = c.matvec(demo_input(256, i)).expect("served despite panics");
+        let same = got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "request {i}: outputs must be bit-identical");
+    }
+    let snapshot = noisy.shutdown();
+    assert!(
+        snapshot.runtime.jobs_panicked >= 1,
+        "poisoned jobs were injected and caught"
+    );
+    assert_eq!(snapshot.protocol_errors, 0);
+}
+
+/// The retrying client reconnects transparently after its connection is
+/// dropped and reports the reconnect in its stats.
+#[test]
+fn retrying_client_survives_connection_drops() {
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(5)).expect("starts");
+    let addr = server.local_addr().to_string();
+    let mut client = RetryingClient::new(
+        addr,
+        RetryPolicy {
+            seed: 3,
+            ..RetryPolicy::default()
+        },
+    );
+
+    let a = client.matvec(&demo_input(256, 0)).expect("first call");
+    client.drop_connection();
+    let b = client.matvec(&demo_input(256, 0)).expect("after reconnect");
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert_eq!(client.stats().connects, 2, "one reconnect");
+    assert_eq!(client.stats().retries, 0, "drop was between calls");
+
+    let h = client.health().expect("health via retry layer");
+    assert_eq!(h.state, HealthState::Healthy);
+    drop(server);
+
+    // Server gone: retries burn down, breaker eventually opens.
+    let err = client.matvec(&demo_input(256, 1)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            afpr_serve::ClientError::RetriesExhausted(_) | afpr_serve::ClientError::CircuitOpen
+        ),
+        "got {err}"
+    );
+    assert!(client.stats().retries > 0);
+}

@@ -130,10 +130,20 @@ fn saturation_yields_structured_503_and_health_stays_responsive() {
     }
 
     let snapshot = server.shutdown();
+    // A saturated queue rejects on two paths with the same wire shape:
+    // the health machine sheds while Degraded (queue ≥ shed threshold)
+    // and the bounded queue itself rejects at capacity.
     assert_eq!(
-        snapshot.runtime.rejections.queue_full,
+        snapshot.runtime.rejections.queue_full + snapshot.runtime.rejections.shed,
         overloaded.len() as u64
     );
+    assert_eq!(snapshot.health.shed, snapshot.runtime.rejections.shed);
+    if snapshot.runtime.rejections.shed > 0 {
+        assert!(
+            snapshot.health.degraded_entered >= 1,
+            "shedding only happens while degraded"
+        );
+    }
     assert_eq!(snapshot.runtime.requests_accepted, ok as u64);
 }
 

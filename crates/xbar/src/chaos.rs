@@ -1,0 +1,109 @@
+//! Scrub configuration and reporting for online fault management.
+//!
+//! Analog CIM arrays accumulate hard faults (stuck-LRS/HRS cells) and
+//! retention drift while serving traffic. The scrub path periodically
+//! compares per-column *golden checksums* captured at programming time
+//! against live (drift-normalized) column checksums, optionally
+//! majority-votes over noisy re-reads, and repairs flagged columns by
+//! remapping them onto spare source lines
+//! ([`crate::Crossbar::remap_column`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for one scrub pass over a macro's arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Detection threshold as a fraction of one full-scale cell
+    /// conductance (`g_max`). A column is flagged when its
+    /// drift-normalized checksum deviates from golden by more than
+    /// `threshold × g_max`.
+    pub threshold: f64,
+    /// Number of noisy re-reads for majority voting. `1` (or `0`)
+    /// means a single deterministic read — appropriate when the device
+    /// model has no read noise.
+    pub votes: usize,
+    /// Whether flagged columns are repaired by spare-column remapping
+    /// (when spares remain) or merely reported.
+    pub repair: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.02,
+            votes: 1,
+            repair: true,
+        }
+    }
+}
+
+/// Outcome of one scrub pass (or the merge of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Columns flagged by checksum detection (both polarity arrays).
+    pub flagged: u64,
+    /// Flagged columns successfully remapped onto spares.
+    pub repaired: u64,
+    /// Flagged columns left in place (repair disabled or out of
+    /// spares).
+    pub unrepaired: u64,
+}
+
+impl ScrubReport {
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.flagged += other.flagged;
+        self.repaired += other.repaired;
+        self.unrepaired += other.unrepaired;
+    }
+
+    /// Whether anything was flagged.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.flagged == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_guard_is_sane() {
+        let g = GuardConfig::default();
+        assert!(g.threshold > 0.0 && g.threshold < 1.0);
+        assert!(g.repair);
+    }
+
+    #[test]
+    fn reports_merge() {
+        let mut a = ScrubReport {
+            flagged: 2,
+            repaired: 1,
+            unrepaired: 1,
+        };
+        let b = ScrubReport {
+            flagged: 3,
+            repaired: 3,
+            unrepaired: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.flagged, 5);
+        assert_eq!(a.repaired, 4);
+        assert_eq!(a.unrepaired, 1);
+        assert!(!a.is_clean());
+        assert!(ScrubReport::default().is_clean());
+    }
+
+    #[test]
+    fn report_round_trips_json() {
+        let r = ScrubReport {
+            flagged: 7,
+            repaired: 5,
+            unrepaired: 2,
+        };
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: ScrubReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, r);
+    }
+}

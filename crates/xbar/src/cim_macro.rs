@@ -103,8 +103,8 @@ impl CimMacro {
     #[must_use]
     pub fn with_seed(spec: MacroSpec, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pos = Crossbar::new(spec.rows, spec.cols, spec.device.clone());
-        let neg = Crossbar::new(spec.rows, spec.cols, spec.device.clone());
+        let pos = Crossbar::with_spares(spec.rows, spec.cols, spec.spare_cols, spec.device.clone());
+        let neg = Crossbar::with_spares(spec.rows, spec.cols, spec.spare_cols, spec.device.clone());
         let fp_dac = FpDac::with_sampled_mismatch(spec.fp_dac, &mut rng);
         let exp_levels = spec.fp_dac.format.exponent_levels();
         let row_pgas = (0..spec.rows)
@@ -181,6 +181,68 @@ impl CimMacro {
     pub fn set_age(&mut self, elapsed: afpr_circuit::units::Seconds) {
         self.pos.set_age(elapsed);
         self.neg.set_age(elapsed);
+    }
+
+    /// Shared read access to the differential arrays (positive,
+    /// negative), for inspection by resilience tooling and tests.
+    #[must_use]
+    pub fn arrays(&self) -> (&Crossbar, &Crossbar) {
+        (&self.pos, &self.neg)
+    }
+
+    /// Injects stuck-at faults into **both** differential arrays,
+    /// sampled from `yield_model` with the caller-supplied RNG.
+    /// Returns the number of cells faulted.
+    ///
+    /// The macro's own RNG is deliberately *not* used: live chaos
+    /// injection must not perturb the compute noise streams, so that a
+    /// `fault_rate == 0` chaos configuration stays bit-identical to no
+    /// chaos at all.
+    pub fn inject_chaos_faults<R: rand::Rng + ?Sized>(
+        &mut self,
+        yield_model: &afpr_device::YieldModel,
+        rng: &mut R,
+    ) -> u64 {
+        let n = self.pos.inject_faults(yield_model, rng) + self.neg.inject_faults(yield_model, rng);
+        n as u64
+    }
+
+    /// Advances retention age on both arrays by `delta` seconds
+    /// (relative to the current age, which [`Crossbar::set_age`] sets
+    /// absolutely).
+    pub fn advance_age(&mut self, delta: afpr_circuit::units::Seconds) {
+        let age = self.pos.age_seconds() + delta.seconds();
+        self.set_age(afpr_circuit::units::Seconds::new(age));
+    }
+
+    /// One scrub pass over both differential arrays: golden-checksum
+    /// detection (majority-voted when `guard.votes > 1`), then repair
+    /// by spare-column remapping while spares remain.
+    ///
+    /// `rng` drives noisy re-reads and spare reprogramming and must be
+    /// a chaos/maintenance stream, not the macro compute stream.
+    pub fn scrub<R: rand::Rng + ?Sized>(
+        &mut self,
+        guard: &crate::chaos::GuardConfig,
+        rng: &mut R,
+    ) -> crate::chaos::ScrubReport {
+        let mut report = crate::chaos::ScrubReport::default();
+        for array in [&mut self.pos, &mut self.neg] {
+            let flagged = if guard.votes > 1 {
+                array.detect_faulty_columns_voted(guard.threshold, guard.votes, rng)
+            } else {
+                array.detect_faulty_columns(guard.threshold)
+            };
+            for col in flagged {
+                report.flagged += 1;
+                if guard.repair && array.remap_column(col, rng).is_ok() {
+                    report.repaired += 1;
+                } else {
+                    report.unrepaired += 1;
+                }
+            }
+        }
+        report
     }
 
     /// Programs a signed weight matrix (`rows × cols`, row-major) into

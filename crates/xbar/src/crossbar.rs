@@ -39,6 +39,20 @@ pub struct Crossbar {
     age: f64,
     /// Wire IR-drop model (ideal by default).
     ir_drop: IrDropModel,
+    /// Spare columns for remap-based repair (column-major: spare `s`,
+    /// row `r` at `s * rows + r`). Empty unless built with
+    /// [`Crossbar::with_spares`].
+    spare_cells: Vec<RramCell>,
+    /// Number of spare columns reserved at construction.
+    spare_cols: usize,
+    /// Spare columns consumed by [`Crossbar::remap_column`].
+    spares_used: usize,
+    /// `col_redirect[c] = Some(s)` when logical column `c` reads from
+    /// spare column `s` instead of its original source line.
+    col_redirect: Vec<Option<usize>>,
+    /// Golden per-column checksums captured at programming time
+    /// (fault-free, age-0), used by scrub detection.
+    golden: Option<Vec<f64>>,
 }
 
 impl Crossbar {
@@ -49,9 +63,22 @@ impl Crossbar {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(rows: usize, cols: usize, device: DeviceConfig) -> Self {
+        Self::with_spares(rows, cols, 0, device)
+    }
+
+    /// Builds a crossbar with `spare_cols` extra source lines reserved
+    /// for fault repair. Spares start fresh and take no part in MAC
+    /// operations until a logical column is remapped onto one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn with_spares(rows: usize, cols: usize, spare_cols: usize, device: DeviceConfig) -> Self {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be non-zero");
         let allocator = MlcAllocator::new(&device);
         let cells = vec![RramCell::fresh(&device); rows * cols];
+        let spare_cells = vec![RramCell::fresh(&device); rows * spare_cols];
         Self {
             rows,
             cols,
@@ -60,6 +87,28 @@ impl Crossbar {
             allocator,
             age: 0.0,
             ir_drop: IrDropModel::ideal(),
+            spare_cells,
+            spare_cols,
+            spares_used: 0,
+            col_redirect: vec![None; cols],
+            golden: None,
+        }
+    }
+
+    /// The active cell backing logical position `(r, c)` — the original
+    /// source line, or its spare after a remap.
+    fn cell(&self, r: usize, c: usize) -> &RramCell {
+        match self.col_redirect[c] {
+            Some(s) => &self.spare_cells[s * self.rows + r],
+            None => &self.cells[r * self.cols + c],
+        }
+    }
+
+    /// Mutable access to the active cell backing `(r, c)`.
+    fn cell_mut(&mut self, r: usize, c: usize) -> &mut RramCell {
+        match self.col_redirect[c] {
+            Some(s) => &mut self.spare_cells[s * self.rows + r],
+            None => &mut self.cells[r * self.cols + c],
         }
     }
 
@@ -98,13 +147,29 @@ impl Crossbar {
             cell.program_level(level, &self.allocator, &self.device, rng);
         }
         self.age = 0.0;
+        // A full redeploy reclaims every spare and re-baselines the
+        // golden checksums against the freshly programmed array.
+        self.col_redirect = vec![None; self.cols];
+        self.spares_used = 0;
+        self.capture_golden();
     }
 
-    /// Injects stuck-at faults sampled from a yield model.
-    pub fn inject_faults<R: Rng + ?Sized>(&mut self, yield_model: &YieldModel, rng: &mut R) {
-        for (r, c, fault) in yield_model.sample_array(self.rows, self.cols, rng) {
-            self.cells[r * self.cols + c].set_fault(Some(fault));
+    /// Injects stuck-at faults sampled from a yield model. Returns the
+    /// number of cells faulted.
+    ///
+    /// Faults land on the *active* cell of each sampled position, so a
+    /// remapped column's spare can itself go bad later.
+    pub fn inject_faults<R: Rng + ?Sized>(
+        &mut self,
+        yield_model: &YieldModel,
+        rng: &mut R,
+    ) -> usize {
+        let faults = yield_model.sample_array(self.rows, self.cols, rng);
+        let n = faults.len();
+        for (r, c, fault) in faults {
+            self.cell_mut(r, c).set_fault(Some(fault));
         }
+        n
     }
 
     /// Injects a single fault at a position (for targeted tests).
@@ -117,12 +182,18 @@ impl Crossbar {
             row < self.rows && col < self.cols,
             "fault position out of bounds"
         );
-        self.cells[row * self.cols + col].set_fault(fault);
+        self.cell_mut(row, col).set_fault(fault);
     }
 
     /// Ages the array (retention drift applies on subsequent reads).
     pub fn set_age(&mut self, elapsed: Seconds) {
         self.age = elapsed.seconds();
+    }
+
+    /// Current retention age in seconds.
+    #[must_use]
+    pub fn age_seconds(&self) -> f64 {
+        self.age
     }
 
     /// Enables (or disables, with [`IrDropModel::ideal`]) the
@@ -145,9 +216,13 @@ impl Crossbar {
     #[must_use]
     pub fn conductance(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.rows && col < self.cols, "position out of bounds");
-        let g = self.cells[row * self.cols + col].conductance_after(&self.device, self.age);
+        let g = self
+            .cell(row, col)
+            .conductance_after(&self.device, self.age);
         // Word-line distance = column index from the row driver;
-        // source-line distance = row index from the sense node.
+        // source-line distance = row index from the sense node. A
+        // remapped column keeps its logical electrical position (the
+        // spare lines sit adjacent in the array).
         self.ir_drop.effective_conductance(g, col, row)
     }
 
@@ -181,10 +256,20 @@ impl Crossbar {
             if v == 0.0 {
                 continue;
             }
-            let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
-            for (c, (acc, cell)) in out.iter_mut().zip(row_cells).enumerate() {
-                let g = cell.conductance_after(&self.device, self.age);
-                *acc += v * self.ir_drop.effective_conductance(g, c, r);
+            if self.spares_used == 0 {
+                // Fast path: contiguous row slice, no redirect branch.
+                // Identical float-op order to the redirected path, so
+                // results are bit-identical either way.
+                let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+                for (c, (acc, cell)) in out.iter_mut().zip(row_cells).enumerate() {
+                    let g = cell.conductance_after(&self.device, self.age);
+                    *acc += v * self.ir_drop.effective_conductance(g, c, r);
+                }
+            } else {
+                for (c, acc) in out.iter_mut().enumerate() {
+                    let g = self.cell(r, c).conductance_after(&self.device, self.age);
+                    *acc += v * self.ir_drop.effective_conductance(g, c, r);
+                }
             }
         }
         out.into_iter().map(Amps::new).collect()
@@ -235,12 +320,14 @@ impl Crossbar {
     }
 
     /// One-time weight-deployment energy of the last programming pass
-    /// (summed write-verify pulses over all cells).
+    /// (summed write-verify pulses over all cells, plus any spare
+    /// columns programmed by repair remaps).
     #[must_use]
     pub fn programming_energy(&self, model: &afpr_device::ProgramEnergyModel) -> Joules {
         Joules::new(
             self.cells
                 .iter()
+                .chain(self.spare_cells.iter().filter(|c| c.program_iters() > 0))
                 .map(|c| model.cell_energy(c.program_iters()))
                 .sum(),
         )
@@ -257,7 +344,220 @@ impl Crossbar {
             .count();
         zeros as f64 / self.cells.len() as f64
     }
+
+    // ------------------------------------------------------------------
+    // Resilience: golden checksums, fault detection, spare-column repair
+    // ------------------------------------------------------------------
+
+    /// Spare columns reserved at construction.
+    #[must_use]
+    pub fn spare_cols(&self) -> usize {
+        self.spare_cols
+    }
+
+    /// Spare columns already consumed by remaps.
+    #[must_use]
+    pub fn spares_used(&self) -> usize {
+        self.spares_used
+    }
+
+    /// Spare columns still available for repair.
+    #[must_use]
+    pub fn spares_available(&self) -> usize {
+        self.spare_cols - self.spares_used
+    }
+
+    /// Whether the logical column reads from a spare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[must_use]
+    pub fn is_remapped(&self, col: usize) -> bool {
+        self.col_redirect[col].is_some()
+    }
+
+    /// The captured golden per-column checksums, if any.
+    #[must_use]
+    pub fn golden_checksums(&self) -> Option<&[f64]> {
+        self.golden.as_deref()
+    }
+
+    /// Live checksum of one column: `Σ_r G_eff(r, c)` with faults,
+    /// drift, and IR drop applied (noise-free read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[must_use]
+    pub fn column_checksum(&self, col: usize) -> f64 {
+        assert!(col < self.cols, "column out of bounds");
+        (0..self.rows).map(|r| self.conductance(r, col)).sum()
+    }
+
+    /// Column checksum with per-cell read noise, for re-read majority
+    /// voting under a noisy readout model.
+    pub fn column_checksum_noisy<R: Rng + ?Sized>(&self, col: usize, rng: &mut R) -> f64 {
+        assert!(col < self.cols, "column out of bounds");
+        let variation = afpr_device::VariationModel::new(
+            self.device.program_sigma,
+            self.device.read_noise_sigma,
+        );
+        (0..self.rows)
+            .map(|r| variation.sample_read(self.conductance(r, col), rng))
+            .sum()
+    }
+
+    /// Reference (age-0) checksum of one column via the same
+    /// measurement path as [`Crossbar::column_checksum`], so IR drop
+    /// cancels in golden comparisons.
+    fn column_checksum_ref(&self, col: usize) -> f64 {
+        (0..self.rows)
+            .map(|r| {
+                let g = self.cell(r, col).conductance_after(&self.device, 0.0);
+                self.ir_drop.effective_conductance(g, col, r)
+            })
+            .sum()
+    }
+
+    /// (Re)captures the golden per-column checksums from the current
+    /// cell state at age 0. Called automatically at the end of
+    /// [`Crossbar::program_levels`]; call manually only after targeted
+    /// cell surgery in tests.
+    pub fn capture_golden(&mut self) {
+        self.golden = Some(
+            (0..self.cols)
+                .map(|c| self.column_checksum_ref(c))
+                .collect(),
+        );
+    }
+
+    /// Estimates the uniform drift factor between the golden capture
+    /// and now as the median of per-column checksum ratios. Robust to a
+    /// minority of faulted columns by construction.
+    fn drift_estimate(&self, golden: &[f64], live: &[f64]) -> f64 {
+        let floor = self.device.g_max * 1e-9;
+        let mut ratios: Vec<f64> = golden
+            .iter()
+            .zip(live)
+            .filter(|(g, _)| g.abs() > floor)
+            .map(|(g, l)| l / g)
+            .collect();
+        if ratios.is_empty() {
+            return 1.0;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ratios[ratios.len() / 2]
+    }
+
+    /// Detects columns whose live checksum deviates from the
+    /// drift-normalized golden value by more than
+    /// `threshold × g_max` (one `threshold`-fraction of a full-scale
+    /// cell). Power-law retention drift multiplies every cell by the
+    /// same factor, so the median checksum ratio divides it out
+    /// exactly; any surviving deviation is a fault signature.
+    ///
+    /// Returns the flagged logical column indices (sorted). Empty if no
+    /// golden baseline has been captured.
+    #[must_use]
+    pub fn detect_faulty_columns(&self, threshold: f64) -> Vec<usize> {
+        let Some(golden) = self.golden.as_deref() else {
+            return Vec::new();
+        };
+        let live: Vec<f64> = (0..self.cols).map(|c| self.column_checksum(c)).collect();
+        let drift = self.drift_estimate(golden, &live);
+        let tol = threshold.max(0.0) * self.device.g_max;
+        (0..self.cols)
+            .filter(|&c| (live[c] - golden[c] * drift).abs() > tol)
+            .collect()
+    }
+
+    /// Noise-robust detection: re-reads every column `votes` times with
+    /// read noise and flags columns failing the golden comparison in a
+    /// strict majority of the re-reads.
+    pub fn detect_faulty_columns_voted<R: Rng + ?Sized>(
+        &self,
+        threshold: f64,
+        votes: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let Some(golden) = self.golden.as_deref() else {
+            return Vec::new();
+        };
+        let votes = votes.max(1);
+        let tol = threshold.max(0.0) * self.device.g_max;
+        let mut tallies = vec![0usize; self.cols];
+        for _ in 0..votes {
+            let live: Vec<f64> = (0..self.cols)
+                .map(|c| self.column_checksum_noisy(c, rng))
+                .collect();
+            let drift = self.drift_estimate(golden, &live);
+            for (c, tally) in tallies.iter_mut().enumerate() {
+                if (live[c] - golden[c] * drift).abs() > tol {
+                    *tally += 1;
+                }
+            }
+        }
+        (0..self.cols).filter(|&c| tallies[c] * 2 > votes).collect()
+    }
+
+    /// Repairs a logical column by reprogramming its intended weights
+    /// (per-cell programming targets, which faults do not clear) into
+    /// the next spare column and redirecting reads there. The golden
+    /// checksum for the column is re-captured from the spare.
+    ///
+    /// Returns the spare index used, or [`OutOfSpares`] when every
+    /// spare has been consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn remap_column<R: Rng + ?Sized>(
+        &mut self,
+        col: usize,
+        rng: &mut R,
+    ) -> Result<usize, OutOfSpares> {
+        assert!(col < self.cols, "column out of bounds");
+        if self.spares_used >= self.spare_cols {
+            return Err(OutOfSpares {
+                spare_cols: self.spare_cols,
+            });
+        }
+        let targets: Vec<f64> = (0..self.rows)
+            .map(|r| self.cell(r, col).target_conductance())
+            .collect();
+        let s = self.spares_used;
+        for (r, &target) in targets.iter().enumerate() {
+            self.spare_cells[s * self.rows + r].program_target(target, &self.device, rng);
+        }
+        self.col_redirect[col] = Some(s);
+        self.spares_used += 1;
+        let fresh = self.column_checksum_ref(col);
+        if let Some(golden) = &mut self.golden {
+            golden[col] = fresh;
+        }
+        Ok(s)
+    }
 }
+
+/// Repair failed: every spare column is already in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfSpares {
+    /// Total spare columns the array was built with.
+    pub spare_cols: usize,
+}
+
+impl std::fmt::Display for OutOfSpares {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {} spare column(s) already consumed",
+            self.spare_cols
+        )
+    }
+}
+
+impl std::error::Error for OutOfSpares {}
 
 #[cfg(test)]
 mod tests {
@@ -378,5 +678,100 @@ mod tests {
     fn wrong_input_length_panics() {
         let (xb, _) = setup(3, 2);
         let _ = xb.mac_currents(&[Volts::ZERO; 2]);
+    }
+
+    #[test]
+    fn golden_captured_at_programming() {
+        let (mut xb, mut rng) = setup(4, 3);
+        assert!(xb.golden_checksums().is_none());
+        xb.program_levels(&[16; 12], &mut rng);
+        let golden = xb.golden_checksums().expect("captured").to_vec();
+        assert_eq!(golden.len(), 3);
+        for (c, g) in golden.iter().enumerate() {
+            assert!((g - xb.column_checksum(c)).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn detection_flags_stuck_column_and_nothing_else() {
+        let (mut xb, mut rng) = setup(8, 4);
+        let levels: Vec<u32> = (0..32).map(|k| (k * 5) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        assert!(xb.detect_faulty_columns(0.02).is_empty());
+        xb.set_fault(3, 1, Some(FaultKind::StuckLrs));
+        assert_eq!(xb.detect_faulty_columns(0.02), vec![1]);
+    }
+
+    #[test]
+    fn detection_is_drift_invariant() {
+        let mut dev = DeviceConfig::ideal(32);
+        dev.drift_nu = 0.02;
+        let mut xb = Crossbar::new(6, 4, dev);
+        let mut rng = StdRng::seed_from_u64(5);
+        let levels: Vec<u32> = (0..24).map(|k| (k * 7) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        xb.set_age(Seconds::new(1e6));
+        // Uniform drift shrinks every checksum, but the median-ratio
+        // normalization divides it out: no false positives.
+        assert!(xb.detect_faulty_columns(0.02).is_empty());
+        xb.set_fault(0, 2, Some(FaultKind::StuckLrs));
+        assert_eq!(xb.detect_faulty_columns(0.02), vec![2]);
+    }
+
+    #[test]
+    fn remap_restores_column_current_and_detection_clears() {
+        let mut xb = Crossbar::with_spares(6, 3, 2, DeviceConfig::ideal(32));
+        let mut rng = StdRng::seed_from_u64(9);
+        let levels: Vec<u32> = (0..18).map(|k| (k * 11) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        let v: Vec<Volts> = (0..6).map(|k| Volts::new(0.02 * (k + 1) as f64)).collect();
+        let healthy = xb.column_current(1, &v).amps();
+
+        xb.set_fault(2, 1, Some(FaultKind::StuckHrs));
+        assert_ne!(xb.column_current(1, &v).amps(), healthy);
+        assert_eq!(xb.detect_faulty_columns(0.02), vec![1]);
+
+        let spare = xb.remap_column(1, &mut rng).expect("spares available");
+        assert_eq!(spare, 0);
+        assert!(xb.is_remapped(1));
+        assert_eq!(xb.spares_available(), 1);
+        // Ideal devices reprogram exactly, so the repaired column reads
+        // back the intended weights bit-exactly.
+        assert_eq!(xb.column_current(1, &v).amps(), healthy);
+        assert!(xb.detect_faulty_columns(0.02).is_empty());
+    }
+
+    #[test]
+    fn remap_without_spares_errors() {
+        let (mut xb, mut rng) = setup(3, 2);
+        xb.program_levels(&[8; 6], &mut rng);
+        let err = xb.remap_column(0, &mut rng).expect_err("no spares");
+        assert_eq!(err.spare_cols, 0);
+        assert!(err.to_string().contains("spare"));
+    }
+
+    #[test]
+    fn voted_detection_survives_read_noise() {
+        let mut dev = DeviceConfig::ideal(32);
+        dev.read_noise_sigma = 0.005;
+        let mut xb = Crossbar::new(8, 4, dev);
+        let mut rng = StdRng::seed_from_u64(17);
+        xb.program_levels(&[24; 32], &mut rng);
+        xb.set_fault(1, 3, Some(FaultKind::StuckHrs));
+        let flagged = xb.detect_faulty_columns_voted(0.1, 5, &mut rng);
+        assert_eq!(flagged, vec![3]);
+    }
+
+    #[test]
+    fn reprogramming_reclaims_spares() {
+        let mut xb = Crossbar::with_spares(3, 2, 1, DeviceConfig::ideal(32));
+        let mut rng = StdRng::seed_from_u64(2);
+        xb.program_levels(&[4; 6], &mut rng);
+        xb.set_fault(0, 0, Some(FaultKind::StuckLrs));
+        xb.remap_column(0, &mut rng).expect("one spare");
+        assert_eq!(xb.spares_available(), 0);
+        xb.program_levels(&[5; 6], &mut rng);
+        assert_eq!(xb.spares_available(), 1);
+        assert!(!xb.is_remapped(0));
     }
 }

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cim_macro;
 pub mod crossbar;
 pub mod ir_drop;
@@ -32,8 +33,9 @@ pub mod partial_sum;
 pub mod quant;
 pub mod spec;
 
+pub use chaos::{GuardConfig, ScrubReport};
 pub use cim_macro::{CimMacro, WeightPolarity};
-pub use crossbar::Crossbar;
+pub use crossbar::{Crossbar, OutOfSpares};
 pub use ir_drop::IrDropModel;
 pub use mapping::{map_weights, MappedWeights};
 pub use metrics::MacroStats;

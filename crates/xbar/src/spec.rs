@@ -77,6 +77,10 @@ pub struct MacroSpec {
     pub int_dac_full_scale: Volts,
     /// INT DAC resolution in bits.
     pub int_dac_bits: u32,
+    /// Spare source lines per array reserved for fault repair (column
+    /// remapping). `0` disables the repair path and is the
+    /// paper-faithful default.
+    pub spare_cols: usize,
 }
 
 impl MacroSpec {
@@ -94,7 +98,15 @@ impl MacroSpec {
             int_adc: IntAdcConfig::paper_matched(),
             int_dac_full_scale: Volts::new(1.575),
             int_dac_bits: 8,
+            spare_cols: 0,
         }
+    }
+
+    /// Returns a copy with `n` spare columns reserved for fault repair.
+    #[must_use]
+    pub fn with_spare_cols(mut self, n: usize) -> Self {
+        self.spare_cols = n;
+        self
     }
 
     /// The paper's macro with realistic device/circuit non-idealities.
