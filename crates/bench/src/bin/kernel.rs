@@ -1,0 +1,286 @@
+//! Conductance-kernel benchmark: measures what the cached-snapshot
+//! matvec kernel buys over the per-cell uncached read path, end to
+//! end.
+//!
+//! Four sections, all seeded and bit-checked:
+//!
+//! 1. **Kernel microbench** — the paper's 576×256 array with realistic
+//!    drift (ν = 0.005) at a nonzero age, so the uncached path pays a
+//!    `powf` per cell per read. Reports uncached, cold-cache
+//!    (invalidate + rebuild every read) and warm-cache matvec rates,
+//!    and asserts the cached output is **bit-identical** to the
+//!    uncached reference.
+//! 2. **Accelerator matvec** — the demo 256→128 tiled layer through
+//!    `AfprAccelerator::matvec` with warm kernels.
+//! 3. **Parallel forward** — the same layer through the runtime
+//!    engine (`matvec_parallel/s`), bit-checked against sequential.
+//! 4. **Serve path** — an in-process server + client round-trip
+//!    (`req/s`), i.e. the kernel speedup as a client would see it.
+//!
+//! Writes the results as JSON (default `BENCH_matvec.json`).
+//!
+//! Usage: `cargo run --release --bin kernel [--quick] [--seed S] [--out PATH]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use afpr_circuit::units::{Seconds, Volts};
+use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
+use afpr_device::DeviceConfig;
+use afpr_nn::tensor::Tensor;
+use afpr_runtime::Engine;
+use afpr_serve::{Client, ServeModel, Server, ServerConfig};
+use afpr_xbar::crossbar::Crossbar;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const K: usize = 256;
+const N: usize = 128;
+
+#[derive(Serialize)]
+struct KernelSection {
+    rows: usize,
+    cols: usize,
+    age_seconds: f64,
+    drift_nu: f64,
+    bit_identical: bool,
+    uncached_matvec_per_s: f64,
+    cold_matvec_per_s: f64,
+    warm_matvec_per_s: f64,
+    warm_speedup_vs_uncached: f64,
+}
+
+#[derive(Serialize)]
+struct AccelSection {
+    layer: String,
+    matvec_per_s: f64,
+    matvec_parallel_per_s: f64,
+    parallel_threads: usize,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ServeSection {
+    requests: usize,
+    req_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    quick: bool,
+    kernel_576x256: KernelSection,
+    accelerator_demo: AccelSection,
+    serve: ServeSection,
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<T>().ok())
+}
+
+/// Rate in ops/s for `reps` repetitions taking `secs` seconds.
+fn rate(reps: usize, secs: f64) -> f64 {
+    reps as f64 / secs.max(1e-12)
+}
+
+/// Section 1: the 576×256 crossbar kernel with drift active.
+fn kernel_microbench(seed: u64, quick: bool) -> KernelSection {
+    let rows = 576;
+    let cols = 256;
+    // Realistic device (drift ν = 0.005) aged ~5 weeks: the uncached
+    // path evaluates one power-law drift factor per cell per read.
+    let mut xb = Crossbar::new(rows, cols, DeviceConfig::realistic(32));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..32)).collect();
+    xb.program_levels(&levels, &mut rng);
+    let age = Seconds::new(3.0e6);
+    xb.set_age(age);
+    let v: Vec<Volts> = (0..rows)
+        .map(|r| Volts::new(0.02 + 0.001 * (r % 64) as f64))
+        .collect();
+
+    // Bit-identity gate: the cached kernel must reproduce the uncached
+    // per-cell path exactly, bit for bit. This is the determinism
+    // contract CI relies on; a mismatch is a hard failure.
+    let cached = xb.mac_currents(&v);
+    let reference = xb.mac_currents_uncached(&v);
+    assert_eq!(cached.len(), reference.len());
+    for (c, (a, b)) in cached.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            a.amps().to_bits(),
+            b.amps().to_bits(),
+            "cached kernel diverged from uncached reference at column {c}"
+        );
+    }
+    println!("bit-identity      : cached == uncached over {cols} columns ✓");
+
+    let (reps_slow, reps_warm) = if quick { (3, 60) } else { (12, 600) };
+
+    // Uncached: the pre-kernel read path (per-cell drift + IR fold).
+    let t0 = Instant::now();
+    for _ in 0..reps_slow {
+        black_box(xb.mac_currents_uncached(&v));
+    }
+    let uncached_s = rate(reps_slow, t0.elapsed().as_secs_f64());
+
+    // Cold cache: invalidate before every read so each matvec pays the
+    // full snapshot rebuild. `set_age` to the same value still bumps
+    // the generation (invalidation is conservative by design).
+    let t0 = Instant::now();
+    for _ in 0..reps_slow {
+        xb.set_age(age);
+        black_box(xb.mac_currents(&v));
+    }
+    let cold_s = rate(reps_slow, t0.elapsed().as_secs_f64());
+
+    // Warm cache: snapshot built once, every read reuses it.
+    xb.set_age(age); // start from a cold cache…
+    black_box(xb.mac_currents(&v)); // …build exactly once
+    let builds_before = xb.kernel_builds();
+    let t0 = Instant::now();
+    for _ in 0..reps_warm {
+        black_box(xb.mac_currents(&v));
+    }
+    let warm_s = rate(reps_warm, t0.elapsed().as_secs_f64());
+    assert_eq!(
+        xb.kernel_builds(),
+        builds_before,
+        "warm loop must not rebuild the snapshot"
+    );
+
+    let speedup = warm_s / uncached_s;
+    println!("uncached          : {uncached_s:>10.1} matvec/s (576×256, drift active)");
+    println!("cold cache        : {cold_s:>10.1} matvec/s (rebuild every read)");
+    println!("warm cache        : {warm_s:>10.1} matvec/s  speedup ×{speedup:.2} vs uncached");
+
+    KernelSection {
+        rows,
+        cols,
+        age_seconds: age.seconds(),
+        drift_nu: 0.005,
+        bit_identical: true,
+        uncached_matvec_per_s: uncached_s,
+        cold_matvec_per_s: cold_s,
+        warm_matvec_per_s: warm_s,
+        warm_speedup_vs_uncached: speedup,
+    }
+}
+
+fn tiled_accel(seed: u64) -> (AfprAccelerator, LayerHandle) {
+    let base = MacroSpec::small(64, 32, MacroMode::FpE2M5);
+    let mut accel = AfprAccelerator::with_spec(base, seed);
+    let w = Tensor::from_fn(&[K, N], |i| {
+        (((i[0] * N + i[1]) * 7 % 23) as f32 - 11.0) / 22.0
+    });
+    let handle = accel.map_matrix(&w);
+    let x: Vec<f32> = (0..K).map(|k| ((k as f32) * 0.13).sin()).collect();
+    accel.calibrate_layer(handle, std::slice::from_ref(&x));
+    accel.warm_kernel();
+    (accel, handle)
+}
+
+/// Sections 2 + 3: demo tiled layer, sequential and parallel.
+fn accel_bench(seed: u64, quick: bool) -> AccelSection {
+    let reps = if quick { 8 } else { 64 };
+    let xs: Vec<Vec<f32>> = (0..8).map(|s| ServeModel::demo_input(K, s)).collect();
+
+    let (mut accel, handle) = tiled_accel(seed);
+    let t0 = Instant::now();
+    let mut golden = Vec::new();
+    for _ in 0..reps {
+        for x in &xs {
+            golden.push(accel.matvec(handle, x));
+        }
+    }
+    let seq_s = rate(reps * xs.len(), t0.elapsed().as_secs_f64());
+
+    let engine = Engine::with_threads(4);
+    let (mut accel, handle) = tiled_accel(seed);
+    let t0 = Instant::now();
+    let mut outputs = Vec::new();
+    for _ in 0..reps {
+        outputs.extend(accel.forward_batch(handle, &xs, &engine));
+    }
+    let par_s = rate(reps * xs.len(), t0.elapsed().as_secs_f64());
+    let identical = outputs.len() == golden.len()
+        && outputs
+            .iter()
+            .zip(&golden)
+            .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert!(identical, "parallel forward diverged from sequential");
+
+    println!(
+        "matvec (warm)     : {seq_s:>10.1} matvec/s ({} tiles/input)",
+        accel.macro_count()
+    );
+    println!("matvec_parallel   : {par_s:>10.1} matvec/s (4 threads, bit-identical)");
+
+    AccelSection {
+        layer: format!("{K}x{N} over 64x32 tiles"),
+        matvec_per_s: seq_s,
+        matvec_parallel_per_s: par_s,
+        parallel_threads: 4,
+        bit_identical: identical,
+    }
+}
+
+/// Section 4: in-process server round-trips.
+fn serve_bench(seed: u64, quick: bool) -> ServeSection {
+    let n_reqs = if quick { 50 } else { 500 };
+    let server =
+        Server::start(ServerConfig::default(), ServeModel::demo(seed)).expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    // One warmup round-trip so connection setup is off the clock.
+    black_box(client.matvec(ServeModel::demo_input(K, 0)).expect("warmup"));
+    let t0 = Instant::now();
+    for id in 0..n_reqs {
+        let out = client
+            .matvec(ServeModel::demo_input(K, id))
+            .expect("request served");
+        black_box(out);
+    }
+    let req_s = rate(n_reqs, t0.elapsed().as_secs_f64());
+    let _ = server.shutdown();
+    println!("serve round-trip  : {req_s:>10.1} req/s (single client)");
+    ServeSection {
+        requests: n_reqs,
+        req_per_s: req_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = flag_present(&args, "--quick");
+    let seed = flag_value::<u64>(&args, "--seed").unwrap_or(2024);
+    let out = flag_value::<String>(&args, "--out").unwrap_or_else(|| "BENCH_matvec.json".into());
+
+    println!(
+        "conductance-kernel benchmark (seed {seed}, {})\n",
+        if quick { "quick" } else { "full" }
+    );
+    let kernel = kernel_microbench(seed, quick);
+    let accel = accel_bench(seed, quick);
+    let serve = serve_bench(seed, quick);
+
+    let report = Report {
+        bench: "matvec",
+        seed,
+        quick,
+        kernel_576x256: kernel,
+        accelerator_demo: accel,
+        serve,
+    };
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&out, format!("{pretty}\n")).expect("write report");
+    println!("\nwrote {out}");
+}

@@ -340,6 +340,36 @@ impl AfprAccelerator {
         self.layers.iter().map(|l| l.macros.len()).sum()
     }
 
+    /// Forces every macro's conductance-snapshot kernel to build now
+    /// (idempotent when warm). Serving front ends call this once after
+    /// mapping/calibration so the first request does not pay the
+    /// per-array snapshot rebuild; after chaos events the next matvec
+    /// rebuilds lazily on its own.
+    pub fn warm_kernel(&self) {
+        for layer in &self.layers {
+            for mac in &layer.macros {
+                mac.warm_kernel();
+            }
+        }
+    }
+
+    /// Sum of every macro array's kernel generation — a cheap
+    /// monotone fingerprint of conductance-affecting mutations
+    /// (programming, chaos faults, scrub repairs, drift ticks).
+    /// Metrics and tests use the delta between polls to confirm
+    /// invalidation actually reached the arrays.
+    #[must_use]
+    pub fn kernel_generation(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.macros)
+            .map(|m| {
+                let (p, n) = m.kernel_generations();
+                p + n
+            })
+            .sum()
+    }
+
     /// Resets the statistics of every macro.
     pub fn reset_stats(&mut self) {
         for layer in &mut self.layers {
@@ -370,6 +400,9 @@ impl AfprAccelerator {
     }
 
     /// Advances retention age on every macro by `delta` seconds.
+    ///
+    /// Invalidates every array's conductance-snapshot kernel (drift
+    /// changes effective conductances); the next read rebuilds.
     pub fn advance_age(&mut self, delta: afpr_circuit::units::Seconds) {
         for layer in &mut self.layers {
             for mac in &mut layer.macros {
@@ -477,6 +510,28 @@ mod tests {
         assert!(stats.total_energy().joules() > 0.0);
         accel.reset_stats();
         assert_eq!(accel.stats().conversions, 0);
+    }
+
+    #[test]
+    fn warm_kernel_is_transparent_and_generation_tracks_chaos() {
+        let mk = || {
+            let base = MacroSpec::small(8, 3, MacroMode::FpE2M5);
+            let mut accel = AfprAccelerator::with_spec(base, 5);
+            let h = accel.map_matrix(&ramp(20, 7));
+            (accel, h)
+        };
+        let x: Vec<f32> = (0..20).map(|k| ((k as f32) * 0.23).cos()).collect();
+        let (mut cold, hc) = mk();
+        let (mut warm, hw) = mk();
+        warm.warm_kernel();
+        assert_eq!(cold.matvec(hc, &x), warm.matvec(hw, &x));
+
+        let g0 = warm.kernel_generation();
+        warm.advance_age(afpr_circuit::units::Seconds::new(100.0));
+        assert!(
+            warm.kernel_generation() > g0,
+            "age advance must bump kernel generations"
+        );
     }
 
     #[test]

@@ -147,6 +147,12 @@ impl ChaosController {
     /// Advances the chaos clock by one tick, applying any injection
     /// and/or scrub event that falls due. Returns the scrub report if
     /// a scrub pass ran on this tick.
+    ///
+    /// Every mutation applied here (`inject_faults`, `advance_age`,
+    /// scrub repairs via `remap_column`) routes through invalidating
+    /// `Crossbar` methods, so the conductance-snapshot kernel caches
+    /// are bumped automatically and the next forward pass rebuilds
+    /// them lazily — chaos never reads stale conductances.
     pub fn tick(&mut self, accel: &mut AfprAccelerator) -> Option<ScrubReport> {
         self.stats.ticks += 1;
         let t = self.stats.ticks;

@@ -67,6 +67,11 @@ impl MacroModelSim {
         let mut accel = AfprAccelerator::with_spec(spec, seed);
         let mut handles = Vec::new();
         map_sequential(model, &mut accel, &mut handles);
+        // Build every array's conductance-snapshot kernel up front so
+        // the first forward pass is as fast as the steady state (the
+        // snapshot is a pure function of the freshly programmed cells;
+        // warming changes no result bits).
+        accel.warm_kernel();
         Self {
             accel,
             handles,

@@ -68,4 +68,4 @@ pub use protocol::{
     Response, Status, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
-pub use server::{ServeModel, Server, ServerConfig};
+pub use server::{ServeModel, Server, ServerConfig, MAX_DEADLINE_MS};

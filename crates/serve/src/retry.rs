@@ -14,7 +14,9 @@
 //!   random duration in `[0, min(max_backoff, base·2^k)]`, drawn from a
 //!   seeded private RNG so soak tests are reproducible. A structured
 //!   `503` carrying `retry_after_ms` raises the floor: the client
-//!   honors the server's hint by sleeping at least that long.
+//!   honors the server's hint by sleeping at least that long — but
+//!   never past its own `max_backoff` cap, so a hostile or buggy hint
+//!   (e.g. `u64::MAX` ms) cannot park the client indefinitely.
 //! * **Status classification** — `503 overloaded` / `503
 //!   shutting_down` are retryable (the shed/drain will pass or a
 //!   restarted server will take the reconnect); `400 malformed` and
@@ -226,7 +228,7 @@ impl RetryingClient {
                         self.stats.breaker_opens += 1;
                         return Err(ClientError::RetriesExhausted(Box::new(e)));
                     }
-                    let floor = retry_after_hint(&e);
+                    let floor = retry_floor(&e, self.policy.max_backoff);
                     last_err = Some(e);
                     if attempt < self.policy.max_retries {
                         let sleep = self.backoff(attempt).max(floor);
@@ -298,6 +300,17 @@ fn retry_after_hint(e: &ClientError) -> Duration {
     }
 }
 
+/// The backoff floor actually applied for an error: the server's
+/// `retry_after_ms` hint, clamped to the policy's `max_backoff` cap.
+///
+/// The hint is untrusted input — a buggy or hostile server could send
+/// `retry_after_ms: u64::MAX` and park the client in a multi-week
+/// sleep. The policy cap is the client's own bound on how long a
+/// single sleep may ever be, so the hint never exceeds it.
+fn retry_floor(e: &ClientError, max_backoff: Duration) -> Duration {
+    retry_after_hint(e).min(max_backoff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +354,29 @@ mod tests {
         let e = ClientError::Rejected(Box::new(resp));
         assert_eq!(retry_after_hint(&e), Duration::from_millis(25));
         assert_eq!(retry_after_hint(&ClientError::Disconnected), Duration::ZERO);
+    }
+
+    #[test]
+    fn hostile_retry_hint_is_clamped_to_max_backoff() {
+        let cap = fast_policy().max_backoff;
+
+        // A hint below the cap passes through unchanged…
+        let mut resp = Response::error(1, Status::Overloaded, "shed");
+        resp.retry_after_ms = Some(1);
+        let small = ClientError::Rejected(Box::new(resp));
+        assert_eq!(retry_floor(&small, cap), Duration::from_millis(1));
+
+        // …but a hostile/buggy hint (up to u64::MAX ms ≈ 584 My) is
+        // clamped: the client never sleeps longer than its own cap.
+        for hostile_ms in [3_u64, 60_000, u64::MAX] {
+            let mut resp = Response::error(2, Status::Overloaded, "shed");
+            resp.retry_after_ms = Some(hostile_ms);
+            let e = ClientError::Rejected(Box::new(resp));
+            assert_eq!(retry_floor(&e, cap), cap, "hint {hostile_ms} must clamp");
+        }
+
+        // Errors without a hint keep a zero floor.
+        assert_eq!(retry_floor(&ClientError::Disconnected, cap), Duration::ZERO);
     }
 
     #[test]

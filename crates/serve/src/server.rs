@@ -157,9 +157,14 @@ impl std::fmt::Debug for ServeModel {
 
 impl ServeModel {
     /// Wraps a prepared accelerator (weights mapped, ADC calibrated).
+    ///
+    /// Warms every macro's conductance-snapshot kernel up front so the
+    /// first request served pays no lazy-build latency (warming is a
+    /// pure read: it changes no result bits).
     #[must_use]
     pub fn new(accel: AfprAccelerator, handle: LayerHandle) -> Self {
         let (k, n) = accel.layer_dims(handle);
+        accel.warm_kernel();
         Self {
             accel,
             handle,
@@ -699,6 +704,11 @@ fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Resp
     Response::error(id, Status::Malformed, detail)
 }
 
+/// Hard cap on a client-supplied `deadline_ms` (24 hours). Values past
+/// this are rejected as malformed: they carry no scheduling meaning
+/// and, near `u64::MAX`, would overflow `Instant + Duration`.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// Runs the admission pipeline for compute requests: input validation
 /// → deadline gate → drain gate → bounded-queue submit → wait for the
 /// execution thread's reply.
@@ -722,7 +732,28 @@ fn admit(
         }
     }
 
-    let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
+    // Untrusted input: a huge `deadline_ms` (e.g. `u64::MAX`) would
+    // overflow `Instant + Duration` and panic the connection worker.
+    // `checked_add` turns that into a 400 instead, and anything past
+    // `MAX_DEADLINE_MS` is rejected too — a deadline measured in days
+    // is a client bug, and such values would otherwise outlive every
+    // internal timeout and pin queue slots for no reason.
+    let deadline = match req.deadline_ms {
+        None => None,
+        Some(ms) => {
+            let within_cap = ms <= MAX_DEADLINE_MS;
+            match t0.checked_add(Duration::from_millis(ms)) {
+                Some(d) if within_cap => Some(d),
+                _ => {
+                    return Err(Box::new(reject_malformed(
+                        shared,
+                        req.id,
+                        format!("deadline_ms {ms} exceeds the maximum of {MAX_DEADLINE_MS} ms"),
+                    )));
+                }
+            }
+        }
+    };
     if let Some(d) = deadline {
         if Instant::now() >= d {
             shared

@@ -9,7 +9,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use afpr_serve::{read_frame, Client, ServeModel, Server, ServerConfig, Status};
+use afpr_serve::{
+    read_frame, Client, ClientError, ServeModel, Server, ServerConfig, Status, MAX_DEADLINE_MS,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -132,4 +134,54 @@ proptest! {
         }
         assert_server_alive(addr)?;
     }
+
+    /// Regression: a well-formed matvec carrying an absurd
+    /// `deadline_ms` (anything past the 24-hour cap, up to `u64::MAX`)
+    /// must come back as a structured `400 malformed` — historically
+    /// `Instant + Duration::from_millis(u64::MAX)` overflowed and
+    /// panicked the connection worker. The server must stay alive.
+    fn huge_deadline_is_rejected_as_malformed(
+        excess in 0u64..=u64::MAX - MAX_DEADLINE_MS - 1,
+    ) {
+        let addr = fuzz_server_addr();
+        let deadline_ms = MAX_DEADLINE_MS + 1 + excess;
+        let mut client = Client::connect(addr)
+            .map_err(|e| TestCaseError::fail(format!("connect failed: {e}")))?;
+        match client.matvec_with_deadline(ServeModel::demo_input(256, 0), deadline_ms) {
+            Err(ClientError::Rejected(resp)) => {
+                prop_assert_eq!(resp.status, Status::Malformed);
+                prop_assert_eq!(resp.code, 400);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "deadline_ms {deadline_ms} should be rejected 400, got {other:?}"
+                )));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+}
+
+/// The exact historical panic value: `deadline_ms = u64::MAX` gets a
+/// structured 400 and the server keeps serving (a plain test so the
+/// boundary is pinned even if proptest never samples it).
+#[test]
+fn deadline_u64_max_gets_400_and_server_survives() {
+    let addr = fuzz_server_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .matvec_with_deadline(ServeModel::demo_input(256, 0), u64::MAX)
+        .expect_err("u64::MAX deadline must be rejected");
+    match err {
+        ClientError::Rejected(resp) => {
+            assert_eq!(resp.status, Status::Malformed);
+            assert_eq!(resp.code, 400);
+        }
+        other => panic!("expected 400 rejection, got {other:?}"),
+    }
+    // A sane deadline on the same server still computes.
+    let out = client
+        .matvec_with_deadline(ServeModel::demo_input(256, 1), 5_000)
+        .expect("server must keep serving after the hostile request");
+    assert_eq!(out.len(), 128);
 }

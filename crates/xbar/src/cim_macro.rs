@@ -190,6 +190,26 @@ impl CimMacro {
         (&self.pos, &self.neg)
     }
 
+    /// Forces both differential arrays' conductance-snapshot kernels
+    /// to build now (idempotent when already warm), so the first
+    /// matvec after programming / fault injection / aging does not pay
+    /// the rebuild latency. Servers call this before admitting
+    /// traffic.
+    pub fn warm_kernel(&self) {
+        let _ = self.pos.conductance_snapshot();
+        let _ = self.neg.conductance_snapshot();
+    }
+
+    /// Combined kernel generation of the differential arrays
+    /// (positive, negative). Any mutation that can change an effective
+    /// conductance — programming, chaos fault injection, scrub
+    /// repairs, age advances — bumps the affected array's counter and
+    /// invalidates its snapshot.
+    #[must_use]
+    pub fn kernel_generations(&self) -> (u64, u64) {
+        (self.pos.generation(), self.neg.generation())
+    }
+
     /// Injects stuck-at faults into **both** differential arrays,
     /// sampled from `yield_model` with the caller-supplied RNG.
     /// Returns the number of cells faulted.
@@ -923,6 +943,39 @@ mod tests {
     fn zero_divider_rejected() {
         let mut mac = small_fp(4, 2);
         mac.set_current_divider(0.0);
+    }
+
+    #[test]
+    fn kernel_invalidates_on_age_and_chaos() {
+        let mut mac = small_fp(8, 4);
+        mac.program_weights(&ramp_weights(8, 4));
+        mac.warm_kernel();
+        let g0 = mac.kernel_generations();
+        mac.advance_age(afpr_circuit::units::Seconds::new(50.0));
+        let g1 = mac.kernel_generations();
+        assert!(g1.0 > g0.0 && g1.1 > g0.1, "advance_age must invalidate");
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = mac.inject_chaos_faults(&afpr_device::YieldModel::new(0.5, 0.5), &mut rng);
+        assert!(n > 0);
+        let g2 = mac.kernel_generations();
+        assert!(
+            g2.0 > g1.0 || g2.1 > g1.1,
+            "fault injection must invalidate"
+        );
+    }
+
+    #[test]
+    fn warm_kernel_does_not_change_results() {
+        let run = |warm: bool| {
+            let mut mac = small_fp(16, 4);
+            mac.program_weights(&ramp_weights(16, 4));
+            if warm {
+                mac.warm_kernel();
+            }
+            let x: Vec<f32> = (0..16).map(|k| (k as f32 * 0.29).sin()).collect();
+            mac.matvec(&x)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

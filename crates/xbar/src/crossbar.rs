@@ -5,6 +5,71 @@ use afpr_circuit::units::{Amps, Joules, Seconds, Volts};
 use afpr_device::{DeviceConfig, FaultKind, MlcAllocator, RramCell, YieldModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lazily-built flat snapshot of every cell's *effective* conductance
+/// (drift, faults, spare-column redirects and IR drop folded in),
+/// row-major `rows × cols`.
+///
+/// This is the matvec kernel's working set: [`Crossbar::mac_currents`]
+/// and friends read multiply-accumulate terms straight out of this
+/// vector instead of re-evaluating the drift exponential, fault
+/// branches and allocator lookups per cell on every operation.
+///
+/// **Bit-identity contract:** every entry is produced by exactly the
+/// same call sequence as the historical per-cell read path
+/// (`RramCell::conductance_after` then
+/// [`IrDropModel::effective_conductance`]), so any computation routed
+/// through the snapshot is bit-identical to the uncached reference
+/// implementations ([`Crossbar::mac_currents_uncached`]).
+pub type ConductanceSnapshot = Arc<Vec<f64>>;
+
+/// Interior-mutable cache slot guarding the conductance snapshot plus
+/// the generation counter that invalidates it.
+///
+/// Excluded from equality and serialization: the snapshot is a pure
+/// function of the crossbar's other fields and is rebuilt on demand
+/// after deserialization or mutation.
+#[derive(Debug, Default)]
+struct KernelCache {
+    /// Monotone mutation counter. Bumped by every operation that can
+    /// change an effective conductance: programming, fault injection,
+    /// column remaps, age changes and IR-drop model swaps.
+    generation: u64,
+    /// `(generation, snapshot)` the cache was last built at; stale when
+    /// the stored generation no longer matches.
+    slot: Mutex<Option<(u64, ConductanceSnapshot)>>,
+    /// How many times the snapshot has been (re)built — observability
+    /// for tests and benchmarks (a warm loop must not rebuild).
+    builds: AtomicU64,
+}
+
+impl Clone for KernelCache {
+    fn clone(&self) -> Self {
+        // The snapshot is a pure function of the cloned state, so the
+        // clone may carry it (same generation, same cells).
+        let slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        Self {
+            generation: self.generation,
+            slot: Mutex::new(slot),
+            builds: AtomicU64::new(self.builds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for KernelCache {
+    fn eq(&self, _: &Self) -> bool {
+        // Cache state never participates in crossbar equality: two
+        // crossbars with identical cells are equal regardless of their
+        // mutation history or cache warmth.
+        true
+    }
+}
 
 /// A `rows × cols` crossbar of multi-level RRAM cells.
 ///
@@ -53,6 +118,11 @@ pub struct Crossbar {
     /// Golden per-column checksums captured at programming time
     /// (fault-free, age-0), used by scrub detection.
     golden: Option<Vec<f64>>,
+    /// Conductance-snapshot kernel cache (see [`ConductanceSnapshot`]).
+    /// Skipped on the wire: a deserialized crossbar starts cold at
+    /// generation 0 and rebuilds lazily.
+    #[serde(skip)]
+    kernel: KernelCache,
 }
 
 impl Crossbar {
@@ -92,7 +162,88 @@ impl Crossbar {
             spares_used: 0,
             col_redirect: vec![None; cols],
             golden: None,
+            kernel: KernelCache::default(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Conductance-snapshot kernel
+    // ------------------------------------------------------------------
+
+    /// Current kernel generation: a monotone counter bumped by every
+    /// mutation that can change an effective conductance
+    /// ([`Crossbar::program_levels`], [`Crossbar::set_fault`],
+    /// [`Crossbar::inject_faults`], [`Crossbar::remap_column`],
+    /// [`Crossbar::set_age`], [`Crossbar::set_ir_drop`]). The cached
+    /// snapshot is valid exactly while the generation it was built at
+    /// still matches.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.kernel.generation
+    }
+
+    /// How many times the conductance snapshot has been (re)built.
+    /// Warm read paths must not grow this; tests and benches use it to
+    /// verify cache reuse.
+    #[must_use]
+    pub fn kernel_builds(&self) -> u64 {
+        self.kernel.builds.load(Ordering::Relaxed)
+    }
+
+    /// Marks every cached effective conductance stale. Called by all
+    /// mutating operations; conservative (a no-op mutation still
+    /// invalidates, which costs one rebuild, never correctness).
+    fn invalidate_kernel(&mut self) {
+        self.kernel.generation = self.kernel.generation.wrapping_add(1);
+    }
+
+    /// The effective-conductance snapshot for the current generation,
+    /// building it if the cache is cold or stale.
+    ///
+    /// Cheap when warm: one mutex lock plus an [`Arc`] clone. The
+    /// returned snapshot is immutable and remains valid even if the
+    /// crossbar is mutated afterwards (readers holding it simply see
+    /// the pre-mutation state they started from).
+    #[must_use]
+    pub fn conductance_snapshot(&self) -> ConductanceSnapshot {
+        let mut slot = self
+            .kernel
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((generation, snap)) = slot.as_ref() {
+            if *generation == self.kernel.generation {
+                return Arc::clone(snap);
+            }
+        }
+        let snap: ConductanceSnapshot = Arc::new(self.build_snapshot());
+        *slot = Some((self.kernel.generation, Arc::clone(&snap)));
+        self.kernel.builds.fetch_add(1, Ordering::Relaxed);
+        snap
+    }
+
+    /// Builds the flat effective-conductance vector with the *same
+    /// per-cell call sequence and float-op order* as the uncached read
+    /// path, so snapshot-routed results are bit-identical.
+    fn build_snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            if self.spares_used == 0 {
+                // Contiguous row slice, no redirect branch (same
+                // per-cell ops as the redirected path below).
+                let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+                for (c, cell) in row_cells.iter().enumerate() {
+                    let g = cell.conductance_after(&self.device, self.age);
+                    out.push(self.ir_drop.effective_conductance(g, c, r));
+                }
+            } else {
+                for c in 0..self.cols {
+                    let g = self.cell(r, c).conductance_after(&self.device, self.age);
+                    out.push(self.ir_drop.effective_conductance(g, c, r));
+                }
+            }
+        }
+        out
     }
 
     /// The active cell backing logical position `(r, c)` — the original
@@ -151,6 +302,7 @@ impl Crossbar {
         // golden checksums against the freshly programmed array.
         self.col_redirect = vec![None; self.cols];
         self.spares_used = 0;
+        self.invalidate_kernel();
         self.capture_golden();
     }
 
@@ -169,6 +321,9 @@ impl Crossbar {
         for (r, c, fault) in faults {
             self.cell_mut(r, c).set_fault(Some(fault));
         }
+        if n > 0 {
+            self.invalidate_kernel();
+        }
         n
     }
 
@@ -183,11 +338,13 @@ impl Crossbar {
             "fault position out of bounds"
         );
         self.cell_mut(row, col).set_fault(fault);
+        self.invalidate_kernel();
     }
 
     /// Ages the array (retention drift applies on subsequent reads).
     pub fn set_age(&mut self, elapsed: Seconds) {
         self.age = elapsed.seconds();
+        self.invalidate_kernel();
     }
 
     /// Current retention age in seconds.
@@ -200,6 +357,7 @@ impl Crossbar {
     /// first-order wire IR-drop model.
     pub fn set_ir_drop(&mut self, model: IrDropModel) {
         self.ir_drop = model;
+        self.invalidate_kernel();
     }
 
     /// The active IR-drop model.
@@ -209,6 +367,10 @@ impl Crossbar {
     }
 
     /// Effective conductance of one cell (faults and drift applied).
+    ///
+    /// This is the uncached per-cell reference computation; the bulk
+    /// read paths go through [`Crossbar::conductance_snapshot`], whose
+    /// entries are bit-identical to this by construction.
     ///
     /// # Panics
     ///
@@ -235,20 +397,52 @@ impl Crossbar {
     pub fn column_current(&self, col: usize, v_inputs: &[Volts]) -> Amps {
         assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
         assert!(col < self.cols, "column out of bounds");
+        let snap = self.conductance_snapshot();
         let mut i = 0.0;
         for (r, v) in v_inputs.iter().enumerate() {
-            i += v.volts() * self.conductance(r, col);
+            i += v.volts() * snap[r * self.cols + col];
         }
         Amps::new(i)
     }
 
     /// All source-line currents at once (one macro operation).
     ///
+    /// Reads multiply-accumulate terms out of the conductance-snapshot
+    /// kernel ([`Crossbar::conductance_snapshot`]); bit-identical to
+    /// [`Crossbar::mac_currents_uncached`] by the snapshot's
+    /// construction contract.
+    ///
     /// # Panics
     ///
     /// Panics if `v_inputs.len() != rows`.
     #[must_use]
     pub fn mac_currents(&self, v_inputs: &[Volts]) -> Vec<Amps> {
+        assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        let snap = self.conductance_snapshot();
+        let mut out = vec![0.0f64; self.cols];
+        for (r, v) in v_inputs.iter().enumerate() {
+            let v = v.volts();
+            if v == 0.0 {
+                continue;
+            }
+            let row = &snap[r * self.cols..(r + 1) * self.cols];
+            for (acc, g) in out.iter_mut().zip(row) {
+                *acc += v * g;
+            }
+        }
+        out.into_iter().map(Amps::new).collect()
+    }
+
+    /// Reference implementation of [`Crossbar::mac_currents`] that
+    /// re-evaluates every cell's drift/fault/IR-drop state per call
+    /// (the historical path, kept as the determinism oracle and the
+    /// cold-path baseline for kernel benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_inputs.len() != rows`.
+    #[must_use]
+    pub fn mac_currents_uncached(&self, v_inputs: &[Volts]) -> Vec<Amps> {
         assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
         let mut out = vec![0.0f64; self.cols];
         for (r, v) in v_inputs.iter().enumerate() {
@@ -259,7 +453,8 @@ impl Crossbar {
             if self.spares_used == 0 {
                 // Fast path: contiguous row slice, no redirect branch.
                 // Identical float-op order to the redirected path, so
-                // results are bit-identical either way.
+                // results are bit-identical either way (pinned by the
+                // crate's proptests).
                 let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
                 for (c, (acc, cell)) in out.iter_mut().zip(row_cells).enumerate() {
                     let g = cell.conductance_after(&self.device, self.age);
@@ -276,6 +471,11 @@ impl Crossbar {
     }
 
     /// Same as [`Crossbar::mac_currents`] but with per-cell read noise.
+    ///
+    /// The deterministic base current comes from the conductance
+    /// snapshot; only the read-noise sampling touches the RNG, in the
+    /// same `(row, col)` order as before, so noise streams are
+    /// unchanged.
     pub fn mac_currents_noisy<R: Rng + ?Sized>(
         &self,
         v_inputs: &[Volts],
@@ -286,15 +486,17 @@ impl Crossbar {
             self.device.program_sigma,
             self.device.read_noise_sigma,
         );
+        let snap = self.conductance_snapshot();
         let mut out = vec![0.0f64; self.cols];
         for (r, v) in v_inputs.iter().enumerate() {
             if v.volts() == 0.0 {
                 continue;
             }
-            for (c, acc) in out.iter_mut().enumerate() {
+            let row = &snap[r * self.cols..(r + 1) * self.cols];
+            for (acc, g) in out.iter_mut().zip(row) {
                 // Drift and IR drop first (deterministic state), then
                 // the stochastic read noise on the resulting current.
-                let i = v.volts() * self.conductance(r, c);
+                let i = v.volts() * g;
                 *acc += variation.sample_read(i, rng);
             }
         }
@@ -306,14 +508,15 @@ impl Crossbar {
     #[must_use]
     pub fn array_energy(&self, v_inputs: &[Volts], t_integrate: Seconds) -> Joules {
         assert_eq!(v_inputs.len(), self.rows, "need one voltage per row");
+        let snap = self.conductance_snapshot();
         let mut p = 0.0;
         for (r, v) in v_inputs.iter().enumerate() {
             let v2 = v.volts() * v.volts();
             if v2 == 0.0 {
                 continue;
             }
-            for c in 0..self.cols {
-                p += v2 * self.conductance(r, c);
+            for g in &snap[r * self.cols..(r + 1) * self.cols] {
+                p += v2 * g;
             }
         }
         Joules::new(p * t_integrate.seconds())
@@ -392,7 +595,8 @@ impl Crossbar {
     #[must_use]
     pub fn column_checksum(&self, col: usize) -> f64 {
         assert!(col < self.cols, "column out of bounds");
-        (0..self.rows).map(|r| self.conductance(r, col)).sum()
+        let snap = self.conductance_snapshot();
+        (0..self.rows).map(|r| snap[r * self.cols + col]).sum()
     }
 
     /// Column checksum with per-cell read noise, for re-read majority
@@ -403,14 +607,19 @@ impl Crossbar {
             self.device.program_sigma,
             self.device.read_noise_sigma,
         );
+        let snap = self.conductance_snapshot();
         (0..self.rows)
-            .map(|r| variation.sample_read(self.conductance(r, col), rng))
+            .map(|r| variation.sample_read(snap[r * self.cols + col], rng))
             .sum()
     }
 
     /// Reference (age-0) checksum of one column via the same
     /// measurement path as [`Crossbar::column_checksum`], so IR drop
     /// cancels in golden comparisons.
+    ///
+    /// Deliberately bypasses the conductance-snapshot kernel: the
+    /// snapshot is built at the *current* age, while golden baselines
+    /// are defined at age 0.
     fn column_checksum_ref(&self, col: usize) -> f64 {
         (0..self.rows)
             .map(|r| {
@@ -532,6 +741,7 @@ impl Crossbar {
         }
         self.col_redirect[col] = Some(s);
         self.spares_used += 1;
+        self.invalidate_kernel();
         let fresh = self.column_checksum_ref(col);
         if let Some(golden) = &mut self.golden {
             golden[col] = fresh;
@@ -760,6 +970,106 @@ mod tests {
         xb.set_fault(1, 3, Some(FaultKind::StuckHrs));
         let flagged = xb.detect_faulty_columns_voted(0.1, 5, &mut rng);
         assert_eq!(flagged, vec![3]);
+    }
+
+    #[test]
+    fn snapshot_matches_per_cell_reference() {
+        let mut dev = DeviceConfig::realistic(32);
+        dev.drift_nu = 0.02;
+        let mut xb = Crossbar::with_spares(6, 4, 2, dev);
+        let mut rng = StdRng::seed_from_u64(21);
+        let levels: Vec<u32> = (0..24).map(|k| (k * 5) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        xb.set_age(Seconds::new(3.6e3));
+        xb.set_fault(1, 2, Some(FaultKind::StuckHrs));
+        xb.remap_column(2, &mut rng).expect("spare available");
+        let snap = xb.conductance_snapshot();
+        for r in 0..6 {
+            for c in 0..4 {
+                assert_eq!(
+                    snap[r * 4 + c].to_bits(),
+                    xb.conductance(r, c).to_bits(),
+                    "snapshot diverged at ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_mac_is_bit_identical_to_uncached() {
+        let mut dev = DeviceConfig::realistic(32);
+        dev.drift_nu = 0.015;
+        let mut xb = Crossbar::with_spares(8, 5, 1, dev);
+        let mut rng = StdRng::seed_from_u64(33);
+        let levels: Vec<u32> = (0..40).map(|k| (k * 7) % 32).collect();
+        xb.program_levels(&levels, &mut rng);
+        xb.set_age(Seconds::new(1e5));
+        xb.set_fault(3, 1, Some(FaultKind::StuckLrs));
+        xb.remap_column(1, &mut rng).expect("spare available");
+        let v: Vec<Volts> = (0..8).map(|r| Volts::new(0.01 * (r + 1) as f64)).collect();
+        let cached = xb.mac_currents(&v);
+        let uncached = xb.mac_currents_uncached(&v);
+        for (c, (a, b)) in cached.iter().zip(&uncached).enumerate() {
+            assert_eq!(a.amps().to_bits(), b.amps().to_bits(), "col {c}");
+        }
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut xb = Crossbar::with_spares(3, 2, 1, DeviceConfig::ideal(32));
+        let mut rng = StdRng::seed_from_u64(4);
+        let g0 = xb.generation();
+        xb.program_levels(&[8; 6], &mut rng);
+        let g1 = xb.generation();
+        assert!(g1 > g0, "program_levels must invalidate");
+        xb.set_fault(0, 0, Some(FaultKind::StuckLrs));
+        let g2 = xb.generation();
+        assert!(g2 > g1, "set_fault must invalidate");
+        xb.set_age(Seconds::new(10.0));
+        let g3 = xb.generation();
+        assert!(g3 > g2, "set_age must invalidate");
+        xb.set_ir_drop(IrDropModel::typical_65nm());
+        let g4 = xb.generation();
+        assert!(g4 > g3, "set_ir_drop must invalidate");
+        xb.remap_column(0, &mut rng).expect("one spare");
+        assert!(xb.generation() > g4, "remap_column must invalidate");
+    }
+
+    #[test]
+    fn warm_reads_reuse_the_snapshot() {
+        let (mut xb, mut rng) = setup(4, 3);
+        xb.program_levels(&[16; 12], &mut rng);
+        let v = vec![Volts::new(0.1); 4];
+        assert_eq!(xb.kernel_builds(), 0, "cache starts cold");
+        let first = xb.mac_currents(&v);
+        assert_eq!(xb.kernel_builds(), 1, "first read builds");
+        for _ in 0..10 {
+            let again = xb.mac_currents(&v);
+            assert_eq!(again, first);
+            let _ = xb.column_current(0, &v);
+            let _ = xb.column_checksum(1);
+        }
+        assert_eq!(xb.kernel_builds(), 1, "warm reads must not rebuild");
+        xb.set_age(Seconds::new(1.0));
+        let _ = xb.mac_currents(&v);
+        assert_eq!(xb.kernel_builds(), 2, "mutation forces one rebuild");
+    }
+
+    #[test]
+    fn clone_carries_cache_and_serde_resets_it() {
+        let (mut xb, mut rng) = setup(3, 3);
+        xb.program_levels(&[9; 9], &mut rng);
+        let v = vec![Volts::new(0.05); 3];
+        let want = xb.mac_currents(&v);
+        let clone = xb.clone();
+        assert_eq!(clone.generation(), xb.generation());
+        assert_eq!(clone.mac_currents(&v), want);
+        assert_eq!(clone.kernel_builds(), 1, "clone carries the snapshot");
+        let json = serde_json::to_string(&xb).expect("serializes");
+        let back: Crossbar = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, xb, "cache state never affects equality");
+        assert_eq!(back.generation(), 0, "deserialized crossbar is cold");
+        assert_eq!(back.mac_currents(&v), want, "rebuild is bit-identical");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod spec;
 
 pub use chaos::{GuardConfig, ScrubReport};
 pub use cim_macro::{CimMacro, WeightPolarity};
-pub use crossbar::{Crossbar, OutOfSpares};
+pub use crossbar::{ConductanceSnapshot, Crossbar, OutOfSpares};
 pub use ir_drop::IrDropModel;
 pub use mapping::{map_weights, MappedWeights};
 pub use metrics::MacroStats;

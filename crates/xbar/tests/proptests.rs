@@ -1,7 +1,7 @@
 //! Property-based tests for the crossbar and macro.
 
 use afpr_circuit::units::{Seconds, Volts};
-use afpr_device::DeviceConfig;
+use afpr_device::{DeviceConfig, FaultKind};
 use afpr_num::FpFormat;
 use afpr_xbar::cim_macro::CimMacro;
 use afpr_xbar::crossbar::Crossbar;
@@ -88,6 +88,104 @@ proptest! {
                 "col {}: got {} want {} (fs {})", c, y[c], want[c], fs
             );
         }
+    }
+
+    /// Remapping one column onto a spare switches `mac_currents` from
+    /// the contiguous fast path (`spares_used == 0`) to the redirected
+    /// path — the **untouched** columns must read bit-identically
+    /// across that switch, and the cached kernel must stay bit-equal
+    /// to the uncached reference on both sides of it.
+    #[test]
+    fn remap_keeps_untouched_columns_bit_identical(
+        levels in prop::collection::vec(0u32..32, 48),
+        victim in 0usize..6,
+        seed in 0u64..1024,
+    ) {
+        let rows = 8;
+        let cols = 6;
+        let mut xb = Crossbar::with_spares(rows, cols, 2, DeviceConfig::realistic(32));
+        let mut rng = StdRng::seed_from_u64(seed);
+        xb.program_levels(&levels, &mut rng);
+        let v: Vec<Volts> = (0..rows).map(|r| Volts::new(0.02 * (r + 1) as f64)).collect();
+
+        // Fast path: no spares in use, cached == uncached bitwise.
+        prop_assert_eq!(xb.spares_used(), 0);
+        let before = xb.mac_currents(&v);
+        let before_ref = xb.mac_currents_uncached(&v);
+        for c in 0..cols {
+            prop_assert_eq!(before[c].amps().to_bits(), before_ref[c].amps().to_bits());
+        }
+
+        // Redirect the victim column onto a spare.
+        let gen0 = xb.generation();
+        xb.remap_column(victim, &mut rng).expect("spares available");
+        prop_assert!(xb.is_remapped(victim));
+        prop_assert!(xb.generation() != gen0, "remap must invalidate the kernel");
+
+        // Redirected path: cached == uncached bitwise, and every
+        // column other than the victim is bit-identical to before.
+        let after = xb.mac_currents(&v);
+        let after_ref = xb.mac_currents_uncached(&v);
+        for c in 0..cols {
+            prop_assert_eq!(after[c].amps().to_bits(), after_ref[c].amps().to_bits());
+            if c != victim {
+                prop_assert_eq!(
+                    after[c].amps().to_bits(),
+                    before[c].amps().to_bits(),
+                    "untouched column {} changed across remap", c
+                );
+            }
+        }
+    }
+
+    /// The conductance-snapshot kernel is bit-identical to the
+    /// per-cell uncached path under stuck-cell faults and nonzero
+    /// drift age — exactly the regime where the cache saves the most
+    /// work (a `powf` per cell per read).
+    #[test]
+    fn cached_kernel_bit_identical_under_faults_and_age(
+        levels in prop::collection::vec(0u32..32, 48),
+        // Each code encodes (row, col, kind) as r*12 + c*2 + lrs.
+        fault_codes in prop::collection::vec(0u32..96, 0..6),
+        age_s in 1.0f64..1.0e7,
+        seed in 0u64..1024,
+    ) {
+        let rows = 8;
+        let cols = 6;
+        let mut dev = DeviceConfig::realistic(32);
+        dev.drift_nu = 0.02;
+        let mut xb = Crossbar::new(rows, cols, dev);
+        let mut rng = StdRng::seed_from_u64(seed);
+        xb.program_levels(&levels, &mut rng);
+        for &code in &fault_codes {
+            let (r, c, lrs) = ((code / 12) as usize, ((code / 2) % 6) as usize, code % 2);
+            let kind = if lrs == 1 { FaultKind::StuckLrs } else { FaultKind::StuckHrs };
+            xb.set_fault(r, c, Some(kind));
+        }
+        xb.set_age(Seconds::new(age_s));
+
+        // Snapshot entries match the per-cell accessor bitwise…
+        let snap = xb.conductance_snapshot();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(
+                    snap[r * cols + c].to_bits(),
+                    xb.conductance(r, c).to_bits(),
+                    "snapshot diverges at ({}, {})", r, c
+                );
+            }
+        }
+        // …and the cached MAC is bit-identical to the uncached one,
+        // warm reads included (same snapshot reused).
+        let v: Vec<Volts> = (0..rows).map(|r| Volts::new(0.01 + 0.03 * r as f64)).collect();
+        let cached = xb.mac_currents(&v);
+        let warm = xb.mac_currents(&v);
+        let reference = xb.mac_currents_uncached(&v);
+        for c in 0..cols {
+            prop_assert_eq!(cached[c].amps().to_bits(), reference[c].amps().to_bits());
+            prop_assert_eq!(warm[c].amps().to_bits(), reference[c].amps().to_bits());
+        }
+        prop_assert_eq!(xb.kernel_builds(), 1, "warm read must not rebuild");
     }
 
     /// Digital reference is exactly linear in activations.
