@@ -1,0 +1,338 @@
+//! Cluster router: standalone serving and the scaling benchmark.
+//!
+//! Three modes:
+//!
+//! * **Serve** (`--replicas N` or `--shards N`): self-hosts N demo
+//!   backends plus a router on `--addr` and blocks until a client
+//!   sends `shutdown`. Any existing `afpr-serve` client (including the
+//!   load generator) can point at the router unchanged.
+//! * **Bench** (default): measures replicated closed-loop throughput
+//!   at 1, 2 and 3 backends behind one router, verifies the sharded
+//!   path bit-identically reproduces the single-node matvec at every
+//!   feasible shard count, and writes `BENCH_cluster.json`.
+//! * **Smoke** (`--smoke`): the CI variant of bench — fixed seed,
+//!   short duration, plus an end-to-end `loadgen` subprocess run
+//!   against a replicated router and a sharded router via
+//!   `--target-list`; exits nonzero if the bit check fails, the
+//!   scaling result is missing, or loadgen fails.
+//!
+//! Usage:
+//!
+//! ```text
+//! # Replicated cluster on the default port:
+//! cargo run --release --bin cluster -- --replicas 3
+//!
+//! # Sharded cluster (bit-identical to one node):
+//! cargo run --release --bin cluster -- --shards 2 --addr 127.0.0.1:7979
+//!
+//! # Scaling benchmark (writes BENCH_cluster.json):
+//! cargo run --release --bin cluster -- --duration-ms 2000
+//!
+//! # CI smoke (expects the `loadgen` binary next to this one):
+//! cargo run --release --bin cluster -- --smoke
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afpr_cluster::{ClusterConfig, Placement, Router};
+use afpr_serve::{Client, ServeModel, Server, ServerConfig};
+use serde::Serialize;
+
+const K: usize = 256;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Starts `n` identical demo backends. `exec_delay` > 0 makes the
+/// workload latency-bound (the execution thread sleeps per batch), so
+/// replicated scaling is visible even on a single-core host: the
+/// backends' sleeps overlap, their compute does not have to.
+fn start_backends(n: usize, seed: u64, exec_delay: Duration, batch_size: usize) -> Vec<Server> {
+    (0..n)
+        .map(|_| {
+            let cfg = ServerConfig {
+                exec_delay,
+                batch_size,
+                ..ServerConfig::default()
+            };
+            Server::start(cfg, ServeModel::demo(seed)).expect("backend starts")
+        })
+        .collect()
+}
+
+fn router_for(backends: &[Server], placement: Placement, addr: &str) -> Router {
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let cfg = ClusterConfig::new(addr, &addrs, placement);
+    Router::start(cfg).expect("router starts")
+}
+
+/// Closed-loop throughput: `clients` threads issue sequential matvecs
+/// against `addr` for `duration`; returns (ok responses, req/s).
+fn closed_loop_throughput(addr: SocketAddr, clients: usize, duration: Duration) -> (u64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&ok);
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return;
+                };
+                let mut i = c * 1_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    if client.matvec(ServeModel::demo_input(K, i)).is_ok() {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for th in threads {
+        let _ = th.join();
+    }
+    let total = ok.load(Ordering::Relaxed);
+    (total, total as f64 / t0.elapsed().as_secs_f64())
+}
+
+/// Verifies the sharded router is bit-identical to the single-node
+/// accelerator for `rounds` requests at the given shard count.
+fn sharded_bit_check(shards: usize, seed: u64, rounds: usize) -> bool {
+    let backends = start_backends(shards, seed, Duration::ZERO, 8);
+    let router = router_for(&backends, Placement::Sharded, "127.0.0.1:0");
+    let (mut reference, handle) = ServeModel::demo(seed).into_parts();
+    let mut client = Client::connect(router.local_addr()).expect("connects");
+    let mut identical = true;
+    for i in 0..rounds {
+        let input = ServeModel::demo_input(K, i);
+        let served = client.matvec(input.clone()).expect("sharded matvec");
+        let golden = reference.matvec(handle, &input);
+        identical &= served.len() == golden.len()
+            && served
+                .iter()
+                .zip(&golden)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+    let _ = router.shutdown();
+    for b in backends {
+        let _ = b.shutdown();
+    }
+    identical
+}
+
+/// Runs the sibling `loadgen` binary against `target_list`; returns
+/// whether it exited 0.
+fn run_loadgen(target_list: &str, duration_ms: u64) -> bool {
+    let Ok(me) = std::env::current_exe() else {
+        eprintln!("cluster: cannot locate own executable for loadgen");
+        return false;
+    };
+    let loadgen = me.with_file_name(if cfg!(windows) {
+        "loadgen.exe"
+    } else {
+        "loadgen"
+    });
+    if !loadgen.exists() {
+        eprintln!(
+            "cluster: loadgen binary not found at {} (build it first: cargo build --bins)",
+            loadgen.display()
+        );
+        return false;
+    }
+    let status = std::process::Command::new(&loadgen)
+        .args([
+            "--target-list",
+            target_list,
+            "--duration-ms",
+            &duration_ms.to_string(),
+            "--connections",
+            "4",
+            "--in-flight",
+            "2",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("cluster: loadgen exited with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("cluster: failed to spawn loadgen: {e}");
+            false
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ScalePoint {
+    backends: usize,
+    ok: u64,
+    req_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    smoke: bool,
+    /// Replicated closed-loop throughput vs backend count
+    /// (latency-bound: 5 ms per-batch exec delay, batch size 1).
+    replicated_scaling: Vec<ScalePoint>,
+    speedup_1_to_3: f64,
+    target_speedup: f64,
+    scaling_pass: bool,
+    /// Sharded bit-identity vs the single-node accelerator, per shard
+    /// count (the demo layer has 4 row tiles → 1..=4 shards).
+    sharded_bit_identical: Vec<bool>,
+    sharded_pass: bool,
+    loadgen_exit_ok: Option<bool>,
+}
+
+fn serve_mode(args: &[String], replicas: Option<usize>, shards: Option<usize>) -> ExitCode {
+    let seed = flag::<u64>(args, "--seed").unwrap_or(7);
+    let addr = flag::<String>(args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    let (n, placement) = match (replicas, shards) {
+        (Some(n), None) => (n, Placement::Replicated),
+        (None, Some(n)) => (n, Placement::Sharded),
+        _ => {
+            eprintln!("cluster: pass exactly one of --replicas N or --shards N");
+            return ExitCode::FAILURE;
+        }
+    };
+    let backends = start_backends(n.max(1), seed, Duration::ZERO, 8);
+    let router = router_for(&backends, placement, &addr);
+    eprintln!(
+        "afpr-cluster ({} × {} backends) listening on {} (send a `shutdown` request to stop)",
+        placement.as_str(),
+        backends.len(),
+        router.local_addr()
+    );
+    router.wait_shutdown_requested();
+    eprintln!("shutdown requested; draining…");
+    let snapshot = router.shutdown();
+    println!("{}", snapshot.to_json_pretty());
+    for b in backends {
+        let _ = b.shutdown();
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let replicas = flag::<usize>(&args, "--replicas");
+    let shards = flag::<usize>(&args, "--shards");
+    if replicas.is_some() || shards.is_some() {
+        return serve_mode(&args, replicas, shards);
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = flag::<u64>(&args, "--seed").unwrap_or(2024);
+    let duration = Duration::from_millis(flag::<u64>(&args, "--duration-ms").unwrap_or(if smoke {
+        600
+    } else {
+        2000
+    }));
+    let out = flag::<String>(&args, "--out").unwrap_or_else(|| "BENCH_cluster.json".into());
+    let clients = flag::<usize>(&args, "--clients").unwrap_or(6).max(1);
+
+    // Phase 1 — replicated scaling. The 5 ms per-batch exec delay
+    // (batch size 1) makes each backend a ~200 req/s latency-bound
+    // device; adding backends overlaps their sleeps, so throughput
+    // scales with N even on a single-core runner.
+    let exec_delay = Duration::from_millis(5);
+    let mut scaling = Vec::new();
+    for n in [1usize, 2, 3] {
+        let backends = start_backends(n, seed, exec_delay, 1);
+        let router = router_for(&backends, Placement::Replicated, "127.0.0.1:0");
+        let (ok, req_per_s) = closed_loop_throughput(router.local_addr(), clients, duration);
+        eprintln!("replicated n={n}: {ok} ok, {req_per_s:.0} req/s");
+        let snap = router.shutdown();
+        assert_eq!(snap.total_failed(), 0, "no dispatch failures in bench");
+        for b in backends {
+            let _ = b.shutdown();
+        }
+        scaling.push(ScalePoint {
+            backends: n,
+            ok,
+            req_per_s,
+        });
+    }
+    let speedup = scaling[2].req_per_s / scaling[0].req_per_s.max(1e-9);
+    const TARGET: f64 = 1.6;
+    let scaling_pass = speedup >= TARGET;
+    eprintln!("replicated speedup 1→3 backends: {speedup:.2}× (target ≥ {TARGET}×)");
+
+    // Phase 2 — sharded bit-identity at every feasible shard count.
+    let shard_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 3, 4] };
+    let mut sharded_bits = Vec::new();
+    for &s in shard_counts {
+        let identical = sharded_bit_check(s, seed, if smoke { 3 } else { 8 });
+        eprintln!("sharded s={s}: bit_identical={identical}");
+        sharded_bits.push(identical);
+    }
+    let sharded_pass = sharded_bits.iter().all(|&b| b);
+
+    // Phase 3 (smoke only) — end-to-end loadgen against a replicated
+    // router and a sharded router at once, via --target-list.
+    let loadgen_exit_ok = if smoke {
+        let rep_backends = start_backends(2, seed, Duration::ZERO, 8);
+        let rep_router = router_for(&rep_backends, Placement::Replicated, "127.0.0.1:0");
+        let shard_backends = start_backends(2, seed, Duration::ZERO, 8);
+        let shard_router = router_for(&shard_backends, Placement::Sharded, "127.0.0.1:0");
+        let targets = format!("{},{}", rep_router.local_addr(), shard_router.local_addr());
+        let ok = run_loadgen(&targets, duration.as_millis() as u64);
+        let rep_snap = rep_router.shutdown();
+        let shard_snap = shard_router.shutdown();
+        eprintln!(
+            "loadgen: exit_ok={ok}; router dispatches replicated={} sharded={}",
+            rep_snap.total_dispatched(),
+            shard_snap.total_dispatched()
+        );
+        for b in rep_backends.into_iter().chain(shard_backends) {
+            let _ = b.shutdown();
+        }
+        Some(ok)
+    } else {
+        None
+    };
+
+    let report = Report {
+        bench: "cluster",
+        seed,
+        smoke,
+        replicated_scaling: scaling,
+        speedup_1_to_3: speedup,
+        target_speedup: TARGET,
+        scaling_pass,
+        sharded_bit_identical: sharded_bits,
+        sharded_pass,
+        loadgen_exit_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    if !sharded_pass || !scaling_pass || loadgen_exit_ok == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

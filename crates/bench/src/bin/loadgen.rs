@@ -23,6 +23,11 @@
 //! # Self-hosted (spawns an in-process server on an ephemeral port,
 //! # shuts it down afterwards) — used by the CI serve-smoke step:
 //! cargo run --release --bin loadgen -- --self-host --duration-ms 2000
+//!
+//! # Round-robin over several endpoints (replicas, or routers):
+//! # connection c pins to target c % N for its lifetime.
+//! cargo run --release --bin loadgen -- \
+//!     --target-list 127.0.0.1:7878,127.0.0.1:7879 --duration-ms 2000
 //! ```
 
 use std::net::SocketAddr;
@@ -168,21 +173,42 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let addr: SocketAddr = match &server {
-        Some(s) => s.local_addr(),
-        None => flag::<String>(&args, "--addr")
-            .unwrap_or_else(|| "127.0.0.1:7878".to_string())
-            .parse()
-            .expect("valid --addr"),
+    // Target selection: `--target-list a:p,b:q` fans the connection
+    // pool out round-robin over several endpoints (e.g. the replicas
+    // behind — or beside — an afpr-cluster router). Connection `c`
+    // pins to `targets[c % targets.len()]` for its whole lifetime, so
+    // per-connection pipelining semantics are unchanged.
+    let targets: Vec<SocketAddr> = match &server {
+        Some(s) => vec![s.local_addr()],
+        None => match flag::<String>(&args, "--target-list") {
+            Some(list) => list
+                .split(',')
+                .filter(|t| !t.is_empty())
+                .map(|t| t.trim().parse().expect("valid host:port in --target-list"))
+                .collect(),
+            None => vec![flag::<String>(&args, "--addr")
+                .unwrap_or_else(|| "127.0.0.1:7878".to_string())
+                .parse()
+                .expect("valid --addr")],
+        },
     };
+    assert!(!targets.is_empty(), "--target-list must name ≥ 1 target");
 
-    let mut probe = Client::connect(addr).expect("server reachable");
+    let mut probe = Client::connect(targets[0]).expect("server reachable");
     let health = probe.health().expect("health responds");
     let k = health.input_dim as usize;
     eprintln!(
-        "loadgen: {connections} connections × {in_flight} in flight against {addr} \
-         ({}→{} layer) for {:?}",
-        health.input_dim, health.output_dim, duration
+        "loadgen: {connections} connections × {in_flight} in flight against {} target(s) \
+         [{}] ({}→{} layer) for {:?}",
+        targets.len(),
+        targets
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        health.input_dim,
+        health.output_dim,
+        duration
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -190,6 +216,7 @@ fn main() -> ExitCode {
     let threads: Vec<_> = (0..connections)
         .map(|c| {
             let stop = Arc::clone(&stop);
+            let addr = targets[c % targets.len()];
             std::thread::spawn(move || {
                 worker(
                     addr,

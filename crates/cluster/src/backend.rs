@@ -1,0 +1,396 @@
+//! Backend registry: per-backend liveness/health/load state shared by
+//! the router workers and the prober thread.
+//!
+//! Every backend the router fronts has one [`BackendState`] — a block
+//! of atomics the dispatch path reads lock-free on every request. The
+//! prober thread refreshes liveness and health from each backend's
+//! `health` endpoint; the dispatch path additionally marks a backend
+//! dead the moment a forwarded request fails at the transport level,
+//! so failover does not wait for the next probe tick.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use afpr_runtime::{Histogram, LatencySnapshot};
+use afpr_serve::{Client, HealthState};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Encodes a [`HealthState`] into the atomic cell.
+fn state_to_u8(s: HealthState) -> u8 {
+    match s {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::Draining => 2,
+    }
+}
+
+/// Decodes the atomic cell back into a [`HealthState`].
+fn state_from_u8(v: u8) -> HealthState {
+    match v {
+        0 => HealthState::Healthy,
+        1 => HealthState::Degraded,
+        _ => HealthState::Draining,
+    }
+}
+
+/// Live, shared state of one backend.
+#[derive(Debug)]
+pub struct BackendState {
+    /// Stable index into the pool (== shard index in sharded mode).
+    pub index: usize,
+    /// The backend's `host:port` address.
+    pub addr: String,
+    alive: AtomicBool,
+    state: AtomicU8,
+    outstanding: AtomicUsize,
+    dispatched: AtomicU64,
+    failed: AtomicU64,
+    ejections: AtomicU64,
+    retry_after_ms: AtomicU64,
+    fault_events: AtomicU64,
+    queue_capacity: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl BackendState {
+    fn new(index: usize, addr: String) -> Self {
+        Self {
+            index,
+            addr,
+            // Optimistic until the first probe/dispatch says otherwise;
+            // `Router::start` probes synchronously before serving.
+            alive: AtomicBool::new(true),
+            state: AtomicU8::new(state_to_u8(HealthState::Healthy)),
+            outstanding: AtomicUsize::new(0),
+            dispatched: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            retry_after_ms: AtomicU64::new(0),
+            fault_events: AtomicU64::new(0),
+            queue_capacity: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::default()),
+        }
+    }
+
+    /// Whether the last contact (probe or dispatch) succeeded.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Last observed health state.
+    #[must_use]
+    pub fn health_state(&self) -> HealthState {
+        state_from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Eligible for new work: alive and not draining.
+    #[must_use]
+    pub fn is_eligible(&self) -> bool {
+        self.is_alive() && self.health_state() != HealthState::Draining
+    }
+
+    /// Requests currently in flight to this backend via the router.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Marks one request in flight; pair with
+    /// [`BackendState::finish_dispatch`].
+    pub fn begin_dispatch(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completes an in-flight request, recording its dispatch latency
+    /// on success.
+    pub fn finish_dispatch(&self, ok: bool, latency: Option<Duration>) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if !ok {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(d) = latency {
+            self.latency.lock().observe(d);
+        }
+    }
+
+    /// Ejects the backend after a transport failure: ineligible until a
+    /// probe succeeds again.
+    pub fn mark_dead(&self) {
+        if self.alive.swap(false, Ordering::AcqRel) {
+            self.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a successful health probe.
+    pub fn mark_probed(&self, state: HealthState, fault_events: u64, queue_capacity: u64) {
+        self.state.store(state_to_u8(state), Ordering::Release);
+        self.fault_events.store(fault_events, Ordering::Relaxed);
+        self.queue_capacity.store(queue_capacity, Ordering::Relaxed);
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Records a backend's `retry_after_ms` hint (from a 503).
+    pub fn note_retry_after(&self, ms: u64) {
+        self.retry_after_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Cumulative fault-evidence events last reported by the backend.
+    #[must_use]
+    pub fn fault_events(&self) -> u64 {
+        self.fault_events.load(Ordering::Relaxed)
+    }
+
+    /// Admission-queue capacity last advertised by the backend.
+    #[must_use]
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Freezes this backend's counters.
+    #[must_use]
+    pub fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot {
+            index: self.index as u64,
+            addr: self.addr.clone(),
+            alive: self.is_alive(),
+            state: self.health_state(),
+            outstanding: self.outstanding() as u64,
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            ejections: self.ejections.load(Ordering::Relaxed),
+            fault_events: self.fault_events(),
+            dispatch_latency: self.latency.lock().snapshot(),
+        }
+    }
+
+    /// The backend's dispatch-latency histogram (merged into the
+    /// cluster-wide view by [`crate::ClusterMetrics`]).
+    pub fn merge_latency_into(&self, into: &mut Histogram) {
+        into.merge(&self.latency.lock());
+    }
+}
+
+/// Frozen per-backend stats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendSnapshot {
+    /// Pool index.
+    pub index: u64,
+    /// Address.
+    pub addr: String,
+    /// Last-contact liveness.
+    pub alive: bool,
+    /// Last observed health state.
+    pub state: HealthState,
+    /// Requests in flight at snapshot time.
+    pub outstanding: u64,
+    /// Requests forwarded to this backend.
+    pub dispatched: u64,
+    /// Forwarded requests that failed at the transport level.
+    pub failed: u64,
+    /// Times the backend was ejected (alive → dead transitions).
+    pub ejections: u64,
+    /// Cumulative fault evidence last reported by the backend.
+    pub fault_events: u64,
+    /// Router→backend→router dispatch latency.
+    pub dispatch_latency: LatencySnapshot,
+}
+
+/// The set of backends behind one router.
+#[derive(Debug, Clone)]
+pub struct BackendPool {
+    backends: Arc<Vec<Arc<BackendState>>>,
+}
+
+impl BackendPool {
+    /// Builds a pool from backend addresses (pool index = list order =
+    /// shard index in sharded mode).
+    #[must_use]
+    pub fn new(addrs: &[String]) -> Self {
+        let backends = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Arc::new(BackendState::new(i, a.clone())))
+            .collect();
+        Self {
+            backends: Arc::new(backends),
+        }
+    }
+
+    /// Number of backends.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// The backend at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn get(&self, index: usize) -> &Arc<BackendState> {
+        &self.backends[index]
+    }
+
+    /// Iterates over all backends.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<BackendState>> {
+        self.backends.iter()
+    }
+
+    /// Least-outstanding-requests replica selection over eligible,
+    /// non-excluded backends (ties broken by lowest index, so the
+    /// choice is deterministic).
+    #[must_use]
+    pub fn pick_replica(&self, excluded: &[bool]) -> Option<&Arc<BackendState>> {
+        self.backends
+            .iter()
+            .filter(|b| !excluded.get(b.index).copied().unwrap_or(false) && b.is_eligible())
+            .min_by_key(|b| (b.outstanding(), b.index))
+    }
+
+    /// The smallest nonzero `retry_after_ms` hint any backend has
+    /// given, if any (used for router-synthesized 503s).
+    #[must_use]
+    pub fn min_retry_after_ms(&self) -> Option<u64> {
+        self.backends
+            .iter()
+            .map(|b| b.retry_after_ms.load(Ordering::Relaxed))
+            .filter(|&ms| ms > 0)
+            .min()
+    }
+}
+
+/// Spawns the health prober: a thread that polls every backend's
+/// `health` endpoint each `interval`, reviving ejected backends whose
+/// probes succeed and ejecting ones whose probes fail. Returns the
+/// join handle; the thread exits when `stop` returns `true`.
+pub fn spawn_prober<F>(
+    pool: BackendPool,
+    interval: Duration,
+    probe_timeout: Duration,
+    stop: F,
+) -> std::io::Result<JoinHandle<()>>
+where
+    F: Fn() -> bool + Send + 'static,
+{
+    thread::Builder::new()
+        .name("afpr-cluster-probe".into())
+        .spawn(move || {
+            // One cached connection per backend, reconnected on demand.
+            let mut conns: Vec<Option<Client>> = (0..pool.len()).map(|_| None).collect();
+            while !stop() {
+                for backend in pool.iter() {
+                    probe_one(backend, &mut conns[backend.index], probe_timeout);
+                }
+                // Sleep in short slices so shutdown is prompt.
+                let mut remaining = interval;
+                while !remaining.is_zero() && !stop() {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })
+}
+
+/// One probe: connect (or reuse), `health`, record. Any failure ejects
+/// the backend and drops the cached connection.
+fn probe_one(backend: &BackendState, conn: &mut Option<Client>, timeout: Duration) {
+    if conn.is_none() {
+        match Client::connect(&backend.addr) {
+            Ok(c) => {
+                if c.set_read_timeout(Some(timeout)).is_err()
+                    || c.set_write_timeout(Some(timeout)).is_err()
+                {
+                    backend.mark_dead();
+                    return;
+                }
+                *conn = Some(c);
+            }
+            Err(_) => {
+                backend.mark_dead();
+                return;
+            }
+        }
+    }
+    let Some(client) = conn.as_mut() else { return };
+    match client.health() {
+        Ok(info) => {
+            backend.mark_probed(info.state, info.fault_events, info.queue_capacity);
+        }
+        Err(_) => {
+            backend.mark_dead();
+            *conn = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_replica_prefers_least_outstanding_eligible() {
+        let pool = BackendPool::new(&[
+            "127.0.0.1:1".to_string(),
+            "127.0.0.1:2".to_string(),
+            "127.0.0.1:3".to_string(),
+        ]);
+        // Equal load → lowest index.
+        assert_eq!(pool.pick_replica(&[false; 3]).unwrap().index, 0);
+        // Load skews the choice.
+        pool.get(0).begin_dispatch();
+        pool.get(0).begin_dispatch();
+        pool.get(1).begin_dispatch();
+        assert_eq!(pool.pick_replica(&[false; 3]).unwrap().index, 2);
+        // Dead backends are skipped; ejection is counted once.
+        pool.get(2).mark_dead();
+        pool.get(2).mark_dead();
+        assert_eq!(pool.pick_replica(&[false; 3]).unwrap().index, 1);
+        assert_eq!(pool.get(2).snapshot().ejections, 1);
+        // Draining backends are ineligible.
+        pool.get(1).mark_probed(HealthState::Draining, 0, 64);
+        assert_eq!(pool.pick_replica(&[false; 3]).unwrap().index, 0);
+        // Exclusion masks the rest → None.
+        assert!(pool.pick_replica(&[true, false, false]).is_none());
+        // A successful probe revives the dead backend.
+        pool.get(2).mark_probed(HealthState::Healthy, 3, 64);
+        assert!(pool.get(2).is_eligible());
+        assert_eq!(pool.get(2).fault_events(), 3);
+    }
+
+    #[test]
+    fn finish_dispatch_accounts_failures_and_latency() {
+        let pool = BackendPool::new(&["127.0.0.1:1".to_string()]);
+        let b = pool.get(0);
+        b.begin_dispatch();
+        b.finish_dispatch(true, Some(Duration::from_micros(250)));
+        b.begin_dispatch();
+        b.finish_dispatch(false, None);
+        let snap = b.snapshot();
+        assert_eq!(snap.dispatched, 2);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.outstanding, 0);
+        assert_eq!(snap.dispatch_latency.count, 1);
+    }
+
+    #[test]
+    fn retry_after_hint_aggregation() {
+        let pool = BackendPool::new(&["a:1".to_string(), "b:2".to_string()]);
+        assert_eq!(pool.min_retry_after_ms(), None);
+        pool.get(1).note_retry_after(40);
+        pool.get(0).note_retry_after(25);
+        assert_eq!(pool.min_retry_after_ms(), Some(25));
+    }
+}

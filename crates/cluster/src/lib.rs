@@ -1,0 +1,51 @@
+//! # afpr-cluster — horizontally scalable serving tier
+//!
+//! A coordinator/router process that fronts N [`afpr_serve`] backends
+//! and exposes the *same* length-prefixed JSON wire protocol, so the
+//! existing [`afpr_serve::Client`], [`afpr_serve::RetryingClient`] and
+//! the `loadgen` binary work against a cluster unchanged.
+//!
+//! Two placement modes ([`Placement`]):
+//!
+//! * **Replicated** — every backend serves the full model. The router
+//!   picks the least-outstanding-requests eligible replica, consumes
+//!   backend health (`Draining` replicas are not selected, dead ones
+//!   are ejected and revived by a background prober), and re-dispatches
+//!   an in-flight request to another replica on connection loss, all
+//!   within the caller's original deadline.
+//! * **Sharded** — the layer's input dimension is split into
+//!   contiguous, row-tile-aligned shards ([`ShardPlan`]); each matvec
+//!   is scatter-gathered via the `matvec_partial` protocol op and the
+//!   per-tile partials are reduced with
+//!   [`afpr_xbar::PartialSumAdder::sum_into`] in row-tile order, which
+//!   makes the cluster result **bit-identical** to a single-node
+//!   [`afpr_core::AfprAccelerator::matvec`] of the same layer.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use afpr_cluster::{ClusterConfig, Placement, Router};
+//!
+//! // Two afpr-serve backends already listening on these addresses.
+//! let cfg = ClusterConfig::new(
+//!     "127.0.0.1:0",
+//!     &["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+//!     Placement::Replicated,
+//! );
+//! let router = Router::start(cfg).expect("router starts");
+//! println!("cluster listening on {}", router.local_addr());
+//! // ... point any afpr_serve::Client at router.local_addr() ...
+//! let summary = router.shutdown();
+//! println!("{}", summary.to_json_pretty());
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod metrics;
+pub mod plan;
+pub mod router;
+
+pub use backend::{spawn_prober, BackendPool, BackendSnapshot, BackendState};
+pub use metrics::{ClusterMetrics, ClusterSnapshot};
+pub use plan::{Shard, ShardPlan};
+pub use router::{ClusterConfig, Placement, Router};

@@ -1,0 +1,163 @@
+//! Cluster-level observability.
+//!
+//! The router answers the wire `metrics` op with a regular
+//! [`ServeSnapshot`] — its own per-op counters and latency histograms
+//! — so existing clients and dashboards work against it unchanged. On
+//! top of that, [`ClusterMetrics::cluster_snapshot`] produces the
+//! richer [`ClusterSnapshot`]: per-backend dispatch accounting plus a
+//! cluster-wide dispatch-latency view built by merging every backend's
+//! histogram with [`Histogram::merge`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use afpr_runtime::{Histogram, LatencySnapshot, RuntimeMetrics};
+use afpr_serve::{Op, ServeMetrics, ServeSnapshot};
+use serde::{Deserialize, Serialize};
+
+use crate::backend::{BackendPool, BackendSnapshot};
+
+/// Thread-safe metrics registry for the router process.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    serve: ServeMetrics,
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterMetrics {
+    /// A fresh registry. The router has no engine of its own, so it
+    /// owns a private [`RuntimeMetrics`] (its queue/rejection counters
+    /// cover admission decisions made at the router).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            serve: ServeMetrics::new(Arc::new(RuntimeMetrics::new())),
+        }
+    }
+
+    /// The wire-compatible per-op registry (shared shape with a single
+    /// backend's metrics).
+    #[must_use]
+    pub fn serve(&self) -> &ServeMetrics {
+        &self.serve
+    }
+
+    /// Records one routed request, end to end (frame read → response
+    /// write at the router).
+    pub fn record_request(&self, op: Op, ok: bool, latency: Duration) {
+        self.serve.record_request(op, ok, latency);
+    }
+
+    /// Wire-compatible snapshot (what the `metrics` op returns).
+    #[must_use]
+    pub fn snapshot(&self) -> ServeSnapshot {
+        self.serve.snapshot()
+    }
+
+    /// Full cluster view: the router snapshot, per-backend counters,
+    /// and the merged dispatch-latency distribution.
+    #[must_use]
+    pub fn cluster_snapshot(&self, placement: &str, pool: &BackendPool) -> ClusterSnapshot {
+        let mut merged = Histogram::default();
+        let mut backends = Vec::with_capacity(pool.len());
+        for b in pool.iter() {
+            b.merge_latency_into(&mut merged);
+            backends.push(b.snapshot());
+        }
+        ClusterSnapshot {
+            placement: placement.to_string(),
+            router: self.serve.snapshot(),
+            backends,
+            dispatch_latency: merged.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time, serializable view of the whole cluster tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Placement mode (`"replicated"` or `"sharded"`).
+    pub placement: String,
+    /// The router's own wire-compatible serving snapshot.
+    pub router: ServeSnapshot,
+    /// Per-backend dispatch accounting.
+    pub backends: Vec<BackendSnapshot>,
+    /// Dispatch latency merged across every backend
+    /// ([`Histogram::merge`]).
+    pub dispatch_latency: LatencySnapshot,
+}
+
+impl ClusterSnapshot {
+    /// Total requests forwarded across all backends.
+    #[must_use]
+    pub fn total_dispatched(&self) -> u64 {
+        self.backends.iter().map(|b| b.dispatched).sum()
+    }
+
+    /// Total transport-level dispatch failures across all backends.
+    #[must_use]
+    pub fn total_failed(&self) -> u64 {
+        self.backends.iter().map(|b| b.failed).sum()
+    }
+
+    /// Compact JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Pretty-printed (2-space) JSON encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if serialization fails, which would be a bug in the
+    /// snapshot definition.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_snapshot_merges_backend_latency() {
+        let pool = BackendPool::new(&["a:1".to_string(), "b:2".to_string()]);
+        pool.get(0).begin_dispatch();
+        pool.get(0)
+            .finish_dispatch(true, Some(Duration::from_micros(100)));
+        pool.get(1).begin_dispatch();
+        pool.get(1)
+            .finish_dispatch(true, Some(Duration::from_micros(900)));
+
+        let m = ClusterMetrics::new();
+        m.record_request(Op::Matvec, true, Duration::from_micros(1_000));
+        let snap = m.cluster_snapshot("replicated", &pool);
+        assert_eq!(snap.placement, "replicated");
+        assert_eq!(snap.backends.len(), 2);
+        assert_eq!(snap.total_dispatched(), 2);
+        assert_eq!(snap.total_failed(), 0);
+        assert_eq!(
+            snap.dispatch_latency.count, 2,
+            "merged histogram sees both backends"
+        );
+        assert_eq!(snap.router.op(Op::Matvec).unwrap().requests, 1);
+
+        // Round-trips through JSON.
+        let back: ClusterSnapshot = serde_json::from_str(&snap.to_json()).expect("parses");
+        assert_eq!(back.backends.len(), 2);
+        assert_eq!(back.dispatch_latency.count, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Shard planning: contiguous, row-tile-aligned splits of the input
+//! dimension across backends.
+//!
+//! The paper's macro is a fixed-height crossbar; a mapped layer is a
+//! grid of row tiles × column tiles, and the only legal shard
+//! boundaries are row-tile boundaries (the `matvec_partial` protocol
+//! op rejects anything else). The plan distributes the `⌈k / unit⌉`
+//! row tiles as evenly as possible over the backends, keeping each
+//! shard contiguous so the gather can concatenate per-tile partials in
+//! shard order and replay the single-node reduction fold exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// One backend's contiguous slice of the input dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Index of the backend serving this shard (into the pool).
+    pub backend: usize,
+    /// First input row of the shard (a multiple of the tile height).
+    pub row_offset: usize,
+    /// Number of input rows in the shard.
+    pub rows: usize,
+    /// Number of row tiles the shard covers.
+    pub tiles: usize,
+}
+
+impl Shard {
+    /// One-past-the-end input row.
+    #[must_use]
+    pub fn row_end(&self) -> usize {
+        self.row_offset + self.rows
+    }
+}
+
+/// A full, gap-free cover of the input dimension by contiguous shards
+/// in backend order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Input dimension of the served layer.
+    pub k: usize,
+    /// Row-tile height (shard boundary alignment unit).
+    pub unit: usize,
+    /// The shards, ordered by `row_offset` (== backend order).
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Splits `k` input rows (tiled at `unit`) over `backends` shards.
+    ///
+    /// Tiles are distributed as evenly as possible — the first
+    /// `tiles % backends` shards get one extra tile — and the final
+    /// shard absorbs the ragged last tile when `unit ∤ k`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions and more backends than row tiles (a
+    /// shard must cover at least one tile to do any work).
+    pub fn compute(k: usize, unit: usize, backends: usize) -> Result<Self, String> {
+        if k == 0 || unit == 0 {
+            return Err(format!("degenerate layer: k = {k}, row-tile height {unit}"));
+        }
+        if backends == 0 {
+            return Err("sharded placement needs at least one backend".to_string());
+        }
+        let tiles = k.div_ceil(unit);
+        if backends > tiles {
+            return Err(format!(
+                "{backends} backends but only {tiles} row tiles — a shard must cover ≥ 1 tile"
+            ));
+        }
+        let base = tiles / backends;
+        let extra = tiles % backends;
+        let mut shards = Vec::with_capacity(backends);
+        let mut tile_cursor = 0usize;
+        for b in 0..backends {
+            let count = base + usize::from(b < extra);
+            let row_offset = tile_cursor * unit;
+            let row_end = ((tile_cursor + count) * unit).min(k);
+            shards.push(Shard {
+                backend: b,
+                row_offset,
+                rows: row_end - row_offset,
+                tiles: count,
+            });
+            tile_cursor += count;
+        }
+        debug_assert_eq!(tile_cursor, tiles);
+        debug_assert_eq!(shards.last().map(Shard::row_end), Some(k));
+        Ok(Self { k, unit, shards })
+    }
+
+    /// Total number of row tiles across all shards.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.shards.iter().map(|s| s.tiles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every plan must be a gap-free, aligned, in-order cover.
+    fn check_cover(plan: &ShardPlan) {
+        let mut cursor = 0usize;
+        for shard in &plan.shards {
+            assert_eq!(shard.row_offset, cursor, "contiguous, in order");
+            assert_eq!(shard.row_offset % plan.unit, 0, "tile-aligned start");
+            assert!(shard.rows > 0, "no empty shards");
+            cursor = shard.row_end();
+            if cursor != plan.k {
+                assert_eq!(cursor % plan.unit, 0, "tile-aligned interior end");
+            }
+        }
+        assert_eq!(cursor, plan.k, "full cover");
+    }
+
+    #[test]
+    fn even_split() {
+        let plan = ShardPlan::compute(256, 64, 2).unwrap();
+        check_cover(&plan);
+        assert_eq!(plan.shards.len(), 2);
+        assert_eq!(plan.shards[0].rows, 128);
+        assert_eq!(plan.shards[1].rows, 128);
+        assert_eq!(plan.tiles(), 4);
+    }
+
+    #[test]
+    fn uneven_tiles_front_loaded() {
+        // 5 tiles over 3 backends → 2, 2, 1.
+        let plan = ShardPlan::compute(5 * 8, 8, 3).unwrap();
+        check_cover(&plan);
+        let tiles: Vec<usize> = plan.shards.iter().map(|s| s.tiles).collect();
+        assert_eq!(tiles, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn ragged_last_tile_lands_in_last_shard() {
+        // k = 20, unit = 8 → tiles of 8, 8, 4.
+        let plan = ShardPlan::compute(20, 8, 2).unwrap();
+        check_cover(&plan);
+        assert_eq!(plan.shards[0].rows, 16);
+        assert_eq!(plan.shards[1].rows, 4, "ragged tail");
+        assert_eq!(plan.shards[1].tiles, 1);
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let plan = ShardPlan::compute(20, 8, 1).unwrap();
+        check_cover(&plan);
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].rows, 20);
+        assert_eq!(plan.shards[0].tiles, 3);
+    }
+
+    #[test]
+    fn too_many_backends_is_an_error() {
+        assert!(ShardPlan::compute(16, 8, 3).is_err());
+        assert!(ShardPlan::compute(0, 8, 1).is_err());
+        assert!(ShardPlan::compute(16, 0, 1).is_err());
+        assert!(ShardPlan::compute(16, 8, 0).is_err());
+    }
+
+    #[test]
+    fn exhaustive_small_covers() {
+        for k in 1usize..=40 {
+            for unit in 1usize..=10 {
+                let tiles = k.div_ceil(unit);
+                for backends in 1..=tiles {
+                    let plan = ShardPlan::compute(k, unit, backends)
+                        .unwrap_or_else(|e| panic!("k={k} unit={unit} b={backends}: {e}"));
+                    check_cover(&plan);
+                    assert_eq!(plan.shards.len(), backends);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1173 @@
+//! The coordinator/router process.
+//!
+//! # Thread architecture
+//!
+//! ```text
+//!              ┌───────────┐   bounded chan   ┌───────────────────┐
+//!  clients ──▶ │ acceptor  │ ───────────────▶ │ worker pool       │
+//!              └───────────┘   (TcpStream)    │ (cfg.workers ×)   │
+//!                                             │ each worker owns  │
+//!                                             │ one Client per    │
+//!                                             │ backend           │
+//!                                             └──────┬────────────┘
+//!              ┌───────────┐    health polls         │ forward /
+//!              │  prober   │ ─────────────┐          │ scatter-gather
+//!              └───────────┘              ▼          ▼
+//!                                   ┌───────────────────────┐
+//!                                   │ afpr-serve backends   │
+//!                                   └───────────────────────┘
+//! ```
+//!
+//! The router speaks the exact same wire protocol as a single backend
+//! (`matvec`/`forward_batch`/`health`/`metrics`/`shutdown`), so
+//! existing clients, the retrying client and the load generator work
+//! against it unchanged.
+//!
+//! # Placement modes
+//!
+//! **Replicated** — every backend holds the full model. Each request
+//! is forwarded to the eligible replica with the fewest outstanding
+//! requests; a transport failure ejects the replica and re-dispatches
+//! the request to another one within the caller's deadline, so a
+//! replica dying mid-request costs latency, not correctness. The
+//! prober revives ejected replicas when their health endpoint answers
+//! again, and Draining replicas are never selected.
+//!
+//! **Sharded** — the input dimension is split into contiguous,
+//! row-tile-aligned ranges ([`crate::ShardPlan`]); backend *i* serves
+//! shard *i* via `matvec_partial` and returns **unsummed** per-row-tile
+//! partial sums. The router concatenates the partials in shard order
+//! and left-folds them with [`afpr_xbar::PartialSumAdder`] — the exact
+//! accumulation order of the single-node tiled path — so the routed
+//! result is **bit-identical** to `AfprAccelerator::matvec` on one
+//! node. A dead shard cannot be failed over (no other backend holds
+//! those rows), so it yields a structured `503` within the deadline.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use afpr_runtime::RejectReason;
+use afpr_serve::protocol::{self, FrameError};
+use afpr_serve::{
+    Client, ClientError, HealthInfo, HealthState, Op, Request, Response, Status, DEFAULT_MAX_FRAME,
+    MAX_DEADLINE_MS, PROTOCOL_VERSION,
+};
+use afpr_xbar::PartialSumAdder;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::backend::{spawn_prober, BackendPool, BackendState};
+use crate::metrics::{ClusterMetrics, ClusterSnapshot};
+use crate::plan::ShardPlan;
+
+/// How work is spread over the backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Every backend holds the full model; requests are load-balanced
+    /// with health-aware failover.
+    Replicated,
+    /// Backend *i* holds the full model but serves only row shard *i*;
+    /// the router scatter-gathers and reduces partial sums.
+    Sharded,
+}
+
+impl Placement {
+    /// The name used in CLI flags and snapshots.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Placement::Replicated => "replicated",
+            Placement::Sharded => "sharded",
+        }
+    }
+}
+
+impl std::str::FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "replicated" => Ok(Placement::Replicated),
+            "sharded" => Ok(Placement::Sharded),
+            other => Err(format!(
+                "unknown placement `{other}` (expected `replicated` or `sharded`)"
+            )),
+        }
+    }
+}
+
+/// Configuration for [`Router`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Backend `host:port` addresses. In sharded mode, list order is
+    /// shard order.
+    pub backends: Vec<String>,
+    /// Placement mode.
+    pub placement: Placement,
+    /// Connection worker pool size (each worker owns one connection
+    /// per backend).
+    pub workers: usize,
+    /// Cap on a single frame's payload.
+    pub max_frame_bytes: usize,
+    /// Client-facing socket read timeout; doubles as the shutdown poll
+    /// period for idle connections.
+    pub read_timeout: Duration,
+    /// Health-prober poll period.
+    pub probe_interval: Duration,
+    /// Per-probe socket timeout.
+    pub probe_timeout: Duration,
+    /// Per-attempt backend wait for requests without a deadline.
+    pub dispatch_timeout: Duration,
+    /// Backoff advertised in router-synthesized `503` responses.
+    pub retry_after_ms: u64,
+    /// How long `Router::start` waits for every backend to answer its
+    /// first health probe.
+    pub startup_timeout: Duration,
+    /// Accepted-connection backlog between acceptor and worker pool.
+    pub accept_backlog: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            placement: Placement::Replicated,
+            workers: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(20),
+            probe_interval: Duration::from_millis(150),
+            probe_timeout: Duration::from_millis(750),
+            dispatch_timeout: Duration::from_secs(30),
+            retry_after_ms: 20,
+            startup_timeout: Duration::from_secs(5),
+            accept_backlog: 128,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Convenience constructor: defaults with the three fields every
+    /// deployment must set.
+    #[must_use]
+    pub fn new(addr: &str, backends: &[String], placement: Placement) -> Self {
+        Self {
+            addr: addr.to_string(),
+            backends: backends.to_vec(),
+            placement,
+            ..Self::default()
+        }
+    }
+}
+
+/// State shared by every router thread.
+struct RouterShared {
+    cfg: ClusterConfig,
+    shutting_down: AtomicBool,
+    pool: BackendPool,
+    metrics: ClusterMetrics,
+    /// Served layer input dimension (identical on every backend).
+    k: usize,
+    /// Served layer output dimension.
+    n: usize,
+    /// Row-tile height advertised by the backends.
+    unit: usize,
+    /// The shard plan (sharded placement only).
+    plan: Option<ShardPlan>,
+}
+
+impl RouterShared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+    }
+
+    fn reject_malformed(&self, id: u64, detail: impl Into<String>) -> Response {
+        self.metrics
+            .serve()
+            .runtime()
+            .record_rejection(RejectReason::Malformed);
+        Response::error(id, Status::Malformed, detail)
+    }
+
+    fn retry_hint(&self) -> u64 {
+        self.pool
+            .min_retry_after_ms()
+            .unwrap_or(self.cfg.retry_after_ms)
+    }
+
+    /// Synthesizes the cluster-level health view the router reports on
+    /// the wire `health` op.
+    fn health_info(&self) -> HealthInfo {
+        let state = if self.is_shutting_down() {
+            HealthState::Draining
+        } else {
+            match self.cfg.placement {
+                // Replicated: the cluster is as healthy as its best
+                // live replica — one healthy replica can serve.
+                Placement::Replicated => {
+                    let mut best: Option<HealthState> = None;
+                    for b in self.pool.iter() {
+                        if !b.is_alive() {
+                            continue;
+                        }
+                        let s = b.health_state();
+                        best = Some(match (best, s) {
+                            (None, s) => s,
+                            (Some(HealthState::Healthy), _) | (_, HealthState::Healthy) => {
+                                HealthState::Healthy
+                            }
+                            (Some(HealthState::Degraded), _) | (_, HealthState::Degraded) => {
+                                HealthState::Degraded
+                            }
+                            _ => HealthState::Draining,
+                        });
+                    }
+                    best.unwrap_or(HealthState::Draining)
+                }
+                // Sharded: the cluster is as healthy as its worst
+                // shard — every shard is needed for every request.
+                Placement::Sharded => {
+                    let mut worst = HealthState::Healthy;
+                    for b in self.pool.iter() {
+                        let s = if b.is_alive() {
+                            b.health_state()
+                        } else {
+                            HealthState::Draining
+                        };
+                        worst = match (worst, s) {
+                            (HealthState::Draining, _) | (_, HealthState::Draining) => {
+                                HealthState::Draining
+                            }
+                            (HealthState::Degraded, _) | (_, HealthState::Degraded) => {
+                                HealthState::Degraded
+                            }
+                            _ => HealthState::Healthy,
+                        };
+                    }
+                    worst
+                }
+            }
+        };
+        HealthInfo {
+            protocol: PROTOCOL_VERSION,
+            input_dim: self.k as u64,
+            output_dim: self.n as u64,
+            queue_depth: self.pool.iter().map(|b| b.outstanding() as u64).sum(),
+            queue_capacity: self.pool.iter().map(|b| b.queue_capacity()).sum(),
+            shutting_down: self.is_shutting_down(),
+            state,
+            fault_events: self.pool.iter().map(|b| b.fault_events()).sum(),
+            row_tile_rows: self.unit as u64,
+        }
+    }
+}
+
+/// Handle to a running cluster router.
+///
+/// Dropping the handle requests shutdown and joins every thread. The
+/// backends are *not* owned by the router — they keep running.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("addr", &self.addr)
+            .field("placement", &self.shared.cfg.placement)
+            .field("backends", &self.shared.pool.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Probes every backend, verifies they agree on model shape and
+    /// protocol version, computes the shard plan (sharded mode), binds
+    /// the listener and spawns the acceptor, worker pool and prober.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no backends are configured, any backend stays
+    /// unreachable past `startup_timeout`, backends disagree on model
+    /// shape or protocol, or the shard plan is infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn start(cfg: ClusterConfig) -> io::Result<Self> {
+        assert!(cfg.workers > 0, "workers must be positive");
+        if cfg.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cluster needs at least one backend",
+            ));
+        }
+        let pool = BackendPool::new(&cfg.backends);
+        let (k, n, unit) = startup_probe(&cfg, &pool)?;
+        let plan = match cfg.placement {
+            Placement::Replicated => None,
+            Placement::Sharded => Some(
+                ShardPlan::compute(k, unit, pool.len())
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+            ),
+        };
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(RouterShared {
+            cfg,
+            shutting_down: AtomicBool::new(false),
+            pool,
+            metrics: ClusterMetrics::new(),
+            k,
+            n,
+            unit,
+            plan,
+        });
+
+        let prober = {
+            let stop_shared = Arc::clone(&shared);
+            spawn_prober(
+                shared.pool.clone(),
+                shared.cfg.probe_interval,
+                shared.cfg.probe_timeout,
+                move || stop_shared.is_shutting_down(),
+            )
+        };
+        let prober = match prober {
+            Ok(h) => h,
+            Err(e) => {
+                shared.begin_shutdown();
+                return Err(e);
+            }
+        };
+
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let worker = {
+                let shared = Arc::clone(&shared);
+                let conn_rx = conn_rx.clone();
+                thread::Builder::new()
+                    .name(format!("afpr-cluster-conn-{i}"))
+                    .spawn(move || worker_loop(&shared, &conn_rx))
+            };
+            match worker {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
+        }
+
+        let acceptor = {
+            let shared_acc = Arc::clone(&shared);
+            let spawned = thread::Builder::new()
+                .name("afpr-cluster-accept".into())
+                .spawn(move || acceptor_loop(&shared_acc, &listener, &conn_tx));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The placement mode.
+    #[must_use]
+    pub fn placement(&self) -> Placement {
+        self.shared.cfg.placement
+    }
+
+    /// The shard plan (sharded placement only).
+    #[must_use]
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shared.plan.as_ref()
+    }
+
+    /// A live wire-compatible metrics snapshot (what the `metrics` op
+    /// returns).
+    #[must_use]
+    pub fn metrics(&self) -> afpr_serve::ServeSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// A live full-cluster snapshot (router + per-backend + merged
+    /// dispatch latency).
+    #[must_use]
+    pub fn cluster_snapshot(&self) -> ClusterSnapshot {
+        self.shared
+            .metrics
+            .cluster_snapshot(self.shared.cfg.placement.as_str(), &self.shared.pool)
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// Requests a graceful drain without blocking.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until a drain has been requested (used by the `cluster`
+    /// binary to wait for a client-sent `shutdown`).
+    pub fn wait_shutdown_requested(&self) {
+        while !self.is_shutting_down() {
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Gracefully drains and stops the router, returning the final
+    /// cluster snapshot. Backends are left running.
+    #[must_use]
+    pub fn shutdown(mut self) -> ClusterSnapshot {
+        self.join_threads();
+        self.cluster_snapshot()
+    }
+
+    fn join_threads(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// Blocks until every backend answers a health probe (or the startup
+/// timeout lapses), then cross-checks shape and protocol agreement.
+/// Returns `(k, n, row_tile_rows)`.
+fn startup_probe(cfg: &ClusterConfig, pool: &BackendPool) -> io::Result<(usize, usize, usize)> {
+    let deadline = Instant::now() + cfg.startup_timeout;
+    let mut infos: Vec<Option<HealthInfo>> = vec![None; pool.len()];
+    loop {
+        for backend in pool.iter() {
+            if infos[backend.index].is_some() {
+                continue;
+            }
+            if let Ok(client) = Client::connect(&backend.addr) {
+                let _ = client.set_read_timeout(Some(cfg.probe_timeout));
+                let _ = client.set_write_timeout(Some(cfg.probe_timeout));
+                let mut client = client;
+                if let Ok(info) = client.health() {
+                    backend.mark_probed(info.state, info.fault_events, info.queue_capacity);
+                    infos[backend.index] = Some(info);
+                }
+            }
+        }
+        if infos.iter().all(Option::is_some) {
+            break;
+        }
+        if Instant::now() >= deadline {
+            let missing: Vec<&str> = pool
+                .iter()
+                .filter(|b| infos[b.index].is_none())
+                .map(|b| b.addr.as_str())
+                .collect();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("backends unreachable at startup: {}", missing.join(", ")),
+            ));
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    let first = infos[0].as_ref().expect("probed");
+    for (i, info) in infos.iter().enumerate() {
+        let info = info.as_ref().expect("probed");
+        if info.protocol != PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend {} speaks protocol {} (router speaks {PROTOCOL_VERSION})",
+                    cfg.backends[i], info.protocol
+                ),
+            ));
+        }
+        if (info.input_dim, info.output_dim) != (first.input_dim, first.output_dim) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend {} serves {}×{} but backend {} serves {}×{}",
+                    cfg.backends[0],
+                    first.input_dim,
+                    first.output_dim,
+                    cfg.backends[i],
+                    info.input_dim,
+                    info.output_dim
+                ),
+            ));
+        }
+        if cfg.placement == Placement::Sharded && info.row_tile_rows != first.row_tile_rows {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backends disagree on row-tile height: {} vs {}",
+                    first.row_tile_rows, info.row_tile_rows
+                ),
+            ));
+        }
+    }
+    if cfg.placement == Placement::Sharded && first.row_tile_rows == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "backends do not advertise a row-tile height; sharded placement needs \
+             `row_tile_rows` (upgrade the backends)",
+        ));
+    }
+    Ok((
+        first.input_dim as usize,
+        first.output_dim as usize,
+        first.row_tile_rows as usize,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor + connection workers (same discipline as the backend server)
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop(shared: &RouterShared, listener: &TcpListener, conn_tx: &Sender<TcpStream>) {
+    const ACCEPT_POLL: Duration = Duration::from_millis(2);
+    loop {
+        if shared.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                shared.metrics.serve().record_connection();
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        shared.metrics.serve().record_connection_dropped();
+                        drop(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn worker_loop(shared: &RouterShared, conn_rx: &Receiver<TcpStream>) {
+    const IDLE_POLL: Duration = Duration::from_millis(25);
+    // Each worker owns one connection per backend, lazily established
+    // and dropped on any transport error (so a stale half-read stream
+    // can never desynchronize request/response pairing).
+    let mut conns = WorkerConns::new(shared.pool.len());
+    loop {
+        match conn_rx.recv_timeout(IDLE_POLL) {
+            Ok(stream) => connection_loop(shared, &mut conns, stream),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn connection_loop(shared: &RouterShared, conns: &mut WorkerConns, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        match protocol::read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(None) => return,
+            Ok(Some(payload)) => {
+                let t0 = Instant::now();
+                if !handle_frame(shared, conns, &payload, t0, &mut writer) {
+                    return;
+                }
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge { announced, max }) => {
+                shared.metrics.serve().record_protocol_error();
+                shared
+                    .metrics
+                    .serve()
+                    .runtime()
+                    .record_rejection(RejectReason::Malformed);
+                let resp = Response::error(
+                    0,
+                    Status::Malformed,
+                    format!("frame of {announced} bytes exceeds cap of {max}"),
+                );
+                let _ = protocol::write_message(&mut writer, &resp);
+                return;
+            }
+            Err(FrameError::TruncatedEof { .. } | FrameError::Stalled { .. }) => {
+                shared.metrics.serve().record_protocol_error();
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                shared.metrics.serve().record_protocol_error();
+                return;
+            }
+        }
+    }
+}
+
+fn handle_frame<W: Write>(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    payload: &[u8],
+    t0: Instant,
+    writer: &mut W,
+) -> bool {
+    let req = match protocol::parse_message::<Request>(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            shared
+                .metrics
+                .serve()
+                .runtime()
+                .record_rejection(RejectReason::Malformed);
+            let resp = Response::error(0, Status::Malformed, e);
+            return protocol::write_message(writer, &resp).is_ok();
+        }
+    };
+    let op = req.op;
+    let id = req.id;
+    let resp = dispatch(shared, conns, req, t0);
+    shared
+        .metrics
+        .record_request(op, resp.is_ok(), t0.elapsed());
+    debug_assert_eq!(resp.id, id);
+    if protocol::write_message(writer, &resp).is_err() {
+        return false;
+    }
+    op != Op::Shutdown
+}
+
+fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: Instant) -> Response {
+    if req.proto_version != PROTOCOL_VERSION {
+        return shared.reject_malformed(
+            req.id,
+            format!(
+                "unsupported protocol version {} (router speaks {PROTOCOL_VERSION})",
+                req.proto_version
+            ),
+        );
+    }
+    match req.op {
+        Op::Health => {
+            let mut resp = Response::ok(req.id);
+            resp.health = Some(shared.health_info());
+            resp
+        }
+        Op::Metrics => {
+            let mut resp = Response::ok(req.id);
+            resp.metrics = Some(shared.metrics.snapshot());
+            resp
+        }
+        Op::Shutdown => {
+            shared.begin_shutdown();
+            let mut resp = Response::ok(req.id);
+            resp.metrics = Some(shared.metrics.snapshot());
+            resp
+        }
+        Op::Matvec | Op::ForwardBatch | Op::MatvecPartial => {
+            if shared.is_shutting_down() {
+                return Response::error(req.id, Status::ShuttingDown, "router is draining");
+            }
+            let deadline = match parse_deadline(shared, &req, t0) {
+                Ok(d) => d,
+                Err(resp) => return *resp,
+            };
+            match shared.cfg.placement {
+                Placement::Replicated => dispatch_replicated(shared, conns, &req, deadline),
+                Placement::Sharded => dispatch_sharded(shared, conns, &req, deadline),
+            }
+        }
+    }
+}
+
+/// Mirrors the backend's deadline hardening: `checked_add` + the 24 h
+/// cap, plus an immediate `504` for already-expired budgets.
+fn parse_deadline(
+    shared: &RouterShared,
+    req: &Request,
+    t0: Instant,
+) -> Result<Option<Instant>, Box<Response>> {
+    let deadline = match req.deadline_ms {
+        None => None,
+        Some(ms) => {
+            let within_cap = ms <= MAX_DEADLINE_MS;
+            match t0.checked_add(Duration::from_millis(ms)) {
+                Some(d) if within_cap => Some(d),
+                _ => {
+                    return Err(Box::new(shared.reject_malformed(
+                        req.id,
+                        format!("deadline_ms {ms} exceeds the maximum of {MAX_DEADLINE_MS} ms"),
+                    )));
+                }
+            }
+        }
+    };
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            shared
+                .metrics
+                .serve()
+                .runtime()
+                .record_rejection(RejectReason::DeadlineExpired);
+            return Err(Box::new(Response::error(
+                req.id,
+                Status::DeadlineExpired,
+                "deadline expired before dispatch",
+            )));
+        }
+    }
+    Ok(deadline)
+}
+
+/// Per-attempt socket timeout: the remaining deadline budget (plus a
+/// small grace so the backend's own `504` wins the race), capped by
+/// the configured dispatch timeout.
+fn attempt_timeout(deadline: Option<Instant>, cap: Duration) -> Duration {
+    const MIN: Duration = Duration::from_millis(10);
+    const GRACE: Duration = Duration::from_millis(250);
+    match deadline {
+        Some(d) => (d.saturating_duration_since(Instant::now()) + GRACE).min(cap),
+        None => cap,
+    }
+    .max(MIN)
+}
+
+/// Remaining budget in milliseconds to forward downstream.
+fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+    deadline.map(|d| {
+        u64::try_from(d.saturating_duration_since(Instant::now()).as_millis()).unwrap_or(u64::MAX)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replicated dispatch
+// ---------------------------------------------------------------------------
+
+fn dispatch_replicated(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    req: &Request,
+    deadline: Option<Instant>,
+) -> Response {
+    let mut excluded = vec![false; shared.pool.len()];
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                shared
+                    .metrics
+                    .serve()
+                    .runtime()
+                    .record_rejection(RejectReason::DeadlineExpired);
+                return Response::error(
+                    req.id,
+                    Status::DeadlineExpired,
+                    "deadline expired during failover",
+                );
+            }
+        }
+        let Some(backend) = shared.pool.pick_replica(&excluded).map(Arc::clone) else {
+            let mut resp = Response::error(
+                req.id,
+                Status::Overloaded,
+                "no live replica available; retry shortly",
+            );
+            resp.retry_after_ms = Some(shared.retry_hint());
+            return resp;
+        };
+
+        let mut fwd = req.clone();
+        fwd.deadline_ms = match deadline {
+            Some(_) => remaining_ms(deadline),
+            None => None,
+        };
+        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+        backend.begin_dispatch();
+        let started = Instant::now();
+        match conns.call(&backend, &fwd, timeout) {
+            Ok(resp) => {
+                backend.finish_dispatch(true, Some(started.elapsed()));
+                if resp.status == Status::Overloaded {
+                    if let Some(ms) = resp.retry_after_ms {
+                        backend.note_retry_after(ms);
+                    }
+                }
+                return resp;
+            }
+            Err(_) => {
+                // Transport failure: eject the replica and re-dispatch
+                // the request to another one within the deadline. The
+                // prober revives it when it answers health again.
+                backend.finish_dispatch(false, None);
+                backend.mark_dead();
+                excluded[backend.index] = true;
+                shared.metrics.serve().record_protocol_error();
+                if excluded.iter().all(|&e| e) {
+                    let mut resp = Response::error(
+                        req.id,
+                        Status::Overloaded,
+                        "every replica failed this request; retry shortly",
+                    );
+                    resp.retry_after_ms = Some(shared.retry_hint());
+                    return resp;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded dispatch (scatter-gather + bit-exact reduction)
+// ---------------------------------------------------------------------------
+
+fn dispatch_sharded(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    req: &Request,
+    deadline: Option<Instant>,
+) -> Response {
+    match req.op {
+        Op::Matvec => {
+            let Some(input) = req.input.as_deref() else {
+                return shared.reject_malformed(req.id, "matvec requires `input`");
+            };
+            match sharded_matvec(shared, conns, req.id, input, deadline) {
+                Ok(output) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.output = Some(output);
+                    resp
+                }
+                Err(resp) => *resp,
+            }
+        }
+        Op::ForwardBatch => {
+            let Some(inputs) = req.inputs.as_deref() else {
+                return shared.reject_malformed(req.id, "forward_batch requires `inputs`");
+            };
+            // One scatter-gather per input, strictly in order — each
+            // backend therefore serves its shards in input order, which
+            // keeps every macro's RNG stream aligned with the
+            // single-node `forward_batch` path.
+            let mut outputs = Vec::with_capacity(inputs.len());
+            for input in inputs {
+                match sharded_matvec(shared, conns, req.id, input, deadline) {
+                    Ok(output) => outputs.push(output),
+                    Err(resp) => return *resp,
+                }
+            }
+            let mut resp = Response::ok(req.id);
+            resp.outputs = Some(outputs);
+            resp
+        }
+        Op::MatvecPartial => shared.reject_malformed(
+            req.id,
+            "matvec_partial is a backend-level op; the sharded router owns shard planning",
+        ),
+        _ => unreachable!("compute ops only"),
+    }
+}
+
+/// One scatter-gather round: split `input` by the shard plan, send a
+/// `matvec_partial` to every shard backend (pipelined — all writes
+/// before any read), gather the per-row-tile partials in shard order,
+/// and reduce them with the inter-core adder fold.
+///
+/// Bit-identity: the shards return *unsummed* per-row-tile partials;
+/// concatenating them in shard order reconstructs the single-node
+/// row-tile sequence, and [`PartialSumAdder::sum_into`] performs the
+/// identical left fold — so the reduced output equals
+/// `AfprAccelerator::matvec` bit for bit.
+fn sharded_matvec(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    id: u64,
+    input: &[f32],
+    deadline: Option<Instant>,
+) -> Result<Vec<f32>, Box<Response>> {
+    let plan = shared.plan.as_ref().expect("sharded router has a plan");
+    if input.len() != shared.k {
+        return Err(Box::new(shared.reject_malformed(
+            id,
+            format!(
+                "input has length {}, served layer expects {}",
+                input.len(),
+                shared.k
+            ),
+        )));
+    }
+
+    // Scatter: write every shard request before reading any response.
+    // `inflight` tracks shards whose response we still owe a read for;
+    // any abort path must drop those connections (a stray response
+    // left buffered would desynchronize the next request).
+    let mut inflight = vec![false; plan.shards.len()];
+    for shard in &plan.shards {
+        let backend = shared.pool.get(shard.backend);
+        let mut sub = Request::matvec_partial(
+            id,
+            shard.row_offset as u64,
+            input[shard.row_offset..shard.row_end()].to_vec(),
+        );
+        sub.deadline_ms = remaining_ms(deadline);
+        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+        backend.begin_dispatch();
+        match conns.send(backend, &sub, timeout) {
+            Ok(()) => inflight[shard.backend] = true,
+            Err(_) => {
+                backend.finish_dispatch(false, None);
+                backend.mark_dead();
+                abort_scatter(shared, conns, plan, &inflight);
+                return Err(Box::new(shard_unavailable(shared, id, shard.backend)));
+            }
+        }
+    }
+
+    // Gather in shard order; each shard contributes `tiles` unsummed
+    // full-width partials.
+    let mut parts: Vec<Vec<f32>> = Vec::with_capacity(plan.tiles());
+    for shard in &plan.shards {
+        let backend = shared.pool.get(shard.backend);
+        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+        let started = Instant::now();
+        match conns.recv(backend, timeout) {
+            Ok(resp) if resp.status == Status::Ok => {
+                backend.finish_dispatch(true, Some(started.elapsed()));
+                inflight[shard.backend] = false;
+                let Some(partials) = resp.partials else {
+                    abort_scatter(shared, conns, plan, &inflight);
+                    return Err(Box::new(Response::error(
+                        id,
+                        Status::Overloaded,
+                        format!("shard {} returned no partials", shard.backend),
+                    )));
+                };
+                if partials.len() != shard.tiles || partials.iter().any(|p| p.len() != shared.n) {
+                    abort_scatter(shared, conns, plan, &inflight);
+                    return Err(Box::new(Response::error(
+                        id,
+                        Status::Overloaded,
+                        format!("shard {} returned malformed partials", shard.backend),
+                    )));
+                }
+                parts.extend(partials);
+            }
+            Ok(resp) => {
+                // Structured shard rejection (503 overloaded, 504
+                // expired, …): propagate status/code upstream with the
+                // shard named in the error text.
+                backend.finish_dispatch(true, Some(started.elapsed()));
+                inflight[shard.backend] = false;
+                if resp.status == Status::Overloaded {
+                    if let Some(ms) = resp.retry_after_ms {
+                        backend.note_retry_after(ms);
+                    }
+                }
+                abort_scatter(shared, conns, plan, &inflight);
+                let mut out = Response::error(
+                    id,
+                    resp.status,
+                    format!(
+                        "shard {} ({}): {}",
+                        shard.backend,
+                        backend.addr,
+                        resp.error.as_deref().unwrap_or("rejected")
+                    ),
+                );
+                out.retry_after_ms = resp.retry_after_ms;
+                return Err(Box::new(out));
+            }
+            Err(_) => {
+                backend.finish_dispatch(false, None);
+                backend.mark_dead();
+                inflight[shard.backend] = false;
+                abort_scatter(shared, conns, plan, &inflight);
+                return Err(Box::new(shard_unavailable(shared, id, shard.backend)));
+            }
+        }
+    }
+
+    // Reduce: fixed left fold in shard/tile order — identical bits to
+    // the single-node accumulation.
+    let refs: Vec<&[f32]> = parts.iter().map(Vec::as_slice).collect();
+    let mut adder = PartialSumAdder::new();
+    let mut output = Vec::with_capacity(shared.n);
+    adder.sum_into(&refs, &mut output);
+    Ok(output)
+}
+
+/// Cleans up a failed scatter: every shard still owed a response gets
+/// its dispatch closed out and its connection dropped (the response,
+/// if it ever arrives, must not be mistaken for the next request's).
+fn abort_scatter(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    plan: &ShardPlan,
+    inflight: &[bool],
+) {
+    for shard in &plan.shards {
+        if inflight[shard.backend] {
+            let backend = shared.pool.get(shard.backend);
+            backend.finish_dispatch(false, None);
+            conns.drop_conn(shard.backend);
+        }
+    }
+}
+
+/// A dead shard cannot be failed over — no other backend holds those
+/// rows — so sharded mode reports `503` and lets the client retry
+/// after the prober (or an operator) brings the shard back.
+fn shard_unavailable(shared: &RouterShared, id: u64, shard: usize) -> Response {
+    let addr = &shared.pool.get(shard).addr;
+    let mut resp = Response::error(
+        id,
+        Status::Overloaded,
+        format!("shard {shard} ({addr}) unavailable"),
+    );
+    resp.retry_after_ms = Some(shared.retry_hint());
+    resp
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker backend connections
+// ---------------------------------------------------------------------------
+
+/// One lazily-connected [`Client`] per backend, owned by a single
+/// worker thread. Any transport error drops the connection so framing
+/// state can never straddle requests.
+struct WorkerConns {
+    conns: Vec<Option<Client>>,
+}
+
+impl WorkerConns {
+    fn new(backends: usize) -> Self {
+        Self {
+            conns: (0..backends).map(|_| None).collect(),
+        }
+    }
+
+    fn drop_conn(&mut self, index: usize) {
+        self.conns[index] = None;
+    }
+
+    fn client(
+        &mut self,
+        backend: &BackendState,
+        timeout: Duration,
+    ) -> Result<&mut Client, ClientError> {
+        if self.conns[backend.index].is_none() {
+            let client = Client::connect(&backend.addr)?;
+            self.conns[backend.index] = Some(client);
+        }
+        let client = self.conns[backend.index]
+            .as_mut()
+            .expect("connection just ensured");
+        client.set_read_timeout(Some(timeout))?;
+        client.set_write_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Sends one request without waiting (scatter half).
+    fn send(
+        &mut self,
+        backend: &BackendState,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<(), ClientError> {
+        let result = self.client(backend, timeout).and_then(|c| c.send(req));
+        if result.is_err() {
+            self.drop_conn(backend.index);
+        }
+        result
+    }
+
+    /// Receives one response (gather half).
+    fn recv(&mut self, backend: &BackendState, timeout: Duration) -> Result<Response, ClientError> {
+        let result = match self.conns[backend.index].as_mut() {
+            Some(c) => c.set_read_timeout(Some(timeout)).and_then(|()| c.recv()),
+            None => Err(ClientError::Disconnected),
+        };
+        if result.is_err() {
+            self.drop_conn(backend.index);
+        }
+        result
+    }
+
+    /// Full round trip (replicated forwarding).
+    fn call(
+        &mut self,
+        backend: &BackendState,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<Response, ClientError> {
+        let result = self.client(backend, timeout).and_then(|c| c.call(req));
+        if result.is_err() {
+            self.drop_conn(backend.index);
+        }
+        result
+    }
+}

@@ -163,6 +163,100 @@ impl AfprAccelerator {
         out
     }
 
+    /// Height of a full row tile of a mapped layer, i.e. the input-row
+    /// granularity at which [`matvec_partial`](Self::matvec_partial)
+    /// ranges must align (the last tile of a layer may be shorter).
+    ///
+    /// A sharded serving tier advertises this so a router can compute
+    /// tile-aligned shard boundaries without knowing the macro spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    #[must_use]
+    pub fn row_tile_rows(&self, handle: LayerHandle) -> usize {
+        // Tiling is uniform (`tile_matrix` slices at multiples of
+        // `base.rows`), so the first tile's height is the unit.
+        let layer = &self.layers[handle.0];
+        layer.tiled.tiles[0].rows()
+    }
+
+    /// Number of row tiles (partial-sum depth) of a mapped layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    #[must_use]
+    pub fn row_tiles(&self, handle: LayerHandle) -> usize {
+        self.layers[handle.0].tiled.row_tiles
+    }
+
+    /// Row-range partial matvec: runs only the row tiles covered by
+    /// `[row_offset, row_offset + x.len())` and returns **one full-width
+    /// (`n`-long) partial vector per covered row tile**, in row-tile
+    /// order.
+    ///
+    /// This is the backend half of a sharded scatter-gather: a router
+    /// splits the input dimension into contiguous tile-aligned ranges,
+    /// each backend computes its tiles' partials with this method, and
+    /// the router concatenates the per-tile partials in shard order and
+    /// reduces them with [`PartialSumAdder::sum_into`] — reproducing
+    /// the exact left-fold accumulation order of
+    /// [`matvec`](Self::matvec), so the distributed result is
+    /// **bit-identical** to the single-node one.
+    ///
+    /// Column tiles are assembled into each partial (disjoint column
+    /// segments, no additions), so the reduction's per-column addition
+    /// sequence is exactly the `rt`-ordered sequence `matvec` feeds its
+    /// own adder. No partial-sum additions happen here; the reducer
+    /// owns that energy.
+    ///
+    /// Each covered macro advances its RNG stream exactly once, the
+    /// same as one `matvec` call does — which is why a shard that only
+    /// ever serves its own row range stays stream-aligned with a
+    /// single-node twin serving full requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale, `x` is empty, `row_offset` is not
+    /// a row-tile boundary, or `row_offset + x.len()` is neither a
+    /// row-tile boundary nor `K`. (A serving front door validates these
+    /// first and answers `400` instead.)
+    pub fn matvec_partial(
+        &mut self,
+        handle: LayerHandle,
+        row_offset: usize,
+        x: &[f32],
+    ) -> Vec<Vec<f32>> {
+        let layer = &mut self.layers[handle.0];
+        let unit = layer.tiled.tiles[0].rows().max(1);
+        let end = row_offset + x.len();
+        assert!(!x.is_empty(), "partial input must be non-empty");
+        assert!(
+            row_offset.is_multiple_of(unit) && row_offset < layer.tiled.k,
+            "row_offset {row_offset} is not a row-tile boundary"
+        );
+        assert!(
+            end == layer.tiled.k || (end.is_multiple_of(unit) && end < layer.tiled.k),
+            "row range end {end} is not a row-tile boundary"
+        );
+        let rt_start = row_offset / unit;
+        let rt_end = end.div_ceil(unit);
+        let mut partials = Vec::with_capacity(rt_end - rt_start);
+        for rt in rt_start..rt_end {
+            let mut partial = vec![0.0f32; layer.tiled.n];
+            for ct in 0..layer.tiled.col_tiles {
+                let idx = rt * layer.tiled.col_tiles + ct;
+                let tile = &layer.tiled.tiles[idx];
+                let slice = &x[tile.row_start - row_offset..tile.row_end - row_offset];
+                let y = layer.macros[idx].matvec(slice);
+                partial[tile.col_start..tile.col_start + y.len()].copy_from_slice(&y);
+            }
+            partials.push(partial);
+        }
+        partials
+    }
+
     /// Parallel tiled matrix-vector product on a runtime [`Engine`]:
     /// every tile's macro runs as an independent job on the worker
     /// pool; row-tile partials are then combined by the inter-core
@@ -532,6 +626,55 @@ mod tests {
             warm.kernel_generation() > g0,
             "age advance must bump kernel generations"
         );
+    }
+
+    #[test]
+    fn sharded_partial_reduction_is_bit_identical_to_matvec() {
+        // 20 input rows over 8-row tiles → 3 row tiles (last short).
+        let mk = || {
+            let base = MacroSpec::small(8, 3, MacroMode::FpE2M5);
+            let mut accel = AfprAccelerator::with_spec(base, 42);
+            let h = accel.map_matrix(&ramp(20, 7));
+            (accel, h)
+        };
+        let x: Vec<f32> = (0..20).map(|k| ((k as f32) * 0.31).cos()).collect();
+
+        let (mut single, hs) = mk();
+        assert_eq!(single.row_tile_rows(hs), 8);
+        assert_eq!(single.row_tiles(hs), 3);
+
+        // Shard split at the tile boundary after rt 0: shard A covers
+        // rows 0..8 (1 tile), shard B rows 8..20 (2 tiles, last short).
+        let (mut shard_a, ha) = mk();
+        let (mut shard_b, hb) = mk();
+        for trial in 0..3 {
+            let xt: Vec<f32> = x.iter().map(|v| v * (trial as f32 + 1.0)).collect();
+            let want = single.matvec(hs, &xt);
+            let pa = shard_a.matvec_partial(ha, 0, &xt[..8]);
+            let pb = shard_b.matvec_partial(hb, 8, &xt[8..]);
+            assert_eq!((pa.len(), pb.len()), (1, 2));
+            let parts: Vec<&[f32]> = pa.iter().chain(pb.iter()).map(Vec::as_slice).collect();
+            let mut adder = PartialSumAdder::new();
+            let mut got = Vec::new();
+            adder.sum_into(&parts, &mut got);
+            assert_eq!(got.len(), want.len());
+            for (c, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "trial {trial} col {c}: sharded {g} != single-node {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row-tile boundary")]
+    fn misaligned_partial_range_panics() {
+        let base = MacroSpec::small(8, 3, MacroMode::FpE2M5);
+        let mut accel = AfprAccelerator::with_spec(base, 5);
+        let h = accel.map_matrix(&ramp(20, 7));
+        let _ = accel.matvec_partial(h, 3, &[0.0; 5]);
     }
 
     #[test]

@@ -251,6 +251,33 @@ impl Client {
         })
     }
 
+    /// Runs one row-range shard of a matvec and returns the
+    /// **unsummed** per-row-tile partial sums (each the full output
+    /// width, in row-tile order). `input` is the shard's slice of the
+    /// full input vector, starting at input row `row_offset`
+    /// (row-tile aligned; see
+    /// [`HealthInfo::row_tile_rows`](crate::HealthInfo)).
+    ///
+    /// Concatenating the partials of a full shard cover in shard order
+    /// and left-folding them (`PartialSumAdder::sum` order) reproduces
+    /// the single-node `matvec` result bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on any non-`ok` status —
+    /// misaligned or out-of-range shards are `400 malformed`.
+    pub fn matvec_partial(
+        &mut self,
+        row_offset: u64,
+        input: Vec<f32>,
+    ) -> Result<Vec<Vec<f32>>, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::matvec_partial(id, row_offset, input))?;
+        Self::expect_ok(resp)?.partials.ok_or_else(|| {
+            ClientError::Protocol("ok matvec_partial response missing `partials`".to_string())
+        })
+    }
+
     /// Queries server health (dims, queue depth, shutdown flag).
     ///
     /// Health bypasses the admission queue, so it answers even when the

@@ -32,7 +32,7 @@ struct OpCell {
 /// Thread-safe per-endpoint metrics registry.
 #[derive(Debug)]
 pub struct ServeMetrics {
-    per_op: [OpCell; 5],
+    per_op: [OpCell; 6],
     connections_accepted: AtomicU64,
     connections_dropped: AtomicU64,
     protocol_errors: AtomicU64,
@@ -231,6 +231,8 @@ mod tests {
         assert_eq!((mv.requests, mv.ok), (2, 1));
         assert_eq!(mv.latency.count, 2);
         assert_eq!(s.op(Op::Shutdown).unwrap().requests, 0);
+        assert_eq!(s.op(Op::MatvecPartial).unwrap().requests, 0);
+        assert_eq!(s.per_op.len(), Op::ALL.len());
         assert_eq!(s.runtime.requests_accepted, 1);
 
         let back: ServeSnapshot = serde_json::from_str(&s.to_json()).expect("parses");

@@ -41,8 +41,72 @@ use std::io::{self, Read, Write};
 
 use crate::health::HealthState;
 
-/// Protocol version tag carried in [`HealthInfo`].
+/// Protocol (major) version spoken by this build. Carried in every
+/// [`Request`]/[`Response`] as `proto_version` (serde-defaulted to 1
+/// when absent, so version-1 peers that predate the field interoperate
+/// unchanged) and in [`HealthInfo`]. Servers reject requests whose
+/// `proto_version` differs from their own with `400 malformed` — a
+/// router↔backend version skew fails loudly at the first frame instead
+/// of corrupting results silently.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Serde plumbing for the `proto_version` field: serialize as a plain
+/// integer, deserialize a *missing* field (`null` in the vendored
+/// value model) as version 1 — frames written before the field existed
+/// must keep parsing.
+pub mod proto_version_wire {
+    use serde::{de, Deserializer, Serialize, Serializer, Value};
+
+    /// Serializes the version as a plain integer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn serialize<S: Serializer>(v: &u32, s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    /// Deserializes the version; a missing field means version 1.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-integer values.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u32, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(1),
+            other => serde::de::from_value(other)
+                .map_err(|e| <D::Error as de::Error>::custom(e.to_string())),
+        }
+    }
+}
+
+/// Serde plumbing for late-added numeric fields that default to zero
+/// when absent (old peers omit them; zero reads as "not advertised").
+pub mod u64_zero_wire {
+    use serde::{de, Deserializer, Serialize, Serializer, Value};
+
+    /// Serializes the value as a plain integer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn serialize<S: Serializer>(v: &u64, s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    /// Deserializes the value; a missing field means zero.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-integer values.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u64, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(0),
+            other => serde::de::from_value(other)
+                .map_err(|e| <D::Error as de::Error>::custom(e.to_string())),
+        }
+    }
+}
 
 /// Default cap on a single frame's payload size (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
@@ -64,16 +128,28 @@ pub enum Op {
     Metrics,
     /// Asks the server to drain in-flight work and stop.
     Shutdown,
+    /// Row-range shard of a matvec: the server multiplies only the row
+    /// tiles covering `[row_offset, row_offset + input.len())` of the
+    /// served layer and returns the **unsummed** per-row-tile partial
+    /// sums (each full output width). The caller owns the reduction —
+    /// concatenating shard partials in shard order and left-folding
+    /// them reproduces the single-node `matvec` result bit-exactly
+    /// (the fold order is identical to
+    /// `afpr_xbar::PartialSumAdder::sum`).
+    MatvecPartial,
 }
 
 impl Op {
     /// All ops, for iteration (metrics tables, request mixes).
-    pub const ALL: [Op; 5] = [
+    /// `MatvecPartial` is appended last so the indices of the original
+    /// five ops (and their per-op metric cells) stay stable.
+    pub const ALL: [Op; 6] = [
         Op::Matvec,
         Op::ForwardBatch,
         Op::Health,
         Op::Metrics,
         Op::Shutdown,
+        Op::MatvecPartial,
     ];
 
     /// The snake_case name used on the wire.
@@ -85,6 +161,7 @@ impl Op {
             Op::Health => "health",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
+            Op::MatvecPartial => "matvec_partial",
         }
     }
 
@@ -103,6 +180,7 @@ impl Op {
             Op::Health => 2,
             Op::Metrics => 3,
             Op::Shutdown => 4,
+            Op::MatvecPartial => 5,
         }
     }
 }
@@ -225,14 +303,28 @@ pub struct Request {
     pub op: Op,
     /// Caller-chosen id, echoed in the response (pipelining aid).
     pub id: u64,
+    /// Protocol version of the sender ([`PROTOCOL_VERSION`]). Absent
+    /// in frames from version-1 peers that predate the field; parses
+    /// as 1. Servers reject mismatches with `400 malformed`.
+    #[serde(with = "proto_version_wire")]
+    pub proto_version: u32,
     /// Optional time budget in milliseconds, measured from the moment
     /// the server reads the frame. Expired requests are rejected with
     /// [`Status::DeadlineExpired`] before touching the engine.
     pub deadline_ms: Option<u64>,
     /// `matvec`: the input vector (length must equal the layer's `k`).
+    /// `matvec_partial`: the shard's slice of the input vector.
     pub input: Option<Vec<f32>>,
     /// `forward_batch`: the input vectors.
     pub inputs: Option<Vec<Vec<f32>>>,
+    /// `matvec_partial`: first input row covered by this shard. Must
+    /// be a multiple of the layer's row-tile height (see
+    /// [`HealthInfo::row_tile_rows`]).
+    pub row_offset: Option<u64>,
+    /// `matvec_partial`: optional redundant row count; when present it
+    /// must equal `input.len()` (cheap consistency check for routers
+    /// that plan shards separately from payload assembly).
+    pub rows: Option<u64>,
 }
 
 impl Request {
@@ -242,9 +334,12 @@ impl Request {
         Self {
             op,
             id,
+            proto_version: PROTOCOL_VERSION,
             deadline_ms: None,
             input: None,
             inputs: None,
+            row_offset: None,
+            rows: None,
         }
     }
 
@@ -263,6 +358,18 @@ impl Request {
         Self {
             inputs: Some(inputs),
             ..Self::new(Op::ForwardBatch, id)
+        }
+    }
+
+    /// A `matvec_partial` request for the shard starting at input row
+    /// `row_offset` whose slice of the input vector is `input`.
+    #[must_use]
+    pub fn matvec_partial(id: u64, row_offset: u64, input: Vec<f32>) -> Self {
+        Self {
+            row_offset: Some(row_offset),
+            rows: Some(input.len() as u64),
+            input: Some(input),
+            ..Self::new(Op::MatvecPartial, id)
         }
     }
 
@@ -293,6 +400,12 @@ pub struct HealthInfo {
     pub state: HealthState,
     /// Cumulative fault-evidence events the health machine has seen.
     pub fault_events: u64,
+    /// Height (in input rows) of one row tile of the served layer —
+    /// the alignment unit for `matvec_partial` shard boundaries. Zero
+    /// when the server predates the field (or does not advertise it);
+    /// routers must not shard against such a backend.
+    #[serde(with = "u64_zero_wire")]
+    pub row_tile_rows: u64,
 }
 
 /// A response frame payload.
@@ -304,10 +417,17 @@ pub struct Response {
     pub status: Status,
     /// HTTP-flavored numeric code (`200`/`400`/`503`/`504`).
     pub code: u16,
+    /// Protocol version of the responder ([`PROTOCOL_VERSION`]);
+    /// parses as 1 when absent (version-1 peers predate the field).
+    #[serde(with = "proto_version_wire")]
+    pub proto_version: u32,
     /// `matvec` result.
     pub output: Option<Vec<f32>>,
     /// `forward_batch` results.
     pub outputs: Option<Vec<Vec<f32>>>,
+    /// `matvec_partial` result: unsummed per-row-tile partial sums,
+    /// each the full output width, in row-tile order.
+    pub partials: Option<Vec<Vec<f32>>>,
     /// Suggested backoff before retrying (set on `503 overloaded`).
     pub retry_after_ms: Option<u64>,
     /// Human-readable error detail for non-`ok` statuses.
@@ -326,8 +446,10 @@ impl Response {
             id,
             status,
             code: status.code(),
+            proto_version: PROTOCOL_VERSION,
             output: None,
             outputs: None,
+            partials: None,
             retry_after_ms: None,
             error: None,
             health: None,
@@ -611,12 +733,84 @@ mod tests {
         assert_eq!(back, req);
 
         // Minimal hand-written request: missing optional fields parse
-        // as None.
+        // as None, and a missing proto_version reads as version 1 —
+        // frames from peers that predate the field stay valid.
         let back: Request = serde_json::from_str("{\"op\":\"health\",\"id\":3}").unwrap();
         assert_eq!(back.op, Op::Health);
         assert_eq!(back.id, 3);
+        assert_eq!(back.proto_version, 1, "old frames default to version 1");
         assert_eq!(back.deadline_ms, None);
         assert_eq!(back.input, None);
+        assert_eq!(back.row_offset, None);
+    }
+
+    #[test]
+    fn proto_version_defaults_and_round_trips() {
+        let req = Request::matvec(1, vec![1.0]);
+        assert_eq!(req.proto_version, PROTOCOL_VERSION);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"proto_version\":1"), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.proto_version, PROTOCOL_VERSION);
+
+        // Explicit future version survives the round trip (the server,
+        // not the parser, rejects it).
+        let back: Request =
+            serde_json::from_str("{\"op\":\"health\",\"id\":1,\"proto_version\":9}").unwrap();
+        assert_eq!(back.proto_version, 9);
+
+        // Responses carry the version too, defaulting the same way.
+        let resp = Response::ok(1);
+        assert_eq!(resp.proto_version, PROTOCOL_VERSION);
+        let back: Response =
+            serde_json::from_str("{\"id\":1,\"status\":\"ok\",\"code\":200}").unwrap();
+        assert_eq!(back.proto_version, 1);
+
+        // Non-integer versions are rejected, not defaulted.
+        assert!(serde_json::from_str::<Request>(
+            "{\"op\":\"health\",\"id\":1,\"proto_version\":\"two\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn matvec_partial_request_round_trips() {
+        let req = Request::matvec_partial(11, 576, vec![0.5, -0.25, 8.0]);
+        assert_eq!(req.op, Op::MatvecPartial);
+        assert_eq!(req.row_offset, Some(576));
+        assert_eq!(req.rows, Some(3));
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"matvec_partial\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        let mut resp = Response::ok(11);
+        resp.partials = Some(vec![vec![1.0f32, -2.5e-20], vec![3.0, 4.0]]);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        let (a, b) = (
+            resp.partials.as_ref().unwrap(),
+            back.partials.as_ref().unwrap(),
+        );
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(b) {
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn health_info_row_tile_rows_defaults_to_zero() {
+        let json = "{\"protocol\":1,\"input_dim\":576,\"output_dim\":256,\
+                    \"queue_depth\":0,\"queue_capacity\":64,\
+                    \"shutting_down\":false,\"state\":\"healthy\",\
+                    \"fault_events\":0}";
+        let info: HealthInfo = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            info.row_tile_rows, 0,
+            "old servers that do not advertise a tile height read as 0"
+        );
     }
 
     #[test]

@@ -144,6 +144,7 @@ pub struct ServeModel {
     handle: LayerHandle,
     k: usize,
     n: usize,
+    row_tile_rows: usize,
 }
 
 impl std::fmt::Debug for ServeModel {
@@ -164,12 +165,14 @@ impl ServeModel {
     #[must_use]
     pub fn new(accel: AfprAccelerator, handle: LayerHandle) -> Self {
         let (k, n) = accel.layer_dims(handle);
+        let row_tile_rows = accel.row_tile_rows(handle);
         accel.warm_kernel();
         Self {
             accel,
             handle,
             k,
             n,
+            row_tile_rows,
         }
     }
 
@@ -237,7 +240,8 @@ impl ServeModel {
 
 /// Reply from the execution thread to a waiting connection worker.
 enum ExecReply {
-    /// Outputs, one per input vector of the job.
+    /// `matvec`/`forward_batch`: outputs, one per input vector.
+    /// `matvec_partial`: unsummed per-row-tile partials.
     Done(Vec<Vec<f32>>),
     /// The job's deadline lapsed while it sat in the queue.
     Expired,
@@ -245,10 +249,33 @@ enum ExecReply {
     ShuttingDown,
 }
 
-/// A unit of queued work: one `matvec` or one `forward_batch`.
+/// What a queued job asks the accelerator to compute.
+enum JobPayload {
+    /// Full-width matvec(s): `matvec` (one input) or `forward_batch`.
+    Full(Vec<Vec<f32>>),
+    /// A `matvec_partial` row-range shard (validated at admission).
+    Partial {
+        /// First input row of the shard (row-tile aligned).
+        row_offset: usize,
+        /// The shard's slice of the input vector.
+        input: Vec<f32>,
+    },
+}
+
+impl JobPayload {
+    /// The full-width inputs (empty for partial jobs).
+    fn full_inputs(&self) -> &[Vec<f32>] {
+        match self {
+            JobPayload::Full(inputs) => inputs,
+            JobPayload::Partial { .. } => &[],
+        }
+    }
+}
+
+/// A unit of queued work.
 struct ExecJob {
     deadline: Option<Instant>,
-    inputs: Vec<Vec<f32>>,
+    payload: JobPayload,
     reply: Sender<ExecReply>,
 }
 
@@ -261,6 +288,7 @@ struct Shared {
     health: Arc<HealthMachine>,
     k: usize,
     n: usize,
+    row_tile_rows: usize,
 }
 
 impl Shared {
@@ -294,6 +322,7 @@ impl Shared {
             shutting_down: self.is_shutting_down(),
             state,
             fault_events: snap.fault_events,
+            row_tile_rows: self.row_tile_rows as u64,
         }
     }
 }
@@ -367,6 +396,7 @@ impl Server {
             handle,
             k,
             n,
+            row_tile_rows,
         } = model;
         let shared = Arc::new(Shared {
             cfg,
@@ -376,6 +406,7 @@ impl Server {
             health,
             k,
             n,
+            row_tile_rows,
         });
 
         // Thread-spawn failure (OS resource exhaustion) is an I/O error
@@ -645,6 +676,19 @@ fn handle_frame<W: Write>(shared: &Shared, payload: &[u8], t0: Instant, writer: 
 
 /// Admission control + dispatch for one parsed request.
 fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
+    // Version gate: router↔backend (or client↔server) version skew
+    // fails loudly at the first frame instead of corrupting results
+    // silently. Old frames without the field parse as version 1.
+    if req.proto_version != PROTOCOL_VERSION {
+        return reject_malformed(
+            shared,
+            req.id,
+            format!(
+                "unsupported protocol version {} (server speaks {PROTOCOL_VERSION})",
+                req.proto_version
+            ),
+        );
+    }
     match req.op {
         Op::Health => {
             let mut resp = Response::ok(req.id);
@@ -666,7 +710,7 @@ fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
             let Some(input) = req.input.clone() else {
                 return reject_malformed(shared, req.id, "matvec requires `input`");
             };
-            match admit(shared, &req, t0, vec![input]) {
+            match admit(shared, &req, t0, JobPayload::Full(vec![input])) {
                 Ok(mut outputs) => {
                     let mut resp = Response::ok(req.id);
                     resp.output = outputs.pop();
@@ -684,7 +728,7 @@ fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
                 resp.outputs = Some(Vec::new());
                 return resp;
             }
-            match admit(shared, &req, t0, inputs) {
+            match admit(shared, &req, t0, JobPayload::Full(inputs)) {
                 Ok(outputs) => {
                     let mut resp = Response::ok(req.id);
                     resp.outputs = Some(outputs);
@@ -693,7 +737,74 @@ fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
                 Err(resp) => *resp,
             }
         }
+        Op::MatvecPartial => {
+            let payload = match validate_partial(shared, &req) {
+                Ok(p) => p,
+                Err(detail) => return reject_malformed(shared, req.id, detail),
+            };
+            match admit(shared, &req, t0, payload) {
+                Ok(partials) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.partials = Some(partials);
+                    resp
+                }
+                Err(resp) => *resp,
+            }
+        }
     }
+}
+
+/// Validates a `matvec_partial` request against the served layer's
+/// tiling. Every invariant the accelerator asserts is checked here
+/// first, so untrusted wire input gets a `400` — never a panic.
+fn validate_partial(shared: &Shared, req: &Request) -> Result<JobPayload, String> {
+    let Some(input) = req.input.clone() else {
+        return Err("matvec_partial requires `input`".to_string());
+    };
+    let Some(row_offset) = req.row_offset else {
+        return Err("matvec_partial requires `row_offset`".to_string());
+    };
+    if let Some(rows) = req.rows {
+        if rows != input.len() as u64 {
+            return Err(format!(
+                "`rows` ({rows}) disagrees with input length ({})",
+                input.len()
+            ));
+        }
+    }
+    if input.is_empty() {
+        return Err("matvec_partial input must be non-empty".to_string());
+    }
+    let k = shared.k as u64;
+    let unit = shared.row_tile_rows.max(1) as u64;
+    if row_offset >= k {
+        return Err(format!("row_offset {row_offset} out of range (k = {k})"));
+    }
+    if row_offset % unit != 0 {
+        return Err(format!(
+            "row_offset {row_offset} is not aligned to the row-tile height {unit}"
+        ));
+    }
+    // `input.len() <= isize::MAX` and `row_offset < k <= usize::MAX`,
+    // but the sum of two untrusted values still gets a checked add.
+    let end = row_offset
+        .checked_add(input.len() as u64)
+        .filter(|&e| e <= k)
+        .ok_or_else(|| {
+            format!(
+                "shard [{row_offset}, {row_offset}+{}) exceeds the input dimension {k}",
+                input.len()
+            )
+        })?;
+    if end != k && end % unit != 0 {
+        return Err(format!(
+            "shard end {end} is neither k ({k}) nor aligned to the row-tile height {unit}"
+        ));
+    }
+    Ok(JobPayload::Partial {
+        row_offset: row_offset as usize,
+        input,
+    })
 }
 
 fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Response {
@@ -716,9 +827,11 @@ fn admit(
     shared: &Shared,
     req: &Request,
     t0: Instant,
-    inputs: Vec<Vec<f32>>,
+    payload: JobPayload,
 ) -> Result<Vec<Vec<f32>>, Box<Response>> {
-    for (i, input) in inputs.iter().enumerate() {
+    // Partial payloads were validated against the tiling in
+    // `validate_partial`; full payloads are checked here.
+    for (i, input) in payload.full_inputs().iter().enumerate() {
         if input.len() != shared.k {
             return Err(Box::new(reject_malformed(
                 shared,
@@ -800,7 +913,7 @@ fn admit(
     let (reply_tx, reply_rx) = bounded::<ExecReply>(1);
     let job = ExecJob {
         deadline,
-        inputs,
+        payload,
         reply: reply_tx,
     };
     if let Err(QueueFull(_)) = shared.batcher.try_submit(job) {
@@ -917,16 +1030,45 @@ fn run_batch(
         return;
     }
 
-    // Flatten every job's inputs into one engine batch (submission
-    // order preserved — the determinism contract of `forward_batch`),
-    // then split the outputs back out per job.
-    let flat: Vec<Vec<f32>> = live
+    // Serve jobs in submission order — the determinism contract: for
+    // the same request sequence, every macro's RNG stream advances in
+    // the same order as the in-process path. Runs of consecutive
+    // full-width jobs are flattened into one engine batch; a partial
+    // (row-shard) job is a barrier that flushes the run first, then
+    // computes its row tiles sequentially on the execution thread.
+    let mut full_run: Vec<ExecJob> = Vec::new();
+    for job in live {
+        match &job.payload {
+            JobPayload::Full(_) => full_run.push(job),
+            JobPayload::Partial { row_offset, input } => {
+                flush_full_run(accel, handle, engine, std::mem::take(&mut full_run));
+                let partials = accel.matvec_partial(handle, *row_offset, input);
+                let _ = job.reply.send(ExecReply::Done(partials));
+            }
+        }
+    }
+    flush_full_run(accel, handle, engine, full_run);
+}
+
+/// Flattens a run of consecutive full-width jobs into one engine batch
+/// (submission order preserved — the determinism contract of
+/// `forward_batch`), then splits the outputs back out per job.
+fn flush_full_run(
+    accel: &mut AfprAccelerator,
+    handle: LayerHandle,
+    engine: &Engine,
+    jobs: Vec<ExecJob>,
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let flat: Vec<Vec<f32>> = jobs
         .iter()
-        .flat_map(|job| job.inputs.iter().cloned())
+        .flat_map(|job| job.payload.full_inputs().iter().cloned())
         .collect();
     let mut outputs = accel.forward_batch(handle, &flat, engine).into_iter();
-    for job in live {
-        let take = job.inputs.len();
+    for job in jobs {
+        let take = job.payload.full_inputs().len();
         let chunk: Vec<Vec<f32>> = outputs.by_ref().take(take).collect();
         let _ = job.reply.send(ExecReply::Done(chunk));
     }

@@ -55,6 +55,26 @@ fn assert_server_alive(addr: SocketAddr) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Writes one hand-assembled JSON payload as a frame.
+fn send_raw_json(s: &mut TcpStream, json: &str) {
+    let len = u32::try_from(json.len()).expect("small payload");
+    s.write_all(&len.to_be_bytes()).expect("header");
+    s.write_all(json.as_bytes()).expect("payload");
+    s.flush().expect("flush");
+}
+
+/// Reads and parses the next response frame.
+fn read_response(s: &mut TcpStream) -> Result<afpr_serve::Response, TestCaseError> {
+    match read_frame(s, 1 << 20) {
+        Ok(Some(bytes)) => afpr_serve::parse_message(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("unparseable reply: {e}"))),
+        Ok(None) => Err(TestCaseError::fail(
+            "server disconnected instead of answering",
+        )),
+        Err(e) => Err(TestCaseError::fail(format!("dirty disconnect: {e}"))),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -135,6 +155,67 @@ proptest! {
         assert_server_alive(addr)?;
     }
 
+    /// Any `proto_version` other than the server's own is refused with
+    /// a structured `400` naming both versions — router↔backend skew
+    /// fails loudly at the first frame. The connection stays usable.
+    fn mismatched_proto_version_gets_400(raw in 0u32..=u32::MAX) {
+        // Remap the one accepted version onto 0 so every sampled value
+        // is a mismatch (0 and ≥2 are both foreign to a v1 server).
+        let version = if raw == 1 { 0 } else { raw };
+        let addr = fuzz_server_addr();
+        let mut s = raw_conn(addr);
+        let json = format!(
+            "{{\"op\":\"health\",\"id\":1,\"proto_version\":{version}}}"
+        );
+        send_raw_json(&mut s, &json);
+        let resp = read_response(&mut s)?;
+        prop_assert_eq!(resp.status, Status::Malformed);
+        prop_assert_eq!(resp.code, 400);
+        prop_assert!(
+            resp.error.as_deref().unwrap_or_default().contains("protocol version"),
+            "error names the version mismatch: {:?}", resp.error
+        );
+        assert_server_alive(addr)?;
+    }
+
+    /// Garbage `matvec_partial` shard bounds (random offsets, random
+    /// slice lengths) are either served (when they happen to be
+    /// tile-aligned and in range) or rejected with a structured `400`
+    /// — never a panic, never a wedged server.
+    fn random_partial_shards_never_panic(
+        row_offset in 0u64..400,
+        len in 0usize..300,
+    ) {
+        let addr = fuzz_server_addr();
+        let mut probe = Client::connect(addr)
+            .map_err(|e| TestCaseError::fail(format!("connect failed: {e}")))?;
+        // Demo model: k = 256, row tiles of 64.
+        let end = row_offset + len as u64;
+        let valid = len > 0
+            && row_offset < 256
+            && row_offset.is_multiple_of(64)
+            && end <= 256
+            && (end == 256 || end.is_multiple_of(64));
+        match probe.matvec_partial(row_offset, vec![0.5; len]) {
+            Ok(partials) => {
+                prop_assert!(valid, "invalid shard [{row_offset}, {end}) served");
+                prop_assert_eq!(partials.len(), len.div_ceil(64));
+                for p in &partials {
+                    prop_assert_eq!(p.len(), 128, "full output width");
+                }
+            }
+            Err(ClientError::Rejected(resp)) => {
+                prop_assert!(!valid, "valid shard [{row_offset}, {end}) rejected");
+                prop_assert_eq!(resp.status, Status::Malformed);
+                prop_assert_eq!(resp.code, 400);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("transport failure: {other}")));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+
     /// Regression: a well-formed matvec carrying an absurd
     /// `deadline_ms` (anything past the 24-hour cap, up to `u64::MAX`)
     /// must come back as a structured `400 malformed` — historically
@@ -160,6 +241,51 @@ proptest! {
         }
         assert_server_alive(addr)?;
     }
+}
+
+/// Old-frame compatibility pin: hand-written version-1 frames that
+/// predate `proto_version` (and `row_offset`/`rows`/`partials`) must
+/// keep parsing and serving exactly as before the fields existed. This
+/// is the wire-compat contract routers rely on when fronting a mixed
+/// fleet of backends.
+#[test]
+fn old_frames_without_proto_version_still_serve() {
+    let addr = fuzz_server_addr();
+    let mut s = raw_conn(addr);
+
+    // A pre-versioning health frame: no proto_version field at all.
+    send_raw_json(&mut s, "{\"op\":\"health\",\"id\":41}");
+    let resp = read_response(&mut s).expect("health answered");
+    assert_eq!(
+        resp.status,
+        Status::Ok,
+        "old health frame: {:?}",
+        resp.error
+    );
+    assert_eq!(resp.code, 200);
+    let health = resp.health.expect("health payload");
+    assert_eq!(health.input_dim, 256);
+    assert_eq!(health.row_tile_rows, 64, "new servers advertise tiling");
+
+    // A pre-versioning matvec frame, input assembled by hand.
+    let input: Vec<String> = (0..256).map(|i| format!("{}.5", i % 3)).collect();
+    let json = format!(
+        "{{\"op\":\"matvec\",\"id\":42,\"input\":[{}]}}",
+        input.join(",")
+    );
+    send_raw_json(&mut s, &json);
+    let resp = read_response(&mut s).expect("matvec answered");
+    assert_eq!(
+        resp.status,
+        Status::Ok,
+        "old matvec frame: {:?}",
+        resp.error
+    );
+    assert_eq!(resp.id, 42);
+    assert_eq!(resp.output.expect("output").len(), 128);
+    // New responses carry the version; old clients ignore unknown
+    // fields, new ones read it.
+    assert_eq!(resp.proto_version, afpr_serve::PROTOCOL_VERSION);
 }
 
 /// The exact historical panic value: `deadline_ms = u64::MAX` gets a

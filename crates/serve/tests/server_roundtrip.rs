@@ -51,6 +51,108 @@ fn matvec_and_forward_batch_bit_identical_to_direct_accelerator() {
     assert_eq!(snapshot.protocol_errors, 0);
 }
 
+/// `matvec_partial` shards served by *separate* backend processes
+/// reduce — in shard order, `PartialSumAdder` fold — to the exact bits
+/// of the single-node matvec: the distribution seam is invisible to
+/// the numerics. Each backend holds the same model (same seed) and
+/// serves only its row range, so every macro's RNG stream advances
+/// exactly as it would on one node.
+#[test]
+fn sharded_matvec_partial_bit_identical_to_single_node() {
+    const SEED: u64 = 77;
+    let (k, n) = (256usize, 128usize);
+    // Two shard backends + one single-node reference, same model.
+    let a = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("shard a");
+    let b = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("shard b");
+    let (mut reference, handle) = ServeModel::demo(SEED).into_parts();
+
+    let mut ca = Client::connect(a.local_addr()).expect("connect a");
+    let mut cb = Client::connect(b.local_addr()).expect("connect b");
+    let unit = ca.health().expect("health").row_tile_rows as usize;
+    assert_eq!(unit, 64, "demo model advertises its row-tile height");
+    let split = 2 * unit; // shard A: rows 0..128, shard B: rows 128..256
+
+    for i in 0..4 {
+        let x = ServeModel::demo_input(k, i);
+        let golden = reference.matvec(handle, &x);
+
+        let pa = ca.matvec_partial(0, x[..split].to_vec()).expect("shard a");
+        let pb = cb
+            .matvec_partial(split as u64, x[split..].to_vec())
+            .expect("shard b");
+        assert_eq!(pa.len() + pb.len(), 4, "2 row tiles per shard");
+
+        // Reduce in shard order with the inter-core adder — the exact
+        // fold `((p0+p1)+p2)+p3` the single-node path performs.
+        let mut adder = afpr_xbar::PartialSumAdder::new();
+        let parts: Vec<&[f32]> = pa.iter().chain(pb.iter()).map(Vec::as_slice).collect();
+        let mut reduced = Vec::new();
+        adder.sum_into(&parts, &mut reduced);
+
+        assert_eq!(reduced.len(), n);
+        for (col, (r, g)) in reduced.iter().zip(&golden).enumerate() {
+            assert_eq!(
+                r.to_bits(),
+                g.to_bits(),
+                "column {col} differs from single-node on input {i}"
+            );
+        }
+    }
+    drop(a);
+    drop(b);
+}
+
+/// Shard bounds are validated before they reach the accelerator:
+/// misaligned offsets, out-of-range shards and inconsistent `rows`
+/// fields are structured `400`s, never panics, and the connection
+/// keeps serving.
+#[test]
+fn matvec_partial_validation_yields_400() {
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(2)).expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let cases: Vec<Request> = vec![
+        // Misaligned offset (demo row tiles are 64 rows).
+        Request::matvec_partial(1, 63, vec![0.5; 64]),
+        // Offset out of range.
+        Request::matvec_partial(2, 256, vec![0.5; 64]),
+        // Shard end past k.
+        Request::matvec_partial(3, 192, vec![0.5; 128]),
+        // Misaligned shard end (not k, not a tile boundary).
+        Request::matvec_partial(4, 0, vec![0.5; 65]),
+        // Empty input.
+        Request::matvec_partial(5, 0, vec![]),
+        // `rows` disagrees with the payload length.
+        {
+            let mut r = Request::matvec_partial(6, 0, vec![0.5; 64]);
+            r.rows = Some(63);
+            r
+        },
+        // Missing input entirely.
+        Request::new(Op::MatvecPartial, 7),
+    ];
+    let n_cases = cases.len();
+    for req in cases {
+        let resp = client.call(&req).expect("answered");
+        assert_eq!(resp.status, Status::Malformed, "req {} must be 400", req.id);
+        assert_eq!(resp.code, 400);
+        assert!(resp.error.is_some());
+    }
+
+    // A valid shard on the same connection still computes.
+    let partials = client.matvec_partial(64, vec![0.25; 64]).expect("recovers");
+    assert_eq!(partials.len(), 1, "one row tile");
+    assert_eq!(partials[0].len(), 128, "full output width");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.runtime.rejections.malformed, n_cases as u64);
+    let mp = snapshot
+        .op(Op::MatvecPartial)
+        .expect("matvec_partial stats");
+    assert_eq!(mp.requests, n_cases as u64 + 1);
+    assert_eq!(mp.ok, 1);
+}
+
 /// Malformed requests get a structured 400 and are counted, and the
 /// connection stays usable afterwards.
 #[test]

@@ -39,24 +39,47 @@ impl PartialSumAdder {
     /// Sums partial results element-wise.
     ///
     /// Returns the summed vector; an empty input yields an empty
-    /// vector.
+    /// vector. Routed through [`PartialSumAdder::sum_into`], so both
+    /// entry points share one accumulation order and one energy
+    /// account.
     ///
     /// # Panics
     ///
     /// Panics if the parts have unequal lengths.
     pub fn sum(&mut self, parts: &[Vec<f32>]) -> Vec<f32> {
+        let refs: Vec<&[f32]> = parts.iter().map(Vec::as_slice).collect();
+        let mut out = Vec::new();
+        self.sum_into(&refs, &mut out);
+        out
+    }
+
+    /// Non-allocating element-wise sum: accumulates `parts` (borrowed
+    /// slices — callers holding shard results need not clone them into
+    /// owned `Vec`s) into `out`, which is cleared and reused.
+    ///
+    /// The accumulation order is the fixed left fold `((p₀+p₁)+p₂)+…`
+    /// in slice order — identical to [`PartialSumAdder::sum`], which is
+    /// what makes distributed scatter-gather reductions bit-compatible
+    /// with the in-process tiled path. Energy/adds accounting is the
+    /// same as `sum` on the same parts: `(parts.len()−1) · n` scalar
+    /// additions; a single part is an identity copy and free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts have unequal lengths.
+    pub fn sum_into(&mut self, parts: &[&[f32]], out: &mut Vec<f32>) {
+        out.clear();
         let Some(first) = parts.first() else {
-            return Vec::new();
+            return;
         };
-        let mut acc = first.clone();
+        out.extend_from_slice(first);
         for part in &parts[1..] {
-            assert_eq!(part.len(), acc.len(), "partial sums must have equal length");
-            for (a, p) in acc.iter_mut().zip(part) {
+            assert_eq!(part.len(), out.len(), "partial sums must have equal length");
+            for (a, p) in out.iter_mut().zip(*part) {
                 *a += *p;
             }
-            self.adds += acc.len() as u64;
+            self.adds += out.len() as u64;
         }
-        acc
     }
 
     /// Number of scalar additions performed so far.
@@ -111,5 +134,42 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut adder = PartialSumAdder::new();
         let _ = adder.sum(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn sum_into_is_bit_identical_to_sum_with_same_accounting() {
+        // Awkward magnitudes so any reordering of the f32 fold would
+        // change result bits.
+        let parts: Vec<Vec<f32>> = (0..5)
+            .map(|i| {
+                (0..7)
+                    .map(|j| ((i * 7 + j) as f32 * 0.37).sin() * 10f32.powi(i - 2))
+                    .collect()
+            })
+            .collect();
+        let mut a = PartialSumAdder::new();
+        let mut b = PartialSumAdder::new();
+        let via_sum = a.sum(&parts);
+        let refs: Vec<&[f32]> = parts.iter().map(Vec::as_slice).collect();
+        let mut via_sum_into = vec![999.0f32; 3]; // stale content must be cleared
+        b.sum_into(&refs, &mut via_sum_into);
+        assert_eq!(via_sum.len(), via_sum_into.len());
+        for (x, y) in via_sum.iter().zip(&via_sum_into) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.adds(), b.adds(), "identical adds accounting");
+        assert_eq!(a.adds(), 4 * 7);
+        assert_eq!(a.energy().joules(), b.energy().joules());
+    }
+
+    #[test]
+    fn sum_into_reuses_buffer_and_handles_empty_and_single() {
+        let mut adder = PartialSumAdder::new();
+        let mut out = vec![1.0f32, 2.0];
+        adder.sum_into(&[], &mut out);
+        assert!(out.is_empty(), "empty parts clear the buffer");
+        adder.sum_into(&[&[3.0, 4.0][..]], &mut out);
+        assert_eq!(out, vec![3.0, 4.0]);
+        assert_eq!(adder.adds(), 0, "single part is free");
     }
 }

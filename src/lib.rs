@@ -15,11 +15,15 @@
 //!   and runtime metrics.
 //! * [`serve`] — networked inference service: TCP wire protocol,
 //!   admission-controlled server, and a blocking typed client.
+//! * [`cluster`] — horizontally scalable serving tier: a router
+//!   fronting N backends with replicated (health-aware failover) and
+//!   sharded (bit-identical scatter-gather) placement.
 
 #![forbid(unsafe_code)]
 
 pub use afpr_baseline as baseline;
 pub use afpr_circuit as circuit;
+pub use afpr_cluster as cluster;
 pub use afpr_core as core;
 pub use afpr_device as device;
 pub use afpr_nn as nn;
