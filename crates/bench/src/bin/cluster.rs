@@ -2,10 +2,12 @@
 //!
 //! Three modes:
 //!
-//! * **Serve** (`--replicas N` or `--shards N`): self-hosts N demo
-//!   backends plus a router on `--addr` and blocks until a client
-//!   sends `shutdown`. Any existing `afpr-serve` client (including the
-//!   load generator) can point at the router unchanged.
+//! * **Serve** (`--replicas N`, `--shards N` or `--pipeline N`):
+//!   self-hosts N demo backends plus a router on `--addr` and blocks
+//!   until a client sends `shutdown`. Any existing `afpr-serve`
+//!   client (including the load generator) can point at the router
+//!   unchanged; pipeline backends carry a model registry so `infer`
+//!   streams across the stages.
 //! * **Bench** (default): measures replicated closed-loop throughput
 //!   at 1, 2 and 3 backends behind one router, verifies the sharded
 //!   path bit-identically reproduces the single-node matvec at every
@@ -24,6 +26,9 @@
 //!
 //! # Sharded cluster (bit-identical to one node):
 //! cargo run --release --bin cluster -- --shards 2 --addr 127.0.0.1:7979
+//!
+//! # Pipeline cluster (full-model infer split across 2 stages):
+//! cargo run --release --bin cluster -- --pipeline 2
 //!
 //! # Scaling benchmark (writes BENCH_cluster.json):
 //! cargo run --release --bin cluster -- --duration-ms 2000
@@ -206,18 +211,41 @@ struct Report {
     loadgen_exit_ok: Option<bool>,
 }
 
-fn serve_mode(args: &[String], replicas: Option<usize>, shards: Option<usize>) -> ExitCode {
+fn serve_mode(
+    args: &[String],
+    replicas: Option<usize>,
+    shards: Option<usize>,
+    pipeline: Option<usize>,
+) -> ExitCode {
     let seed = flag::<u64>(args, "--seed").unwrap_or(7);
     let addr = flag::<String>(args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
-    let (n, placement) = match (replicas, shards) {
-        (Some(n), None) => (n, Placement::Replicated),
-        (None, Some(n)) => (n, Placement::Sharded),
+    let (n, placement) = match (replicas, shards, pipeline) {
+        (Some(n), None, None) => (n, Placement::Replicated),
+        (None, Some(n), None) => (n, Placement::Sharded),
+        (None, None, Some(n)) => (n, Placement::Pipeline),
         _ => {
-            eprintln!("cluster: pass exactly one of --replicas N or --shards N");
+            eprintln!("cluster: pass exactly one of --replicas N, --shards N or --pipeline N");
             return ExitCode::FAILURE;
         }
     };
-    let backends = start_backends(n.max(1), seed, Duration::ZERO, 8);
+    let backends = if placement == Placement::Pipeline {
+        // Pipeline stages run layer ranges of registry models; every
+        // backend compiles the same zoo from the same seed.
+        (0..n.max(1))
+            .map(|_| {
+                let registry = Arc::new(afpr_models::ModelRegistry::new(
+                    afpr_models::RegistryConfig::new(9, seed),
+                ));
+                Server::start(
+                    ServerConfig::default(),
+                    ServeModel::demo(seed).with_registry(registry),
+                )
+                .expect("backend starts")
+            })
+            .collect()
+    } else {
+        start_backends(n.max(1), seed, Duration::ZERO, 8)
+    };
     let router = router_for(&backends, placement, &addr);
     eprintln!(
         "afpr-cluster ({} × {} backends) listening on {} (send a `shutdown` request to stop)",
@@ -239,8 +267,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let replicas = flag::<usize>(&args, "--replicas");
     let shards = flag::<usize>(&args, "--shards");
-    if replicas.is_some() || shards.is_some() {
-        return serve_mode(&args, replicas, shards);
+    let pipeline = flag::<usize>(&args, "--pipeline");
+    if replicas.is_some() || shards.is_some() || pipeline.is_some() {
+        return serve_mode(&args, replicas, shards, pipeline);
     }
 
     let smoke = args.iter().any(|a| a == "--smoke");

@@ -1,0 +1,262 @@
+//! Full-model inference benchmark: single-node vs pipelined serving.
+//!
+//! Times `Op::Infer` throughput for every model in the zoo against
+//! (a) one registry-backed `afpr-serve` backend and (b) a 2-stage
+//! pipeline router fronting two backends, bit-checking every served
+//! output against an in-process forward of the same compiled model
+//! (same seed ⇒ bit-identical kernels). Writes `BENCH_infer.json`.
+//!
+//! `--smoke` is the CI variant: fixed seed, few iterations, plus an
+//! end-to-end `loadgen` subprocess run with `--op-mix infer=50`
+//! against the pipeline router; exits nonzero if any bit check fails
+//! or loadgen fails.
+//!
+//! Usage:
+//!
+//! ```text
+//! # Full benchmark (writes BENCH_infer.json):
+//! cargo run --release --bin infer
+//!
+//! # CI smoke (expects the `loadgen` binary next to this one):
+//! cargo run --release --bin infer -- --smoke --seed 2024 --out infer-smoke.json
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use afpr_cluster::{ClusterConfig, Placement, Router};
+use afpr_models::{ModelKind, ModelRegistry, RegistryConfig};
+use afpr_serve::{Client, ServeModel, Server, ServerConfig};
+use serde::Serialize;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Starts `n` registry-backed demo backends compiled from the same
+/// seed — the precondition pipeline placement verifies at startup.
+fn start_backends(n: usize, seed: u64) -> Vec<Server> {
+    (0..n)
+        .map(|_| {
+            let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(9, seed)));
+            Server::start(
+                ServerConfig::default(),
+                ServeModel::demo(seed).with_registry(registry),
+            )
+            .expect("backend starts")
+        })
+        .collect()
+}
+
+fn deterministic_input(kind: ModelKind, round: usize) -> Vec<f32> {
+    (0..kind.input_len())
+        .map(|j| ((j as f32) * 0.37 + round as f32 * 0.11).sin())
+        .collect()
+}
+
+/// Issues `iters` inferences of `kind` against `addr`, bit-checking
+/// each output against the local golden registry. Returns
+/// (infer/s, all bit-identical).
+fn timed_infer(
+    addr: SocketAddr,
+    golden: &ModelRegistry,
+    kind: ModelKind,
+    iters: usize,
+) -> (f64, bool) {
+    let mut client = Client::connect(addr).expect("connects");
+    // Warm the conductance kernels on both sides before timing.
+    let warm = deterministic_input(kind, 0);
+    let _ = golden
+        .infer(kind.wire_name(), "e2m5", &warm)
+        .expect("golden warms");
+    let _ = client
+        .infer(kind.wire_name(), "e2m5", warm)
+        .expect("server warms");
+
+    let mut identical = true;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let input = deterministic_input(kind, i);
+        let served = client
+            .infer(kind.wire_name(), "e2m5", input.clone())
+            .expect("served infer");
+        let expect = golden
+            .infer(kind.wire_name(), "e2m5", &input)
+            .expect("golden infer");
+        identical &= served.len() == expect.len()
+            && served
+                .iter()
+                .zip(&expect)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (iters as f64 / dt, identical)
+}
+
+/// Runs the sibling `loadgen` binary with an infer-heavy op mix
+/// against `target`; returns whether it exited 0.
+fn run_loadgen(target: &str, model: &str, duration_ms: u64) -> bool {
+    let Ok(me) = std::env::current_exe() else {
+        eprintln!("infer: cannot locate own executable for loadgen");
+        return false;
+    };
+    let loadgen = me.with_file_name(if cfg!(windows) {
+        "loadgen.exe"
+    } else {
+        "loadgen"
+    });
+    if !loadgen.exists() {
+        eprintln!(
+            "infer: loadgen binary not found at {} (build it first: cargo build --bins)",
+            loadgen.display()
+        );
+        return false;
+    }
+    let status = std::process::Command::new(&loadgen)
+        .args([
+            "--target-list",
+            target,
+            "--duration-ms",
+            &duration_ms.to_string(),
+            "--connections",
+            "4",
+            "--in-flight",
+            "2",
+            "--op-mix",
+            "infer=50",
+            "--model",
+            model,
+            "--format",
+            "e3m4",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("infer: loadgen exited with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("infer: failed to spawn loadgen: {e}");
+            false
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ModelPoint {
+    model: &'static str,
+    layers: usize,
+    single_node_infer_per_s: f64,
+    pipelined_infer_per_s: f64,
+    single_node_bit_identical: bool,
+    pipelined_bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    smoke: bool,
+    iters: usize,
+    pipeline_stages: usize,
+    models: Vec<ModelPoint>,
+    bit_identical_pass: bool,
+    loadgen_exit_ok: Option<bool>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = flag::<u64>(&args, "--seed").unwrap_or(2024);
+    let iters = flag::<usize>(&args, "--iters").unwrap_or(if smoke { 4 } else { 32 });
+    let out = flag::<String>(&args, "--out").unwrap_or_else(|| "BENCH_infer.json".into());
+
+    // Golden: an in-process registry compiled from the same seed as
+    // every backend. Bit-identity of the served path against this is
+    // the invariant both serving tiers pin.
+    let golden = ModelRegistry::new(RegistryConfig::new(9, seed));
+
+    // Single backend and a 2-stage pipeline over two more, reused
+    // across all models (the registry keeps every zoo model resident).
+    let single = start_backends(1, seed);
+    let pipe_backends = start_backends(2, seed);
+    let pipe_addrs: Vec<String> = pipe_backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let router = Router::start(ClusterConfig::new(
+        "127.0.0.1:0",
+        &pipe_addrs,
+        Placement::Pipeline,
+    ))
+    .expect("pipeline router starts");
+
+    let mut models = Vec::new();
+    for kind in ModelKind::ALL {
+        let (single_rate, single_ok) = timed_infer(single[0].local_addr(), &golden, kind, iters);
+        let (pipe_rate, pipe_ok) = timed_infer(router.local_addr(), &golden, kind, iters);
+        eprintln!(
+            "{}: single {single_rate:.1} infer/s (bit_identical={single_ok}), \
+             2-stage pipeline {pipe_rate:.1} infer/s (bit_identical={pipe_ok})",
+            kind.wire_name()
+        );
+        models.push(ModelPoint {
+            model: kind.wire_name(),
+            layers: kind.layers(),
+            single_node_infer_per_s: single_rate,
+            pipelined_infer_per_s: pipe_rate,
+            single_node_bit_identical: single_ok,
+            pipelined_bit_identical: pipe_ok,
+        });
+    }
+    let bit_identical_pass = models
+        .iter()
+        .all(|m| m.single_node_bit_identical && m.pipelined_bit_identical);
+
+    // Smoke only: end-to-end loadgen with a 50% infer mix against the
+    // pipeline router, targeting the deepest model in the zoo.
+    let loadgen_exit_ok = if smoke {
+        let target = router.local_addr().to_string();
+        Some(run_loadgen(&target, "tiny-mobilenet", 600))
+    } else {
+        None
+    };
+
+    let router_snap = router.shutdown();
+    if let Some(infers) = router_snap.model_infers.as_deref() {
+        let total: u64 = infers.iter().map(|m| m.infers).sum();
+        eprintln!(
+            "router completed {total} pipelined inferences across {} models",
+            infers.len()
+        );
+    }
+    for b in single.into_iter().chain(pipe_backends) {
+        let _ = b.shutdown();
+    }
+
+    let report = Report {
+        bench: "infer",
+        seed,
+        smoke,
+        iters,
+        pipeline_stages: 2,
+        models,
+        bit_identical_pass,
+        loadgen_exit_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    if !bit_identical_pass || loadgen_exit_ok == Some(false) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,11 @@
 //! `--forward-every`-th request upgraded to a `forward_batch` of
 //! `--batch-size` inputs and every `--health-every`-th replaced by a
 //! `health` probe (which must stay responsive even when the queue is
-//! saturated).
+//! saturated). `--op-mix infer=<pct>` blends in full-model `infer`
+//! requests against a registry-backed server (or a pipeline router):
+//! `--model` picks the registered network, `--format` the numeric
+//! format, and the input width is discovered from the target's
+//! advertised model inventory.
 //!
 //! At the end it prints a throughput/latency/rejection report plus the
 //! server-side metrics snapshot, and exits nonzero if anything
@@ -48,6 +52,7 @@ struct Tally {
     deadline_expired: u64,
     shutting_down: u64,
     malformed: u64,
+    not_found: u64,
     protocol_errors: u64,
     latency: Histogram,
 }
@@ -60,9 +65,41 @@ impl Tally {
         self.deadline_expired += other.deadline_expired;
         self.shutting_down += other.shutting_down;
         self.malformed += other.malformed;
+        self.not_found += other.not_found;
         self.protocol_errors += other.protocol_errors;
         self.latency.merge(&other.latency);
     }
+}
+
+/// The `infer` slice of the request mix (absent when `--op-mix` has no
+/// `infer=` entry or the percentage is zero).
+#[derive(Clone)]
+struct InferMix {
+    /// Percentage of requests upgraded to `infer` (1..=100).
+    pct: usize,
+    /// Registered model wire name.
+    model: String,
+    /// Numeric format wire name.
+    format: String,
+    /// Input width, discovered from the target's model inventory.
+    input_len: usize,
+}
+
+/// Parses `--op-mix infer=<pct>`; other keys are rejected loudly.
+fn parse_op_mix(args: &[String]) -> Option<usize> {
+    let spec = flag::<String>(args, "--op-mix")?;
+    let mut infer_pct = None;
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('=') {
+            Some(("infer", pct)) => {
+                let pct: usize = pct.parse().expect("numeric pct in --op-mix infer=<pct>");
+                assert!(pct <= 100, "--op-mix infer pct must be 0..=100");
+                infer_pct = Some(pct);
+            }
+            _ => panic!("unsupported --op-mix entry {part:?} (expected infer=<pct>)"),
+        }
+    }
+    infer_pct
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -83,6 +120,7 @@ fn worker(
     health_every: usize,
     batch_size: usize,
     deadline_ms: Option<u64>,
+    infer_mix: Option<InferMix>,
 ) -> Tally {
     let mut t = Tally::default();
     let mut client = match Client::connect(addr) {
@@ -103,8 +141,22 @@ fn worker(
             seq += 1;
             let rid = conn_id * 1_000_000 + seq;
             let id = client.next_id();
+            // Bresenham-style selection: request `seq` is an infer iff
+            // the running count `⌊seq·pct/100⌋` ticks up, spreading the
+            // percentage evenly through the sequence.
+            let is_infer = infer_mix
+                .as_ref()
+                .is_some_and(|m| (seq * m.pct) / 100 != ((seq - 1) * m.pct) / 100);
             let mut req = if health_every > 0 && seq.is_multiple_of(health_every) {
                 Request::new(Op::Health, id)
+            } else if is_infer {
+                let m = infer_mix.as_ref().expect("is_infer implies mix");
+                Request::infer(
+                    id,
+                    m.model.clone(),
+                    m.format.clone(),
+                    ServeModel::demo_input(m.input_len, rid),
+                )
             } else if forward_every > 0 && seq.is_multiple_of(forward_every) {
                 let inputs = (0..batch_size)
                     .map(|b| ServeModel::demo_input(k, rid + b))
@@ -139,6 +191,7 @@ fn worker(
                     Status::DeadlineExpired => t.deadline_expired += 1,
                     Status::ShuttingDown => t.shutting_down += 1,
                     Status::Malformed => t.malformed += 1,
+                    Status::NotFound => t.not_found += 1,
                 }
             }
             Err(ClientError::Disconnected) if stopping => return t,
@@ -160,6 +213,9 @@ fn main() -> ExitCode {
     let health_every = flag::<usize>(&args, "--health-every").unwrap_or(64);
     let batch_size = flag::<usize>(&args, "--batch-size").unwrap_or(4).max(1);
     let deadline_ms = flag::<u64>(&args, "--deadline-ms");
+    let infer_pct = parse_op_mix(&args).unwrap_or(0);
+    let model = flag::<String>(&args, "--model").unwrap_or_else(|| "tiny-mlp".to_string());
+    let format = flag::<String>(&args, "--format").unwrap_or_else(|| "e2m5".to_string());
 
     let server = if self_host {
         let mut cfg = ServerConfig::default();
@@ -169,7 +225,14 @@ fn main() -> ExitCode {
         if let Some(ms) = flag::<u64>(&args, "--exec-delay-ms") {
             cfg.exec_delay = Duration::from_millis(ms);
         }
-        Some(Server::start(cfg, ServeModel::demo(7)).expect("self-hosted server starts"))
+        let mut model_cfg = ServeModel::demo(7);
+        if infer_pct > 0 {
+            // An infer mix needs a registry on the self-hosted server.
+            model_cfg = model_cfg.with_registry(Arc::new(afpr_models::ModelRegistry::new(
+                afpr_models::RegistryConfig::new(9, 7),
+            )));
+        }
+        Some(Server::start(cfg, model_cfg).expect("self-hosted server starts"))
     } else {
         None
     };
@@ -197,6 +260,30 @@ fn main() -> ExitCode {
     let mut probe = Client::connect(targets[0]).expect("server reachable");
     let health = probe.health().expect("health responds");
     let k = health.input_dim as usize;
+    // Infer mix: discover the model's input width from the target's
+    // advertised inventory. A target without a registry (or without
+    // the requested model) cannot serve the mix — fail fast.
+    let infer_mix = if infer_pct > 0 {
+        let entry = health
+            .models
+            .as_ref()
+            .and_then(|ms| ms.iter().find(|m| m.model == model && m.format == format));
+        let Some(entry) = entry else {
+            eprintln!(
+                "FAIL: --op-mix infer={infer_pct} but target does not advertise model \
+                 {model:?} with format {format:?} (no registry, or unknown model)"
+            );
+            return ExitCode::FAILURE;
+        };
+        Some(InferMix {
+            pct: infer_pct,
+            model: model.clone(),
+            format: format.clone(),
+            input_len: entry.input_len as usize,
+        })
+    } else {
+        None
+    };
     eprintln!(
         "loadgen: {connections} connections × {in_flight} in flight against {} target(s) \
          [{}] ({}→{} layer) for {:?}",
@@ -210,6 +297,12 @@ fn main() -> ExitCode {
         health.output_dim,
         duration
     );
+    if let Some(m) = &infer_mix {
+        eprintln!(
+            "loadgen: op mix includes infer={}% → {} @ {} ({} inputs)",
+            m.pct, m.model, m.format, m.input_len
+        );
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
@@ -217,6 +310,7 @@ fn main() -> ExitCode {
         .map(|c| {
             let stop = Arc::clone(&stop);
             let addr = targets[c % targets.len()];
+            let infer_mix = infer_mix.clone();
             std::thread::spawn(move || {
                 worker(
                     addr,
@@ -228,6 +322,7 @@ fn main() -> ExitCode {
                     health_every,
                     batch_size,
                     deadline_ms,
+                    infer_mix,
                 )
             })
         })
@@ -245,7 +340,8 @@ fn main() -> ExitCode {
         + total.overloaded
         + total.deadline_expired
         + total.shutting_down
-        + total.malformed;
+        + total.malformed
+        + total.not_found;
     let lat = total.latency.snapshot();
     println!("== loadgen report ==");
     println!("duration          : {dt:.2} s");
@@ -259,6 +355,7 @@ fn main() -> ExitCode {
     println!("  deadline(504)   : {}", total.deadline_expired);
     println!("  shutting_down   : {}", total.shutting_down);
     println!("  malformed(400)  : {}", total.malformed);
+    println!("  not_found(404)  : {}", total.not_found);
     println!("client proto errs : {}", total.protocol_errors);
     println!(
         "latency           : p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
@@ -291,18 +388,20 @@ fn main() -> ExitCode {
         );
     }
 
-    // CI contract: any malformed response or protocol-level error is a
-    // failure — the load mix is entirely well-formed.
+    // CI contract: any malformed/not-found response or protocol-level
+    // error is a failure — the load mix is entirely well-formed and
+    // only targets advertised models.
     let server_malformed = snapshot.runtime.rejections.malformed;
     if total.malformed > 0
+        || total.not_found > 0
         || total.protocol_errors > 0
         || server_malformed > 0
         || snapshot.protocol_errors > 0
     {
         eprintln!(
-            "FAIL: malformed={} client_proto={} server_malformed={server_malformed} \
-             server_proto={}",
-            total.malformed, total.protocol_errors, snapshot.protocol_errors
+            "FAIL: malformed={} not_found={} client_proto={} \
+             server_malformed={server_malformed} server_proto={}",
+            total.malformed, total.not_found, total.protocol_errors, snapshot.protocol_errors
         );
         return ExitCode::FAILURE;
     }

@@ -10,15 +10,18 @@
 //! ```text
 //! cargo run --release --bin serve -- \
 //!     [--addr 127.0.0.1:7878] [--workers 8] [--threads N] \
-//!     [--capacity 64] [--batch 8] [--exec-delay-ms 0] [--seed 7]
+//!     [--capacity 64] [--batch 8] [--exec-delay-ms 0] [--seed 7] \
+//!     [--model-capacity 9]
 //! ```
 //!
 //! `--exec-delay-ms` injects an artificial per-batch execution delay —
 //! useful for demonstrating queue saturation and `503 overloaded`
 //! responses with a modest load generator.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use afpr_models::{ModelRegistry, RegistryConfig};
 use afpr_serve::{ServeModel, Server, ServerConfig};
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -52,8 +55,19 @@ fn main() {
         cfg.exec_delay = Duration::from_millis(ms);
     }
     let seed = flag::<u64>(&args, "--seed").unwrap_or(7);
+    // Serve the full model zoo too (`infer` op); `--model-capacity 0`
+    // runs layer-ops only.
+    let model_capacity = flag::<usize>(&args, "--model-capacity").unwrap_or(9);
 
-    let server = Server::start(cfg, ServeModel::demo(seed)).expect("server starts");
+    let mut model = ServeModel::demo(seed);
+    if model_capacity > 0 {
+        let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(
+            model_capacity,
+            seed,
+        )));
+        model = model.with_registry(registry);
+    }
+    let server = Server::start(cfg, model).expect("server starts");
     eprintln!(
         "afpr-serve listening on {} (send a `shutdown` request to stop)",
         server.local_addr()

@@ -20,6 +20,15 @@
 //!   [`afpr_xbar::PartialSumAdder::sum_into`] in row-tile order, which
 //!   makes the cluster result **bit-identical** to a single-node
 //!   [`afpr_core::AfprAccelerator::matvec`] of the same layer.
+//! * **Pipeline** — full-model `infer` requests are split along the
+//!   *depth* axis ([`PipelinePlan`]): stage *i* runs a contiguous
+//!   range of the model's top-level layers on backend *i* (every
+//!   backend holds a registry compiled from the same seed), and the
+//!   router streams each stage's activation into the next via the
+//!   `infer` op's `layer_start`/`layer_end` fields. Stage boundaries
+//!   are exactly the points where the single-node forward pass
+//!   materializes an activation tensor, so the pipelined result is
+//!   **bit-identical** to a single-node `infer` of the same model.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +55,6 @@ pub mod plan;
 pub mod router;
 
 pub use backend::{spawn_prober, BackendPool, BackendSnapshot, BackendState};
-pub use metrics::{ClusterMetrics, ClusterSnapshot};
-pub use plan::{Shard, ShardPlan};
+pub use metrics::{ClusterMetrics, ClusterSnapshot, ModelInferSnapshot};
+pub use plan::{PipeStage, PipelinePlan, Shard, ShardPlan};
 pub use router::{ClusterConfig, Placement, Router};

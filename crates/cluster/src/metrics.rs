@@ -8,11 +8,13 @@
 //! cluster-wide dispatch-latency view built by merging every backend's
 //! histogram with [`Histogram::merge`].
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 use afpr_runtime::{Histogram, LatencySnapshot, RuntimeMetrics};
 use afpr_serve::{Op, ServeMetrics, ServeSnapshot};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{BackendPool, BackendSnapshot};
@@ -21,6 +23,9 @@ use crate::backend::{BackendPool, BackendSnapshot};
 #[derive(Debug)]
 pub struct ClusterMetrics {
     serve: ServeMetrics,
+    /// Completed pipelined inferences per model name (ordered so
+    /// snapshots are stable).
+    infers: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Default for ClusterMetrics {
@@ -37,6 +42,7 @@ impl ClusterMetrics {
     pub fn new() -> Self {
         Self {
             serve: ServeMetrics::new(Arc::new(RuntimeMetrics::new())),
+            infers: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -51,6 +57,11 @@ impl ClusterMetrics {
     /// write at the router).
     pub fn record_request(&self, op: Op, ok: bool, latency: Duration) {
         self.serve.record_request(op, ok, latency);
+    }
+
+    /// Records one completed pipelined inference of the named model.
+    pub fn record_infer(&self, model: &str) {
+        *self.infers.lock().entry(model.to_string()).or_insert(0) += 1;
     }
 
     /// Wire-compatible snapshot (what the `metrics` op returns).
@@ -74,8 +85,27 @@ impl ClusterMetrics {
             router: self.serve.snapshot(),
             backends,
             dispatch_latency: merged.snapshot(),
+            model_infers: Some(
+                self.infers
+                    .lock()
+                    .iter()
+                    .map(|(model, &infers)| ModelInferSnapshot {
+                        model: model.clone(),
+                        infers,
+                    })
+                    .collect(),
+            ),
         }
     }
+}
+
+/// Completed pipelined inferences for one model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelInferSnapshot {
+    /// Model wire name.
+    pub model: String,
+    /// Inferences completed end to end through the pipeline.
+    pub infers: u64,
 }
 
 /// Point-in-time, serializable view of the whole cluster tier.
@@ -90,6 +120,9 @@ pub struct ClusterSnapshot {
     /// Dispatch latency merged across every backend
     /// ([`Histogram::merge`]).
     pub dispatch_latency: LatencySnapshot,
+    /// Per-model completed pipelined inferences (empty outside
+    /// pipeline placement; `None` on snapshots from older routers).
+    pub model_infers: Option<Vec<ModelInferSnapshot>>,
 }
 
 impl ClusterSnapshot {
@@ -144,8 +177,26 @@ mod tests {
 
         let m = ClusterMetrics::new();
         m.record_request(Op::Matvec, true, Duration::from_micros(1_000));
+        m.record_infer("tiny-mlp");
+        m.record_infer("tiny-mlp");
+        m.record_infer("tiny-resnet");
         let snap = m.cluster_snapshot("replicated", &pool);
         assert_eq!(snap.placement, "replicated");
+        assert_eq!(
+            snap.model_infers.as_deref(),
+            Some(
+                &[
+                    ModelInferSnapshot {
+                        model: "tiny-mlp".to_string(),
+                        infers: 2
+                    },
+                    ModelInferSnapshot {
+                        model: "tiny-resnet".to_string(),
+                        infers: 1
+                    }
+                ][..]
+            )
+        );
         assert_eq!(snap.backends.len(), 2);
         assert_eq!(snap.total_dispatched(), 2);
         assert_eq!(snap.total_failed(), 0);

@@ -1,5 +1,7 @@
-//! Shard planning: contiguous, row-tile-aligned splits of the input
-//! dimension across backends.
+//! Placement planning: contiguous, row-tile-aligned splits of the
+//! input dimension across backends ([`ShardPlan`]), and contiguous
+//! layer-range splits of a full network across pipeline stages
+//! ([`PipelinePlan`]).
 //!
 //! The paper's macro is a fixed-height crossbar; a mapped layer is a
 //! grid of row tiles × column tiles, and the only legal shard
@@ -8,6 +10,15 @@
 //! row tiles as evenly as possible over the backends, keeping each
 //! shard contiguous so the gather can concatenate per-tile partials in
 //! shard order and replay the single-node reduction fold exactly.
+//!
+//! Pipeline placement splits along the *depth* axis instead: stage *i*
+//! runs a contiguous range of the model's top-level layers via the
+//! `infer` op's `layer_start`/`layer_end` fields, and the router
+//! streams each stage's activation into the next. The legal stage
+//! boundaries are top-level layer boundaries — exactly the points
+//! where the single-node forward pass materializes an activation
+//! tensor — which is what makes the staged result bit-identical to the
+//! single-node forward.
 
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +107,76 @@ impl ShardPlan {
     }
 }
 
+/// One backend's contiguous run of top-level layers in a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeStage {
+    /// Index of the backend serving this stage (into the pool).
+    pub backend: usize,
+    /// First top-level layer of the stage (inclusive).
+    pub start: usize,
+    /// One-past-the-last top-level layer of the stage.
+    pub end: usize,
+}
+
+impl PipeStage {
+    /// Number of top-level layers the stage runs.
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// A full, gap-free cover of a model's top-level layers by contiguous
+/// stages in backend order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelinePlan {
+    /// Total top-level layers of the staged model.
+    pub layers: usize,
+    /// The stages, ordered by `start` (== backend order).
+    pub stages: Vec<PipeStage>,
+}
+
+impl PipelinePlan {
+    /// Splits `layers` top-level layers over `backends` stages.
+    ///
+    /// Layers are distributed as evenly as possible — the first
+    /// `layers % backends` stages get one extra layer — mirroring the
+    /// front-loaded tile split of [`ShardPlan::compute`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions and more backends than layers (a stage
+    /// must run at least one layer to do any work).
+    pub fn compute(layers: usize, backends: usize) -> Result<Self, String> {
+        if layers == 0 {
+            return Err("degenerate model: zero layers".to_string());
+        }
+        if backends == 0 {
+            return Err("pipeline placement needs at least one backend".to_string());
+        }
+        if backends > layers {
+            return Err(format!(
+                "{backends} backends but only {layers} layers — a stage must run ≥ 1 layer"
+            ));
+        }
+        let base = layers / backends;
+        let extra = layers % backends;
+        let mut stages = Vec::with_capacity(backends);
+        let mut cursor = 0usize;
+        for b in 0..backends {
+            let count = base + usize::from(b < extra);
+            stages.push(PipeStage {
+                backend: b,
+                start: cursor,
+                end: cursor + count,
+            });
+            cursor += count;
+        }
+        debug_assert_eq!(cursor, layers);
+        Ok(Self { layers, stages })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +240,58 @@ mod tests {
         assert!(ShardPlan::compute(0, 8, 1).is_err());
         assert!(ShardPlan::compute(16, 0, 1).is_err());
         assert!(ShardPlan::compute(16, 8, 0).is_err());
+    }
+
+    /// Every pipeline plan must be a gap-free, in-order cover of the
+    /// layer range with no empty stages.
+    fn check_pipeline_cover(plan: &PipelinePlan) {
+        let mut cursor = 0usize;
+        for (i, stage) in plan.stages.iter().enumerate() {
+            assert_eq!(stage.backend, i, "backend order");
+            assert_eq!(stage.start, cursor, "contiguous, in order");
+            assert!(stage.layers() > 0, "no empty stages");
+            cursor = stage.end;
+        }
+        assert_eq!(cursor, plan.layers, "full cover");
+    }
+
+    #[test]
+    fn pipeline_split_is_front_loaded() {
+        // 8 layers over 3 stages → 3, 3, 2 (same rule as ShardPlan).
+        let plan = PipelinePlan::compute(8, 3).unwrap();
+        check_pipeline_cover(&plan);
+        let counts: Vec<usize> = plan.stages.iter().map(PipeStage::layers).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn pipeline_single_stage_owns_everything() {
+        let plan = PipelinePlan::compute(17, 1).unwrap();
+        check_pipeline_cover(&plan);
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!((plan.stages[0].start, plan.stages[0].end), (0, 17));
+    }
+
+    #[test]
+    fn pipeline_rejects_degenerate_splits() {
+        assert!(PipelinePlan::compute(0, 1).is_err());
+        assert!(PipelinePlan::compute(5, 0).is_err());
+        assert!(
+            PipelinePlan::compute(5, 6).is_err(),
+            "more stages than layers"
+        );
+    }
+
+    #[test]
+    fn pipeline_exhaustive_small_covers() {
+        for layers in 1usize..=20 {
+            for backends in 1..=layers {
+                let plan = PipelinePlan::compute(layers, backends)
+                    .unwrap_or_else(|e| panic!("layers={layers} b={backends}: {e}"));
+                check_pipeline_cover(&plan);
+                assert_eq!(plan.stages.len(), backends);
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,17 @@
 //! result is **bit-identical** to `AfprAccelerator::matvec` on one
 //! node. A dead shard cannot be failed over (no other backend holds
 //! those rows), so it yields a structured `503` within the deadline.
+//!
+//! **Pipeline** — full-model `infer` requests are split along the
+//! depth axis ([`crate::PipelinePlan`]): stage *i* runs a contiguous
+//! range of the model's top-level layers on backend *i*, and the
+//! router streams each stage's activation into the next via the
+//! `infer` op's `layer_start`/`layer_end` fields. Every backend holds
+//! a model registry compiled from the same seed (verified identical at
+//! startup), so the staged result is **bit-identical** to a
+//! single-node `infer`. Other compute ops fall back to replicated
+//! dispatch. A dead stage, like a dead shard, yields a structured
+//! `503`.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +61,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use afpr_models::ModelEntrySnapshot;
 use afpr_runtime::RejectReason;
 use afpr_serve::protocol::{self, FrameError};
 use afpr_serve::{
@@ -61,7 +73,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendErr
 
 use crate::backend::{spawn_prober, BackendPool, BackendState};
 use crate::metrics::{ClusterMetrics, ClusterSnapshot};
-use crate::plan::ShardPlan;
+use crate::plan::{PipelinePlan, ShardPlan};
 
 /// How work is spread over the backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +84,11 @@ pub enum Placement {
     /// Backend *i* holds the full model but serves only row shard *i*;
     /// the router scatter-gathers and reduces partial sums.
     Sharded,
+    /// Backend *i* runs layer range *i* of registered full models;
+    /// the router streams `infer` activations stage to stage. Other
+    /// compute ops fall back to replicated dispatch (every backend
+    /// still holds the full demo layer).
+    Pipeline,
 }
 
 impl Placement {
@@ -81,6 +98,7 @@ impl Placement {
         match self {
             Placement::Replicated => "replicated",
             Placement::Sharded => "sharded",
+            Placement::Pipeline => "pipeline",
         }
     }
 }
@@ -92,8 +110,9 @@ impl std::str::FromStr for Placement {
         match s {
             "replicated" => Ok(Placement::Replicated),
             "sharded" => Ok(Placement::Sharded),
+            "pipeline" => Ok(Placement::Pipeline),
             other => Err(format!(
-                "unknown placement `{other}` (expected `replicated` or `sharded`)"
+                "unknown placement `{other}` (expected `replicated`, `sharded` or `pipeline`)"
             )),
         }
     }
@@ -179,6 +198,15 @@ struct RouterShared {
     unit: usize,
     /// The shard plan (sharded placement only).
     plan: Option<ShardPlan>,
+    /// Registered-model catalog (pipeline placement only): the model
+    /// inventory every backend advertised at startup, verified
+    /// identical across the pool so any layer range of any model can
+    /// run on any stage.
+    catalog: Vec<ModelEntrySnapshot>,
+    /// The registry seed every backend advertised (pipeline placement
+    /// only) — agreement was verified at startup, so the router
+    /// re-advertises it on its own `health` op.
+    catalog_seed: Option<u64>,
 }
 
 impl RouterShared {
@@ -233,9 +261,10 @@ impl RouterShared {
                     }
                     best.unwrap_or(HealthState::Draining)
                 }
-                // Sharded: the cluster is as healthy as its worst
-                // shard — every shard is needed for every request.
-                Placement::Sharded => {
+                // Sharded / pipeline: the cluster is as healthy as its
+                // worst backend — every shard (resp. stage) is needed
+                // for every request.
+                Placement::Sharded | Placement::Pipeline => {
                     let mut worst = HealthState::Healthy;
                     for b in self.pool.iter() {
                         let s = if b.is_alive() {
@@ -267,6 +296,12 @@ impl RouterShared {
             state,
             fault_events: self.pool.iter().map(|b| b.fault_events()).sum(),
             row_tile_rows: self.unit as u64,
+            models: if self.catalog.is_empty() {
+                None
+            } else {
+                Some(self.catalog.clone())
+            },
+            registry_seed: self.catalog_seed,
         }
     }
 }
@@ -316,14 +351,25 @@ impl Router {
             ));
         }
         let pool = BackendPool::new(&cfg.backends);
-        let (k, n, unit) = startup_probe(&cfg, &pool)?;
+        let (k, n, unit, catalog, catalog_seed) = startup_probe(&cfg, &pool)?;
         let plan = match cfg.placement {
-            Placement::Replicated => None,
+            Placement::Replicated | Placement::Pipeline => None,
             Placement::Sharded => Some(
                 ShardPlan::compute(k, unit, pool.len())
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
             ),
         };
+        if cfg.placement == Placement::Pipeline {
+            // Every registered model must admit a stage per backend.
+            for entry in &catalog {
+                PipelinePlan::compute(entry.layers as usize, pool.len()).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("model {}: {e}", entry.model),
+                    )
+                })?;
+            }
+        }
 
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -338,6 +384,8 @@ impl Router {
             n,
             unit,
             plan,
+            catalog,
+            catalog_seed,
         });
 
         let prober = {
@@ -482,8 +530,14 @@ impl Drop for Router {
 
 /// Blocks until every backend answers a health probe (or the startup
 /// timeout lapses), then cross-checks shape and protocol agreement.
-/// Returns `(k, n, row_tile_rows)`.
-fn startup_probe(cfg: &ClusterConfig, pool: &BackendPool) -> io::Result<(usize, usize, usize)> {
+/// Returns `(k, n, row_tile_rows, model_catalog)`; the catalog is
+/// non-empty only in pipeline placement, where every backend must
+/// advertise the same registered-model inventory.
+#[allow(clippy::type_complexity)]
+fn startup_probe(
+    cfg: &ClusterConfig,
+    pool: &BackendPool,
+) -> io::Result<(usize, usize, usize, Vec<ModelEntrySnapshot>, Option<u64>)> {
     let deadline = Instant::now() + cfg.startup_timeout;
     let mut infos: Vec<Option<HealthInfo>> = vec![None; pool.len()];
     loop {
@@ -561,11 +615,106 @@ fn startup_probe(cfg: &ClusterConfig, pool: &BackendPool) -> io::Result<(usize, 
              `row_tile_rows` (upgrade the backends)",
         ));
     }
+    let (catalog, catalog_seed) = if cfg.placement == Placement::Pipeline {
+        let (seed, catalog) = pipeline_catalog(cfg, &infos)?;
+        (catalog, Some(seed))
+    } else {
+        (Vec::new(), None)
+    };
     Ok((
         first.input_dim as usize,
         first.output_dim as usize,
         first.row_tile_rows as usize,
+        catalog,
+        catalog_seed,
     ))
+}
+
+/// Cross-checks the registered-model inventories the backends
+/// advertised and returns the agreed (seed, catalog). Pipeline
+/// placement runs any layer range of any model on any backend, so the
+/// *static* model facts (name, format, depth, boundary dims) must be
+/// identical across the pool; runtime counters (loads, infers,
+/// residency) may differ. The **registry seed** must also agree: the
+/// static inventory is identical for any two registries regardless of
+/// seed, but only equal seeds compile bit-identical weights — and a
+/// weight mismatch would silently corrupt every pipelined result.
+fn pipeline_catalog(
+    cfg: &ClusterConfig,
+    infos: &[Option<HealthInfo>],
+) -> io::Result<(u64, Vec<ModelEntrySnapshot>)> {
+    let static_key = |m: &ModelEntrySnapshot| {
+        (
+            m.model.clone(),
+            m.format.clone(),
+            m.layers,
+            m.input_len,
+            m.output_len,
+        )
+    };
+    let mut first: Option<Vec<_>> = None;
+    let mut agreed_seed: Option<u64> = None;
+    for (i, info) in infos.iter().enumerate() {
+        let info = info.as_ref().expect("probed");
+        let Some(models) = info.models.as_ref().filter(|m| !m.is_empty()) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend {} advertises no model registry; pipeline placement needs \
+                     registry-backed backends",
+                    cfg.backends[i]
+                ),
+            ));
+        };
+        let Some(seed) = info.registry_seed else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend {} does not advertise its registry seed; pipeline placement \
+                     cannot verify backends hold identical weights (upgrade the backend)",
+                    cfg.backends[i]
+                ),
+            ));
+        };
+        match agreed_seed {
+            None => agreed_seed = Some(seed),
+            Some(s) if s != seed => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "backend {} compiled its registry from seed {seed} but backend {} \
+                         used seed {s}; pipeline stages must compile identical models \
+                         (same seed) or staged results would silently diverge",
+                        cfg.backends[i], cfg.backends[0]
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+        let mut keys: Vec<_> = models.iter().map(static_key).collect();
+        keys.sort();
+        match &first {
+            None => first = Some(keys),
+            Some(f) if *f != keys => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "backend {} registers a different model inventory than backend {}; \
+                         pipeline stages must compile identical models (same seed)",
+                        cfg.backends[i], cfg.backends[0]
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let catalog = infos[0]
+        .as_ref()
+        .expect("probed")
+        .models
+        .clone()
+        .expect("checked above");
+    Ok((agreed_seed.expect("at least one backend"), catalog))
 }
 
 // ---------------------------------------------------------------------------
@@ -730,7 +879,7 @@ fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: In
             resp.metrics = Some(shared.metrics.snapshot());
             resp
         }
-        Op::Matvec | Op::ForwardBatch | Op::MatvecPartial => {
+        Op::Matvec | Op::ForwardBatch | Op::MatvecPartial | Op::Infer => {
             if shared.is_shutting_down() {
                 return Response::error(req.id, Status::ShuttingDown, "router is draining");
             }
@@ -738,9 +887,16 @@ fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: In
                 Ok(d) => d,
                 Err(resp) => return *resp,
             };
-            match shared.cfg.placement {
-                Placement::Replicated => dispatch_replicated(shared, conns, &req, deadline),
-                Placement::Sharded => dispatch_sharded(shared, conns, &req, deadline),
+            match (shared.cfg.placement, req.op) {
+                // Pipeline placement stages `infer`; every other
+                // compute op still has the full layer on each backend.
+                (Placement::Pipeline, Op::Infer) => {
+                    dispatch_pipeline(shared, conns, &req, deadline)
+                }
+                (Placement::Replicated | Placement::Pipeline, _) => {
+                    dispatch_replicated(shared, conns, &req, deadline)
+                }
+                (Placement::Sharded, _) => dispatch_sharded(shared, conns, &req, deadline),
             }
         }
     }
@@ -928,6 +1084,11 @@ fn dispatch_sharded(
             req.id,
             "matvec_partial is a backend-level op; the sharded router owns shard planning",
         ),
+        Op::Infer => shared.reject_malformed(
+            req.id,
+            "infer is not available in sharded placement; deploy the cluster with \
+             `pipeline` (staged layers) or `replicated` placement",
+        ),
         _ => unreachable!("compute ops only"),
     }
 }
@@ -1076,6 +1237,158 @@ fn abort_scatter(
             conns.drop_conn(shard.backend);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline dispatch (staged layer ranges + activation streaming)
+// ---------------------------------------------------------------------------
+
+/// One pipelined `infer`: look the model up in the startup catalog,
+/// split its top-level layers over the backends ([`PipelinePlan`]),
+/// and run the stages strictly in order — stage *i*'s `infer` sub-
+/// request carries `layer_start`/`layer_end` and the activation
+/// returned by stage *i−1* — forwarding the remaining deadline budget
+/// downstream at every hop.
+///
+/// Bit-identity: stage boundaries are top-level layer boundaries, the
+/// exact points where the single-node forward materializes an
+/// activation tensor, and every backend compiled the same models from
+/// the same seed — so the staged result equals a single-node `infer`
+/// bit for bit. A dead stage cannot be failed over (no other backend
+/// is assigned those layers in this plan), so it yields a structured
+/// `503` within the deadline.
+fn dispatch_pipeline(
+    shared: &RouterShared,
+    conns: &mut WorkerConns,
+    req: &Request,
+    deadline: Option<Instant>,
+) -> Response {
+    let Some(model) = req.model.as_deref() else {
+        return shared.reject_malformed(req.id, "infer requires `model`");
+    };
+    let Some(input) = req.input.as_ref() else {
+        return shared.reject_malformed(req.id, "infer requires `input`");
+    };
+    if req.layer_start.is_some() || req.layer_end.is_some() {
+        return shared.reject_malformed(
+            req.id,
+            "layer_start/layer_end are stage-level fields; the pipeline router owns \
+             layer planning",
+        );
+    }
+    let Some(entry) = shared.catalog.iter().find(|m| m.model == model) else {
+        // Unknown model: a 404, not a malformed request — routers and
+        // retry layers treat it as non-retryable.
+        return Response::error(
+            req.id,
+            Status::NotFound,
+            format!(
+                "unknown model {model:?} (registered: {})",
+                catalog_names(shared)
+            ),
+        );
+    };
+    let format = req.format.as_deref().unwrap_or("e2m5");
+    if !shared
+        .catalog
+        .iter()
+        .any(|m| m.model == model && m.format == format)
+    {
+        return shared.reject_malformed(
+            req.id,
+            format!("unknown format {format:?} (expected e2m5, e3m4 or int8)"),
+        );
+    }
+    if input.len() as u64 != entry.input_len {
+        return shared.reject_malformed(
+            req.id,
+            format!(
+                "input has length {}, model {model} expects {}",
+                input.len(),
+                entry.input_len
+            ),
+        );
+    }
+    let plan = match PipelinePlan::compute(entry.layers as usize, shared.pool.len()) {
+        Ok(p) => p,
+        Err(e) => return shared.reject_malformed(req.id, format!("model {model}: {e}")),
+    };
+
+    let mut activation = input.clone();
+    for stage in &plan.stages {
+        let backend = shared.pool.get(stage.backend);
+        let mut sub = Request::infer(req.id, model, format, std::mem::take(&mut activation))
+            .with_layer_range(stage.start as u64, stage.end as u64);
+        sub.deadline_ms = remaining_ms(deadline);
+        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+        backend.begin_dispatch();
+        let started = Instant::now();
+        match conns.call(backend, &sub, timeout) {
+            Ok(resp) if resp.status == Status::Ok => {
+                backend.finish_dispatch(true, Some(started.elapsed()));
+                let Some(output) = resp.output else {
+                    return Response::error(
+                        req.id,
+                        Status::Overloaded,
+                        format!("stage {} returned no activation", stage.backend),
+                    );
+                };
+                activation = output;
+            }
+            Ok(resp) => {
+                // Structured stage rejection (503 overloaded, 504
+                // expired, …): propagate status/code upstream with the
+                // stage named in the error text.
+                backend.finish_dispatch(true, Some(started.elapsed()));
+                if resp.status == Status::Overloaded {
+                    if let Some(ms) = resp.retry_after_ms {
+                        backend.note_retry_after(ms);
+                    }
+                }
+                let mut out = Response::error(
+                    req.id,
+                    resp.status,
+                    format!(
+                        "stage {} ({}): {}",
+                        stage.backend,
+                        backend.addr,
+                        resp.error.as_deref().unwrap_or("rejected")
+                    ),
+                );
+                out.retry_after_ms = resp.retry_after_ms;
+                return out;
+            }
+            Err(_) => {
+                // A dead stage cannot be failed over: no other backend
+                // is assigned its layer range.
+                backend.finish_dispatch(false, None);
+                backend.mark_dead();
+                shared.metrics.serve().record_protocol_error();
+                let mut resp = Response::error(
+                    req.id,
+                    Status::Overloaded,
+                    format!(
+                        "pipeline stage {} ({}) unavailable",
+                        stage.backend, backend.addr
+                    ),
+                );
+                resp.retry_after_ms = Some(shared.retry_hint());
+                return resp;
+            }
+        }
+    }
+
+    shared.metrics.record_infer(model);
+    let mut resp = Response::ok(req.id);
+    resp.output = Some(activation);
+    resp
+}
+
+/// Comma-separated distinct model names in the catalog (for 404s).
+fn catalog_names(shared: &RouterShared) -> String {
+    let mut names: Vec<&str> = shared.catalog.iter().map(|m| m.model.as_str()).collect();
+    names.dedup();
+    names.join(", ")
 }
 
 /// A dead shard cannot be failed over — no other backend holds those

@@ -464,6 +464,22 @@ impl AfprAccelerator {
             .sum()
     }
 
+    /// Total conductance-snapshot kernel builds across every macro
+    /// array (positive + negative). Monotone; the model registry uses
+    /// the delta to prove that re-loading an evicted model really
+    /// re-warms its kernels rather than reusing stale state.
+    #[must_use]
+    pub fn kernel_builds(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.macros)
+            .map(|m| {
+                let (p, n) = m.arrays();
+                p.kernel_builds() + n.kernel_builds()
+            })
+            .sum()
+    }
+
     /// Resets the statistics of every macro.
     pub fn reset_stats(&mut self) {
         for layer in &mut self.layers {

@@ -194,6 +194,75 @@ impl MacroModelSim {
         assert_eq!(cursor, self.handles.len(), "traversal mismatch");
         out
     }
+
+    /// Hardware-in-the-loop forward over the top-level layer range
+    /// `[start, end)` — the pipeline-parallel building block: running
+    /// `forward_layers(x, 0, a)` and feeding the result into
+    /// `forward_layers(·, a, model.len())` is bit-identical to
+    /// [`forward`](Self::forward), because the read path draws no
+    /// randomness and the activation tensor is materialized between
+    /// top-level layers either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not the model this sim was compiled from,
+    /// or if `start > end` or `end > model.len()`.
+    pub fn forward_layers(
+        &mut self,
+        model: &Sequential,
+        x: &Tensor,
+        start: usize,
+        end: usize,
+    ) -> Tensor {
+        assert!(start <= end && end <= model.len(), "bad layer range");
+        let _ = self.chaos_tick();
+        // Position the handle cursor at the first compute layer of
+        // `start` by counting compute layers in the skipped prefix.
+        let mut cursor: usize = model.layers()[..start]
+            .iter()
+            .map(|l| count_compute_layers(l.as_ref()))
+            .sum();
+        let mut cur = x.clone();
+        for layer in &model.layers()[start..end] {
+            cur = forward_layer(layer.as_ref(), &cur, &mut cursor, self);
+        }
+        if end == model.len() {
+            assert_eq!(cursor, self.handles.len(), "traversal mismatch");
+        }
+        cur
+    }
+}
+
+/// Number of macro-mapped compute layers ([`Conv2d`]/[`Linear`],
+/// including those nested in [`Sequential`]/[`ResidualBlock`]) under a
+/// layer — mirrors `map_layer`'s traversal exactly.
+fn count_compute_layers(layer: &dyn Layer) -> usize {
+    let any = layer.as_any();
+    if any.downcast_ref::<Conv2d>().is_some() || any.downcast_ref::<Linear>().is_some() {
+        1
+    } else if let Some(inner) = any.downcast_ref::<Sequential>() {
+        inner
+            .layers()
+            .iter()
+            .map(|l| count_compute_layers(l.as_ref()))
+            .sum()
+    } else if let Some(block) = any.downcast_ref::<ResidualBlock>() {
+        let main: usize = block
+            .main()
+            .layers()
+            .iter()
+            .map(|l| count_compute_layers(l.as_ref()))
+            .sum();
+        let short: usize = block.shortcut().map_or(0, |s| {
+            s.layers()
+                .iter()
+                .map(|l| count_compute_layers(l.as_ref()))
+                .sum()
+        });
+        main + short
+    } else {
+        0
+    }
 }
 
 fn map_sequential(seq: &Sequential, accel: &mut AfprAccelerator, handles: &mut Vec<LayerHandle>) {
@@ -385,6 +454,26 @@ mod tests {
         // 36 output positions, one macro conversion each.
         assert_eq!(sim.accelerator().stats().conversions, 36);
         assert!(sim.dpu().ops() > 0);
+    }
+
+    #[test]
+    fn forward_layers_split_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let model = afpr_nn::models::tiny_resnet(3, InitSpec::gaussian(), &mut rng);
+        let x = Tensor::from_fn(&[3, 16, 16], |i| {
+            ((i[0] + 2 * i[1] + i[2]) as f32 * 0.11).cos()
+        });
+        let mut sim = MacroModelSim::compile(&model, MacroMode::FpE2M5, 21);
+        sim.calibrate(&model, std::slice::from_ref(&x));
+        let full = sim.forward(&model, &x);
+        for split in 1..model.len() {
+            let mid = sim.forward_layers(&model, &x, 0, split);
+            let out = sim.forward_layers(&model, &mid, split, model.len());
+            assert_eq!(out.shape(), full.shape());
+            for (a, b) in out.data().iter().zip(full.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "split at {split}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The named model zoo and numeric-format wire names.
+//!
+//! Everything here is *static*: input/output shapes, top-level layer
+//! counts and wire names are known without compiling anything, so
+//! admission control and pipeline planning can validate untrusted
+//! requests before a single macro is touched.
+
+use afpr_nn::init::InitSpec;
+use afpr_nn::model::Sequential;
+use afpr_nn::models::{tiny_mlp, tiny_mobilenet, tiny_resnet};
+use afpr_xbar::spec::MacroMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The networks the registry can serve, by wire name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// `tiny-mlp`: 8 → 16 → 16 → 4 MLP (5 top-level layers).
+    TinyMlp,
+    /// `tiny-resnet`: the paper's reduced ResNet for `[3, 16, 16]`
+    /// inputs (8 top-level layers, 9 compute layers).
+    TinyResnet,
+    /// `tiny-mobilenet`: depthwise-separable blocks for `[3, 16, 16]`
+    /// inputs (17 top-level layers).
+    TinyMobilenet,
+}
+
+impl ModelKind {
+    /// All kinds, for iteration (catalogs, metrics tables).
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::TinyMlp,
+        ModelKind::TinyResnet,
+        ModelKind::TinyMobilenet,
+    ];
+
+    /// The kebab-case name used on the wire.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ModelKind::TinyMlp => "tiny-mlp",
+            ModelKind::TinyResnet => "tiny-resnet",
+            ModelKind::TinyMobilenet => "tiny-mobilenet",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.wire_name() == s)
+    }
+
+    /// The model's input tensor shape.
+    #[must_use]
+    pub fn input_shape(self) -> &'static [usize] {
+        match self {
+            ModelKind::TinyMlp => &[8],
+            ModelKind::TinyResnet | ModelKind::TinyMobilenet => &[3, 16, 16],
+        }
+    }
+
+    /// Flat input length (`input_shape` element product).
+    #[must_use]
+    pub fn input_len(self) -> usize {
+        self.input_shape().iter().product()
+    }
+
+    /// Number of output classes (= flat output length).
+    #[must_use]
+    pub fn classes(self) -> usize {
+        match self {
+            ModelKind::TinyMlp => 4,
+            ModelKind::TinyResnet | ModelKind::TinyMobilenet => 10,
+        }
+    }
+
+    /// Number of *top-level* [`Sequential`] layers — the granularity of
+    /// pipeline stage boundaries ([`crate::CompiledModel::infer_range`]).
+    /// Pinned against the built models by a unit test.
+    #[must_use]
+    pub fn layers(self) -> usize {
+        match self {
+            ModelKind::TinyMlp => 5,
+            ModelKind::TinyResnet => 8,
+            ModelKind::TinyMobilenet => 17,
+        }
+    }
+
+    /// Builds the FP32 network, deterministic in `seed` (each kind
+    /// salts the seed so co-resident models draw distinct weights).
+    #[must_use]
+    pub fn build(self, seed: u64) -> Sequential {
+        let salt = match self {
+            ModelKind::TinyMlp => 0x6d6c70,
+            ModelKind::TinyResnet => 0x72_6573,
+            ModelKind::TinyMobilenet => 0x6d_6f62,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        match self {
+            ModelKind::TinyMlp => tiny_mlp(8, 16, 4, InitSpec::gaussian(), &mut rng),
+            ModelKind::TinyResnet => tiny_resnet(10, InitSpec::gaussian(), &mut rng),
+            ModelKind::TinyMobilenet => tiny_mobilenet(10, InitSpec::gaussian(), &mut rng),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// The wire name of a numeric format (`e2m5`, `e3m4`, `int8`).
+#[must_use]
+pub fn format_wire_name(mode: MacroMode) -> &'static str {
+    match mode {
+        MacroMode::FpE2M5 => "e2m5",
+        MacroMode::FpE3M4 => "e3m4",
+        MacroMode::Int8 => "int8",
+    }
+}
+
+/// Parses a numeric-format wire name.
+#[must_use]
+pub fn format_from_wire(s: &str) -> Option<MacroMode> {
+    match s {
+        "e2m5" => Some(MacroMode::FpE2M5),
+        "e3m4" => Some(MacroMode::FpE3M4),
+        "int8" => Some(MacroMode::Int8),
+        _ => None,
+    }
+}
+
+/// All formats a request can select, in wire order.
+pub const ALL_FORMATS: [MacroMode; 3] = [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8];
+
+/// A fully pinned model identity: which network, which numeric format,
+/// which weight seed. Two [`crate::CompiledModel`]s built from equal
+/// specs are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelSpec {
+    /// Which network.
+    pub kind: ModelKind,
+    /// Numeric format of the macros the network is compiled onto.
+    pub mode: MacroMode,
+    /// Weight (and macro-programming) seed.
+    pub seed: u64,
+}
+
+impl ModelSpec {
+    /// Pins a model identity.
+    #[must_use]
+    pub fn new(kind: ModelKind, mode: MacroMode, seed: u64) -> Self {
+        Self { kind, mode, seed }
+    }
+
+    /// The registry key string, e.g. `tiny-resnet@e3m4` (used for
+    /// per-model metric labels).
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.kind.wire_name(), format_wire_name(self.mode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::from_wire(kind.wire_name()), Some(kind));
+        }
+        assert!(ModelKind::from_wire("resnet50").is_none());
+        for mode in ALL_FORMATS {
+            assert_eq!(format_from_wire(format_wire_name(mode)), Some(mode));
+        }
+        assert!(format_from_wire("fp16").is_none());
+        assert!(format_from_wire("E2M5").is_none(), "wire names are lower");
+    }
+
+    #[test]
+    fn static_layer_counts_match_built_models() {
+        for kind in ModelKind::ALL {
+            let model = kind.build(1);
+            assert_eq!(model.len(), kind.layers(), "{kind}");
+            let y = model.forward(&afpr_nn::tensor::Tensor::zeros(kind.input_shape()));
+            assert_eq!(y.len(), kind.classes(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic_and_seed_sensitive() {
+        let a = ModelKind::TinyMlp.build(7);
+        let b = ModelKind::TinyMlp.build(7);
+        let c = ModelKind::TinyMlp.build(8);
+        let x = afpr_nn::tensor::Tensor::new(&[8], (0..8).map(|i| i as f32 * 0.1).collect());
+        let (ya, yb, yc) = (a.forward(&x), b.forward(&x), c.forward(&x));
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "same seed ⇒ same bits");
+        }
+        assert!(
+            ya.data().iter().zip(yc.data()).any(|(p, q)| p != q),
+            "different seed ⇒ different weights"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! method per server op. Two layers are available:
 //!
 //! - **Typed calls** ([`Client::matvec`], [`Client::forward_batch`],
-//!   [`Client::health`], [`Client::metrics`],
+//!   [`Client::infer`], [`Client::health`], [`Client::metrics`],
 //!   [`Client::shutdown_server`]) — send a request, wait for the
 //!   response, and surface non-`ok` statuses as
 //!   [`ClientError::Rejected`] so callers get typed access to the
@@ -276,6 +276,53 @@ impl Client {
         Self::expect_ok(resp)?.partials.ok_or_else(|| {
             ClientError::Protocol("ok matvec_partial response missing `partials`".to_string())
         })
+    }
+
+    /// Runs a registered model end-to-end on the server and returns
+    /// the output vector. `model` is a zoo wire name (`tiny-mlp`,
+    /// `tiny-resnet`, `tiny-mobilenet`); `format` selects the macro
+    /// numeric format (`e2m5`, `e3m4`, `int8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on any non-`ok` status —
+    /// unknown models are `404 not_found`, bad formats/dims `400`.
+    pub fn infer(
+        &mut self,
+        model: &str,
+        format: &str,
+        input: Vec<f32>,
+    ) -> Result<Vec<f32>, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::infer(id, model, format, input))?;
+        Self::expect_ok(resp)?
+            .output
+            .ok_or_else(|| ClientError::Protocol("ok infer response missing `output`".to_string()))
+    }
+
+    /// Runs top-level layers `[start, end)` of a registered model —
+    /// the pipeline-stage call: `input` is the activation entering
+    /// layer `start`, and the returned vector is the activation
+    /// leaving layer `end - 1` (the final output when `end` is the
+    /// model's layer count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on any non-`ok` status.
+    pub fn infer_range(
+        &mut self,
+        model: &str,
+        format: &str,
+        input: Vec<f32>,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<f32>, ClientError> {
+        let id = self.next_id();
+        let resp =
+            self.call(&Request::infer(id, model, format, input).with_layer_range(start, end))?;
+        Self::expect_ok(resp)?
+            .output
+            .ok_or_else(|| ClientError::Protocol("ok infer response missing `output`".to_string()))
     }
 
     /// Queries server health (dims, queue depth, shutdown flag).

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use afpr_core::ChaosStats;
+use afpr_models::{ModelRegistry, RegistrySnapshot};
 use afpr_runtime::{Histogram, LatencySnapshot, MetricsSnapshot, RuntimeMetrics};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -32,7 +33,7 @@ struct OpCell {
 /// Thread-safe per-endpoint metrics registry.
 #[derive(Debug)]
 pub struct ServeMetrics {
-    per_op: [OpCell; 6],
+    per_op: [OpCell; 7],
     connections_accepted: AtomicU64,
     connections_dropped: AtomicU64,
     protocol_errors: AtomicU64,
@@ -42,6 +43,10 @@ pub struct ServeMetrics {
     /// Latest chaos accounting published by the execution thread
     /// (`None` until a chaos controller reports).
     chaos: Mutex<Option<ChaosStats>>,
+    /// The server's model registry, when one is attached — snapshots
+    /// then carry the per-model inventory (loads, evictions, infer
+    /// counts).
+    registry: Mutex<Option<Arc<ModelRegistry>>>,
 }
 
 impl ServeMetrics {
@@ -67,7 +72,14 @@ impl ServeMetrics {
             runtime,
             health,
             chaos: Mutex::new(None),
+            registry: Mutex::new(None),
         }
+    }
+
+    /// Attaches the server's model registry so snapshots report the
+    /// per-model inventory.
+    pub fn set_registry(&self, registry: Arc<ModelRegistry>) {
+        *self.registry.lock() = Some(registry);
     }
 
     /// The shared runtime registry (queue, engine, rejection reasons).
@@ -140,6 +152,7 @@ impl ServeMetrics {
             runtime: self.runtime.snapshot(),
             health: self.health.snapshot(),
             chaos: *self.chaos.lock(),
+            registry: self.registry.lock().as_ref().map(|r| r.snapshot()),
         }
     }
 }
@@ -177,6 +190,10 @@ pub struct ServeSnapshot {
     /// Cumulative chaos-controller accounting (`None` when the server
     /// runs without fault injection).
     pub chaos: Option<ChaosStats>,
+    /// Model registry state — capacity, loads, evictions, kernel
+    /// builds and the per-model inventory (`None` when the server has
+    /// no registry attached, or predates the field).
+    pub registry: Option<RegistrySnapshot>,
 }
 
 impl ServeSnapshot {
@@ -232,8 +249,10 @@ mod tests {
         assert_eq!(mv.latency.count, 2);
         assert_eq!(s.op(Op::Shutdown).unwrap().requests, 0);
         assert_eq!(s.op(Op::MatvecPartial).unwrap().requests, 0);
+        assert_eq!(s.op(Op::Infer).unwrap().requests, 0);
         assert_eq!(s.per_op.len(), Op::ALL.len());
         assert_eq!(s.runtime.requests_accepted, 1);
+        assert!(s.registry.is_none(), "no registry attached");
 
         let back: ServeSnapshot = serde_json::from_str(&s.to_json()).expect("parses");
         assert_eq!(back.per_op, s.per_op);

@@ -19,8 +19,9 @@
 //! # Requests
 //!
 //! The payload is a JSON object with an `op` field naming the request
-//! type — `"matvec"`, `"forward_batch"`, `"health"`, `"metrics"` or
-//! `"shutdown"` — plus op-specific fields (see [`Request`]). Optional
+//! type — `"matvec"`, `"forward_batch"`, `"infer"`, `"health"`,
+//! `"metrics"` or `"shutdown"` — plus op-specific fields (see
+//! [`Request`]). Optional
 //! `deadline_ms` gives the server a time budget measured from the
 //! moment it reads the frame; requests whose budget has lapsed are
 //! rejected before they touch the engine.
@@ -28,9 +29,9 @@
 //! # Responses
 //!
 //! Every response carries the request `id`, a [`Status`], and an
-//! HTTP-flavored `code` (`200` ok, `400` malformed, `503`
-//! overloaded / shutting down with `retry_after_ms`, `504` deadline
-//! expired). Payload fields (`output`, `outputs`, `metrics`, …) are
+//! HTTP-flavored `code` (`200` ok, `400` malformed, `404` unknown
+//! model, `503` overloaded / shutting down with `retry_after_ms`,
+//! `504` deadline expired). Payload fields (`output`, `outputs`, `metrics`, …) are
 //! op-specific and `null` when absent. Malformed *payloads* inside a
 //! well-formed frame get a `400` response and the connection stays
 //! usable; malformed *framing* (oversized or truncated frames) ends
@@ -137,19 +138,29 @@ pub enum Op {
     /// (the fold order is identical to
     /// `afpr_xbar::PartialSumAdder::sum`).
     MatvecPartial,
+    /// Full-network inference through the server's model registry:
+    /// `model` names a registered network (`tiny-mlp`, `tiny-resnet`,
+    /// `tiny-mobilenet`), `format` selects the macro numeric format
+    /// (`e2m5`, `e3m4`, `int8`), and `input` is the flattened input
+    /// tensor. Optional `layer_start`/`layer_end` restrict the pass to
+    /// a contiguous top-level layer range — the pipeline-placement
+    /// building block: streaming `[0, a)` into `[a, layers)` is
+    /// bit-identical to the full pass on the same compiled macros.
+    Infer,
 }
 
 impl Op {
     /// All ops, for iteration (metrics tables, request mixes).
-    /// `MatvecPartial` is appended last so the indices of the original
-    /// five ops (and their per-op metric cells) stay stable.
-    pub const ALL: [Op; 6] = [
+    /// `MatvecPartial` and `Infer` are appended last so the indices of
+    /// the earlier ops (and their per-op metric cells) stay stable.
+    pub const ALL: [Op; 7] = [
         Op::Matvec,
         Op::ForwardBatch,
         Op::Health,
         Op::Metrics,
         Op::Shutdown,
         Op::MatvecPartial,
+        Op::Infer,
     ];
 
     /// The snake_case name used on the wire.
@@ -162,6 +173,7 @@ impl Op {
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
             Op::MatvecPartial => "matvec_partial",
+            Op::Infer => "infer",
         }
     }
 
@@ -181,6 +193,7 @@ impl Op {
             Op::Metrics => 3,
             Op::Shutdown => 4,
             Op::MatvecPartial => 5,
+            Op::Infer => 6,
         }
     }
 }
@@ -226,15 +239,19 @@ pub enum Status {
     Malformed,
     /// Server is draining; no new work is admitted.
     ShuttingDown,
+    /// The request names a model the server does not know (`infer`
+    /// with an unregistered model name).
+    NotFound,
 }
 
 impl Status {
-    const ALL: [Status; 5] = [
+    const ALL: [Status; 6] = [
         Status::Ok,
         Status::Overloaded,
         Status::DeadlineExpired,
         Status::Malformed,
         Status::ShuttingDown,
+        Status::NotFound,
     ];
 
     /// The snake_case name used on the wire.
@@ -246,6 +263,7 @@ impl Status {
             Status::DeadlineExpired => "deadline_expired",
             Status::Malformed => "malformed",
             Status::ShuttingDown => "shutting_down",
+            Status::NotFound => "not_found",
         }
     }
 
@@ -261,6 +279,7 @@ impl Status {
         match self {
             Status::Ok => 200,
             Status::Malformed => 400,
+            Status::NotFound => 404,
             Status::Overloaded | Status::ShuttingDown => 503,
             Status::DeadlineExpired => 504,
         }
@@ -325,6 +344,18 @@ pub struct Request {
     /// must equal `input.len()` (cheap consistency check for routers
     /// that plan shards separately from payload assembly).
     pub rows: Option<u64>,
+    /// `infer`: registered model name (`tiny-mlp`, `tiny-resnet`,
+    /// `tiny-mobilenet`). Unknown names get `404 not_found`.
+    pub model: Option<String>,
+    /// `infer`: macro numeric format (`e2m5`, `e3m4`, `int8`).
+    /// Defaults to `e2m5` when absent; unknown strings get `400`.
+    pub format: Option<String>,
+    /// `infer`: first top-level layer of the pass (inclusive).
+    /// Defaults to 0. Used by pipeline routers to place a stage.
+    pub layer_start: Option<u64>,
+    /// `infer`: one past the last top-level layer of the pass.
+    /// Defaults to the model's layer count.
+    pub layer_end: Option<u64>,
 }
 
 impl Request {
@@ -340,6 +371,10 @@ impl Request {
             inputs: None,
             row_offset: None,
             rows: None,
+            model: None,
+            format: None,
+            layer_start: None,
+            layer_end: None,
         }
     }
 
@@ -371,6 +406,33 @@ impl Request {
             input: Some(input),
             ..Self::new(Op::MatvecPartial, id)
         }
+    }
+
+    /// An `infer` request: run `model` end-to-end in `format` on the
+    /// flattened `input` tensor.
+    #[must_use]
+    pub fn infer(
+        id: u64,
+        model: impl Into<String>,
+        format: impl Into<String>,
+        input: Vec<f32>,
+    ) -> Self {
+        Self {
+            model: Some(model.into()),
+            format: Some(format.into()),
+            input: Some(input),
+            ..Self::new(Op::Infer, id)
+        }
+    }
+
+    /// Restricts an `infer` request to top-level layers
+    /// `[start, end)` — the pipeline-stage form; `input` must then be
+    /// the activation entering layer `start`.
+    #[must_use]
+    pub fn with_layer_range(mut self, start: u64, end: u64) -> Self {
+        self.layer_start = Some(start);
+        self.layer_end = Some(end);
+        self
     }
 
     /// Sets the deadline budget.
@@ -406,6 +468,17 @@ pub struct HealthInfo {
     /// routers must not shard against such a backend.
     #[serde(with = "u64_zero_wire")]
     pub row_tile_rows: u64,
+    /// Model registry inventory: one entry per `(model, format)` pair
+    /// with shape facts and live counters. `None` when the server has
+    /// no registry attached (or predates the field); pipeline routers
+    /// refuse to start against such a backend.
+    pub models: Option<Vec<afpr_models::ModelEntrySnapshot>>,
+    /// The registry's weight/programming seed. Equal seeds ⇒
+    /// bit-identical compiled models, so pipeline routers require it
+    /// to agree across all backends (the static inventory alone can't
+    /// reveal diverging weights). `None` without a registry (or on
+    /// pre-field frames).
+    pub registry_seed: Option<u64>,
 }
 
 /// A response frame payload.
@@ -719,6 +792,7 @@ mod tests {
     fn status_codes_follow_http_convention() {
         assert_eq!(Status::Ok.code(), 200);
         assert_eq!(Status::Malformed.code(), 400);
+        assert_eq!(Status::NotFound.code(), 404);
         assert_eq!(Status::Overloaded.code(), 503);
         assert_eq!(Status::ShuttingDown.code(), 503);
         assert_eq!(Status::DeadlineExpired.code(), 504);
@@ -811,6 +885,29 @@ mod tests {
             info.row_tile_rows, 0,
             "old servers that do not advertise a tile height read as 0"
         );
+        assert_eq!(
+            info.models, None,
+            "old servers that predate the registry read as no inventory"
+        );
+    }
+
+    #[test]
+    fn infer_request_round_trips() {
+        let req = Request::infer(21, "tiny-resnet", "e3m4", vec![0.5; 4]).with_layer_range(2, 5);
+        assert_eq!(req.op, Op::Infer);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"infer\""), "{json}");
+        assert!(json.contains("\"model\":\"tiny-resnet\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Minimal infer: model only, everything else defaulted.
+        let back: Request =
+            serde_json::from_str("{\"op\":\"infer\",\"id\":2,\"model\":\"tiny-mlp\"}").unwrap();
+        assert_eq!(back.model.as_deref(), Some("tiny-mlp"));
+        assert_eq!(back.format, None);
+        assert_eq!(back.layer_start, None);
+        assert_eq!(back.layer_end, None);
     }
 
     #[test]

@@ -62,6 +62,7 @@ use std::time::{Duration, Instant};
 
 use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
 use afpr_core::{ChaosConfig, ChaosController};
+use afpr_models::{InferError, ModelKind, ModelRegistry};
 use afpr_nn::tensor::Tensor;
 use afpr_runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher, QueueFull, RejectReason};
 use afpr_xbar::spec::{MacroMode, MacroSpec};
@@ -145,6 +146,7 @@ pub struct ServeModel {
     k: usize,
     n: usize,
     row_tile_rows: usize,
+    registry: Option<Arc<ModelRegistry>>,
 }
 
 impl std::fmt::Debug for ServeModel {
@@ -173,7 +175,18 @@ impl ServeModel {
             k,
             n,
             row_tile_rows,
+            registry: None,
         }
+    }
+
+    /// Attaches a model registry, enabling the `infer` op: clients can
+    /// then run whole registered networks (`tiny-mlp`, `tiny-resnet`,
+    /// `tiny-mobilenet`) server-side with per-request numeric-format
+    /// selection. Without a registry, `infer` requests get a `400`.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<ModelRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The standard demo model: a 256→128 layer tiled over 4×4 small
@@ -242,11 +255,15 @@ impl ServeModel {
 enum ExecReply {
     /// `matvec`/`forward_batch`: outputs, one per input vector.
     /// `matvec_partial`: unsummed per-row-tile partials.
+    /// `infer`: one output vector.
     Done(Vec<Vec<f32>>),
     /// The job's deadline lapsed while it sat in the queue.
     Expired,
     /// The server began draining before the job could run.
     ShuttingDown,
+    /// The job failed validation at execution time (e.g. an `infer`
+    /// stage input whose length only the compiled model can check).
+    Failed(Status, String),
 }
 
 /// What a queued job asks the accelerator to compute.
@@ -260,14 +277,30 @@ enum JobPayload {
         /// The shard's slice of the input vector.
         input: Vec<f32>,
     },
+    /// An `infer` pass over a registered model's layer range
+    /// (statically validated at admission; activation lengths for
+    /// mid-network stages are checked against the compiled model at
+    /// execution).
+    Infer {
+        /// Model wire name (validated known at admission).
+        model: String,
+        /// Format wire name (validated known at admission).
+        format: String,
+        /// Flattened input / stage activation.
+        input: Vec<f32>,
+        /// First top-level layer (inclusive).
+        start: usize,
+        /// One past the last top-level layer.
+        end: usize,
+    },
 }
 
 impl JobPayload {
-    /// The full-width inputs (empty for partial jobs).
+    /// The full-width inputs (empty for partial/infer jobs).
     fn full_inputs(&self) -> &[Vec<f32>] {
         match self {
             JobPayload::Full(inputs) => inputs,
-            JobPayload::Partial { .. } => &[],
+            JobPayload::Partial { .. } | JobPayload::Infer { .. } => &[],
         }
     }
 }
@@ -289,6 +322,7 @@ struct Shared {
     k: usize,
     n: usize,
     row_tile_rows: usize,
+    registry: Option<Arc<ModelRegistry>>,
 }
 
 impl Shared {
@@ -323,6 +357,8 @@ impl Shared {
             state,
             fault_events: snap.fault_events,
             row_tile_rows: self.row_tile_rows as u64,
+            models: self.registry.as_ref().map(|r| r.snapshot().models),
+            registry_seed: self.registry.as_ref().map(|r| r.seed()),
         }
     }
 }
@@ -397,7 +433,11 @@ impl Server {
             k,
             n,
             row_tile_rows,
+            registry,
         } = model;
+        if let Some(reg) = &registry {
+            metrics.set_registry(Arc::clone(reg));
+        }
         let shared = Arc::new(Shared {
             cfg,
             shutting_down: AtomicBool::new(false),
@@ -407,6 +447,7 @@ impl Server {
             k,
             n,
             row_tile_rows,
+            registry,
         });
 
         // Thread-spawn failure (OS resource exhaustion) is an I/O error
@@ -751,7 +792,96 @@ fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
                 Err(resp) => *resp,
             }
         }
+        Op::Infer => {
+            let payload = match validate_infer(shared, &req) {
+                Ok(p) => p,
+                Err(resp) => return *resp,
+            };
+            match admit(shared, &req, t0, payload) {
+                Ok(mut outputs) => {
+                    let mut resp = Response::ok(req.id);
+                    resp.output = outputs.pop();
+                    resp
+                }
+                Err(resp) => *resp,
+            }
+        }
     }
+}
+
+/// Validates an `infer` request against the registry's static model
+/// facts. Untrusted wire input gets a structured `404` (unknown model)
+/// or `400` (missing/invalid fields, bad format, wrong dims, bad layer
+/// range) — never a panic. Stage activations entering mid-network
+/// (`layer_start > 0`) can only be length-checked against the compiled
+/// model's boundary shapes, which happens on the execution thread.
+fn validate_infer(shared: &Shared, req: &Request) -> Result<JobPayload, Box<Response>> {
+    if shared.registry.is_none() {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            "this server has no model registry attached",
+        )));
+    }
+    let Some(model) = req.model.clone() else {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            "infer requires `model`",
+        )));
+    };
+    let Some(input) = req.input.clone() else {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            "infer requires `input`",
+        )));
+    };
+    let Some(kind) = ModelKind::from_wire(&model) else {
+        // Unknown model is a 404, distinct from malformed-field 400s —
+        // routers treat it as non-retryable.
+        return Err(Box::new(Response::error(
+            req.id,
+            Status::NotFound,
+            format!("unknown model {model:?}"),
+        )));
+    };
+    let format = req.format.clone().unwrap_or_else(|| "e2m5".to_string());
+    if afpr_models::format_from_wire(&format).is_none() {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            format!("unknown format {format:?} (expected e2m5, e3m4 or int8)"),
+        )));
+    }
+    let layers = kind.layers() as u64;
+    let start = req.layer_start.unwrap_or(0);
+    let end = req.layer_end.unwrap_or(layers);
+    if start >= end || end > layers {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            format!("layer range [{start}, {end}) invalid for {layers} layers"),
+        )));
+    }
+    if start == 0 && input.len() != kind.input_len() {
+        return Err(Box::new(reject_malformed(
+            shared,
+            req.id,
+            format!(
+                "input has length {}, model {model} expects {}",
+                input.len(),
+                kind.input_len()
+            ),
+        )));
+    }
+    Ok(JobPayload::Infer {
+        model,
+        format,
+        input,
+        start: start as usize,
+        end: end as usize,
+    })
 }
 
 /// Validates a `matvec_partial` request against the served layer's
@@ -944,6 +1074,15 @@ fn admit(
             Status::ShuttingDown,
             "server drained before execution",
         ))),
+        Ok(ExecReply::Failed(status, detail)) => {
+            if status == Status::Malformed {
+                shared
+                    .metrics
+                    .runtime()
+                    .record_rejection(RejectReason::Malformed);
+            }
+            Err(Box::new(Response::error(req.id, status, detail)))
+        }
         Err(_) => Err(Box::new(Response::error(
             req.id,
             Status::ShuttingDown,
@@ -1034,8 +1173,9 @@ fn run_batch(
     // the same request sequence, every macro's RNG stream advances in
     // the same order as the in-process path. Runs of consecutive
     // full-width jobs are flattened into one engine batch; a partial
-    // (row-shard) job is a barrier that flushes the run first, then
-    // computes its row tiles sequentially on the execution thread.
+    // (row-shard) or infer job is a barrier that flushes the run
+    // first, then runs on the execution thread (infer passes through
+    // the registry's own compiled macros, not the served layer).
     let mut full_run: Vec<ExecJob> = Vec::new();
     for job in live {
         match &job.payload {
@@ -1045,9 +1185,44 @@ fn run_batch(
                 let partials = accel.matvec_partial(handle, *row_offset, input);
                 let _ = job.reply.send(ExecReply::Done(partials));
             }
+            JobPayload::Infer {
+                model,
+                format,
+                input,
+                start,
+                end,
+            } => {
+                flush_full_run(accel, handle, engine, std::mem::take(&mut full_run));
+                // `validate_infer` admits only registry-backed jobs.
+                let reply = match shared
+                    .registry
+                    .as_ref()
+                    .map(|reg| reg.infer_range(model, format, input, Some(*start), Some(*end)))
+                {
+                    Some(Ok(output)) => ExecReply::Done(vec![output]),
+                    Some(Err(e)) => ExecReply::Failed(infer_error_status(&e), e.to_string()),
+                    None => ExecReply::Failed(
+                        Status::Malformed,
+                        "this server has no model registry attached".to_string(),
+                    ),
+                };
+                let _ = job.reply.send(reply);
+            }
         }
     }
     flush_full_run(accel, handle, engine, full_run);
+}
+
+/// Maps a registry inference failure onto a wire status: unknown model
+/// is `404 not_found`, everything else (bad format, wrong dims, bad
+/// layer range) `400 malformed`.
+fn infer_error_status(e: &InferError) -> Status {
+    match e {
+        InferError::UnknownModel(_) => Status::NotFound,
+        InferError::UnknownFormat(_)
+        | InferError::BadInput { .. }
+        | InferError::BadLayerRange { .. } => Status::Malformed,
+    }
 }
 
 /// Flattens a run of consecutive full-width jobs into one engine batch

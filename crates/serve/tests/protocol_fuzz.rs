@@ -6,9 +6,10 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use afpr_models::{ModelRegistry, RegistryConfig};
 use afpr_serve::{
     read_frame, Client, ClientError, ServeModel, Server, ServerConfig, Status, MAX_DEADLINE_MS,
 };
@@ -26,7 +27,12 @@ fn fuzz_server_addr() -> SocketAddr {
                 max_frame_bytes: 1 << 16,
                 ..ServerConfig::default()
             };
-            Server::start(cfg, ServeModel::demo(11)).expect("fuzz server starts")
+            // A registry so `infer` fuzz cases exercise the full
+            // validation path (static checks reject hostile input
+            // before any model compiles, so fuzzing stays cheap).
+            let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(2, 11)));
+            Server::start(cfg, ServeModel::demo(11).with_registry(registry))
+                .expect("fuzz server starts")
         })
         .local_addr()
 }
@@ -241,6 +247,137 @@ proptest! {
         }
         assert_server_alive(addr)?;
     }
+
+    /// Hostile `infer` requests — garbage model names, garbage
+    /// formats, wrong-length inputs — always get a structured `404`
+    /// (unknown model) or `400` (everything else), never a panic. A
+    /// fully valid request computes. Static validation runs before any
+    /// model compiles, so garbage never costs a load.
+    fn random_infer_requests_never_panic(
+        model_pick in prop::sample::select(vec![
+            "tiny-mlp", "tiny-resnet", "TINY-MLP", "resnet-152", "", "🦀", "tiny-mlp ",
+        ]),
+        format_pick in prop::sample::select(vec!["e2m5", "e3m4", "int8", "fp64", "", "E2M5"]),
+        len in 0usize..40,
+    ) {
+        let addr = fuzz_server_addr();
+        let mut client = Client::connect(addr)
+            .map_err(|e| TestCaseError::fail(format!("connect failed: {e}")))?;
+        let model_known = matches!(model_pick, "tiny-mlp" | "tiny-resnet");
+        let format_known = matches!(format_pick, "e2m5" | "e3m4" | "int8");
+        // Only exercise the *valid* load path for the cheap model; a
+        // well-formed tiny-resnet request is sized to fail validation.
+        let valid = model_pick == "tiny-mlp" && format_known && len == 8;
+        match client.infer(model_pick, format_pick, vec![0.25; len]) {
+            Ok(output) => {
+                prop_assert!(valid, "invalid infer ({model_pick}, {format_pick}, {len}) served");
+                prop_assert_eq!(output.len(), 4, "tiny-mlp has 4 classes");
+            }
+            Err(ClientError::Rejected(resp)) => {
+                prop_assert!(!valid, "valid infer rejected: {:?}", resp.error);
+                if model_known {
+                    prop_assert_eq!(resp.status, Status::Malformed);
+                    prop_assert_eq!(resp.code, 400);
+                } else {
+                    prop_assert_eq!(resp.status, Status::NotFound);
+                    prop_assert_eq!(resp.code, 404);
+                }
+                prop_assert!(resp.error.is_some(), "rejection carries a reason");
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("transport failure: {other}")));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+
+    /// Hostile `layer_start`/`layer_end` ranges on `infer` are either
+    /// served (valid prefix of the network) or structured `400`s —
+    /// never a panic. Mid-network entry with a wrong-length activation
+    /// is caught by the execution thread's boundary-shape check.
+    fn random_infer_layer_ranges_never_panic(
+        start in 0u64..8,
+        end in 0u64..8,
+    ) {
+        let addr = fuzz_server_addr();
+        let mut client = Client::connect(addr)
+            .map_err(|e| TestCaseError::fail(format!("connect failed: {e}")))?;
+        // tiny-mlp has 5 top-level layers; an 8-wide input is only a
+        // valid activation at boundary 0, and empty ranges are
+        // rejected (an `infer` that computes nothing is malformed).
+        let valid = start == 0 && (1..=5).contains(&end);
+        match client.infer_range("tiny-mlp", "e2m5", vec![0.5; 8], start, end) {
+            Ok(_) => prop_assert!(valid, "invalid range [{start}, {end}) served"),
+            Err(ClientError::Rejected(resp)) => {
+                prop_assert!(!valid, "valid range [{start}, {end}) rejected: {:?}", resp.error);
+                prop_assert_eq!(resp.status, Status::Malformed);
+                prop_assert_eq!(resp.code, 400);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("transport failure: {other}")));
+            }
+        }
+        assert_server_alive(addr)?;
+    }
+}
+
+/// Unknown model names are `404 not_found` — distinct from `400` so
+/// routers and retry layers can tell "will never succeed here" from
+/// "bad request shape" — and the connection keeps serving.
+#[test]
+fn unknown_model_gets_404_and_connection_survives() {
+    let addr = fuzz_server_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .infer("resnet-152", "e2m5", vec![0.5; 8])
+        .expect_err("unknown model must be rejected");
+    match err {
+        ClientError::Rejected(resp) => {
+            assert_eq!(resp.status, Status::NotFound);
+            assert_eq!(resp.code, 404);
+            assert!(
+                resp.error
+                    .as_deref()
+                    .unwrap_or_default()
+                    .contains("resnet-152"),
+                "error names the model: {:?}",
+                resp.error
+            );
+        }
+        other => panic!("expected 404 rejection, got {other:?}"),
+    }
+    // The same connection still infers a registered model.
+    let out = client
+        .infer("tiny-mlp", "int8", vec![0.5; 8])
+        .expect("server keeps serving after the hostile request");
+    assert_eq!(out.len(), 4);
+}
+
+/// Extreme inputs (`f32::MAX`, denormals, huge negatives) never panic
+/// the server. Values whose activations stay finite come back as a
+/// normal answer; ones that overflow to ±inf serialize as JSON `null`
+/// (JSON has no non-finite numbers), which the client reports as a
+/// protocol error — degenerate, but the server must keep serving.
+#[test]
+fn extreme_infer_values_never_panic() {
+    let addr = fuzz_server_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    for hostile in [f32::MAX, f32::MIN, f32::MIN_POSITIVE, -0.0, 1e-38, 1e38] {
+        match client.infer("tiny-mlp", "e3m4", vec![hostile; 8]) {
+            Ok(out) => assert_eq!(out.len(), 4),
+            Err(ClientError::Protocol(_)) => {
+                // Overflowed activations: frame was well-formed, the
+                // floats inside degenerated to null. Connection stays
+                // aligned (the frame was fully read), so keep going.
+            }
+            Err(other) => panic!("input {hostile:e} broke the server: {other}"),
+        }
+    }
+    // The server is still healthy and still infers.
+    let out = client
+        .infer("tiny-mlp", "e3m4", vec![0.5; 8])
+        .expect("server keeps serving after extreme inputs");
+    assert_eq!(out.len(), 4);
 }
 
 /// Old-frame compatibility pin: hand-written version-1 frames that

@@ -3,8 +3,12 @@
 //! deadline rejections, malformed-request handling, health under
 //! saturation, and graceful drain-then-stop shutdown.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use afpr_models::{
+    CompiledModel, ModelKind, ModelRegistry, ModelSpec, RegistryConfig, ALL_FORMATS,
+};
 use afpr_serve::{Client, ClientError, Op, Request, ServeModel, Server, ServerConfig, Status};
 
 /// Server responses are bit-identical to driving the accelerator
@@ -100,6 +104,69 @@ fn sharded_matvec_partial_bit_identical_to_single_node() {
     }
     drop(a);
     drop(b);
+}
+
+/// `infer` responses are bit-identical to running the same compiled
+/// model in-process: the registry, admission queue and exec-thread
+/// barrier are invisible to the numerics, for every zoo model × every
+/// numeric format. Health and metrics surface the model inventory.
+#[test]
+fn infer_bit_identical_to_in_process_compiled_model() {
+    const SEED: u64 = 2024;
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(9, SEED)));
+    let server = Server::start(
+        ServerConfig::default(),
+        ServeModel::demo(SEED).with_registry(Arc::clone(&registry)),
+    )
+    .expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let mut infers = 0u64;
+    for kind in ModelKind::ALL {
+        let input: Vec<f32> = (0..kind.input_len())
+            .map(|j| ((j as f32) * 0.071).sin())
+            .collect();
+        for mode in ALL_FORMATS {
+            let spec = ModelSpec::new(kind, mode, SEED);
+            let golden = CompiledModel::load(spec)
+                .infer(&input)
+                .expect("in-process inference");
+            let served = client
+                .infer(
+                    kind.wire_name(),
+                    afpr_models::format_wire_name(mode),
+                    input.clone(),
+                )
+                .expect("served inference");
+            infers += 1;
+            assert_eq!(served.len(), golden.len());
+            assert_eq!(served.len(), kind.classes());
+            for (col, (s, g)) in served.iter().zip(&golden).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    g.to_bits(),
+                    "{spec:?} class {col} differs from in-process"
+                );
+            }
+        }
+    }
+
+    // Health advertises the registered-model inventory.
+    let health = client.health().expect("health");
+    let models = health.models.expect("registry-backed server lists models");
+    assert_eq!(models.len(), 9, "3 kinds x 3 formats");
+    let total_infers: u64 = models.iter().map(|m| m.infers).sum();
+    assert_eq!(total_infers, infers);
+
+    // The metrics snapshot carries the registry block too.
+    let snapshot = server.shutdown();
+    let reg = snapshot.registry.as_ref().expect("registry snapshot");
+    assert_eq!(reg.loads, 9);
+    assert_eq!(reg.evictions, 0, "capacity 9 holds the whole zoo");
+    assert!(reg.kernel_builds > 0, "loading warmed conductance kernels");
+    let op = snapshot.op(Op::Infer).expect("infer stats");
+    assert_eq!(op.requests, infers);
+    assert_eq!(op.ok, infers);
 }
 
 /// Shard bounds are validated before they reach the accelerator:

@@ -13,11 +13,15 @@
 //! * [`core`] — the AFPR-CIM accelerator architecture and reports.
 //! * [`runtime`] — parallel tiled execution engine, micro-batching
 //!   and runtime metrics.
+//! * [`models`] — model registry: named networks compiled onto CIM
+//!   macros, kernel-warmed at load, LRU-evicted under a capacity, with
+//!   full and layer-range inference (the pipeline-stage primitive).
 //! * [`serve`] — networked inference service: TCP wire protocol,
 //!   admission-controlled server, and a blocking typed client.
 //! * [`cluster`] — horizontally scalable serving tier: a router
-//!   fronting N backends with replicated (health-aware failover) and
-//!   sharded (bit-identical scatter-gather) placement.
+//!   fronting N backends with replicated (health-aware failover),
+//!   sharded (bit-identical scatter-gather), and pipeline (layer-range
+//!   stages with streamed activations) placement.
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +30,7 @@ pub use afpr_circuit as circuit;
 pub use afpr_cluster as cluster;
 pub use afpr_core as core;
 pub use afpr_device as device;
+pub use afpr_models as models;
 pub use afpr_nn as nn;
 pub use afpr_num as num;
 pub use afpr_runtime as runtime;

@@ -19,9 +19,11 @@ pub mod prelude {
     pub use crate::Strategy;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
-    /// Namespace alias so `prop::collection::vec(..)` resolves.
+    /// Namespace alias so `prop::collection::vec(..)` and
+    /// `prop::sample::select(..)` resolve.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::sample;
     }
 }
 
@@ -189,6 +191,35 @@ pub mod collection {
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = self.size.sample(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use super::{Debug, Rng, StdRng, Strategy};
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks one of `options` uniformly at random per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
         }
     }
 }
@@ -400,6 +431,10 @@ mod tests {
 
         fn exact_vec_size(xs in prop::collection::vec(0i32..3, 6)) {
             prop_assert_eq!(xs.len(), 6);
+        }
+
+        fn select_draws_from_options(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(matches!(s, "a" | "b" | "c"));
         }
 
         fn mapped_strategy(p in pair()) {
