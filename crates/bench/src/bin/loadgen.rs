@@ -1,4 +1,4 @@
-//! Synthetic closed-loop load generator for the AFPR inference server.
+//! Synthetic load generator for the AFPR inference server.
 //!
 //! Spawns `--connections` client threads; each keeps up to
 //! `--in-flight` pipelined requests outstanding on its connection and
@@ -13,10 +13,28 @@
 //! format, and the input width is discovered from the target's
 //! advertised model inventory.
 //!
+//! Two arrival modes:
+//!
+//! * default **closed loop** — each connection refills its pipeline as
+//!   responses come back, so offered load tracks service rate;
+//! * `--open-loop` — requests are *scheduled* at `--rate` req/s total
+//!   (split across connections) regardless of how fast responses
+//!   return, which is what exposes queueing collapse: latency, not
+//!   throughput, absorbs overload. Arrivals that would exceed the
+//!   per-connection in-flight safety cap are counted as `shed`, not
+//!   silently dropped.
+//!
+//! `--idle-conns N` additionally parks N connections that only
+//! exchange a `health` ping every `--idle-ping-ms` (default 3 s) —
+//! the C10K posture: a large mostly-idle herd must not degrade the
+//! active request path. The herd is driven by one thread over the
+//! vendored epoll reactor, not N threads.
+//!
 //! At the end it prints a throughput/latency/rejection report plus the
 //! server-side metrics snapshot, and exits nonzero if anything
 //! protocol-level went wrong (malformed responses, framing errors,
-//! unexpected disconnects) — which is what the CI smoke step keys on.
+//! unexpected disconnects, idle-herd failures) — which is what the CI
+//! smoke steps key on.
 //!
 //! Usage:
 //!
@@ -32,16 +50,22 @@
 //! # connection c pins to target c % N for its lifetime.
 //! cargo run --release --bin loadgen -- \
 //!     --target-list 127.0.0.1:7878,127.0.0.1:7879 --duration-ms 2000
+//!
+//! # C10K posture: 8 active connections under a 10 000-conn idle herd.
+//! cargo run --release --bin loadgen -- --addr 127.0.0.1:7878 \
+//!     --connections 8 --idle-conns 10000 --duration-ms 5000
 //! ```
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use afpr_runtime::Histogram;
-use afpr_serve::{Client, ClientError, Op, Request, ServeModel, Server, ServerConfig, Status};
+use afpr_serve::{
+    protocol, Client, ClientError, Op, Request, Response, ServeModel, Server, ServerConfig, Status,
+};
 
 /// Per-thread tally, merged at the end.
 #[derive(Default)]
@@ -109,18 +133,71 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
         .and_then(|v| v.parse().ok())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker(
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    conn_id: usize,
-    in_flight_max: usize,
+/// Everything that shapes the request mix, shared by both arrival
+/// modes so `--open-loop` measures the same workload.
+#[derive(Clone)]
+struct Mix {
     k: usize,
     forward_every: usize,
     health_every: usize,
     batch_size: usize,
     deadline_ms: Option<u64>,
-    infer_mix: Option<InferMix>,
+    infer: Option<InferMix>,
+}
+
+impl Mix {
+    /// The `seq`-th request of connection `conn_id`, with wire id `id`.
+    fn build(&self, conn_id: usize, seq: usize, id: u64) -> Request {
+        let rid = conn_id * 1_000_000 + seq;
+        // Bresenham-style selection: request `seq` is an infer iff
+        // the running count `⌊seq·pct/100⌋` ticks up, spreading the
+        // percentage evenly through the sequence.
+        let is_infer = self
+            .infer
+            .as_ref()
+            .is_some_and(|m| (seq * m.pct) / 100 != ((seq - 1) * m.pct) / 100);
+        let mut req = if self.health_every > 0 && seq.is_multiple_of(self.health_every) {
+            Request::new(Op::Health, id)
+        } else if is_infer {
+            let m = self.infer.as_ref().expect("is_infer implies mix");
+            Request::infer(
+                id,
+                m.model.clone(),
+                m.format.clone(),
+                ServeModel::demo_input(m.input_len, rid),
+            )
+        } else if self.forward_every > 0 && seq.is_multiple_of(self.forward_every) {
+            let inputs = (0..self.batch_size)
+                .map(|b| ServeModel::demo_input(self.k, rid + b))
+                .collect();
+            Request::forward_batch(id, inputs)
+        } else {
+            Request::matvec(id, ServeModel::demo_input(self.k, rid))
+        };
+        if let Some(ms) = self.deadline_ms {
+            req = req.with_deadline_ms(ms);
+        }
+        req
+    }
+}
+
+fn tally_status(t: &mut Tally, status: Status) {
+    match status {
+        Status::Ok => t.ok += 1,
+        Status::Overloaded => t.overloaded += 1,
+        Status::DeadlineExpired => t.deadline_expired += 1,
+        Status::ShuttingDown => t.shutting_down += 1,
+        Status::Malformed => t.malformed += 1,
+        Status::NotFound => t.not_found += 1,
+    }
+}
+
+fn worker(
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conn_id: usize,
+    in_flight_max: usize,
+    mix: Mix,
 ) -> Tally {
     let mut t = Tally::default();
     let mut client = match Client::connect(addr) {
@@ -139,35 +216,8 @@ fn worker(
         // Fill the pipeline while running; drain it once stopping.
         while !stopping && pending.len() < in_flight_max {
             seq += 1;
-            let rid = conn_id * 1_000_000 + seq;
             let id = client.next_id();
-            // Bresenham-style selection: request `seq` is an infer iff
-            // the running count `⌊seq·pct/100⌋` ticks up, spreading the
-            // percentage evenly through the sequence.
-            let is_infer = infer_mix
-                .as_ref()
-                .is_some_and(|m| (seq * m.pct) / 100 != ((seq - 1) * m.pct) / 100);
-            let mut req = if health_every > 0 && seq.is_multiple_of(health_every) {
-                Request::new(Op::Health, id)
-            } else if is_infer {
-                let m = infer_mix.as_ref().expect("is_infer implies mix");
-                Request::infer(
-                    id,
-                    m.model.clone(),
-                    m.format.clone(),
-                    ServeModel::demo_input(m.input_len, rid),
-                )
-            } else if forward_every > 0 && seq.is_multiple_of(forward_every) {
-                let inputs = (0..batch_size)
-                    .map(|b| ServeModel::demo_input(k, rid + b))
-                    .collect();
-                Request::forward_batch(id, inputs)
-            } else {
-                Request::matvec(id, ServeModel::demo_input(k, rid))
-            };
-            if let Some(ms) = deadline_ms {
-                req = req.with_deadline_ms(ms);
-            }
+            let req = mix.build(conn_id, seq, id);
             if client.send(&req).is_err() {
                 t.protocol_errors += 1;
                 return t;
@@ -185,14 +235,7 @@ fn worker(
             Ok(resp) => {
                 let sent_at = pending.pop_front().expect("pending nonempty");
                 t.latency.observe(sent_at.elapsed());
-                match resp.status {
-                    Status::Ok => t.ok += 1,
-                    Status::Overloaded => t.overloaded += 1,
-                    Status::DeadlineExpired => t.deadline_expired += 1,
-                    Status::ShuttingDown => t.shutting_down += 1,
-                    Status::Malformed => t.malformed += 1,
-                    Status::NotFound => t.not_found += 1,
-                }
+                tally_status(&mut t, resp.status);
             }
             Err(ClientError::Disconnected) if stopping => return t,
             Err(_) => {
@@ -201,6 +244,273 @@ fn worker(
             }
         }
     }
+}
+
+/// Open-loop arrival cap: past this many outstanding requests on one
+/// connection, further scheduled arrivals are shed (and counted) so an
+/// overloaded run degrades measurably instead of hoarding memory.
+const OPEN_LOOP_CAP: usize = 4096;
+
+/// Open-loop worker: a paced sender thread writes requests at fixed
+/// arrival times while this (receiver) side blocks on responses. The
+/// two halves share the raw stream — the serve protocol answers one
+/// connection strictly in order, so send times travel through an
+/// in-order channel and pair up with responses positionally.
+fn worker_open_loop(
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conn_id: usize,
+    interval: Duration,
+    mix: Mix,
+) -> (Tally, u64) {
+    let mut t = Tally::default();
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            t.protocol_errors += 1;
+            return (t, 0);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            t.protocol_errors += 1;
+            return (t, 0);
+        }
+    };
+
+    let (times_tx, times_rx) = mpsc::channel::<Instant>();
+    let pending = Arc::new(AtomicUsize::new(0));
+    let sender_pending = Arc::clone(&pending);
+    let sender = std::thread::spawn(move || -> (u64, u64, u64) {
+        let mut w = std::io::BufWriter::new(write_half);
+        let mut sent = 0u64;
+        let mut shed = 0u64;
+        let mut proto = 0u64;
+        let mut seq = 0usize;
+        let mut next_due = Instant::now();
+        while !stop.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            if now < next_due {
+                // Chunked sleep so a stop request is honored promptly
+                // even at very low arrival rates.
+                std::thread::sleep((next_due - now).min(Duration::from_millis(50)));
+                continue;
+            }
+            next_due += interval;
+            seq += 1;
+            if sender_pending.load(Ordering::Relaxed) >= OPEN_LOOP_CAP {
+                shed += 1;
+                continue;
+            }
+            let req = mix.build(conn_id, seq, seq as u64);
+            // Reserve the slot before writing: the receiver must never
+            // see a response without its send time already queued.
+            sender_pending.fetch_add(1, Ordering::Relaxed);
+            let t_send = Instant::now();
+            if protocol::write_message(&mut w, &req).is_err() {
+                proto += 1;
+                sender_pending.fetch_sub(1, Ordering::Relaxed);
+                return (sent, shed, proto);
+            }
+            sent += 1;
+            if times_tx.send(t_send).is_err() {
+                return (sent, shed, proto);
+            }
+        }
+        (sent, shed, proto)
+    });
+
+    // Receiver: one blocking read per send time. When the sender stops
+    // and drops its channel end, the backlog drains and the loop ends.
+    let mut r = std::io::BufReader::new(stream);
+    while let Ok(sent_at) = times_rx.recv() {
+        match protocol::read_frame(&mut r, 1 << 24) {
+            Ok(Some(payload)) => {
+                pending.fetch_sub(1, Ordering::Relaxed);
+                t.latency.observe(sent_at.elapsed());
+                match protocol::parse_message::<Response>(&payload) {
+                    Ok(resp) => tally_status(&mut t, resp.status),
+                    Err(_) => {
+                        t.protocol_errors += 1;
+                        break;
+                    }
+                }
+            }
+            _ => {
+                t.protocol_errors += 1;
+                break;
+            }
+        }
+    }
+    let (sent, shed, proto) = sender.join().expect("open-loop sender thread");
+    t.sent = sent;
+    t.protocol_errors += proto;
+    (t, shed)
+}
+
+/// Outcome of the idle herd, merged into the exit-code contract.
+#[derive(Default)]
+struct IdleReport {
+    target: usize,
+    opened: usize,
+    pings: u64,
+    pongs: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// Parks `n` connections that only exchange `health` pings, all driven
+/// by one thread over the vendored epoll reactor. Ping times are
+/// staggered across the interval so 10 000 idle connections never line
+/// up into one burst.
+fn idle_herd(addr: SocketAddr, n: usize, stop: Arc<AtomicBool>, interval: Duration) -> IdleReport {
+    use afpr_reactor::{Events, FrameConn, Interest, Poller};
+
+    let mut report = IdleReport {
+        target: n,
+        ..IdleReport::default()
+    };
+    let Ok(poller) = Poller::new() else {
+        // Non-Linux host: hold plain blocking sockets open instead —
+        // the herd still occupies server connection slots.
+        let mut held = Vec::with_capacity(n);
+        for _ in 0..n {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => held.push(s),
+                Err(_) => report.errors += 1,
+            }
+        }
+        report.opened = held.len();
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        return report;
+    };
+
+    struct Idle {
+        io: FrameConn,
+        next_ping: Instant,
+        writable: bool,
+    }
+    let t0 = Instant::now();
+    let mut conns: Vec<Option<Idle>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let Ok(stream) = std::net::TcpStream::connect(addr) else {
+            report.errors += 1;
+            conns.push(None);
+            continue;
+        };
+        let Ok(io) = FrameConn::new(stream) else {
+            report.errors += 1;
+            conns.push(None);
+            continue;
+        };
+        if poller
+            .register(io.stream(), i as u64, Interest::READABLE)
+            .is_err()
+        {
+            report.errors += 1;
+            conns.push(None);
+            continue;
+        }
+        report.opened += 1;
+        conns.push(Some(Idle {
+            io,
+            // Stagger first pings uniformly across the interval.
+            next_ping: t0 + interval.mul_f64(i as f64 / n.max(1) as f64),
+            writable: false,
+        }));
+    }
+
+    let mut events = Events::with_capacity(1024);
+    let drop_conn = |poller: &Poller, slot: &mut Option<Idle>, errors: &mut u64| {
+        if let Some(idle) = slot.take() {
+            let _ = poller.deregister(idle.io.stream());
+            *errors += 1;
+        }
+    };
+    while !stop.load(Ordering::Relaxed) {
+        if poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        for ev in events.iter() {
+            let i = ev.token as usize;
+            let Some(slot) = conns.get_mut(i) else {
+                continue;
+            };
+            let Some(idle) = slot.as_mut() else { continue };
+            if ev.failed {
+                drop_conn(&poller, slot, &mut report.errors);
+                continue;
+            }
+            if ev.readable {
+                if idle.io.fill().is_err() {
+                    drop_conn(&poller, slot, &mut report.errors);
+                    continue;
+                }
+                loop {
+                    match idle.io.next_frame(1 << 24) {
+                        Ok(Some(payload)) => match protocol::parse_message::<Response>(&payload) {
+                            Ok(resp) if resp.status == Status::Ok => report.pongs += 1,
+                            Ok(_) => report.rejected += 1,
+                            Err(_) => {
+                                report.errors += 1;
+                            }
+                        },
+                        Ok(None) => break,
+                        Err(_) => {
+                            drop_conn(&poller, slot, &mut report.errors);
+                            break;
+                        }
+                    }
+                }
+                if slot.as_ref().is_some_and(|idle| idle.io.is_eof()) {
+                    drop_conn(&poller, slot, &mut report.errors);
+                    continue;
+                }
+            }
+            if ev.writable {
+                let Some(idle) = slot.as_mut() else { continue };
+                if idle.io.flush().is_err() {
+                    drop_conn(&poller, slot, &mut report.errors);
+                    continue;
+                }
+                if !idle.io.wants_write() && idle.writable {
+                    idle.writable = false;
+                    let _ = poller.reregister(idle.io.stream(), ev.token, Interest::READABLE);
+                }
+            }
+        }
+        let now = Instant::now();
+        for (i, slot) in conns.iter_mut().enumerate() {
+            let Some(idle) = slot.as_mut() else { continue };
+            if now < idle.next_ping {
+                continue;
+            }
+            idle.next_ping = now + interval;
+            let ping = Request::new(Op::Health, i as u64);
+            let Ok(payload) = protocol::encode_message(&ping) else {
+                continue;
+            };
+            idle.io.queue_frame(&payload);
+            report.pings += 1;
+            if idle.io.flush().is_err() {
+                drop_conn(&poller, slot, &mut report.errors);
+                continue;
+            }
+            if idle.io.wants_write() && !idle.writable {
+                idle.writable = true;
+                let _ = poller.reregister(idle.io.stream(), i as u64, Interest::BOTH);
+            }
+        }
+    }
+    report
 }
 
 fn main() -> ExitCode {
@@ -213,6 +523,14 @@ fn main() -> ExitCode {
     let health_every = flag::<usize>(&args, "--health-every").unwrap_or(64);
     let batch_size = flag::<usize>(&args, "--batch-size").unwrap_or(4).max(1);
     let deadline_ms = flag::<u64>(&args, "--deadline-ms");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+    let rate = flag::<f64>(&args, "--rate").unwrap_or(2000.0).max(1.0);
+    let idle_conns = flag::<usize>(&args, "--idle-conns").unwrap_or(0);
+    let idle_ping = Duration::from_millis(
+        flag::<u64>(&args, "--idle-ping-ms")
+            .unwrap_or(3000)
+            .max(100),
+    );
     let infer_pct = parse_op_mix(&args).unwrap_or(0);
     let model = flag::<String>(&args, "--model").unwrap_or_else(|| "tiny-mlp".to_string());
     let format = flag::<String>(&args, "--format").unwrap_or_else(|| "e2m5".to_string());
@@ -304,27 +622,52 @@ fn main() -> ExitCode {
         );
     }
 
+    let mix = Mix {
+        k,
+        forward_every,
+        health_every,
+        batch_size,
+        deadline_ms,
+        infer: infer_mix,
+    };
     let stop = Arc::new(AtomicBool::new(false));
+
+    // The idle herd connects fully *before* the measured window opens:
+    // the point is active-path behavior with the herd in place, not
+    // connect-storm throughput.
+    let herd = (idle_conns > 0).then(|| {
+        if let Err(e) = afpr_reactor::raise_nofile_limit() {
+            eprintln!("loadgen: could not raise fd limit: {e}");
+        }
+        eprintln!("loadgen: parking {idle_conns} idle connections (ping every {idle_ping:?})");
+        let stop = Arc::clone(&stop);
+        let addr = targets[0];
+        std::thread::spawn(move || idle_herd(addr, idle_conns, stop, idle_ping))
+    });
+    if herd.is_some() {
+        // Give the herd a head start proportional to its size.
+        std::thread::sleep(Duration::from_millis(100 + (idle_conns / 20) as u64));
+    }
+    if open_loop {
+        eprintln!(
+            "loadgen: open-loop arrivals at {rate:.0} req/s total ({:.0} per connection)",
+            rate / connections as f64
+        );
+    }
+
     let t0 = Instant::now();
+    let mut shed_total = 0u64;
+    let interval = Duration::from_secs_f64(connections as f64 / rate);
     let threads: Vec<_> = (0..connections)
         .map(|c| {
             let stop = Arc::clone(&stop);
             let addr = targets[c % targets.len()];
-            let infer_mix = infer_mix.clone();
-            std::thread::spawn(move || {
-                worker(
-                    addr,
-                    stop,
-                    c,
-                    in_flight,
-                    k,
-                    forward_every,
-                    health_every,
-                    batch_size,
-                    deadline_ms,
-                    infer_mix,
-                )
-            })
+            let mix = mix.clone();
+            if open_loop {
+                std::thread::spawn(move || worker_open_loop(addr, stop, c, interval, mix))
+            } else {
+                std::thread::spawn(move || (worker(addr, stop, c, in_flight, mix), 0u64))
+            }
         })
         .collect();
     std::thread::sleep(duration);
@@ -332,9 +675,12 @@ fn main() -> ExitCode {
 
     let mut total = Tally::default();
     for th in threads {
-        total.merge(th.join().expect("worker thread"));
+        let (tally, shed) = th.join().expect("worker thread");
+        total.merge(tally);
+        shed_total += shed;
     }
     let dt = t0.elapsed().as_secs_f64();
+    let idle_report = herd.map(|h| h.join().expect("idle herd thread"));
 
     let answered = total.ok
         + total.overloaded
@@ -357,6 +703,16 @@ fn main() -> ExitCode {
     println!("  malformed(400)  : {}", total.malformed);
     println!("  not_found(404)  : {}", total.not_found);
     println!("client proto errs : {}", total.protocol_errors);
+    if open_loop {
+        println!("open loop         : {rate:.0} req/s offered, {shed_total} arrivals shed at cap");
+    }
+    if let Some(idle) = &idle_report {
+        println!(
+            "idle herd         : {}/{} connections held, {} pings, {} pongs, \
+             {} rejected, {} errors",
+            idle.opened, idle.target, idle.pings, idle.pongs, idle.rejected, idle.errors
+        );
+    }
     println!(
         "latency           : p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
         lat.p50_ns as f64 / 1e3,
@@ -390,7 +746,9 @@ fn main() -> ExitCode {
 
     // CI contract: any malformed/not-found response or protocol-level
     // error is a failure — the load mix is entirely well-formed and
-    // only targets advertised models.
+    // only targets advertised models. The idle herd is held to the
+    // same standard: every connection must open and stay healthy for
+    // the whole run.
     let server_malformed = snapshot.runtime.rejections.malformed;
     if total.malformed > 0
         || total.not_found > 0
@@ -404,6 +762,15 @@ fn main() -> ExitCode {
             total.malformed, total.not_found, total.protocol_errors, snapshot.protocol_errors
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(idle) = &idle_report {
+        if idle.opened < idle.target || idle.errors > 0 || idle.rejected > 0 {
+            eprintln!(
+                "FAIL: idle herd held {}/{} connections ({} errors, {} rejected pings)",
+                idle.opened, idle.target, idle.errors, idle.rejected
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub(crate) mod event_router;
 pub mod metrics;
 pub mod plan;
 pub mod router;

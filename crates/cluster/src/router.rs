@@ -65,8 +65,8 @@ use afpr_models::ModelEntrySnapshot;
 use afpr_runtime::RejectReason;
 use afpr_serve::protocol::{self, FrameError};
 use afpr_serve::{
-    Client, ClientError, HealthInfo, HealthState, Op, Request, Response, Status, DEFAULT_MAX_FRAME,
-    MAX_DEADLINE_MS, PROTOCOL_VERSION,
+    Client, ClientError, HealthInfo, HealthState, Op, Request, Response, Status, Transport,
+    DEFAULT_MAX_FRAME, MAX_DEADLINE_MS, PROTOCOL_VERSION,
 };
 use afpr_xbar::PartialSumAdder;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -149,6 +149,22 @@ pub struct ClusterConfig {
     pub startup_timeout: Duration,
     /// Accepted-connection backlog between acceptor and worker pool.
     pub accept_backlog: usize,
+    /// Client-facing I/O strategy. Defaults from `AFPR_CLUSTER_TRANSPORT`
+    /// (`reactor` selects the epoll event loop on Linux; anything else
+    /// keeps the blocking worker pool).
+    pub transport: Transport,
+    /// Hard cap on concurrent client connections (reactor transport):
+    /// connections past the cap get a structured `503` and are closed.
+    pub max_connections: usize,
+    /// Reactor transport: close client connections idle this long.
+    pub idle_timeout: Duration,
+    /// Wall-clock budget to assemble one client frame (header + body)
+    /// once its first byte arrives — the slowloris guard, enforced on
+    /// both transports.
+    pub frame_assembly_timeout: Duration,
+    /// Reactor transport: upper bound on pooled upstream connections
+    /// per backend (sub-requests queue when the pool is saturated).
+    pub conns_per_backend: usize,
 }
 
 impl Default for ClusterConfig {
@@ -166,6 +182,11 @@ impl Default for ClusterConfig {
             retry_after_ms: 20,
             startup_timeout: Duration::from_secs(5),
             accept_backlog: 128,
+            transport: Transport::from_env("AFPR_CLUSTER_TRANSPORT"),
+            max_connections: 12_000,
+            idle_timeout: Duration::from_secs(300),
+            frame_assembly_timeout: Duration::from_secs(30),
+            conns_per_backend: 8,
         }
     }
 }
@@ -185,19 +206,19 @@ impl ClusterConfig {
 }
 
 /// State shared by every router thread.
-struct RouterShared {
-    cfg: ClusterConfig,
+pub(crate) struct RouterShared {
+    pub(crate) cfg: ClusterConfig,
     shutting_down: AtomicBool,
-    pool: BackendPool,
-    metrics: ClusterMetrics,
+    pub(crate) pool: BackendPool,
+    pub(crate) metrics: ClusterMetrics,
     /// Served layer input dimension (identical on every backend).
-    k: usize,
+    pub(crate) k: usize,
     /// Served layer output dimension.
-    n: usize,
+    pub(crate) n: usize,
     /// Row-tile height advertised by the backends.
     unit: usize,
     /// The shard plan (sharded placement only).
-    plan: Option<ShardPlan>,
+    pub(crate) plan: Option<ShardPlan>,
     /// Registered-model catalog (pipeline placement only): the model
     /// inventory every backend advertised at startup, verified
     /// identical across the pool so any layer range of any model can
@@ -210,15 +231,15 @@ struct RouterShared {
 }
 
 impl RouterShared {
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
     }
 
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Release);
     }
 
-    fn reject_malformed(&self, id: u64, detail: impl Into<String>) -> Response {
+    pub(crate) fn reject_malformed(&self, id: u64, detail: impl Into<String>) -> Response {
         self.metrics
             .serve()
             .runtime()
@@ -226,7 +247,7 @@ impl RouterShared {
         Response::error(id, Status::Malformed, detail)
     }
 
-    fn retry_hint(&self) -> u64 {
+    pub(crate) fn retry_hint(&self) -> u64 {
         self.pool
             .min_retry_after_ms()
             .unwrap_or(self.cfg.retry_after_ms)
@@ -234,7 +255,7 @@ impl RouterShared {
 
     /// Synthesizes the cluster-level health view the router reports on
     /// the wire `health` op.
-    fn health_info(&self) -> HealthInfo {
+    pub(crate) fn health_info(&self) -> HealthInfo {
         let state = if self.is_shutting_down() {
             HealthState::Draining
         } else {
@@ -405,37 +426,70 @@ impl Router {
             }
         };
 
-        let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
-        let mut workers = Vec::with_capacity(shared.cfg.workers);
-        for i in 0..shared.cfg.workers {
-            let worker = {
-                let shared = Arc::clone(&shared);
-                let conn_rx = conn_rx.clone();
-                thread::Builder::new()
-                    .name(format!("afpr-cluster-conn-{i}"))
-                    .spawn(move || worker_loop(&shared, &conn_rx))
+        let (acceptor, workers) = if shared.cfg.transport == Transport::Reactor {
+            // One event loop owns the listener, every client socket and
+            // the pooled upstream connections; no per-connection thread.
+            let poller = match afpr_reactor::Poller::new().and_then(|p| {
+                p.register(
+                    &listener,
+                    crate::event_router::LISTENER_TOKEN,
+                    afpr_reactor::Interest::READABLE,
+                )?;
+                Ok(p)
+            }) {
+                Ok(p) => p,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
             };
-            match worker {
-                Ok(h) => workers.push(h),
-                Err(e) => {
-                    shared.begin_shutdown();
-                    return Err(e);
-                }
-            }
-        }
-
-        let acceptor = {
-            let shared_acc = Arc::clone(&shared);
-            let spawned = thread::Builder::new()
-                .name("afpr-cluster-accept".into())
-                .spawn(move || acceptor_loop(&shared_acc, &listener, &conn_tx));
+            let spawned = {
+                let shared_ev = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name("afpr-cluster-reactor".into())
+                    .spawn(move || crate::event_router::run(&shared_ev, &listener, &poller))
+            };
             match spawned {
-                Ok(h) => h,
+                Ok(h) => (h, Vec::new()),
                 Err(e) => {
                     shared.begin_shutdown();
                     return Err(e);
                 }
             }
+        } else {
+            let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
+            let mut workers = Vec::with_capacity(shared.cfg.workers);
+            for i in 0..shared.cfg.workers {
+                let worker = {
+                    let shared = Arc::clone(&shared);
+                    let conn_rx = conn_rx.clone();
+                    thread::Builder::new()
+                        .name(format!("afpr-cluster-conn-{i}"))
+                        .spawn(move || worker_loop(&shared, &conn_rx))
+                };
+                match worker {
+                    Ok(h) => workers.push(h),
+                    Err(e) => {
+                        shared.begin_shutdown();
+                        return Err(e);
+                    }
+                }
+            }
+
+            let acceptor = {
+                let shared_acc = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("afpr-cluster-accept".into())
+                    .spawn(move || acceptor_loop(&shared_acc, &listener, &conn_tx));
+                match spawned {
+                    Ok(h) => h,
+                    Err(e) => {
+                        shared.begin_shutdown();
+                        return Err(e);
+                    }
+                }
+            };
+            (acceptor, workers)
         };
 
         Ok(Self {
@@ -777,7 +831,11 @@ fn connection_loop(shared: &RouterShared, conns: &mut WorkerConns, stream: TcpSt
     let mut writer = BufWriter::new(stream);
 
     loop {
-        match protocol::read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+        match protocol::read_frame_with_budget(
+            &mut reader,
+            shared.cfg.max_frame_bytes,
+            Some(shared.cfg.frame_assembly_timeout),
+        ) {
             Ok(None) => return,
             Ok(Some(payload)) => {
                 let t0 = Instant::now();
@@ -904,7 +962,7 @@ fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: In
 
 /// Mirrors the backend's deadline hardening: `checked_add` + the 24 h
 /// cap, plus an immediate `504` for already-expired budgets.
-fn parse_deadline(
+pub(crate) fn parse_deadline(
     shared: &RouterShared,
     req: &Request,
     t0: Instant,
@@ -944,7 +1002,7 @@ fn parse_deadline(
 /// Per-attempt socket timeout: the remaining deadline budget (plus a
 /// small grace so the backend's own `504` wins the race), capped by
 /// the configured dispatch timeout.
-fn attempt_timeout(deadline: Option<Instant>, cap: Duration) -> Duration {
+pub(crate) fn attempt_timeout(deadline: Option<Instant>, cap: Duration) -> Duration {
     const MIN: Duration = Duration::from_millis(10);
     const GRACE: Duration = Duration::from_millis(250);
     match deadline {
@@ -955,7 +1013,7 @@ fn attempt_timeout(deadline: Option<Instant>, cap: Duration) -> Duration {
 }
 
 /// Remaining budget in milliseconds to forward downstream.
-fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
+pub(crate) fn remaining_ms(deadline: Option<Instant>) -> Option<u64> {
     deadline.map(|d| {
         u64::try_from(d.saturating_duration_since(Instant::now()).as_millis()).unwrap_or(u64::MAX)
     })
@@ -1041,6 +1099,17 @@ fn dispatch_replicated(
 // Sharded dispatch (scatter-gather + bit-exact reduction)
 // ---------------------------------------------------------------------------
 
+/// Rejection text for `matvec_partial` against a sharded router,
+/// shared by both transports so they answer byte-identically.
+pub(crate) const SHARDED_PARTIAL_REJECTION: &str =
+    "matvec_partial is a backend-level op; the sharded router owns shard planning";
+
+/// Rejection text for `infer` against a sharded router, shared by both
+/// transports so they answer byte-identically.
+pub(crate) const SHARDED_INFER_REJECTION: &str =
+    "infer is not available in sharded placement; deploy the cluster with \
+     `pipeline` (staged layers) or `replicated` placement";
+
 fn dispatch_sharded(
     shared: &RouterShared,
     conns: &mut WorkerConns,
@@ -1080,15 +1149,8 @@ fn dispatch_sharded(
             resp.outputs = Some(outputs);
             resp
         }
-        Op::MatvecPartial => shared.reject_malformed(
-            req.id,
-            "matvec_partial is a backend-level op; the sharded router owns shard planning",
-        ),
-        Op::Infer => shared.reject_malformed(
-            req.id,
-            "infer is not available in sharded placement; deploy the cluster with \
-             `pipeline` (staged layers) or `replicated` placement",
-        ),
+        Op::MatvecPartial => shared.reject_malformed(req.id, SHARDED_PARTIAL_REJECTION),
+        Op::Infer => shared.reject_malformed(req.id, SHARDED_INFER_REJECTION),
         _ => unreachable!("compute ops only"),
     }
 }
@@ -1263,56 +1325,18 @@ fn dispatch_pipeline(
     req: &Request,
     deadline: Option<Instant>,
 ) -> Response {
-    let Some(model) = req.model.as_deref() else {
-        return shared.reject_malformed(req.id, "infer requires `model`");
+    let call = match validate_pipeline(shared, req) {
+        Ok(call) => call,
+        Err(resp) => return *resp,
     };
-    let Some(input) = req.input.as_ref() else {
-        return shared.reject_malformed(req.id, "infer requires `input`");
-    };
-    if req.layer_start.is_some() || req.layer_end.is_some() {
-        return shared.reject_malformed(
-            req.id,
-            "layer_start/layer_end are stage-level fields; the pipeline router owns \
-             layer planning",
-        );
-    }
-    let Some(entry) = shared.catalog.iter().find(|m| m.model == model) else {
-        // Unknown model: a 404, not a malformed request — routers and
-        // retry layers treat it as non-retryable.
-        return Response::error(
-            req.id,
-            Status::NotFound,
-            format!(
-                "unknown model {model:?} (registered: {})",
-                catalog_names(shared)
-            ),
-        );
-    };
-    let format = req.format.as_deref().unwrap_or("e2m5");
-    if !shared
-        .catalog
-        .iter()
-        .any(|m| m.model == model && m.format == format)
-    {
-        return shared.reject_malformed(
-            req.id,
-            format!("unknown format {format:?} (expected e2m5, e3m4 or int8)"),
-        );
-    }
-    if input.len() as u64 != entry.input_len {
-        return shared.reject_malformed(
-            req.id,
-            format!(
-                "input has length {}, model {model} expects {}",
-                input.len(),
-                entry.input_len
-            ),
-        );
-    }
-    let plan = match PipelinePlan::compute(entry.layers as usize, shared.pool.len()) {
-        Ok(p) => p,
-        Err(e) => return shared.reject_malformed(req.id, format!("model {model}: {e}")),
-    };
+    let PipelineCall {
+        model,
+        format,
+        plan,
+    } = call;
+    let model = model.as_str();
+    let format = format.as_str();
+    let input = req.input.as_ref().expect("validate_pipeline checked input");
 
     let mut activation = input.clone();
     for stage in &plan.stages {
@@ -1384,8 +1408,83 @@ fn dispatch_pipeline(
     resp
 }
 
+/// A validated pipelined `infer`: the model/format pair exists in the
+/// startup catalog, the input length matches, and the layer split is
+/// feasible. Shared by both transports so rejection behavior (and
+/// text) is identical.
+pub(crate) struct PipelineCall {
+    pub(crate) model: String,
+    pub(crate) format: String,
+    pub(crate) plan: PipelinePlan,
+}
+
+/// Runs every synchronous check of a pipelined `infer` request; see
+/// [`dispatch_pipeline`] for the staging itself.
+pub(crate) fn validate_pipeline(
+    shared: &RouterShared,
+    req: &Request,
+) -> Result<PipelineCall, Box<Response>> {
+    let Some(model) = req.model.as_deref() else {
+        return Err(Box::new(
+            shared.reject_malformed(req.id, "infer requires `model`"),
+        ));
+    };
+    let Some(input) = req.input.as_ref() else {
+        return Err(Box::new(
+            shared.reject_malformed(req.id, "infer requires `input`"),
+        ));
+    };
+    if req.layer_start.is_some() || req.layer_end.is_some() {
+        return Err(Box::new(shared.reject_malformed(
+            req.id,
+            "layer_start/layer_end are stage-level fields; the pipeline router owns \
+             layer planning",
+        )));
+    }
+    let Some(entry) = shared.catalog.iter().find(|m| m.model == model) else {
+        // Unknown model: a 404, not a malformed request — routers and
+        // retry layers treat it as non-retryable.
+        return Err(Box::new(Response::error(
+            req.id,
+            Status::NotFound,
+            format!(
+                "unknown model {model:?} (registered: {})",
+                catalog_names(shared)
+            ),
+        )));
+    };
+    let format = req.format.as_deref().unwrap_or("e2m5");
+    if !shared
+        .catalog
+        .iter()
+        .any(|m| m.model == model && m.format == format)
+    {
+        return Err(Box::new(shared.reject_malformed(
+            req.id,
+            format!("unknown format {format:?} (expected e2m5, e3m4 or int8)"),
+        )));
+    }
+    if input.len() as u64 != entry.input_len {
+        return Err(Box::new(shared.reject_malformed(
+            req.id,
+            format!(
+                "input has length {}, model {model} expects {}",
+                input.len(),
+                entry.input_len
+            ),
+        )));
+    }
+    let plan = PipelinePlan::compute(entry.layers as usize, shared.pool.len())
+        .map_err(|e| Box::new(shared.reject_malformed(req.id, format!("model {model}: {e}"))))?;
+    Ok(PipelineCall {
+        model: model.to_string(),
+        format: format.to_string(),
+        plan,
+    })
+}
+
 /// Comma-separated distinct model names in the catalog (for 404s).
-fn catalog_names(shared: &RouterShared) -> String {
+pub(crate) fn catalog_names(shared: &RouterShared) -> String {
     let mut names: Vec<&str> = shared.catalog.iter().map(|m| m.model.as_str()).collect();
     names.dedup();
     names.join(", ")
@@ -1394,7 +1493,7 @@ fn catalog_names(shared: &RouterShared) -> String {
 /// A dead shard cannot be failed over — no other backend holds those
 /// rows — so sharded mode reports `503` and lets the client retry
 /// after the prober (or an operator) brings the shard back.
-fn shard_unavailable(shared: &RouterShared, id: u64, shard: usize) -> Response {
+pub(crate) fn shard_unavailable(shared: &RouterShared, id: u64, shard: usize) -> Response {
     let addr = &shared.pool.get(shard).addr;
     let mut resp = Response::error(
         id,

@@ -1,0 +1,23 @@
+//! The entire `cluster_roundtrip` suite, re-run with the router on the
+//! reactor transport (`AFPR_CLUSTER_TRANSPORT=reactor`), unmodified.
+//!
+//! `ClusterConfig::new` reads the env var; a pre-main constructor sets
+//! it before any test thread exists (tests run concurrently, so
+//! setting it lazily inside a test would race), then the
+//! blocking-oracle suite is included verbatim. Every assertion —
+//! replicated failover, sharded bit-identity, draining semantics —
+//! must hold byte-for-byte on the event-driven router core.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_CLUSTER_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "cluster_roundtrip.rs"]
+mod suite;

@@ -1,0 +1,22 @@
+//! The entire `pipeline` suite, re-run with the router on the reactor
+//! transport (`AFPR_CLUSTER_TRANSPORT=reactor`), unmodified.
+//!
+//! Pipeline staging is the transport's hardest case — activations
+//! stream stage to stage while many requests are in flight on one
+//! core — so the whole blocking-oracle suite (placement validation,
+//! stage failure surfacing, bit-identity against single-node `infer`)
+//! is included verbatim under a pre-main env-var constructor.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_CLUSTER_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "pipeline.rs"]
+mod suite;

@@ -1,0 +1,328 @@
+//! Nonblocking connection with incremental length-prefixed framing.
+//!
+//! The wire format matches `afpr-serve`: a 4-byte big-endian payload
+//! length followed by the payload. `FrameConn` owns both directions of
+//! buffering — bytes arrive in arbitrary TCP segments and are
+//! reassembled into frames; outbound frames queue until the socket
+//! accepts them, so a slow reader exerts backpressure via
+//! `wants_write` instead of blocking the reactor.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// A frame header announced a payload larger than the configured cap.
+/// Surfaced before any allocation for the payload happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    pub announced: usize,
+    pub max: usize,
+}
+
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Buffered nonblocking framed connection.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    eof: bool,
+    last_activity: Instant,
+    frame_started: Option<Instant>,
+}
+
+impl FrameConn {
+    /// Wraps an accepted/connected stream, switching it to nonblocking
+    /// mode with Nagle disabled.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(FrameConn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            eof: false,
+            last_activity: Instant::now(),
+            frame_started: None,
+        })
+    }
+
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Peer has closed its write side and the inbound buffer holds no
+    /// unconsumed bytes.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Instant of the last byte moved in either direction.
+    pub fn last_activity(&self) -> Instant {
+        self.last_activity
+    }
+
+    /// When the currently-incomplete inbound frame started arriving,
+    /// if one is mid-assembly. Drives the slowloris sweep: a client
+    /// trickling bytes keeps `last_activity` fresh but this instant
+    /// pinned.
+    pub fn mid_frame_since(&self) -> Option<Instant> {
+        self.frame_started
+    }
+
+    pub fn pending_read_bytes(&self) -> usize {
+        self.read_buf.len()
+    }
+
+    pub fn pending_write_bytes(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Outbound bytes are queued; the owner should register WRITABLE
+    /// interest until `flush` drains them.
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Reads until `WouldBlock`/EOF, appending to the inbound buffer.
+    /// Returns the byte count read this call. Fatal socket errors
+    /// bubble up for the owner to drop the connection.
+    pub fn fill(&mut self) -> io::Result<usize> {
+        let mut total = 0usize;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                    if self.frame_started.is_none() {
+                        self.frame_started = Some(Instant::now());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if total > 0 {
+            self.last_activity = Instant::now();
+        }
+        Ok(total)
+    }
+
+    /// Pops the next complete frame out of the inbound buffer, if one
+    /// has fully arrived. The length header is validated against
+    /// `max_frame` *before* any payload allocation.
+    pub fn next_frame(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        if self.read_buf.len() < 4 {
+            self.sync_frame_clock();
+            return Ok(None);
+        }
+        let announced = u32::from_be_bytes([
+            self.read_buf[0],
+            self.read_buf[1],
+            self.read_buf[2],
+            self.read_buf[3],
+        ]) as usize;
+        if announced > max_frame {
+            return Err(FrameTooLarge {
+                announced,
+                max: max_frame,
+            });
+        }
+        if self.read_buf.len() < 4 + announced {
+            self.sync_frame_clock();
+            return Ok(None);
+        }
+        let payload = self.read_buf[4..4 + announced].to_vec();
+        self.read_buf.drain(..4 + announced);
+        self.sync_frame_clock();
+        Ok(Some(payload))
+    }
+
+    fn sync_frame_clock(&mut self) {
+        if self.read_buf.is_empty() {
+            self.frame_started = None;
+        } else if self.frame_started.is_none() {
+            self.frame_started = Some(Instant::now());
+        }
+    }
+
+    /// Queues one frame (header + payload) for writing.
+    pub fn queue_frame(&mut self, payload: &[u8]) {
+        let len = u32::try_from(payload.len()).expect("frame exceeds u32 length");
+        self.write_buf.extend_from_slice(&len.to_be_bytes());
+        self.write_buf.extend_from_slice(payload);
+    }
+
+    /// Writes queued bytes until drained or `WouldBlock`. Returns true
+    /// once nothing remains queued.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, FrameConn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, FrameConn::new(server).unwrap())
+    }
+
+    fn settle(conn: &mut FrameConn) {
+        // Loopback delivery is fast but not instant under load.
+        for _ in 0..200 {
+            if conn.fill().unwrap() > 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn frame_split_across_many_segments_reassembles() {
+        let (mut client, mut conn) = pair();
+        let payload = b"{\"op\":\"health\"}";
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        for byte in &wire {
+            client.write_all(std::slice::from_ref(byte)).unwrap();
+            client.flush().unwrap();
+        }
+        let mut got = None;
+        for _ in 0..200 {
+            settle(&mut conn);
+            if let Some(frame) = conn.next_frame(1 << 20).unwrap() {
+                got = Some(frame);
+                break;
+            }
+        }
+        assert_eq!(got.as_deref(), Some(payload.as_slice()));
+        assert!(conn.mid_frame_since().is_none());
+    }
+
+    #[test]
+    fn coalesced_frames_pop_individually_in_order() {
+        let (mut client, mut conn) = pair();
+        let mut wire = Vec::new();
+        for i in 0..5u8 {
+            let payload = vec![i; 3];
+            wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            wire.extend_from_slice(&payload);
+        }
+        client.write_all(&wire).unwrap();
+        settle(&mut conn);
+        for i in 0..5u8 {
+            let frame = conn.next_frame(1 << 20).unwrap().expect("frame present");
+            assert_eq!(frame, vec![i; 3]);
+        }
+        assert!(conn.next_frame(1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_payload_arrives() {
+        let (mut client, mut conn) = pair();
+        client.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        settle(&mut conn);
+        let err = conn.next_frame(1 << 16).unwrap_err();
+        assert_eq!(
+            err,
+            FrameTooLarge {
+                announced: u32::MAX as usize,
+                max: 1 << 16
+            }
+        );
+    }
+
+    #[test]
+    fn partial_frame_pins_mid_frame_clock() {
+        let (mut client, mut conn) = pair();
+        client.write_all(&8u32.to_be_bytes()).unwrap();
+        client.write_all(b"abc").unwrap();
+        settle(&mut conn);
+        assert!(conn.next_frame(1 << 20).unwrap().is_none());
+        let started = conn.mid_frame_since().expect("mid-frame");
+        // More trickle: the clock must not reset.
+        client.write_all(b"de").unwrap();
+        settle(&mut conn);
+        assert!(conn.next_frame(1 << 20).unwrap().is_none());
+        assert_eq!(conn.mid_frame_since(), Some(started));
+        // Completing the frame clears it.
+        client.write_all(b"fgh").unwrap();
+        settle(&mut conn);
+        assert_eq!(
+            conn.next_frame(1 << 20).unwrap().as_deref(),
+            Some(&b"abcdefgh"[..])
+        );
+        assert!(conn.mid_frame_since().is_none());
+    }
+
+    #[test]
+    fn queued_frames_flush_and_backpressure_reports() {
+        let (client, mut conn) = pair();
+        conn.queue_frame(b"hello");
+        assert!(conn.wants_write());
+        assert_eq!(conn.pending_write_bytes(), 9);
+        while !conn.flush().unwrap() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!conn.wants_write());
+        let mut reader = client;
+        reader
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut hdr = [0u8; 4];
+        reader.read_exact(&mut hdr).unwrap();
+        assert_eq!(u32::from_be_bytes(hdr), 5);
+        let mut body = [0u8; 5];
+        reader.read_exact(&mut body).unwrap();
+        assert_eq!(&body, b"hello");
+    }
+
+    #[test]
+    fn eof_detected_after_peer_close() {
+        let (client, mut conn) = pair();
+        drop(client);
+        for _ in 0..200 {
+            conn.fill().unwrap();
+            if conn.is_eof() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(conn.is_eof());
+    }
+}

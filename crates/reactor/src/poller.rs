@@ -1,0 +1,294 @@
+//! Safe readiness-polling surface over epoll.
+//!
+//! Level-triggered on purpose: the event loops that sit on top read
+//! and write until `WouldBlock`, and level triggering means a missed
+//! wakeup costs one extra `wait` round instead of a stall. On
+//! non-Linux hosts the same API exists but `Poller::new` reports
+//! `Unsupported`, so callers can fall back to the blocking transport.
+
+/// Which readiness directions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification, decoded from the OS record.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup condition; the owner should try to read (to
+    /// surface the real error / EOF) and then drop the connection.
+    pub failed: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use crate::sys;
+    use std::io;
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    /// Reusable buffer of OS readiness records.
+    pub struct Events {
+        buf: Vec<sys::EpollEvent>,
+        len: usize,
+    }
+
+    impl Events {
+        pub fn with_capacity(cap: usize) -> Self {
+            Events {
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; cap.max(1)],
+                len: 0,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            self.buf[..self.len].iter().map(|raw| {
+                // Copy out of the (possibly packed) record before
+                // touching fields.
+                let bits = { raw.events };
+                let token = { raw.data };
+                Event {
+                    token,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    failed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                }
+            })
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            // RDHUP rides with readable interest only: a half-closed
+            // peer on a write-only registration would otherwise wake
+            // the level-triggered poller every round with an event the
+            // owner has chosen not to consume yet (read paused for
+            // backpressure).
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Owned epoll instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller {
+                epfd: sys::create()?,
+            })
+        }
+
+        pub fn register(
+            &self,
+            source: &impl AsRawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            sys::ctl(
+                self.epfd,
+                sys::EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                interest_bits(interest),
+                token,
+            )
+        }
+
+        pub fn reregister(
+            &self,
+            source: &impl AsRawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            sys::ctl(
+                self.epfd,
+                sys::EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                interest_bits(interest),
+                token,
+            )
+        }
+
+        pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+        }
+
+        /// Blocks until readiness or timeout. `None` waits forever.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0),
+            };
+            events.len = sys::wait(self.epfd, &mut events.buf, timeout_ms)?;
+            Ok(events.len)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    pub struct Events;
+
+    impl Events {
+        pub fn with_capacity(_cap: usize) -> Self {
+            Events
+        }
+
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            std::iter::empty()
+        }
+    }
+
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll reactor requires Linux; use the blocking transport",
+            ))
+        }
+
+        pub fn register<S>(&self, _source: &S, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed off Linux")
+        }
+
+        pub fn reregister<S>(
+            &self,
+            _source: &S,
+            _token: u64,
+            _interest: Interest,
+        ) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed off Linux")
+        }
+
+        pub fn deregister<S>(&self, _source: &S) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed off Linux")
+        }
+
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            unreachable!("Poller cannot be constructed off Linux")
+        }
+    }
+}
+
+pub use imp::{Events, Poller};
+
+/// Returns true when the epoll backend is available on this host.
+pub fn reactor_supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[allow(dead_code)]
+fn _assert_send(p: Poller) -> impl Send {
+    p
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readiness_round_trip_over_loopback() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        poller.register(&server, 7, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending yet: a zero-ish timeout returns no events.
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_millis(2000)))
+            .unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.token == 7)
+            .expect("readable event");
+        assert!(ev.readable);
+
+        let mut buf = [0u8; 8];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Writable interest reports immediately on an idle socket.
+        poller.reregister(&server, 9, Interest::WRITABLE).unwrap();
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_millis(2000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+
+        // Peer close surfaces as readable (EPOLLRDHUP folds in).
+        drop(client);
+        poller.reregister(&server, 11, Interest::READABLE).unwrap();
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_millis(2000)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 11).expect("hup event");
+        assert!(ev.readable || ev.failed);
+        poller.deregister(&server).unwrap();
+    }
+}

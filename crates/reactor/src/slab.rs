@@ -1,0 +1,163 @@
+//! Generation-tagged slab for connection storage.
+//!
+//! Epoll hands back whatever token was registered with an fd, even if
+//! the connection that owned the token was closed earlier in the same
+//! `wait` batch and its slot reused. Tokens therefore carry a
+//! generation counter in the high 32 bits: a stale token no longer
+//! resolves once the slot is recycled, so a late event for a dead
+//! connection is silently dropped instead of hitting its successor.
+
+/// Reserved token range: tokens at or above this value never collide
+/// with slab entries (the slab refuses to grow past `u32::MAX - 1`
+/// slots long before generation bits reach here in practice, and
+/// sentinel users stick to the top few values).
+pub const SENTINEL_BASE: u64 = u64::MAX - 15;
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// Slab keyed by `u64` tokens (`generation << 32 | index`).
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value and returns its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.value = Some(value);
+            return token_for(slot.generation, index);
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        token_for(0, index)
+    }
+
+    fn slot_for(&self, token: u64) -> Option<usize> {
+        let index = (token & u64::from(u32::MAX)) as usize;
+        let generation = (token >> 32) as u32;
+        let slot = self.slots.get(index)?;
+        if slot.generation == generation && slot.value.is_some() {
+            Some(index)
+        } else {
+            None
+        }
+    }
+
+    pub fn get(&self, token: u64) -> Option<&T> {
+        self.slot_for(token)
+            .and_then(|i| self.slots[i].value.as_ref())
+    }
+
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        let index = self.slot_for(token)?;
+        self.slots[index].value.as_mut()
+    }
+
+    /// Removes and returns the value, bumping the slot generation so
+    /// the token (and any queued events carrying it) dies with it.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let index = self.slot_for(token)?;
+        let slot = &mut self.slots[index];
+        let value = slot.value.take();
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterates live entries as `(token, &mut value)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, slot)| {
+            let generation = slot.generation;
+            slot.value
+                .as_mut()
+                .map(move |v| (token_for(generation, i as u32), v))
+        })
+    }
+
+    /// Tokens of all live entries (for sweeps that need to mutate or
+    /// remove while iterating).
+    pub fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.value.is_some())
+            .map(|(i, slot)| token_for(slot.generation, i as u32))
+            .collect()
+    }
+}
+
+fn token_for(generation: u32, index: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_token_does_not_resolve_after_slot_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        assert_eq!(slab.remove(a), Some("a"));
+        let b = slab.insert("b");
+        // Same slot index, different generation.
+        assert_eq!(a & u64::from(u32::MAX), b & u64::from(u32::MAX));
+        assert_ne!(a, b);
+        assert!(slab.get(a).is_none());
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert!(slab.remove(a).is_none());
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn tokens_and_iter_cover_live_entries_only() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        let mut live: Vec<u64> = slab.tokens();
+        live.sort_unstable();
+        let mut expect = vec![a, c];
+        expect.sort_unstable();
+        assert_eq!(live, expect);
+        let sum: i32 = slab.iter_mut().map(|(_, v)| *v).sum();
+        assert_eq!(sum, 4);
+        assert!(slab.tokens().iter().all(|&t| t < SENTINEL_BASE));
+    }
+}

@@ -1,0 +1,126 @@
+//! Raw epoll bindings.
+//!
+//! The build environment is air-gapped, so instead of the `libc` crate
+//! these are hand-declared `extern "C"` signatures for the five libc
+//! symbols the reactor needs (`std` already links libc on Linux, so
+//! they resolve without any extra linkage). All `unsafe` in the crate
+//! lives here, behind safe wrappers that translate `-1`/`errno` into
+//! `io::Error`.
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness record. x86 packs the struct (a kernel ABI quirk kept
+/// for compatibility); other architectures use natural alignment.
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance, returning its fd.
+pub fn create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the returned fd is owned by the
+    // caller (the `Poller`, which closes it on drop).
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds/modifies/removes `fd` in the interest list.
+pub fn ctl(epfd: RawFd, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` outlives the call; the kernel copies it. For
+    // `EPOLL_CTL_DEL` the kernel ignores the event pointer (a non-null
+    // one is portable to pre-2.6.9 kernels).
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Waits for readiness, filling `events` from the front. Returns the
+/// number of records written. Retries `EINTR` internally.
+pub fn wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+    let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+    loop {
+        // SAFETY: the buffer is valid for `max` records and the kernel
+        // writes at most that many.
+        match cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), max, timeout_ms) }) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Closes an fd owned by the caller.
+pub fn close_fd(fd: RawFd) {
+    // SAFETY: called exactly once per owned fd (the Poller's drop).
+    let _ = unsafe { close(fd) };
+}
+
+/// Best-effort raise of the open-file soft limit to its hard limit
+/// (C10K needs two fds per loopback connection). Returns the soft
+/// limit now in effect, or the error if even reading it failed.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid out-pointer for the duration of the call.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < lim.rlim_max {
+        let want = RLimit {
+            rlim_cur: lim.rlim_max,
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: `want` is a valid in-pointer; raising the soft limit
+        // to the hard limit needs no privilege.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            return Ok(want.rlim_cur);
+        }
+    }
+    Ok(lim.rlim_cur)
+}

@@ -1,0 +1,134 @@
+//! Cross-thread wakeup for a parked `Poller::wait`.
+//!
+//! A nonblocking socketpair: the reactor registers the receive half
+//! for readability; any thread holding the send half writes one byte
+//! to force the next `wait` to return. Writes that hit a full pipe
+//! are dropped — a full pipe already guarantees a pending wakeup.
+
+#[cfg(unix)]
+mod imp {
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+
+    /// Send half; cheap to clone behind an `Arc` and safe to call from
+    /// any thread.
+    #[derive(Debug)]
+    pub struct Waker {
+        tx: UnixStream,
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            // A failed or short write means a full pipe or a shutdown
+            // race: the reactor is already due to wake (or gone), so
+            // the byte is redundant either way.
+            let _ = (&self.tx).write(&[1]);
+        }
+    }
+
+    /// Receive half, owned by the reactor thread and registered with
+    /// its poller.
+    #[derive(Debug)]
+    pub struct WakerSource {
+        rx: UnixStream,
+    }
+
+    impl WakerSource {
+        /// Discards all queued wakeup bytes.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+
+    impl AsRawFd for WakerSource {
+        fn as_raw_fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+    }
+
+    /// Builds a connected waker pair, both halves nonblocking.
+    pub fn waker_pair() -> io::Result<(Waker, WakerSource)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx }, WakerSource { rx }))
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::io;
+
+    #[derive(Debug)]
+    pub struct Waker;
+
+    impl Waker {
+        pub fn wake(&self) {}
+    }
+
+    #[derive(Debug)]
+    pub struct WakerSource;
+
+    impl WakerSource {
+        pub fn drain(&self) {}
+    }
+
+    pub fn waker_pair() -> io::Result<(Waker, WakerSource)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "waker requires a unix socketpair",
+        ))
+    }
+}
+
+pub use imp::{waker_pair, Waker, WakerSource};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::poller::{Events, Interest, Poller};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_from_another_thread_unblocks_wait() {
+        let poller = Poller::new().unwrap();
+        let (waker, source) = waker_pair().unwrap();
+        let waker = Arc::new(waker);
+        poller
+            .register(&source, u64::MAX, Interest::READABLE)
+            .unwrap();
+
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
+        source.drain();
+        handle.join().unwrap();
+
+        // Drained: next wait times out quietly.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == u64::MAX));
+
+        // Many wakes coalesce without error.
+        for _ in 0..100_000 {
+            waker.wake();
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == u64::MAX));
+        source.drain();
+    }
+}

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+mod event_server;
 pub mod health;
 pub mod metrics;
 pub mod protocol;
@@ -64,8 +65,8 @@ pub use client::{Client, ClientError};
 pub use health::{HealthMachine, HealthPolicy, HealthSnapshot, HealthState};
 pub use metrics::{OpSnapshot, ServeMetrics, ServeSnapshot};
 pub use protocol::{
-    parse_message, read_frame, write_frame, write_message, FrameError, HealthInfo, Op, Request,
-    Response, Status, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    encode_message, parse_message, read_frame, read_frame_with_budget, write_frame, write_message,
+    FrameError, HealthInfo, Op, Request, Response, Status, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
-pub use server::{ServeModel, Server, ServerConfig, MAX_DEADLINE_MS};
+pub use server::{ServeModel, Server, ServerConfig, Transport, MAX_DEADLINE_MS};

@@ -650,8 +650,32 @@ impl FrameError {
 /// peer goes quiet mid-frame, [`FrameError::Io`] for socket errors and
 /// idle timeouts.
 pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    read_frame_with_budget(r, max, None)
+}
+
+/// [`read_frame`] with a wall-clock cap on assembling one frame.
+///
+/// The stall-counter guard alone is not slowloris-proof: a hostile
+/// client that trickles one byte just inside every
+/// [`MID_FRAME_STALL_LIMIT`] window resets the counter forever and
+/// pins a worker thread. With a `budget`, a clock starts at the first
+/// byte of each frame (header included); if the frame has not fully
+/// arrived when the budget lapses, the read fails with
+/// [`FrameError::Stalled`] regardless of trickle progress. Idle
+/// connections are unaffected — the clock only runs mid-frame.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`FrameError::Stalled`] when `budget`
+/// elapses mid-frame.
+pub fn read_frame_with_budget<R: Read>(
+    r: &mut R,
+    max: usize,
+    budget: Option<std::time::Duration>,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut assembly_deadline: Option<std::time::Instant> = None;
     let mut header = [0u8; 4];
-    match read_exact_or_eof(r, &mut header, true)? {
+    match read_exact_or_eof(r, &mut header, true, budget, &mut assembly_deadline)? {
         ReadOutcome::CleanEof => return Ok(None),
         ReadOutcome::Truncated(got) => return Err(FrameError::TruncatedEof { got, expected: 4 }),
         ReadOutcome::Full => {}
@@ -664,7 +688,7 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, Fra
         });
     }
     let mut payload = vec![0u8; len];
-    match read_exact_or_eof(r, &mut payload, false) {
+    match read_exact_or_eof(r, &mut payload, false, budget, &mut assembly_deadline) {
         Ok(ReadOutcome::Full) => Ok(Some(payload)),
         Ok(ReadOutcome::CleanEof | ReadOutcome::Truncated(_)) => Err(FrameError::TruncatedEof {
             got: 0,
@@ -695,6 +719,8 @@ fn read_exact_or_eof<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     idle_ok: bool,
+    budget: Option<std::time::Duration>,
+    assembly_deadline: &mut Option<std::time::Instant>,
 ) -> Result<ReadOutcome, FrameError> {
     let mut filled = 0usize;
     let mut stalls = 0u32;
@@ -710,11 +736,19 @@ fn read_exact_or_eof<R: Read>(
             Ok(n) => {
                 filled += n;
                 stalls = 0;
+                // The frame-assembly clock starts at the first byte of
+                // the frame and runs across header + payload.
+                if assembly_deadline.is_none() {
+                    *assembly_deadline = budget.map(|b| std::time::Instant::now() + b);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout_kind(&e) => {
-                if idle_ok && filled == 0 {
+                if idle_ok && filled == 0 && assembly_deadline.is_none() {
                     return Err(FrameError::Io(e));
+                }
+                if assembly_deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return Err(FrameError::Stalled { got: filled });
                 }
                 stalls += 1;
                 if stalls >= MID_FRAME_STALL_LIMIT {
@@ -748,9 +782,24 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// Propagates socket errors; serialization failure is reported as
 /// `InvalidData` (it would indicate a bug in the message type).
 pub fn write_message<W: Write, T: serde::Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
-    let json = serde_json::to_string(msg)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    write_frame(w, json.as_bytes())
+    let json = encode_message(msg)?;
+    write_frame(w, &json)
+}
+
+/// Serializes a message to the exact bytes `write_message` would frame.
+///
+/// The event-driven transport queues these bytes through its own
+/// buffered writer; routing both transports through one encoder is
+/// what makes their responses byte-identical.
+///
+/// # Errors
+///
+/// Serialization failure is reported as `InvalidData` (it would
+/// indicate a bug in the message type).
+pub fn encode_message<T: serde::Serialize>(msg: &T) -> io::Result<Vec<u8>> {
+    serde_json::to_string(msg)
+        .map(String::into_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// Parses a frame payload as a message.
@@ -984,5 +1033,60 @@ mod tests {
         assert!(parse_message::<Request>(b"{not json").is_err());
         assert!(parse_message::<Request>(&[0xff, 0xfe]).is_err());
         assert!(parse_message::<Request>(b"{\"op\":\"bogus\",\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn encode_message_matches_write_message_bytes() {
+        let mut resp = Response::ok(5);
+        resp.output = Some(vec![1.5f32, -2.0e-12]);
+        let encoded = encode_message(&resp).unwrap();
+        let mut framed = Vec::new();
+        write_message(&mut framed, &resp).unwrap();
+        assert_eq!(&framed[..4], (encoded.len() as u32).to_be_bytes());
+        assert_eq!(&framed[4..], &encoded[..]);
+    }
+
+    #[test]
+    fn half_written_frame_fails_within_assembly_budget() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::time::{Duration, Instant};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+
+        // Slowloris: announce a 64-byte payload, then trickle a byte
+        // every ~30 ms — each arrival resets the stall counter, so the
+        // counter alone would keep this reader pinned for minutes.
+        let writer = std::thread::spawn(move || {
+            client.write_all(&64u32.to_be_bytes()).unwrap();
+            client.write_all(b"abc").unwrap(); // half-written frame
+            loop {
+                std::thread::sleep(Duration::from_millis(30));
+                if client.write_all(b"x").is_err() {
+                    return; // reader gave up and closed
+                }
+            }
+        });
+
+        let mut reader = std::io::BufReader::new(server);
+        let t0 = Instant::now();
+        let result = read_frame_with_budget(&mut reader, 64, Some(Duration::from_millis(150)));
+        let elapsed = t0.elapsed();
+        assert!(
+            matches!(result, Err(FrameError::Stalled { .. })),
+            "expected Stalled, got {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "budget should cut the stall off quickly, took {elapsed:?}"
+        );
+        drop(reader);
+        writer.join().unwrap();
     }
 }

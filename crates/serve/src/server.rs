@@ -68,6 +68,7 @@ use afpr_runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher, QueueFull, R
 use afpr_xbar::spec::{MacroMode, MacroSpec};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
+use crate::event_server;
 use crate::health::{HealthMachine, HealthPolicy, HealthState};
 use crate::metrics::{ServeMetrics, ServeSnapshot};
 use crate::protocol::{
@@ -75,11 +76,54 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 
+/// Which I/O transport the server's front door runs on.
+///
+/// Both transports speak the same wire protocol through the same
+/// admission pipeline and produce byte-identical responses; the
+/// blocking pool is kept as the behavioral oracle for the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Thread-per-connection blocking I/O (`cfg.workers` threads).
+    #[default]
+    Blocking,
+    /// Single epoll event loop driving every connection (Linux only;
+    /// see `afpr-reactor`). Scales to tens of thousands of idle
+    /// connections without pinning a thread per socket.
+    Reactor,
+}
+
+impl Transport {
+    /// Reads a transport choice from an environment variable
+    /// (`"reactor"` selects the reactor where supported; anything else
+    /// — including unset — selects blocking I/O). The suite wrappers
+    /// that re-run every serve test against the reactor set this.
+    #[must_use]
+    pub fn from_env(var: &str) -> Self {
+        match std::env::var(var).ok().as_deref() {
+            Some("reactor") if afpr_reactor::reactor_supported() => Transport::Reactor,
+            _ => Transport::Blocking,
+        }
+    }
+}
+
 /// Configuration for [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port `0` for an ephemeral port.
     pub addr: String,
+    /// Front-door I/O transport. Defaults from `AFPR_SERVE_TRANSPORT`.
+    pub transport: Transport,
+    /// Reactor-transport connection cap: accepts past it are answered
+    /// with a structured `503 overloaded` frame and closed. (The
+    /// blocking transport's cap is `workers` + `accept_backlog`.)
+    pub max_connections: usize,
+    /// Reactor-transport idle sweep: a connection with no bytes moved
+    /// in either direction for this long is closed.
+    pub idle_timeout: Duration,
+    /// Wall-clock cap on assembling one inbound frame (both
+    /// transports). A slowloris peer trickling bytes can reset the
+    /// stall counter forever; this budget cannot be reset.
+    pub frame_assembly_timeout: Duration,
     /// Connection worker pool size.
     pub workers: usize,
     /// Engine worker threads (`None` = available parallelism).
@@ -121,6 +165,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            transport: Transport::from_env("AFPR_SERVE_TRANSPORT"),
+            max_connections: 12_000,
+            idle_timeout: Duration::from_secs(300),
+            frame_assembly_timeout: Duration::from_secs(30),
             workers: 8,
             engine_threads: None,
             queue_capacity: 64,
@@ -252,7 +300,7 @@ impl ServeModel {
 }
 
 /// Reply from the execution thread to a waiting connection worker.
-enum ExecReply {
+pub(crate) enum ExecReply {
     /// `matvec`/`forward_batch`: outputs, one per input vector.
     /// `matvec_partial`: unsummed per-row-tile partials.
     /// `infer`: one output vector.
@@ -313,29 +361,41 @@ struct ExecJob {
 }
 
 /// State shared by every server thread.
-struct Shared {
-    cfg: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
     shutting_down: AtomicBool,
     batcher: MicroBatcher<ExecJob>,
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
     health: Arc<HealthMachine>,
     k: usize,
     n: usize,
     row_tile_rows: usize,
     registry: Option<Arc<ModelRegistry>>,
+    /// Wakes the reactor event loop when the execution thread has
+    /// replies ready (`None` on the blocking transport, whose workers
+    /// block on their own reply channels instead).
+    transport_waker: Option<afpr_reactor::Waker>,
 }
 
 impl Shared {
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Nudges the event-driven transport (no-op for blocking I/O).
+    pub(crate) fn wake_transport(&self) {
+        if let Some(w) = &self.transport_waker {
+            w.wake();
+        }
     }
 
     /// Flips the drain flag, marks the health machine draining, and
     /// closes the admission queue (idempotent).
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Release);
         self.health.set_draining();
         self.batcher.close();
+        self.wake_transport();
     }
 
     /// Admission-queue fill fraction in `[0, 1]`.
@@ -344,7 +404,7 @@ impl Shared {
         self.batcher.len() as f64 / cap as f64
     }
 
-    fn health_info(&self) -> HealthInfo {
+    pub(crate) fn health_info(&self) -> HealthInfo {
         let state = self.health.evaluate(self.queue_frac());
         let snap = self.health.snapshot();
         HealthInfo {
@@ -438,6 +498,27 @@ impl Server {
         if let Some(reg) = &registry {
             metrics.set_registry(Arc::clone(reg));
         }
+        // Reactor transport: the poller, waker pair and registrations
+        // are created here (not in the event-loop thread) so setup
+        // failures surface as `Server::start` errors.
+        let (transport_waker, reactor_io) = match cfg.transport {
+            Transport::Reactor => {
+                let poller = afpr_reactor::Poller::new()?;
+                let (waker, waker_source) = afpr_reactor::waker_pair()?;
+                poller.register(
+                    &listener,
+                    event_server::LISTENER_TOKEN,
+                    afpr_reactor::Interest::READABLE,
+                )?;
+                poller.register(
+                    &waker_source,
+                    event_server::WAKER_TOKEN,
+                    afpr_reactor::Interest::READABLE,
+                )?;
+                (Some(waker), Some((poller, waker_source)))
+            }
+            Transport::Blocking => (None, None),
+        };
         let shared = Arc::new(Shared {
             cfg,
             shutting_down: AtomicBool::new(false),
@@ -448,6 +529,7 @@ impl Server {
             n,
             row_tile_rows,
             registry,
+            transport_waker,
         });
 
         // Thread-spawn failure (OS resource exhaustion) is an I/O error
@@ -468,6 +550,31 @@ impl Server {
                 }
             }
         };
+
+        // Reactor transport: one event-loop thread replaces the
+        // acceptor + connection pool entirely.
+        if let Some((poller, waker_source)) = reactor_io {
+            let event_loop = {
+                let shared_ev = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name("afpr-serve-reactor".into())
+                    .spawn(move || event_server::run(&shared_ev, &listener, &poller, &waker_source))
+            };
+            let acceptor = match event_loop {
+                Ok(h) => h,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    return Err(e);
+                }
+            };
+            return Ok(Self {
+                addr,
+                shared,
+                acceptor: Some(acceptor),
+                exec: Some(exec),
+                workers: Vec::new(),
+            });
+        }
 
         let (conn_tx, conn_rx) = bounded::<TcpStream>(shared.cfg.accept_backlog);
         let mut workers = Vec::with_capacity(shared.cfg.workers);
@@ -638,7 +745,11 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
 
     loop {
-        match protocol::read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+        match protocol::read_frame_with_budget(
+            &mut reader,
+            shared.cfg.max_frame_bytes,
+            Some(shared.cfg.frame_assembly_timeout),
+        ) {
             Ok(None) => return, // clean disconnect
             Ok(Some(payload)) => {
                 let t0 = Instant::now();
@@ -715,97 +826,198 @@ fn handle_frame<W: Write>(shared: &Shared, payload: &[u8], t0: Instant, writer: 
     op != Op::Shutdown
 }
 
-/// Admission control + dispatch for one parsed request.
+/// How a `Done` reply's outputs map back onto response fields.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReplyShape {
+    /// `matvec`/`infer`: one output vector in `output`.
+    Single,
+    /// `forward_batch`: all output vectors in `outputs`.
+    Batch,
+    /// `matvec_partial`: per-row-tile partials in `partials`.
+    Partials,
+}
+
+/// A request admitted to the execution queue, awaiting its reply.
+pub(crate) struct PendingExec {
+    pub(crate) id: u64,
+    pub(crate) shape: ReplyShape,
+    pub(crate) rx: Receiver<ExecReply>,
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl PendingExec {
+    /// When the transport should stop waiting and fail the request
+    /// (execution thread presumed dead). Mirrors the blocking path's
+    /// `recv_timeout` bound.
+    pub(crate) fn expires_at(&self, admitted: Instant) -> Instant {
+        match self.deadline {
+            Some(d) => d + REPLY_GRACE,
+            None => admitted + REPLY_TIMEOUT,
+        }
+    }
+}
+
+/// Outcome of non-blocking dispatch: either the response is already
+/// known, or the request was queued and the reply must be awaited.
+pub(crate) enum Admission {
+    Immediate(Box<Response>),
+    Pending(PendingExec),
+}
+
+impl Admission {
+    /// `Response` is ~17× the size of `PendingExec`; boxing keeps the
+    /// enum (and the per-request queue slots built from it) small.
+    pub(crate) fn immediate(resp: Response) -> Self {
+        Admission::Immediate(Box::new(resp))
+    }
+}
+
+/// Admission control + dispatch for one parsed request (blocking
+/// transport: waits for the execution reply in place).
 fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
+    match dispatch_admit(shared, req, t0) {
+        Admission::Immediate(resp) => *resp,
+        Admission::Pending(pending) => {
+            // Generous reply wait: the execution thread answers every
+            // queued job (including during drain), so this timeout only
+            // fires if the execution thread died — fail the request
+            // instead of hanging the connection forever.
+            let wait = match pending.deadline {
+                Some(d) => d.saturating_duration_since(Instant::now()) + REPLY_GRACE,
+                None => REPLY_TIMEOUT,
+            };
+            let reply = pending.rx.recv_timeout(wait).ok();
+            resolve_reply(shared, pending.id, pending.shape, reply)
+        }
+    }
+}
+
+/// The non-blocking part of dispatch, shared by both transports:
+/// validation, immediate ops, and queue admission. Never blocks — a
+/// compute request either fails fast or comes back as
+/// [`Admission::Pending`].
+pub(crate) fn dispatch_admit(shared: &Shared, req: Request, t0: Instant) -> Admission {
     // Version gate: router↔backend (or client↔server) version skew
     // fails loudly at the first frame instead of corrupting results
     // silently. Old frames without the field parse as version 1.
     if req.proto_version != PROTOCOL_VERSION {
-        return reject_malformed(
+        return Admission::immediate(reject_malformed(
             shared,
             req.id,
             format!(
                 "unsupported protocol version {} (server speaks {PROTOCOL_VERSION})",
                 req.proto_version
             ),
-        );
+        ));
     }
     match req.op {
         Op::Health => {
             let mut resp = Response::ok(req.id);
             resp.health = Some(shared.health_info());
-            resp
+            Admission::immediate(resp)
         }
         Op::Metrics => {
             let mut resp = Response::ok(req.id);
             resp.metrics = Some(shared.metrics.snapshot());
-            resp
+            Admission::immediate(resp)
         }
         Op::Shutdown => {
             shared.begin_shutdown();
             let mut resp = Response::ok(req.id);
             resp.metrics = Some(shared.metrics.snapshot());
-            resp
+            Admission::immediate(resp)
         }
         Op::Matvec => {
             let Some(input) = req.input.clone() else {
-                return reject_malformed(shared, req.id, "matvec requires `input`");
+                return Admission::immediate(reject_malformed(
+                    shared,
+                    req.id,
+                    "matvec requires `input`",
+                ));
             };
-            match admit(shared, &req, t0, JobPayload::Full(vec![input])) {
-                Ok(mut outputs) => {
-                    let mut resp = Response::ok(req.id);
-                    resp.output = outputs.pop();
-                    resp
-                }
-                Err(resp) => *resp,
-            }
+            admit(
+                shared,
+                &req,
+                t0,
+                JobPayload::Full(vec![input]),
+                ReplyShape::Single,
+            )
         }
         Op::ForwardBatch => {
             let Some(inputs) = req.inputs.clone() else {
-                return reject_malformed(shared, req.id, "forward_batch requires `inputs`");
+                return Admission::immediate(reject_malformed(
+                    shared,
+                    req.id,
+                    "forward_batch requires `inputs`",
+                ));
             };
             if inputs.is_empty() {
                 let mut resp = Response::ok(req.id);
                 resp.outputs = Some(Vec::new());
-                return resp;
+                return Admission::immediate(resp);
             }
-            match admit(shared, &req, t0, JobPayload::Full(inputs)) {
-                Ok(outputs) => {
-                    let mut resp = Response::ok(req.id);
-                    resp.outputs = Some(outputs);
-                    resp
-                }
-                Err(resp) => *resp,
-            }
+            admit(
+                shared,
+                &req,
+                t0,
+                JobPayload::Full(inputs),
+                ReplyShape::Batch,
+            )
         }
         Op::MatvecPartial => {
             let payload = match validate_partial(shared, &req) {
                 Ok(p) => p,
-                Err(detail) => return reject_malformed(shared, req.id, detail),
-            };
-            match admit(shared, &req, t0, payload) {
-                Ok(partials) => {
-                    let mut resp = Response::ok(req.id);
-                    resp.partials = Some(partials);
-                    resp
+                Err(detail) => {
+                    return Admission::immediate(reject_malformed(shared, req.id, detail));
                 }
-                Err(resp) => *resp,
-            }
+            };
+            admit(shared, &req, t0, payload, ReplyShape::Partials)
         }
         Op::Infer => {
             let payload = match validate_infer(shared, &req) {
                 Ok(p) => p,
-                Err(resp) => return *resp,
+                Err(resp) => return Admission::immediate(*resp),
             };
-            match admit(shared, &req, t0, payload) {
-                Ok(mut outputs) => {
-                    let mut resp = Response::ok(req.id);
-                    resp.output = outputs.pop();
-                    resp
-                }
-                Err(resp) => *resp,
-            }
+            admit(shared, &req, t0, payload, ReplyShape::Single)
         }
+    }
+}
+
+/// Turns an execution reply (or its absence: timeout / dead execution
+/// thread) into the wire response. Shared by both transports so status
+/// mapping and rejection accounting stay identical.
+pub(crate) fn resolve_reply(
+    shared: &Shared,
+    id: u64,
+    shape: ReplyShape,
+    reply: Option<ExecReply>,
+) -> Response {
+    match reply {
+        Some(ExecReply::Done(mut outputs)) => {
+            let mut resp = Response::ok(id);
+            match shape {
+                ReplyShape::Single => resp.output = outputs.pop(),
+                ReplyShape::Batch => resp.outputs = Some(outputs),
+                ReplyShape::Partials => resp.partials = Some(outputs),
+            }
+            resp
+        }
+        Some(ExecReply::Expired) => {
+            Response::error(id, Status::DeadlineExpired, "deadline expired while queued")
+        }
+        Some(ExecReply::ShuttingDown) => {
+            Response::error(id, Status::ShuttingDown, "server drained before execution")
+        }
+        Some(ExecReply::Failed(status, detail)) => {
+            if status == Status::Malformed {
+                shared
+                    .metrics
+                    .runtime()
+                    .record_rejection(RejectReason::Malformed);
+            }
+            Response::error(id, status, detail)
+        }
+        None => Response::error(id, Status::ShuttingDown, "execution pipeline unavailable"),
     }
 }
 
@@ -937,7 +1149,7 @@ fn validate_partial(shared: &Shared, req: &Request) -> Result<JobPayload, String
     })
 }
 
-fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Response {
+pub(crate) fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Response {
     shared
         .metrics
         .runtime()
@@ -951,19 +1163,21 @@ fn reject_malformed(shared: &Shared, id: u64, detail: impl Into<String>) -> Resp
 pub const MAX_DEADLINE_MS: u64 = 86_400_000;
 
 /// Runs the admission pipeline for compute requests: input validation
-/// → deadline gate → drain gate → bounded-queue submit → wait for the
-/// execution thread's reply.
+/// → deadline gate → drain gate → bounded-queue submit. Non-blocking;
+/// on success the caller (blocking worker or event loop) awaits the
+/// reply channel.
 fn admit(
     shared: &Shared,
     req: &Request,
     t0: Instant,
     payload: JobPayload,
-) -> Result<Vec<Vec<f32>>, Box<Response>> {
+    shape: ReplyShape,
+) -> Admission {
     // Partial payloads were validated against the tiling in
     // `validate_partial`; full payloads are checked here.
     for (i, input) in payload.full_inputs().iter().enumerate() {
         if input.len() != shared.k {
-            return Err(Box::new(reject_malformed(
+            return Admission::immediate(reject_malformed(
                 shared,
                 req.id,
                 format!(
@@ -971,7 +1185,7 @@ fn admit(
                     input.len(),
                     shared.k
                 ),
-            )));
+            ));
         }
     }
 
@@ -988,11 +1202,11 @@ fn admit(
             match t0.checked_add(Duration::from_millis(ms)) {
                 Some(d) if within_cap => Some(d),
                 _ => {
-                    return Err(Box::new(reject_malformed(
+                    return Admission::immediate(reject_malformed(
                         shared,
                         req.id,
                         format!("deadline_ms {ms} exceeds the maximum of {MAX_DEADLINE_MS} ms"),
-                    )));
+                    ));
                 }
             }
         }
@@ -1003,20 +1217,20 @@ fn admit(
                 .metrics
                 .runtime()
                 .record_rejection(RejectReason::DeadlineExpired);
-            return Err(Box::new(Response::error(
+            return Admission::immediate(Response::error(
                 req.id,
                 Status::DeadlineExpired,
                 "deadline expired before admission",
-            )));
+            ));
         }
     }
 
     if shared.is_shutting_down() {
-        return Err(Box::new(Response::error(
+        return Admission::immediate(Response::error(
             req.id,
             Status::ShuttingDown,
             "server is draining",
-        )));
+        ));
     }
 
     // Health gate: while Degraded, shed compute load before the queue
@@ -1037,7 +1251,7 @@ fn admit(
             "service degraded: shedding load",
         );
         resp.retry_after_ms = Some(shared.cfg.retry_after_ms);
-        return Err(Box::new(resp));
+        return Admission::immediate(resp);
     }
 
     let (reply_tx, reply_rx) = bounded::<ExecReply>(1);
@@ -1050,45 +1264,16 @@ fn admit(
         // The batcher already counted the rejection (queue_full).
         let mut resp = Response::error(req.id, Status::Overloaded, "admission queue at capacity");
         resp.retry_after_ms = Some(shared.cfg.retry_after_ms);
-        return Err(Box::new(resp));
+        return Admission::immediate(resp);
     }
     shared.metrics.runtime().record_request_accepted();
 
-    // Generous reply wait: the execution thread answers every queued
-    // job (including during drain), so this timeout only fires if the
-    // execution thread died — fail the request instead of hanging the
-    // connection forever.
-    let wait = match deadline {
-        Some(d) => d.saturating_duration_since(Instant::now()) + REPLY_GRACE,
-        None => REPLY_TIMEOUT,
-    };
-    match reply_rx.recv_timeout(wait) {
-        Ok(ExecReply::Done(outputs)) => Ok(outputs),
-        Ok(ExecReply::Expired) => Err(Box::new(Response::error(
-            req.id,
-            Status::DeadlineExpired,
-            "deadline expired while queued",
-        ))),
-        Ok(ExecReply::ShuttingDown) => Err(Box::new(Response::error(
-            req.id,
-            Status::ShuttingDown,
-            "server drained before execution",
-        ))),
-        Ok(ExecReply::Failed(status, detail)) => {
-            if status == Status::Malformed {
-                shared
-                    .metrics
-                    .runtime()
-                    .record_rejection(RejectReason::Malformed);
-            }
-            Err(Box::new(Response::error(req.id, status, detail)))
-        }
-        Err(_) => Err(Box::new(Response::error(
-            req.id,
-            Status::ShuttingDown,
-            "execution pipeline unavailable",
-        ))),
-    }
+    Admission::Pending(PendingExec {
+        id: req.id,
+        shape,
+        rx: reply_rx,
+        deadline,
+    })
 }
 
 /// Safety-net wait for a reply when the request has no deadline.
@@ -1135,12 +1320,16 @@ fn exec_loop(
         let total = accel.stats().total_energy().joules() + accel.adder_energy().joules();
         engine.metrics().record_energy_j(total - energy_reported);
         energy_reported = total;
+        // Replies for this batch are on their channels: nudge the
+        // event-driven transport to deliver them (no-op for blocking).
+        shared.wake_transport();
     }
     // Drain-then-stop epilogue: answer anything that raced past the
     // close so no connection worker is left waiting.
     for job in shared.batcher.drain() {
         let _ = job.reply.send(ExecReply::ShuttingDown);
     }
+    shared.wake_transport();
 }
 
 fn run_batch(

@@ -1,0 +1,22 @@
+//! The entire `protocol_fuzz` suite, re-run against the reactor
+//! transport (`Transport::Reactor`), unmodified — hostile frames,
+//! truncation, oversized announcements and version skew must get the
+//! same structured answers from the event-driven frame assembler as
+//! from the blocking reader.
+//!
+//! See `server_roundtrip_reactor.rs` for how the transport is
+//! selected pre-main.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_SERVE_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "protocol_fuzz.rs"]
+mod suite;

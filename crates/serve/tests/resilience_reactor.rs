@@ -1,0 +1,21 @@
+//! The entire `resilience` suite, re-run against the reactor
+//! transport (`Transport::Reactor`), unmodified — chaos degradation
+//! and recovery, injected worker panics, and client retry behavior
+//! across connection drops must be transport-invariant.
+//!
+//! See `server_roundtrip_reactor.rs` for how the transport is
+//! selected pre-main.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_SERVE_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "resilience.rs"]
+mod suite;

@@ -1,0 +1,23 @@
+//! The entire `server_roundtrip` suite, re-run against the reactor
+//! transport (`Transport::Reactor`), unmodified.
+//!
+//! `ServerConfig::default()` reads `AFPR_SERVE_TRANSPORT`; a pre-main
+//! constructor sets it before any test thread exists (tests run
+//! concurrently, so setting it lazily inside a test would race), then
+//! the blocking-oracle suite is included verbatim. Every assertion —
+//! including the bit-identity checks against the in-process
+//! accelerator — must hold byte-for-byte on the event-driven path.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_SERVE_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "server_roundtrip.rs"]
+mod suite;
