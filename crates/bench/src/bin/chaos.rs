@@ -22,6 +22,12 @@
 //!   counted (`jobs_panicked`), never escape, and never corrupt a
 //!   response.
 //!
+//! A second, cluster-level churn phase (`--churn-ms`, 0 disables)
+//! then soaks a replicated router under membership churn: a backend
+//! is killed mid-load and fresh capacity rejoins over the wire
+//! (`register`), asserting zero failed calls, bit-identical outputs,
+//! and the ejection/join visible in the router snapshot.
+//!
 //! Usage (the CI chaos-smoke step runs the bracketed line):
 //!
 //! ```text
@@ -77,6 +83,114 @@ impl Tally {
     }
 }
 
+/// Cluster-membership churn soak: a replicated router over ideal
+/// (noise-free) demo backends keeps serving **bit-identical** results
+/// while one backend is killed mid-load and a replacement rejoins
+/// over the wire. Returns the failure strings it found (empty =
+/// pass). The retrying client absorbs the failover, so any give-up,
+/// corruption, or bit drift is a real bug.
+fn cluster_churn_phase(seed: u64, duration: Duration) -> Vec<String> {
+    use afpr_cluster::{ClusterConfig, Placement, Router};
+
+    let mut failures = Vec::new();
+    let mk =
+        || Server::start(ServerConfig::default(), ServeModel::demo(seed)).expect("churn backend");
+    let mut backends: Vec<Server> = (0..3).map(|_| mk()).collect();
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let mut cfg = ClusterConfig::new("127.0.0.1:0", &addrs, Placement::Replicated);
+    cfg.probe_interval = Duration::from_millis(50);
+    let router = Router::start(cfg).expect("churn router");
+
+    let (mut reference, handle) = ServeModel::demo(seed).into_parts();
+    let (k, _n) = ServeModel::demo(seed).dims();
+    let mut client = RetryingClient::new(
+        router.local_addr().to_string(),
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(2),
+            io_timeout: Some(Duration::from_secs(5)),
+            seed,
+            ..RetryPolicy::default()
+        },
+    );
+
+    let t0 = Instant::now();
+    let (mut sent, mut ok, mut bad_bits) = (0u64, 0u64, 0u64);
+    let mut killed = false;
+    let mut joined = false;
+    let mut replacement: Option<Server> = None;
+    let mut i = 0usize;
+    while t0.elapsed() < duration {
+        if !killed && t0.elapsed() >= duration / 3 {
+            let victim = backends.remove(1);
+            let _ = victim.shutdown();
+            killed = true;
+        }
+        if !joined && t0.elapsed() >= duration * 2 / 3 {
+            let nb = mk();
+            let mut admin = Client::connect(router.local_addr()).expect("admin connects");
+            if admin
+                .register_backend(&nb.local_addr().to_string())
+                .is_err()
+            {
+                failures.push("cluster churn: wire rejoin was refused".into());
+            }
+            replacement = Some(nb);
+            joined = true;
+        }
+        let input = ServeModel::demo_input(k, i);
+        sent += 1;
+        match client.matvec(&input) {
+            Ok(y) => {
+                ok += 1;
+                let golden = reference.matvec(handle, &input);
+                let identical = y.len() == golden.len()
+                    && y.iter()
+                        .zip(&golden)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !identical {
+                    bad_bits += 1;
+                }
+            }
+            Err(e) => failures.push(format!("cluster churn: request {i} failed: {e}")),
+        }
+        i += 1;
+    }
+
+    let snap = router.shutdown();
+    let events = snap.membership.unwrap_or_default();
+    println!("== cluster churn phase ==");
+    println!(
+        "sent {sent}, ok {ok}, bit mismatches {bad_bits} over {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "membership        : ejections {}, joins {}, revivals {}, rebalances {}",
+        events.ejections, events.joins, events.revivals, events.rebalances
+    );
+    if ok == 0 {
+        failures.push("cluster churn: no successful responses".into());
+    }
+    if bad_bits > 0 {
+        failures.push(format!(
+            "cluster churn: {bad_bits} responses were not bit-identical"
+        ));
+    }
+    if killed && events.ejections == 0 {
+        failures.push("cluster churn: the kill was never observed as an ejection".into());
+    }
+    if joined && events.joins == 0 {
+        failures.push("cluster churn: the wire rejoin was never counted".into());
+    }
+    for b in backends.into_iter().chain(replacement) {
+        let _ = b.shutdown();
+    }
+    failures
+}
+
 /// Relative L2 error of `y` against `reference`.
 fn rel_l2(y: &[f32], reference: &[f32]) -> f64 {
     let mut num = 0.0f64;
@@ -104,6 +218,7 @@ fn main() -> ExitCode {
     let scrub_period = flag::<u64>(&args, "--scrub-period").unwrap_or(150);
     let spares = flag::<usize>(&args, "--spares").unwrap_or(16);
     let err_bound = flag::<f64>(&args, "--err-bound").unwrap_or(0.5);
+    let churn_ms = flag::<u64>(&args, "--churn-ms").unwrap_or(1500);
     const INPUTS: usize = 64;
 
     // Injected worker panics are intentional; keep their backtraces out
@@ -350,6 +465,12 @@ fn main() -> ExitCode {
     }
     if panic_every > 0 && snapshot.runtime.jobs_panicked == 0 {
         failures.push("injected worker panics were never observed".into());
+    }
+
+    // Cluster-level churn: kill and rejoin a replicated backend
+    // mid-load, bit-checking every response.
+    if churn_ms > 0 {
+        failures.extend(cluster_churn_phase(seed, Duration::from_millis(churn_ms)));
     }
 
     if failures.is_empty() {

@@ -1,22 +1,31 @@
 //! Cluster router: standalone serving and the scaling benchmark.
 //!
-//! Three modes:
+//! Four modes:
 //!
-//! * **Serve** (`--replicas N`, `--shards N` or `--pipeline N`):
-//!   self-hosts N demo backends plus a router on `--addr` and blocks
-//!   until a client sends `shutdown`. Any existing `afpr-serve`
-//!   client (including the load generator) can point at the router
-//!   unchanged; pipeline backends carry a model registry so `infer`
-//!   streams across the stages.
+//! * **Serve** (`--replicas N`, `--shards N`, `--shards N --replicas R`
+//!   or `--pipeline N`): self-hosts the demo backends plus a router on
+//!   `--addr` and blocks until a client sends `shutdown`. Any existing
+//!   `afpr-serve` client (including the load generator) can point at
+//!   the router unchanged; pipeline backends carry a model registry so
+//!   `infer` streams across the stages. Combining `--shards` and
+//!   `--replicas` serves the elastic sharded×replicated placement:
+//!   N×R backends, R replicas per shard, live `register`/`deregister`.
 //! * **Bench** (default): measures replicated closed-loop throughput
 //!   at 1, 2 and 3 backends behind one router, verifies the sharded
 //!   path bit-identically reproduces the single-node matvec at every
-//!   feasible shard count, and writes `BENCH_cluster.json`.
+//!   feasible shard count, runs the membership-churn soak on both
+//!   transports, and writes `BENCH_cluster.json`.
 //! * **Smoke** (`--smoke`): the CI variant of bench — fixed seed,
 //!   short duration, plus an end-to-end `loadgen` subprocess run
 //!   against a replicated router and a sharded router via
 //!   `--target-list`; exits nonzero if the bit check fails, the
-//!   scaling result is missing, or loadgen fails.
+//!   scaling result is missing, loadgen fails, or churn drops a
+//!   response.
+//! * **Churn smoke** (`--churn-only`): just the membership-churn soak
+//!   — kill one replica of every shard mid-load at R=2 (zero failed
+//!   responses allowed), kill the only replica at R=1 (bounded
+//!   structured-503 window), rejoin capacity over the wire — on both
+//!   transports, with a JSON report.
 //!
 //! Usage:
 //!
@@ -27,6 +36,9 @@
 //! # Sharded cluster (bit-identical to one node):
 //! cargo run --release --bin cluster -- --shards 2 --addr 127.0.0.1:7979
 //!
+//! # Elastic 3-shard × 2-replica cluster (6 backends):
+//! cargo run --release --bin cluster -- --shards 3 --replicas 2
+//!
 //! # Pipeline cluster (full-model infer split across 2 stages):
 //! cargo run --release --bin cluster -- --pipeline 2
 //!
@@ -35,6 +47,9 @@
 //!
 //! # CI smoke (expects the `loadgen` binary next to this one):
 //! cargo run --release --bin cluster -- --smoke
+//!
+//! # CI churn smoke (membership churn only, both transports):
+//! cargo run --release --bin cluster -- --churn-only --seed 2024
 //! ```
 
 use std::net::SocketAddr;
@@ -76,12 +91,13 @@ fn start_backends(n: usize, seed: u64, exec_delay: Duration, batch_size: usize) 
         .collect()
 }
 
-fn router_for(backends: &[Server], placement: Placement, addr: &str) -> Router {
+fn router_for(backends: &[Server], placement: Placement, addr: &str, replicas: usize) -> Router {
     let addrs: Vec<String> = backends
         .iter()
         .map(|b| b.local_addr().to_string())
         .collect();
-    let cfg = ClusterConfig::new(addr, &addrs, placement);
+    let mut cfg = ClusterConfig::new(addr, &addrs, placement);
+    cfg.replicas = replicas.max(1);
     Router::start(cfg).expect("router starts")
 }
 
@@ -124,7 +140,7 @@ fn closed_loop_throughput(addr: SocketAddr, clients: usize, duration: Duration) 
 /// accelerator for `rounds` requests at the given shard count.
 fn sharded_bit_check(shards: usize, seed: u64, rounds: usize) -> bool {
     let backends = start_backends(shards, seed, Duration::ZERO, 8);
-    let router = router_for(&backends, Placement::Sharded, "127.0.0.1:0");
+    let router = router_for(&backends, Placement::Sharded, "127.0.0.1:0", 1);
     let (mut reference, handle) = ServeModel::demo(seed).into_parts();
     let mut client = Client::connect(router.local_addr()).expect("connects");
     let mut identical = true;
@@ -435,6 +451,279 @@ fn reactor_c10k(seed: u64, duration: Duration, smoke: bool) -> Option<ReactorPha
     })
 }
 
+/// One side of the membership-churn soak.
+#[derive(Serialize)]
+struct ChurnSide {
+    shards: usize,
+    replicas: usize,
+    requests: u64,
+    ok: u64,
+    /// Client-visible failures that are *not* structured 503s —
+    /// always a bug, at any replication factor.
+    failed: u64,
+    /// Structured `503 overloaded` rejections (the R=1 outage window).
+    rejected_503: u64,
+    /// Every `ok` response matched the single-node accelerator
+    /// bit for bit.
+    bit_identical: bool,
+    /// Milliseconds from killing capacity to the next `ok` (0 when no
+    /// request ever failed over visibly).
+    outage_ms: u64,
+    ejections: u64,
+    joins: u64,
+    rebalances: u64,
+    pass: bool,
+}
+
+/// Both churn soaks on one transport.
+#[derive(Serialize)]
+struct ChurnResult {
+    transport: &'static str,
+    /// R=2: killing one replica of every shard must cost **zero**
+    /// responses — failover is invisible to the client.
+    r2: ChurnSide,
+    /// R=1: killing the only replica of a shard is a *bounded* window
+    /// of structured 503s, then the rebalance heals the plan.
+    r1: ChurnSide,
+}
+
+fn churn_router(backends: &[Server], replicas: usize, transport: Transport) -> Router {
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let mut cfg = ClusterConfig::new("127.0.0.1:0", &addrs, Placement::Sharded);
+    cfg.replicas = replicas;
+    cfg.transport = transport;
+    cfg.probe_interval = Duration::from_millis(50);
+    Router::start(cfg).expect("churn router starts")
+}
+
+/// R=2 soak: 3 shards × 2 replicas; a third of the way in, kill one
+/// replica of **every** shard; two thirds in, rejoin fresh capacity
+/// over the wire. Zero failed responses allowed, every answer
+/// bit-checked.
+fn churn_r2(seed: u64, transport: Transport, rounds: usize) -> ChurnSide {
+    let mut backends = start_backends(6, seed, Duration::ZERO, 8);
+    let router = churn_router(&backends, 2, transport);
+    let (mut reference, handle) = ServeModel::demo(seed).into_parts();
+    let mut client = Client::connect(router.local_addr()).expect("connects");
+    let _ = client.set_read_timeout(Some(Duration::from_secs(10)));
+
+    let plan = router.shard_plan().expect("plan");
+    let snap0 = router.cluster_snapshot();
+    let victims: std::collections::HashSet<String> = plan
+        .shards
+        .iter()
+        .map(|s| snap0.backends[s.replicas[0]].addr.clone())
+        .collect();
+
+    let (mut ok, mut failed, mut r503) = (0u64, 0u64, 0u64);
+    let mut bits = true;
+    let mut replacements: Vec<Server> = Vec::new();
+    for i in 0..rounds {
+        if i == rounds / 3 {
+            let mut survivors = Vec::new();
+            for b in backends.drain(..) {
+                if victims.contains(&b.local_addr().to_string()) {
+                    let _ = b.shutdown();
+                } else {
+                    survivors.push(b);
+                }
+            }
+            backends = survivors;
+        }
+        if i == 2 * rounds / 3 {
+            for _ in 0..victims.len() {
+                let nb = Server::start(ServerConfig::default(), ServeModel::demo(seed))
+                    .expect("replacement starts");
+                if client
+                    .register_backend(&nb.local_addr().to_string())
+                    .is_err()
+                {
+                    failed += 1;
+                }
+                replacements.push(nb);
+            }
+        }
+        let input = ServeModel::demo_input(K, i);
+        match client.matvec(input.clone()) {
+            Ok(y) => {
+                ok += 1;
+                let golden = reference.matvec(handle, &input);
+                bits &= y.len() == golden.len()
+                    && y.iter()
+                        .zip(&golden)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+            }
+            Err(afpr_serve::ClientError::Rejected(r)) if r.code == 503 => r503 += 1,
+            Err(_) => failed += 1,
+        }
+    }
+
+    let snap = router.shutdown();
+    let events = snap.membership.unwrap_or_default();
+    let side = ChurnSide {
+        shards: 3,
+        replicas: 2,
+        requests: rounds as u64,
+        ok,
+        failed,
+        rejected_503: r503,
+        bit_identical: bits,
+        outage_ms: 0,
+        ejections: events.ejections,
+        joins: events.joins,
+        rebalances: events.rebalances,
+        pass: failed == 0 && r503 == 0 && bits && ok == rounds as u64 && events.joins >= 3,
+    };
+    for b in backends.into_iter().chain(replacements) {
+        let _ = b.shutdown();
+    }
+    side
+}
+
+/// R=1 soak: 2 shards, one replica each; kill one shard's only
+/// replica. The outage must be a *bounded* window of structured 503s
+/// — never a hang, never a torn response — after which the rebalance
+/// heals the plan onto the survivor and the bits still match.
+fn churn_r1(seed: u64, transport: Transport) -> ChurnSide {
+    const OUTAGE_BOUND: Duration = Duration::from_secs(8);
+    let mut backends = start_backends(2, seed, Duration::ZERO, 8);
+    let router = churn_router(&backends, 1, transport);
+    let (mut reference, handle) = ServeModel::demo(seed).into_parts();
+    let mut client = Client::connect(router.local_addr()).expect("connects");
+    let _ = client.set_read_timeout(Some(Duration::from_secs(10)));
+
+    let (mut ok, mut failed, mut r503) = (0u64, 0u64, 0u64);
+    let mut bits = true;
+    let mut requests = 0u64;
+    let check = |y: &[f32], golden: &[f32], bits: &mut bool| {
+        *bits &= y.len() == golden.len()
+            && y.iter()
+                .zip(golden)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+    };
+
+    // Warm: both shards live.
+    for i in 0..3 {
+        let input = ServeModel::demo_input(K, i);
+        requests += 1;
+        match client.matvec(input.clone()) {
+            Ok(y) => {
+                ok += 1;
+                check(&y, &reference.matvec(handle, &input), &mut bits);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+
+    // Kill the second shard's only replica and ride out the window.
+    let victim = backends.remove(1);
+    let _ = victim.shutdown();
+    let t0 = Instant::now();
+    let input = ServeModel::demo_input(K, 3);
+    let outage_ms = loop {
+        if t0.elapsed() > OUTAGE_BOUND {
+            failed += 1;
+            break t0.elapsed().as_millis() as u64;
+        }
+        requests += 1;
+        match client.matvec_with_deadline(input.clone(), 3_000) {
+            Ok(y) => {
+                ok += 1;
+                check(&y, &reference.matvec(handle, &input), &mut bits);
+                break t0.elapsed().as_millis() as u64;
+            }
+            Err(afpr_serve::ClientError::Rejected(r)) if r.code == 503 || r.code == 504 => {
+                r503 += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                failed += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+
+    // Healed: the survivor serves the whole plan, bits unchanged.
+    for i in 4..8 {
+        let input = ServeModel::demo_input(K, i);
+        requests += 1;
+        match client.matvec(input.clone()) {
+            Ok(y) => {
+                ok += 1;
+                check(&y, &reference.matvec(handle, &input), &mut bits);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+
+    let snap = router.shutdown();
+    let events = snap.membership.unwrap_or_default();
+    let side = ChurnSide {
+        shards: 2,
+        replicas: 1,
+        requests,
+        ok,
+        failed,
+        rejected_503: r503,
+        bit_identical: bits,
+        outage_ms,
+        ejections: events.ejections,
+        joins: events.joins,
+        rebalances: events.rebalances,
+        pass: failed == 0 && bits && outage_ms < OUTAGE_BOUND.as_millis() as u64,
+    };
+    for b in backends {
+        let _ = b.shutdown();
+    }
+    side
+}
+
+/// The membership-churn soak on every transport this host supports.
+fn churn_phase(seed: u64, smoke: bool) -> Vec<ChurnResult> {
+    let rounds = if smoke { 30 } else { 60 };
+    let mut transports = vec![(Transport::Blocking, "blocking")];
+    if afpr_reactor::reactor_supported() {
+        transports.push((Transport::Reactor, "reactor"));
+    } else {
+        eprintln!("churn: reactor unsupported on this host; blocking transport only");
+    }
+    transports
+        .into_iter()
+        .map(|(t, name)| {
+            let r2 = churn_r2(seed, t, rounds);
+            let r1 = churn_r1(seed, t);
+            eprintln!(
+                "churn [{name}] r2: {}/{} ok, {} failed, {} 503, bits={}, joins={} → {}",
+                r2.ok,
+                r2.requests,
+                r2.failed,
+                r2.rejected_503,
+                r2.bit_identical,
+                r2.joins,
+                if r2.pass { "pass" } else { "FAIL" }
+            );
+            eprintln!(
+                "churn [{name}] r1: {}/{} ok, {} failed, {} 503, outage {} ms, bits={} → {}",
+                r1.ok,
+                r1.requests,
+                r1.failed,
+                r1.rejected_503,
+                r1.outage_ms,
+                r1.bit_identical,
+                if r1.pass { "pass" } else { "FAIL" }
+            );
+            ChurnResult {
+                transport: name,
+                r2,
+                r1,
+            }
+        })
+        .collect()
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: &'static str,
@@ -453,6 +742,19 @@ struct Report {
     loadgen_exit_ok: Option<bool>,
     /// Event-driven transport under C10K posture (`None` off Linux).
     reactor: Option<ReactorPhase>,
+    /// Membership-churn soak per transport (kill/rejoin mid-load).
+    churn: Vec<ChurnResult>,
+    churn_pass: bool,
+}
+
+/// Standalone report for `--churn-only` runs (the CI churn-smoke
+/// step).
+#[derive(Serialize)]
+struct ChurnReport {
+    bench: &'static str,
+    seed: u64,
+    churn: Vec<ChurnResult>,
+    churn_pass: bool,
 }
 
 fn serve_mode(
@@ -463,12 +765,18 @@ fn serve_mode(
 ) -> ExitCode {
     let seed = flag::<u64>(args, "--seed").unwrap_or(7);
     let addr = flag::<String>(args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
-    let (n, placement) = match (replicas, shards, pipeline) {
-        (Some(n), None, None) => (n, Placement::Replicated),
-        (None, Some(n), None) => (n, Placement::Sharded),
-        (None, None, Some(n)) => (n, Placement::Pipeline),
+    let (n, placement, replication) = match (replicas, shards, pipeline) {
+        (Some(n), None, None) => (n, Placement::Replicated, 1),
+        (None, Some(n), None) => (n, Placement::Sharded, 1),
+        // Combined sharded × replicated placement: N shards each held
+        // by R replicas ⇒ N×R backends. Backends can later join and
+        // leave over the wire (`register`/`deregister`).
+        (Some(r), Some(n), None) => (n * r.max(1), Placement::Sharded, r.max(1)),
+        (None, None, Some(n)) => (n, Placement::Pipeline, 1),
         _ => {
-            eprintln!("cluster: pass exactly one of --replicas N, --shards N or --pipeline N");
+            eprintln!(
+                "cluster: pass --replicas N, --shards N, --shards N --replicas R, or --pipeline N"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -490,9 +798,10 @@ fn serve_mode(
     } else {
         start_backends(n.max(1), seed, Duration::ZERO, 8)
     };
-    let router = router_for(&backends, placement, &addr);
+    let router = router_for(&backends, placement, &addr, replication);
     eprintln!(
-        "afpr-cluster ({} × {} backends) listening on {} (send a `shutdown` request to stop)",
+        "afpr-cluster ({} × {} backends, R={replication}) listening on {} \
+         (send a `shutdown` request to stop)",
         placement.as_str(),
         backends.len(),
         router.local_addr()
@@ -509,6 +818,27 @@ fn serve_mode(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--churn-only") {
+        let seed = flag::<u64>(&args, "--seed").unwrap_or(2024);
+        let out = flag::<String>(&args, "--out").unwrap_or_else(|| "BENCH_cluster.json".into());
+        let churn = churn_phase(seed, true);
+        let churn_pass = churn.iter().all(|c| c.r2.pass && c.r1.pass);
+        let report = ChurnReport {
+            bench: "cluster-churn",
+            seed,
+            churn,
+            churn_pass,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&out, format!("{json}\n")).expect("write report");
+        println!("{json}");
+        eprintln!("wrote {out}");
+        return if churn_pass {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let replicas = flag::<usize>(&args, "--replicas");
     let shards = flag::<usize>(&args, "--shards");
     let pipeline = flag::<usize>(&args, "--pipeline");
@@ -534,7 +864,7 @@ fn main() -> ExitCode {
     let mut scaling = Vec::new();
     for n in [1usize, 2, 3] {
         let backends = start_backends(n, seed, exec_delay, 1);
-        let router = router_for(&backends, Placement::Replicated, "127.0.0.1:0");
+        let router = router_for(&backends, Placement::Replicated, "127.0.0.1:0", 1);
         let (ok, req_per_s) = closed_loop_throughput(router.local_addr(), clients, duration);
         eprintln!("replicated n={n}: {ok} ok, {req_per_s:.0} req/s");
         let snap = router.shutdown();
@@ -567,9 +897,9 @@ fn main() -> ExitCode {
     // router and a sharded router at once, via --target-list.
     let loadgen_exit_ok = if smoke {
         let rep_backends = start_backends(2, seed, Duration::ZERO, 8);
-        let rep_router = router_for(&rep_backends, Placement::Replicated, "127.0.0.1:0");
+        let rep_router = router_for(&rep_backends, Placement::Replicated, "127.0.0.1:0", 1);
         let shard_backends = start_backends(2, seed, Duration::ZERO, 8);
-        let shard_router = router_for(&shard_backends, Placement::Sharded, "127.0.0.1:0");
+        let shard_router = router_for(&shard_backends, Placement::Sharded, "127.0.0.1:0", 1);
         let targets = format!("{},{}", rep_router.local_addr(), shard_router.local_addr());
         let ok = run_loadgen(&targets, duration.as_millis() as u64);
         let rep_snap = rep_router.shutdown();
@@ -592,6 +922,12 @@ fn main() -> ExitCode {
     // the router, and the honest demo-model number.
     let reactor = reactor_c10k(seed, duration, smoke);
 
+    // Phase 5 — membership churn on every supported transport: kill
+    // one replica per shard at R=2 (zero failed responses), kill the
+    // only replica at R=1 (bounded 503 window), rejoin over the wire.
+    let churn = churn_phase(seed, smoke);
+    let churn_pass = churn.iter().all(|c| c.r2.pass && c.r1.pass);
+
     let report = Report {
         bench: "cluster",
         seed,
@@ -604,13 +940,15 @@ fn main() -> ExitCode {
         sharded_pass,
         loadgen_exit_ok,
         reactor,
+        churn,
+        churn_pass,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write report");
     println!("{json}");
     eprintln!("wrote {out}");
 
-    if !sharded_pass || !scaling_pass || loadgen_exit_ok == Some(false) {
+    if !sharded_pass || !scaling_pass || !report.churn_pass || loadgen_exit_ok == Some(false) {
         return ExitCode::FAILURE;
     }
     if let Some(r) = &report.reactor {

@@ -18,14 +18,19 @@
 //!   re-dispatches on transport failure within the caller's deadline
 //!   (replicated placement, and non-`infer` ops under pipeline
 //!   placement).
-//! * **Scatter** fans one `matvec` out as `matvec_partial` to every
-//!   shard *concurrently*, gathers the per-tile partials by shard
-//!   index and reduces them with the same left fold as the blocking
-//!   path — bit-identity is untouched by arrival order because the
-//!   fold happens only once all shards are in, in shard order.
-//!   `forward_batch` runs its scatter rounds strictly in input order
-//!   (one round in flight at a time) to keep every backend macro's
-//!   RNG stream aligned with the single-node path.
+//! * **Scatter** fans one `matvec` out as `matvec_partial` to the
+//!   least-outstanding healthy replica of every shard *concurrently*,
+//!   gathers the per-tile partials by shard position and reduces them
+//!   with the same left fold as the blocking path — bit-identity is
+//!   untouched by arrival order because the fold happens only once all
+//!   shards are in, in shard order. Each round captures the placement
+//!   plan `Arc` at round start, so a concurrent rebalance can never
+//!   split a round across two plans; a replica dying mid-round is
+//!   ejected and its shard re-dispatched to a sibling within the
+//!   caller's deadline. `forward_batch` runs its scatter rounds
+//!   strictly in input order (one round in flight at a time) to keep
+//!   every backend macro's RNG stream aligned with the single-node
+//!   path.
 //! * **Pipeline** streams `infer` activations stage to stage; stages
 //!   are inherently sequential, but many pipelined requests progress
 //!   concurrently on one core.
@@ -48,6 +53,7 @@
 
 use std::collections::VecDeque;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use afpr_reactor::{Event, Events, FrameConn, Interest, Poller, Slab, SENTINEL_BASE};
@@ -56,11 +62,11 @@ use afpr_serve::protocol;
 use afpr_serve::{Op, Request, Response, Status, PROTOCOL_VERSION};
 use afpr_xbar::PartialSumAdder;
 
-use crate::plan::PipelinePlan;
+use crate::plan::{PipelinePlan, ReplicatedShardPlan};
 use crate::router::{
-    attempt_timeout, parse_deadline, remaining_ms, shard_unavailable, validate_pipeline,
-    ClusterConfig, PipelineCall, Placement, RouterShared, SHARDED_INFER_REJECTION,
-    SHARDED_PARTIAL_REJECTION,
+    attempt_timeout, deadline_expired, handle_deregister, handle_register, no_shard_capacity,
+    parse_deadline, remaining_ms, shard_unavailable, validate_pipeline, ClusterConfig,
+    PipelineCall, Placement, RouterShared, SHARDED_INFER_REJECTION, SHARDED_PARTIAL_REJECTION,
 };
 
 /// Token the listener is registered under.
@@ -119,7 +125,10 @@ enum Machine {
         client: u64,
         req: Request,
         deadline: Option<Instant>,
-        excluded: Vec<bool>,
+        /// Slots already tried (and ejected) by this request; the pool
+        /// can grow concurrently, so exclusion is a slot list, not a
+        /// bitmap sized at entry.
+        excluded: Vec<usize>,
     },
     /// Sharded scatter-gather; `forward_batch` = sequential rounds.
     Scatter {
@@ -130,8 +139,14 @@ enum Machine {
         inputs: Vec<Vec<f32>>,
         round: usize,
         outputs: Vec<Vec<f32>>,
+        /// The plan this round dispatches on, captured at round start —
+        /// a concurrent rebalance swaps the *next* round's plan, never
+        /// this one's.
+        plan: Option<Arc<ReplicatedShardPlan>>,
         /// Gathered partials, by shard position in the plan.
         parts: Vec<Option<Vec<Vec<f32>>>>,
+        /// Replicas already tried (and ejected) per shard this round.
+        tried: Vec<Vec<usize>>,
         /// Shards of the current round not yet resolved.
         outstanding: usize,
     },
@@ -239,6 +254,15 @@ pub(crate) fn run(shared: &RouterShared, listener: &TcpListener, poller: &Poller
 impl EventRouter<'_> {
     fn cfg(&self) -> &ClusterConfig {
         &self.shared.cfg
+    }
+
+    /// Per-backend pool bookkeeping, indexed by stable slot id; grows
+    /// as backends join mid-run.
+    fn backend_io(&mut self, index: usize) -> &mut BackendIo {
+        if self.backends.len() <= index {
+            self.backends.resize_with(index + 1, BackendIo::default);
+        }
+        &mut self.backends[index]
     }
 
     // -- accept / admission ------------------------------------------------
@@ -454,6 +478,11 @@ impl EventRouter<'_> {
                 resp.metrics = Some(shared.metrics.snapshot());
                 Admit::immediate(resp)
             }
+            // Rare control ops: the join probe blocks the reactor
+            // thread for at most the probe timeout, same trade the
+            // blocking transport makes on a worker thread.
+            Op::Register => Admit::Immediate(Box::new(handle_register(shared, &req))),
+            Op::Deregister => Admit::Immediate(Box::new(handle_deregister(shared, &req))),
             Op::Matvec | Op::ForwardBatch | Op::MatvecPartial | Op::Infer => {
                 if shared.is_shutting_down() {
                     return Admit::immediate(Response::error(
@@ -497,7 +526,7 @@ impl EventRouter<'_> {
                         Admit::Started(self.machines.insert(Machine::Single {
                             client,
                             deadline,
-                            excluded: vec![false; shared.pool.len()],
+                            excluded: Vec::new(),
                             req,
                         }))
                     }
@@ -515,7 +544,9 @@ impl EventRouter<'_> {
                             inputs: vec![input],
                             round: 0,
                             outputs: Vec::new(),
+                            plan: None,
                             parts: Vec::new(),
+                            tried: Vec::new(),
                             outstanding: 0,
                         }))
                     }
@@ -533,7 +564,9 @@ impl EventRouter<'_> {
                             inputs,
                             round: 0,
                             outputs: Vec::new(),
+                            plan: None,
                             parts: Vec::new(),
+                            tried: Vec::new(),
                             outstanding: 0,
                         }))
                     }
@@ -701,11 +734,12 @@ impl EventRouter<'_> {
                 match shared.pool.pick_replica(excluded) {
                     Some(b) => Next::Attempt(b.index),
                     None => {
-                        let mut resp = Response::error(
-                            req.id,
-                            Status::Overloaded,
-                            "no live replica available; retry shortly",
-                        );
+                        let text = if excluded.is_empty() {
+                            "no live replica available; retry shortly"
+                        } else {
+                            "every replica failed this request; retry shortly"
+                        };
+                        let mut resp = Response::error(req.id, Status::Overloaded, text);
                         resp.retry_after_ms = Some(shared.retry_hint());
                         Next::Respond(Box::new(resp))
                     }
@@ -726,10 +760,9 @@ impl EventRouter<'_> {
 
     fn scatter_begin_round(&mut self, mid: u64) {
         let shared = self.shared;
-        let plan = shared.plan.as_ref().expect("sharded router has a plan");
         enum Next {
             Done(Box<Response>),
-            Fan(usize),
+            Fan(Arc<ReplicatedShardPlan>),
         }
         let next = {
             let Some(Machine::Scatter {
@@ -738,7 +771,9 @@ impl EventRouter<'_> {
                 inputs,
                 round,
                 outputs,
+                plan,
                 parts,
+                tried,
                 outstanding,
                 ..
             }) = self.machines.get_mut(mid)
@@ -766,32 +801,78 @@ impl EventRouter<'_> {
                 let id = *id;
                 Next::Done(Box::new(shared.reject_malformed(id, detail)))
             } else {
-                *parts = (0..plan.shards.len()).map(|_| None).collect();
-                *outstanding = plan.shards.len();
-                Next::Fan(plan.shards.len())
+                // One placement view per scatter round: a concurrent
+                // rebalance swaps the *next* round's plan, never this
+                // one's.
+                match shared.current_view().plan.clone() {
+                    None => {
+                        let id = *id;
+                        Next::Done(Box::new(no_shard_capacity(shared, id)))
+                    }
+                    Some(p) => {
+                        *parts = (0..p.shards.len()).map(|_| None).collect();
+                        *tried = vec![Vec::new(); p.shards.len()];
+                        *outstanding = p.shards.len();
+                        *plan = Some(Arc::clone(&p));
+                        Next::Fan(p)
+                    }
+                }
             }
         };
         match next {
             Next::Done(resp) => self.complete(mid, *resp),
-            Next::Fan(shards) => {
-                for pos in 0..shards {
-                    let backend_index = plan.shards[pos].backend;
-                    self.subcall(
-                        SubTag {
-                            machine: mid,
-                            shard: pos,
-                        },
-                        backend_index,
-                    );
+            Next::Fan(plan) => {
+                for pos in 0..plan.shards.len() {
+                    if !self.scatter_dispatch_shard(mid, &plan, pos) {
+                        return;
+                    }
                     // A sub-call can fail synchronously (connect
-                    // refused on a dead backend) and complete the
-                    // machine; stop fanning out if it did.
+                    // refused on a dead backend) and re-dispatch or
+                    // complete the machine; stop fanning out if it
+                    // completed.
                     if self.machines.get(mid).is_none() {
                         return;
                     }
                 }
             }
         }
+    }
+
+    /// Picks the least-outstanding untried replica of shard `pos` and
+    /// starts its sub-call. Aborts the round (`504`/`503`) when the
+    /// caller's deadline has lapsed or the shard has no live replica
+    /// left; returns `false` iff the round was aborted.
+    fn scatter_dispatch_shard(&mut self, mid: u64, plan: &ReplicatedShardPlan, pos: usize) -> bool {
+        let shared = self.shared;
+        let (id, deadline, tried) = {
+            let Some(Machine::Scatter {
+                id,
+                deadline,
+                tried,
+                ..
+            }) = self.machines.get_mut(mid)
+            else {
+                return false;
+            };
+            (*id, *deadline, tried[pos].clone())
+        };
+        if let Some(resp) = deadline_expired(shared, id, deadline) {
+            self.scatter_abort(mid, *resp);
+            return false;
+        }
+        let Some(backend) = shared.pool.pick_among(&plan.shards[pos].replicas, &tried) else {
+            let resp = shard_unavailable(shared, id, pos);
+            self.scatter_abort(mid, resp);
+            return false;
+        };
+        self.subcall(
+            SubTag {
+                machine: mid,
+                shard: pos,
+            },
+            backend.index,
+        );
+        true
     }
 
     fn pipeline_send_stage(&mut self, mid: u64) {
@@ -829,9 +910,10 @@ impl EventRouter<'_> {
                 deadline,
                 inputs,
                 round,
+                plan,
                 ..
             } => {
-                let plan = shared.plan.as_ref()?;
+                let plan = plan.as_ref()?;
                 let shard = &plan.shards[tag.shard];
                 let input = inputs.get(*round)?;
                 let mut sub = Request::matvec_partial(
@@ -864,16 +946,16 @@ impl EventRouter<'_> {
     /// Starts a sub-call against backend `index`: reuse a pooled conn,
     /// open a new one under the cap, or queue until one frees.
     fn subcall(&mut self, tag: SubTag, index: usize) {
-        if let Some(token) = self.backends[index].free.pop() {
+        if let Some(token) = self.backend_io(index).free.pop() {
             self.shared.pool.get(index).begin_dispatch();
             self.start_on_conn(token, tag);
             return;
         }
-        if self.backends[index].total < self.cfg().conns_per_backend {
+        if self.backend_io(index).total < self.cfg().conns_per_backend {
             self.shared.pool.get(index).begin_dispatch();
             match self.connect_upstream(index) {
                 Ok(token) => {
-                    self.backends[index].total += 1;
+                    self.backend_io(index).total += 1;
                     self.start_on_conn(token, tag);
                 }
                 Err(_) => {
@@ -883,7 +965,7 @@ impl EventRouter<'_> {
             }
             return;
         }
-        self.backends[index].waiting.push_back(tag);
+        self.backend_io(index).waiting.push_back(tag);
     }
 
     fn connect_upstream(&mut self, index: usize) -> std::io::Result<u64> {
@@ -1054,13 +1136,14 @@ impl EventRouter<'_> {
             }
             Some(Machine::Scatter {
                 id,
+                plan,
                 parts,
                 outstanding,
                 outputs,
                 round,
                 ..
             }) => {
-                let plan = shared.plan.as_ref().expect("sharded router has a plan");
+                let plan = plan.clone().expect("round in flight has a plan");
                 let shard = &plan.shards[tag.shard];
                 let id = *id;
                 *outstanding -= 1;
@@ -1069,7 +1152,7 @@ impl EventRouter<'_> {
                         let fail = Response::error(
                             id,
                             Status::Overloaded,
-                            format!("shard {} returned no partials", shard.backend),
+                            format!("shard {} returned no partials", tag.shard),
                         );
                         self.scatter_abort(tag.machine, fail);
                         return;
@@ -1079,7 +1162,7 @@ impl EventRouter<'_> {
                         let fail = Response::error(
                             id,
                             Status::Overloaded,
-                            format!("shard {} returned malformed partials", shard.backend),
+                            format!("shard {} returned malformed partials", tag.shard),
                         );
                         self.scatter_abort(tag.machine, fail);
                         return;
@@ -1115,8 +1198,8 @@ impl EventRouter<'_> {
                         resp.status,
                         format!(
                             "shard {} ({}): {}",
-                            shard.backend,
-                            shared.pool.get(shard.backend).addr,
+                            tag.shard,
+                            shared.pool.get(index).addr,
                             resp.error.as_deref().unwrap_or("rejected")
                         ),
                     );
@@ -1206,32 +1289,28 @@ impl EventRouter<'_> {
         let shared = self.shared;
         match self.machines.get_mut(tag.machine) {
             None => {}
-            Some(Machine::Single { excluded, req, .. }) => {
+            Some(Machine::Single { excluded, .. }) => {
                 // Eject the replica and re-dispatch within the
-                // deadline; the prober revives it later.
-                shared.pool.get(index).mark_dead();
-                excluded[index] = true;
-                shared.metrics.serve().record_protocol_error();
-                if excluded.iter().all(|&e| e) {
-                    let id = req.id;
-                    let mut resp = Response::error(
-                        id,
-                        Status::Overloaded,
-                        "every replica failed this request; retry shortly",
-                    );
-                    resp.retry_after_ms = Some(shared.retry_hint());
-                    self.complete(tag.machine, resp);
-                } else {
-                    self.single_attempt(tag.machine);
+                // deadline; the prober revives it (after the
+                // fingerprint handshake) later.
+                excluded.push(index);
+                if shared.pool.get(index).mark_dead() {
+                    shared.rebalance();
                 }
+                shared.metrics.serve().record_protocol_error();
+                self.single_attempt(tag.machine);
             }
-            Some(Machine::Scatter { id, .. }) => {
-                // A dead shard cannot be failed over: no other backend
-                // holds those rows.
-                shared.pool.get(index).mark_dead();
-                let id = *id;
-                let resp = shard_unavailable(shared, id, index);
-                self.scatter_abort(tag.machine, resp);
+            Some(Machine::Scatter { plan, tried, .. }) => {
+                // Eject the replica and fail the shard over to a
+                // sibling — it holds the identical rows, so failover
+                // cannot change a single bit of the reduction.
+                tried[tag.shard].push(index);
+                let plan = plan.clone().expect("round in flight has a plan");
+                if shared.pool.get(index).mark_dead() {
+                    shared.rebalance();
+                }
+                shared.metrics.serve().record_protocol_error();
+                self.scatter_dispatch_shard(tag.machine, &plan, tag.shard);
             }
             Some(Machine::Pipeline {
                 id, plan, stage, ..
@@ -1299,14 +1378,14 @@ impl EventRouter<'_> {
             }
         }
         // Feed the queue first; skip tags whose machine already died.
-        while let Some(tag) = self.backends[index].waiting.pop_front() {
+        while let Some(tag) = self.backend_io(index).waiting.pop_front() {
             if self.machines.get(tag.machine).is_some() {
                 self.shared.pool.get(index).begin_dispatch();
                 self.start_on_conn(token, tag);
                 return;
             }
         }
-        self.backends[index].free.push(token);
+        self.backend_io(index).free.push(token);
     }
 
     /// Closes an upstream conn and removes it from pool bookkeeping.
@@ -1317,11 +1396,11 @@ impl EventRouter<'_> {
         let index = u.backend;
         let _ = self.poller.deregister(u.io.stream());
         self.conns.remove(token);
-        let b = &mut self.backends[index];
+        let b = self.backend_io(index);
         b.total -= 1;
         b.free.retain(|&t| t != token);
         // Freed capacity: a queued sub-call may now open a fresh conn.
-        while let Some(tag) = b.waiting.pop_front() {
+        while let Some(tag) = self.backend_io(index).waiting.pop_front() {
             if self.machines.get(tag.machine).is_some() {
                 self.subcall(tag, index);
                 break;

@@ -14,12 +14,15 @@
 //!   an in-flight request to another replica on connection loss, all
 //!   within the caller's original deadline.
 //! * **Sharded** — the layer's input dimension is split into
-//!   contiguous, row-tile-aligned shards ([`ShardPlan`]); each matvec
-//!   is scatter-gathered via the `matvec_partial` protocol op and the
-//!   per-tile partials are reduced with
-//!   [`afpr_xbar::PartialSumAdder::sum_into`] in row-tile order, which
-//!   makes the cluster result **bit-identical** to a single-node
-//!   [`afpr_core::AfprAccelerator::matvec`] of the same layer.
+//!   contiguous, row-tile-aligned shards, each held by R replicas
+//!   ([`ReplicatedShardPlan`]); each matvec is scatter-gathered via the
+//!   `matvec_partial` protocol op from the least-outstanding healthy
+//!   replica of every shard, and the per-tile partials are reduced
+//!   with [`afpr_xbar::PartialSumAdder::sum_into`] in row-tile order,
+//!   which makes the cluster result **bit-identical** to a single-node
+//!   [`afpr_core::AfprAccelerator::matvec`] of the same layer — no
+//!   matter which replica served each shard, and across mid-request
+//!   failover to a sibling replica.
 //! * **Pipeline** — full-model `infer` requests are split along the
 //!   *depth* axis ([`PipelinePlan`]): stage *i* runs a contiguous
 //!   range of the model's top-level layers on backend *i* (every
@@ -29,6 +32,19 @@
 //!   are exactly the points where the single-node forward pass
 //!   materializes an activation tensor, so the pipelined result is
 //!   **bit-identical** to a single-node `infer` of the same model.
+//!
+//! ## Elastic membership
+//!
+//! Replicated and sharded routers accept `Op::Register` and
+//! `Op::Deregister` on the wire: backends join and leave a *running*
+//! router. A join re-runs the startup handshake against the pool
+//! [`Fingerprint`] (protocol, dims, row-tile height, registry seed,
+//! catalog), so a backend restarted with different weights is refused
+//! rather than silently served. Every capacity change — join, leave,
+//! ejection, revival — atomically swaps in a freshly computed
+//! [`ReplicatedShardPlan`] between scatter rounds; in-flight rounds
+//! drain on the plan they started with. [`MembershipEvents`] counts
+//! the churn.
 //!
 //! ## Quickstart
 //!
@@ -55,7 +71,7 @@ pub mod metrics;
 pub mod plan;
 pub mod router;
 
-pub use backend::{spawn_prober, BackendPool, BackendSnapshot, BackendState};
-pub use metrics::{ClusterMetrics, ClusterSnapshot, ModelInferSnapshot};
-pub use plan::{PipeStage, PipelinePlan, Shard, ShardPlan};
+pub use backend::{spawn_prober, BackendPool, BackendSnapshot, BackendState, Fingerprint, SeedPin};
+pub use metrics::{ClusterMetrics, ClusterSnapshot, MembershipEvents, ModelInferSnapshot};
+pub use plan::{PipeStage, PipelinePlan, ReplicaShard, ReplicatedShardPlan, Shard, ShardPlan};
 pub use router::{ClusterConfig, Placement, Router};

@@ -9,6 +9,7 @@
 //! histogram with [`Histogram::merge`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,6 +27,17 @@ pub struct ClusterMetrics {
     /// Completed pipelined inferences per model name (ordered so
     /// snapshots are stable).
     infers: Mutex<BTreeMap<String, u64>>,
+    /// Backends admitted into the pool via `Op::Register` (handshake
+    /// passed).
+    joins: AtomicU64,
+    /// Backends tombstoned via `Op::Deregister`.
+    leaves: AtomicU64,
+    /// `Op::Register` attempts refused at the handshake (fingerprint
+    /// mismatch or unreachable backend).
+    join_refusals: AtomicU64,
+    /// Placement-plan recomputations swapped in (joins, leaves,
+    /// ejections, revivals and draining flips all trigger one).
+    rebalances: AtomicU64,
 }
 
 impl Default for ClusterMetrics {
@@ -43,7 +55,31 @@ impl ClusterMetrics {
         Self {
             serve: ServeMetrics::new(Arc::new(RuntimeMetrics::new())),
             infers: Mutex::new(BTreeMap::new()),
+            joins: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            join_refusals: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
         }
+    }
+
+    /// Records one accepted `Op::Register`.
+    pub fn record_join(&self) {
+        self.joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one accepted `Op::Deregister`.
+    pub fn record_leave(&self) {
+        self.leaves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refused `Op::Register` handshake.
+    pub fn record_join_refusal(&self) {
+        self.join_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one placement-plan swap.
+    pub fn record_rebalance(&self) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The wire-compatible per-op registry (shared shape with a single
@@ -75,15 +111,26 @@ impl ClusterMetrics {
     #[must_use]
     pub fn cluster_snapshot(&self, placement: &str, pool: &BackendPool) -> ClusterSnapshot {
         let mut merged = Histogram::default();
-        let mut backends = Vec::with_capacity(pool.len());
-        for b in pool.iter() {
+        let slots = pool.load();
+        let mut backends = Vec::with_capacity(slots.len());
+        for b in slots.iter() {
             b.merge_latency_into(&mut merged);
             backends.push(b.snapshot());
         }
+        let membership = MembershipEvents {
+            joins: self.joins.load(Ordering::Relaxed),
+            leaves: self.leaves.load(Ordering::Relaxed),
+            ejections: backends.iter().map(|b| b.ejections).sum(),
+            revivals: backends.iter().map(|b| b.revivals).sum(),
+            refusals: self.join_refusals.load(Ordering::Relaxed)
+                + backends.iter().map(|b| b.refusals).sum::<u64>(),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+        };
         ClusterSnapshot {
             placement: placement.to_string(),
             router: self.serve.snapshot(),
             backends,
+            membership: Some(membership),
             dispatch_latency: merged.snapshot(),
             model_infers: Some(
                 self.infers
@@ -108,6 +155,24 @@ pub struct ModelInferSnapshot {
     pub infers: u64,
 }
 
+/// Cumulative membership-churn accounting for one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MembershipEvents {
+    /// Backends admitted via `Op::Register`.
+    pub joins: u64,
+    /// Backends tombstoned via `Op::Deregister`.
+    pub leaves: u64,
+    /// Alive → dead transitions (probe or dispatch failures).
+    pub ejections: u64,
+    /// Dead → alive transitions (validated probes or re-registers).
+    pub revivals: u64,
+    /// Handshake refusals: register attempts plus probes that answered
+    /// with a mismatched fingerprint.
+    pub refusals: u64,
+    /// Placement-plan swaps performed.
+    pub rebalances: u64,
+}
+
 /// Point-in-time, serializable view of the whole cluster tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSnapshot {
@@ -115,8 +180,12 @@ pub struct ClusterSnapshot {
     pub placement: String,
     /// The router's own wire-compatible serving snapshot.
     pub router: ServeSnapshot,
-    /// Per-backend dispatch accounting.
+    /// Per-backend dispatch accounting, keyed by each entry's stable
+    /// slot `id` and `addr` (stable across membership churn).
     pub backends: Vec<BackendSnapshot>,
+    /// Membership-churn counters (`None` on snapshots from older
+    /// routers).
+    pub membership: Option<MembershipEvents>,
     /// Dispatch latency merged across every backend
     /// ([`Histogram::merge`]).
     pub dispatch_latency: LatencySnapshot,
@@ -180,8 +249,31 @@ mod tests {
         m.record_infer("tiny-mlp");
         m.record_infer("tiny-mlp");
         m.record_infer("tiny-resnet");
+        m.record_join();
+        m.record_leave();
+        m.record_join_refusal();
+        m.record_rebalance();
+        pool.get(1).mark_dead();
+        pool.get(1)
+            .mark_probed(afpr_serve::HealthState::Healthy, 0, 64);
         let snap = m.cluster_snapshot("replicated", &pool);
         assert_eq!(snap.placement, "replicated");
+        let events = snap.membership.expect("membership counters present");
+        assert_eq!(
+            events,
+            MembershipEvents {
+                joins: 1,
+                leaves: 1,
+                ejections: 1,
+                revivals: 1,
+                refusals: 1,
+                rebalances: 1,
+            }
+        );
+        // Snapshot entries are keyed by stable slot id + addr.
+        assert_eq!(snap.backends[1].id, 1);
+        assert_eq!(snap.backends[1].addr, "b:2");
+        assert!(!snap.backends[1].removed);
         assert_eq!(
             snap.model_infers.as_deref(),
             Some(

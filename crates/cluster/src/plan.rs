@@ -107,6 +107,127 @@ impl ShardPlan {
     }
 }
 
+/// One row-tile-aligned shard together with its replica set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaShard {
+    /// First input row of the shard (a multiple of the tile height).
+    pub row_offset: usize,
+    /// Number of input rows in the shard.
+    pub rows: usize,
+    /// Number of row tiles the shard covers.
+    pub tiles: usize,
+    /// Pool slot ids of the backends holding this shard, in slot
+    /// order. Every replica serves the identical row range, so which
+    /// one answers a scatter round cannot change the reduced result.
+    pub replicas: Vec<usize>,
+}
+
+impl ReplicaShard {
+    /// One-past-the-end input row.
+    #[must_use]
+    pub fn row_end(&self) -> usize {
+        self.row_offset + self.rows
+    }
+}
+
+/// Combined sharded × replicated placement: a gap-free cover of the
+/// input dimension by contiguous, row-tile-aligned shards, each backed
+/// by ≥ 1 replicas.
+///
+/// The row split is exactly [`ShardPlan::compute`]'s front-loaded tile
+/// rule, so the shard *boundaries* depend only on `(k, unit, shard
+/// count)` — never on which backends hold them. Because every backend
+/// returns unsummed per-row-tile partials and the gather concatenates
+/// them in shard order before replaying the single-node reduction
+/// fold, any choice of one live replica per shard — under any plan the
+/// router swaps in as membership churns — reduces to the bit-identical
+/// single-node result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicatedShardPlan {
+    /// Input dimension of the served layer.
+    pub k: usize,
+    /// Row-tile height (shard boundary alignment unit).
+    pub unit: usize,
+    /// Requested replication factor (actual per-shard replica counts
+    /// may exceed this when backends don't divide evenly).
+    pub replicas: usize,
+    /// The shards, ordered by `row_offset`.
+    pub shards: Vec<ReplicaShard>,
+}
+
+impl ReplicatedShardPlan {
+    /// Plans `k` input rows (tiled at `unit`) over the given pool
+    /// slots with a target replication factor.
+    ///
+    /// The shard count is `max(1, ⌊backends / replicas⌋)`, capped at
+    /// the tile count (a shard must cover ≥ 1 tile); backends are
+    /// assigned round-robin (`slots[i]` → shard `i % S`), so per-shard
+    /// replica counts differ by at most one and every shard gets at
+    /// least one replica. Surplus backends simply deepen replication —
+    /// joining a backend never fails the plan.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions, an empty slot list and a zero
+    /// replication factor.
+    pub fn compute(
+        k: usize,
+        unit: usize,
+        slots: &[usize],
+        replicas: usize,
+    ) -> Result<Self, String> {
+        if k == 0 || unit == 0 {
+            return Err(format!("degenerate layer: k = {k}, row-tile height {unit}"));
+        }
+        if slots.is_empty() {
+            return Err("sharded placement needs at least one live backend".to_string());
+        }
+        if replicas == 0 {
+            return Err("replication factor must be ≥ 1".to_string());
+        }
+        let tiles = k.div_ceil(unit);
+        let shard_count = (slots.len() / replicas).max(1).min(tiles);
+        let rows = ShardPlan::compute(k, unit, shard_count)?;
+        let mut shards: Vec<ReplicaShard> = rows
+            .shards
+            .into_iter()
+            .map(|s| ReplicaShard {
+                row_offset: s.row_offset,
+                rows: s.rows,
+                tiles: s.tiles,
+                replicas: Vec::new(),
+            })
+            .collect();
+        for (i, &slot) in slots.iter().enumerate() {
+            shards[i % shard_count].replicas.push(slot);
+        }
+        debug_assert!(shards.iter().all(|s| !s.replicas.is_empty()));
+        Ok(Self {
+            k,
+            unit,
+            replicas,
+            shards,
+        })
+    }
+
+    /// Total number of row tiles across all shards.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.shards.iter().map(|s| s.tiles).sum()
+    }
+
+    /// The smallest replica count any shard has — the plan's surviving
+    /// failure budget is this minus one.
+    #[must_use]
+    pub fn min_replication(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.replicas.len())
+            .min()
+            .unwrap_or(0)
+    }
+}
+
 /// One backend's contiguous run of top-level layers in a pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipeStage {
@@ -180,6 +301,8 @@ impl PipelinePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
 
     /// Every plan must be a gap-free, aligned, in-order cover.
     fn check_cover(plan: &ShardPlan) {
@@ -290,6 +413,134 @@ mod tests {
                     .unwrap_or_else(|e| panic!("layers={layers} b={backends}: {e}"));
                 check_pipeline_cover(&plan);
                 assert_eq!(plan.stages.len(), backends);
+            }
+        }
+    }
+
+    /// Every replicated plan must be a gap-free, aligned, in-order
+    /// cover with non-empty, disjoint replica sets.
+    fn check_replicated_cover(plan: &ReplicatedShardPlan, slots: &[usize]) {
+        let mut cursor = 0usize;
+        let mut seen: Vec<usize> = Vec::new();
+        for shard in &plan.shards {
+            assert_eq!(shard.row_offset, cursor, "contiguous, in order");
+            assert_eq!(shard.row_offset % plan.unit, 0, "tile-aligned start");
+            assert!(shard.rows > 0, "no empty shards");
+            assert!(!shard.replicas.is_empty(), "every shard has a replica");
+            for &r in &shard.replicas {
+                assert!(slots.contains(&r), "replica is a known slot");
+                assert!(!seen.contains(&r), "a backend serves exactly one shard");
+                seen.push(r);
+            }
+            cursor = shard.row_end();
+            if cursor != plan.k {
+                assert_eq!(cursor % plan.unit, 0, "tile-aligned interior end");
+            }
+        }
+        assert_eq!(cursor, plan.k, "full cover");
+        assert_eq!(seen.len(), slots.len(), "every backend is placed");
+    }
+
+    #[test]
+    fn replicated_even_split() {
+        // 6 backends, R = 2 → 3 shards × 2 replicas (4 tiles can't
+        // host 3 even shards, so front-loaded 2/1/1 tiles).
+        let slots = [0usize, 1, 2, 3, 4, 5];
+        let plan = ReplicatedShardPlan::compute(256, 64, &slots, 2).unwrap();
+        check_replicated_cover(&plan, &slots);
+        assert_eq!(plan.shards.len(), 3);
+        assert!(plan.shards.iter().all(|s| s.replicas.len() == 2));
+        assert_eq!(plan.min_replication(), 2);
+        assert_eq!(plan.shards[0].replicas, vec![0, 3]);
+        assert_eq!(plan.shards[1].replicas, vec![1, 4]);
+        assert_eq!(plan.shards[2].replicas, vec![2, 5]);
+    }
+
+    #[test]
+    fn replicated_r1_matches_plain_sharding() {
+        let slots = [0usize, 1, 2];
+        let plan = ReplicatedShardPlan::compute(5 * 8, 8, &slots, 1).unwrap();
+        let rows = ShardPlan::compute(5 * 8, 8, 3).unwrap();
+        assert_eq!(plan.shards.len(), rows.shards.len());
+        for (r, s) in plan.shards.iter().zip(&rows.shards) {
+            assert_eq!(
+                (r.row_offset, r.rows, r.tiles),
+                (s.row_offset, s.rows, s.tiles)
+            );
+            assert_eq!(r.replicas, vec![s.backend]);
+        }
+    }
+
+    #[test]
+    fn replicated_surplus_backends_deepen_replication() {
+        // More backends than tiles is fine now: shard count caps at
+        // the tile count and the surplus becomes extra replicas.
+        let slots: Vec<usize> = (0..7).collect();
+        let plan = ReplicatedShardPlan::compute(16, 8, &slots, 1).unwrap();
+        check_replicated_cover(&plan, &slots);
+        assert_eq!(plan.shards.len(), 2, "capped at tile count");
+        assert_eq!(plan.min_replication(), 3);
+    }
+
+    #[test]
+    fn replicated_plan_uses_slot_ids_not_positions() {
+        // Slot ids with gaps (tombstoned / dead members skipped).
+        let slots = [1usize, 4, 7, 9];
+        let plan = ReplicatedShardPlan::compute(256, 64, &slots, 2).unwrap();
+        check_replicated_cover(&plan, &slots);
+        assert_eq!(plan.shards.len(), 2);
+        assert_eq!(plan.shards[0].replicas, vec![1, 7]);
+        assert_eq!(plan.shards[1].replicas, vec![4, 9]);
+    }
+
+    #[test]
+    fn replicated_fewer_backends_than_r_still_plans() {
+        // R = 3 with one live backend → one shard, one replica; the
+        // router degrades replication instead of refusing service.
+        let plan = ReplicatedShardPlan::compute(256, 64, &[2], 3).unwrap();
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].replicas, vec![2]);
+        assert_eq!(plan.min_replication(), 1);
+    }
+
+    #[test]
+    fn replicated_rejects_degenerate_inputs() {
+        assert!(ReplicatedShardPlan::compute(0, 8, &[0], 1).is_err());
+        assert!(ReplicatedShardPlan::compute(16, 0, &[0], 1).is_err());
+        assert!(ReplicatedShardPlan::compute(16, 8, &[], 1).is_err());
+        assert!(ReplicatedShardPlan::compute(16, 8, &[0], 0).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any recomputed plan over 1–8 backends × 1–4 replicas (the
+        /// churn envelope) is row-tile-aligned, full-coverage and
+        /// non-overlapping, and places every backend exactly once.
+        #[test]
+        fn replicated_plan_always_covers(
+            tiles in 1usize..12,
+            unit in 1usize..=64,
+            ragged in 0usize..64,
+            backends in 1usize..=8,
+            replicas in 1usize..=4,
+            skip in 0usize..=3,
+        ) {
+            // A ragged tail shorter than one tile, when it fits.
+            let k = (tiles * unit).saturating_sub(ragged.min(unit - 1)).max(1);
+            // Slot ids with gaps, as after churn.
+            let slots: Vec<usize> = (0..backends).map(|i| i * (skip + 1)).collect();
+            let plan = ReplicatedShardPlan::compute(k, unit, &slots, replicas)
+                .map_err(TestCaseError::fail)?;
+            check_replicated_cover(&plan, &slots);
+            let expect_shards = (backends / replicas).max(1).min(k.div_ceil(unit));
+            prop_assert_eq!(plan.shards.len(), expect_shards);
+            prop_assert!(plan.min_replication() >= 1);
+            // Shard boundaries depend only on (k, unit, shard count):
+            // the same pool placed differently yields the same rows.
+            let rows = ShardPlan::compute(k, unit, expect_shards).unwrap();
+            for (r, s) in plan.shards.iter().zip(&rows.shards) {
+                prop_assert_eq!((r.row_offset, r.rows), (s.row_offset, s.rows));
             }
         }
     }

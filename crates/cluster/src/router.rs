@@ -34,14 +34,32 @@
 //! again, and Draining replicas are never selected.
 //!
 //! **Sharded** — the input dimension is split into contiguous,
-//! row-tile-aligned ranges ([`crate::ShardPlan`]); backend *i* serves
-//! shard *i* via `matvec_partial` and returns **unsummed** per-row-tile
-//! partial sums. The router concatenates the partials in shard order
-//! and left-folds them with [`afpr_xbar::PartialSumAdder`] — the exact
+//! row-tile-aligned ranges, each held by R replicas
+//! ([`crate::ReplicatedShardPlan`]); every scatter round picks the
+//! least-outstanding *healthy* replica per shard, sends it a
+//! `matvec_partial`, and gathers the **unsummed** per-row-tile partial
+//! sums. The router concatenates the partials in shard order and
+//! left-folds them with [`afpr_xbar::PartialSumAdder`] — the exact
 //! accumulation order of the single-node tiled path — so the routed
 //! result is **bit-identical** to `AfprAccelerator::matvec` on one
-//! node. A dead shard cannot be failed over (no other backend holds
-//! those rows), so it yields a structured `503` within the deadline.
+//! node, regardless of which replica answered. A transport failure
+//! ejects the replica and re-dispatches that shard to a sibling within
+//! the caller's deadline; only a shard with *zero* live replicas
+//! yields a structured `503`.
+//!
+//! # Elastic membership
+//!
+//! Backends join (`Op::Register`) and leave (`Op::Deregister`) a
+//! running router. A join runs the same handshake as startup — the
+//! candidate must answer a health probe and match the pool
+//! [`Fingerprint`] (protocol, dims, `row_tile_rows`, `registry_seed`,
+//! catalog) — so a mismatched backend is refused, never silently
+//! served. Every capacity change (join, leave, ejection, revival,
+//! draining flip) triggers a *rebalance*: a fresh
+//! [`crate::ReplicatedShardPlan`] over the eligible members is
+//! atomically swapped in between scatter rounds; in-flight rounds keep
+//! the plan `Arc` they captured at round start, so a swap never splits
+//! a round across two plans.
 //!
 //! **Pipeline** — full-model `infer` requests are split along the
 //! depth axis ([`crate::PipelinePlan`]): stage *i* runs a contiguous
@@ -57,7 +75,7 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -70,10 +88,11 @@ use afpr_serve::{
 };
 use afpr_xbar::PartialSumAdder;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
 
-use crate::backend::{spawn_prober, BackendPool, BackendState};
+use crate::backend::{spawn_prober, BackendPool, BackendState, Fingerprint, SeedPin};
 use crate::metrics::{ClusterMetrics, ClusterSnapshot};
-use crate::plan::{PipelinePlan, ShardPlan};
+use crate::plan::{PipelinePlan, ReplicatedShardPlan};
 
 /// How work is spread over the backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +147,11 @@ pub struct ClusterConfig {
     pub backends: Vec<String>,
     /// Placement mode.
     pub placement: Placement,
+    /// Target replication factor per shard (sharded placement): the
+    /// eligible members are planned into `⌊members / replicas⌋` shards
+    /// (≥ 1, capped at the tile count), so each shard ends up with ~R
+    /// replicas and survives R − 1 failures without a 503.
+    pub replicas: usize,
     /// Connection worker pool size (each worker owns one connection
     /// per backend).
     pub workers: usize,
@@ -173,6 +197,7 @@ impl Default for ClusterConfig {
             addr: "127.0.0.1:0".to_string(),
             backends: Vec::new(),
             placement: Placement::Replicated,
+            replicas: 1,
             workers: 8,
             max_frame_bytes: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(20),
@@ -217,8 +242,13 @@ pub(crate) struct RouterShared {
     pub(crate) n: usize,
     /// Row-tile height advertised by the backends.
     unit: usize,
-    /// The shard plan (sharded placement only).
-    pub(crate) plan: Option<ShardPlan>,
+    /// The current placement view (sharded placement carries a plan;
+    /// others keep `plan: None`). Swapped atomically on rebalance —
+    /// dispatch loads it once per scatter round.
+    view: Mutex<Arc<PlacementView>>,
+    /// The pool identity contract, captured at startup and enforced on
+    /// every join and every probe (including revivals).
+    pub(crate) expected: Fingerprint,
     /// Registered-model catalog (pipeline placement only): the model
     /// inventory every backend advertised at startup, verified
     /// identical across the pool so any layer range of any model can
@@ -228,6 +258,18 @@ pub(crate) struct RouterShared {
     /// only) — agreement was verified at startup, so the router
     /// re-advertises it on its own `health` op.
     catalog_seed: Option<u64>,
+}
+
+/// One atomically-swapped generation of placement state. Scatter
+/// rounds clone the plan `Arc` at round start and finish on it; a
+/// concurrent rebalance only affects *subsequent* rounds, so a swap
+/// can never split one round across two plans.
+pub(crate) struct PlacementView {
+    /// Monotonic generation counter (bumped on every real swap).
+    pub(crate) epoch: u64,
+    /// The sharded placement, `None` outside sharded placement or when
+    /// zero members are eligible.
+    pub(crate) plan: Option<Arc<ReplicatedShardPlan>>,
 }
 
 impl RouterShared {
@@ -253,9 +295,43 @@ impl RouterShared {
             .unwrap_or(self.cfg.retry_after_ms)
     }
 
+    /// The placement view new scatter rounds should dispatch on.
+    pub(crate) fn current_view(&self) -> Arc<PlacementView> {
+        Arc::clone(&self.view.lock())
+    }
+
+    /// Recomputes placement over the currently eligible members and
+    /// atomically swaps it in if it differs. Called on every capacity
+    /// change: join, leave, ejection, revival, draining flip. In-flight
+    /// rounds drain on the plan `Arc` they already hold.
+    pub(crate) fn rebalance(&self) {
+        if self.cfg.placement != Placement::Sharded {
+            return;
+        }
+        let slots = self.pool.eligible_slots();
+        let plan = ReplicatedShardPlan::compute(self.k, self.unit, &slots, self.cfg.replicas)
+            .ok()
+            .map(Arc::new);
+        let mut guard = self.view.lock();
+        let changed = match (&guard.plan, &plan) {
+            (Some(old), Some(new)) => **old != **new,
+            (None, None) => false,
+            _ => true,
+        };
+        if changed {
+            *guard = Arc::new(PlacementView {
+                epoch: guard.epoch + 1,
+                plan,
+            });
+            self.metrics.record_rebalance();
+        }
+    }
+
     /// Synthesizes the cluster-level health view the router reports on
     /// the wire `health` op.
     pub(crate) fn health_info(&self) -> HealthInfo {
+        let slots = self.pool.load();
+        let members: Vec<&Arc<BackendState>> = slots.iter().filter(|b| !b.is_removed()).collect();
         let state = if self.is_shutting_down() {
             HealthState::Draining
         } else {
@@ -263,45 +339,38 @@ impl RouterShared {
                 // Replicated: the cluster is as healthy as its best
                 // live replica — one healthy replica can serve.
                 Placement::Replicated => {
-                    let mut best: Option<HealthState> = None;
-                    for b in self.pool.iter() {
-                        if !b.is_alive() {
-                            continue;
-                        }
-                        let s = b.health_state();
-                        best = Some(match (best, s) {
-                            (None, s) => s,
-                            (Some(HealthState::Healthy), _) | (_, HealthState::Healthy) => {
-                                HealthState::Healthy
-                            }
-                            (Some(HealthState::Degraded), _) | (_, HealthState::Degraded) => {
-                                HealthState::Degraded
-                            }
-                            _ => HealthState::Draining,
-                        });
-                    }
-                    best.unwrap_or(HealthState::Draining)
+                    best_state(members.iter().copied()).unwrap_or(HealthState::Draining)
                 }
-                // Sharded / pipeline: the cluster is as healthy as its
-                // worst backend — every shard (resp. stage) is needed
-                // for every request.
-                Placement::Sharded | Placement::Pipeline => {
+                // Sharded: every shard is needed, but any live replica
+                // of a shard can serve it — so the cluster is as
+                // healthy as its *worst shard's best replica*.
+                Placement::Sharded => match self.current_view().plan.as_ref() {
+                    None => HealthState::Draining,
+                    Some(plan) => {
+                        let mut worst = HealthState::Healthy;
+                        for shard in &plan.shards {
+                            let replicas = shard
+                                .replicas
+                                .iter()
+                                .filter_map(|&s| slots.get(s))
+                                .filter(|b| !b.is_removed());
+                            let s = best_state(replicas).unwrap_or(HealthState::Draining);
+                            worst = worst_of(worst, s);
+                        }
+                        worst
+                    }
+                },
+                // Pipeline: every stage is needed and stages have no
+                // siblings — as healthy as the worst backend.
+                Placement::Pipeline => {
                     let mut worst = HealthState::Healthy;
-                    for b in self.pool.iter() {
+                    for b in &members {
                         let s = if b.is_alive() {
                             b.health_state()
                         } else {
                             HealthState::Draining
                         };
-                        worst = match (worst, s) {
-                            (HealthState::Draining, _) | (_, HealthState::Draining) => {
-                                HealthState::Draining
-                            }
-                            (HealthState::Degraded, _) | (_, HealthState::Degraded) => {
-                                HealthState::Degraded
-                            }
-                            _ => HealthState::Healthy,
-                        };
+                        worst = worst_of(worst, s);
                     }
                     worst
                 }
@@ -311,11 +380,11 @@ impl RouterShared {
             protocol: PROTOCOL_VERSION,
             input_dim: self.k as u64,
             output_dim: self.n as u64,
-            queue_depth: self.pool.iter().map(|b| b.outstanding() as u64).sum(),
-            queue_capacity: self.pool.iter().map(|b| b.queue_capacity()).sum(),
+            queue_depth: members.iter().map(|b| b.outstanding() as u64).sum(),
+            queue_capacity: members.iter().map(|b| b.queue_capacity()).sum(),
             shutting_down: self.is_shutting_down(),
             state,
-            fault_events: self.pool.iter().map(|b| b.fault_events()).sum(),
+            fault_events: members.iter().map(|b| b.fault_events()).sum(),
             row_tile_rows: self.unit as u64,
             models: if self.catalog.is_empty() {
                 None
@@ -324,6 +393,36 @@ impl RouterShared {
             },
             registry_seed: self.catalog_seed,
         }
+    }
+}
+
+/// Best state among *alive* backends, `None` when none is alive.
+fn best_state<'a, I>(backends: I) -> Option<HealthState>
+where
+    I: Iterator<Item = &'a Arc<BackendState>>,
+{
+    let mut best: Option<HealthState> = None;
+    for b in backends {
+        if !b.is_alive() {
+            continue;
+        }
+        let s = b.health_state();
+        best = Some(match (best, s) {
+            (None, s) => s,
+            (Some(HealthState::Healthy), _) | (_, HealthState::Healthy) => HealthState::Healthy,
+            (Some(HealthState::Degraded), _) | (_, HealthState::Degraded) => HealthState::Degraded,
+            _ => HealthState::Draining,
+        });
+    }
+    best
+}
+
+/// Severity meet: the worse of two health states.
+fn worst_of(a: HealthState, b: HealthState) -> HealthState {
+    match (a, b) {
+        (HealthState::Draining, _) | (_, HealthState::Draining) => HealthState::Draining,
+        (HealthState::Degraded, _) | (_, HealthState::Degraded) => HealthState::Degraded,
+        _ => HealthState::Healthy,
     }
 }
 
@@ -371,15 +470,21 @@ impl Router {
                 "cluster needs at least one backend",
             ));
         }
+        if cfg.replicas == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication factor must be ≥ 1",
+            ));
+        }
         let pool = BackendPool::new(&cfg.backends);
-        let (k, n, unit, catalog, catalog_seed) = startup_probe(&cfg, &pool)?;
-        let plan = match cfg.placement {
-            Placement::Replicated | Placement::Pipeline => None,
-            Placement::Sharded => Some(
-                ShardPlan::compute(k, unit, pool.len())
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
-            ),
-        };
+        let StartupFacts {
+            k,
+            n,
+            unit,
+            catalog,
+            catalog_seed,
+            common_seed,
+        } = startup_probe(&cfg, &pool)?;
         if cfg.placement == Placement::Pipeline {
             // Every registered model must admit a stage per backend.
             for entry in &catalog {
@@ -391,6 +496,16 @@ impl Router {
                 })?;
             }
         }
+        // The identity contract later joins and revivals must match.
+        let expected = Fingerprint {
+            protocol: PROTOCOL_VERSION,
+            input_dim: k as u64,
+            output_dim: n as u64,
+            row_tile_rows: (cfg.placement == Placement::Sharded).then_some(unit as u64),
+            registry_seed: common_seed,
+            catalog: (cfg.placement == Placement::Pipeline)
+                .then(|| Fingerprint::catalog_key(&catalog)),
+        };
 
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -404,18 +519,38 @@ impl Router {
             k,
             n,
             unit,
-            plan,
+            view: Mutex::new(Arc::new(PlacementView {
+                epoch: 0,
+                plan: None,
+            })),
+            expected,
             catalog,
             catalog_seed,
         });
+        // Initial placement (epoch 1 in sharded mode). All backends
+        // just answered the startup probe, so every slot is eligible.
+        shared.rebalance();
+        if shared.cfg.placement == Placement::Sharded && shared.current_view().plan.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sharded placement could not compute an initial plan",
+            ));
+        }
 
         let prober = {
             let stop_shared = Arc::clone(&shared);
+            let notify_shared: Weak<RouterShared> = Arc::downgrade(&shared);
             spawn_prober(
                 shared.pool.clone(),
                 shared.cfg.probe_interval,
                 shared.cfg.probe_timeout,
+                shared.expected.clone(),
                 move || stop_shared.is_shutting_down(),
+                move || {
+                    if let Some(s) = notify_shared.upgrade() {
+                        s.rebalance();
+                    }
+                },
             )
         };
         let prober = match prober {
@@ -513,10 +648,19 @@ impl Router {
         self.shared.cfg.placement
     }
 
-    /// The shard plan (sharded placement only).
+    /// The shard plan new scatter rounds dispatch on (sharded
+    /// placement only; `None` when no member is eligible). Rebalances
+    /// swap the plan, so two calls may observe different generations.
     #[must_use]
-    pub fn shard_plan(&self) -> Option<&ShardPlan> {
-        self.shared.plan.as_ref()
+    pub fn shard_plan(&self) -> Option<Arc<ReplicatedShardPlan>> {
+        self.shared.current_view().plan.clone()
+    }
+
+    /// The current placement epoch: bumped once per plan swap (0 until
+    /// the first plan lands; sharded routers start at 1).
+    #[must_use]
+    pub fn placement_epoch(&self) -> u64 {
+        self.shared.current_view().epoch
     }
 
     /// A live wire-compatible metrics snapshot (what the `metrics` op
@@ -582,20 +726,29 @@ impl Drop for Router {
     }
 }
 
+/// What the startup probe establishes about the pool: agreed shape,
+/// tile height, catalog (pipeline only) and the pool's weight
+/// provenance (pinned to a seed, pinned registry-less, or loose when
+/// the startup backends were mixed).
+struct StartupFacts {
+    k: usize,
+    n: usize,
+    unit: usize,
+    catalog: Vec<ModelEntrySnapshot>,
+    catalog_seed: Option<u64>,
+    common_seed: SeedPin,
+}
+
 /// Blocks until every backend answers a health probe (or the startup
 /// timeout lapses), then cross-checks shape and protocol agreement.
-/// Returns `(k, n, row_tile_rows, model_catalog)`; the catalog is
-/// non-empty only in pipeline placement, where every backend must
-/// advertise the same registered-model inventory.
-#[allow(clippy::type_complexity)]
-fn startup_probe(
-    cfg: &ClusterConfig,
-    pool: &BackendPool,
-) -> io::Result<(usize, usize, usize, Vec<ModelEntrySnapshot>, Option<u64>)> {
+/// The catalog is non-empty only in pipeline placement, where every
+/// backend must advertise the same registered-model inventory.
+fn startup_probe(cfg: &ClusterConfig, pool: &BackendPool) -> io::Result<StartupFacts> {
     let deadline = Instant::now() + cfg.startup_timeout;
-    let mut infos: Vec<Option<HealthInfo>> = vec![None; pool.len()];
+    let slots = pool.load();
+    let mut infos: Vec<Option<HealthInfo>> = vec![None; slots.len()];
     loop {
-        for backend in pool.iter() {
+        for backend in slots.iter() {
             if infos[backend.index].is_some() {
                 continue;
             }
@@ -613,7 +766,7 @@ fn startup_probe(
             break;
         }
         if Instant::now() >= deadline {
-            let missing: Vec<&str> = pool
+            let missing: Vec<&str> = slots
                 .iter()
                 .filter(|b| infos[b.index].is_none())
                 .map(|b| b.addr.as_str())
@@ -675,13 +828,36 @@ fn startup_probe(
     } else {
         (Vec::new(), None)
     };
-    Ok((
-        first.input_dim as usize,
-        first.output_dim as usize,
-        first.row_tile_rows as usize,
+    // When every backend advertises the *same* registry seed — or
+    // uniformly none — pin the pool's weight provenance: later joins
+    // and revivals must match it (a backend restarted from a different
+    // seed, or a seeded backend joining a registry-less pool, has
+    // weights the pool cannot verify and would silently corrupt
+    // replicated/sharded results). Only a *mixed* startup pool leaves
+    // the seed out of the contract, so the prober never refuses the
+    // pool's own members.
+    let common_seed = {
+        let mut seeds = infos
+            .iter()
+            .map(|i| i.as_ref().expect("probed").registry_seed);
+        let first_seed = seeds.next().expect("at least one backend");
+        if seeds.all(|s| s == first_seed) {
+            match first_seed {
+                Some(seed) => SeedPin::Seed(seed),
+                None => SeedPin::Absent,
+            }
+        } else {
+            SeedPin::Loose
+        }
+    };
+    Ok(StartupFacts {
+        k: first.input_dim as usize,
+        n: first.output_dim as usize,
+        unit: first.row_tile_rows as usize,
         catalog,
         catalog_seed,
-    ))
+        common_seed,
+    })
 }
 
 /// Cross-checks the registered-model inventories the backends
@@ -937,6 +1113,8 @@ fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: In
             resp.metrics = Some(shared.metrics.snapshot());
             resp
         }
+        Op::Register => handle_register(shared, &req),
+        Op::Deregister => handle_deregister(shared, &req),
         Op::Matvec | Op::ForwardBatch | Op::MatvecPartial | Op::Infer => {
             if shared.is_shutting_down() {
                 return Response::error(req.id, Status::ShuttingDown, "router is draining");
@@ -958,6 +1136,99 @@ fn dispatch(shared: &RouterShared, conns: &mut WorkerConns, req: Request, t0: In
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership (register / deregister)
+// ---------------------------------------------------------------------------
+
+/// Handles `Op::Register`: the join handshake. The candidate backend
+/// must answer a health probe within `probe_timeout` and match the
+/// pool [`Fingerprint`] — the same contract the startup probe
+/// established — before it is admitted; a mismatch is refused with a
+/// structured `400` naming the reason. Registering an address that is
+/// already a member re-validates it and revives it in place (the
+/// rejoin path for a killed-then-restarted process). Shared by both
+/// transports; the probe blocks the calling thread for at most the
+/// probe timeout, which is acceptable for a rare control op.
+pub(crate) fn handle_register(shared: &RouterShared, req: &Request) -> Response {
+    if shared.is_shutting_down() {
+        return Response::error(req.id, Status::ShuttingDown, "router is draining");
+    }
+    let Some(addr) = req.backend_addr.as_deref() else {
+        return shared.reject_malformed(req.id, "register requires `backend_addr`");
+    };
+    if shared.cfg.placement == Placement::Pipeline {
+        return shared.reject_malformed(
+            req.id,
+            "pipeline placement is static; elastic membership covers replicated and \
+             sharded placement",
+        );
+    }
+    let info = match probe_addr(addr, shared.cfg.probe_timeout) {
+        Ok(info) => info,
+        Err(e) => {
+            shared.metrics.record_join_refusal();
+            return shared
+                .reject_malformed(req.id, format!("backend {addr} failed the join probe: {e}"));
+        }
+    };
+    if let Err(why) = shared.expected.check(&info) {
+        shared.metrics.record_join_refusal();
+        return shared.reject_malformed(req.id, format!("backend {addr} refused: {why}"));
+    }
+    let (backend, joined) = match shared.pool.find(addr) {
+        Some(existing) => (existing, false),
+        None => (shared.pool.push(addr), true),
+    };
+    backend.mark_probed(info.state, info.fault_events, info.queue_capacity);
+    if joined {
+        shared.metrics.record_join();
+    }
+    shared.rebalance();
+    Response::ok(req.id)
+}
+
+/// Handles `Op::Deregister`: tombstones the member (its slot and
+/// counters survive in snapshots; its slot id is never reused) and
+/// rebalances. Allowed even while the router drains — removal is how
+/// an operator takes a backend out of rotation.
+pub(crate) fn handle_deregister(shared: &RouterShared, req: &Request) -> Response {
+    let Some(addr) = req.backend_addr.as_deref() else {
+        return shared.reject_malformed(req.id, "deregister requires `backend_addr`");
+    };
+    if shared.cfg.placement == Placement::Pipeline {
+        return shared.reject_malformed(
+            req.id,
+            "pipeline placement is static; elastic membership covers replicated and \
+             sharded placement",
+        );
+    }
+    match shared.pool.find(addr) {
+        Some(backend) => {
+            if backend.mark_removed() {
+                shared.metrics.record_leave();
+            }
+            shared.rebalance();
+            Response::ok(req.id)
+        }
+        None => Response::error(
+            req.id,
+            Status::NotFound,
+            format!("no registered backend at {addr}"),
+        ),
+    }
+}
+
+/// One bounded health probe of a candidate backend address.
+fn probe_addr(addr: &str, timeout: Duration) -> Result<HealthInfo, String> {
+    let client = Client::connect(addr).map_err(|e| format!("{e:?}"))?;
+    client
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| client.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("{e:?}"))?;
+    let mut client = client;
+    client.health().map_err(|e| format!("{e:?}"))
 }
 
 /// Mirrors the backend's deadline hardening: `checked_add` + the 24 h
@@ -1029,7 +1300,10 @@ fn dispatch_replicated(
     req: &Request,
     deadline: Option<Instant>,
 ) -> Response {
-    let mut excluded = vec![false; shared.pool.len()];
+    // Slots already tried (and ejected) by *this* request; the pool
+    // itself can grow concurrently, so exclusion is a slot list, not a
+    // bitmap sized at entry.
+    let mut excluded: Vec<usize> = Vec::new();
     loop {
         if let Some(d) = deadline {
             if Instant::now() >= d {
@@ -1045,12 +1319,13 @@ fn dispatch_replicated(
                 );
             }
         }
-        let Some(backend) = shared.pool.pick_replica(&excluded).map(Arc::clone) else {
-            let mut resp = Response::error(
-                req.id,
-                Status::Overloaded,
-                "no live replica available; retry shortly",
-            );
+        let Some(backend) = shared.pool.pick_replica(&excluded) else {
+            let text = if excluded.is_empty() {
+                "no live replica available; retry shortly"
+            } else {
+                "every replica failed this request; retry shortly"
+            };
+            let mut resp = Response::error(req.id, Status::Overloaded, text);
             resp.retry_after_ms = Some(shared.retry_hint());
             return resp;
         };
@@ -1076,20 +1351,14 @@ fn dispatch_replicated(
             Err(_) => {
                 // Transport failure: eject the replica and re-dispatch
                 // the request to another one within the deadline. The
-                // prober revives it when it answers health again.
+                // prober revives it when it answers health (and the
+                // fingerprint handshake) again.
                 backend.finish_dispatch(false, None);
-                backend.mark_dead();
-                excluded[backend.index] = true;
-                shared.metrics.serve().record_protocol_error();
-                if excluded.iter().all(|&e| e) {
-                    let mut resp = Response::error(
-                        req.id,
-                        Status::Overloaded,
-                        "every replica failed this request; retry shortly",
-                    );
-                    resp.retry_after_ms = Some(shared.retry_hint());
-                    return resp;
+                excluded.push(backend.index);
+                if backend.mark_dead() {
+                    shared.rebalance();
                 }
+                shared.metrics.serve().record_protocol_error();
             }
         }
     }
@@ -1172,7 +1441,12 @@ fn sharded_matvec(
     input: &[f32],
     deadline: Option<Instant>,
 ) -> Result<Vec<f32>, Box<Response>> {
-    let plan = shared.plan.as_ref().expect("sharded router has a plan");
+    // One placement view per scatter round: a concurrent rebalance
+    // swaps the *next* round's plan, never this one's.
+    let view = shared.current_view();
+    let Some(plan) = view.plan.clone() else {
+        return Err(Box::new(no_shard_capacity(shared, id)));
+    };
     if input.len() != shared.k {
         return Err(Box::new(shared.reject_malformed(
             id,
@@ -1184,92 +1458,151 @@ fn sharded_matvec(
         )));
     }
 
-    // Scatter: write every shard request before reading any response.
-    // `inflight` tracks shards whose response we still owe a read for;
-    // any abort path must drop those connections (a stray response
-    // left buffered would desynchronize the next request).
-    let mut inflight = vec![false; plan.shards.len()];
-    for shard in &plan.shards {
-        let backend = shared.pool.get(shard.backend);
-        let mut sub = Request::matvec_partial(
-            id,
-            shard.row_offset as u64,
-            input[shard.row_offset..shard.row_end()].to_vec(),
-        );
-        sub.deadline_ms = remaining_ms(deadline);
-        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
-        backend.begin_dispatch();
-        match conns.send(backend, &sub, timeout) {
-            Ok(()) => inflight[shard.backend] = true,
-            Err(_) => {
-                backend.finish_dispatch(false, None);
-                backend.mark_dead();
-                abort_scatter(shared, conns, plan, &inflight);
-                return Err(Box::new(shard_unavailable(shared, id, shard.backend)));
+    // Scatter: for each shard, pick the least-outstanding live replica
+    // and write its sub-request before reading any response. A send
+    // failure ejects the replica and retries a sibling immediately.
+    // `inflight` tracks the replica each shard's response is owed from;
+    // any abort path must close those dispatches and drop their
+    // connections (a stray response left buffered would desynchronize
+    // the next request).
+    let mut inflight: Vec<Option<Arc<BackendState>>> = vec![None; plan.shards.len()];
+    let mut tried: Vec<Vec<usize>> = vec![Vec::new(); plan.shards.len()];
+    for (si, shard) in plan.shards.iter().enumerate() {
+        loop {
+            if let Some(resp) = deadline_expired(shared, id, deadline) {
+                abort_scatter(conns, &inflight);
+                return Err(resp);
+            }
+            let Some(backend) = shared.pool.pick_among(&shard.replicas, &tried[si]) else {
+                abort_scatter(conns, &inflight);
+                return Err(Box::new(shard_unavailable(shared, id, si)));
+            };
+            let mut sub = Request::matvec_partial(
+                id,
+                shard.row_offset as u64,
+                input[shard.row_offset..shard.row_end()].to_vec(),
+            );
+            sub.deadline_ms = remaining_ms(deadline);
+            let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+            backend.begin_dispatch();
+            match conns.send(&backend, &sub, timeout) {
+                Ok(()) => {
+                    inflight[si] = Some(backend);
+                    break;
+                }
+                Err(_) => {
+                    backend.finish_dispatch(false, None);
+                    tried[si].push(backend.index);
+                    if backend.mark_dead() {
+                        shared.rebalance();
+                    }
+                    shared.metrics.serve().record_protocol_error();
+                }
             }
         }
     }
 
     // Gather in shard order; each shard contributes `tiles` unsummed
-    // full-width partials.
+    // full-width partials. A replica dying mid-gather is ejected and
+    // its shard re-dispatched (send + recv, synchronously) to a
+    // sibling within the deadline — the sibling holds the identical
+    // rows, so failover cannot change a single bit of the reduction.
     let mut parts: Vec<Vec<f32>> = Vec::with_capacity(plan.tiles());
-    for shard in &plan.shards {
-        let backend = shared.pool.get(shard.backend);
-        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
-        let started = Instant::now();
-        match conns.recv(backend, timeout) {
-            Ok(resp) if resp.status == Status::Ok => {
-                backend.finish_dispatch(true, Some(started.elapsed()));
-                inflight[shard.backend] = false;
-                let Some(partials) = resp.partials else {
-                    abort_scatter(shared, conns, plan, &inflight);
-                    return Err(Box::new(Response::error(
-                        id,
-                        Status::Overloaded,
-                        format!("shard {} returned no partials", shard.backend),
-                    )));
-                };
-                if partials.len() != shard.tiles || partials.iter().any(|p| p.len() != shared.n) {
-                    abort_scatter(shared, conns, plan, &inflight);
-                    return Err(Box::new(Response::error(
-                        id,
-                        Status::Overloaded,
-                        format!("shard {} returned malformed partials", shard.backend),
-                    )));
+    for (si, shard) in plan.shards.iter().enumerate() {
+        let mut backend = inflight[si].take().expect("scatter dispatched every shard");
+        'shard: loop {
+            let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+            let started = Instant::now();
+            match conns.recv(&backend, timeout) {
+                Ok(resp) if resp.status == Status::Ok => {
+                    backend.finish_dispatch(true, Some(started.elapsed()));
+                    let Some(partials) = resp.partials else {
+                        abort_scatter(conns, &inflight);
+                        return Err(Box::new(Response::error(
+                            id,
+                            Status::Overloaded,
+                            format!("shard {si} returned no partials"),
+                        )));
+                    };
+                    if partials.len() != shard.tiles || partials.iter().any(|p| p.len() != shared.n)
+                    {
+                        abort_scatter(conns, &inflight);
+                        return Err(Box::new(Response::error(
+                            id,
+                            Status::Overloaded,
+                            format!("shard {si} returned malformed partials"),
+                        )));
+                    }
+                    parts.extend(partials);
+                    break 'shard;
                 }
-                parts.extend(partials);
-            }
-            Ok(resp) => {
-                // Structured shard rejection (503 overloaded, 504
-                // expired, …): propagate status/code upstream with the
-                // shard named in the error text.
-                backend.finish_dispatch(true, Some(started.elapsed()));
-                inflight[shard.backend] = false;
-                if resp.status == Status::Overloaded {
-                    if let Some(ms) = resp.retry_after_ms {
-                        backend.note_retry_after(ms);
+                Ok(resp) => {
+                    // Structured shard rejection (503 overloaded, 504
+                    // expired, …): the replica is alive and answering,
+                    // so propagate status/code upstream with the shard
+                    // named in the error text rather than failing over.
+                    backend.finish_dispatch(true, Some(started.elapsed()));
+                    if resp.status == Status::Overloaded {
+                        if let Some(ms) = resp.retry_after_ms {
+                            backend.note_retry_after(ms);
+                        }
+                    }
+                    abort_scatter(conns, &inflight);
+                    let mut out = Response::error(
+                        id,
+                        resp.status,
+                        format!(
+                            "shard {si} ({}): {}",
+                            backend.addr,
+                            resp.error.as_deref().unwrap_or("rejected")
+                        ),
+                    );
+                    out.retry_after_ms = resp.retry_after_ms;
+                    return Err(Box::new(out));
+                }
+                Err(_) => {
+                    // Transport death mid-gather: eject, then fail the
+                    // shard over to a sibling replica.
+                    backend.finish_dispatch(false, None);
+                    tried[si].push(backend.index);
+                    if backend.mark_dead() {
+                        shared.rebalance();
+                    }
+                    shared.metrics.serve().record_protocol_error();
+                    loop {
+                        if let Some(resp) = deadline_expired(shared, id, deadline) {
+                            abort_scatter(conns, &inflight);
+                            return Err(resp);
+                        }
+                        let Some(sibling) = shared.pool.pick_among(&shard.replicas, &tried[si])
+                        else {
+                            abort_scatter(conns, &inflight);
+                            return Err(Box::new(shard_unavailable(shared, id, si)));
+                        };
+                        let mut sub = Request::matvec_partial(
+                            id,
+                            shard.row_offset as u64,
+                            input[shard.row_offset..shard.row_end()].to_vec(),
+                        );
+                        sub.deadline_ms = remaining_ms(deadline);
+                        let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
+                        sibling.begin_dispatch();
+                        match conns.send(&sibling, &sub, timeout) {
+                            Ok(()) => {
+                                backend = sibling;
+                                continue 'shard;
+                            }
+                            Err(_) => {
+                                sibling.finish_dispatch(false, None);
+                                tried[si].push(sibling.index);
+                                if sibling.mark_dead() {
+                                    shared.rebalance();
+                                }
+                                shared.metrics.serve().record_protocol_error();
+                            }
+                        }
                     }
                 }
-                abort_scatter(shared, conns, plan, &inflight);
-                let mut out = Response::error(
-                    id,
-                    resp.status,
-                    format!(
-                        "shard {} ({}): {}",
-                        shard.backend,
-                        backend.addr,
-                        resp.error.as_deref().unwrap_or("rejected")
-                    ),
-                );
-                out.retry_after_ms = resp.retry_after_ms;
-                return Err(Box::new(out));
-            }
-            Err(_) => {
-                backend.finish_dispatch(false, None);
-                backend.mark_dead();
-                inflight[shard.backend] = false;
-                abort_scatter(shared, conns, plan, &inflight);
-                return Err(Box::new(shard_unavailable(shared, id, shard.backend)));
             }
         }
     }
@@ -1283,21 +1616,36 @@ fn sharded_matvec(
     Ok(output)
 }
 
+/// A `504` synthesized mid-failover when the caller's budget lapses.
+/// Shared by both transports so they answer byte-identically.
+pub(crate) fn deadline_expired(
+    shared: &RouterShared,
+    id: u64,
+    deadline: Option<Instant>,
+) -> Option<Box<Response>> {
+    let d = deadline?;
+    if Instant::now() < d {
+        return None;
+    }
+    shared
+        .metrics
+        .serve()
+        .runtime()
+        .record_rejection(RejectReason::DeadlineExpired);
+    Some(Box::new(Response::error(
+        id,
+        Status::DeadlineExpired,
+        "deadline expired during failover",
+    )))
+}
+
 /// Cleans up a failed scatter: every shard still owed a response gets
 /// its dispatch closed out and its connection dropped (the response,
 /// if it ever arrives, must not be mistaken for the next request's).
-fn abort_scatter(
-    shared: &RouterShared,
-    conns: &mut WorkerConns,
-    plan: &ShardPlan,
-    inflight: &[bool],
-) {
-    for shard in &plan.shards {
-        if inflight[shard.backend] {
-            let backend = shared.pool.get(shard.backend);
-            backend.finish_dispatch(false, None);
-            conns.drop_conn(shard.backend);
-        }
+fn abort_scatter(conns: &mut WorkerConns, inflight: &[Option<Arc<BackendState>>]) {
+    for backend in inflight.iter().flatten() {
+        backend.finish_dispatch(false, None);
+        conns.drop_conn(backend.index);
     }
 }
 
@@ -1347,7 +1695,7 @@ fn dispatch_pipeline(
         let timeout = attempt_timeout(deadline, shared.cfg.dispatch_timeout);
         backend.begin_dispatch();
         let started = Instant::now();
-        match conns.call(backend, &sub, timeout) {
+        match conns.call(&backend, &sub, timeout) {
             Ok(resp) if resp.status == Status::Ok => {
                 backend.finish_dispatch(true, Some(started.elapsed()));
                 let Some(output) = resp.output else {
@@ -1490,15 +1838,25 @@ pub(crate) fn catalog_names(shared: &RouterShared) -> String {
     names.join(", ")
 }
 
-/// A dead shard cannot be failed over — no other backend holds those
-/// rows — so sharded mode reports `503` and lets the client retry
-/// after the prober (or an operator) brings the shard back.
+/// A shard whose *every* replica is dead cannot be failed over, so
+/// sharded mode reports `503` and lets the client retry after the
+/// prober (or a register) brings a replica back.
 pub(crate) fn shard_unavailable(shared: &RouterShared, id: u64, shard: usize) -> Response {
-    let addr = &shared.pool.get(shard).addr;
     let mut resp = Response::error(
         id,
         Status::Overloaded,
-        format!("shard {shard} ({addr}) unavailable"),
+        format!("shard {shard} has no live replica; retry shortly"),
+    );
+    resp.retry_after_ms = Some(shared.retry_hint());
+    resp
+}
+
+/// No placement plan at all: every member is gone or ineligible.
+pub(crate) fn no_shard_capacity(shared: &RouterShared, id: u64) -> Response {
+    let mut resp = Response::error(
+        id,
+        Status::Overloaded,
+        "no eligible backend for sharded placement; retry shortly",
     );
     resp.retry_after_ms = Some(shared.retry_hint());
     resp
@@ -1512,6 +1870,7 @@ pub(crate) fn shard_unavailable(shared: &RouterShared, id: u64, shard: usize) ->
 /// worker thread. Any transport error drops the connection so framing
 /// state can never straddle requests.
 struct WorkerConns {
+    /// Indexed by stable slot id; grows as backends join.
     conns: Vec<Option<Client>>,
 }
 
@@ -1522,8 +1881,15 @@ impl WorkerConns {
         }
     }
 
+    fn slot(&mut self, index: usize) -> &mut Option<Client> {
+        if self.conns.len() <= index {
+            self.conns.resize_with(index + 1, || None);
+        }
+        &mut self.conns[index]
+    }
+
     fn drop_conn(&mut self, index: usize) {
-        self.conns[index] = None;
+        *self.slot(index) = None;
     }
 
     fn client(
@@ -1531,11 +1897,12 @@ impl WorkerConns {
         backend: &BackendState,
         timeout: Duration,
     ) -> Result<&mut Client, ClientError> {
-        if self.conns[backend.index].is_none() {
+        if self.slot(backend.index).is_none() {
             let client = Client::connect(&backend.addr)?;
-            self.conns[backend.index] = Some(client);
+            *self.slot(backend.index) = Some(client);
         }
-        let client = self.conns[backend.index]
+        let client = self
+            .slot(backend.index)
             .as_mut()
             .expect("connection just ensured");
         client.set_read_timeout(Some(timeout))?;
@@ -1559,7 +1926,7 @@ impl WorkerConns {
 
     /// Receives one response (gather half).
     fn recv(&mut self, backend: &BackendState, timeout: Duration) -> Result<Response, ClientError> {
-        let result = match self.conns[backend.index].as_mut() {
+        let result = match self.slot(backend.index).as_mut() {
             Some(c) => c.set_read_timeout(Some(timeout)).and_then(|()| c.recv()),
             None => Err(ClientError::Disconnected),
         };

@@ -1,0 +1,22 @@
+//! The entire `elastic` suite, re-run with the router on the reactor
+//! transport (`AFPR_CLUSTER_TRANSPORT=reactor`), unmodified.
+//!
+//! Same pre-main trick as `cluster_roundtrip_reactor`: the env var is
+//! set from a `.init_array` constructor before any test thread exists,
+//! then the blocking-oracle suite is included verbatim. Join, leave,
+//! refusal, and kill-one-replica-per-shard semantics must hold
+//! byte-for-byte on the event-driven router core.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_CLUSTER_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "elastic.rs"]
+mod suite;

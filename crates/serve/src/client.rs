@@ -325,6 +325,37 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("ok infer response missing `output`".to_string()))
     }
 
+    /// Asks a cluster router to admit the backend listening at
+    /// `backend_addr` into its serving pool. The router health-probes
+    /// the address and enforces the full registry handshake before the
+    /// backend sees traffic; incompatible backends are refused with
+    /// `400`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when the router refuses the
+    /// backend (handshake mismatch, unreachable address) — and when
+    /// sent to a plain backend server, which answers `400`.
+    pub fn register_backend(&mut self, backend_addr: &str) -> Result<Response, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::register(id, backend_addr))?;
+        Self::expect_ok(resp)
+    }
+
+    /// Asks a cluster router to remove the backend at `backend_addr`
+    /// from its serving pool. In-flight work drains on the old
+    /// placement; later scatter rounds use a plan without the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] for unknown addresses (`404`)
+    /// and when sent to a plain backend server (`400`).
+    pub fn deregister_backend(&mut self, backend_addr: &str) -> Result<Response, ClientError> {
+        let id = self.next_id();
+        let resp = self.call(&Request::deregister(id, backend_addr))?;
+        Self::expect_ok(resp)
+    }
+
     /// Queries server health (dims, queue depth, shutdown flag).
     ///
     /// Health bypasses the admission queue, so it answers even when the

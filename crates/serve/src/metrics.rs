@@ -33,7 +33,7 @@ struct OpCell {
 /// Thread-safe per-endpoint metrics registry.
 #[derive(Debug)]
 pub struct ServeMetrics {
-    per_op: [OpCell; 7],
+    per_op: [OpCell; Op::ALL.len()],
     connections_accepted: AtomicU64,
     connections_dropped: AtomicU64,
     protocol_errors: AtomicU64,

@@ -147,13 +147,29 @@ pub enum Op {
     /// building block: streaming `[0, a)` into `[a, layers)` is
     /// bit-identical to the full pass on the same compiled macros.
     Infer,
+    /// Membership control op, understood by cluster *routers* only:
+    /// asks the router to admit the backend at `backend_addr` into the
+    /// serving pool. The router health-probes the address and enforces
+    /// the full registry handshake (protocol version, dims,
+    /// `row_tile_rows`, model catalog + `registry_seed`) before the
+    /// backend sees traffic; a mismatch is refused with `400`.
+    /// Backends answer this op with `400 malformed` — registration is
+    /// router-level.
+    Register,
+    /// Membership control op, understood by cluster *routers* only:
+    /// removes the backend at `backend_addr` from the serving pool.
+    /// In-flight work drains on the old placement; subsequent scatter
+    /// rounds use a plan without the backend. Unknown addresses get
+    /// `404`. Backends answer this op with `400 malformed`.
+    Deregister,
 }
 
 impl Op {
     /// All ops, for iteration (metrics tables, request mixes).
-    /// `MatvecPartial` and `Infer` are appended last so the indices of
-    /// the earlier ops (and their per-op metric cells) stay stable.
-    pub const ALL: [Op; 7] = [
+    /// `MatvecPartial`, `Infer`, `Register` and `Deregister` are
+    /// appended last so the indices of the earlier ops (and their
+    /// per-op metric cells) stay stable.
+    pub const ALL: [Op; 9] = [
         Op::Matvec,
         Op::ForwardBatch,
         Op::Health,
@@ -161,6 +177,8 @@ impl Op {
         Op::Shutdown,
         Op::MatvecPartial,
         Op::Infer,
+        Op::Register,
+        Op::Deregister,
     ];
 
     /// The snake_case name used on the wire.
@@ -174,6 +192,8 @@ impl Op {
             Op::Shutdown => "shutdown",
             Op::MatvecPartial => "matvec_partial",
             Op::Infer => "infer",
+            Op::Register => "register",
+            Op::Deregister => "deregister",
         }
     }
 
@@ -194,6 +214,8 @@ impl Op {
             Op::Shutdown => 4,
             Op::MatvecPartial => 5,
             Op::Infer => 6,
+            Op::Register => 7,
+            Op::Deregister => 8,
         }
     }
 }
@@ -356,6 +378,11 @@ pub struct Request {
     /// `infer`: one past the last top-level layer of the pass.
     /// Defaults to the model's layer count.
     pub layer_end: Option<u64>,
+    /// `register`/`deregister`: the backend's listening address
+    /// (`host:port`) as the router should dial it. Absent on every
+    /// other op (and on frames from peers that predate elastic
+    /// membership).
+    pub backend_addr: Option<String>,
 }
 
 impl Request {
@@ -375,6 +402,7 @@ impl Request {
             format: None,
             layer_start: None,
             layer_end: None,
+            backend_addr: None,
         }
     }
 
@@ -422,6 +450,26 @@ impl Request {
             format: Some(format.into()),
             input: Some(input),
             ..Self::new(Op::Infer, id)
+        }
+    }
+
+    /// A `register` request: ask a router to admit the backend
+    /// listening at `backend_addr` into its serving pool.
+    #[must_use]
+    pub fn register(id: u64, backend_addr: impl Into<String>) -> Self {
+        Self {
+            backend_addr: Some(backend_addr.into()),
+            ..Self::new(Op::Register, id)
+        }
+    }
+
+    /// A `deregister` request: ask a router to remove the backend at
+    /// `backend_addr` from its serving pool.
+    #[must_use]
+    pub fn deregister(id: u64, backend_addr: impl Into<String>) -> Self {
+        Self {
+            backend_addr: Some(backend_addr.into()),
+            ..Self::new(Op::Deregister, id)
         }
     }
 
@@ -957,6 +1005,28 @@ mod tests {
         assert_eq!(back.format, None);
         assert_eq!(back.layer_start, None);
         assert_eq!(back.layer_end, None);
+    }
+
+    #[test]
+    fn register_and_deregister_round_trip() {
+        let req = Request::register(31, "127.0.0.1:9000");
+        assert_eq!(req.op, Op::Register);
+        assert_eq!(req.backend_addr.as_deref(), Some("127.0.0.1:9000"));
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"register\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        let req = Request::deregister(32, "127.0.0.1:9000");
+        assert_eq!(req.op, Op::Deregister);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"deregister\""), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Frames that predate the field parse with no backend_addr.
+        let back: Request = serde_json::from_str("{\"op\":\"health\",\"id\":3}").unwrap();
+        assert_eq!(back.backend_addr, None);
     }
 
     #[test]

@@ -980,6 +980,14 @@ pub(crate) fn dispatch_admit(shared: &Shared, req: Request, t0: Instant) -> Admi
             };
             admit(shared, &req, t0, payload, ReplyShape::Single)
         }
+        // Membership control is router-level: a backend has no pool to
+        // mutate, so it refuses loudly instead of silently acking a
+        // registration that changed nothing.
+        Op::Register | Op::Deregister => Admission::immediate(reject_malformed(
+            shared,
+            req.id,
+            format!("`{}` is a cluster-router op; this is a backend", req.op),
+        )),
     }
 }
 
