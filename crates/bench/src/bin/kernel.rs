@@ -1,8 +1,8 @@
-//! Conductance-kernel benchmark: measures what the cached-snapshot
-//! matvec kernel buys over the per-cell uncached read path, end to
-//! end.
+//! Conductance-kernel benchmark: measures what the cache-blocked
+//! snapshot kernel and the batched GEMM path buy over the per-cell
+//! uncached read path, end to end.
 //!
-//! Four sections, all seeded and bit-checked:
+//! Five sections, all seeded and bit-checked:
 //!
 //! 1. **Kernel microbench** — the paper's 576×256 array with realistic
 //!    drift (ν = 0.005) at a nonzero age, so the uncached path pays a
@@ -10,16 +10,25 @@
 //!    (invalidate + rebuild every read) and warm-cache matvec rates,
 //!    and asserts the cached output is **bit-identical** to the
 //!    uncached reference.
-//! 2. **Accelerator matvec** — the demo 256→128 tiled layer through
+//! 2. **Batch sweep** — `Crossbar::mac_currents_batch` over
+//!    B ∈ {1, 4, 16, 64}: per-B matvec throughput as one blocked
+//!    conductance pass amortizes over the batch (`--batch B` restricts
+//!    the sweep to a single point).
+//! 3. **Accelerator matvec** — the demo 256→128 tiled layer through
 //!    `AfprAccelerator::matvec` with warm kernels.
-//! 3. **Parallel forward** — the same layer through the runtime
+//! 4. **Parallel forward** — the same layer through the runtime
 //!    engine (`matvec_parallel/s`), bit-checked against sequential.
-//! 4. **Serve path** — an in-process server + client round-trip
+//! 5. **Serve path** — an in-process server + client round-trip
 //!    (`req/s`), i.e. the kernel speedup as a client would see it.
+//!
+//! Two performance-regression floors are enforced: `cold ≥ 0.95 ×
+//! uncached` and `parallel ≥ serial`. Full runs fail hard on a
+//! violation; `--quick` runs only warn (quick timings are too noisy
+//! to gate on).
 //!
 //! Writes the results as JSON (default `BENCH_matvec.json`).
 //!
-//! Usage: `cargo run --release --bin kernel [--quick] [--seed S] [--out PATH]`
+//! Usage: `cargo run --release --bin kernel [--quick] [--seed S] [--batch B] [--out PATH]`
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -53,6 +62,21 @@ struct KernelSection {
 }
 
 #[derive(Serialize)]
+struct BatchPoint {
+    batch: usize,
+    matvec_per_s: f64,
+    speedup_vs_b1: f64,
+}
+
+#[derive(Serialize)]
+struct BatchSection {
+    rows: usize,
+    cols: usize,
+    bit_identical: bool,
+    points: Vec<BatchPoint>,
+}
+
+#[derive(Serialize)]
 struct AccelSection {
     layer: String,
     matvec_per_s: f64,
@@ -73,8 +97,22 @@ struct Report {
     seed: u64,
     quick: bool,
     kernel_576x256: KernelSection,
+    batch_sweep: BatchSection,
     accelerator_demo: AccelSection,
     serve: ServeSection,
+}
+
+/// Enforces a performance-regression floor: hard failure in full runs,
+/// a printed warning in `--quick` (quick timings are too noisy to gate
+/// on).
+fn enforce_floor(quick: bool, ok: bool, what: &str) {
+    if ok {
+        println!("floor ok          : {what}");
+    } else if quick {
+        println!("WARNING (quick)   : floor violated: {what}");
+    } else {
+        panic!("perf floor violated: {what}");
+    }
 }
 
 fn flag_present(args: &[String], name: &str) -> bool {
@@ -124,24 +162,29 @@ fn kernel_microbench(seed: u64, quick: bool) -> KernelSection {
     }
     println!("bit-identity      : cached == uncached over {cols} columns ✓");
 
-    let (reps_slow, reps_warm) = if quick { (3, 60) } else { (12, 600) };
+    let (reps_slow, reps_warm) = if quick { (4, 60) } else { (24, 600) };
 
-    // Uncached: the pre-kernel read path (per-cell drift + IR fold).
-    let t0 = Instant::now();
+    // Uncached vs cold cache, interleaved rep-by-rep: the floor below
+    // gates on their *ratio*, and two back-to-back loops would let
+    // frequency or load drift between them masquerade as a regression.
+    // Cold means "snapshot invalid, the read pays the full fused
+    // rebuild" — `set_age` to the same value still bumps the
+    // generation (invalidation is conservative by design) and stays
+    // off the clock so only the rebuild-on-read is timed.
+    let mut uncached_t = 0.0f64;
+    let mut cold_t = 0.0f64;
     for _ in 0..reps_slow {
+        let t0 = Instant::now();
         black_box(xb.mac_currents_uncached(&v));
-    }
-    let uncached_s = rate(reps_slow, t0.elapsed().as_secs_f64());
+        uncached_t += t0.elapsed().as_secs_f64();
 
-    // Cold cache: invalidate before every read so each matvec pays the
-    // full snapshot rebuild. `set_age` to the same value still bumps
-    // the generation (invalidation is conservative by design).
-    let t0 = Instant::now();
-    for _ in 0..reps_slow {
         xb.set_age(age);
+        let t0 = Instant::now();
         black_box(xb.mac_currents(&v));
+        cold_t += t0.elapsed().as_secs_f64();
     }
-    let cold_s = rate(reps_slow, t0.elapsed().as_secs_f64());
+    let uncached_s = rate(reps_slow, uncached_t);
+    let cold_s = rate(reps_slow, cold_t);
 
     // Warm cache: snapshot built once, every read reuses it.
     xb.set_age(age); // start from a cold cache…
@@ -162,6 +205,14 @@ fn kernel_microbench(seed: u64, quick: bool) -> KernelSection {
     println!("uncached          : {uncached_s:>10.1} matvec/s (576×256, drift active)");
     println!("cold cache        : {cold_s:>10.1} matvec/s (rebuild every read)");
     println!("warm cache        : {warm_s:>10.1} matvec/s  speedup ×{speedup:.2} vs uncached");
+    enforce_floor(
+        quick,
+        cold_s >= 0.95 * uncached_s,
+        &format!(
+            "cold ≥ 0.95× uncached (cold {cold_s:.1}/s, uncached {uncached_s:.1}/s, ratio {:.3})",
+            cold_s / uncached_s
+        ),
+    );
 
     KernelSection {
         rows,
@@ -173,6 +224,67 @@ fn kernel_microbench(seed: u64, quick: bool) -> KernelSection {
         cold_matvec_per_s: cold_s,
         warm_matvec_per_s: warm_s,
         warm_speedup_vs_uncached: speedup,
+    }
+}
+
+/// Section 2: batched-GEMM sweep on the 576×256 crossbar — one blocked
+/// conductance pass amortized over B drive vectors.
+fn batch_sweep(seed: u64, quick: bool, only: Option<usize>) -> BatchSection {
+    let rows = 576;
+    let cols = 256;
+    let mut xb = Crossbar::new(rows, cols, DeviceConfig::realistic(32));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB47C);
+    let levels: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..32)).collect();
+    xb.program_levels(&levels, &mut rng);
+    xb.set_age(Seconds::new(3.0e6));
+    let mk_v = |s: usize| -> Vec<Volts> {
+        (0..rows)
+            .map(|r| Volts::new(0.02 + 0.001 * ((r + 7 * s) % 64) as f64))
+            .collect()
+    };
+    // Warm the blocked snapshot once; the sweep measures pure GEMM.
+    black_box(xb.mac_currents(&mk_v(0)));
+
+    let sweep: Vec<usize> = only.map_or_else(|| vec![1, 4, 16, 64], |b| vec![b.max(1)]);
+    let target_samples = if quick { 240 } else { 2400 };
+    let mut bit_identical = true;
+    let mut points = Vec::with_capacity(sweep.len());
+    let mut b1_per_s = None;
+    for &b in &sweep {
+        let vs: Vec<Vec<Volts>> = (0..b).map(mk_v).collect();
+        // Bit-identity gate per B: the batched slab must equal B
+        // sequential blocked matvecs exactly.
+        let got = xb.mac_currents_batch(&vs);
+        for (s, v) in vs.iter().enumerate() {
+            let want = xb.mac_currents(v);
+            for (a, w) in got[s].iter().zip(&want) {
+                bit_identical &= a.amps().to_bits() == w.amps().to_bits();
+            }
+        }
+        let reps = (target_samples / b).max(1);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(xb.mac_currents_batch(&vs));
+        }
+        let per_s = rate(reps * b, t0.elapsed().as_secs_f64());
+        let base = *b1_per_s.get_or_insert(per_s);
+        let speedup = per_s / base;
+        println!("batch B={b:<4}      : {per_s:>10.1} matvec/s  ×{speedup:.2} vs B=1");
+        points.push(BatchPoint {
+            batch: b,
+            matvec_per_s: per_s,
+            speedup_vs_b1: speedup,
+        });
+    }
+    assert!(
+        bit_identical,
+        "batched GEMM diverged from the per-sample blocked path"
+    );
+    BatchSection {
+        rows,
+        cols,
+        bit_identical,
+        points,
     }
 }
 
@@ -224,6 +336,14 @@ fn accel_bench(seed: u64, quick: bool) -> AccelSection {
         accel.macro_count()
     );
     println!("matvec_parallel   : {par_s:>10.1} matvec/s (4 threads, bit-identical)");
+    enforce_floor(
+        quick,
+        par_s >= seq_s,
+        &format!(
+            "parallel ≥ serial at accelerator_demo size (parallel {par_s:.1}/s, serial {seq_s:.1}/s, ratio {:.3})",
+            par_s / seq_s
+        ),
+    );
 
     AccelSection {
         layer: format!("{K}x{N} over 64x32 tiles"),
@@ -262,6 +382,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = flag_present(&args, "--quick");
     let seed = flag_value::<u64>(&args, "--seed").unwrap_or(2024);
+    let batch = flag_value::<usize>(&args, "--batch");
     let out = flag_value::<String>(&args, "--out").unwrap_or_else(|| "BENCH_matvec.json".into());
 
     println!(
@@ -269,6 +390,7 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     let kernel = kernel_microbench(seed, quick);
+    let sweep = batch_sweep(seed, quick, batch);
     let accel = accel_bench(seed, quick);
     let serve = serve_bench(seed, quick);
 
@@ -277,6 +399,7 @@ fn main() {
         seed,
         quick,
         kernel_576x256: kernel,
+        batch_sweep: sweep,
         accelerator_demo: accel,
         serve,
     };

@@ -257,91 +257,75 @@ impl AfprAccelerator {
         partials
     }
 
-    /// Parallel tiled matrix-vector product on a runtime [`Engine`]:
-    /// contiguous runs of tiles become worker-pool jobs (about two per
-    /// worker, so stragglers can steal) and each job runs its tiles'
-    /// macros sequentially; row-tile partials are then combined by the
-    /// inter-core routing adder in the same fixed `ct`-outer /
-    /// `rt`-inner order as [`matvec`](Self::matvec).
-    ///
-    /// Chunking matters: a per-tile job pays one closure box + two
-    /// channel hops per tile, which at small tile sizes costs more
-    /// than the arithmetic it dispatches. Grouping tiles amortizes
-    /// that overhead to ~`2 × threads` dispatches per call.
+    /// Parallel tiled matrix-vector product on a runtime [`Engine`].
+    /// This is batch-of-one [`forward_batch`](Self::forward_batch):
+    /// the batched GEMM path with `B == 1` degenerates to exactly one
+    /// blocked conductance pass per tile, so single-vector and batched
+    /// serving share one dispatch shape (and one set of invariants).
     ///
     /// **Determinism:** bit-identical to `matvec` for any worker or
     /// chunk count — each macro owns its RNG and runs exactly once per
-    /// call (jobs move the macros out of the layer and back), and the
-    /// float reduction order is unchanged.
+    /// call, and the float reduction order is unchanged.
     ///
     /// # Panics
     ///
     /// Panics if the handle is stale or `x.len() != K`.
     pub fn matvec_parallel(&mut self, handle: LayerHandle, x: &[f32], engine: &Engine) -> Vec<f32> {
-        let (tiles, k, n) = {
-            let layer = &self.layers[handle.0];
-            (layer.macros.len(), layer.tiled.k, layer.tiled.n)
-        };
-        assert_eq!(x.len(), k, "input length must equal K");
-        if tiles <= 1 || engine.threads() == 1 {
-            // Nothing to fan out (or a single worker): the sequential
-            // path is the parallel path.
-            engine.metrics().record_tiles(tiles as u64, (k * n) as u64);
-            return self.matvec(handle, x);
-        }
+        let xs = [x.to_vec()];
+        self.forward_batch(handle, &xs, engine)
+            .pop()
+            .expect("batch of one yields one output")
+    }
 
+    /// Engine-free batched GEMM over one layer: every tile's macro
+    /// runs the **whole batch** through [`CimMacro::matvec_batch`] —
+    /// one blocked conductance pass per differential array per sign
+    /// phase group, amortized over all `B` samples — and row-tile
+    /// partials are reduced per sample in the same `ct`-outer /
+    /// `rt`-inner order as [`matvec`](Self::matvec).
+    ///
+    /// Bit-identical to calling `matvec` once per sample, in order:
+    /// each macro consumes its RNG stream in sample order, and the
+    /// adder sees the same per-column addition sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale or any `xs[i].len() != K`.
+    pub fn matvec_batch(&mut self, handle: LayerHandle, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let layer = &mut self.layers[handle.0];
-        let macros = std::mem::take(&mut layer.macros);
-        let per_job = tiles.div_ceil(engine.threads() * 2).max(1);
-        let mut jobs: Vec<Vec<(CimMacro, Vec<f32>)>> = Vec::with_capacity(tiles.div_ceil(per_job));
-        for (i, (mac, tile)) in macros.into_iter().zip(&layer.tiled.tiles).enumerate() {
-            if i % per_job == 0 {
-                jobs.push(Vec::with_capacity(per_job));
-            }
-            let job = jobs.last_mut().expect("chunk pushed above");
-            job.push((mac, x[tile.row_start..tile.row_end].to_vec()));
+        for x in xs {
+            assert_eq!(x.len(), layer.tiled.k, "input length must equal K");
         }
-        let results = engine.execute(jobs, |chunk: Vec<(CimMacro, Vec<f32>)>| {
-            chunk
-                .into_iter()
-                .map(|(mut mac, xin)| {
-                    let y = mac.matvec(&xin);
-                    (mac, y)
-                })
-                .collect::<Vec<_>>()
-        });
-
-        let mut partials_by_tile: Vec<Vec<f32>> = Vec::with_capacity(tiles);
-        layer.macros = results
-            .into_iter()
-            .flatten()
-            .map(|(mac, y)| {
-                partials_by_tile.push(y);
-                mac
-            })
-            .collect();
-        engine.metrics().record_tiles(tiles as u64, (k * n) as u64);
-
-        let mut out = vec![0.0f32; layer.tiled.n];
-        for ct in 0..layer.tiled.col_tiles {
-            let partials: Vec<Vec<f32>> = (0..layer.tiled.row_tiles)
-                .map(|rt| std::mem::take(&mut partials_by_tile[rt * layer.tiled.col_tiles + ct]))
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        // per_tile[idx][sample] — tile-major, like the macro layout.
+        let mut per_tile: Vec<Vec<Vec<f32>>> = Vec::with_capacity(layer.macros.len());
+        for (mac, tile) in layer.macros.iter_mut().zip(&layer.tiled.tiles) {
+            let inputs: Vec<Vec<f32>> = xs
+                .iter()
+                .map(|x| x[tile.row_start..tile.row_end].to_vec())
                 .collect();
-            let summed = self.adder.sum(&partials);
-            let col_start = layer.tiled.tiles[ct].col_start;
-            out[col_start..col_start + summed.len()].copy_from_slice(&summed);
+            per_tile.push(mac.matvec_batch(&inputs));
         }
-        out
+        reduce_tile_batch(&mut self.adder, &layer.tiled, per_tile, xs.len())
     }
 
     /// Runs a micro-batch of inputs through one layer with tile-level
-    /// parallelism: each tile's macro becomes one job that processes
-    /// **all samples in submission order**, so per-macro RNG streams —
-    /// and therefore outputs, energy and statistics — are bit-identical
-    /// to calling [`matvec`](Self::matvec) once per sample.
+    /// parallelism: tiles are grouped into column-block × batch slab
+    /// jobs (~2 per worker via [`Engine::execute_chunked`]), and each
+    /// job runs its tiles' macros through the batched GEMM kernel
+    /// ([`CimMacro::matvec_batch`]) — one blocked conductance pass per
+    /// array per sign phase, amortized over the whole batch. With one
+    /// worker (or a single tile) the dispatch drops away entirely and
+    /// the engine-free [`matvec_batch`](Self::matvec_batch) runs
+    /// inline — still batched, so single-threaded hosts keep the GEMM
+    /// amortization.
     ///
-    /// Batching amortizes job dispatch over the whole batch, which is
-    /// where the micro-batching queue earns its throughput.
+    /// **Determinism:** bit-identical to calling
+    /// [`matvec`](Self::matvec) once per sample in order, for any
+    /// worker or chunk count — each macro owns its RNG and consumes it
+    /// in sample order, and the float reduction order is unchanged.
     ///
     /// # Panics
     ///
@@ -362,11 +346,11 @@ impl AfprAccelerator {
         if xs.is_empty() {
             return Vec::new();
         }
+        engine
+            .metrics()
+            .record_tiles((tiles * xs.len()) as u64, (k * n * xs.len()) as u64);
         if tiles <= 1 || engine.threads() == 1 {
-            engine
-                .metrics()
-                .record_tiles((tiles * xs.len()) as u64, (k * n * xs.len()) as u64);
-            return xs.iter().map(|x| self.matvec(handle, x)).collect();
+            return self.matvec_batch(handle, xs);
         }
 
         let layer = &mut self.layers[handle.0];
@@ -382,10 +366,11 @@ impl AfprAccelerator {
                 (mac, inputs)
             })
             .collect();
-        let results = engine.execute(jobs, |(mut mac, inputs): (CimMacro, Vec<Vec<f32>>)| {
-            let outs: Vec<Vec<f32>> = inputs.iter().map(|xi| mac.matvec(xi)).collect();
-            (mac, outs)
-        });
+        let results =
+            engine.execute_chunked(jobs, |(mut mac, inputs): (CimMacro, Vec<Vec<f32>>)| {
+                let outs = mac.matvec_batch(&inputs);
+                (mac, outs)
+            });
 
         // per_tile[idx][sample] — tile-major, like the macro layout.
         let mut per_tile: Vec<Vec<Vec<f32>>> = Vec::with_capacity(results.len());
@@ -396,29 +381,7 @@ impl AfprAccelerator {
                 mac
             })
             .collect();
-        engine
-            .metrics()
-            .record_tiles((tiles * xs.len()) as u64, (k * n * xs.len()) as u64);
-
-        let (row_tiles, col_tiles, n) =
-            (layer.tiled.row_tiles, layer.tiled.col_tiles, layer.tiled.n);
-        let mut batch_out = Vec::with_capacity(xs.len());
-        // `s` indexes the *inner* (sample) axis of the tile-major
-        // `per_tile`, so clippy's iterate-over-`per_tile` hint is wrong.
-        #[allow(clippy::needless_range_loop)]
-        for s in 0..xs.len() {
-            let mut out = vec![0.0f32; n];
-            for ct in 0..col_tiles {
-                let partials: Vec<Vec<f32>> = (0..row_tiles)
-                    .map(|rt| std::mem::take(&mut per_tile[rt * col_tiles + ct][s]))
-                    .collect();
-                let summed = self.adder.sum(&partials);
-                let col_start = layer.tiled.tiles[ct].col_start;
-                out[col_start..col_start + summed.len()].copy_from_slice(&summed);
-            }
-            batch_out.push(out);
-        }
-        batch_out
+        reduce_tile_batch(&mut self.adder, &layer.tiled, per_tile, xs.len())
     }
 
     /// Aggregated statistics over every macro.
@@ -557,6 +520,36 @@ impl AfprAccelerator {
 
 fn quantizer_for(slice: &[f32], format: FpFormat) -> FpActQuantizer {
     FpActQuantizer::calibrate(slice, format)
+}
+
+/// Reduces tile-major batched partials (`per_tile[idx][sample]`) into
+/// per-sample outputs, replaying the exact `(sample, ct)`-ordered adder
+/// call sequence of a sequential per-sample [`AfprAccelerator::matvec`]
+/// loop — the reduction order is part of the bit-identity contract.
+fn reduce_tile_batch(
+    adder: &mut PartialSumAdder,
+    tiled: &TiledMatrix,
+    mut per_tile: Vec<Vec<Vec<f32>>>,
+    batch: usize,
+) -> Vec<Vec<f32>> {
+    let (row_tiles, col_tiles, n) = (tiled.row_tiles, tiled.col_tiles, tiled.n);
+    let mut batch_out = Vec::with_capacity(batch);
+    // `s` indexes the *inner* (sample) axis of the tile-major
+    // `per_tile`, so clippy's iterate-over-`per_tile` hint is wrong.
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..batch {
+        let mut out = vec![0.0f32; n];
+        for ct in 0..col_tiles {
+            let partials: Vec<Vec<f32>> = (0..row_tiles)
+                .map(|rt| std::mem::take(&mut per_tile[rt * col_tiles + ct][s]))
+                .collect();
+            let summed = adder.sum(&partials);
+            let col_start = tiled.tiles[ct].col_start;
+            out[col_start..col_start + summed.len()].copy_from_slice(&summed);
+        }
+        batch_out.push(out);
+    }
+    batch_out
 }
 
 #[cfg(test)]

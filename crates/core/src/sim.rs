@@ -143,11 +143,14 @@ impl MacroModelSim {
     }
 
     /// A micro-batch of matvecs (conv patch positions), batched onto
-    /// the engine when in parallel mode.
+    /// the engine when in parallel mode. Sequential mode still runs
+    /// the batched GEMM kernel inline — one blocked conductance pass
+    /// per tile for the whole batch, bit-identical to a per-sample
+    /// matvec loop.
     fn matvec_many(&mut self, handle: LayerHandle, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         match &self.engine {
             Some(engine) => self.accel.forward_batch(handle, xs, engine),
-            None => xs.iter().map(|x| self.accel.matvec(handle, x)).collect(),
+            None => self.accel.matvec_batch(handle, xs),
         }
     }
 

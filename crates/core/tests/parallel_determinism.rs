@@ -120,6 +120,65 @@ fn forward_batch_matches_per_sample_loop() {
     }
 }
 
+/// The batched-GEMM bit-identity contract under the full damage model:
+/// stuck-cell faults, retention drift, and a scrub pass that repairs by
+/// spare-column remapping — across every macro mode. `forward_batch`
+/// (any thread count) and the engine-free `matvec_batch` must both
+/// equal B sequential `matvec` calls bitwise.
+#[test]
+fn batched_gemm_bit_identical_under_faults_age_and_remap() {
+    for mode in [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8] {
+        // Every twin replays the identical damage history from the
+        // same chaos seed, so their arrays are bit-equal going in.
+        let make = || {
+            let mut base = MacroSpec::small(8, 3, mode).with_spare_cols(2);
+            base.device.drift_nu = 0.01;
+            let mut accel = AfprAccelerator::with_spec(base, 11);
+            let w = Tensor::from_fn(&[20, 7], |i| {
+                (((i[0] * 7 + i[1]) * 5 % 17) as f32 - 8.0) / 16.0
+            });
+            let h = accel.map_matrix(&w);
+            let x: Vec<f32> = (0..20).map(|k| ((k as f32) * 0.23).cos()).collect();
+            accel.calibrate_layer(h, std::slice::from_ref(&x));
+            let mut chaos = StdRng::seed_from_u64(99);
+            let faulted = accel.inject_faults(&afpr_device::YieldModel::new(0.04, 0.5), &mut chaos);
+            accel.advance_age(afpr_circuit::units::Seconds::new(2.0e6));
+            let report = accel.scrub(&afpr_xbar::GuardConfig::default(), &mut chaos);
+            (accel, h, faulted, report.repaired)
+        };
+
+        let xs = inputs(6);
+        let (mut seq, h, faulted, repaired) = make();
+        assert!(faulted > 0, "{mode:?}: damage model must fault cells");
+        assert!(
+            repaired > 0,
+            "{mode:?}: scrub must remap at least one column"
+        );
+        let golden: Vec<Vec<f32>> = xs.iter().map(|x| seq.matvec(h, x)).collect();
+
+        let (mut inline, hi, ..) = make();
+        let got = inline.matvec_batch(hi, &xs);
+        assert_bits_eq(&golden, &got, &format!("{mode:?} inline matvec_batch"));
+
+        for threads in THREADS {
+            let engine = Engine::with_threads(threads);
+            let (mut par, hp, ..) = make();
+            let got = par.forward_batch(hp, &xs, &engine);
+            assert_bits_eq(
+                &golden,
+                &got,
+                &format!("{mode:?} forward_batch, {threads} threads"),
+            );
+            assert_eq!(par.stats().conversions, seq.stats().conversions);
+            assert_eq!(
+                par.stats().total_energy().joules().to_bits(),
+                seq.stats().total_energy().joules().to_bits(),
+                "{mode:?}: macro energy must be bit-identical"
+            );
+        }
+    }
+}
+
 #[test]
 fn interleaving_parallel_and_sequential_calls_stays_deterministic() {
     let (mut a, ha) = tiled_accel(7);

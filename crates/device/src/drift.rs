@@ -53,10 +53,29 @@ impl DriftModel {
     /// `g0` unchanged (the law only applies after the reference time).
     #[must_use]
     pub fn conductance_at(&self, g0: f64, elapsed: f64) -> f64 {
-        if self.nu == 0.0 || elapsed <= self.t0 {
-            return g0;
+        match self.decay_factor(elapsed) {
+            Some(k) => g0 * k,
+            None => g0,
         }
-        g0 * (elapsed / self.t0).powf(-self.nu)
+    }
+
+    /// The multiplicative decay factor at `elapsed`, such that
+    /// [`conductance_at`](Self::conductance_at)`(g0, elapsed)` equals
+    /// `g0 * factor` **bit-for-bit** when `Some`, and returns `g0`
+    /// unchanged when `None` (drift inactive).
+    ///
+    /// The factor depends only on `(ν, t0, elapsed)` — never on the
+    /// cell — so bulk evaluators at one timestamp (the crossbar's
+    /// snapshot build) hoist this single `powf` out of their per-cell
+    /// loop instead of recomputing an identical transcendental per
+    /// cell.
+    #[must_use]
+    pub fn decay_factor(&self, elapsed: f64) -> Option<f64> {
+        if self.nu == 0.0 || elapsed <= self.t0 {
+            None
+        } else {
+            Some((elapsed / self.t0).powf(-self.nu))
+        }
     }
 }
 

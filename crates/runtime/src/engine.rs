@@ -244,6 +244,50 @@ impl Engine {
             .collect()
     }
 
+    /// Order-preserving *chunked* parallel map: groups `items` into
+    /// contiguous slabs (~2 jobs per worker, so uneven slab runtimes
+    /// still load-balance), runs each slab as **one** pool job, and
+    /// returns the per-item results flattened in submission order.
+    ///
+    /// This is the dispatch shape the batched matvec path wants: a
+    /// job should carry a column-block × batch slab rather than a
+    /// single call, so channel round-trips and closure boxing
+    /// amortize over the whole slab instead of being paid per item.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first slab panic on the calling thread, like
+    /// [`Engine::execute`].
+    pub fn execute_chunked<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let jobs = (self.threads * 2).clamp(1, n);
+        let per_job = n.div_ceil(jobs);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(jobs);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(per_job).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let f = Arc::new(f);
+        self.execute(chunks, move |chunk| {
+            chunk.into_iter().map(|item| f(item)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Panic-isolating order-preserving parallel map.
     ///
     /// Like [`Engine::execute`], but a job whose closure panics fails
@@ -368,6 +412,18 @@ mod tests {
             x * 3
         });
         assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn execute_chunked_flattens_in_order() {
+        let engine = Engine::with_threads(4);
+        let out = engine.execute_chunked((0..100u64).collect(), |x| x * 3);
+        assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+        // Chunking amortizes dispatch: at most ~2 jobs per worker,
+        // not one per item.
+        assert!(engine.metrics().snapshot().jobs_submitted <= 8);
+        let empty: Vec<u64> = engine.execute_chunked(Vec::new(), |x: u64| x);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -554,6 +554,110 @@ impl CimMacro {
         out
     }
 
+    /// True batched signed FP GEMM: B matvecs computed with a single
+    /// blocked conductance pass per differential array over the whole
+    /// drive slab, instead of B independent array traversals.
+    ///
+    /// Bit-identical to calling [`CimMacro::matvec_digital_fp`] once
+    /// per sample, in order: per-(sample, column) accumulators replay
+    /// the exact per-row float-op sequence, the ADC readouts consume
+    /// the macro RNG in the same (sample, column) order, and energy /
+    /// stats accounting runs per sample as in the sequential loop.
+    /// Device configs with runtime read noise
+    /// (`read_noise_sigma != 0`) fall back to the sequential path so
+    /// the per-cell RNG draw order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is in INT8 mode, a sample length
+    /// mismatches, or weights are not programmed.
+    pub fn matvec_digital_fp_batch(&mut self, batch: &[Vec<SignedActivation>]) -> Vec<Vec<f64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if self.spec.device.read_noise_sigma != 0.0 || batch.len() == 1 {
+            return batch
+                .iter()
+                .map(|acts| self.matvec_digital_fp(acts))
+                .collect();
+        }
+        assert!(
+            self.spec.mode.fp_format().is_some(),
+            "matvec_digital_fp_batch needs an FP mode"
+        );
+        assert!(self.mapped.is_some(), "weights must be programmed first");
+
+        // Flatten the per-sample sign-chopping phases into one drive
+        // slab, in (sample, phase) order — the same order the
+        // sequential loop would issue them.
+        let mut drives: Vec<Vec<Volts>> = Vec::with_capacity(batch.len() * 2);
+        let mut meta: Vec<(usize, f64)> = Vec::with_capacity(batch.len() * 2);
+        for (s, activations) in batch.iter().enumerate() {
+            assert_eq!(
+                activations.len(),
+                self.spec.rows,
+                "need one activation per row"
+            );
+            for negative in [false, true] {
+                let drive: Vec<Option<HwFpCode>> = activations
+                    .iter()
+                    .map(|a| if a.negative == negative { a.code } else { None })
+                    .collect();
+                if drive.iter().all(Option::is_none) {
+                    continue;
+                }
+                drives.push(self.fp_voltages(&drive));
+                meta.push((s, if negative { -1.0 } else { 1.0 }));
+            }
+        }
+
+        let t = self.spec.fp_adc.t_integrate;
+        let ip = self.pos.mac_currents_batch(&drives);
+        let im = self.neg.mac_currents_batch(&drives);
+        let ep = self.pos.array_energy_batch(&drives, t);
+        let em = self.neg.array_energy_batch(&drives, t);
+
+        let units = self.digital_units_per_adc_unit();
+        let divider = self.current_divider;
+        let mut out = Vec::with_capacity(batch.len());
+        let mut k = 0usize;
+        for (s, activations) in batch.iter().enumerate() {
+            let mut net = vec![0.0f64; self.spec.cols];
+            let mut array_energy = Joules::ZERO;
+            let mut phases = 0u32;
+            while k < meta.len() && meta[k].0 == s {
+                let sign = meta[k].1;
+                phases += 1;
+                for (n, (p, m)) in net.iter_mut().zip(ip[k].iter().zip(&im[k])) {
+                    *n += sign * (p.amps() - m.amps());
+                }
+                array_energy += ep[k] + em[k];
+                k += 1;
+            }
+            let mut y = Vec::with_capacity(self.spec.cols);
+            for (col, i_net) in net.iter().enumerate() {
+                let magnitude = Amps::new(i_net.abs() / divider);
+                let r = self.fp_adcs[col].convert_noisy(magnitude, &mut self.rng);
+                if r.overflow {
+                    self.stats.saturations += 1;
+                }
+                if r.underflow {
+                    self.stats.underflows += 1;
+                }
+                y.push(r.value() * units * i_net.signum());
+            }
+            let active_rows = activations.iter().filter(|a| a.code.is_some()).count();
+            self.account(
+                AdcSpec::fp(&self.spec.fp_adc),
+                active_rows,
+                array_energy,
+                phases.max(1),
+            );
+            out.push(y);
+        }
+        out
+    }
+
     /// Signed INT8 matrix-vector product in digital units (activation
     /// magnitudes `0..=255` with sign flags).
     ///
@@ -626,6 +730,104 @@ impl CimMacro {
         out
     }
 
+    /// Batched INT8 GEMM, the integer twin of
+    /// [`CimMacro::matvec_digital_fp_batch`]: one blocked conductance
+    /// pass per differential array over the whole drive slab,
+    /// bit-identical to sequential [`CimMacro::matvec_digital_int`]
+    /// calls (the INT ADC draws no runtime noise at all). Falls back
+    /// to the sequential loop when `read_noise_sigma != 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the macro is not in INT8 mode or preconditions fail.
+    pub fn matvec_digital_int_batch(&mut self, batch: &[Vec<(bool, u32)>]) -> Vec<Vec<f64>> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if self.spec.device.read_noise_sigma != 0.0 || batch.len() == 1 {
+            return batch
+                .iter()
+                .map(|acts| self.matvec_digital_int(acts))
+                .collect();
+        }
+        assert_eq!(
+            self.spec.mode,
+            MacroMode::Int8,
+            "matvec_digital_int_batch needs INT8 mode"
+        );
+        assert!(self.mapped.is_some(), "weights must be programmed first");
+
+        let mut drives: Vec<Vec<Volts>> = Vec::with_capacity(batch.len() * 2);
+        let mut meta: Vec<(usize, f64)> = Vec::with_capacity(batch.len() * 2);
+        for (s, activations) in batch.iter().enumerate() {
+            assert_eq!(
+                activations.len(),
+                self.spec.rows,
+                "need one activation per row"
+            );
+            for want_neg in [false, true] {
+                let voltages: Vec<Volts> = activations
+                    .iter()
+                    .map(|&(neg, m)| {
+                        if neg == want_neg {
+                            self.int_dac.convert(m)
+                        } else {
+                            Volts::ZERO
+                        }
+                    })
+                    .collect();
+                if voltages.iter().all(|v| v.volts() == 0.0) {
+                    continue;
+                }
+                drives.push(voltages);
+                meta.push((s, if want_neg { -1.0 } else { 1.0 }));
+            }
+        }
+
+        let t = self.spec.int_adc.t_integrate;
+        let ip = self.pos.mac_currents_batch(&drives);
+        let im = self.neg.mac_currents_batch(&drives);
+        let ep = self.pos.array_energy_batch(&drives, t);
+        let em = self.neg.array_energy_batch(&drives, t);
+
+        let units = self.digital_units_per_adc_unit();
+        let divider = self.current_divider;
+        let mut out = Vec::with_capacity(batch.len());
+        let mut k = 0usize;
+        for (s, activations) in batch.iter().enumerate() {
+            let mut net = vec![0.0f64; self.spec.cols];
+            let mut array_energy = Joules::ZERO;
+            let mut phases = 0u32;
+            while k < meta.len() && meta[k].0 == s {
+                let sign = meta[k].1;
+                phases += 1;
+                for (n, (p, m)) in net.iter_mut().zip(ip[k].iter().zip(&im[k])) {
+                    *n += sign * (p.amps() - m.amps());
+                }
+                array_energy += ep[k] + em[k];
+                k += 1;
+            }
+            let mut y = Vec::with_capacity(self.spec.cols);
+            for i_net in &net {
+                let magnitude = Amps::new(i_net.abs() / divider);
+                let r = self.int_adc.convert(magnitude);
+                if r.overflow {
+                    self.stats.saturations += 1;
+                }
+                y.push(f64::from(r.code) * units * i_net.signum());
+            }
+            let active_rows = activations.iter().filter(|&&(_, m)| m > 0).count();
+            self.account(
+                AdcSpec::int(&self.spec.int_adc),
+                active_rows,
+                array_energy,
+                phases.max(1),
+            );
+            out.push(y);
+        }
+        out
+    }
+
     fn account(&mut self, adc_spec: AdcSpec, active_rows: usize, array: Joules, phases: u32) {
         let mut breakdown = self.energy_model.macro_conversion_energy(
             &adc_spec,
@@ -660,6 +862,63 @@ impl CimMacro {
             MacroMode::Int8 => {
                 let q = IntActQuantizer::calibrate(x);
                 self.matvec_with_int(x, &q)
+            }
+        }
+    }
+
+    /// End-to-end batched real-valued GEMM: per-sample quantizer
+    /// calibration (pure, exactly what [`CimMacro::matvec`] does),
+    /// one batched digital GEMM, per-sample rescale. Bit-identical to
+    /// mapping [`CimMacro::matvec`] over `xs` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample length mismatches or weights are not
+    /// programmed.
+    pub fn matvec_batch(&mut self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        match self.spec.mode {
+            MacroMode::FpE2M5 | MacroMode::FpE3M4 => {
+                let qs: Vec<FpActQuantizer> = xs
+                    .iter()
+                    .map(|x| FpActQuantizer::calibrate(x, self.spec.fp_dac.format))
+                    .collect();
+                let acts: Vec<Vec<SignedActivation>> = xs
+                    .iter()
+                    .zip(&qs)
+                    .map(|(x, q)| q.quantize_slice(x))
+                    .collect();
+                let digital = self.matvec_digital_fp_batch(&acts);
+                let w_scale = self.mapped_weights().scale;
+                digital
+                    .into_iter()
+                    .zip(&qs)
+                    .map(|(d, q)| {
+                        d.into_iter()
+                            .map(|v| v as f32 * q.scale * w_scale)
+                            .collect()
+                    })
+                    .collect()
+            }
+            MacroMode::Int8 => {
+                let qs: Vec<IntActQuantizer> =
+                    xs.iter().map(|x| IntActQuantizer::calibrate(x)).collect();
+                let acts: Vec<Vec<(bool, u32)>> = xs
+                    .iter()
+                    .zip(&qs)
+                    .map(|(x, q)| x.iter().map(|&v| q.quantize(v)).collect())
+                    .collect();
+                let digital = self.matvec_digital_int_batch(&acts);
+                let w_scale = self.mapped_weights().scale;
+                digital
+                    .into_iter()
+                    .zip(&qs)
+                    .map(|(d, q)| {
+                        let a_scale = q.inner().scale();
+                        d.into_iter()
+                            .map(|v| v as f32 * a_scale * w_scale)
+                            .collect()
+                    })
+                    .collect()
             }
         }
     }
@@ -976,6 +1235,70 @@ mod tests {
             mac.matvec(&x)
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn batched_matvec_is_bit_identical_to_sequential() {
+        // Clone-twin: run the batched GEMM on one macro and the
+        // per-sample loop on its clone (same RNG state, same arrays)
+        // — outputs AND stats must agree exactly.
+        for mode in [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8] {
+            let mut spec = MacroSpec::small(16, 5, mode);
+            spec.device.drift_nu = 0.01;
+            let mut mac = CimMacro::with_seed(spec, 42);
+            mac.program_weights(&ramp_weights(16, 5));
+            mac.set_age(afpr_circuit::units::Seconds::new(1.0e5));
+            let mut twin = mac.clone();
+            let xs: Vec<Vec<f32>> = (0..7)
+                .map(|s| {
+                    (0..16)
+                        .map(|r| (r as f32 * 0.31 + s as f32 * 0.7).sin() * 0.8)
+                        .collect()
+                })
+                .collect();
+            let batched = mac.matvec_batch(&xs);
+            let sequential: Vec<Vec<f32>> = xs.iter().map(|x| twin.matvec(x)).collect();
+            for (s, (b, q)) in batched.iter().zip(&sequential).enumerate() {
+                for (c, (bv, qv)) in b.iter().zip(q).enumerate() {
+                    assert_eq!(
+                        bv.to_bits(),
+                        qv.to_bits(),
+                        "{mode:?} sample {s} col {c}: batched {bv} sequential {qv}"
+                    );
+                }
+            }
+            assert_eq!(
+                mac.stats().conversions,
+                twin.stats().conversions,
+                "{mode:?}"
+            );
+            assert_eq!(
+                mac.stats().energy.total().joules().to_bits(),
+                twin.stats().energy.total().joules().to_bits(),
+                "{mode:?} energy accounting diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_batch_falls_back_to_sequential_rng_order() {
+        // Realistic device spec: read noise forces the per-sample
+        // fallback, which must still be bit-identical to the loop.
+        let spec = MacroSpec {
+            rows: 12,
+            cols: 3,
+            ..MacroSpec::paper_realistic(MacroMode::FpE2M5)
+        };
+        assert!(spec.device.read_noise_sigma != 0.0, "spec must be noisy");
+        let mut mac = CimMacro::with_seed(spec, 9);
+        mac.program_weights(&ramp_weights(12, 3));
+        let mut twin = mac.clone();
+        let xs: Vec<Vec<f32>> = (0..4)
+            .map(|s| (0..12).map(|r| ((r + s) as f32 * 0.4).cos()).collect())
+            .collect();
+        let batched = mac.matvec_batch(&xs);
+        let sequential: Vec<Vec<f32>> = xs.iter().map(|x| twin.matvec(x)).collect();
+        assert_eq!(batched, sequential);
     }
 
     #[test]

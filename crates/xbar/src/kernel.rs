@@ -1,0 +1,478 @@
+//! The cache-blocked effective-conductance kernel.
+//!
+//! [`ConductanceKernel`] is the matvec hot path's working set: every
+//! cell's *effective* conductance (drift, faults, spare-column
+//! redirects and IR drop folded in), laid out **column-panel-major**
+//! instead of row-major:
+//!
+//! ```text
+//! data[p · rows · PANEL  +  r · PANEL  +  j]   =   G_eff(r, p · PANEL + j)
+//! ```
+//!
+//! A panel is [`PANEL`] = 32 adjacent columns — four [`LANES`] = 8-wide
+//! f64 lane groups. The layout buys two things the old row-major flat
+//! snapshot could not:
+//!
+//! * **Register accumulation.** [`ConductanceKernel::mac_into`] walks
+//!   one panel at a time with a `[f64; PANEL]` accumulator that lives
+//!   in vector registers for the whole row sweep (eight 4-wide or four
+//!   8-wide hardware accumulators — independent dependency chains the
+//!   autovectorizer can schedule), instead of a load/add/store against
+//!   the output vector for every `(row, column)` pair.
+//! * **Batch amortization.** [`ConductanceKernel::mac_batch`] streams
+//!   each panel row — one cache line of conductances — exactly once
+//!   per *batch* of input vectors, so a micro-batch of B matvecs pays
+//!   one pass over the conductance matrix instead of B.
+//!
+//! # Bit-identity contract
+//!
+//! Per output column, every method accumulates `Σ_r v[r] · G_eff(r, c)`
+//! in **strictly increasing row order with the `v[r] == 0` skip**, the
+//! exact float-op sequence of the historical row-major loop and of the
+//! uncached oracle (`Crossbar::mac_currents_uncached`). Lanes are
+//! *independent columns*, so vectorizing across them reorders nothing
+//! within any column's sum; the batch kernel gives every `(sample,
+//! column)` pair its own accumulator, so interleaving samples reorders
+//! nothing either. The proptests in `crates/xbar/tests/proptests.rs`
+//! pin all three equivalences (cached == uncached, blocked == row
+//! reference, batched == sequential) bitwise.
+//!
+//! The padding lanes of a partial last panel hold `0.0` and their
+//! accumulator lanes are never copied out, so padding cannot leak into
+//! results.
+
+/// Width of one hardware accumulator lane group (f64 elements).
+pub const LANES: usize = 8;
+
+/// Columns per panel: four lane groups, sized so the per-panel
+/// accumulator state fits the vector register file while giving the
+/// out-of-order core independent add chains to overlap.
+pub const PANEL: usize = 4 * LANES;
+
+/// One panel sweep for one input vector:
+/// `acc[j] = Σ_r v[r] · panel[r · PANEL + j]`, rows in increasing
+/// order with the `v[r] == 0` skip, accumulated in a register-resident
+/// `[f64; PANEL]`.
+///
+/// This is **the** inner loop of both the single-vector and the
+/// batched MAC: `#[inline(never)]` pins one vectorized instantiation
+/// that every caller shares, so the batch path cannot silently fall
+/// off the fast codegen the single-vector path gets (and per-column
+/// float-op order is trivially identical across paths, which the
+/// bit-identity contract relies on).
+#[inline(never)]
+fn sweep_panel(panel: &[f64], v: &[f64]) -> [f64; PANEL] {
+    let mut acc = [0.0f64; PANEL];
+    for (g, &vr) in panel.chunks_exact(PANEL).zip(v) {
+        if vr == 0.0 {
+            continue;
+        }
+        for (a, gi) in acc.iter_mut().zip(g) {
+            *a += vr * gi;
+        }
+    }
+    acc
+}
+
+/// Column-panel-major effective-conductance matrix (see module docs).
+///
+/// Immutable once built; `Crossbar` wraps it in an `Arc` and rebuilds
+/// on mutation (generation-counter invalidation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConductanceKernel {
+    rows: usize,
+    cols: usize,
+    panels: usize,
+    /// `panels × rows × PANEL` entries, zero-padded in the last panel.
+    data: Vec<f64>,
+}
+
+impl ConductanceKernel {
+    /// Builds the kernel in **one fused pass**: `g_eff(r, c)` is called
+    /// exactly once per logical cell, in row-major `(r, c)` order (the
+    /// same per-cell call order as the uncached read path), and its
+    /// value is written straight into the blocked layout — no
+    /// intermediate row-major buffer, no re-layout pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn build(rows: usize, cols: usize, g_eff: impl FnMut(usize, usize) -> f64) -> Self {
+        assert!(rows > 0 && cols > 0, "kernel dimensions must be non-zero");
+        let panels = cols.div_ceil(PANEL);
+        let mut this = Self {
+            rows,
+            cols,
+            panels,
+            data: vec![0.0f64; panels * rows * PANEL],
+        };
+        this.rebuild(g_eff);
+        this
+    }
+
+    /// Rebuilds the kernel **in place** from a fresh `g_eff`, reusing
+    /// the existing allocation: same dimensions, same layout, and the
+    /// same row-major per-cell call order as [`build`](Self::build).
+    /// Every logical cell is overwritten and padding lanes are already
+    /// zero, so the result is indistinguishable from a fresh build —
+    /// without paying an allocation (and its page faults) per rebuild
+    /// on the cold invalidate-every-read path.
+    pub fn rebuild(&mut self, mut g_eff: impl FnMut(usize, usize) -> f64) {
+        let stride = self.rows * PANEL;
+        for r in 0..self.rows {
+            // Panel-sliced row sweep: columns still visited in
+            // increasing order (`c = c0 + j`), but indexing is one
+            // slice per panel row instead of a div/mod + bounds check
+            // per cell, and stores are sequential within the slice.
+            for p in 0..self.panels {
+                let c0 = p * PANEL;
+                let n = PANEL.min(self.cols - c0);
+                let base = p * stride + r * PANEL;
+                for (j, slot) in self.data[base..base + n].iter_mut().enumerate() {
+                    *slot = g_eff(r, c0 + j);
+                }
+            }
+        }
+    }
+
+    /// Number of word lines (rows).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of logical columns (padding excluded).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of column panels (including a partial last panel).
+    #[must_use]
+    pub fn panels(&self) -> usize {
+        self.panels
+    }
+
+    /// Effective conductance of logical cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "position out of bounds");
+        self.data[(c / PANEL) * self.rows * PANEL + r * PANEL + (c % PANEL)]
+    }
+
+    /// Single-vector MAC: `out[c] = Σ_r v[r] · G_eff(r, c)`.
+    ///
+    /// Panel-outer / row-inner with a register-resident `[f64; PANEL]`
+    /// accumulator; per column the accumulation order is identical to
+    /// the row-major reference loop (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows` or `out.len() != cols`.
+    pub fn mac_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.rows, "need one input per row");
+        assert_eq!(out.len(), self.cols, "need one output per column");
+        let stride = self.rows * PANEL;
+        for p in 0..self.panels {
+            let acc = sweep_panel(&self.data[p * stride..(p + 1) * stride], v);
+            let c0 = p * PANEL;
+            let n = PANEL.min(self.cols - c0);
+            out[c0..c0 + n].copy_from_slice(&acc[..n]);
+        }
+    }
+
+    /// Batched GEMM: one panel-blocked pass over the conductance
+    /// matrix computes `outs[s][c] = Σ_r vs[s][r] · G_eff(r, c)` for
+    /// every sample `s`.
+    ///
+    /// Panels are the outer loop and samples the middle loop, so one
+    /// panel (`rows × PANEL` f64 — cache-resident) is swept by the
+    /// whole batch back-to-back: the conductance matrix crosses the
+    /// last-level cache once per *batch* instead of once per sample,
+    /// while each sample's `[f64; PANEL]` accumulator stays in vector
+    /// registers exactly as in [`mac_into`](Self::mac_into). Every
+    /// `(sample, column)` pair therefore sees the identical float-op
+    /// sequence of a standalone `mac_into` call — batched results are
+    /// **bit-identical** to B sequential MACs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `vs[s].len() != rows`.
+    #[must_use]
+    pub fn mac_batch(&self, vs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        for v in vs {
+            assert_eq!(v.len(), self.rows, "need one input per row");
+        }
+        let mut outs = vec![vec![0.0f64; self.cols]; vs.len()];
+        let stride = self.rows * PANEL;
+        for p in 0..self.panels {
+            let panel = &self.data[p * stride..(p + 1) * stride];
+            let c0 = p * PANEL;
+            let n = PANEL.min(self.cols - c0);
+            for (v, out) in vs.iter().zip(outs.iter_mut()) {
+                let acc = sweep_panel(panel, v);
+                out[c0..c0 + n].copy_from_slice(&acc[..n]);
+            }
+        }
+        outs
+    }
+
+    /// Row-weighted sum over every cell:
+    /// `Σ_r Σ_c w_rows[r] · G_eff(r, c)` accumulated in row-major
+    /// `(r, c)` order with the `w_rows[r] == 0` skip — the exact
+    /// float-op sequence of the historical `array_energy` loop (the
+    /// scalar accumulator makes the order load-bearing). Padding lanes
+    /// are skipped, never summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_rows.len() != rows`.
+    #[must_use]
+    pub fn weighted_cell_sum(&self, w_rows: &[f64]) -> f64 {
+        assert_eq!(w_rows.len(), self.rows, "need one weight per row");
+        let stride = self.rows * PANEL;
+        let mut total = 0.0f64;
+        for (r, &wr) in w_rows.iter().enumerate() {
+            if wr == 0.0 {
+                continue;
+            }
+            for p in 0..self.panels {
+                let n = PANEL.min(self.cols - p * PANEL);
+                let g = &self.data[p * stride + r * PANEL..p * stride + r * PANEL + n];
+                for gi in g {
+                    total += wr * gi;
+                }
+            }
+        }
+        total
+    }
+
+    /// Batched [`weighted_cell_sum`](Self::weighted_cell_sum): each
+    /// panel row is loaded once per batch, each sample keeps its own
+    /// scalar accumulator in `(r, c)` order — per sample bit-identical
+    /// to the single-vector method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `w_rows[s].len() != rows`.
+    #[must_use]
+    pub fn weighted_cell_sum_batch(&self, w_rows: &[Vec<f64>]) -> Vec<f64> {
+        for w in w_rows {
+            assert_eq!(w.len(), self.rows, "need one weight per row");
+        }
+        let stride = self.rows * PANEL;
+        let mut totals = vec![0.0f64; w_rows.len()];
+        for r in 0..self.rows {
+            for p in 0..self.panels {
+                let n = PANEL.min(self.cols - p * PANEL);
+                let g = &self.data[p * stride + r * PANEL..p * stride + r * PANEL + n];
+                for (total, w) in totals.iter_mut().zip(w_rows) {
+                    let wr = w[r];
+                    if wr == 0.0 {
+                        continue;
+                    }
+                    let mut t = *total;
+                    for gi in g {
+                        t += wr * gi;
+                    }
+                    *total = t;
+                }
+            }
+        }
+        totals
+    }
+
+    /// Sum of one column's effective conductances, accumulated in
+    /// increasing row order (the checksum measurement path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[must_use]
+    pub fn column_sum(&self, col: usize) -> f64 {
+        assert!(col < self.cols, "column out of bounds");
+        let stride = self.rows * PANEL;
+        let base = (col / PANEL) * stride + col % PANEL;
+        (0..self.rows).map(|r| self.data[base + r * PANEL]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-conductance pattern.
+    fn g(r: usize, c: usize) -> f64 {
+        ((r * 31 + c * 7) % 97) as f64 * 1e-6 + 1e-9
+    }
+
+    /// The historical row-major reference MAC.
+    fn reference_mac(cols: usize, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; cols];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            for (c, acc) in out.iter_mut().enumerate() {
+                *acc += vr * g(r, c);
+            }
+        }
+        out
+    }
+
+    fn input(rows: usize, salt: usize) -> Vec<f64> {
+        (0..rows)
+            .map(|r| {
+                if (r + salt).is_multiple_of(5) {
+                    0.0 // exercise the zero-row skip
+                } else {
+                    0.01 * ((r * 13 + salt * 29) % 11) as f64 - 0.03
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn at_matches_builder_values() {
+        // Cols straddle a panel boundary (and leave padding).
+        let k = ConductanceKernel::build(5, PANEL + 3, g);
+        for r in 0..5 {
+            for c in 0..PANEL + 3 {
+                assert_eq!(k.at(r, c).to_bits(), g(r, c).to_bits());
+            }
+        }
+        assert_eq!(k.panels(), 2);
+    }
+
+    #[test]
+    fn mac_is_bit_identical_to_row_major_reference() {
+        for (rows, cols) in [
+            (1, 1),
+            (7, 3),
+            (16, PANEL),
+            (33, PANEL + 5),
+            (64, 3 * PANEL),
+        ] {
+            let k = ConductanceKernel::build(rows, cols, g);
+            let v = input(rows, cols);
+            let mut out = vec![0.0f64; cols];
+            k.mac_into(&v, &mut out);
+            let want = reference_mac(cols, &v);
+            for c in 0..cols {
+                assert_eq!(out[c].to_bits(), want[c].to_bits(), "{rows}x{cols} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_macs() {
+        let (rows, cols) = (19, PANEL + 9);
+        let k = ConductanceKernel::build(rows, cols, g);
+        for b in [0usize, 1, 2, 5, 16] {
+            let vs: Vec<Vec<f64>> = (0..b).map(|s| input(rows, s)).collect();
+            let got = k.mac_batch(&vs);
+            assert_eq!(got.len(), b);
+            for (s, v) in vs.iter().enumerate() {
+                let mut want = vec![0.0f64; cols];
+                k.mac_into(v, &mut want);
+                for c in 0..cols {
+                    assert_eq!(
+                        got[s][c].to_bits(),
+                        want[c].to_bits(),
+                        "batch {b} sample {s} col {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_in_place_matches_fresh_build() {
+        let mut k = ConductanceKernel::build(6, PANEL + 2, g);
+        let g2 = |r: usize, c: usize| g(r, c) * 2.0 + 3e-9;
+        k.rebuild(g2);
+        assert_eq!(k, ConductanceKernel::build(6, PANEL + 2, g2));
+    }
+
+    #[test]
+    fn weighted_sum_matches_scalar_reference_bitwise() {
+        let (rows, cols) = (11, PANEL * 2 + 1);
+        let k = ConductanceKernel::build(rows, cols, g);
+        let w = input(rows, 3);
+        let mut want = 0.0f64;
+        for (r, &wr) in w.iter().enumerate() {
+            if wr == 0.0 {
+                continue;
+            }
+            for c in 0..cols {
+                want += wr * g(r, c);
+            }
+        }
+        assert_eq!(k.weighted_cell_sum(&w).to_bits(), want.to_bits());
+        // Batched variant: per sample bit-identical to single calls.
+        let ws: Vec<Vec<f64>> = (0..4).map(|s| input(rows, s)).collect();
+        let batch = k.weighted_cell_sum_batch(&ws);
+        for (s, w) in ws.iter().enumerate() {
+            assert_eq!(
+                batch[s].to_bits(),
+                k.weighted_cell_sum(w).to_bits(),
+                "sample {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_sum_is_row_ordered() {
+        let (rows, cols) = (9, PANEL + 2);
+        let k = ConductanceKernel::build(rows, cols, g);
+        for c in [0, 1, PANEL - 1, PANEL, cols - 1] {
+            let want: f64 = (0..rows).map(|r| g(r, c)).sum();
+            assert_eq!(k.column_sum(c).to_bits(), want.to_bits(), "col {c}");
+        }
+    }
+
+    #[test]
+    fn padding_lanes_never_leak() {
+        // cols = 1: 31 padding lanes in the only panel. A negative
+        // input would poison results through padding if it leaked.
+        let k = ConductanceKernel::build(4, 1, g);
+        let v = vec![-0.5, 0.25, -1.0, 2.0];
+        let mut out = vec![0.0f64; 1];
+        k.mac_into(&v, &mut out);
+        let want: f64 =
+            v.iter().enumerate().fold(
+                0.0,
+                |acc, (r, &vr)| {
+                    if vr == 0.0 {
+                        acc
+                    } else {
+                        acc + vr * g(r, 0)
+                    }
+                },
+            );
+        assert_eq!(out[0].to_bits(), want.to_bits());
+        assert_eq!(k.weighted_cell_sum(&v).to_bits(), {
+            let mut p = 0.0f64;
+            for (r, &vr) in v.iter().enumerate() {
+                if vr != 0.0 {
+                    p += vr * g(r, 0);
+                }
+            }
+            p.to_bits()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per row")]
+    fn wrong_input_length_panics() {
+        let k = ConductanceKernel::build(4, 2, g);
+        let mut out = vec![0.0f64; 2];
+        k.mac_into(&[0.0; 3], &mut out);
+    }
+}

@@ -27,6 +27,7 @@ pub mod chaos;
 pub mod cim_macro;
 pub mod crossbar;
 pub mod ir_drop;
+pub mod kernel;
 pub mod mapping;
 pub mod metrics;
 pub mod partial_sum;
@@ -37,6 +38,7 @@ pub use chaos::{GuardConfig, ScrubReport};
 pub use cim_macro::{CimMacro, WeightPolarity};
 pub use crossbar::{ConductanceSnapshot, Crossbar, OutOfSpares};
 pub use ir_drop::IrDropModel;
+pub use kernel::ConductanceKernel;
 pub use mapping::{map_weights, MappedWeights};
 pub use metrics::MacroStats;
 pub use partial_sum::PartialSumAdder;

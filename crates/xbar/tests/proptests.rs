@@ -169,7 +169,7 @@ proptest! {
         for r in 0..rows {
             for c in 0..cols {
                 prop_assert_eq!(
-                    snap[r * cols + c].to_bits(),
+                    snap.at(r, c).to_bits(),
                     xb.conductance(r, c).to_bits(),
                     "snapshot diverges at ({}, {})", r, c
                 );
@@ -186,6 +186,102 @@ proptest! {
             prop_assert_eq!(warm[c].amps().to_bits(), reference[c].amps().to_bits());
         }
         prop_assert_eq!(xb.kernel_builds(), 1, "warm read must not rebuild");
+    }
+
+    /// Batched GEMM bit-identity at the crossbar level: one blocked
+    /// pass over B drive vectors equals B sequential `mac_currents`
+    /// calls bitwise — and both equal the uncached per-cell oracle —
+    /// under stuck faults, drift age, and a spare-column remap.
+    #[test]
+    fn batched_mac_bit_identical_under_faults_age_and_remap(
+        levels in prop::collection::vec(0u32..32, 48),
+        fault_codes in prop::collection::vec(0u32..96, 0..6),
+        age_s in 1.0f64..1.0e7,
+        victim in 0usize..6,
+        seed in 0u64..1024,
+        batch in 2usize..6,
+    ) {
+        let rows = 8;
+        let cols = 6;
+        let mut dev = DeviceConfig::realistic(32);
+        dev.drift_nu = 0.02;
+        let mut xb = Crossbar::with_spares(rows, cols, 2, dev);
+        let mut rng = StdRng::seed_from_u64(seed);
+        xb.program_levels(&levels, &mut rng);
+        for &code in &fault_codes {
+            let (r, c, lrs) = ((code / 12) as usize, ((code / 2) % 6) as usize, code % 2);
+            let kind = if lrs == 1 { FaultKind::StuckLrs } else { FaultKind::StuckHrs };
+            xb.set_fault(r, c, Some(kind));
+        }
+        xb.set_age(Seconds::new(age_s));
+        xb.remap_column(victim, &mut rng).expect("spares available");
+
+        let vs: Vec<Vec<Volts>> = (0..batch)
+            .map(|s| {
+                (0..rows)
+                    .map(|r| {
+                        if (r + s) % 4 == 0 {
+                            Volts::ZERO
+                        } else {
+                            Volts::new(0.01 + 0.02 * ((r * 5 + s * 3) % 7) as f64)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let got = xb.mac_currents_batch(&vs);
+        for (s, v) in vs.iter().enumerate() {
+            let want = xb.mac_currents(v);
+            let oracle = xb.mac_currents_uncached(v);
+            for c in 0..cols {
+                prop_assert_eq!(
+                    got[s][c].amps().to_bits(),
+                    want[c].amps().to_bits(),
+                    "batch sample {} col {} diverges from sequential", s, c
+                );
+                prop_assert_eq!(
+                    want[c].amps().to_bits(),
+                    oracle[c].amps().to_bits(),
+                    "cached sample {} col {} diverges from oracle", s, c
+                );
+            }
+        }
+    }
+
+    /// Macro-level batched GEMM bit-identity across all three modes:
+    /// `matvec_batch` on a macro equals per-sample `matvec` on a
+    /// clone-twin (same RNG state, same arrays) bitwise.
+    #[test]
+    fn macro_batched_matvec_bit_identical(
+        w in weight_vec(32),
+        seed in 0u64..256,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [MacroMode::FpE2M5, MacroMode::FpE3M4, MacroMode::Int8][mode_idx];
+        let mut spec = MacroSpec::small(8, 4, mode);
+        spec.device.drift_nu = 0.01;
+        let mut mac = CimMacro::with_seed(spec, seed);
+        mac.program_weights(&w);
+        mac.set_age(Seconds::new(1.0e5));
+        let mut twin = mac.clone();
+        let xs: Vec<Vec<f32>> = (0..4)
+            .map(|s| {
+                (0..8)
+                    .map(|r| (r as f32 * 0.4 + seed as f32 * 0.05 + s as f32 * 0.7).sin())
+                    .collect()
+            })
+            .collect();
+        let batched = mac.matvec_batch(&xs);
+        let sequential: Vec<Vec<f32>> = xs.iter().map(|x| twin.matvec(x)).collect();
+        for (s, (b, q)) in batched.iter().zip(&sequential).enumerate() {
+            for (c, (bv, qv)) in b.iter().zip(q).enumerate() {
+                prop_assert_eq!(
+                    bv.to_bits(),
+                    qv.to_bits(),
+                    "{:?} sample {} col {}: batched {} sequential {}", mode, s, c, bv, qv
+                );
+            }
+        }
     }
 
     /// Digital reference is exactly linear in activations.
