@@ -1,0 +1,372 @@
+//! Energy frontier benchmark: joules-per-request telemetry across the
+//! model zoo, every numeric format, and a sweep of offered load.
+//!
+//! For each `(model, format)` combo a registry-backed `afpr-serve`
+//! backend serves paced and unpaced infer streams while the bench
+//! reads `energy_mj` off every response and cross-checks it against
+//! the server's `PowerSnapshot` ledger (requests counted exactly once,
+//! totals equal). Each combo also exercises the policy layer over the
+//! wire: an over-budget request must come back as a structured `429
+//! over_budget`, and the same request with `allow_downshift` must be
+//! served at INT8 with the chosen format echoed.
+//!
+//! The telemetry is anchored to the paper's operating point: the
+//! analytic E2M5 macro power (Table I / Fig. 6b, 74.1 mW at
+//! back-to-back conversions) is re-derived in-process, and every
+//! combo's *implied* macro power — wire-metered energy divided by the
+//! modeled conversion-busy time — must land in a sane envelope of the
+//! analytic reference for the same macro geometry. `--quick` is the CI
+//! `energy-smoke` variant: few iterations, no pacing sweep, same hard
+//! assertions.
+//!
+//! Writes the frontier as JSON (default `BENCH_energy.json`).
+//!
+//! Usage: `cargo run --release --bin energy [--quick] [--seed S] [--iters N] [--out PATH]`
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afpr_circuit::energy::AdcSpec;
+use afpr_circuit::int_adc::IntAdcConfig;
+use afpr_circuit::EnergyModel;
+use afpr_core::power::power_report;
+use afpr_models::{
+    format_wire_name, CompiledModel, ModelKind, ModelRegistry, RegistryConfig, ALL_FORMATS,
+};
+use afpr_serve::{Client, Request, ServeModel, Server, ServerConfig, Status};
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use serde::Serialize;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn deterministic_input(kind: ModelKind, round: usize) -> Vec<f32> {
+    (0..kind.input_len())
+        .map(|j| ((j as f32) * 0.37 + round as f32 * 0.11).sin())
+        .collect()
+}
+
+/// The ADC spec the compiled-model macros run on, per format.
+fn adc_spec_for(mode: MacroMode) -> AdcSpec {
+    let spec = MacroSpec::small(CompiledModel::MACRO_ROWS, CompiledModel::MACRO_COLS, mode);
+    match mode {
+        MacroMode::FpE2M5 | MacroMode::FpE3M4 => AdcSpec::fp(&spec.fp_adc),
+        MacroMode::Int8 => AdcSpec::int(&IntAdcConfig::paper_matched()),
+    }
+}
+
+/// Analytic per-conversion macro power (mW) at the registry's macro
+/// geometry — the reference the measured implied power is checked
+/// against.
+fn reference_macro_power_mw(mode: MacroMode) -> f64 {
+    let spec = adc_spec_for(mode);
+    let breakdown = EnergyModel::paper_65nm().macro_conversion_energy(
+        &spec,
+        CompiledModel::MACRO_COLS,
+        CompiledModel::MACRO_ROWS,
+        None,
+    );
+    breakdown.total().joules() / spec.t_conversion.seconds() * 1e3
+}
+
+#[derive(Serialize)]
+struct LoadPoint {
+    /// Offered request rate (None = unpaced, client goes flat out).
+    target_req_per_s: Option<f64>,
+    achieved_req_per_s: f64,
+    mj_per_request: f64,
+    /// `mJ/req × req/s` — the analog tier's draw at this load, in mW.
+    avg_power_mw: f64,
+}
+
+#[derive(Serialize)]
+struct ComboPoint {
+    model: &'static str,
+    format: &'static str,
+    requests: usize,
+    mj_per_request: f64,
+    conversions_per_request: f64,
+    /// Wire-metered energy ÷ modeled conversion-busy time, in mW.
+    implied_macro_power_mw: f64,
+    /// Analytic macro power for the same geometry and format, in mW.
+    reference_macro_power_mw: f64,
+    /// Ledger total agrees with the per-response stream (rel ≤ 1e-9).
+    ledger_agrees: bool,
+    /// Over-budget request came back as a structured 429.
+    over_budget_rejected: bool,
+    /// Opted-in downshift served at INT8 with the format echoed
+    /// (None for combos already at INT8 — nothing below to shift to).
+    downshift_served: Option<bool>,
+    load_points: Vec<LoadPoint>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    quick: bool,
+    iters: usize,
+    /// Re-derived paper anchor: E2M5 macro power at back-to-back
+    /// conversions, paper geometry (Table I: 74.1 mW).
+    paper_e2m5_macro_power_mw: f64,
+    combos: Vec<ComboPoint>,
+    all_assertions_pass: bool,
+}
+
+/// Tracks hard-assertion failures without aborting the sweep, so a
+/// broken combo still shows up in the written report.
+struct Gate {
+    ok: bool,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("ok   : {what}");
+        } else {
+            eprintln!("FAIL : {what}");
+            self.ok = false;
+        }
+    }
+}
+
+/// Runs `iters` infers at an offered rate (`None` = unpaced) and
+/// returns (achieved req/s, summed energy_mj).
+fn run_load(
+    client: &mut Client,
+    kind: ModelKind,
+    format: &str,
+    iters: usize,
+    target_req_per_s: Option<f64>,
+) -> (f64, f64) {
+    let period = target_req_per_s.map(|r| Duration::from_secs_f64(1.0 / r));
+    let t0 = Instant::now();
+    let mut total_mj = 0.0;
+    for i in 0..iters {
+        if let Some(p) = period {
+            let slot = p * i as u32;
+            let now = t0.elapsed();
+            if now < slot {
+                std::thread::sleep(slot - now);
+            }
+        }
+        let resp = client
+            .call(&Request::infer(
+                i as u64,
+                kind.wire_name(),
+                format,
+                deterministic_input(kind, i),
+            ))
+            .expect("infer answered");
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+        let mj = resp.energy_mj.expect("compute responses are metered");
+        assert!(mj.is_finite() && mj > 0.0, "insane energy {mj} mJ");
+        total_mj += mj;
+    }
+    (iters as f64 / t0.elapsed().as_secs_f64(), total_mj)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = flag::<u64>(&args, "--seed").unwrap_or(2024);
+    let iters = flag::<usize>(&args, "--iters").unwrap_or(if quick { 6 } else { 40 });
+    let out = flag::<String>(&args, "--out").unwrap_or_else(|| "BENCH_energy.json".into());
+
+    println!(
+        "energy frontier benchmark (seed {seed}, {})\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut gate = Gate { ok: true };
+
+    // Paper anchor first: the analytic E2M5 macro at paper geometry
+    // must sit at the 74.1 mW operating point, or every envelope
+    // below is meaningless.
+    let anchor = power_report(MacroMode::FpE2M5).power_own_rate_mw;
+    gate.check(
+        (anchor - 74.14).abs() < 0.5,
+        &format!("paper anchor: E2M5 macro power {anchor:.2} mW ≈ 74.1 mW"),
+    );
+
+    // Paced points stress the req/s axis; mJ/req is load-invariant by
+    // construction (the model is deterministic), so the frontier is
+    // power = mJ/req × achieved rate.
+    let targets: Vec<Option<f64>> = if quick {
+        vec![None]
+    } else {
+        vec![Some(25.0), Some(100.0), None]
+    };
+
+    let mut combos = Vec::new();
+    for kind in ModelKind::ALL {
+        for mode in ALL_FORMATS {
+            let format = format_wire_name(mode);
+            let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(9, seed)));
+            let server = Server::start(
+                ServerConfig::default(),
+                ServeModel::demo(seed).with_registry(registry),
+            )
+            .expect("backend starts");
+            let mut client = Client::connect(server.local_addr()).expect("connects");
+
+            // Warm: compiles the model, charges its load energy, and
+            // calibrates the cost model for the budget gate below.
+            let _ = client
+                .infer(kind.wire_name(), format, deterministic_input(kind, 0))
+                .expect("warm infer");
+
+            let base = client
+                .metrics()
+                .expect("metrics")
+                .power
+                .expect("power block");
+
+            let mut load_points = Vec::new();
+            let mut unpaced_rate = 0.0;
+            let mut measured_mj = 0.0;
+            let mut measured_reqs = 0usize;
+            for &target in &targets {
+                let (rate, mj) = run_load(&mut client, kind, format, iters, target);
+                let mj_per_req = mj / iters as f64;
+                load_points.push(LoadPoint {
+                    target_req_per_s: target,
+                    achieved_req_per_s: rate,
+                    mj_per_request: mj_per_req,
+                    avg_power_mw: mj_per_req * rate,
+                });
+                measured_mj += mj;
+                measured_reqs += iters;
+                if target.is_none() {
+                    unpaced_rate = rate;
+                }
+            }
+            let mj_per_request = measured_mj / measured_reqs as f64;
+
+            let after = client
+                .metrics()
+                .expect("metrics")
+                .power
+                .expect("power block");
+            let ledger_mj = after.total_mj - base.total_mj;
+            let ledger_reqs = after.requests - base.requests;
+            let conversions = after.conversions - base.conversions;
+            let scale = ledger_mj
+                .abs()
+                .max(measured_mj.abs())
+                .max(f64::MIN_POSITIVE);
+            let ledger_agrees = ledger_reqs == measured_reqs as u64
+                && ((ledger_mj - measured_mj) / scale).abs() <= 1e-9;
+            gate.check(
+                ledger_agrees,
+                &format!(
+                    "{} @{format}: ledger {ledger_mj:.6} mJ / {ledger_reqs} req == wire {measured_mj:.6} mJ / {measured_reqs} req",
+                    kind.wire_name()
+                ),
+            );
+
+            // Implied macro power: metered joules over modeled
+            // conversion-busy seconds. Must land in a sane envelope of
+            // the analytic macro at the same geometry — the same model
+            // that pins 74.1 mW at paper geometry.
+            let t_conv = adc_spec_for(mode).t_conversion.seconds();
+            let implied_mw = (measured_mj * 1e-3) / (conversions as f64 * t_conv) * 1e3;
+            let reference_mw = reference_macro_power_mw(mode);
+            let ratio = implied_mw / reference_mw;
+            gate.check(
+                (0.5..=2.0).contains(&ratio),
+                &format!(
+                    "{} @{format}: implied macro power {implied_mw:.2} mW within [0.5, 2.0]× of analytic {reference_mw:.2} mW",
+                    kind.wire_name()
+                ),
+            );
+
+            // Policy layer, over the wire: half the observed cost is
+            // over budget → structured 429; with the opt-in the same
+            // infer downshifts to INT8 (unless it's already there).
+            let tight = mj_per_request * 0.5;
+            let resp = client
+                .call(
+                    &Request::infer(9001, kind.wire_name(), format, deterministic_input(kind, 0))
+                        .with_energy_budget_mj(tight),
+                )
+                .expect("answered");
+            let over_budget_rejected = resp.status == Status::OverBudget && resp.code == 429;
+            gate.check(
+                over_budget_rejected,
+                &format!(
+                    "{} @{format}: budget {tight:.6} mJ rejected with 429 (got {:?})",
+                    kind.wire_name(),
+                    resp.status
+                ),
+            );
+            let downshift_served = if format == "int8" {
+                None
+            } else {
+                let resp = client
+                    .infer_budgeted(
+                        kind.wire_name(),
+                        format,
+                        deterministic_input(kind, 0),
+                        tight,
+                        true,
+                    )
+                    .expect("downshifted infer serves");
+                let served = resp.status == Status::Ok && resp.format.as_deref() == Some("int8");
+                gate.check(
+                    served,
+                    &format!(
+                        "{} @{format}: opted-in downshift served at int8 (got {:?} {:?})",
+                        kind.wire_name(),
+                        resp.status,
+                        resp.format
+                    ),
+                );
+                Some(served)
+            };
+
+            println!(
+                "{:<14} {format:<5}: {mj_per_request:>9.5} mJ/req  {unpaced_rate:>8.1} req/s unpaced  implied {implied_mw:>6.2} mW (ref {reference_mw:.2})\n",
+                kind.wire_name()
+            );
+            combos.push(ComboPoint {
+                model: kind.wire_name(),
+                format,
+                requests: measured_reqs,
+                mj_per_request,
+                conversions_per_request: conversions as f64 / measured_reqs as f64,
+                implied_macro_power_mw: implied_mw,
+                reference_macro_power_mw: reference_mw,
+                ledger_agrees,
+                over_budget_rejected,
+                downshift_served,
+                load_points,
+            });
+            let _ = server.shutdown();
+        }
+    }
+
+    let report = Report {
+        bench: "energy",
+        seed,
+        quick,
+        iters,
+        paper_e2m5_macro_power_mw: anchor,
+        combos,
+        all_assertions_pass: gate.ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("wrote {out}");
+
+    if gate.ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

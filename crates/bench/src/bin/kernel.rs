@@ -83,6 +83,12 @@ struct AccelSection {
     matvec_parallel_per_s: f64,
     parallel_threads: usize,
     bit_identical: bool,
+    /// Modeled analog + digital energy per matvec (EnergyModel ledger
+    /// delta across the timed loop ÷ matvecs), in joules.
+    joules_per_matvec: f64,
+    /// `joules_per_matvec × matvec_per_s`, in mW — comparable to the
+    /// paper's 74.1 mW operating point.
+    modeled_power_mw: f64,
 }
 
 #[derive(Serialize)]
@@ -307,6 +313,7 @@ fn accel_bench(seed: u64, quick: bool) -> AccelSection {
     let xs: Vec<Vec<f32>> = (0..8).map(|s| ServeModel::demo_input(K, s)).collect();
 
     let (mut accel, handle) = tiled_accel(seed);
+    let energy_before = accel.stats().energy.total().joules() + accel.adder_energy().joules();
     let t0 = Instant::now();
     let mut golden = Vec::new();
     for _ in 0..reps {
@@ -315,6 +322,11 @@ fn accel_bench(seed: u64, quick: bool) -> AccelSection {
         }
     }
     let seq_s = rate(reps * xs.len(), t0.elapsed().as_secs_f64());
+    let energy_after = accel.stats().energy.total().joules() + accel.adder_energy().joules();
+    let j_per_matvec = (energy_after - energy_before) / (reps * xs.len()) as f64;
+    // Modeled power if the analog tier ran back-to-back at the measured
+    // simulation rate (mJ/matvec × matvec/s = mW).
+    let modeled_mw = j_per_matvec * 1e3 * seq_s;
 
     let engine = Engine::with_threads(4);
     let (mut accel, handle) = tiled_accel(seed);
@@ -336,6 +348,10 @@ fn accel_bench(seed: u64, quick: bool) -> AccelSection {
         accel.macro_count()
     );
     println!("matvec_parallel   : {par_s:>10.1} matvec/s (4 threads, bit-identical)");
+    println!(
+        "energy            : {:>10.3} µJ/matvec  ({modeled_mw:.1} mW at the measured rate)",
+        j_per_matvec * 1e6
+    );
     enforce_floor(
         quick,
         par_s >= seq_s,
@@ -351,6 +367,8 @@ fn accel_bench(seed: u64, quick: bool) -> AccelSection {
         matvec_parallel_per_s: par_s,
         parallel_threads: 4,
         bit_identical: identical,
+        joules_per_matvec: j_per_matvec,
+        modeled_power_mw: modeled_mw,
     }
 }
 

@@ -77,6 +77,7 @@ struct Tally {
     shutting_down: u64,
     malformed: u64,
     not_found: u64,
+    over_budget: u64,
     protocol_errors: u64,
     latency: Histogram,
 }
@@ -90,6 +91,7 @@ impl Tally {
         self.shutting_down += other.shutting_down;
         self.malformed += other.malformed;
         self.not_found += other.not_found;
+        self.over_budget += other.over_budget;
         self.protocol_errors += other.protocol_errors;
         self.latency.merge(&other.latency);
     }
@@ -189,6 +191,7 @@ fn tally_status(t: &mut Tally, status: Status) {
         Status::ShuttingDown => t.shutting_down += 1,
         Status::Malformed => t.malformed += 1,
         Status::NotFound => t.not_found += 1,
+        Status::OverBudget => t.over_budget += 1,
     }
 }
 

@@ -25,6 +25,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use afpr_models::ModelEntrySnapshot;
+use afpr_power::EnergyRoutingPolicy;
 use afpr_runtime::{Histogram, LatencySnapshot};
 use afpr_serve::{Client, HealthInfo, HealthState};
 use parking_lot::Mutex;
@@ -212,6 +213,10 @@ pub struct BackendState {
     retry_after_ms: AtomicU64,
     fault_events: AtomicU64,
     queue_capacity: AtomicU64,
+    /// Windowed analog power (mW) last advertised by the backend's
+    /// health endpoint, stored as `f64` bits. A routing gauge, not an
+    /// identity fact — it is not part of the [`Fingerprint`].
+    power_mw_bits: AtomicU64,
     latency: Mutex<Histogram>,
 }
 
@@ -235,6 +240,7 @@ impl BackendState {
             retry_after_ms: AtomicU64::new(0),
             fault_events: AtomicU64::new(0),
             queue_capacity: AtomicU64::new(0),
+            power_mw_bits: AtomicU64::new(0.0f64.to_bits()),
             latency: Mutex::new(Histogram::default()),
         }
     }
@@ -314,6 +320,8 @@ impl BackendState {
         self.fault_events.store(fault_events, Ordering::Relaxed);
         self.queue_capacity.store(queue_capacity, Ordering::Relaxed);
         self.refused.store(false, Ordering::Release);
+        // (power_mw arrives via note_power_mw — keeping this signature
+        // stable for callers that have no gauge to report.)
         let revived = !self.alive.swap(true, Ordering::AcqRel);
         if revived {
             self.revivals.fetch_add(1, Ordering::Relaxed);
@@ -335,6 +343,20 @@ impl BackendState {
     /// Records a backend's `retry_after_ms` hint (from a 503).
     pub fn note_retry_after(&self, ms: u64) {
         self.retry_after_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Records the backend's advertised windowed analog power (mW).
+    /// Hostile/garbage values are clamped to zero — the gauge only
+    /// influences routing *policy*, never correctness.
+    pub fn note_power_mw(&self, mw: f64) {
+        let clean = if mw.is_finite() && mw >= 0.0 { mw } else { 0.0 };
+        self.power_mw_bits.store(clean.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Windowed analog power (mW) last advertised by the backend.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        f64::from_bits(self.power_mw_bits.load(Ordering::Relaxed))
     }
 
     /// Cumulative fault-evidence events last reported by the backend.
@@ -383,6 +405,7 @@ impl BackendState {
             revivals: self.revivals(),
             refusals: self.refusals(),
             fault_events: self.fault_events(),
+            power_mw: self.power_mw(),
             dispatch_latency: self.latency.lock().snapshot(),
         }
     }
@@ -423,6 +446,10 @@ pub struct BackendSnapshot {
     pub refusals: u64,
     /// Cumulative fault evidence last reported by the backend.
     pub fault_events: u64,
+    /// Windowed analog power (mW) last advertised by the backend
+    /// (zero from backends that predate the gauge).
+    #[serde(with = "afpr_serve::protocol::f64_zero_wire")]
+    pub power_mw: f64,
     /// Router→backend→router dispatch latency.
     pub dispatch_latency: LatencySnapshot,
 }
@@ -434,6 +461,12 @@ pub struct BackendSnapshot {
 #[derive(Debug, Clone)]
 pub struct BackendPool {
     slots: Arc<Mutex<Arc<Vec<Arc<BackendState>>>>>,
+    /// Energy-proportional replica routing (replicated placement):
+    /// while aggregate reported power is below the policy threshold,
+    /// [`BackendPool::pick_replica`] *packs* load onto the
+    /// lowest-indexed replicas instead of spreading it. `None` keeps
+    /// the pure least-outstanding pick.
+    energy_policy: Option<EnergyRoutingPolicy>,
 }
 
 impl BackendPool {
@@ -448,7 +481,25 @@ impl BackendPool {
             .collect();
         Self {
             slots: Arc::new(Mutex::new(Arc::new(backends))),
+            energy_policy: None,
         }
+    }
+
+    /// Enables energy-proportional replica routing.
+    #[must_use]
+    pub fn with_energy_policy(mut self, policy: Option<EnergyRoutingPolicy>) -> Self {
+        self.energy_policy = policy;
+        self
+    }
+
+    /// Aggregate reported analog power (mW) across current members.
+    #[must_use]
+    pub fn total_power_mw(&self) -> f64 {
+        self.load()
+            .iter()
+            .filter(|b| !b.is_removed())
+            .map(|b| b.power_mw())
+            .sum()
     }
 
     /// An immutable snapshot of the slot table (cheap `Arc` clone).
@@ -505,12 +556,34 @@ impl BackendPool {
         backend
     }
 
-    /// Least-outstanding-requests replica selection over eligible
-    /// backends whose slot is not in `excluded` (ties broken by lowest
-    /// slot id, so the choice is deterministic).
+    /// Replica selection over eligible backends whose slot is not in
+    /// `excluded`.
+    ///
+    /// Default: least outstanding requests, ties broken by lowest slot
+    /// id (deterministic). With an [`EnergyRoutingPolicy`] and the
+    /// pool's aggregate reported power under its threshold, the pick
+    /// *packs* instead: the lowest-indexed eligible replica with
+    /// headroom (`outstanding < pack_max_outstanding`) takes the work,
+    /// so lightly loaded pools keep most replicas idle/cold. When
+    /// traffic saturates every packable replica — or aggregate power
+    /// crosses the threshold — the pick falls back to spreading.
+    /// Either way only eligible (non-draining, non-ejected, member)
+    /// backends are candidates, so failover semantics are unchanged.
     #[must_use]
     pub fn pick_replica(&self, excluded: &[usize]) -> Option<Arc<BackendState>> {
-        self.load()
+        let slots = self.load();
+        if let Some(policy) = &self.energy_policy {
+            if policy.packs_at(self.total_power_mw()) {
+                if let Some(b) = slots
+                    .iter()
+                    .filter(|b| !excluded.contains(&b.index) && b.is_eligible())
+                    .find(|b| (b.outstanding() as u64) < policy.pack_max_outstanding)
+                {
+                    return Some(Arc::clone(b));
+                }
+            }
+        }
+        slots
             .iter()
             .filter(|b| !excluded.contains(&b.index) && b.is_eligible())
             .min_by_key(|b| (b.outstanding(), b.index))
@@ -640,7 +713,10 @@ fn probe_one(
     };
     match client.health() {
         Ok(info) => match expected.check(&info) {
-            Ok(()) => backend.mark_probed(info.state, info.fault_events, info.queue_capacity),
+            Ok(()) => {
+                backend.note_power_mw(info.power_mw);
+                backend.mark_probed(info.state, info.fault_events, info.queue_capacity)
+            }
             Err(_) => backend.mark_refused(),
         },
         Err(_) => {
@@ -678,6 +754,7 @@ mod tests {
             row_tile_rows: 64,
             models: None,
             registry_seed: None,
+            power_mw: 0.0,
         }
     }
 
@@ -710,6 +787,52 @@ mod tests {
         assert!(pool.get(2).is_eligible());
         assert_eq!(pool.get(2).fault_events(), 3);
         assert_eq!(pool.get(2).revivals(), 1);
+    }
+
+    #[test]
+    fn energy_policy_packs_cold_pools_and_spreads_hot_ones() {
+        let pool = BackendPool::new(&[
+            "127.0.0.1:1".to_string(),
+            "127.0.0.1:2".to_string(),
+            "127.0.0.1:3".to_string(),
+        ])
+        .with_energy_policy(Some(EnergyRoutingPolicy::default()));
+        let cap = EnergyRoutingPolicy::default().pack_max_outstanding;
+
+        // Cold pool (no reported power): pack onto the lowest slot
+        // even as its load grows past its siblings'.
+        for _ in 0..cap - 1 {
+            assert_eq!(pool.pick_replica(&[]).unwrap().index, 0);
+            pool.get(0).begin_dispatch();
+        }
+        // At the headroom cap the pack overflows to the next slot.
+        assert_eq!(pool.pick_replica(&[]).unwrap().index, 0);
+        pool.get(0).begin_dispatch();
+        assert_eq!(pool.pick_replica(&[]).unwrap().index, 1);
+
+        // Packing still honors eligibility: drain slot 0, pack lands
+        // on slot 1 (slot 2 stays cold).
+        pool.get(0).mark_probed(HealthState::Draining, 0, 64);
+        assert_eq!(pool.pick_replica(&[]).unwrap().index, 1);
+
+        // Aggregate power crossing the threshold flips to spreading:
+        // least-outstanding wins again.
+        pool.get(1).begin_dispatch();
+        pool.get(0).note_power_mw(40.0);
+        pool.get(1).note_power_mw(40.0);
+        assert!(pool.total_power_mw() > EnergyRoutingPolicy::default().pack_below_mw);
+        assert_eq!(
+            pool.pick_replica(&[]).unwrap().index,
+            2,
+            "hot pool spreads to the idle replica"
+        );
+
+        // The gauge refuses garbage: non-finite and negative samples
+        // clamp to zero rather than poisoning the aggregate.
+        pool.get(2).note_power_mw(f64::NAN);
+        pool.get(2).note_power_mw(-5.0);
+        assert_eq!(pool.get(2).power_mw(), 0.0);
+        assert!(pool.total_power_mw().is_finite());
     }
 
     #[test]

@@ -1126,11 +1126,18 @@ impl EventRouter<'_> {
         let shared = self.shared;
         match self.machines.get_mut(tag.machine) {
             None => {}
-            Some(Machine::Single { .. }) => {
+            Some(Machine::Single { req, .. }) => {
                 if resp.status == Status::Overloaded {
                     if let Some(ms) = resp.retry_after_ms {
                         shared.pool.get(index).note_retry_after(ms);
                     }
+                }
+                if let Some(mj) = resp.energy_mj {
+                    shared.metrics.record_energy_mj(
+                        resp.format.as_deref(),
+                        req.model.as_deref(),
+                        mj,
+                    );
                 }
                 self.complete(tag.machine, resp);
             }
@@ -1148,6 +1155,11 @@ impl EventRouter<'_> {
                 let id = *id;
                 *outstanding -= 1;
                 if resp.status == Status::Ok {
+                    // Each shard meters its own slice of the matvec;
+                    // the router ledger sums them per scatter round.
+                    if let Some(mj) = resp.energy_mj {
+                        shared.metrics.record_energy_mj(None, None, mj);
+                    }
                     let Some(partials) = resp.partials else {
                         let fail = Response::error(
                             id,

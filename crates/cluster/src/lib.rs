@@ -71,6 +71,7 @@ pub mod metrics;
 pub mod plan;
 pub mod router;
 
+pub use afpr_power::{EnergyRoutingPolicy, PowerSnapshot};
 pub use backend::{spawn_prober, BackendPool, BackendSnapshot, BackendState, Fingerprint, SeedPin};
 pub use metrics::{ClusterMetrics, ClusterSnapshot, MembershipEvents, ModelInferSnapshot};
 pub use plan::{PipeStage, PipelinePlan, ReplicaShard, ReplicatedShardPlan, Shard, ShardPlan};

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use afpr_power::PowerSnapshot;
 use afpr_runtime::{Histogram, LatencySnapshot, RuntimeMetrics};
 use afpr_serve::{Op, ServeMetrics, ServeSnapshot};
 use parking_lot::Mutex;
@@ -100,6 +101,14 @@ impl ClusterMetrics {
         *self.infers.lock().entry(model.to_string()).or_insert(0) += 1;
     }
 
+    /// Credits a backend's `energy_mj` response echo to the router's
+    /// joules-per-request ledger (wire-level: total only, no module
+    /// breakdown). Non-finite/negative echoes are dropped by the
+    /// accountant.
+    pub fn record_energy_mj(&self, format: Option<&str>, model: Option<&str>, energy_mj: f64) {
+        self.serve.power().record_mj(format, model, energy_mj);
+    }
+
     /// Wire-compatible snapshot (what the `metrics` op returns).
     #[must_use]
     pub fn snapshot(&self) -> ServeSnapshot {
@@ -142,6 +151,7 @@ impl ClusterMetrics {
                     })
                     .collect(),
             ),
+            power: Some(self.serve.power().snapshot(pool.total_power_mw())),
         }
     }
 }
@@ -192,6 +202,11 @@ pub struct ClusterSnapshot {
     /// Per-model completed pipelined inferences (empty outside
     /// pipeline placement; `None` on snapshots from older routers).
     pub model_infers: Option<Vec<ModelInferSnapshot>>,
+    /// Cluster-wide energy telemetry: the router's wire-credited
+    /// joules-per-request ledger, with the pool's aggregate reported
+    /// analog power as the live gauge (`None` on snapshots from
+    /// routers that predate the power subsystem).
+    pub power: Option<PowerSnapshot>,
 }
 
 impl ClusterSnapshot {

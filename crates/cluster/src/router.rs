@@ -80,6 +80,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use afpr_models::ModelEntrySnapshot;
+use afpr_power::EnergyRoutingPolicy;
 use afpr_runtime::RejectReason;
 use afpr_serve::protocol::{self, FrameError};
 use afpr_serve::{
@@ -189,6 +190,12 @@ pub struct ClusterConfig {
     /// Reactor transport: upper bound on pooled upstream connections
     /// per backend (sub-requests queue when the pool is saturated).
     pub conns_per_backend: usize,
+    /// Energy-proportional replica routing (replicated placement):
+    /// while the pool's aggregate reported analog power sits below the
+    /// policy threshold, traffic packs onto the fewest replicas that
+    /// can absorb it; under load the pool spreads least-outstanding as
+    /// before. `None` keeps pure least-outstanding routing.
+    pub energy_routing: Option<EnergyRoutingPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -212,6 +219,7 @@ impl Default for ClusterConfig {
             idle_timeout: Duration::from_secs(300),
             frame_assembly_timeout: Duration::from_secs(30),
             conns_per_backend: 8,
+            energy_routing: None,
         }
     }
 }
@@ -392,6 +400,7 @@ impl RouterShared {
                 Some(self.catalog.clone())
             },
             registry_seed: self.catalog_seed,
+            power_mw: members.iter().map(|b| b.power_mw()).sum(),
         }
     }
 }
@@ -476,7 +485,7 @@ impl Router {
                 "replication factor must be ≥ 1",
             ));
         }
-        let pool = BackendPool::new(&cfg.backends);
+        let pool = BackendPool::new(&cfg.backends).with_energy_policy(cfg.energy_routing);
         let StartupFacts {
             k,
             n,
@@ -757,6 +766,7 @@ fn startup_probe(cfg: &ClusterConfig, pool: &BackendPool) -> io::Result<StartupF
                 let _ = client.set_write_timeout(Some(cfg.probe_timeout));
                 let mut client = client;
                 if let Ok(info) = client.health() {
+                    backend.note_power_mw(info.power_mw);
                     backend.mark_probed(info.state, info.fault_events, info.queue_capacity);
                     infos[backend.index] = Some(info);
                 }
@@ -1181,6 +1191,7 @@ pub(crate) fn handle_register(shared: &RouterShared, req: &Request) -> Response 
         Some(existing) => (existing, false),
         None => (shared.pool.push(addr), true),
     };
+    backend.note_power_mw(info.power_mw);
     backend.mark_probed(info.state, info.fault_events, info.queue_capacity);
     if joined {
         shared.metrics.record_join();
@@ -1345,6 +1356,13 @@ fn dispatch_replicated(
                     if let Some(ms) = resp.retry_after_ms {
                         backend.note_retry_after(ms);
                     }
+                }
+                if let Some(mj) = resp.energy_mj {
+                    shared.metrics.record_energy_mj(
+                        resp.format.as_deref(),
+                        req.model.as_deref(),
+                        mj,
+                    );
                 }
                 return resp;
             }
@@ -1516,6 +1534,11 @@ fn sharded_matvec(
             match conns.recv(&backend, timeout) {
                 Ok(resp) if resp.status == Status::Ok => {
                     backend.finish_dispatch(true, Some(started.elapsed()));
+                    // Each shard meters its own slice of the matvec;
+                    // the router ledger sums them per scatter round.
+                    if let Some(mj) = resp.energy_mj {
+                        shared.metrics.record_energy_mj(None, None, mj);
+                    }
                     let Some(partials) = resp.partials else {
                         abort_scatter(conns, &inflight);
                         return Err(Box::new(Response::error(

@@ -95,6 +95,15 @@ fn sharded_cluster_bit_identical_to_single_node() {
     // 6 requests × 3 shards each... forward_batch fans out per input:
     // (5 matvec + 4 batch inputs) × 3 shards = 27 dispatches.
     assert_eq!(snap.total_dispatched(), 27);
+    // Each shard meters its own slice; the router ledger credits every
+    // partial response it gathered.
+    let power = snap.power.expect("cluster snapshot carries power");
+    assert_eq!(power.requests, 27, "one credit per gathered shard");
+    assert!(
+        power.total_mj.is_finite() && power.total_mj > 0.0,
+        "wire-credited energy is sane, got {} mJ",
+        power.total_mj
+    );
     for b in backends {
         let _ = b.shutdown();
     }
@@ -184,6 +193,16 @@ fn replicated_failover_survives_replica_death_mid_load() {
     assert_eq!(requests, 30);
     // Every request the router acknowledged succeeded.
     assert_eq!(ok, requests);
+    // Energy crediting survives failover: every acknowledged response
+    // carried `energy_mj` from whichever replica served it, and the
+    // router ledger counted each exactly once.
+    let power = snap.power.expect("cluster snapshot carries power");
+    assert_eq!(power.requests, 30, "one credit per served request");
+    assert!(
+        power.total_mj.is_finite() && power.total_mj > 0.0,
+        "credited energy is sane, got {} mJ",
+        power.total_mj
+    );
     for b in backends {
         let _ = b.shutdown();
     }
@@ -262,8 +281,14 @@ fn dead_shard_503s_then_rebalances_onto_survivor() {
     assert_eq!(health.state, HealthState::Healthy, "healed state");
 
     let snap = router.shutdown();
-    assert!(snap.total_failed() >= 1, "the dead dispatch was counted");
     let events = snap.membership.expect("membership counters");
+    // The death is observed by whichever path gets there first: a
+    // failed dispatch, or the background prober ejecting the backend
+    // before the next scatter reaches it.
+    assert!(
+        snap.total_failed() >= 1 || events.ejections >= 1,
+        "the replica death was never observed"
+    );
     assert!(events.ejections >= 1, "ejection recorded");
     assert!(events.rebalances >= 1, "rebalance recorded");
     for b in backends {

@@ -1,0 +1,115 @@
+//! Energy accounting stays sane under chaos — the metering satellite
+//! of the power subsystem, pinned at the core layer.
+//!
+//! 1. With stuck faults injected, retention drift stepping, and
+//!    spare-column remaps all firing, the accelerator's cumulative
+//!    energy counter is always finite, never negative, and monotone
+//!    nondecreasing across forward passes: repair events must never
+//!    corrupt the ledger.
+//! 2. Zero-rate chaos leaves the energy counter **bit-identical** to
+//!    an untouched sim, step for step — metering and the chaos
+//!    controller share no hidden state.
+
+use afpr_core::resilience::ChaosConfig;
+use afpr_core::sim::MacroModelSim;
+use afpr_core::AfprAccelerator;
+use afpr_device::YieldModel;
+use afpr_nn::init::InitSpec;
+use afpr_nn::models::tiny_mlp;
+use afpr_nn::tensor::Tensor;
+use afpr_xbar::spec::{MacroMode, MacroSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cumulative analog + digital energy in joules.
+fn energy_j(accel: &AfprAccelerator) -> f64 {
+    accel.stats().energy.total().joules() + accel.adder_energy().joules()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chaos at full tilt — faults, drift aging, scrub-triggered
+    /// spare-column remaps — never produces NaN, negative, or
+    /// shrinking energy totals.
+    #[test]
+    fn chaotic_energy_is_finite_nonnegative_monotone(
+        seed in 0u64..1_000,
+        fault_rate in 0.0f64..5e-3,
+        drift_step in 0.0f64..1e5,
+        inject_period in 1u64..3,
+        scrub_period in 1u64..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = tiny_mlp(12, 10, 4, InitSpec::gaussian(), &mut rng);
+        let spec = MacroSpec::small(32, 16, MacroMode::FpE2M5).with_spare_cols(2);
+        let mut sim = MacroModelSim::compile_with_spec(&model, spec, seed)
+            .with_chaos(ChaosConfig {
+                yield_model: YieldModel::new(fault_rate, fault_rate),
+                drift_step,
+                inject_period,
+                scrub_period,
+                ..ChaosConfig::disabled()
+            });
+
+        let mut prev = energy_j(sim.accelerator());
+        prop_assert!(prev.is_finite() && prev >= 0.0, "pre-forward energy {prev}");
+        for step in 0..6 {
+            let x = Tensor::from_fn(&[12], |i| {
+                ((i[0] * 5 + step) % 11) as f32 / 11.0 - 0.5
+            });
+            let _ = sim.forward(&model, &x);
+            let now = energy_j(sim.accelerator());
+            prop_assert!(
+                now.is_finite(),
+                "step {}: energy went non-finite ({})", step, now
+            );
+            prop_assert!(
+                now >= prev,
+                "step {}: energy shrank {} -> {} (repair corrupted the ledger)",
+                step, prev, now
+            );
+            prop_assert!(now > prev, "step {}: forward pass metered nothing", step);
+            prev = now;
+        }
+    }
+
+    /// Zero-rate chaos (injection and scrub events still firing, but
+    /// nothing to find) keeps the energy counter bit-identical to a
+    /// plain sim's, every step: observation-only, even mid-scrub.
+    #[test]
+    fn zero_rate_chaos_energy_is_bit_identical(
+        seed in 0u64..1_000,
+        inject_period in 1u64..4,
+        scrub_period in 1u64..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = tiny_mlp(12, 10, 4, InitSpec::gaussian(), &mut rng);
+        let spec = MacroSpec::small(32, 16, MacroMode::FpE2M5).with_spare_cols(2);
+
+        let mut plain = MacroModelSim::compile_with_spec(&model, spec.clone(), seed);
+        let mut ticked = MacroModelSim::compile_with_spec(&model, spec, seed)
+            .with_chaos(ChaosConfig {
+                yield_model: YieldModel::perfect(),
+                drift_step: 0.0,
+                inject_period,
+                scrub_period,
+                ..ChaosConfig::disabled()
+            });
+
+        for step in 0..5 {
+            let x = Tensor::from_fn(&[12], |i| {
+                ((i[0] * 3 + step) % 7) as f32 / 7.0 - 0.5
+            });
+            let _ = plain.forward(&model, &x);
+            let _ = ticked.forward(&model, &x);
+            let a = energy_j(plain.accelerator());
+            let b = energy_j(ticked.accelerator());
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "step {}: {} vs {}", step, a, b
+            );
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! A named network compiled onto CIM macros, ready to serve.
 
+use afpr_circuit::energy::MacroEnergyBreakdown;
+use afpr_circuit::units::Joules;
 use afpr_core::sim::MacroModelSim;
 use afpr_nn::model::Sequential;
 use afpr_nn::tensor::Tensor;
@@ -85,6 +87,28 @@ pub struct ModelEntrySnapshot {
     pub macros: u64,
     /// FP32 weight footprint in bytes (0 until first load).
     pub weight_bytes: u64,
+}
+
+/// Cumulative analog + digital energy attributable to one compiled
+/// model (or, summed, to a whole registry): the per-module analog
+/// breakdown across its macros, the digital adder-tree energy, and the
+/// ADC conversion count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelEnergy {
+    /// Per-module analog breakdown (ADC / DAC / array / digital).
+    pub breakdown: MacroEnergyBreakdown,
+    /// Digital adder-tree energy.
+    pub adder: Joules,
+    /// ADC conversions performed.
+    pub conversions: u64,
+}
+
+impl std::ops::AddAssign for ModelEnergy {
+    fn add_assign(&mut self, rhs: Self) {
+        self.breakdown += rhs.breakdown;
+        self.adder = Joules::new(self.adder.joules() + rhs.adder.joules());
+        self.conversions += rhs.conversions;
+    }
 }
 
 /// One network compiled onto CIM macros: the FP32 reference
@@ -192,6 +216,19 @@ impl CompiledModel {
     #[must_use]
     pub fn weight_bytes(&self) -> u64 {
         self.weight_bytes
+    }
+
+    /// Cumulative energy this compiled model has spent serving
+    /// inferences (zero right after load: warming is a pure read).
+    #[must_use]
+    pub fn energy(&self) -> ModelEnergy {
+        let accel = self.sim.accelerator();
+        let stats = accel.stats();
+        ModelEnergy {
+            breakdown: stats.energy,
+            adder: accel.adder_energy(),
+            conversions: stats.conversions,
+        }
     }
 
     /// Cumulative conductance-kernel builds across the model's macros

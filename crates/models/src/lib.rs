@@ -34,6 +34,6 @@ pub mod compiled;
 pub mod registry;
 pub mod spec;
 
-pub use compiled::{CompiledModel, InferError, ModelEntrySnapshot};
+pub use compiled::{CompiledModel, InferError, ModelEnergy, ModelEntrySnapshot};
 pub use registry::{ModelRegistry, RegistryConfig, RegistrySnapshot};
 pub use spec::{format_from_wire, format_wire_name, ModelKind, ModelSpec, ALL_FORMATS};

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
-use crate::compiled::{CompiledModel, InferError, ModelEntrySnapshot};
+use crate::compiled::{CompiledModel, InferError, ModelEnergy, ModelEntrySnapshot};
 use crate::spec::{format_from_wire, format_wire_name, ModelKind, ModelSpec, ALL_FORMATS};
 
 /// Registry tuning.
@@ -103,6 +103,12 @@ pub struct ModelRegistry {
     cfg: RegistryConfig,
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Energy accrued by models that have since been LRU-evicted,
+    /// captured at eviction time so [`ModelRegistry::energy`] stays
+    /// monotone across evictions and re-loads. Its own lock (never
+    /// nested with `inner` or a model mutex) keeps the locking
+    /// protocol above intact.
+    retired: Mutex<ModelEnergy>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -146,6 +152,7 @@ impl ModelRegistry {
                 kernel_builds: 0,
             }),
             cond: Condvar::new(),
+            retired: Mutex::new(ModelEnergy::default()),
         }
     }
 
@@ -213,11 +220,16 @@ impl ModelRegistry {
         inner.kernel_builds += builds;
         inner.lru.push(idx);
         let capacity = self.cfg.capacity.max(1);
+        let mut victims = Vec::new();
         while inner.lru.len() > capacity {
             // The front is the coldest and cannot be `idx` (just
             // pushed to the back with len > capacity ≥ 1).
             let victim = inner.lru.remove(0);
-            inner.entries[victim].slot = Slot::Unloaded;
+            if let Slot::Ready(m) =
+                std::mem::replace(&mut inner.entries[victim].slot, Slot::Unloaded)
+            {
+                victims.push(m);
+            }
             inner.entries[victim].evictions += 1;
             inner.evictions += 1;
             // In-flight inferences on the victim keep their Arc alive;
@@ -225,7 +237,39 @@ impl ModelRegistry {
         }
         drop(inner);
         self.cond.notify_all();
+        // Fold each victim's accrued energy into the retired
+        // accumulator (model locks taken with `inner` released, per
+        // the locking protocol). An inference still in flight on a
+        // victim's Arc finishes first — its joules after this capture
+        // are the only ones a registry total can miss.
+        for victim in victims {
+            let e = victim.lock().energy();
+            *self.retired.lock() += e;
+        }
         model
+    }
+
+    /// Cumulative energy across every model this registry has ever
+    /// compiled: live counters of the resident models plus the retired
+    /// accumulator capturing evicted ones. Monotone across evictions
+    /// and re-loads.
+    #[must_use]
+    pub fn energy(&self) -> ModelEnergy {
+        let inner = self.inner.lock();
+        let resident: Vec<_> = inner
+            .entries
+            .iter()
+            .filter_map(|e| match &e.slot {
+                Slot::Ready(m) => Some(Arc::clone(m)),
+                Slot::Loading | Slot::Unloaded => None,
+            })
+            .collect();
+        drop(inner);
+        let mut total = *self.retired.lock();
+        for model in resident {
+            total += model.lock().energy();
+        }
+        total
     }
 
     /// Full forward pass by wire names. See

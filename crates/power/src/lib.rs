@@ -1,0 +1,756 @@
+//! # afpr-power: joules-per-request telemetry and energy-aware policy
+//!
+//! The paper's headline claim is *efficiency* — 74.1 mW average macro
+//! power and 19.89 TFLOPS/W from the dynamic-range-adaptive FP-ADC —
+//! and `afpr-circuit::energy` carries the calibrated analytical model
+//! behind those numbers. This crate turns that model from a post-hoc
+//! accounting exercise into a first-class runtime signal:
+//!
+//! - **Metering** ([`EnergyPoint`], [`RequestEnergy`]): snapshot the
+//!   accelerator's cumulative [`MacroEnergyBreakdown`] before and
+//!   after a request executes and attribute the delta (ADC / DAC /
+//!   array / digital / adder, plus conversion count) to that request.
+//!   Metering is **observation-only**: it reads counters the macros
+//!   already maintain, so a metered execution is bit-identical to an
+//!   unmetered one.
+//! - **Accounting** ([`PowerAccountant`], [`PowerSnapshot`]): mJ/req
+//!   histograms plus per-format and per-model energy counters, frozen
+//!   into a serializable snapshot for the `metrics` wire op.
+//! - **Admission policy** ([`CostModel`], [`evaluate_budget`]): a
+//!   self-calibrating estimate of mJ per request keyed by
+//!   (op, format, model), consulted against a client-supplied
+//!   `energy_budget_mj`. Over-budget requests are rejected with a
+//!   structured 429, or — only when the client opts in — downshifted
+//!   to the INT8 baseline format.
+//! - **Routing policy** ([`EnergyRoutingPolicy`]): energy-proportional
+//!   replica selection — below a watts threshold the router *packs*
+//!   load onto few backends (letting the rest idle), above it the
+//!   router *spreads* via the usual least-outstanding pick.
+//!
+//! A calibration fact worth stating up front, because it is the whole
+//! point of the paper: in this repo's paper-anchored energy model the
+//! INT8 baseline uses the *matched-dynamic-range* conventional ADC
+//! (500 ns conversion, 1024 slope decisions), which costs **more**
+//! energy per conversion than E2M5 — the FP total is 0.535× the INT
+//! baseline (paper Fig. 6). An E2M5→INT8 downshift is therefore a
+//! *precision/compatibility* fallback the client explicitly accepts in
+//! place of a rejection, not an energy saver, and the per-request
+//! telemetry this crate adds is precisely what makes that visible.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+use afpr_circuit::energy::MacroEnergyBreakdown;
+use afpr_circuit::units::Joules;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A cumulative energy reading of an accelerator (or a set of them) at
+/// one instant: the running per-module breakdown, the partial-sum
+/// adder's energy, and the conversion count.
+///
+/// Two points bracket a request; their [`EnergyPoint::delta`] is the
+/// request's attributed energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyPoint {
+    /// Cumulative per-module macro energy.
+    pub breakdown: MacroEnergyBreakdown,
+    /// Cumulative inter-core routing adder energy.
+    pub adder: Joules,
+    /// Cumulative physical conversions.
+    pub conversions: u64,
+}
+
+impl EnergyPoint {
+    /// Builds a point from an accelerator's aggregate counters.
+    #[must_use]
+    pub fn new(breakdown: MacroEnergyBreakdown, adder: Joules, conversions: u64) -> Self {
+        Self {
+            breakdown,
+            adder,
+            conversions,
+        }
+    }
+
+    /// Merges another point in (summing counters) — used to combine
+    /// the serving accelerator with every registry-resident model.
+    #[must_use]
+    pub fn merged(mut self, other: &EnergyPoint) -> Self {
+        self.breakdown += other.breakdown;
+        self.adder += other.adder;
+        self.conversions += other.conversions;
+        self
+    }
+
+    /// The energy spent between `earlier` and `self`.
+    ///
+    /// Counters are monotone on every legal path (macro stats only
+    /// accumulate), so a negative component indicates an accounting
+    /// bug; the delta clamps to zero rather than reporting negative
+    /// joules.
+    #[must_use]
+    pub fn delta(&self, earlier: &EnergyPoint) -> RequestEnergy {
+        let d = |a: Joules, b: Joules| (a.joules() - b.joules()).max(0.0);
+        RequestEnergy {
+            adc_j: d(self.breakdown.adc, earlier.breakdown.adc),
+            dac_j: d(self.breakdown.dac, earlier.breakdown.dac),
+            array_j: d(self.breakdown.array, earlier.breakdown.array),
+            digital_j: d(self.breakdown.digital, earlier.breakdown.digital),
+            adder_j: d(self.adder, earlier.adder),
+            conversions: self.conversions.saturating_sub(earlier.conversions),
+        }
+    }
+}
+
+/// Energy attributed to one request, by module.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RequestEnergy {
+    /// Column ADC energy, J.
+    pub adc_j: f64,
+    /// Row driver + DAC reference energy, J.
+    pub dac_j: f64,
+    /// Crossbar dissipation, J.
+    pub array_j: f64,
+    /// Digital control energy, J.
+    pub digital_j: f64,
+    /// Partial-sum adder energy, J.
+    pub adder_j: f64,
+    /// Physical conversions performed.
+    pub conversions: u64,
+}
+
+impl RequestEnergy {
+    /// Total attributed energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.adc_j + self.dac_j + self.array_j + self.digital_j + self.adder_j
+    }
+
+    /// Total attributed energy in millijoules (the wire unit).
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.total_j() * 1e3
+    }
+
+    /// A proportional share `num/den` of this energy — used to split a
+    /// batch-wide delta across the requests flattened into it, by
+    /// sample count. The per-sample conversion cost of a shared layer
+    /// is uniform up to the sign-phase DAC term, so the split is exact
+    /// for conversions and a close approximation for joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn share(&self, num: u64, den: u64) -> RequestEnergy {
+        assert!(den > 0, "share denominator must be non-zero");
+        let f = num as f64 / den as f64;
+        RequestEnergy {
+            adc_j: self.adc_j * f,
+            dac_j: self.dac_j * f,
+            array_j: self.array_j * f,
+            digital_j: self.digital_j * f,
+            adder_j: self.adder_j * f,
+            conversions: (self.conversions * num) / den,
+        }
+    }
+
+    /// Whether every component is finite and non-negative — the
+    /// invariant the chaos/drift proptests pin.
+    #[must_use]
+    pub fn is_sane(&self) -> bool {
+        [
+            self.adc_j,
+            self.dac_j,
+            self.array_j,
+            self.digital_j,
+            self.adder_j,
+        ]
+        .iter()
+        .all(|e| e.is_finite() && *e >= 0.0)
+    }
+}
+
+impl std::ops::AddAssign for RequestEnergy {
+    fn add_assign(&mut self, rhs: Self) {
+        self.adc_j += rhs.adc_j;
+        self.dac_j += rhs.dac_j;
+        self.array_j += rhs.array_j;
+        self.digital_j += rhs.digital_j;
+        self.adder_j += rhs.adder_j;
+        self.conversions += rhs.conversions;
+    }
+}
+
+/// Number of log₂ histogram buckets. Bucket `i` holds requests whose
+/// energy in picojoules `e_pj` satisfies `floor(log2(e_pj)) == i`
+/// (bucket 0 also takes everything below 1 pJ), spanning sub-pJ up to
+/// ~18 MJ — far beyond any simulated request.
+const ENERGY_BUCKETS: usize = 64;
+
+/// Log₂-bucketed histogram of per-request energy.
+#[derive(Debug, Clone)]
+pub struct EnergyHistogram {
+    buckets: [u64; ENERGY_BUCKETS],
+    count: u64,
+    sum_j: f64,
+    max_j: f64,
+}
+
+impl Default for EnergyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; ENERGY_BUCKETS],
+            count: 0,
+            sum_j: 0.0,
+            max_j: 0.0,
+        }
+    }
+}
+
+impl EnergyHistogram {
+    /// Records one request's total energy. Non-finite or negative
+    /// values are ignored (they indicate an upstream accounting bug,
+    /// and must not poison the percentiles).
+    pub fn observe_j(&mut self, energy_j: f64) {
+        if !energy_j.is_finite() || energy_j < 0.0 {
+            return;
+        }
+        let pj = energy_j * 1e12;
+        let idx = if pj < 1.0 {
+            0
+        } else {
+            (pj.log2().floor() as usize).min(ENERGY_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_j += energy_j;
+        self.max_j = self.max_j.max(energy_j);
+    }
+
+    /// Upper bound (in joules) of the bucket holding the `q`-quantile
+    /// observation, or 0 with no data.
+    #[must_use]
+    pub fn quantile_j(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                // Bucket i spans [2^i, 2^{i+1}) pJ.
+                return 2f64.powi(i as i32 + 1) * 1e-12;
+            }
+        }
+        self.max_j
+    }
+
+    /// Freezes the distribution in wire units (mJ).
+    #[must_use]
+    pub fn snapshot(&self) -> EnergyHistSnapshot {
+        EnergyHistSnapshot {
+            count: self.count,
+            mean_mj: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_j / self.count as f64 * 1e3
+            },
+            p50_mj: self.quantile_j(0.50) * 1e3,
+            p95_mj: self.quantile_j(0.95) * 1e3,
+            p99_mj: self.quantile_j(0.99) * 1e3,
+            max_mj: self.max_j * 1e3,
+        }
+    }
+}
+
+/// Frozen mJ/req distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyHistSnapshot {
+    /// Requests observed.
+    pub count: u64,
+    /// Mean energy per request, mJ.
+    pub mean_mj: f64,
+    /// Median (bucket upper bound), mJ.
+    pub p50_mj: f64,
+    /// 95th percentile (bucket upper bound), mJ.
+    pub p95_mj: f64,
+    /// 99th percentile (bucket upper bound), mJ.
+    pub p99_mj: f64,
+    /// Largest single request, mJ.
+    pub max_mj: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyCell {
+    requests: u64,
+    total_j: f64,
+}
+
+#[derive(Debug, Default)]
+struct AccountantInner {
+    hist: EnergyHistogram,
+    total: RequestEnergy,
+    per_format: BTreeMap<String, KeyCell>,
+    per_model: BTreeMap<String, KeyCell>,
+    downshifts: u64,
+}
+
+/// Thread-safe per-request energy ledger: one per server (and one per
+/// cluster router, fed from wire-level `energy_mj` echoes).
+#[derive(Debug, Default)]
+pub struct PowerAccountant {
+    inner: Mutex<AccountantInner>,
+}
+
+impl PowerAccountant {
+    /// A fresh, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request's attributed energy.
+    pub fn record(
+        &self,
+        format: Option<&str>,
+        model: Option<&str>,
+        energy: &RequestEnergy,
+        downshifted: bool,
+    ) {
+        let mut inner = self.inner.lock();
+        inner.hist.observe_j(energy.total_j());
+        inner.total += *energy;
+        if downshifted {
+            inner.downshifts += 1;
+        }
+        if let Some(fmt) = format {
+            let cell = inner.per_format.entry(fmt.to_string()).or_default();
+            cell.requests += 1;
+            cell.total_j += energy.total_j();
+        }
+        if let Some(m) = model {
+            let cell = inner.per_model.entry(m.to_string()).or_default();
+            cell.requests += 1;
+            cell.total_j += energy.total_j();
+        }
+    }
+
+    /// Records a wire-level observation (a router crediting a
+    /// backend's `energy_mj` echo): total joules only, no module
+    /// breakdown.
+    pub fn record_mj(&self, format: Option<&str>, model: Option<&str>, energy_mj: f64) {
+        if !energy_mj.is_finite() || energy_mj < 0.0 {
+            return;
+        }
+        // A wire total carries no module breakdown, so only the
+        // histogram and per-key cells are credited.
+        let energy_j = energy_mj * 1e-3;
+        let mut inner = self.inner.lock();
+        inner.hist.observe_j(energy_j);
+        if let Some(fmt) = format {
+            let cell = inner.per_format.entry(fmt.to_string()).or_default();
+            cell.requests += 1;
+            cell.total_j += energy_j;
+        }
+        if let Some(m) = model {
+            let cell = inner.per_model.entry(m.to_string()).or_default();
+            cell.requests += 1;
+            cell.total_j += energy_j;
+        }
+    }
+
+    /// Counts one over-budget downshift that was decided at admission
+    /// (before any energy exists to record).
+    pub fn record_downshift(&self) {
+        self.inner.lock().downshifts += 1;
+    }
+
+    /// Freezes the ledger. `power_mw` is the caller's live power gauge
+    /// (windowed average), carried alongside the cumulative counters.
+    #[must_use]
+    pub fn snapshot(&self, power_mw: f64) -> PowerSnapshot {
+        let inner = self.inner.lock();
+        let key_rows = |map: &BTreeMap<String, KeyCell>| {
+            map.iter()
+                .map(|(k, c)| KeyEnergySnapshot {
+                    key: k.clone(),
+                    requests: c.requests,
+                    total_mj: c.total_j * 1e3,
+                    mean_mj: if c.requests == 0 {
+                        0.0
+                    } else {
+                        c.total_j / c.requests as f64 * 1e3
+                    },
+                })
+                .collect()
+        };
+        PowerSnapshot {
+            requests: inner.hist.count,
+            total_mj: inner.hist.sum_j * 1e3,
+            adc_mj: inner.total.adc_j * 1e3,
+            dac_mj: inner.total.dac_j * 1e3,
+            array_mj: inner.total.array_j * 1e3,
+            digital_mj: inner.total.digital_j * 1e3,
+            adder_mj: inner.total.adder_j * 1e3,
+            conversions: inner.total.conversions,
+            downshifts: inner.downshifts,
+            mj_per_request: inner.hist.snapshot(),
+            per_format: key_rows(&inner.per_format),
+            per_model: key_rows(&inner.per_model),
+            power_mw,
+        }
+    }
+}
+
+/// One (format or model) key's cumulative energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyEnergySnapshot {
+    /// Wire name of the format or model.
+    pub key: String,
+    /// Requests attributed to the key.
+    pub requests: u64,
+    /// Total energy, mJ.
+    pub total_mj: f64,
+    /// Mean energy per request, mJ.
+    pub mean_mj: f64,
+}
+
+/// Point-in-time, serializable view of a [`PowerAccountant`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSnapshot {
+    /// Requests with attributed energy.
+    pub requests: u64,
+    /// Total attributed energy, mJ.
+    pub total_mj: f64,
+    /// Column ADC share, mJ.
+    pub adc_mj: f64,
+    /// DAC / row-driver share, mJ.
+    pub dac_mj: f64,
+    /// Crossbar array share, mJ.
+    pub array_mj: f64,
+    /// Digital control share, mJ.
+    pub digital_mj: f64,
+    /// Partial-sum adder share, mJ.
+    pub adder_mj: f64,
+    /// Physical conversions attributed.
+    pub conversions: u64,
+    /// Requests served in a downshifted format.
+    pub downshifts: u64,
+    /// mJ/req distribution.
+    pub mj_per_request: EnergyHistSnapshot,
+    /// Per-format energy (wire format names).
+    pub per_format: Vec<KeyEnergySnapshot>,
+    /// Per-model energy (zoo wire names).
+    pub per_model: Vec<KeyEnergySnapshot>,
+    /// Windowed average power at snapshot time, mW.
+    pub power_mw: f64,
+}
+
+/// Self-calibrating mJ/request estimator keyed by an opaque string
+/// (the serving layer uses `"{op}:{format}"` and
+/// `"infer:{model}:{format}"`).
+///
+/// The estimate is the running mean of observed request energies — it
+/// needs no prior model of the workload, converges after one request
+/// per key, and is deterministic for a deterministic request order. A
+/// key with no observations estimates `None`, and admission treats
+/// that as "admit" (the first request per key is the calibration run;
+/// its energy is recorded and bounds the second).
+#[derive(Debug, Default)]
+pub struct CostModel {
+    inner: Mutex<BTreeMap<String, KeyCell>>,
+}
+
+impl CostModel {
+    /// A fresh, empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observed request energy for `key`.
+    pub fn observe_j(&self, key: &str, energy_j: f64) {
+        if !energy_j.is_finite() || energy_j < 0.0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let cell = inner.entry(key.to_string()).or_default();
+        cell.requests += 1;
+        cell.total_j += energy_j;
+    }
+
+    /// Mean observed energy for `key` in mJ, or `None` before the
+    /// first observation.
+    #[must_use]
+    pub fn estimate_mj(&self, key: &str) -> Option<f64> {
+        let inner = self.inner.lock();
+        let cell = inner.get(key)?;
+        if cell.requests == 0 {
+            return None;
+        }
+        Some(cell.total_j / cell.requests as f64 * 1e3)
+    }
+}
+
+/// What admission should do with a budgeted request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetDecision {
+    /// Estimated cost fits (or is unknown): run as requested.
+    Admit,
+    /// Over budget, but the client opted into the downshifted format:
+    /// run downshifted, echoing the chosen format.
+    Downshift,
+    /// Over budget with no downshift consent: structured 429.
+    Reject {
+        /// The estimate that exceeded the budget, mJ.
+        estimate_mj: f64,
+    },
+}
+
+/// Evaluates a client energy budget against the cost model's estimate.
+///
+/// `estimate_mj == None` (never-seen key) admits: the first request of
+/// a key is the calibration run. `downshift_available` is the serving
+/// layer's judgment that a downshifted execution exists for this
+/// request (op is `infer`, format is not already INT8, and the client
+/// set `allow_downshift`).
+#[must_use]
+pub fn evaluate_budget(
+    budget_mj: f64,
+    estimate_mj: Option<f64>,
+    downshift_available: bool,
+) -> BudgetDecision {
+    match estimate_mj {
+        Some(e) if e > budget_mj => {
+            if downshift_available {
+                BudgetDecision::Downshift
+            } else {
+                BudgetDecision::Reject { estimate_mj: e }
+            }
+        }
+        _ => BudgetDecision::Admit,
+    }
+}
+
+/// Energy-proportional routing policy for replicated placement.
+///
+/// While the pool's aggregate reported power sits below
+/// `pack_below_mw`, the router *packs*: it sends work to the
+/// lowest-indexed eligible backend whose outstanding count is under
+/// `pack_max_outstanding`, letting higher-indexed replicas idle (an
+/// idle simulated macro burns nothing, so packing minimizes the number
+/// of warm arrays). When aggregate power crosses the threshold — or
+/// every packable backend is saturated — the router *spreads* with the
+/// existing least-outstanding pick. Draining/ejected backends are
+/// never candidates in either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRoutingPolicy {
+    /// Aggregate backend power (mW) below which the router packs.
+    pub pack_below_mw: f64,
+    /// Max outstanding requests a packed backend absorbs before the
+    /// next backend is opened up.
+    pub pack_max_outstanding: u64,
+}
+
+impl EnergyRoutingPolicy {
+    /// Whether the pool-wide power reading selects pack mode.
+    #[must_use]
+    pub fn packs_at(&self, total_power_mw: f64) -> bool {
+        total_power_mw.is_finite() && total_power_mw < self.pack_below_mw
+    }
+}
+
+impl Default for EnergyRoutingPolicy {
+    fn default() -> Self {
+        Self {
+            // The paper's average macro power: a pool idling below one
+            // macro's worth of draw is "low traffic".
+            pack_below_mw: 74.1,
+            pack_max_outstanding: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(v: f64) -> Joules {
+        Joules::new(v)
+    }
+
+    fn point(adc: f64, dac: f64, array: f64, digital: f64, adder: f64, conv: u64) -> EnergyPoint {
+        EnergyPoint::new(
+            MacroEnergyBreakdown {
+                adc: j(adc),
+                dac: j(dac),
+                array: j(array),
+                digital: j(digital),
+            },
+            j(adder),
+            conv,
+        )
+    }
+
+    #[test]
+    fn delta_attributes_each_module() {
+        let before = point(1e-9, 2e-9, 3e-9, 4e-9, 5e-10, 10);
+        let after = point(2e-9, 4e-9, 3.5e-9, 6e-9, 7e-10, 13);
+        let e = after.delta(&before);
+        assert!((e.adc_j - 1e-9).abs() < 1e-18);
+        assert!((e.dac_j - 2e-9).abs() < 1e-18);
+        assert!((e.array_j - 0.5e-9).abs() < 1e-18);
+        assert!((e.digital_j - 2e-9).abs() < 1e-18);
+        assert!((e.adder_j - 2e-10).abs() < 1e-18);
+        assert_eq!(e.conversions, 3);
+        assert!(e.is_sane());
+        assert!((e.total_mj() - 5.7e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_clamps_regressions_to_zero() {
+        let before = point(5e-9, 0.0, 0.0, 0.0, 0.0, 5);
+        let after = point(1e-9, 0.0, 0.0, 0.0, 0.0, 2);
+        let e = after.delta(&before);
+        assert_eq!(e.adc_j, 0.0);
+        assert_eq!(e.conversions, 0);
+        assert!(e.is_sane());
+    }
+
+    #[test]
+    fn merged_sums_points() {
+        let a = point(1e-9, 1e-9, 1e-9, 1e-9, 1e-9, 1);
+        let b = point(2e-9, 2e-9, 2e-9, 2e-9, 2e-9, 2);
+        let m = a.merged(&b);
+        assert_eq!(m.conversions, 3);
+        assert!((m.breakdown.adc.joules() - 3e-9).abs() < 1e-18);
+        assert!((m.adder.joules() - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn share_splits_proportionally() {
+        let e = RequestEnergy {
+            adc_j: 4e-9,
+            dac_j: 8e-9,
+            array_j: 2e-9,
+            digital_j: 6e-9,
+            adder_j: 1e-9,
+            conversions: 8,
+        };
+        let half = e.share(2, 4);
+        assert!((half.total_j() - e.total_j() / 2.0).abs() < 1e-18);
+        assert_eq!(half.conversions, 4);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_observations() {
+        let mut h = EnergyHistogram::default();
+        for _ in 0..95 {
+            h.observe_j(10e-9); // 10 nJ
+        }
+        for _ in 0..5 {
+            h.observe_j(10e-6); // 10 µJ outliers
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_mj >= 10e-9 * 1e3 && s.p50_mj <= 40e-9 * 1e3, "{s:?}");
+        assert!(s.p99_mj >= 10e-6 * 1e3, "{s:?}");
+        assert!((s.max_mj - 10e-6 * 1e3).abs() < 1e-12);
+        assert!(s.mean_mj > 0.0);
+    }
+
+    #[test]
+    fn histogram_ignores_insane_values() {
+        let mut h = EnergyHistogram::default();
+        h.observe_j(f64::NAN);
+        h.observe_j(f64::INFINITY);
+        h.observe_j(-1.0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn accountant_keys_by_format_and_model() {
+        let acc = PowerAccountant::new();
+        let e = RequestEnergy {
+            adc_j: 1e-9,
+            conversions: 1,
+            ..RequestEnergy::default()
+        };
+        acc.record(Some("e2m5"), Some("tiny-mlp"), &e, false);
+        acc.record(Some("int8"), Some("tiny-mlp"), &e, true);
+        acc.record(Some("e2m5"), None, &e, false);
+        let s = acc.snapshot(12.5);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.downshifts, 1);
+        assert_eq!(s.conversions, 3);
+        assert!((s.power_mw - 12.5).abs() < 1e-12);
+        let e2m5 = s.per_format.iter().find(|k| k.key == "e2m5").unwrap();
+        assert_eq!(e2m5.requests, 2);
+        let mlp = s.per_model.iter().find(|k| k.key == "tiny-mlp").unwrap();
+        assert_eq!(mlp.requests, 2);
+        // Round-trips through JSON for the wire.
+        let back: PowerSnapshot =
+            serde_json::from_str(&serde_json::to_string(&s).expect("serializes")).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wire_level_record_counts_without_breakdown() {
+        let acc = PowerAccountant::new();
+        acc.record_mj(Some("e2m5"), Some("tiny-mlp"), 0.5);
+        acc.record_mj(None, None, f64::NAN); // ignored
+        acc.record_mj(None, None, -2.0); // ignored
+        let s = acc.snapshot(0.0);
+        assert_eq!(s.requests, 1);
+        assert!((s.total_mj - 0.5).abs() < 1e-12);
+        assert_eq!(s.adc_mj, 0.0, "wire totals carry no module breakdown");
+    }
+
+    #[test]
+    fn cost_model_estimates_mean_and_starts_unknown() {
+        let m = CostModel::new();
+        assert_eq!(m.estimate_mj("matvec:e2m5"), None);
+        m.observe_j("matvec:e2m5", 10e-9);
+        m.observe_j("matvec:e2m5", 30e-9);
+        let est = m.estimate_mj("matvec:e2m5").unwrap();
+        assert!((est - 20e-9 * 1e3).abs() < 1e-15);
+        m.observe_j("matvec:e2m5", f64::NAN); // ignored
+        assert!((m.estimate_mj("matvec:e2m5").unwrap() - est).abs() < 1e-15);
+    }
+
+    #[test]
+    fn budget_decisions() {
+        // Unknown estimate: admit (calibration run).
+        assert_eq!(evaluate_budget(1.0, None, false), BudgetDecision::Admit);
+        // Fits: admit.
+        assert_eq!(
+            evaluate_budget(1.0, Some(0.5), false),
+            BudgetDecision::Admit
+        );
+        // Over, no consent: reject with the estimate echoed.
+        assert_eq!(
+            evaluate_budget(1.0, Some(2.0), false),
+            BudgetDecision::Reject { estimate_mj: 2.0 }
+        );
+        // Over, consent: downshift.
+        assert_eq!(
+            evaluate_budget(1.0, Some(2.0), true),
+            BudgetDecision::Downshift
+        );
+    }
+
+    #[test]
+    fn routing_policy_thresholds() {
+        let p = EnergyRoutingPolicy {
+            pack_below_mw: 100.0,
+            pack_max_outstanding: 2,
+        };
+        assert!(p.packs_at(0.0));
+        assert!(p.packs_at(99.9));
+        assert!(!p.packs_at(100.0));
+        assert!(!p.packs_at(f64::NAN));
+    }
+}

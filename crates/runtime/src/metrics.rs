@@ -150,6 +150,28 @@ pub enum RejectReason {
     Malformed,
     /// The server shed the request while in a degraded health state.
     Shed,
+    /// The request's estimated energy exceeded its client-supplied
+    /// `energy_budget_mj` (and the client did not opt into a format
+    /// downshift).
+    EnergyBudget,
+}
+
+/// Wire-compat module: deserializes a missing (`null`) field as `0`,
+/// so snapshots emitted before the field existed still parse.
+mod u64_zero {
+    use serde::{de, Deserializer, Serialize, Serializer, Value};
+
+    pub fn serialize<S: Serializer>(v: &u64, s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u64, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(0),
+            other => serde::de::from_value(other)
+                .map_err(|e| <D::Error as de::Error>::custom(e.to_string())),
+        }
+    }
 }
 
 /// Frozen rejection-reason counters.
@@ -163,13 +185,17 @@ pub struct RejectionSnapshot {
     pub malformed: u64,
     /// Rejections shed by a degraded front door (load shedding).
     pub shed: u64,
+    /// Rejections because the estimated energy exceeded the client's
+    /// budget (absent in pre-power snapshots → 0).
+    #[serde(with = "u64_zero")]
+    pub energy_budget: u64,
 }
 
 impl RejectionSnapshot {
     /// Total rejections across every reason.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.queue_full + self.deadline_expired + self.malformed + self.shed
+        self.queue_full + self.deadline_expired + self.malformed + self.shed + self.energy_budget
     }
 }
 
@@ -216,9 +242,12 @@ pub struct RuntimeMetrics {
     rejected_deadline_expired: AtomicU64,
     rejected_malformed: AtomicU64,
     rejected_shed: AtomicU64,
+    rejected_energy_budget: AtomicU64,
     tiles_executed: AtomicU64,
     macs_executed: AtomicU64,
     energy_pj_milli: AtomicU64,
+    power_window_energy: AtomicU64,
+    power_window_ns: AtomicU64,
     job_latency: Mutex<Histogram>,
     layers: Mutex<Vec<LayerRecord>>,
 }
@@ -247,9 +276,12 @@ impl RuntimeMetrics {
             rejected_deadline_expired: AtomicU64::new(0),
             rejected_malformed: AtomicU64::new(0),
             rejected_shed: AtomicU64::new(0),
+            rejected_energy_budget: AtomicU64::new(0),
             tiles_executed: AtomicU64::new(0),
             macs_executed: AtomicU64::new(0),
             energy_pj_milli: AtomicU64::new(0),
+            power_window_energy: AtomicU64::new(0),
+            power_window_ns: AtomicU64::new(0),
             job_latency: Mutex::new(Histogram::default()),
             layers: Mutex::new(Vec::new()),
         }
@@ -316,6 +348,7 @@ impl RuntimeMetrics {
             RejectReason::DeadlineExpired => &self.rejected_deadline_expired,
             RejectReason::Malformed => &self.rejected_malformed,
             RejectReason::Shed => &self.rejected_shed,
+            RejectReason::EnergyBudget => &self.rejected_energy_budget,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -340,6 +373,43 @@ impl RuntimeMetrics {
             let fj = (joules * 1e15).round().min(u64::MAX as f64) as u64;
             self.energy_pj_milli.fetch_add(fj, Ordering::Relaxed);
         }
+    }
+
+    /// Cumulative analog energy in joules (what
+    /// [`record_energy_j`](Self::record_energy_j) accumulated).
+    #[must_use]
+    pub fn analog_energy_j(&self) -> f64 {
+        self.energy_pj_milli.load(Ordering::Relaxed) as f64 * 1e-15
+    }
+
+    /// Average analog power over the whole uptime, in milliwatts.
+    /// Non-destructive: any number of callers may read it.
+    #[must_use]
+    pub fn average_power_mw(&self) -> f64 {
+        let uptime_s = self.started.elapsed().as_secs_f64().max(1e-9);
+        self.analog_energy_j() / uptime_s * 1e3
+    }
+
+    /// Windowed analog power in milliwatts: energy accumulated since
+    /// the previous `sample_power_mw` call, divided by the elapsed
+    /// time. The first call averages over the whole uptime.
+    ///
+    /// Destructive read — the sampling window resets on every call, so
+    /// a single periodic consumer (the health endpoint feeding a
+    /// cluster prober) should own it. Concurrent callers race only the
+    /// window bookkeeping, never the underlying energy counter.
+    #[must_use]
+    pub fn sample_power_mw(&self) -> f64 {
+        let now_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let energy = self.energy_pj_milli.load(Ordering::Relaxed);
+        let last_ns = self.power_window_ns.swap(now_ns, Ordering::Relaxed);
+        let last_energy = self.power_window_energy.swap(energy, Ordering::Relaxed);
+        let dt_ns = now_ns.saturating_sub(last_ns);
+        if dt_ns == 0 {
+            return 0.0;
+        }
+        let de_j = energy.saturating_sub(last_energy) as f64 * 1e-15;
+        de_j / (dt_ns as f64 * 1e-9) * 1e3
     }
 
     /// Merges wall time and work counts into the per-layer table.
@@ -384,6 +454,7 @@ impl RuntimeMetrics {
                 deadline_expired: self.rejected_deadline_expired.load(Ordering::Relaxed),
                 malformed: self.rejected_malformed.load(Ordering::Relaxed),
                 shed: self.rejected_shed.load(Ordering::Relaxed),
+                energy_budget: self.rejected_energy_budget.load(Ordering::Relaxed),
             },
             tiles_executed: tiles,
             macs_executed: macs,
@@ -552,6 +623,7 @@ mod tests {
                 deadline_expired: 2,
                 malformed: 1,
                 shed: 0,
+                energy_budget: 0,
             }
         );
         assert_eq!(s.rejections.total(), 4);

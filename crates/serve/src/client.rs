@@ -325,6 +325,34 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("ok infer response missing `output`".to_string()))
     }
 
+    /// Runs a registered model under an energy budget: the full
+    /// `infer` with `energy_budget_mj` attached, and optionally the
+    /// client's consent to an INT8 downshift instead of a `429` when
+    /// the server estimates the request over budget. Returns the raw
+    /// [`Response`] so the caller can read `energy_mj` (attributed
+    /// joules) and `format` (the format the request actually ran in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] on any non-`ok` status; an
+    /// over-budget rejection carries `429 over_budget` with the
+    /// server's estimate in `error`.
+    pub fn infer_budgeted(
+        &mut self,
+        model: &str,
+        format: &str,
+        input: Vec<f32>,
+        budget_mj: f64,
+        allow_downshift: bool,
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id();
+        let req = Request::infer(id, model, format, input)
+            .with_energy_budget_mj(budget_mj)
+            .with_downshift(allow_downshift);
+        let resp = self.call(&req)?;
+        Self::expect_ok(resp)
+    }
+
     /// Asks a cluster router to admit the backend listening at
     /// `backend_addr` into its serving pool. The router health-probes
     /// the address and enforces the full registry handshake before the

@@ -391,9 +391,13 @@ impl Loop<'_> {
                         }
                     };
                     let Some(reply) = reply else { break };
-                    let (op, t0, id, shape) = (*op, *t0, exec.id, exec.shape);
-                    conn.queue.pop_front();
-                    let resp = resolve_reply(self.shared, id, shape, reply);
+                    let (op, t0) = (*op, *t0);
+                    // Re-pop to move the pending exec (and its non-Copy
+                    // energy-accounting tag) out of the queue slot.
+                    let Some(Entry::Waiting { exec, .. }) = conn.queue.pop_front() else {
+                        unreachable!("front() said Waiting");
+                    };
+                    let resp = resolve_reply(self.shared, exec, reply);
                     self.shared
                         .metrics
                         .record_request(op, resp.is_ok(), t0.elapsed());

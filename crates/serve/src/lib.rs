@@ -61,6 +61,7 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 
+pub use afpr_power::{EnergyHistSnapshot, KeyEnergySnapshot, PowerSnapshot};
 pub use client::{Client, ClientError};
 pub use health::{HealthMachine, HealthPolicy, HealthSnapshot, HealthState};
 pub use metrics::{OpSnapshot, ServeMetrics, ServeSnapshot};

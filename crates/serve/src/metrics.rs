@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use afpr_core::ChaosStats;
 use afpr_models::{ModelRegistry, RegistrySnapshot};
+use afpr_power::{CostModel, PowerAccountant, PowerSnapshot};
 use afpr_runtime::{Histogram, LatencySnapshot, MetricsSnapshot, RuntimeMetrics};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,12 @@ pub struct ServeMetrics {
     /// then carry the per-model inventory (loads, evictions, infer
     /// counts).
     registry: Mutex<Option<Arc<ModelRegistry>>>,
+    /// Joules-per-request ledger: mJ/req histogram, per-format and
+    /// per-model energy counters, downshift count.
+    power: PowerAccountant,
+    /// Running mean energy per (op, format[, model]) key — feeds the
+    /// admission-time budget estimate.
+    cost: CostModel,
 }
 
 impl ServeMetrics {
@@ -73,7 +80,21 @@ impl ServeMetrics {
             health,
             chaos: Mutex::new(None),
             registry: Mutex::new(None),
+            power: PowerAccountant::new(),
+            cost: CostModel::new(),
         }
+    }
+
+    /// The joules-per-request ledger.
+    #[must_use]
+    pub fn power(&self) -> &PowerAccountant {
+        &self.power
+    }
+
+    /// The admission cost model (running mean mJ per request key).
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Attaches the server's model registry so snapshots report the
@@ -153,6 +174,7 @@ impl ServeMetrics {
             health: self.health.snapshot(),
             chaos: *self.chaos.lock(),
             registry: self.registry.lock().as_ref().map(|r| r.snapshot()),
+            power: Some(self.power.snapshot(self.runtime.average_power_mw())),
         }
     }
 }
@@ -194,6 +216,11 @@ pub struct ServeSnapshot {
     /// builds and the per-model inventory (`None` when the server has
     /// no registry attached, or predates the field).
     pub registry: Option<RegistrySnapshot>,
+    /// Joules-per-request telemetry: energy breakdown totals, mJ/req
+    /// histogram, per-format/per-model counters, downshifts, and the
+    /// lifetime average analog power (`None` on snapshots from peers
+    /// that predate the power subsystem).
+    pub power: Option<PowerSnapshot>,
 }
 
 impl ServeSnapshot {

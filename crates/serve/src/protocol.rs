@@ -109,6 +109,34 @@ pub mod u64_zero_wire {
     }
 }
 
+/// Serde plumbing for late-added float gauges that default to zero
+/// when absent (old peers omit them; zero reads as "not advertised").
+pub mod f64_zero_wire {
+    use serde::{de, Deserializer, Serialize, Serializer, Value};
+
+    /// Serializes the value as a plain number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    /// Deserializes the value; a missing field means zero.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-numeric values.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(0.0),
+            other => serde::de::from_value(other)
+                .map_err(|e| <D::Error as de::Error>::custom(e.to_string())),
+        }
+    }
+}
+
 /// Default cap on a single frame's payload size (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
 
@@ -264,16 +292,22 @@ pub enum Status {
     /// The request names a model the server does not know (`infer`
     /// with an unregistered model name).
     NotFound,
+    /// The request's estimated energy exceeds its `energy_budget_mj`
+    /// and the client did not opt into a format downshift. The
+    /// response's `error` text carries the estimate; re-submit with a
+    /// larger budget, no budget, or `allow_downshift: true`.
+    OverBudget,
 }
 
 impl Status {
-    const ALL: [Status; 6] = [
+    const ALL: [Status; 7] = [
         Status::Ok,
         Status::Overloaded,
         Status::DeadlineExpired,
         Status::Malformed,
         Status::ShuttingDown,
         Status::NotFound,
+        Status::OverBudget,
     ];
 
     /// The snake_case name used on the wire.
@@ -286,6 +320,7 @@ impl Status {
             Status::Malformed => "malformed",
             Status::ShuttingDown => "shutting_down",
             Status::NotFound => "not_found",
+            Status::OverBudget => "over_budget",
         }
     }
 
@@ -302,6 +337,7 @@ impl Status {
             Status::Ok => 200,
             Status::Malformed => 400,
             Status::NotFound => 404,
+            Status::OverBudget => 429,
             Status::Overloaded | Status::ShuttingDown => 503,
             Status::DeadlineExpired => 504,
         }
@@ -383,6 +419,19 @@ pub struct Request {
     /// other op (and on frames from peers that predate elastic
     /// membership).
     pub backend_addr: Option<String>,
+    /// Optional energy budget in millijoules. When the server's cost
+    /// model estimates the request above this budget, the request is
+    /// rejected with [`Status::OverBudget`] (429) — or, when
+    /// `allow_downshift` is set, executed in the INT8 baseline format
+    /// with the chosen format echoed in the response. Must be finite
+    /// and positive; hostile values get `400 malformed`. Absent on
+    /// frames from peers that predate the power subsystem.
+    pub energy_budget_mj: Option<f64>,
+    /// `infer`: opt-in consent for the server to downshift an
+    /// over-budget FP-format request to the INT8 baseline instead of
+    /// rejecting it. Never assumed — a downshift only happens when
+    /// this is explicitly `true`.
+    pub allow_downshift: Option<bool>,
 }
 
 impl Request {
@@ -403,6 +452,8 @@ impl Request {
             layer_start: None,
             layer_end: None,
             backend_addr: None,
+            energy_budget_mj: None,
+            allow_downshift: None,
         }
     }
 
@@ -489,6 +540,21 @@ impl Request {
         self.deadline_ms = Some(ms);
         self
     }
+
+    /// Sets the energy budget in millijoules.
+    #[must_use]
+    pub fn with_energy_budget_mj(mut self, mj: f64) -> Self {
+        self.energy_budget_mj = Some(mj);
+        self
+    }
+
+    /// Opts into (or out of) automatic format downshift for
+    /// over-budget `infer` requests.
+    #[must_use]
+    pub fn with_downshift(mut self, allow: bool) -> Self {
+        self.allow_downshift = Some(allow);
+        self
+    }
 }
 
 /// Model shape and liveness info returned by `health`.
@@ -527,6 +593,14 @@ pub struct HealthInfo {
     /// reveal diverging weights). `None` without a registry (or on
     /// pre-field frames).
     pub registry_seed: Option<u64>,
+    /// Windowed average analog power of this server in milliwatts
+    /// (energy accumulated since the previous health probe, over the
+    /// probe interval). Zero when the server predates the field or has
+    /// served nothing since the last probe. A live *gauge*, not an
+    /// identity fact — deliberately excluded from the cluster
+    /// fingerprint handshake.
+    #[serde(with = "f64_zero_wire")]
+    pub power_mw: f64,
 }
 
 /// A response frame payload.
@@ -557,6 +631,14 @@ pub struct Response {
     pub health: Option<HealthInfo>,
     /// `metrics` / `shutdown` payload: full serving metrics snapshot.
     pub metrics: Option<crate::metrics::ServeSnapshot>,
+    /// Energy attributed to executing this request, in millijoules
+    /// (`matvec` / `forward_batch` / `matvec_partial` / `infer` only;
+    /// absent from peers that predate the power subsystem).
+    pub energy_mj: Option<f64>,
+    /// `infer`: the macro numeric format the request actually ran in —
+    /// equal to the requested format unless the server downshifted an
+    /// over-budget request with the client's consent.
+    pub format: Option<String>,
 }
 
 impl Response {
@@ -575,6 +657,8 @@ impl Response {
             error: None,
             health: None,
             metrics: None,
+            energy_mj: None,
+            format: None,
         }
     }
 

@@ -273,6 +273,9 @@ fn retryable(e: &ClientError) -> bool {
         | ClientError::Disconnected
         | ClientError::Protocol(_) => true,
         ClientError::Rejected(resp) => {
+            // `OverBudget` (429) is deliberately non-retryable: the
+            // cost estimate won't shrink by waiting — the client must
+            // change the request (larger budget, downshift consent).
             matches!(resp.status, Status::Overloaded | Status::ShuttingDown)
         }
         ClientError::CircuitOpen | ClientError::RetriesExhausted(_) => false,
@@ -339,9 +342,18 @@ mod tests {
             Status::DeadlineExpired,
             "late",
         )));
+        let over_budget = ClientError::Rejected(Box::new(Response::error(
+            1,
+            Status::OverBudget,
+            "estimated 0.02 mJ exceeds energy_budget_mj 0.001",
+        )));
         assert!(retryable(&overloaded));
         assert!(!retryable(&malformed));
         assert!(!retryable(&late));
+        assert!(
+            !retryable(&over_budget),
+            "429 over_budget needs a changed request, not a retry"
+        );
         assert!(retryable(&ClientError::Disconnected));
         assert!(!connection_poisoned(&overloaded), "socket still in sync");
         assert!(connection_poisoned(&ClientError::Disconnected));

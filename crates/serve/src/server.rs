@@ -64,6 +64,7 @@ use afpr_core::accelerator::{AfprAccelerator, LayerHandle};
 use afpr_core::{ChaosConfig, ChaosController};
 use afpr_models::{InferError, ModelKind, ModelRegistry};
 use afpr_nn::tensor::Tensor;
+use afpr_power::{evaluate_budget, BudgetDecision, EnergyPoint, RequestEnergy};
 use afpr_runtime::{BatchConfig, Engine, EngineConfig, MicroBatcher, QueueFull, RejectReason};
 use afpr_xbar::spec::{MacroMode, MacroSpec};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -304,7 +305,12 @@ pub(crate) enum ExecReply {
     /// `matvec`/`forward_batch`: outputs, one per input vector.
     /// `matvec_partial`: unsummed per-row-tile partials.
     /// `infer`: one output vector.
-    Done(Vec<Vec<f32>>),
+    ///
+    /// The second field is the analog/digital energy the execution
+    /// thread attributed to this job (measured as the accelerator +
+    /// registry counter delta around it; batched jobs get a
+    /// proportional share of their flattened run).
+    Done(Vec<Vec<f32>>, RequestEnergy),
     /// The job's deadline lapsed while it sat in the queue.
     Expired,
     /// The server began draining before the job could run.
@@ -371,6 +377,10 @@ pub(crate) struct Shared {
     n: usize,
     row_tile_rows: usize,
     registry: Option<Arc<ModelRegistry>>,
+    /// Wire name of the served layer's macro numeric format — the
+    /// energy-accounting key for `matvec`/`forward_batch`/
+    /// `matvec_partial` requests (infer requests carry their own).
+    base_format: String,
     /// Wakes the reactor event loop when the execution thread has
     /// replies ready (`None` on the blocking transport, whose workers
     /// block on their own reply channels instead).
@@ -419,6 +429,7 @@ impl Shared {
             row_tile_rows: self.row_tile_rows as u64,
             models: self.registry.as_ref().map(|r| r.snapshot().models),
             registry_seed: self.registry.as_ref().map(|r| r.seed()),
+            power_mw: self.metrics.runtime().sample_power_mw(),
         }
     }
 }
@@ -498,6 +509,7 @@ impl Server {
         if let Some(reg) = &registry {
             metrics.set_registry(Arc::clone(reg));
         }
+        let base_format = afpr_models::format_wire_name(accel.mode()).to_string();
         // Reactor transport: the poller, waker pair and registrations
         // are created here (not in the event-loop thread) so setup
         // failures surface as `Server::start` errors.
@@ -529,6 +541,7 @@ impl Server {
             n,
             row_tile_rows,
             registry,
+            base_format,
             transport_waker,
         });
 
@@ -837,12 +850,44 @@ pub(crate) enum ReplyShape {
     Partials,
 }
 
+/// Energy-accounting identity of an admitted request, resolved at
+/// admission and carried to reply resolution: which ledger keys the
+/// measured joules are credited to, and whether an over-budget
+/// downshift was applied.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestTag {
+    pub(crate) op: Op,
+    /// Format the request actually runs in (post-downshift).
+    pub(crate) format: String,
+    /// Model wire name (`infer` only).
+    pub(crate) model: Option<String>,
+    /// Whether admission downshifted the format under `energy_budget_mj`.
+    pub(crate) downshifted: bool,
+}
+
+impl RequestTag {
+    /// The cost-model key the request's measured energy trains.
+    pub(crate) fn cost_key(&self) -> String {
+        cost_key(self.op, &self.format, self.model.as_deref())
+    }
+}
+
+/// Cost-model key for a request shape: `"{op}:{format}"`, with the
+/// model name interposed for `infer` (whose cost varies per network).
+fn cost_key(op: Op, format: &str, model: Option<&str>) -> String {
+    match model {
+        Some(m) => format!("{}:{m}:{format}", op.wire_name()),
+        None => format!("{}:{format}", op.wire_name()),
+    }
+}
+
 /// A request admitted to the execution queue, awaiting its reply.
 pub(crate) struct PendingExec {
     pub(crate) id: u64,
     pub(crate) shape: ReplyShape,
     pub(crate) rx: Receiver<ExecReply>,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) tag: RequestTag,
 }
 
 impl PendingExec {
@@ -887,7 +932,7 @@ fn dispatch(shared: &Shared, req: Request, t0: Instant) -> Response {
                 None => REPLY_TIMEOUT,
             };
             let reply = pending.rx.recv_timeout(wait).ok();
-            resolve_reply(shared, pending.id, pending.shape, reply)
+            resolve_reply(shared, pending, reply)
         }
     }
 }
@@ -996,18 +1041,32 @@ pub(crate) fn dispatch_admit(shared: &Shared, req: Request, t0: Instant) -> Admi
 /// mapping and rejection accounting stay identical.
 pub(crate) fn resolve_reply(
     shared: &Shared,
-    id: u64,
-    shape: ReplyShape,
+    pending: PendingExec,
     reply: Option<ExecReply>,
 ) -> Response {
+    let PendingExec { id, shape, tag, .. } = pending;
     match reply {
-        Some(ExecReply::Done(mut outputs)) => {
+        Some(ExecReply::Done(mut outputs, energy)) => {
             let mut resp = Response::ok(id);
             match shape {
                 ReplyShape::Single => resp.output = outputs.pop(),
                 ReplyShape::Batch => resp.outputs = Some(outputs),
                 ReplyShape::Partials => resp.partials = Some(outputs),
             }
+            resp.energy_mj = Some(energy.total_mj());
+            if tag.op == Op::Infer {
+                resp.format = Some(tag.format.clone());
+            }
+            shared.metrics.power().record(
+                Some(&tag.format),
+                tag.model.as_deref(),
+                &energy,
+                tag.downshifted,
+            );
+            shared
+                .metrics
+                .cost()
+                .observe_j(&tag.cost_key(), energy.total_j());
             resp
         }
         Some(ExecReply::Expired) => {
@@ -1178,7 +1237,7 @@ fn admit(
     shared: &Shared,
     req: &Request,
     t0: Instant,
-    payload: JobPayload,
+    mut payload: JobPayload,
     shape: ReplyShape,
 ) -> Admission {
     // Partial payloads were validated against the tiling in
@@ -1194,6 +1253,57 @@ fn admit(
                     shared.k
                 ),
             ));
+        }
+    }
+
+    // Energy-budget gate. The cost model estimates from past requests
+    // with the same (op, format[, model]) key; an unknown key admits
+    // (the first request is the calibration run). Over budget, the
+    // request is either rejected with a structured 429 or — only with
+    // the client's explicit `allow_downshift` consent, on an `infer`
+    // not already in the INT8 baseline — downshifted to INT8, with the
+    // format it actually ran in echoed in the response.
+    let (mut format, model) = match &payload {
+        JobPayload::Infer { model, format, .. } => (format.clone(), Some(model.clone())),
+        JobPayload::Full(_) | JobPayload::Partial { .. } => (shared.base_format.clone(), None),
+    };
+    let mut downshifted = false;
+    if let Some(budget) = req.energy_budget_mj {
+        if !budget.is_finite() || budget <= 0.0 {
+            return Admission::immediate(reject_malformed(
+                shared,
+                req.id,
+                format!("energy_budget_mj must be a finite positive number, got {budget}"),
+            ));
+        }
+        let estimate =
+            shared
+                .metrics
+                .cost()
+                .estimate_mj(&cost_key(req.op, &format, model.as_deref()));
+        let downshift_available = req.allow_downshift == Some(true)
+            && matches!(payload, JobPayload::Infer { .. })
+            && format != "int8";
+        match evaluate_budget(budget, estimate, downshift_available) {
+            BudgetDecision::Admit => {}
+            BudgetDecision::Downshift => {
+                downshifted = true;
+                format = "int8".to_string();
+                if let JobPayload::Infer { format: f, .. } = &mut payload {
+                    *f = format.clone();
+                }
+            }
+            BudgetDecision::Reject { estimate_mj } => {
+                shared
+                    .metrics
+                    .runtime()
+                    .record_rejection(RejectReason::EnergyBudget);
+                return Admission::immediate(Response::error(
+                    req.id,
+                    Status::OverBudget,
+                    format!("estimated cost {estimate_mj:.6} mJ exceeds energy_budget_mj {budget}"),
+                ));
+            }
         }
     }
 
@@ -1281,6 +1391,12 @@ fn admit(
         shape,
         rx: reply_rx,
         deadline,
+        tag: RequestTag {
+            op: req.op,
+            format,
+            model,
+            downshifted,
+        },
     })
 }
 
@@ -1378,9 +1494,13 @@ fn run_batch(
         match &job.payload {
             JobPayload::Full(_) => full_run.push(job),
             JobPayload::Partial { row_offset, input } => {
-                flush_full_run(accel, handle, engine, std::mem::take(&mut full_run));
+                flush_full_run(shared, accel, handle, engine, std::mem::take(&mut full_run));
+                // Observation-only metering: the counter reads bracket
+                // the computation and change no result bits.
+                let before = energy_now(shared, accel);
                 let partials = accel.matvec_partial(handle, *row_offset, input);
-                let _ = job.reply.send(ExecReply::Done(partials));
+                let energy = energy_now(shared, accel).delta(&before);
+                let _ = job.reply.send(ExecReply::Done(partials, energy));
             }
             JobPayload::Infer {
                 model,
@@ -1389,14 +1509,18 @@ fn run_batch(
                 start,
                 end,
             } => {
-                flush_full_run(accel, handle, engine, std::mem::take(&mut full_run));
+                flush_full_run(shared, accel, handle, engine, std::mem::take(&mut full_run));
+                let before = energy_now(shared, accel);
                 // `validate_infer` admits only registry-backed jobs.
                 let reply = match shared
                     .registry
                     .as_ref()
                     .map(|reg| reg.infer_range(model, format, input, Some(*start), Some(*end)))
                 {
-                    Some(Ok(output)) => ExecReply::Done(vec![output]),
+                    Some(Ok(output)) => {
+                        let energy = energy_now(shared, accel).delta(&before);
+                        ExecReply::Done(vec![output], energy)
+                    }
                     Some(Err(e)) => ExecReply::Failed(infer_error_status(&e), e.to_string()),
                     None => ExecReply::Failed(
                         Status::Malformed,
@@ -1407,7 +1531,21 @@ fn run_batch(
             }
         }
     }
-    flush_full_run(accel, handle, engine, full_run);
+    flush_full_run(shared, accel, handle, engine, full_run);
+}
+
+/// A point-in-time read of every energy counter a request on this
+/// server can touch: the served layer's accelerator (macros + adder
+/// tree) plus the registry's compiled models. Pure observation — reads
+/// no RNG and mutates nothing.
+fn energy_now(shared: &Shared, accel: &AfprAccelerator) -> EnergyPoint {
+    let stats = accel.stats();
+    let mut point = EnergyPoint::new(stats.energy, accel.adder_energy(), stats.conversions);
+    if let Some(reg) = &shared.registry {
+        let e = reg.energy();
+        point = point.merged(&EnergyPoint::new(e.breakdown, e.adder, e.conversions));
+    }
+    point
 }
 
 /// Maps a registry inference failure onto a wire status: unknown model
@@ -1426,6 +1564,7 @@ fn infer_error_status(e: &InferError) -> Status {
 /// (submission order preserved — the determinism contract of
 /// `forward_batch`), then splits the outputs back out per job.
 fn flush_full_run(
+    shared: &Shared,
     accel: &mut AfprAccelerator,
     handle: LayerHandle,
     engine: &Engine,
@@ -1438,10 +1577,17 @@ fn flush_full_run(
         .iter()
         .flat_map(|job| job.payload.full_inputs().iter().cloned())
         .collect();
+    let before = energy_now(shared, accel);
     let mut outputs = accel.forward_batch(handle, &flat, engine).into_iter();
+    // The flattened run is one metered unit; each job gets a share
+    // proportional to its sample count (every sample in the run costs
+    // the same macro work).
+    let run_energy = energy_now(shared, accel).delta(&before);
+    let samples = flat.len() as u64;
     for job in jobs {
         let take = job.payload.full_inputs().len();
         let chunk: Vec<Vec<f32>> = outputs.by_ref().take(take).collect();
-        let _ = job.reply.send(ExecReply::Done(chunk));
+        let energy = run_energy.share(take as u64, samples);
+        let _ = job.reply.send(ExecReply::Done(chunk, energy));
     }
 }

@@ -1,0 +1,425 @@
+//! Energy-metering integration tests: joules-per-request telemetry
+//! must be *observation-only* and *exactly-once*.
+//!
+//! - Per op (`matvec`, `forward_batch`, `matvec_partial`, `infer`):
+//!   the sum of wire-reported `energy_mj` equals the energy delta an
+//!   identical unmetered twin accelerator accumulates replaying the
+//!   same stream — no conversion counted twice (batched/partial
+//!   paths), none dropped.
+//! - The server-side `PowerSnapshot` ledger agrees with the
+//!   per-response stream (requests counted once, totals equal).
+//! - `energy_budget_mj` admission: over-budget requests get a
+//!   structured `429 over_budget`; with `allow_downshift` an infer is
+//!   served at INT8 instead, with the chosen format echoed.
+//! - Proptest pin: metered outputs stay bit-identical to the
+//!   unmetered oracle — metering never perturbs the numerics.
+//!
+//! The whole suite re-runs on the reactor transport via
+//! `energy_metering_reactor.rs`.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use afpr_core::AfprAccelerator;
+use afpr_models::{
+    format_wire_name, CompiledModel, ModelKind, ModelRegistry, ModelSpec, RegistryConfig,
+    ALL_FORMATS,
+};
+use afpr_runtime::{Engine, EngineConfig};
+use afpr_serve::{Client, ClientError, Request, ServeModel, Server, ServerConfig, Status};
+
+const K: usize = 256;
+
+/// Cumulative analog + digital energy of a bare accelerator, in mJ —
+/// the unmetered oracle's counter.
+fn accel_mj(accel: &AfprAccelerator) -> f64 {
+    let s = accel.stats();
+    (s.energy.total().joules() + accel.adder_energy().joules()) * 1e3
+}
+
+/// Relative comparison: metered values cross one JSON round-trip, so
+/// allow shortest-roundtrip serialization slack but nothing physical.
+fn assert_close(served: f64, oracle: f64, what: &str) {
+    let scale = served.abs().max(oracle.abs()).max(f64::MIN_POSITIVE);
+    assert!(
+        ((served - oracle) / scale).abs() <= 1e-9,
+        "{what}: served {served} mJ vs oracle {oracle} mJ"
+    );
+}
+
+/// Sends one request and returns its (asserted-Ok) response.
+fn call_ok(client: &mut Client, req: &Request) -> afpr_serve::Response {
+    let resp = client.call(req).expect("answered");
+    assert_eq!(
+        resp.status,
+        Status::Ok,
+        "request {}: {:?}",
+        req.id,
+        resp.error
+    );
+    let mj = resp.energy_mj.expect("compute responses are metered");
+    assert!(mj.is_finite() && mj > 0.0, "sane energy, got {mj}");
+    resp
+}
+
+#[test]
+fn matvec_meters_energy_exactly_once() {
+    const SEED: u64 = 31;
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("starts");
+    let (mut twin, handle) = ServeModel::demo(SEED).into_parts();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let mut served_mj = 0.0;
+    for i in 0..5u64 {
+        let resp = call_ok(
+            &mut client,
+            &Request::matvec(i, ServeModel::demo_input(K, i as usize)),
+        );
+        served_mj += resp.energy_mj.unwrap();
+    }
+
+    let base = accel_mj(&twin);
+    for i in 0..5usize {
+        let _ = twin.matvec(handle, &ServeModel::demo_input(K, i));
+    }
+    assert_close(served_mj, accel_mj(&twin) - base, "5 matvecs");
+
+    let snap = server.shutdown();
+    let power = snap.power.expect("snapshot carries the power block");
+    assert_eq!(power.requests, 5, "each matvec recorded once");
+    assert_close(power.total_mj, served_mj, "ledger vs response stream");
+    assert!(power.conversions > 0, "ADC conversions attributed");
+    assert!(
+        power.adc_mj > 0.0 && power.array_mj > 0.0,
+        "breakdown populated"
+    );
+}
+
+#[test]
+fn forward_batch_meters_energy_exactly_once() {
+    const SEED: u64 = 32;
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("starts");
+    let (mut twin, handle) = ServeModel::demo(SEED).into_parts();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let inputs: Vec<Vec<f32>> = (0..4).map(|i| ServeModel::demo_input(K, i)).collect();
+    let resp = call_ok(&mut client, &Request::forward_batch(1, inputs.clone()));
+    let served_mj = resp.energy_mj.unwrap();
+
+    // The oracle replays the batch through the same batched GEMM path.
+    let engine = Engine::new(EngineConfig::default());
+    let base = accel_mj(&twin);
+    let _ = twin.forward_batch(handle, &inputs, &engine);
+    assert_close(served_mj, accel_mj(&twin) - base, "forward_batch of 4");
+
+    let snap = server.shutdown();
+    let power = snap.power.expect("power block");
+    assert_eq!(power.requests, 1, "one batch = one request, not four");
+    assert_close(power.total_mj, served_mj, "ledger vs response");
+}
+
+#[test]
+fn matvec_partial_meters_energy_exactly_once() {
+    const SEED: u64 = 33;
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("starts");
+    let (mut twin, handle) = ServeModel::demo(SEED).into_parts();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Two shards covering the full input: rows 0..128 and 128..256.
+    let x = ServeModel::demo_input(K, 9);
+    let mut served_mj = 0.0;
+    for (offset, end) in [(0usize, 128usize), (128, 256)] {
+        let resp = call_ok(
+            &mut client,
+            &Request::matvec_partial(offset as u64, offset as u64, x[offset..end].to_vec()),
+        );
+        served_mj += resp.energy_mj.unwrap();
+    }
+
+    let base = accel_mj(&twin);
+    for (offset, end) in [(0usize, 128usize), (128, 256)] {
+        let _ = twin.matvec_partial(handle, offset, &x[offset..end]);
+    }
+    assert_close(served_mj, accel_mj(&twin) - base, "2 partial shards");
+
+    let snap = server.shutdown();
+    let power = snap.power.expect("power block");
+    assert_eq!(power.requests, 2);
+    assert_close(power.total_mj, served_mj, "ledger vs response stream");
+}
+
+#[test]
+fn infer_meters_energy_exactly_once() {
+    const SEED: u64 = 34;
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(4, SEED)));
+    let server = Server::start(
+        ServerConfig::default(),
+        ServeModel::demo(SEED).with_registry(registry),
+    )
+    .expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let mode = ALL_FORMATS
+        .into_iter()
+        .find(|&m| format_wire_name(m) == "e2m5")
+        .expect("e2m5 in the format zoo");
+    let input: Vec<f32> = (0..8).map(|j| ((j as f32) * 0.3).cos()).collect();
+
+    let mut served_mj = 0.0;
+    for id in 0..3u64 {
+        let resp = call_ok(
+            &mut client,
+            &Request::infer(id, "tiny-mlp", "e2m5", input.clone()),
+        );
+        assert_eq!(
+            resp.format.as_deref(),
+            Some("e2m5"),
+            "served format echoed on infer"
+        );
+        served_mj += resp.energy_mj.unwrap();
+    }
+
+    // Twin registry path: load (free — warming is a pure read) then
+    // the same three inferences.
+    let mut twin = CompiledModel::load(ModelSpec::new(ModelKind::TinyMlp, mode, SEED));
+    for _ in 0..3 {
+        twin.infer(&input).expect("oracle infers");
+    }
+    let e = twin.energy();
+    let oracle_mj = (e.breakdown.total().joules() + e.adder.joules()) * 1e3;
+    assert_close(served_mj, oracle_mj, "3 infers incl. first-load");
+
+    let snap = server.shutdown();
+    let power = snap.power.expect("power block");
+    assert_eq!(power.requests, 3);
+    assert_close(power.total_mj, served_mj, "ledger vs response stream");
+    // Per-model attribution keyed by wire name.
+    let per_model = power
+        .per_model
+        .iter()
+        .find(|m| m.key == "tiny-mlp")
+        .expect("per-model counter");
+    assert_eq!(per_model.requests, 3);
+    assert_close(per_model.total_mj, served_mj, "per-model ledger");
+}
+
+/// Over-budget requests are refused with a structured `429
+/// over_budget` naming the estimate; with `allow_downshift` the same
+/// infer is served at INT8 with the chosen format echoed — and
+/// nothing is ever downshifted without the opt-in.
+#[test]
+fn energy_budget_rejects_and_downshifts_over_the_wire() {
+    const SEED: u64 = 35;
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(4, SEED)));
+    let server = Server::start(
+        ServerConfig::default(),
+        ServeModel::demo(SEED).with_registry(registry),
+    )
+    .expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let input: Vec<f32> = (0..8).map(|j| ((j as f32) * 0.21).sin()).collect();
+
+    // Calibration pass: the cost model needs one observation per key
+    // before the budget gate can estimate anything (unknown keys are
+    // always admitted so cold servers stay usable).
+    call_ok(
+        &mut client,
+        &Request::matvec(1, ServeModel::demo_input(K, 0)),
+    );
+    call_ok(
+        &mut client,
+        &Request::infer(2, "tiny-mlp", "e2m5", input.clone()),
+    );
+
+    // Over-budget matvec, no downshift opt-in: structured 429.
+    let resp = client
+        .call(&Request::matvec(3, ServeModel::demo_input(K, 1)).with_energy_budget_mj(1e-12))
+        .expect("answered");
+    assert_eq!(resp.status, Status::OverBudget);
+    assert_eq!(resp.code, 429);
+    let err = resp.error.as_deref().unwrap_or_default();
+    assert!(
+        err.contains("energy_budget_mj"),
+        "rejection names the budget: {err}"
+    );
+
+    // Over-budget infer without opt-in: also 429 (downshift is never
+    // implicit).
+    let resp = client
+        .call(&Request::infer(4, "tiny-mlp", "e2m5", input.clone()).with_energy_budget_mj(1e-12))
+        .expect("answered");
+    assert_eq!(resp.status, Status::OverBudget, "{:?}", resp.error);
+
+    // Same request with the opt-in: served at INT8, format echoed.
+    let resp = client
+        .infer_budgeted("tiny-mlp", "e2m5", input.clone(), 1e-12, true)
+        .expect("downshifted infer serves");
+    assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+    assert_eq!(
+        resp.format.as_deref(),
+        Some("int8"),
+        "downshifted format echoed"
+    );
+    assert!(resp.energy_mj.is_some_and(|mj| mj > 0.0));
+    // The answer is the genuine INT8 result, not a relabeled E2M5 run.
+    let mode = ALL_FORMATS
+        .into_iter()
+        .find(|&m| format_wire_name(m) == "int8")
+        .expect("int8 in the format zoo");
+    let golden = CompiledModel::load(ModelSpec::new(ModelKind::TinyMlp, mode, SEED))
+        .infer(&input)
+        .expect("oracle int8 infer");
+    let served = resp.output.expect("inference output");
+    assert_eq!(served.len(), golden.len());
+    for (s, g) in served.iter().zip(&golden) {
+        assert_eq!(s.to_bits(), g.to_bits(), "downshift serves real INT8 bits");
+    }
+
+    // An INT8 request can't downshift further: over-budget stays 429
+    // even with the opt-in.
+    call_ok(
+        &mut client,
+        &Request::infer(6, "tiny-mlp", "int8", input.clone()),
+    );
+    let resp = client
+        .call(
+            &Request::infer(7, "tiny-mlp", "int8", input.clone())
+                .with_energy_budget_mj(1e-12)
+                .with_downshift(true),
+        )
+        .expect("answered");
+    assert_eq!(
+        resp.status,
+        Status::OverBudget,
+        "int8 has no floor below it"
+    );
+
+    let snap = server.shutdown();
+    assert_eq!(snap.runtime.rejections.energy_budget, 3, "three 429s");
+    let power = snap.power.expect("power block");
+    assert_eq!(power.downshifts, 1, "exactly one opted-in downshift");
+}
+
+/// A generous budget admits without perturbing anything: the response
+/// matches an unbudgeted twin bit for bit.
+#[test]
+fn generous_budget_admits_and_stays_bit_identical() {
+    const SEED: u64 = 36;
+    let server = Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("starts");
+    let (mut twin, handle) = ServeModel::demo(SEED).into_parts();
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let x = ServeModel::demo_input(K, 3);
+    // Calibrate, then send the budgeted request.
+    call_ok(
+        &mut client,
+        &Request::matvec(1, ServeModel::demo_input(K, 2)),
+    );
+    let resp = client
+        .call(&Request::matvec(2, x.clone()).with_energy_budget_mj(1e6))
+        .expect("answered");
+    assert_eq!(resp.status, Status::Ok);
+
+    let _ = twin.matvec(handle, &ServeModel::demo_input(K, 2));
+    let golden = twin.matvec(handle, &x);
+    let served = resp.output.expect("output");
+    for (s, g) in served.iter().zip(&golden) {
+        assert_eq!(s.to_bits(), g.to_bits(), "budget gate is observation-only");
+    }
+    drop(server);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest pin: metering is observation-only.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// One long-lived metered server and its unmetered twin; the proptest
+/// runner is sequential, so both consume the identical sample stream
+/// and every macro RNG stays aligned.
+fn oracle_pair() -> (
+    &'static Server,
+    &'static Mutex<(AfprAccelerator, afpr_core::LayerHandle)>,
+) {
+    const SEED: u64 = 4242;
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    static TWIN: OnceLock<Mutex<(AfprAccelerator, afpr_core::LayerHandle)>> = OnceLock::new();
+    let server = SERVER.get_or_init(|| {
+        Server::start(ServerConfig::default(), ServeModel::demo(SEED)).expect("server starts")
+    });
+    let twin = TWIN.get_or_init(|| Mutex::new(ServeModel::demo(SEED).into_parts()));
+    (server, twin)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance invariant, pinned: a metered server's outputs
+    /// are bit-identical to the unmetered oracle for arbitrary inputs,
+    /// and the energy it reports matches the oracle's counter delta.
+    fn metered_path_bit_identical_to_unmetered_oracle(
+        amp in 0.01f32..4.0,
+        phase in 0usize..1000,
+    ) {
+        let (server, twin) = oracle_pair();
+        let x: Vec<f32> = (0..K)
+            .map(|j| amp * (((j + phase) as f32) * 0.17).sin())
+            .collect();
+
+        let mut client = Client::connect(server.local_addr())
+            .map_err(|e| TestCaseError::fail(format!("connect: {e}")))?;
+        let resp = client
+            .call(&Request::matvec(1, x.clone()))
+            .map_err(|e| TestCaseError::fail(format!("call: {e}")))?;
+        prop_assert_eq!(resp.status, Status::Ok);
+        let served = resp.output.clone().expect("output");
+
+        let mut guard = twin.lock().expect("twin lock");
+        let (accel, handle) = &mut *guard;
+        let before = accel_mj(accel);
+        let golden = accel.matvec(*handle, &x);
+        let oracle_mj = accel_mj(accel) - before;
+
+        prop_assert_eq!(served.len(), golden.len());
+        for (col, (s, g)) in served.iter().zip(&golden).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(), g.to_bits(),
+                "metering perturbed column {} (amp {}, phase {})", col, amp, phase
+            );
+        }
+        let mj = resp.energy_mj.expect("metered");
+        let scale = mj.abs().max(oracle_mj.abs()).max(f64::MIN_POSITIVE);
+        prop_assert!(
+            ((mj - oracle_mj) / scale).abs() <= 1e-9,
+            "energy drifted from oracle: served {} vs {}", mj, oracle_mj
+        );
+    }
+}
+
+use proptest::test_runner::TestCaseError;
+
+/// Budget rejections are terminal for the retry layer: the typed
+/// client surfaces them as `Rejected`, not something to spin on.
+#[test]
+fn over_budget_is_surfaced_as_rejection_to_typed_clients() {
+    const SEED: u64 = 37;
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig::new(4, SEED)));
+    let server = Server::start(
+        ServerConfig::default(),
+        ServeModel::demo(SEED).with_registry(registry),
+    )
+    .expect("starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let input: Vec<f32> = vec![0.4; 8];
+    client
+        .infer("tiny-mlp", "e2m5", input.clone())
+        .expect("calibration infer");
+    match client.infer_budgeted("tiny-mlp", "e2m5", input, 1e-12, false) {
+        Err(ClientError::Rejected(resp)) => {
+            assert_eq!(resp.status, Status::OverBudget);
+            assert_eq!(resp.code, 429);
+        }
+        other => panic!("expected a 429 rejection, got {other:?}"),
+    }
+    drop(server);
+}

@@ -1,0 +1,21 @@
+//! The entire `energy_metering` suite, re-run against the reactor
+//! transport (`Transport::Reactor`), unmodified — exactly-once energy
+//! accounting, budget admission and the unmetered-oracle pin must all
+//! hold on the event-driven path too.
+//!
+//! See `server_roundtrip_reactor.rs` for how the transport is
+//! selected pre-main.
+
+#![cfg(target_os = "linux")]
+
+#[used]
+#[link_section = ".init_array"]
+static SET_TRANSPORT: extern "C" fn() = {
+    extern "C" fn set() {
+        std::env::set_var("AFPR_SERVE_TRANSPORT", "reactor");
+    }
+    set
+};
+
+#[path = "energy_metering.rs"]
+mod suite;

@@ -291,6 +291,46 @@ proptest! {
         assert_server_alive(addr)?;
     }
 
+    /// Hostile `energy_budget_mj` / `allow_downshift` encodings never
+    /// panic the server: unparseable types and non-positive or
+    /// non-finite budgets get a structured `400`, a JSON `null` means
+    /// "absent" (version-1 compat), and any parseable positive budget
+    /// is either admitted (`200`) or refused with a structured
+    /// `429 over_budget`. The connection keeps serving afterwards.
+    fn hostile_energy_budget_never_panics(
+        budget_json in prop::sample::select(vec![
+            "null", "0", "-1", "-0.0", "1e-12", "1e6", "1e309", "-1e309",
+            "\"cheap\"", "[]", "{}", "true",
+        ]),
+        downshift_json in prop::sample::select(vec![
+            "null", "true", "false", "1", "\"yes\"", "[]",
+        ]),
+    ) {
+        let addr = fuzz_server_addr();
+        let mut s = raw_conn(addr);
+        let input: Vec<String> = (0..256).map(|i| format!("{}.25", i % 2)).collect();
+        let json = format!(
+            "{{\"op\":\"matvec\",\"id\":77,\"input\":[{}],\
+             \"energy_budget_mj\":{budget_json},\"allow_downshift\":{downshift_json}}}",
+            input.join(","),
+        );
+        send_raw_json(&mut s, &json);
+        let resp = read_response(&mut s)?;
+        prop_assert!(
+            matches!(resp.code, 200 | 400 | 429),
+            "structured outcome only, got code {} ({:?})", resp.code, resp.error
+        );
+        if resp.code == 200 {
+            prop_assert!(
+                resp.energy_mj.is_some_and(|mj| mj.is_finite() && mj >= 0.0),
+                "served requests report sane energy: {:?}", resp.energy_mj
+            );
+        } else {
+            prop_assert!(resp.error.is_some(), "rejections carry a reason");
+        }
+        assert_server_alive(addr)?;
+    }
+
     /// Hostile `layer_start`/`layer_end` ranges on `infer` are either
     /// served (valid prefix of the network) or structured `400`s —
     /// never a panic. Mid-network entry with a wrong-length activation
@@ -423,6 +463,12 @@ fn old_frames_without_proto_version_still_serve() {
     // New responses carry the version; old clients ignore unknown
     // fields, new ones read it.
     assert_eq!(resp.proto_version, afpr_serve::PROTOCOL_VERSION);
+    // Version-1 compat for the energy fields: a frame that predates
+    // `energy_budget_mj`/`allow_downshift` is admitted unconditionally
+    // (no budget gate), and the server still meters it — old clients
+    // simply ignore the extra `energy_mj` response field.
+    let mj = resp.energy_mj.expect("new servers meter every request");
+    assert!(mj.is_finite() && mj > 0.0, "metered energy is sane: {mj}");
 }
 
 /// The exact historical panic value: `deadline_ms = u64::MAX` gets a

@@ -22,7 +22,10 @@ use std::net::TcpStream;
 use std::sync::OnceLock;
 use std::time::Duration;
 
-use afpr_serve::{read_frame, FrameError, Request, ServeModel, Server, ServerConfig, Transport};
+use afpr_serve::{
+    parse_message, read_frame, FrameError, Request, Response, ServeModel, Server, ServerConfig,
+    Transport,
+};
 use proptest::prelude::*;
 
 const SEED: u64 = 7;
@@ -218,6 +221,23 @@ fn exchange(
     responses
 }
 
+/// Normalizes the one timing-dependent response field: `energy_mj`
+/// attribution for micro-batched runs is split across whichever jobs
+/// the batcher happened to coalesce — outputs are invariant to that
+/// partition, the energy split is not. Everything else must still
+/// match bit for bit, so responses are re-encoded with the field
+/// nulled rather than compared as raw bytes.
+fn strip_energy(payloads: &[Vec<u8>]) -> Vec<String> {
+    payloads
+        .iter()
+        .map(|p| {
+            let mut resp: Response = parse_message(p).expect("server answers are well-formed");
+            resp.energy_mj = None;
+            serde_json::to_string(&resp).expect("response re-encodes")
+        })
+        .collect()
+}
+
 fn cut(bytes: &[u8], splits: &[u64]) -> Vec<Vec<u8>> {
     let mut points: Vec<usize> = splits
         .iter()
@@ -266,6 +286,6 @@ proptest! {
             exchange(blocking_server().local_addr(), &chunks, expected, expect_close);
         let from_reactor =
             exchange(reactor_server().local_addr(), &chunks, expected, expect_close);
-        prop_assert_eq!(from_blocking, from_reactor);
+        prop_assert_eq!(strip_energy(&from_blocking), strip_energy(&from_reactor));
     }
 }
